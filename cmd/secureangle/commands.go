@@ -1,0 +1,282 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"secureangle/internal/dsp"
+	"secureangle/internal/experiments"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/netproto"
+	"secureangle/internal/radio"
+	"secureangle/internal/rng"
+	"secureangle/internal/testbed"
+)
+
+func runFig5(seed int64, packets int) error {
+	res, err := experiments.RunFig5(seed, packets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runFig6(seed int64, spectra bool) error {
+	res, err := experiments.RunFig6(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if spectra {
+		fmt.Println("\n# TSV pseudospectra: client, t, angle, dB")
+		for _, c := range res.Clients {
+			for _, s := range c.Snapshots {
+				for i, db := range s.SpectrumDB {
+					fmt.Printf("%d\t%g\t%.1f\t%.2f\n", c.ID, s.OffsetSec, res.GridDeg[i], db)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func runFig7(seed int64, spectra bool) error {
+	res, err := experiments.RunFig7(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	if spectra {
+		fmt.Println("\n# TSV pseudospectra: antennas, angle, dB")
+		for _, row := range res.Rows {
+			for i, db := range row.SpectrumDB {
+				fmt.Printf("%d\t%.1f\t%.2f\n", row.Antennas, row.GridDeg[i], db)
+			}
+		}
+	}
+	return nil
+}
+
+func runAccuracy(seed int64, packets int) error {
+	res, err := experiments.RunAccuracy(seed, packets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runFence(seed int64) error {
+	res, err := experiments.RunFence(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runSpoof(seed int64, packets int) error {
+	res, err := experiments.RunSpoof(seed, 5, packets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runAblation(seed int64) error {
+	est, err := experiments.RunEstimatorAblation(seed, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(est.Render())
+	cal, err := experiments.RunCalibrationAblation(seed, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Print(cal.Render())
+	pvs, err := experiments.RunPacketVsSample(seed, 8)
+	if err != nil {
+		return err
+	}
+	fmt.Print(pvs.Render())
+	gf, err := experiments.RunGridFreeAblation(seed, 3)
+	if err != nil {
+		return err
+	}
+	fmt.Print(gf.Render())
+	return nil
+}
+
+func runTrack(seed int64) error {
+	res, err := experiments.RunMobility(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runInterference(seed int64) error {
+	res, err := experiments.RunInterference(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func testbedMap() string { return testbed.Map() }
+
+func runSNR(seed int64, packets int) error {
+	res, err := experiments.RunSNRSweep(seed, packets)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+func runBeamform(seed int64) error {
+	res, err := experiments.RunBeamform(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
+// runCalibrate narrates the section 2.2 procedure: show the true hidden
+// offsets, the estimates recovered from the cabled reference capture, and
+// the residual after applying them.
+func runCalibrate(seed int64) error {
+	arr := testbed.CircularArray()
+	fe := radio.NewFrontEnd(arr, testbed.AP1, rng.New(seed), radio.WithNoiseFloor(testbed.NoiseFloor))
+	fmt.Println("Section 2.2 calibration: USRP2 reference tone through equal-length cables")
+	fmt.Printf("%-8s %-16s %-16s %-12s\n", "chain", "true offset", "estimated", "error(rad)")
+	est := fe.Calibrate(4000)
+	for a := 0; a < arr.N(); a++ {
+		truth := dsp.WrapPhase(fe.PhaseOffsets[a] - fe.PhaseOffsets[0])
+		errRad := math.Abs(dsp.WrapPhase(est[a] - truth))
+		fmt.Printf("%-8d %-16.4f %-16.4f %-12.2e\n", a+1, truth, est[a], errRad)
+	}
+	fmt.Println("\nOffsets subtracted from over-the-air captures restore the steering model of section 2.1.")
+	return nil
+}
+
+func runServe(addr string) error {
+	_, shell := testbed.Building()
+	fence := &locate.Fence{Boundary: shell}
+	c := netproto.NewController(fence)
+	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fence controller listening on %s (boundary: building shell)\n", ln.Addr())
+	c.Serve(ln)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		c.Close()
+	}()
+	for d := range c.Decisions() {
+		fmt.Printf("decision: %s seq %d -> %s at %v (APs %v)\n", d.MAC, d.SeqNo, d.Decision, d.Pos, d.APs)
+	}
+	return nil
+}
+
+// runDemo wires two simulated APs to a controller over loopback TCP and
+// pushes one inside client and one outside intruder through the full
+// pipeline.
+func runDemo(seed int64) error {
+	_, shell := testbed.Building()
+	fence := &locate.Fence{Boundary: shell}
+	c := netproto.NewController(fence)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	c.Serve(ln)
+	defer c.Close()
+	fmt.Printf("controller on %s\n", ln.Addr())
+
+	apPos := []geom.Point{testbed.AP1, testbed.AP2}
+	agents := make([]*netproto.Agent, len(apPos))
+	bearingsFor := func(target geom.Point) []float64 {
+		out := make([]float64, len(apPos))
+		for i, p := range apPos {
+			out[i] = geom.BearingDeg(p, target)
+		}
+		return out
+	}
+	for i, pos := range apPos {
+		name := fmt.Sprintf("ap%d", i+1)
+		a, err := netproto.Dial(ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		if err != nil {
+			return err
+		}
+		defer a.Close()
+		agents[i] = a
+	}
+
+	send := func(seq uint64, clientID int, target geom.Point, label string) error {
+		fmt.Printf("transmission %d: %s at %v\n", seq, label, target)
+		bs := bearingsFor(target)
+		for i, a := range agents {
+			if err := a.Send(netproto.Report{
+				APName: fmt.Sprintf("ap%d", i+1), MAC: testbed.ClientMAC(clientID),
+				SeqNo: seq, BearingDeg: bs[i],
+			}); err != nil {
+				return err
+			}
+		}
+		d := <-c.Decisions()
+		fmt.Printf("  -> %s (located %v)\n", d.Decision, d.Pos)
+		return nil
+	}
+
+	five, err := testbed.ClientByID(5)
+	if err != nil {
+		return err
+	}
+	if err := send(1, 5, five.Pos, "client 5 (inside)"); err != nil {
+		return err
+	}
+	return send(2, 99, testbed.OutsidePositions()[0], "intruder (outside)")
+}
+
+func runAll(seed int64, packets int) error {
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"fig5", func() error { return runFig5(seed, packets) }},
+		{"fig6", func() error { return runFig6(seed, false) }},
+		{"fig7", func() error { return runFig7(seed, false) }},
+		{"accuracy", func() error { return runAccuracy(seed, packets) }},
+		{"fence", func() error { return runFence(seed) }},
+		{"spoof", func() error { return runSpoof(seed, packets) }},
+		{"ablation", func() error { return runAblation(seed) }},
+		{"interference", func() error { return runInterference(seed) }},
+		{"snr", func() error { return runSNR(seed, packets) }},
+		{"track", func() error { return runTrack(seed) }},
+		{"beamform", func() error { return runBeamform(seed) }},
+	}
+	for _, s := range steps {
+		fmt.Printf("\n===== %s =====\n", s.name)
+		if err := s.fn(); err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+	}
+	return nil
+}

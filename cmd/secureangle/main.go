@@ -1,0 +1,123 @@
+// Command secureangle regenerates every artefact of the SecureAngle paper
+// (HotNets 2010) from the simulated Figure 4 testbed and runs the
+// system's services.
+//
+// Usage:
+//
+//	secureangle fig5       — Figure 5: bearing accuracy for 20 clients (circular array)
+//	secureangle fig6       — Figure 6: signature stability over a day (linear array)
+//	secureangle fig7       — Figure 7: pseudospectrum vs antenna count (client 12)
+//	secureangle accuracy   — section 2.3.1 single-packet accuracy claim
+//	secureangle fence      — virtual fence: 3-AP localisation + allow/drop table
+//	secureangle spoof      — address spoofing prevention + RSS baseline comparison
+//	secureangle ablation   — estimator / calibration / covariance ablations
+//	secureangle calibrate  — the section 2.2 calibration procedure, narrated
+//	secureangle serve      — run the fence controller on a TCP port
+//	secureangle demo       — end-to-end demo: APs + controller over loopback TCP
+//	secureangle all        — every experiment in sequence (EXPERIMENTS.md input)
+//
+// Flags: -seed N (default 1), -packets N (per-client packet count where
+// applicable), -listen addr (serve), -spectra (fig6/fig7: dump full
+// pseudospectra series as TSV for plotting).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "experiment RNG seed")
+	packets := fs.Int("packets", 10, "packets per client where applicable")
+	listen := fs.String("listen", "127.0.0.1:7117", "controller listen address")
+	spectra := fs.Bool("spectra", false, "dump full pseudospectra as TSV")
+	client := fs.Int("client", 5, "testbed client ID for capture")
+	file := fs.String("file", "capture.saiq", "I/Q capture path")
+	fs.Parse(os.Args[2:])
+
+	var err error
+	switch cmd {
+	case "fig5":
+		err = runFig5(*seed, *packets)
+	case "fig6":
+		err = runFig6(*seed, *spectra)
+	case "fig7":
+		err = runFig7(*seed, *spectra)
+	case "accuracy":
+		err = runAccuracy(*seed, *packets)
+	case "fence":
+		err = runFence(*seed)
+	case "spoof":
+		err = runSpoof(*seed, *packets)
+	case "ablation":
+		err = runAblation(*seed)
+	case "track":
+		err = runTrack(*seed)
+	case "beamform":
+		err = runBeamform(*seed)
+	case "interference":
+		err = runInterference(*seed)
+	case "snr":
+		err = runSNR(*seed, *packets)
+	case "map":
+		fmt.Print(testbedMap())
+	case "capture":
+		err = runCapture(*seed, *client, *file)
+	case "replay":
+		err = runReplay(*file)
+	case "calibrate":
+		err = runCalibrate(*seed)
+	case "serve":
+		err = runServe(*listen)
+	case "demo":
+		err = runDemo(*seed)
+	case "all":
+		err = runAll(*seed, *packets)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "secureangle: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secureangle %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `secureangle — SecureAngle (HotNets 2010) reproduction harness
+
+experiments:
+  fig5        Figure 5: measured vs ground-truth bearings, 20 clients
+  fig6        Figure 6: AoA signature stability out to one day
+  fig7        Figure 7: resolution vs number of antennas
+  accuracy    section 2.3.1 single-packet accuracy claim
+  fence       virtual fence with 3 APs (section 2.3.1 application)
+  spoof       address spoofing prevention + RSS baseline (section 2.3.2)
+  ablation    estimator / calibration / covariance-length ablations
+  track       section 5 extension: mobility tracking with 3 APs
+  beamform    section 5 extension: downlink MRT from uplink AoA
+  interference concurrent transmitters resolved by the array
+  snr         detection/error vs SNR robustness sweep
+  map         ASCII floor plan of the Figure 4 testbed
+  all         run everything above (generates EXPERIMENTS.md data)
+
+services and demos:
+  capture     record one packet's 8-channel I/Q to a SAIQ file
+  replay      run the offline pipeline on a SAIQ capture
+  calibrate   narrate the section 2.2 phase-offset calibration
+  serve       run the AoA fusion controller on -listen
+  demo        APs + controller end-to-end over loopback TCP
+
+flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path
+`)
+}

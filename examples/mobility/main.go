@@ -1,0 +1,69 @@
+// Mobility: the paper's section 5 future work made concrete — a client
+// walks through the building transmitting as it goes; three APs estimate
+// per-packet bearings, the bearings triangulate, and an alpha-beta filter
+// smooths the fixes into a mobility trace.
+//
+//	go run ./examples/mobility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"secureangle/internal/core"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+	"secureangle/internal/testbed"
+	"secureangle/internal/track"
+)
+
+func main() {
+	environment, _ := testbed.Building()
+	apPositions := []geom.Point{testbed.AP1, testbed.AP2, testbed.AP3}
+	aps := make([]*core.AP, len(apPositions))
+	for i, pos := range apPositions {
+		fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(int64(i+1)))
+		aps[i] = core.NewAP(fmt.Sprintf("ap%d", i+1), fe, environment, core.DefaultConfig())
+	}
+
+	// A walk: start near the south-west, pass the pillar, enter the east
+	// office. 1.2 m/s, one packet every half second.
+	path := track.LinearTrace([]geom.Point{
+		{X: 3, Y: 3}, {X: 12, Y: 4}, {X: 14, Y: 8}, {X: 19, Y: 7},
+	}, 1.2, 0.5)
+	filter := track.NewFilter(0.5, 0.25)
+
+	fmt.Println("t(s)    truth              fix                error(m)")
+	prevT := 0.0
+	for i, wp := range path {
+		dt := wp.T - prevT
+		prevT = wp.T
+		if i == 0 {
+			dt = 0.5
+		}
+		frame := testbed.UplinkFrame(42, uint16(i), []byte("walking"))
+		baseband, err := testbed.FrameBaseband(frame, ofdm.QPSK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var obs []locate.BearingObs
+		for j, ap := range aps {
+			rep, err := ap.Observe(wp.Pos, baseband)
+			if err != nil {
+				continue
+			}
+			obs = append(obs, locate.BearingObs{AP: apPositions[j], BearingDeg: rep.BearingDeg})
+		}
+		est, ok := filter.Step(obs, dt)
+		marker := " "
+		if !ok {
+			marker = "~" // coasting on the motion model
+		}
+		if i%2 == 0 {
+			fmt.Printf("%-7.1f %-18v %-18v %.2f %s\n", wp.T, wp.Pos, est, est.Dist(wp.Pos), marker)
+		}
+	}
+	fmt.Printf("\nfinal velocity estimate: %v m/s (true speed 1.2 m/s)\n", filter.Velocity())
+}

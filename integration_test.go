@@ -1,0 +1,172 @@
+package secureangle
+
+// Full-stack integration tests: the complete SecureAngle system — OFDM
+// transmit, multipath channel, three AP pipelines, the TCP fusion
+// protocol, the controller's virtual fence, and the spoofing registry —
+// exercised together, the way the examples run it but with assertions.
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"secureangle/internal/core"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/netproto"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+	"secureangle/internal/signature"
+	"secureangle/internal/testbed"
+)
+
+func TestFullStackFenceOverTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack integration")
+	}
+	environment, shell := testbed.Building()
+	controller := netproto.NewController(&locate.Fence{Boundary: shell, MarginM: 1.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller.Serve(ln)
+	defer controller.Close()
+
+	apPositions := []geom.Point{testbed.AP1, testbed.AP2, testbed.AP3}
+	aps := make([]*core.AP, len(apPositions))
+	agents := make([]*netproto.Agent, len(apPositions))
+	for i, pos := range apPositions {
+		name := fmt.Sprintf("ap%d", i+1)
+		fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(int64(300+i)))
+		aps[i] = core.NewAP(name, fe, environment, core.DefaultConfig())
+		agents[i], err = netproto.Dial(ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer agents[i].Close()
+	}
+	time.Sleep(50 * time.Millisecond) // let Hellos land before reports
+
+	transmit := func(seq uint64, clientID int, pos geom.Point) (int, error) {
+		frame := testbed.UplinkFrame(clientID, uint16(seq), []byte("integration"))
+		bb, err := testbed.FrameBaseband(frame, ofdm.QPSK)
+		if err != nil {
+			return 0, err
+		}
+		heard := 0
+		for i, ap := range aps {
+			rep, err := ap.Observe(pos, bb)
+			if err != nil {
+				continue
+			}
+			if err := agents[i].Send(netproto.Report{
+				APName: ap.Name, MAC: frame.Addr2, SeqNo: seq,
+				BearingDeg: rep.BearingDeg, Sig: rep.Sig,
+			}); err != nil {
+				return 0, err
+			}
+			heard++
+		}
+		return heard, nil
+	}
+	awaitDecision := func() netproto.FenceDecision {
+		select {
+		case d := <-controller.Decisions():
+			return d
+		case <-time.After(10 * time.Second):
+			t.Fatal("no decision within 10s")
+			return netproto.FenceDecision{}
+		}
+	}
+
+	// Inside clients from three rooms must be allowed and localised well.
+	for seq, id := range map[uint64]int{1: 5, 2: 2, 3: 17} {
+		c, err := testbed.ClientByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		heard, err := transmit(seq, id, c.Pos)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heard < 2 {
+			t.Fatalf("client %d heard by %d APs", id, heard)
+		}
+		d := awaitDecision()
+		if d.Decision != locate.Allow {
+			t.Errorf("client %d dropped (located %v)", id, d.Pos)
+		}
+		if d.Pos.Dist(c.Pos) > 1.5 {
+			t.Errorf("client %d localised %v m off", id, d.Pos.Dist(c.Pos))
+		}
+	}
+
+	// The outside intruder is either unheard (fail closed) or dropped.
+	intruder := testbed.OutsidePositions()[0]
+	heard, err := transmit(9, 99, intruder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heard >= 2 {
+		d := awaitDecision()
+		if d.Decision != locate.Drop {
+			t.Errorf("intruder allowed at %v", d.Pos)
+		}
+	}
+}
+
+func TestFullStackSpoofAcrossReboots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack integration")
+	}
+	// A client's signature survives AP restarts via serialisation: train,
+	// marshal the stored signature, rebuild the AP, re-enroll, and the
+	// attacker is still flagged while the client is still accepted.
+	environment, _ := testbed.Building()
+	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(400))
+	ap := core.NewAP("ap1", fe, environment, core.DefaultConfig())
+
+	victim, err := testbed.ClientByID(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, err := testbed.ClientByID(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := testbed.ClientMAC(5)
+
+	if _, err := ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 1, nil), ofdm.QPSK); err != nil {
+		t.Fatal(err)
+	}
+	stored, ok := ap.StoredSignature(mac)
+	if !ok {
+		t.Fatal("no stored signature after training")
+	}
+	wire := stored.Marshal()
+
+	// "Reboot": a brand-new AP instance on the same front end.
+	ap2 := core.NewAP("ap1-rebooted", fe, environment, core.DefaultConfig())
+	restored, err := signature.Unmarshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap2.Enroll(mac, restored)
+
+	legit, err := ap2.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 2, nil), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legit.Decision != signature.Accept {
+		t.Errorf("victim flagged after reboot (distance %v)", legit.Distance)
+	}
+	spoof, err := ap2.ProcessFrame(attacker.Pos, testbed.UplinkFrame(5, 3, nil), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spoof.Decision != signature.Flag {
+		t.Errorf("attacker accepted after reboot (distance %v)", spoof.Distance)
+	}
+}

@@ -1,0 +1,214 @@
+// Package antenna models the access point's antenna arrays: the paper's
+// two arrangements (a uniform linear array at half-wavelength spacing,
+// 6.13 cm, and a circular octagon with 4.7 cm sides and an antenna at each
+// corner), their steering vectors at the 2.4 GHz carrier, and angle-grid
+// conventions.
+//
+// Conventions: element positions are metres relative to the array centre;
+// bearings are degrees counter-clockwise from the +x axis ("global"
+// bearings, shared with package geom). A linear array along the x axis
+// cannot distinguish a source at bearing theta from one at -theta (mirror
+// across the array axis) — footnote 1 of the paper — so its usable scan
+// grid covers only the upper half-plane, reported as broadside angles in
+// (-90, 90). The circular array covers the full 0-360 degrees.
+package antenna
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"secureangle/internal/geom"
+)
+
+// SpeedOfLight in m/s.
+const SpeedOfLight = 299792458.0
+
+// DefaultCarrierHz is the 2.4 GHz-band carrier used throughout: 2.447 GHz,
+// whose half wavelength is the paper's 6.13 cm element spacing.
+const DefaultCarrierHz = 2.447e9
+
+// Kind distinguishes the two array arrangements of the prototype.
+type Kind int
+
+const (
+	// Linear is the half-wavelength uniform linear array.
+	Linear Kind = iota
+	// Circular is the octagonal arrangement with an antenna per corner.
+	Circular
+)
+
+// String names the array kind.
+func (k Kind) String() string {
+	switch k {
+	case Linear:
+		return "linear"
+	case Circular:
+		return "circular"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Array is an antenna array: element positions plus the carrier frequency
+// that fixes the wavelength for steering calculations.
+type Array struct {
+	Kind      Kind
+	Elements  []geom.Point // positions relative to array centre, metres
+	CarrierHz float64
+	// AxisDeg is the orientation of a linear array's element line
+	// (degrees CCW from +x). It determines which half-plane ScanGrid
+	// covers; irrelevant for circular arrays.
+	AxisDeg float64
+}
+
+// NewULA returns an n-element uniform linear array along the x axis with
+// the given element spacing in metres, centred on the origin.
+func NewULA(n int, spacing, carrierHz float64) *Array {
+	if n < 2 {
+		panic("antenna: NewULA requires n >= 2")
+	}
+	a := &Array{Kind: Linear, CarrierHz: carrierHz}
+	mid := float64(n-1) / 2
+	for i := 0; i < n; i++ {
+		a.Elements = append(a.Elements, geom.Point{X: (float64(i) - mid) * spacing})
+	}
+	return a
+}
+
+// NewHalfWaveULA returns an n-element ULA at exactly half-wavelength
+// spacing for the given carrier (6.13 cm at the default carrier).
+func NewHalfWaveULA(n int, carrierHz float64) *Array {
+	return NewULA(n, SpeedOfLight/carrierHz/2, carrierHz)
+}
+
+// NewUCA returns an n-element uniform circular array whose adjacent
+// elements are side metres apart (a regular n-gon with that side length;
+// the paper's octagon has 4.7 cm sides), centred on the origin with
+// element 0 on the +x axis.
+func NewUCA(n int, side, carrierHz float64) *Array {
+	if n < 3 {
+		panic("antenna: NewUCA requires n >= 3")
+	}
+	r := side / (2 * math.Sin(math.Pi/float64(n)))
+	a := &Array{Kind: Circular, CarrierHz: carrierHz}
+	for i := 0; i < n; i++ {
+		phi := 2 * math.Pi * float64(i) / float64(n)
+		a.Elements = append(a.Elements, geom.Point{X: r * math.Cos(phi), Y: r * math.Sin(phi)})
+	}
+	return a
+}
+
+// N returns the number of elements.
+func (a *Array) N() int { return len(a.Elements) }
+
+// Wavelength returns the carrier wavelength in metres.
+func (a *Array) Wavelength() float64 { return SpeedOfLight / a.CarrierHz }
+
+// Radius returns the maximum element distance from the array centre.
+func (a *Array) Radius() float64 {
+	var r float64
+	for _, e := range a.Elements {
+		r = math.Max(r, e.Norm())
+	}
+	return r
+}
+
+// Steering returns the steering vector for a plane wave arriving from the
+// given global bearing (degrees): element i carries phase
+// exp(+j 2 pi / lambda * p_i . d) with d the unit vector pointing from the
+// array toward the source. Elements nearer the source lead in phase, which
+// is the sign convention the channel simulator also uses, so simulated
+// covariances and MUSIC scans agree by construction.
+func (a *Array) Steering(bearingDeg float64) []complex128 {
+	rad := bearingDeg * math.Pi / 180
+	d := geom.Point{X: math.Cos(rad), Y: math.Sin(rad)}
+	k := 2 * math.Pi / a.Wavelength()
+	out := make([]complex128, len(a.Elements))
+	for i, p := range a.Elements {
+		out[i] = cmplx.Rect(1, k*p.Dot(d))
+	}
+	return out
+}
+
+// SteeringInto fills dst with the steering vector for bearingDeg,
+// avoiding allocation on pseudospectrum scan hot paths.
+func (a *Array) SteeringInto(dst []complex128, bearingDeg float64) {
+	rad := bearingDeg * math.Pi / 180
+	d := geom.Point{X: math.Cos(rad), Y: math.Sin(rad)}
+	k := 2 * math.Pi / a.Wavelength()
+	for i, p := range a.Elements {
+		dst[i] = cmplx.Rect(1, k*p.Dot(d))
+	}
+}
+
+// Subarray returns a new array using only the elements at the given
+// indices (Figure 7 evaluates 2-, 4-, 6- and 8-antenna subsets of the
+// same capture). The kind and orientation are preserved.
+func (a *Array) Subarray(idx ...int) *Array {
+	sub := &Array{Kind: a.Kind, CarrierHz: a.CarrierHz, AxisDeg: a.AxisDeg}
+	for _, i := range idx {
+		sub.Elements = append(sub.Elements, a.Elements[i])
+	}
+	return sub
+}
+
+// Rotate returns a copy of the array rotated by deg degrees CCW about its
+// centre — how an installer orients a linear array so its unambiguous
+// half-plane faces the clients of interest.
+func (a *Array) Rotate(deg float64) *Array {
+	rad := deg * math.Pi / 180
+	c, s := math.Cos(rad), math.Sin(rad)
+	out := &Array{Kind: a.Kind, CarrierHz: a.CarrierHz, AxisDeg: a.AxisDeg + deg}
+	for _, e := range a.Elements {
+		out.Elements = append(out.Elements, geom.Point{X: c*e.X - s*e.Y, Y: s*e.X + c*e.Y})
+	}
+	return out
+}
+
+// ScanGrid returns the bearing grid (global degrees) a pseudospectrum
+// should be evaluated on for this array kind: the full circle for
+// circular arrays; for linear arrays, the unambiguous half-plane on the
+// counter-clockwise side of the element axis (for the default axis along
+// +x, global 0..180, i.e. broadside -90..+90 — footnote 1 of the paper),
+// stepped by stepDeg. Grid values may exceed [0, 360) for rotated arrays;
+// they remain valid bearings modulo 360.
+func (a *Array) ScanGrid(stepDeg float64) []float64 {
+	if stepDeg <= 0 {
+		panic("antenna: ScanGrid step must be positive")
+	}
+	var lo, hi float64
+	if a.Kind == Linear {
+		lo, hi = a.AxisDeg, a.AxisDeg+180
+	} else {
+		lo, hi = 0, 360
+	}
+	var out []float64
+	for b := lo; b < hi-1e-9; b += stepDeg {
+		out = append(out, b)
+	}
+	return out
+}
+
+// BroadsideDeg converts a global bearing (degrees CCW from +x) to the
+// linear array's broadside convention in (-90, 90], where 0 is broadside
+// (+y) and positive angles rotate toward +x. Figures 6 and 7 plot this
+// convention.
+func BroadsideDeg(globalDeg float64) float64 {
+	// A linear array on the x axis aliases the lower half-plane onto the
+	// upper one, so first fold the bearing into [0, 180]...
+	g := math.Mod(globalDeg, 360)
+	if g < 0 {
+		g += 360
+	}
+	if g > 180 {
+		g = 360 - g
+	}
+	// ...then measure from broadside (+y): result in [-90, 90].
+	return 90 - g
+}
+
+// GlobalFromBroadside inverts BroadsideDeg for the upper half-plane.
+func GlobalFromBroadside(broadsideDeg float64) float64 {
+	return 90 - broadsideDeg
+}

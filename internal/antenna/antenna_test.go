@@ -1,0 +1,240 @@
+package antenna
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewULAGeometry(t *testing.T) {
+	a := NewULA(4, 0.06, DefaultCarrierHz)
+	if a.N() != 4 || a.Kind != Linear {
+		t.Fatalf("N=%d kind=%v", a.N(), a.Kind)
+	}
+	// Centred: positions symmetric about origin, spacing 0.06.
+	if math.Abs(a.Elements[0].X+0.09) > 1e-12 || math.Abs(a.Elements[3].X-0.09) > 1e-12 {
+		t.Errorf("elements: %v", a.Elements)
+	}
+	for _, e := range a.Elements {
+		if e.Y != 0 {
+			t.Errorf("ULA element off axis: %v", e)
+		}
+	}
+	d01 := a.Elements[1].Sub(a.Elements[0]).Norm()
+	if math.Abs(d01-0.06) > 1e-12 {
+		t.Errorf("spacing = %v", d01)
+	}
+}
+
+func TestNewHalfWaveULA(t *testing.T) {
+	a := NewHalfWaveULA(8, DefaultCarrierHz)
+	spacing := a.Elements[1].Sub(a.Elements[0]).Norm()
+	// Paper quotes 6.13 cm.
+	if math.Abs(spacing-0.0613) > 3e-4 {
+		t.Errorf("half-wave spacing = %v m, want ~0.0613", spacing)
+	}
+	if math.Abs(spacing-a.Wavelength()/2) > 1e-12 {
+		t.Errorf("spacing != lambda/2")
+	}
+}
+
+func TestNewUCAGeometry(t *testing.T) {
+	a := NewUCA(8, 0.047, DefaultCarrierHz)
+	if a.N() != 8 || a.Kind != Circular {
+		t.Fatalf("N=%d kind=%v", a.N(), a.Kind)
+	}
+	// All elements equidistant from centre; adjacent sides 4.7 cm.
+	r0 := a.Elements[0].Norm()
+	for i, e := range a.Elements {
+		if math.Abs(e.Norm()-r0) > 1e-12 {
+			t.Errorf("element %d radius %v != %v", i, e.Norm(), r0)
+		}
+		next := a.Elements[(i+1)%8]
+		if side := e.Dist(next); math.Abs(side-0.047) > 1e-12 {
+			t.Errorf("side %d = %v", i, side)
+		}
+	}
+	// Octagon circumradius for side 4.7 cm is ~6.14 cm.
+	if math.Abs(r0-0.0614) > 2e-4 {
+		t.Errorf("circumradius = %v", r0)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewULA(1, 0.06, DefaultCarrierHz) },
+		func() { NewUCA(2, 0.047, DefaultCarrierHz) },
+		func() { NewHalfWaveULA(8, DefaultCarrierHz).ScanGrid(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSteeringUnitModulus(t *testing.T) {
+	a := NewUCA(8, 0.047, DefaultCarrierHz)
+	f := func(bearing float64) bool {
+		s := a.Steering(math.Mod(bearing, 360))
+		for _, v := range s {
+			if math.Abs(cmplx.Abs(v)-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSteeringULABroadsideIsFlat(t *testing.T) {
+	// A wave from broadside (90 deg global, perpendicular to the x-axis
+	// array) reaches all elements in phase.
+	a := NewHalfWaveULA(8, DefaultCarrierHz)
+	s := a.Steering(90)
+	for i, v := range s {
+		if cmplx.Abs(v-1) > 1e-9 {
+			t.Errorf("broadside element %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestSteeringULAEndfirePhaseProgression(t *testing.T) {
+	// From endfire (0 deg, along +x), adjacent half-wavelength elements
+	// differ by pi.
+	a := NewHalfWaveULA(4, DefaultCarrierHz)
+	s := a.Steering(0)
+	for i := 1; i < 4; i++ {
+		dphi := cmplx.Phase(s[i] / s[i-1])
+		if math.Abs(math.Abs(dphi)-math.Pi) > 1e-9 {
+			t.Errorf("endfire phase step %d = %v, want +-pi", i, dphi)
+		}
+	}
+}
+
+func TestSteeringTwoAntennaEquationOne(t *testing.T) {
+	// Equation 1 of the paper: theta = arcsin((phase2-phase1)/pi) for a
+	// half-wavelength pair, with theta measured from broadside. Check the
+	// steering model satisfies it.
+	a := NewHalfWaveULA(2, DefaultCarrierHz)
+	for _, broadside := range []float64{-60, -30, 0, 15, 45, 75} {
+		global := GlobalFromBroadside(broadside)
+		s := a.Steering(global)
+		dphi := cmplx.Phase(s[1] / s[0]) // phase of antenna 2 minus antenna 1
+		got := math.Asin(dphi/math.Pi) * 180 / math.Pi
+		// Our element 1 is at +x; positive broadside angle means source
+		// toward +x, which reaches element 1 earlier -> positive dphi.
+		if math.Abs(got-broadside) > 1e-6 {
+			t.Errorf("broadside %v: eq(1) gives %v", broadside, got)
+		}
+	}
+}
+
+func TestSteeringMirrorAmbiguityULA(t *testing.T) {
+	// theta and -theta (mirror across the array axis) give identical
+	// steering vectors for a linear array — footnote 1.
+	a := NewHalfWaveULA(8, DefaultCarrierHz)
+	up := a.Steering(30)    // 30 deg above axis
+	down := a.Steering(-30) // mirror image below axis
+	for i := range up {
+		if cmplx.Abs(up[i]-down[i]) > 1e-9 {
+			t.Fatal("ULA should not distinguish mirror bearings")
+		}
+	}
+}
+
+func TestSteeringUCAResolvesMirror(t *testing.T) {
+	a := NewUCA(8, 0.047, DefaultCarrierHz)
+	up := a.Steering(30)
+	down := a.Steering(-30)
+	var diff float64
+	for i := range up {
+		diff += cmplx.Abs(up[i] - down[i])
+	}
+	if diff < 0.1 {
+		t.Error("UCA failed to distinguish mirror bearings")
+	}
+}
+
+func TestSteeringInto(t *testing.T) {
+	a := NewUCA(8, 0.047, DefaultCarrierHz)
+	want := a.Steering(123)
+	got := make([]complex128, 8)
+	a.SteeringInto(got, 123)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatal("SteeringInto differs from Steering")
+		}
+	}
+}
+
+func TestSubarray(t *testing.T) {
+	a := NewHalfWaveULA(8, DefaultCarrierHz)
+	sub := a.Subarray(0, 1, 2, 3)
+	if sub.N() != 4 {
+		t.Fatalf("N = %d", sub.N())
+	}
+	if sub.Elements[0] != a.Elements[0] || sub.Elements[3] != a.Elements[3] {
+		t.Error("subarray elements wrong")
+	}
+	if sub.Kind != Linear || sub.CarrierHz != a.CarrierHz {
+		t.Error("subarray metadata wrong")
+	}
+}
+
+func TestScanGrid(t *testing.T) {
+	lin := NewHalfWaveULA(4, DefaultCarrierHz)
+	gl := lin.ScanGrid(1)
+	if len(gl) != 180 || gl[0] != 0 || gl[len(gl)-1] != 179 {
+		t.Errorf("linear grid: len=%d first=%v last=%v", len(gl), gl[0], gl[len(gl)-1])
+	}
+	circ := NewUCA(8, 0.047, DefaultCarrierHz)
+	gc := circ.ScanGrid(1)
+	if len(gc) != 360 {
+		t.Errorf("circular grid len = %d", len(gc))
+	}
+}
+
+func TestBroadsideConversions(t *testing.T) {
+	cases := []struct{ global, broadside float64 }{
+		{90, 0}, {0, 90}, {180, -90}, {45, 45}, {135, -45},
+	}
+	for _, c := range cases {
+		if got := BroadsideDeg(c.global); math.Abs(got-c.broadside) > 1e-9 {
+			t.Errorf("BroadsideDeg(%v) = %v, want %v", c.global, got, c.broadside)
+		}
+	}
+	// Round trip on the upper half plane.
+	for b := -89.0; b < 90; b += 7 {
+		if got := BroadsideDeg(GlobalFromBroadside(b)); math.Abs(got-b) > 1e-9 {
+			t.Errorf("round trip %v -> %v", b, got)
+		}
+	}
+}
+
+func TestRadius(t *testing.T) {
+	a := NewUCA(8, 0.047, DefaultCarrierHz)
+	if math.Abs(a.Radius()-a.Elements[0].Norm()) > 1e-15 {
+		t.Error("UCA radius")
+	}
+	l := NewULA(3, 0.1, DefaultCarrierHz)
+	if math.Abs(l.Radius()-0.1) > 1e-12 {
+		t.Errorf("ULA radius = %v", l.Radius())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Linear.String() != "linear" || Circular.String() != "circular" {
+		t.Error("Kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}

@@ -1,0 +1,114 @@
+// Package baseline implements the received-signal-strength "signalprint"
+// identification scheme SecureAngle's related work compares against
+// (Faria & Cheriton, reference [7]; RADAR, reference [2]) together with
+// the directional-antenna attack that defeats it (Patwari & Kasera,
+// reference [10]): an attacker who can shape per-AP received power can
+// forge an RSS fingerprint, but cannot forge the multipath AoA structure
+// an antenna array observes.
+package baseline
+
+import (
+	"errors"
+	"math"
+
+	"secureangle/internal/dsp"
+)
+
+// Signalprint is a vector of received signal strengths (dB), one per AP.
+type Signalprint struct {
+	RSSdB []float64
+}
+
+// FromPowers builds a signalprint from linear received powers.
+func FromPowers(p []float64) Signalprint {
+	out := Signalprint{RSSdB: make([]float64, len(p))}
+	for i, v := range p {
+		out.RSSdB[i] = dsp.DB(v)
+	}
+	return out
+}
+
+// ErrLengthMismatch reports signalprints over different AP sets.
+var ErrLengthMismatch = errors.New("baseline: signalprint lengths differ")
+
+// Distance returns the max-abs difference in dB between two signalprints
+// (the matching rule of signalprint systems: prints within a few dB per
+// AP are considered the same transmitter).
+func Distance(a, b Signalprint) (float64, error) {
+	if len(a.RSSdB) != len(b.RSSdB) {
+		return 0, ErrLengthMismatch
+	}
+	var m float64
+	for i := range a.RSSdB {
+		m = math.Max(m, math.Abs(a.RSSdB[i]-b.RSSdB[i]))
+	}
+	return m, nil
+}
+
+// Matcher applies a signalprint accept threshold.
+type Matcher struct {
+	// MaxDiffDB accepts prints whose per-AP difference never exceeds this
+	// (5 dB is typical in the signalprint literature).
+	MaxDiffDB float64
+}
+
+// DefaultMatcher returns the conventional 5 dB rule.
+func DefaultMatcher() Matcher { return Matcher{MaxDiffDB: 5} }
+
+// Matches reports whether b is accepted as the same transmitter as a.
+func (m Matcher) Matches(a, b Signalprint) (bool, error) {
+	d, err := Distance(a, b)
+	if err != nil {
+		return false, err
+	}
+	return d <= m.MaxDiffDB, nil
+}
+
+// DirectionalAttacker models the strong attacker of the threat model
+// (section 1: "an attacker equipped with an omnidirectional antenna,
+// directional antenna ... or antenna array"). With a steerable
+// directional antenna and transmit power control, the attacker measures
+// the victim's per-AP RSS and shapes its own emission pattern to
+// reproduce it.
+type DirectionalAttacker struct {
+	// MaxGainDB bounds how much the attacker can boost toward one AP
+	// relative to its omnidirectional level (front-to-back ratio of its
+	// antenna). 20 dB covers commodity patch/yagi hardware.
+	MaxGainDB float64
+	// ErrorDB is the residual per-AP matching error the attacker cannot
+	// remove (measurement noise, pattern granularity).
+	ErrorDB float64
+}
+
+// ForgePrint returns the signalprint the attacker achieves when trying to
+// imitate victim from its own baseline print (the print it would produce
+// with an omnidirectional antenna at its location). Each AP's RSS moves
+// from the attacker's natural value toward the victim's, limited by the
+// antenna's gain range.
+func (a DirectionalAttacker) ForgePrint(victim, attackerNatural Signalprint) (Signalprint, error) {
+	if len(victim.RSSdB) != len(attackerNatural.RSSdB) {
+		return Signalprint{}, ErrLengthMismatch
+	}
+	out := Signalprint{RSSdB: make([]float64, len(victim.RSSdB))}
+	for i := range victim.RSSdB {
+		want := victim.RSSdB[i]
+		have := attackerNatural.RSSdB[i]
+		adj := want - have
+		// Directional shaping bounds the per-AP adjustment.
+		if adj > a.MaxGainDB {
+			adj = a.MaxGainDB
+		}
+		if adj < -a.MaxGainDB {
+			adj = -a.MaxGainDB
+		}
+		out.RSSdB[i] = have + adj + a.ErrorDB*sign(want-have)*0.1
+	}
+	return out, nil
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,85 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFromPowersAndDistance(t *testing.T) {
+	a := FromPowers([]float64{1e-6, 1e-7, 1e-8})
+	b := FromPowers([]float64{1e-6, 1e-7, 1e-8})
+	d, err := Distance(a, b)
+	if err != nil || d != 0 {
+		t.Fatalf("identical prints distance = %v, %v", d, err)
+	}
+	c := FromPowers([]float64{1e-6, 1e-7, 1e-9}) // third AP 10 dB lower
+	d, err = Distance(a, c)
+	if err != nil || math.Abs(d-10) > 1e-9 {
+		t.Fatalf("distance = %v, want 10 dB", d)
+	}
+}
+
+func TestDistanceLengthMismatch(t *testing.T) {
+	a := FromPowers([]float64{1, 2})
+	b := FromPowers([]float64{1})
+	if _, err := Distance(a, b); err != ErrLengthMismatch {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMatcher(t *testing.T) {
+	m := DefaultMatcher()
+	a := FromPowers([]float64{1e-6, 1e-7})
+	near := FromPowers([]float64{1.5e-6, 0.8e-7}) // < 2 dB off
+	far := FromPowers([]float64{1e-5, 1e-7})      // 10 dB off on AP 1
+	if ok, _ := m.Matches(a, near); !ok {
+		t.Error("near print rejected")
+	}
+	if ok, _ := m.Matches(a, far); ok {
+		t.Error("far print accepted")
+	}
+}
+
+func TestDirectionalAttackerDefeatsRSS(t *testing.T) {
+	// The victim's print and the attacker's natural print differ by well
+	// under the antenna's gain range: the forged print must pass the
+	// 5 dB matcher — RSS identification is subverted (reference [10]).
+	victim := FromPowers([]float64{1e-6, 4e-7, 2e-7})
+	attackerNatural := FromPowers([]float64{3e-7, 8e-7, 1e-7})
+	atk := DirectionalAttacker{MaxGainDB: 20, ErrorDB: 1}
+	forged, err := atk.ForgePrint(victim, attackerNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := DefaultMatcher().Matches(victim, forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		d, _ := Distance(victim, forged)
+		t.Errorf("directional attacker failed to forge RSS (distance %v dB)", d)
+	}
+}
+
+func TestDirectionalAttackerGainLimited(t *testing.T) {
+	// A victim 40 dB hotter at one AP exceeds the 20 dB gain range: the
+	// forgery must fail there.
+	victim := FromPowers([]float64{1e-2, 1e-7})
+	attackerNatural := FromPowers([]float64{1e-6, 1e-7})
+	atk := DirectionalAttacker{MaxGainDB: 20}
+	forged, err := atk.ForgePrint(victim, attackerNatural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := DefaultMatcher().Matches(victim, forged)
+	if ok {
+		t.Error("40 dB deficit forged with a 20 dB antenna")
+	}
+}
+
+func TestForgePrintLengthMismatch(t *testing.T) {
+	atk := DirectionalAttacker{MaxGainDB: 20}
+	if _, err := atk.ForgePrint(FromPowers([]float64{1}), FromPowers([]float64{1, 2})); err != ErrLengthMismatch {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package beamform implements the paper's section 5 extension: "With AoA
+// information obtained, high efficiency downlink directional transmission
+// will also be feasible resulting in higher throughput and better
+// reliability." Given the uplink bearing a SecureAngle AP already
+// estimates, the AP can steer its downlink with conjugate (maximum ratio
+// transmission) weights, or place a spatial null toward a protected
+// receiver — the mechanism behind the paper's whitespace-radio remark
+// that an AP could yield to incumbent transmitters it can localise.
+package beamform
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+// MRT returns unit-norm maximum-ratio-transmission weights toward the
+// given bearing: the conjugate of the steering vector. Transmitting with
+// these weights adds the per-element phases so all elements' fields sum
+// coherently at the target bearing, for an array gain of N (in power)
+// over a single antenna at equal total transmit power.
+func MRT(arr *antenna.Array, bearingDeg float64) []complex128 {
+	s := arr.Steering(bearingDeg)
+	w := make([]complex128, len(s))
+	for i, v := range s {
+		w[i] = cmplx.Conj(v)
+	}
+	cmat.Normalize(w)
+	return w
+}
+
+// Gain returns the transmit array gain (linear power, relative to a
+// single isotropic element at the same total power) of weights w toward a
+// bearing: |w^T a(theta)|^2.
+func Gain(arr *antenna.Array, w []complex128, bearingDeg float64) float64 {
+	a := arr.Steering(bearingDeg)
+	var sum complex128
+	for i := range a {
+		sum += w[i] * a[i]
+	}
+	return real(sum)*real(sum) + imag(sum)*imag(sum)
+}
+
+// Pattern evaluates the gain over a bearing grid (for plotting and for
+// sidelobe checks).
+func Pattern(arr *antenna.Array, w []complex128, gridDeg []float64) []float64 {
+	out := make([]float64, len(gridDeg))
+	for i, b := range gridDeg {
+		out[i] = Gain(arr, w, b)
+	}
+	return out
+}
+
+// GainDB is Gain in decibels.
+func GainDB(arr *antenna.Array, w []complex128, bearingDeg float64) float64 {
+	g := Gain(arr, w, bearingDeg)
+	if g <= 0 {
+		return -300
+	}
+	return 10 * math.Log10(g)
+}
+
+// ErrTooFewAntennas is returned when a constrained beamformer has more
+// constraints than degrees of freedom.
+var ErrTooFewAntennas = errors.New("beamform: more constraints than antennas")
+
+// SteerWithNull returns unit-norm weights with unit response toward
+// targetDeg and a null toward nullDeg, via the minimum-norm solution of
+// the two linear constraints (LCMV with identity covariance):
+//
+//	w^T a(target) = 1,  w^T a(null) = 0.
+//
+// This is the "yield to incumbent transmitters" primitive: the AP keeps
+// serving its client while placing a spatial null on the bearing of a
+// protected incumbent it has localised.
+func SteerWithNull(arr *antenna.Array, targetDeg, nullDeg float64) ([]complex128, error) {
+	n := arr.N()
+	if n < 2 {
+		return nil, ErrTooFewAntennas
+	}
+	at := arr.Steering(targetDeg)
+	an := arr.Steering(nullDeg)
+
+	// Minimum-norm w solving C^T w = d, with C = [a_t a_n]:
+	// w = conj(C) (C^H conj(C))^{-1} ... — work with the transposed
+	// system directly: let B = [a_t^T; a_n^T] (2 x n), solve B w = d with
+	// w = B^H (B B^H)^{-1} d.
+	bbh := cmat.New(2, 2) // B B^H where B rows are a_t^T, a_n^T
+	rows := [][]complex128{at, an}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			var s complex128
+			for k := 0; k < n; k++ {
+				s += rows[i][k] * cmplx.Conj(rows[j][k])
+			}
+			bbh.Set(i, j, s)
+		}
+	}
+	d := []complex128{1, 0}
+	y, err := cmat.Solve(bbh, d)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		w[k] = cmplx.Conj(at[k])*y[0] + cmplx.Conj(an[k])*y[1]
+	}
+	cmat.Normalize(w)
+	return w, nil
+}
+
+// HalfPowerBeamwidth returns the -3 dB beamwidth (degrees) of the MRT
+// beam toward bearingDeg, scanned over the array's grid at the given
+// step. It measures how selective directional downlink would be.
+func HalfPowerBeamwidth(arr *antenna.Array, bearingDeg, stepDeg float64) float64 {
+	w := MRT(arr, bearingDeg)
+	peak := Gain(arr, w, bearingDeg)
+	if peak <= 0 {
+		return 360
+	}
+	half := peak / 2
+	// Walk outward from the peak in both directions.
+	width := 0.0
+	for _, dir := range []float64{1, -1} {
+		for off := stepDeg; off <= 180; off += stepDeg {
+			if Gain(arr, w, bearingDeg+dir*off) < half {
+				width += off
+				break
+			}
+			if off+stepDeg > 180 {
+				width += 180
+			}
+		}
+	}
+	return width
+}

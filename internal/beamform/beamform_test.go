@@ -1,0 +1,167 @@
+package beamform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"secureangle/internal/antenna"
+)
+
+func uca() *antenna.Array { return antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz) }
+func ula() *antenna.Array { return antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz) }
+
+func TestMRTAchievesFullArrayGain(t *testing.T) {
+	for _, arr := range []*antenna.Array{uca(), ula()} {
+		for _, b := range []float64{0, 45, 137, 291} {
+			w := MRT(arr, b)
+			g := Gain(arr, w, b)
+			// Unit-norm weights toward the matched steering vector give
+			// |w^T a|^2 = N.
+			if math.Abs(g-8) > 1e-9 {
+				t.Errorf("%v array, bearing %v: gain %v, want 8", arr.Kind, b, g)
+			}
+		}
+	}
+}
+
+func TestMRTUnitNorm(t *testing.T) {
+	f := func(b float64) bool {
+		w := MRT(uca(), math.Mod(b, 360))
+		var n float64
+		for _, v := range w {
+			n += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRTGainBoundProperty(t *testing.T) {
+	// No bearing can see more than the full array gain.
+	arr := uca()
+	w := MRT(arr, 100)
+	f := func(b float64) bool {
+		return Gain(arr, w, math.Mod(b, 360)) <= 8+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMRTBeamSelective(t *testing.T) {
+	// Off-beam gain must fall well below the peak: mean sidelobe level of
+	// an 8-element array is ~N times below the mainlobe.
+	arr := uca()
+	const target = 60.0
+	w := MRT(arr, target)
+	peak := Gain(arr, w, target)
+	var off []float64
+	for b := 0.0; b < 360; b++ {
+		if math.Abs(b-target) > 40 {
+			off = append(off, Gain(arr, w, b))
+		}
+	}
+	var mean float64
+	for _, g := range off {
+		mean += g
+	}
+	mean /= float64(len(off))
+	if mean > peak/4 {
+		t.Errorf("mean off-beam gain %v vs peak %v: beam not selective", mean, peak)
+	}
+}
+
+func TestPattern(t *testing.T) {
+	arr := uca()
+	w := MRT(arr, 45)
+	grid := arr.ScanGrid(1)
+	p := Pattern(arr, w, grid)
+	if len(p) != len(grid) {
+		t.Fatal("pattern length")
+	}
+	best, bi := -1.0, 0
+	for i, g := range p {
+		if g > best {
+			best, bi = g, i
+		}
+	}
+	if math.Abs(grid[bi]-45) > 1.5 {
+		t.Errorf("pattern peak at %v, want 45", grid[bi])
+	}
+}
+
+func TestGainDB(t *testing.T) {
+	arr := uca()
+	w := MRT(arr, 10)
+	if db := GainDB(arr, w, 10); math.Abs(db-10*math.Log10(8)) > 1e-6 {
+		t.Errorf("GainDB = %v, want %v", db, 10*math.Log10(8))
+	}
+}
+
+func TestSteerWithNull(t *testing.T) {
+	arr := uca()
+	w, err := SteerWithNull(arr, 50, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gTarget := Gain(arr, w, 50)
+	gNull := Gain(arr, w, 200)
+	if gNull > 1e-12 {
+		t.Errorf("null direction gain %v, want ~0", gNull)
+	}
+	if gTarget < 4 { // most of the array gain retained
+		t.Errorf("target gain %v with null constraint, want > 4", gTarget)
+	}
+	// Norm 1.
+	var n float64
+	for _, v := range w {
+		n += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(n-1) > 1e-9 {
+		t.Errorf("norm = %v", n)
+	}
+}
+
+func TestSteerWithNullCloseDirections(t *testing.T) {
+	// Target and null 15 degrees apart: still a perfect null, with some
+	// target-gain sacrifice.
+	arr := uca()
+	w, err := SteerWithNull(arr, 50, 65)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := Gain(arr, w, 65); g > 1e-10 {
+		t.Errorf("null gain %v", g)
+	}
+	if g := Gain(arr, w, 50); g < 1 {
+		t.Errorf("target gain %v collapsed", g)
+	}
+}
+
+func TestHalfPowerBeamwidth(t *testing.T) {
+	bw8 := HalfPowerBeamwidth(uca(), 45, 0.5)
+	if bw8 <= 0 || bw8 > 120 {
+		t.Errorf("8-antenna beamwidth = %v", bw8)
+	}
+	// A 3-element (smaller aperture) circular array must have a wider
+	// beam than the 8-element one.
+	small := antenna.NewUCA(3, 0.047, antenna.DefaultCarrierHz)
+	bw3 := HalfPowerBeamwidth(small, 45, 0.5)
+	if bw3 <= bw8 {
+		t.Errorf("beamwidths: 3-element %v <= 8-element %v", bw3, bw8)
+	}
+}
+
+func BenchmarkMRTPattern(b *testing.B) {
+	arr := uca()
+	w := MRT(arr, 45)
+	grid := arr.ScanGrid(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Pattern(arr, w, grid)
+	}
+}

@@ -1,0 +1,31 @@
+package beamform_test
+
+import (
+	"fmt"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/beamform"
+)
+
+// ExampleMRT forms a downlink beam toward an uplink-estimated bearing.
+func ExampleMRT() {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	w := beamform.MRT(arr, 60) // steer toward 60 degrees
+	fmt.Printf("gain toward client: %.1f dB\n", beamform.GainDB(arr, w, 60))
+	fmt.Printf("back lobe well below the beam: %v\n", beamform.GainDB(arr, w, 240) < 3)
+	// Output:
+	// gain toward client: 9.0 dB
+	// back lobe well below the beam: true
+}
+
+// ExampleSteerWithNull serves a client while nulling a protected incumbent
+// — the whitespace-radio yield primitive.
+func ExampleSteerWithNull() {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	w, _ := beamform.SteerWithNull(arr, 60, 200)
+	fmt.Printf("client gain positive: %v\n", beamform.GainDB(arr, w, 60) > 5)
+	fmt.Printf("incumbent nulled: %v\n", beamform.GainDB(arr, w, 200) < -100)
+	// Output:
+	// client gain positive: true
+	// incumbent nulled: true
+}

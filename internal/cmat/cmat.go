@@ -1,0 +1,357 @@
+// Package cmat implements dense complex-valued vectors and matrices with
+// the operations SecureAngle's array processing needs: arithmetic,
+// Hermitian transposes, outer products, linear solves, and a Hermitian
+// eigendecomposition.
+//
+// The package is self-contained (stdlib only) because the Go ecosystem has
+// no standard complex linear algebra; the matrices involved are small
+// (antenna counts of 2-8, so 8x8 covariances), which lets us favour
+// numerically robust O(n^3) algorithms over tuned BLAS-style kernels.
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128 // len Rows*Cols, Data[r*Cols+c]
+}
+
+// New returns a zero matrix with the given dimensions.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("cmat: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must share a length.
+func FromRows(rows [][]complex128) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("cmat: FromRows requires a non-empty rectangular input")
+	}
+	m := New(len(rows), len(rows[0]))
+	for r, row := range rows {
+		if len(row) != m.Cols {
+			panic("cmat: FromRows rows have differing lengths")
+		}
+		copy(m.Data[r*m.Cols:(r+1)*m.Cols], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns the element at row r, column c.
+func (m *Matrix) At(r, c int) complex128 { return m.Data[r*m.Cols+c] }
+
+// Set assigns the element at row r, column c.
+func (m *Matrix) Set(r, c int, v complex128) { m.Data[r*m.Cols+c] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Equal reports whether m and n have the same shape and elements within tol
+// (per element, in absolute value).
+func (m *Matrix) Equal(n *Matrix, tol float64) bool {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		return false
+	}
+	for i := range m.Data {
+		if cmplx.Abs(m.Data[i]-n.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add returns m + n.
+func (m *Matrix) Add(n *Matrix) *Matrix {
+	m.mustMatch(n)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] + n.Data[i]
+	}
+	return out
+}
+
+// Sub returns m - n.
+func (m *Matrix) Sub(n *Matrix) *Matrix {
+	m.mustMatch(n)
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = m.Data[i] - n.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates n into m.
+func (m *Matrix) AddInPlace(n *Matrix) {
+	m.mustMatch(n)
+	for i := range m.Data {
+		m.Data[i] += n.Data[i]
+	}
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s complex128) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i := range m.Data {
+		out.Data[i] = s * m.Data[i]
+	}
+	return out
+}
+
+// ScaleInPlace multiplies every element of m by s.
+func (m *Matrix) ScaleInPlace(s complex128) {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+}
+
+// Mul returns the matrix product m * n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("cmat: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := New(m.Rows, n.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.Data[r*m.Cols+k]
+			if a == 0 {
+				continue
+			}
+			nRow := n.Data[k*n.Cols : (k+1)*n.Cols]
+			oRow := out.Data[r*out.Cols : (r+1)*out.Cols]
+			for c := range nRow {
+				oRow[c] += a * nRow[c]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m * v.
+func (m *Matrix) MulVec(v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("cmat: MulVec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]complex128, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		var s complex128
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, a := range row {
+			s += a * v[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Transpose returns the (non-conjugated) transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, m.At(r, c))
+		}
+	}
+	return out
+}
+
+// Herm returns the Hermitian (conjugate) transpose of m.
+func (m *Matrix) Herm() *Matrix {
+	out := New(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			out.Set(c, r, cmplx.Conj(m.At(r, c)))
+		}
+	}
+	return out
+}
+
+// Conj returns the element-wise conjugate of m.
+func (m *Matrix) Conj() *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = cmplx.Conj(v)
+	}
+	return out
+}
+
+// Col returns a copy of column c.
+func (m *Matrix) Col(c int) []complex128 {
+	out := make([]complex128, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		out[r] = m.At(r, c)
+	}
+	return out
+}
+
+// Row returns a copy of row r.
+func (m *Matrix) Row(r int) []complex128 {
+	out := make([]complex128, m.Cols)
+	copy(out, m.Data[r*m.Cols:(r+1)*m.Cols])
+	return out
+}
+
+// Submatrix returns the block m[r0:r1, c0:c1] as a copy.
+func (m *Matrix) Submatrix(r0, r1, c0, c1 int) *Matrix {
+	if r0 < 0 || c0 < 0 || r1 > m.Rows || c1 > m.Cols || r0 >= r1 || c0 >= c1 {
+		panic("cmat: Submatrix bounds out of range")
+	}
+	out := New(r1-r0, c1-c0)
+	for r := r0; r < r1; r++ {
+		copy(out.Data[(r-r0)*out.Cols:(r-r0+1)*out.Cols], m.Data[r*m.Cols+c0:r*m.Cols+c1])
+	}
+	return out
+}
+
+// Outer returns the outer product a * b^H, an len(a) x len(b) matrix.
+func Outer(a, b []complex128) *Matrix {
+	out := New(len(a), len(b))
+	for r, av := range a {
+		for c, bv := range b {
+			out.Set(r, c, av*cmplx.Conj(bv))
+		}
+	}
+	return out
+}
+
+// AccumulateOuter adds a * b^H into m, for covariance accumulation without
+// per-sample allocation.
+func (m *Matrix) AccumulateOuter(a, b []complex128) {
+	if m.Rows != len(a) || m.Cols != len(b) {
+		panic("cmat: AccumulateOuter shape mismatch")
+	}
+	for r, av := range a {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c, bv := range b {
+			row[c] += av * cmplx.Conj(bv)
+		}
+	}
+}
+
+// Dot returns the Hermitian inner product a^H b.
+func Dot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic("cmat: Dot length mismatch")
+	}
+	var s complex128
+	for i := range a {
+		s += cmplx.Conj(a[i]) * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []complex128) float64 {
+	var s float64
+	for _, x := range v {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Normalize scales v in place to unit Euclidean norm; zero vectors are left
+// untouched. It returns the original norm.
+func Normalize(v []complex128) float64 {
+	n := Norm2(v)
+	if n == 0 {
+		return 0
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return n
+}
+
+// FrobNorm returns the Frobenius norm of m.
+func (m *Matrix) FrobNorm() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(s)
+}
+
+// Trace returns the trace of a square matrix.
+func (m *Matrix) Trace() complex128 {
+	m.mustSquare()
+	var s complex128
+	for i := 0; i < m.Rows; i++ {
+		s += m.At(i, i)
+	}
+	return s
+}
+
+// IsHermitian reports whether m equals its conjugate transpose within tol.
+func (m *Matrix) IsHermitian(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := r; c < m.Cols; c++ {
+			if cmplx.Abs(m.At(r, c)-cmplx.Conj(m.At(c, r))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Hermitize overwrites m with (m + m^H)/2, forcing exact Hermitian symmetry.
+// Useful to cancel floating-point asymmetry in accumulated covariances.
+func (m *Matrix) Hermitize() {
+	m.mustSquare()
+	for r := 0; r < m.Rows; r++ {
+		m.Set(r, r, complex(real(m.At(r, r)), 0))
+		for c := r + 1; c < m.Cols; c++ {
+			v := (m.At(r, c) + cmplx.Conj(m.At(c, r))) / 2
+			m.Set(r, c, v)
+			m.Set(c, r, cmplx.Conj(v))
+		}
+	}
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			v := m.At(r, c)
+			fmt.Fprintf(&b, "% .4f%+.4fi ", real(v), imag(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func (m *Matrix) mustMatch(n *Matrix) {
+	if m.Rows != n.Rows || m.Cols != n.Cols {
+		panic(fmt.Sprintf("cmat: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+}
+
+func (m *Matrix) mustSquare() {
+	if m.Rows != m.Cols {
+		panic(fmt.Sprintf("cmat: %dx%d matrix is not square", m.Rows, m.Cols))
+	}
+}

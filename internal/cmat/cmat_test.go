@@ -1,0 +1,483 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func cApprox(a, b complex128, tol float64) bool { return cmplx.Abs(a-b) <= tol }
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// randomHermitian returns A A^H + eps*I, guaranteed Hermitian PSD.
+func randomHermitian(rng *rand.Rand, n int) *Matrix {
+	a := randomMatrix(rng, n, n)
+	h := a.Mul(a.Herm())
+	h.Hermitize()
+	return h
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) = %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	m.Set(1, 2, 3+4i)
+	if m.At(1, 2) != 3+4i {
+		t.Fatalf("At(1,2) = %v, want 3+4i", m.At(1, 2))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatalf("zero matrix has nonzero element")
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows layout wrong: %v", m)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ragged FromRows did not panic")
+			}
+		}()
+		FromRows([][]complex128{{1, 2}, {3}})
+	}()
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(3)
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			want := complex128(0)
+			if r == c {
+				want = 1
+			}
+			if id.At(r, c) != want {
+				t.Fatalf("Identity(3)[%d][%d] = %v", r, c, id.At(r, c))
+			}
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2i}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7i, 8}})
+	sum := a.Add(b)
+	if sum.At(0, 0) != 6 || sum.At(0, 1) != 6+2i {
+		t.Fatalf("Add wrong: %v", sum)
+	}
+	diff := sum.Sub(b)
+	if !diff.Equal(a, 1e-15) {
+		t.Fatalf("Add then Sub did not round-trip")
+	}
+	sc := a.Scale(2i)
+	if sc.At(0, 0) != 2i || sc.At(1, 1) != 8i {
+		t.Fatalf("Scale wrong: %v", sc)
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomMatrix(rng, 4, 4)
+	if !a.Mul(Identity(4)).Equal(a, 1e-12) {
+		t.Error("A*I != A")
+	}
+	if !Identity(4).Mul(a).Equal(a, 1e-12) {
+		t.Error("I*A != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{0, 1}, {1, 0}})
+	got := a.Mul(b)
+	want := FromRows([][]complex128{{2, 1}, {4, 3}})
+	if !got.Equal(want, 1e-15) {
+		t.Fatalf("Mul = %v, want %v", got, want)
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomMatrix(rng, 3, 5)
+	v := make([]complex128, 5)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	col := New(5, 1)
+	for i, x := range v {
+		col.Set(i, 0, x)
+	}
+	want := a.Mul(col)
+	got := a.MulVec(v)
+	for i := range got {
+		if !cApprox(got[i], want.At(i, 0), 1e-12) {
+			t.Fatalf("MulVec[%d] = %v, want %v", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestHermAndTranspose(t *testing.T) {
+	a := FromRows([][]complex128{{1 + 1i, 2}, {3, 4 - 2i}})
+	h := a.Herm()
+	if h.At(0, 0) != 1-1i || h.At(0, 1) != 3 || h.At(1, 0) != 2 || h.At(1, 1) != 4+2i {
+		t.Fatalf("Herm wrong: %v", h)
+	}
+	tr := a.Transpose()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Fatalf("Transpose wrong: %v", tr)
+	}
+}
+
+func TestHermIsInvolution(t *testing.T) {
+	f := func(re, im [4]float64) bool {
+		m := New(2, 2)
+		for i := 0; i < 4; i++ {
+			m.Data[i] = complex(re[i], im[i])
+		}
+		return m.Herm().Herm().Equal(m, 1e-15)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuterAndAccumulate(t *testing.T) {
+	a := []complex128{1, 2i}
+	b := []complex128{3, 4}
+	o := Outer(a, b)
+	if o.At(0, 0) != 3 || o.At(1, 0) != 6i || o.At(1, 1) != 8i {
+		t.Fatalf("Outer wrong: %v", o)
+	}
+	acc := New(2, 2)
+	acc.AccumulateOuter(a, b)
+	acc.AccumulateOuter(a, b)
+	if !acc.Equal(o.Scale(2), 1e-15) {
+		t.Fatalf("AccumulateOuter twice != 2*Outer")
+	}
+}
+
+func TestDotNormNormalize(t *testing.T) {
+	a := []complex128{1i, 0}
+	b := []complex128{1i, 2}
+	// a^H b = conj(i)*i = 1.
+	if got := Dot(a, b); !cApprox(got, 1, 1e-15) {
+		t.Fatalf("Dot = %v, want 1", got)
+	}
+	v := []complex128{3, 4i}
+	if got := Norm2(v); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+	n := Normalize(v)
+	if math.Abs(n-5) > 1e-15 || math.Abs(Norm2(v)-1) > 1e-12 {
+		t.Fatalf("Normalize: returned %v, new norm %v", n, Norm2(v))
+	}
+	var zero []complex128
+	if Normalize(zero) != 0 {
+		t.Error("Normalize(nil) should return 0")
+	}
+}
+
+func TestTraceAndFrobNorm(t *testing.T) {
+	a := FromRows([][]complex128{{1, 9}, {9, 2i}})
+	if got := a.Trace(); got != 1+2i {
+		t.Fatalf("Trace = %v", got)
+	}
+	b := FromRows([][]complex128{{3, 0}, {0, 4}})
+	if got := b.FrobNorm(); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("FrobNorm = %v, want 5", got)
+	}
+}
+
+func TestIsHermitianAndHermitize(t *testing.T) {
+	h := FromRows([][]complex128{{2, 1 + 1i}, {1 - 1i, 3}})
+	if !h.IsHermitian(1e-12) {
+		t.Error("known Hermitian matrix rejected")
+	}
+	nh := FromRows([][]complex128{{2, 1}, {5, 3}})
+	if nh.IsHermitian(1e-12) {
+		t.Error("non-Hermitian matrix accepted")
+	}
+	nh.Hermitize()
+	if !nh.IsHermitian(0) {
+		t.Error("Hermitize did not produce Hermitian matrix")
+	}
+	if nh.At(0, 1) != 3 || nh.At(1, 0) != 3 {
+		t.Errorf("Hermitize average wrong: %v", nh)
+	}
+}
+
+func TestSubmatrixColRow(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}})
+	s := a.Submatrix(1, 3, 0, 2)
+	want := FromRows([][]complex128{{4, 5}, {7, 8}})
+	if !s.Equal(want, 0) {
+		t.Fatalf("Submatrix = %v", s)
+	}
+	col := a.Col(2)
+	if col[0] != 3 || col[2] != 9 {
+		t.Fatalf("Col = %v", col)
+	}
+	row := a.Row(1)
+	if row[0] != 4 || row[2] != 6 {
+		t.Fatalf("Row = %v", row)
+	}
+}
+
+// --- Eigendecomposition ---
+
+func TestHermEigDiagonal(t *testing.T) {
+	d := FromRows([][]complex128{{3, 0}, {0, 1}})
+	e, err := HermEig(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-12 || math.Abs(e.Values[1]-1) > 1e-12 {
+		t.Fatalf("Values = %v", e.Values)
+	}
+}
+
+func TestHermEigKnown2x2(t *testing.T) {
+	// [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+	a := FromRows([][]complex128{{2, 1i}, {-1i, 2}})
+	e, err := HermEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e.Values[0]-3) > 1e-10 || math.Abs(e.Values[1]-1) > 1e-10 {
+		t.Fatalf("Values = %v, want [3 1]", e.Values)
+	}
+	// Check A v = lambda v for both pairs.
+	for k := 0; k < 2; k++ {
+		v := e.Vectors.Col(k)
+		av := a.MulVec(v)
+		for i := range av {
+			if !cApprox(av[i], complex(e.Values[k], 0)*v[i], 1e-9) {
+				t.Fatalf("eigenpair %d violated: Av=%v lambda*v=%v", k, av[i], complex(e.Values[k], 0)*v[i])
+			}
+		}
+	}
+}
+
+func TestHermEigReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 2; n <= 8; n++ {
+		a := randomHermitian(rng, n)
+		e, err := HermEig(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Rebuild A = V diag V^H.
+		d := New(n, n)
+		for i, v := range e.Values {
+			d.Set(i, i, complex(v, 0))
+		}
+		rebuilt := e.Vectors.Mul(d).Mul(e.Vectors.Herm())
+		if !rebuilt.Equal(a, 1e-8*(1+a.FrobNorm())) {
+			t.Fatalf("n=%d: reconstruction error %v", n, rebuilt.Sub(a).FrobNorm())
+		}
+		// Eigenvalues sorted descending.
+		for i := 1; i < n; i++ {
+			if e.Values[i] > e.Values[i-1]+1e-12 {
+				t.Fatalf("n=%d: eigenvalues not sorted: %v", n, e.Values)
+			}
+		}
+		// V unitary.
+		vv := e.Vectors.Herm().Mul(e.Vectors)
+		if !vv.Equal(Identity(n), 1e-9) {
+			t.Fatalf("n=%d: eigenvectors not orthonormal", n)
+		}
+	}
+}
+
+func TestHermEigPropertyTraceAndPSD(t *testing.T) {
+	// Property: eigenvalue sum equals trace; A A^H eigenvalues nonnegative.
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(7)
+		a := randomHermitian(r, n)
+		e, err := HermEig(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range e.Values {
+			sum += v
+			if v < -1e-8 {
+				return false
+			}
+		}
+		return math.Abs(sum-real(a.Trace())) < 1e-8*(1+math.Abs(sum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHermEigRejectsNonHermitian(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if _, err := HermEig(a); err != ErrNotHermitian {
+		t.Fatalf("err = %v, want ErrNotHermitian", err)
+	}
+}
+
+func TestHermEigZeroMatrix(t *testing.T) {
+	e, err := HermEig(New(3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range e.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalues = %v", e.Values)
+		}
+	}
+}
+
+func TestSubspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomHermitian(rng, 5)
+	e, err := HermEig(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := e.NoiseSubspace(2)
+	if ns.Rows != 5 || ns.Cols != 3 {
+		t.Fatalf("NoiseSubspace dims %dx%d", ns.Rows, ns.Cols)
+	}
+	ss := e.SignalSubspace(2)
+	if ss.Rows != 5 || ss.Cols != 2 {
+		t.Fatalf("SignalSubspace dims %dx%d", ss.Rows, ss.Cols)
+	}
+	// Signal and noise subspaces must be orthogonal.
+	cross := ss.Herm().Mul(ns)
+	if cross.FrobNorm() > 1e-9 {
+		t.Fatalf("subspaces not orthogonal: %v", cross.FrobNorm())
+	}
+}
+
+// --- Solve / Inverse ---
+
+func TestSolveKnown(t *testing.T) {
+	a := FromRows([][]complex128{{2, 0}, {0, 4}})
+	x, err := Solve(a, []complex128{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cApprox(x[0], 1, 1e-12) || !cApprox(x[1], 2, 1e-12) {
+		t.Fatalf("Solve = %v", x)
+	}
+}
+
+func TestSolveRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(7)
+		a := randomMatrix(rng, n, n)
+		want := make([]complex128, n)
+		for i := range want {
+			want[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := a.MulVec(want)
+		got, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range got {
+			if !cApprox(got[i], want[i], 1e-8*(1+cmplx.Abs(want[i]))) {
+				t.Fatalf("trial %d: x[%d]=%v want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []complex128{1, 2}); err != ErrSingular {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := randomMatrix(rng, 4, 4)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).Equal(Identity(4), 1e-9) {
+		t.Fatal("A * A^-1 != I")
+	}
+	if !inv.Mul(a).Equal(Identity(4), 1e-9) {
+		t.Fatal("A^-1 * A != I")
+	}
+}
+
+func TestSolveLeastSquaresReal(t *testing.T) {
+	// Overdetermined consistent system: y = 2x + 1 sampled at x=0..3.
+	a := [][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}}
+	b := []float64{1, 3, 5, 7}
+	x, err := SolveLeastSquaresReal(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-2) > 1e-10 || math.Abs(x[1]-1) > 1e-10 {
+		t.Fatalf("least squares = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveLeastSquaresRejectsBadInput(t *testing.T) {
+	if _, err := SolveLeastSquaresReal(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := SolveLeastSquaresReal([][]float64{{1, 2}, {3}}, []float64{1, 2}); err == nil {
+		t.Error("ragged input accepted")
+	}
+}
+
+func BenchmarkHermEig8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomHermitian(rng, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HermEig(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMul8x8(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := randomMatrix(rng, 8, 8)
+	y := randomMatrix(rng, 8, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(y)
+	}
+}

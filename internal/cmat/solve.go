@@ -1,0 +1,123 @@
+package cmat
+
+import (
+	"errors"
+	"math/cmplx"
+)
+
+// ErrSingular is returned when a linear solve meets a (numerically)
+// singular matrix.
+var ErrSingular = errors.New("cmat: singular matrix")
+
+// Solve returns x with a*x = b using Gaussian elimination with partial
+// pivoting. a must be square; b's length must equal a's dimension. a and b
+// are not modified.
+func Solve(a *Matrix, b []complex128) ([]complex128, error) {
+	a.mustSquare()
+	n := a.Rows
+	if len(b) != n {
+		return nil, errors.New("cmat: Solve dimension mismatch")
+	}
+	// Augmented working copies.
+	w := a.Clone()
+	x := make([]complex128, n)
+	copy(x, b)
+
+	for col := 0; col < n; col++ {
+		// Partial pivot: find the largest magnitude entry in this column.
+		pivot := col
+		best := cmplx.Abs(w.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if m := cmplx.Abs(w.At(r, col)); m > best {
+				best, pivot = m, r
+			}
+		}
+		if best == 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for c := 0; c < n; c++ {
+				w.Data[col*n+c], w.Data[pivot*n+c] = w.Data[pivot*n+c], w.Data[col*n+c]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / w.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := w.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c < n; c++ {
+				w.Set(r, c, w.At(r, c)-f*w.At(col, c))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x[r]
+		for c := r + 1; c < n; c++ {
+			s -= w.At(r, c) * x[c]
+		}
+		x[r] = s / w.At(r, r)
+	}
+	return x, nil
+}
+
+// Inverse returns the inverse of a square matrix, or ErrSingular.
+func Inverse(a *Matrix) (*Matrix, error) {
+	a.mustSquare()
+	n := a.Rows
+	out := New(n, n)
+	// Solve against each unit basis vector. O(n^4) but n <= 8 here.
+	e := make([]complex128, n)
+	for c := 0; c < n; c++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[c] = 1
+		col, err := Solve(a, e)
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < n; r++ {
+			out.Set(r, c, col[r])
+		}
+	}
+	return out, nil
+}
+
+// SolveLeastSquaresReal solves the real overdetermined system A x = b in the
+// least-squares sense via the normal equations. It exists for the bearing
+// triangulation in the locate package, where A is tall and skinny (rows =
+// number of APs, cols = 2). Inputs are real-valued for clarity at the call
+// site; internally we reuse the complex solver.
+func SolveLeastSquaresReal(a [][]float64, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(a) != len(b) {
+		return nil, errors.New("cmat: least squares dimension mismatch")
+	}
+	cols := len(a[0])
+	// Normal equations: (A^T A) x = A^T b.
+	ata := New(cols, cols)
+	atb := make([]complex128, cols)
+	for r, row := range a {
+		if len(row) != cols {
+			return nil, errors.New("cmat: ragged least squares input")
+		}
+		for i := 0; i < cols; i++ {
+			for j := 0; j < cols; j++ {
+				ata.Set(i, j, ata.At(i, j)+complex(row[i]*row[j], 0))
+			}
+			atb[i] += complex(row[i]*b[r], 0)
+		}
+	}
+	x, err := Solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, cols)
+	for i, v := range x {
+		out[i] = real(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,401 @@
+// Package core assembles SecureAngle's per-AP pipeline — the paper's
+// primary contribution. For every received transmission it runs:
+//
+//	raw per-antenna samples
+//	  -> Schmidl-Cox packet detection (internal/detect)
+//	  -> calibration offsets applied  (internal/radio, section 2.2)
+//	  -> packet-scale correlation matrix (internal/music, section 3)
+//	  -> MUSIC pseudospectrum        (section 2.1)
+//	  -> bearing estimate + AoA signature (sections 2.1, 2.3)
+//
+// and maintains the per-MAC signature registry that implements address
+// spoofing prevention (section 2.3.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+	"secureangle/internal/detect"
+	"secureangle/internal/dsp"
+	"secureangle/internal/env"
+	"secureangle/internal/geom"
+	"secureangle/internal/music"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/radio"
+	"secureangle/internal/signature"
+	"secureangle/internal/testbed"
+	"secureangle/internal/wifi"
+)
+
+// Config tunes an AP's estimation pipeline.
+type Config struct {
+	// GridStepDeg is the pseudospectrum angle resolution (default 1).
+	GridStepDeg float64
+	// Estimator computes pseudospectra; default is MUSIC with
+	// MDL-selected source count, which handles the partially-coherent
+	// multipath of packet-scale covariances.
+	Estimator music.Estimator
+	// Policy is the signature matching threshold for spoof detection.
+	Policy signature.MatchPolicy
+	// CalSamples is the calibration capture length (default 2000).
+	CalSamples int
+	// Detector configures Schmidl-Cox packet detection.
+	Detector detect.Config
+}
+
+// DefaultConfig returns the settings used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		GridStepDeg: 1,
+		Estimator:   nil, // auto-MUSIC per packet
+		Policy:      signature.DefaultPolicy(),
+		CalSamples:  2000,
+		Detector:    detect.DefaultConfig(),
+	}
+}
+
+// AP is one SecureAngle access point.
+type AP struct {
+	Name string
+	FE   *radio.FrontEnd
+	Env  *env.Environment
+
+	cfg     Config
+	offsets []float64
+	grid    []float64
+
+	mu       sync.Mutex
+	registry map[wifi.Addr]*signature.Tracker
+}
+
+// NewAP builds an AP and immediately runs the section 2.2 calibration
+// procedure against its front end, so subsequent observations are phase
+// coherent.
+func NewAP(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config) *AP {
+	if cfg.GridStepDeg <= 0 {
+		cfg.GridStepDeg = 1
+	}
+	if cfg.CalSamples <= 0 {
+		cfg.CalSamples = 2000
+	}
+	if cfg.Detector.HalfLen == 0 {
+		cfg.Detector = detect.DefaultConfig()
+	}
+	ap := &AP{
+		Name:     name,
+		FE:       fe,
+		Env:      e,
+		cfg:      cfg,
+		offsets:  fe.Calibrate(cfg.CalSamples),
+		grid:     fe.Array.ScanGrid(cfg.GridStepDeg),
+		registry: make(map[wifi.Addr]*signature.Tracker),
+	}
+	return ap
+}
+
+// NewAPFromCapture builds an AP whose calibration offsets come from a
+// recorded calibration capture (one stream per chain of the reference
+// tone) rather than from the live front end — the constructor offline
+// replay uses, where the recorded streams carry the recording rig's
+// offsets, not this front end's.
+func NewAPFromCapture(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config, calStreams [][]complex128) *AP {
+	ap := NewAP(name, fe, e, cfg)
+	ap.offsets = radio.EstimateOffsets(calStreams)
+	return ap
+}
+
+// Grid returns the AP's pseudospectrum bearing grid.
+func (ap *AP) Grid() []float64 { return append([]float64(nil), ap.grid...) }
+
+// Offsets returns the calibration offsets in use.
+func (ap *AP) Offsets() []float64 { return append([]float64(nil), ap.offsets...) }
+
+// Report is the physical-layer result for one received packet.
+type Report struct {
+	AP         string
+	APPos      geom.Point
+	BearingDeg float64
+	Spectrum   *music.Pseudospectrum
+	Sig        *signature.Signature
+	Detection  detect.Detection
+	// Sources is the signal-subspace dimension MDL selected.
+	Sources int
+	// SNRdB is the in-band SNR estimated from the covariance eigenvalues.
+	SNRdB float64
+}
+
+// ErrNoPacket is returned when the Schmidl-Cox detector finds no packet
+// in the received samples.
+var ErrNoPacket = errors.New("core: no packet detected")
+
+// Observe receives a transmission from tx through the environment and
+// runs the full pipeline, returning the bearing report.
+func (ap *AP) Observe(tx geom.Point, baseband []complex128) (*Report, error) {
+	streams, err := ap.FE.Receive(ap.Env, tx, baseband)
+	if err != nil {
+		return nil, fmt.Errorf("core: receive: %w", err)
+	}
+	return ap.process(streams)
+}
+
+// ProcessStreams runs the detection + estimation pipeline on raw
+// per-antenna streams captured elsewhere (e.g. replayed from an iqfile
+// recording). Calibration offsets are applied first, exactly as in the
+// live path. The streams are modified in place.
+func (ap *AP) ProcessStreams(streams [][]complex128) (*Report, error) {
+	return ap.process(streams)
+}
+
+// process runs detection + estimation on already-received streams.
+func (ap *AP) process(streams [][]complex128) (*Report, error) {
+	radio.ApplyCalibration(streams, ap.offsets)
+
+	dets := detect.Find(streams[0], ap.cfg.Detector)
+	if len(dets) == 0 {
+		return nil, ErrNoPacket
+	}
+	det := dets[0]
+
+	// Packet extent: from the detected start to where smoothed power
+	// falls back toward the noise floor ("compute the correlation matrix
+	// ... with each entire packet", section 3).
+	n := packetExtent(streams[0], det.Start)
+	win, ok := detect.ExtractAligned(streams, det, n)
+	if !ok {
+		return nil, errors.New("core: detection window out of range")
+	}
+
+	r, err := music.Covariance(win)
+	if err != nil {
+		return nil, err
+	}
+
+	est := ap.cfg.Estimator
+	if est == nil {
+		est = &music.MUSIC{Sources: 0, Samples: n}
+	}
+	ps, err := est.Pseudospectrum(r, ap.FE.Array, ap.grid)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		AP:         ap.Name,
+		APPos:      ap.FE.Pos,
+		BearingDeg: rankPeaksByPower(ps, r, ap.FE.Array),
+		Spectrum:   ps,
+		Sig:        signature.FromPseudospectrum(ps),
+		Detection:  det,
+	}
+	rep.Sources, rep.SNRdB = subspaceStats(r, n)
+	return rep, nil
+}
+
+// rankPeaksByPower selects the bearing estimate from a MUSIC
+// pseudospectrum. MUSIC peak height measures subspace proximity, not
+// received power: a weak composite of distant reflections can out-peak
+// the direct path. Re-ranking the top MUSIC peaks by their Bartlett
+// (delay-and-sum) power keeps MUSIC's angular precision while selecting
+// the arrival that actually carries the most energy — which is the direct
+// path whenever one exists (section 3.1).
+func rankPeaksByPower(ps *music.Pseudospectrum, r *cmat.Matrix, arr *antenna.Array) float64 {
+	peaks := ps.Peaks(8, 12)
+	if len(peaks) <= 1 {
+		return ps.PeakBearing()
+	}
+	grid := make([]float64, len(peaks))
+	for i, p := range peaks {
+		grid[i] = p.BearingDeg
+	}
+	bart, err := (music.Bartlett{}).Pseudospectrum(r, arr, grid)
+	if err != nil {
+		return ps.PeakBearing()
+	}
+	best, bi := -1.0, 0
+	for i, v := range bart.P {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return grid[bi]
+}
+
+// subspaceStats reports the MDL source count and an eigenvalue-based SNR
+// estimate (signal eigenvalue mass over noise eigenvalue mass).
+func subspaceStats(r *cmat.Matrix, n int) (int, float64) {
+	eig, err := cmat.HermEig(r)
+	if err != nil {
+		return 1, 0
+	}
+	k := music.MDLSources(eig.Values, n)
+	var sig, noise float64
+	for i, v := range eig.Values {
+		if i < k {
+			sig += v
+		} else {
+			noise += v
+		}
+	}
+	m := len(eig.Values)
+	if noise <= 0 || k >= m {
+		return k, 60
+	}
+	// Per-eigenvalue noise power; signal mass above the noise floor.
+	noisePer := noise / float64(m-k)
+	excess := sig - float64(k)*noisePer
+	if excess <= 0 {
+		return k, 0
+	}
+	return k, dsp.DB(excess / noise)
+}
+
+// packetExtent returns the number of samples from start to the end of the
+// packet, found by tracking smoothed instantaneous power against the
+// trailing noise floor.
+func packetExtent(x []complex128, start int) int {
+	const win = 80 // one OFDM symbol
+	if start >= len(x) {
+		return 0
+	}
+	rest := x[start:]
+	if len(rest) <= win {
+		return len(rest)
+	}
+	pow := make([]float64, len(rest))
+	for i, v := range rest {
+		pow[i] = real(v)*real(v) + imag(v)*imag(v)
+	}
+	sm := dsp.MovingSumReal(pow, win)
+	// Peak smoothed power near the packet head sets the reference.
+	ref := 0.0
+	for i := 0; i < len(sm) && i < 400; i++ {
+		if sm[i] > ref {
+			ref = sm[i]
+		}
+	}
+	if ref == 0 {
+		return len(rest)
+	}
+	end := len(sm)
+	for i := 160; i < len(sm); i++ { // skip at least two symbols
+		if sm[i] < ref/20 { // 13 dB below the packet body
+			end = i
+			break
+		}
+	}
+	n := end + win
+	if n > len(rest) {
+		n = len(rest)
+	}
+	return n
+}
+
+// --- Spoofing prevention (section 2.3.2) ---
+
+// FrameReport extends Report with the MAC-layer identity check.
+type FrameReport struct {
+	Report
+	MAC      wifi.Addr
+	Decision signature.Decision
+	Distance float64
+	// Enrolled is true when this packet trained a new registry entry
+	// (initial training stage) rather than being checked.
+	Enrolled bool
+}
+
+// ProcessFrame transmits the frame from tx, runs the pipeline, and applies
+// the spoof check for the frame's transmitter address: unknown addresses
+// are enrolled (training stage); known addresses are compared against
+// their certified signature Scl and either accepted (updating Scl) or
+// flagged.
+func (ap *AP) ProcessFrame(tx geom.Point, frame *wifi.Frame, mod ofdm.Modulation) (*FrameReport, error) {
+	bb, err := testbed.FrameBaseband(frame, mod)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := ap.Observe(tx, bb)
+	if err != nil {
+		return nil, err
+	}
+	fr := &FrameReport{Report: *rep, MAC: frame.Addr2}
+
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	tr, known := ap.registry[frame.Addr2]
+	if !known {
+		ap.registry[frame.Addr2] = signature.NewTracker(rep.Sig, ap.cfg.Policy, 0.25)
+		fr.Decision = signature.Accept
+		fr.Enrolled = true
+		return fr, nil
+	}
+	dec, dist, err := tr.Observe(rep.Sig)
+	if err != nil {
+		return nil, err
+	}
+	fr.Decision = dec
+	fr.Distance = dist
+	return fr, nil
+}
+
+// Enroll registers (or replaces) a certified signature for a MAC address.
+func (ap *AP) Enroll(mac wifi.Addr, sig *signature.Signature) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	ap.registry[mac] = signature.NewTracker(sig, ap.cfg.Policy, 0.25)
+}
+
+// Known reports whether a MAC has a certified signature.
+func (ap *AP) Known(mac wifi.Addr) bool {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	_, ok := ap.registry[mac]
+	return ok
+}
+
+// StoredSignature returns the current certified signature for a MAC.
+func (ap *AP) StoredSignature(mac wifi.Addr) (*signature.Signature, bool) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	tr, ok := ap.registry[mac]
+	if !ok {
+		return nil, false
+	}
+	return tr.Stored(), true
+}
+
+// Identification is one ranked registry candidate for an observed
+// signature.
+type Identification struct {
+	MAC      wifi.Addr
+	Distance float64
+}
+
+// Identify ranks every enrolled client by signature distance to an
+// observation — the primitive behind the anomaly-detection systems the
+// paper cites ([1], [9]): when a frame is flagged, Identify reveals which
+// known client the transmitter's physical signature actually resembles
+// (often the attacker's own enrolled station).
+func (ap *AP) Identify(obs *signature.Signature) ([]Identification, error) {
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	out := make([]Identification, 0, len(ap.registry))
+	for mac, tr := range ap.registry {
+		d, err := signature.Distance(tr.Stored(), obs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Identification{MAC: mac, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].MAC.String() < out[j].MAC.String()
+	})
+	return out, nil
+}

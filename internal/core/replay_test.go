@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/iqfile"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+	"secureangle/internal/testbed"
+)
+
+// TestCaptureReplayMatchesLive records a reception to the SAIQ format,
+// replays it through a freshly-constructed AP, and checks the offline
+// bearing matches the live one — the regression-fixture workflow.
+func TestCaptureReplayMatchesLive(t *testing.T) {
+	e, _ := testbed.Building()
+	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(21))
+	c, err := testbed.ClientByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(3, 1, []byte("replay")), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams, err := fe.Receive(e, c.Pos, bb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calStreams := fe.CalibrationCapture(2000)
+
+	// Live processing (copy: process mutates).
+	liveStreams := deepCopy(streams)
+	liveCal := deepCopy(calStreams)
+	liveAP := NewAPFromCapture("live", fe, e, DefaultConfig(), liveCal)
+	liveRep, err := liveAP.ProcessStreams(liveStreams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip both captures through the file format.
+	var dataBuf, calBuf bytes.Buffer
+	if err := iqfile.Write(&dataBuf, &iqfile.Capture{SampleRate: 20e6, Streams: streams}); err != nil {
+		t.Fatal(err)
+	}
+	if err := iqfile.Write(&calBuf, &iqfile.Capture{SampleRate: 20e6, Streams: calStreams}); err != nil {
+		t.Fatal(err)
+	}
+	dataCap, err := iqfile.Read(&dataBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calCap, err := iqfile.Read(&calBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay on a *different* front end (its own random offsets are
+	// irrelevant: the recorded calibration carries the recording rig's).
+	fe2 := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(9999))
+	replayAP := NewAPFromCapture("replay", fe2, e, DefaultConfig(), calCap.Streams)
+	replayRep, err := replayAP.ProcessStreams(dataCap.Streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := geom.AngularDistDeg(liveRep.BearingDeg, replayRep.BearingDeg); d > 1.01 {
+		t.Errorf("live bearing %v vs replay %v (diff %v)", liveRep.BearingDeg, replayRep.BearingDeg, d)
+	}
+	truth := testbed.GroundTruth(testbed.AP1, c.Pos)
+	if d := geom.AngularDistDeg(replayRep.BearingDeg, truth); d > 6 {
+		t.Errorf("replay bearing %v, truth %v", replayRep.BearingDeg, truth)
+	}
+	// float32 quantisation must not visibly move the detection metric.
+	if math.Abs(liveRep.Detection.Metric-replayRep.Detection.Metric) > 0.01 {
+		t.Errorf("metric drifted: %v vs %v", liveRep.Detection.Metric, replayRep.Detection.Metric)
+	}
+}
+
+func deepCopy(s [][]complex128) [][]complex128 {
+	out := make([][]complex128, len(s))
+	for i := range s {
+		out[i] = append([]complex128(nil), s[i]...)
+	}
+	return out
+}

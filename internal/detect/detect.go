@@ -1,0 +1,152 @@
+// Package detect locates OFDM packets in raw sample streams with the
+// Schmidl-Cox algorithm, exactly the role it plays in the SecureAngle
+// prototype ("we realize the Schmidl-Cox OFDM packet detection algorithm
+// to locate packets in the raw samples", section 3). It also provides the
+// coarse carrier-frequency-offset estimate that falls out of the timing
+// metric's phase.
+package detect
+
+import (
+	"math"
+	"math/cmplx"
+
+	"secureangle/internal/dsp"
+)
+
+// Config parameterises the detector.
+type Config struct {
+	// HalfLen is the repetition half-length L: the preamble's first
+	// training symbol consists of two identical halves of L samples. For
+	// the 64-point OFDM preamble here, L = 32.
+	HalfLen int
+	// SampleRate in Hz, for CFO conversion.
+	SampleRate float64
+	// Threshold on the timing metric M(d) in (0, 1); Schmidl-Cox's M
+	// approaches 1 inside the preamble and hovers near 0 in noise. 0.5 is
+	// robust across the SNRs the testbed uses.
+	Threshold float64
+	// MinGap suppresses re-detection within this many samples of a
+	// previous detection (at least a packet length).
+	MinGap int
+}
+
+// DefaultConfig returns the detector settings for the default PHY.
+func DefaultConfig() Config {
+	return Config{HalfLen: 32, SampleRate: 20e6, Threshold: 0.5, MinGap: 400}
+}
+
+// Detection is one located packet.
+type Detection struct {
+	// Start is the estimated index of the first preamble sample.
+	Start int
+	// Metric is the peak Schmidl-Cox metric value in [0, 1].
+	Metric float64
+	// CFOHz is the coarse carrier frequency offset estimate.
+	CFOHz float64
+}
+
+// Metric computes the Schmidl-Cox timing metric over the stream, in the
+// normalised form M(d) = |P(d)|^2 / (R1(d) * R2(d)), where P correlates
+// each half-symbol with the next and R1, R2 are the energies of the two
+// halves. By Cauchy-Schwarz M <= 1, so the metric cannot blow up at packet
+// edges where one half holds signal and the other noise (the plain
+// Schmidl-Cox denominator R2^2 does, producing phantom trailing-edge
+// detections). The returned slice has len(x) - 2L + 1 entries; index d
+// corresponds to a candidate symbol starting at sample d.
+func Metric(x []complex128, cfg Config) ([]float64, []complex128) {
+	L := cfg.HalfLen
+	if len(x) < 2*L {
+		return nil, nil
+	}
+	// prod[d] = conj(x[d]) * x[d+L]; energy[d] = |x[d]|^2.
+	n := len(x) - L
+	prod := make([]complex128, n)
+	energy := make([]float64, len(x))
+	for d := 0; d < n; d++ {
+		prod[d] = cmplx.Conj(x[d]) * x[d+L]
+	}
+	for d := range x {
+		energy[d] = real(x[d])*real(x[d]) + imag(x[d])*imag(x[d])
+	}
+	p := dsp.MovingSum(prod, L)
+	r := dsp.MovingSumReal(energy, L) // r[d] = energy of x[d..d+L)
+	m := make([]float64, len(p))
+	for d := range p {
+		r1 := r[d]
+		r2 := r[d+L]
+		if r1*r2 <= 1e-60 {
+			m[d] = 0
+			continue
+		}
+		pm := cmplx.Abs(p[d])
+		m[d] = pm * pm / (r1 * r2)
+	}
+	return m, p
+}
+
+// Find scans the stream and returns all detections, in order. For each
+// region where the metric exceeds the threshold, the packet start is
+// taken as the first sample of the plateau (Schmidl-Cox's metric forms a
+// plateau of length CP over a repeated-half symbol preceded by a cyclic
+// prefix; the rising edge marks the preamble start to within the CP,
+// which is all the correlation-matrix pipeline needs).
+func Find(x []complex128, cfg Config) []Detection {
+	m, p := Metric(x, cfg)
+	if m == nil {
+		return nil
+	}
+	var out []Detection
+	lastEnd := -cfg.MinGap - 1
+	d := 0
+	for d < len(m) {
+		if m[d] < cfg.Threshold || d-lastEnd <= cfg.MinGap {
+			d++
+			continue
+		}
+		// Walk the plateau: track the peak while above threshold.
+		peak, peakIdx := m[d], d
+		start := d
+		for d < len(m) && m[d] >= cfg.Threshold {
+			if m[d] > peak {
+				peak, peakIdx = m[d], d
+			}
+			d++
+		}
+		cfo := cfoFromCorrelation(p[peakIdx], cfg)
+		out = append(out, Detection{Start: start, Metric: peak, CFOHz: cfo})
+		lastEnd = start
+	}
+	return out
+}
+
+// cfoFromCorrelation converts the phase of the half-symbol correlation to
+// a frequency offset: a CFO of f rotates the second half by
+// 2 pi f L / fs relative to the first.
+func cfoFromCorrelation(p complex128, cfg Config) float64 {
+	ph := cmplx.Phase(p)
+	return ph * cfg.SampleRate / (2 * math.Pi * float64(cfg.HalfLen))
+}
+
+// ExtractAligned returns n samples starting at det.Start from each of the
+// per-antenna streams, or false if any stream is too short. The AoA
+// pipeline runs the detector on one antenna and extracts the same window
+// from all of them (the prototype's shared sampling clock guarantees
+// alignment; the simulator's front end provides the same guarantee).
+func ExtractAligned(streams [][]complex128, det Detection, n int) ([][]complex128, bool) {
+	out := make([][]complex128, len(streams))
+	for i, s := range streams {
+		if det.Start < 0 || det.Start+n > len(s) {
+			return nil, false
+		}
+		out[i] = s[det.Start : det.Start+n]
+	}
+	return out, true
+}
+
+// CorrectCFO removes a carrier frequency offset from samples (returns a
+// new slice), using the estimate the Schmidl-Cox correlator produced.
+// Demodulation needs this; the covariance pipeline does not (a common
+// rotation cancels in x x^H).
+func CorrectCFO(x []complex128, cfoHz, sampleRate float64) []complex128 {
+	return dsp.MixFrequency(x, -cfoHz, sampleRate, 0)
+}

@@ -1,0 +1,267 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"secureangle/internal/dsp"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+)
+
+// buildStream places a packet at the given offset in a noisy stream.
+func buildStream(offset, tail int, snrDB float64, seed int64) ([]complex128, *ofdm.Packet) {
+	mod := ofdm.NewModulator(ofdm.DefaultParams())
+	pkt, err := mod.BuildPacket([]byte("0123456789abcdef0123456789abcdef"), ofdm.QPSK)
+	if err != nil {
+		panic(err)
+	}
+	stream := make([]complex128, offset+len(pkt.Samples)+tail)
+	copy(stream[offset:], pkt.Samples)
+	sp := dsp.Power(pkt.Samples)
+	sigma2 := sp / dsp.FromDB(snrDB)
+	rng.New(seed).AddAWGN(stream, sigma2)
+	return stream, pkt
+}
+
+func TestMetricHighInsidePreambleLowOutside(t *testing.T) {
+	stream, _ := buildStream(500, 500, 25, 1)
+	m, _ := Metric(stream, DefaultConfig())
+	// Inside the STF (core samples around offset 516) the metric must be
+	// near 1; far away it must be low.
+	peak := 0.0
+	for d := 500; d < 560 && d < len(m); d++ {
+		peak = math.Max(peak, m[d])
+	}
+	if peak < 0.8 {
+		t.Errorf("metric inside preamble = %v, want > 0.8", peak)
+	}
+	noiseMax := 0.0
+	for d := 0; d < 300; d++ {
+		noiseMax = math.Max(noiseMax, m[d])
+	}
+	if noiseMax > 0.45 {
+		t.Errorf("metric in noise = %v, want < 0.45", noiseMax)
+	}
+}
+
+func TestFindSinglePacket(t *testing.T) {
+	stream, _ := buildStream(700, 600, 25, 2)
+	dets := Find(stream, DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d, want 1", len(dets))
+	}
+	// Start should land within the first STF symbol (CP ambiguity is
+	// acceptable: within ~32 samples of the true start).
+	if d := dets[0].Start - 700; d < -32 || d > 48 {
+		t.Errorf("start offset error = %d samples", d)
+	}
+	if dets[0].Metric < 0.8 {
+		t.Errorf("peak metric = %v", dets[0].Metric)
+	}
+}
+
+func TestFindMultiplePackets(t *testing.T) {
+	mod := ofdm.NewModulator(ofdm.DefaultParams())
+	pkt, _ := mod.BuildPacket([]byte("payload-one-abcdef"), ofdm.BPSK)
+	stream := make([]complex128, 5000)
+	copy(stream[400:], pkt.Samples)
+	copy(stream[2800:], pkt.Samples)
+	src := rng.New(3)
+	src.AddAWGN(stream, dsp.Power(pkt.Samples)/dsp.FromDB(25))
+
+	dets := Find(stream, DefaultConfig())
+	if len(dets) != 2 {
+		t.Fatalf("detections = %d, want 2", len(dets))
+	}
+	if d := dets[0].Start - 400; d < -32 || d > 48 {
+		t.Errorf("first start error %d", d)
+	}
+	if d := dets[1].Start - 2800; d < -32 || d > 48 {
+		t.Errorf("second start error %d", d)
+	}
+}
+
+func TestNoFalseDetectionInPureNoise(t *testing.T) {
+	src := rng.New(4)
+	stream := src.AWGN(20000, 1.0)
+	dets := Find(stream, DefaultConfig())
+	if len(dets) != 0 {
+		t.Errorf("false detections in noise: %d", len(dets))
+	}
+}
+
+func TestCFOEstimate(t *testing.T) {
+	// Apply a known CFO and check the coarse estimate.
+	const cfo = 30e3 // 30 kHz, ~12 ppm at 2.4 GHz
+	stream, _ := buildStream(600, 400, 30, 5)
+	shifted := dsp.MixFrequency(stream, cfo, 20e6, 0)
+	dets := Find(shifted, DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if err := math.Abs(dets[0].CFOHz - cfo); err > 3e3 {
+		t.Errorf("CFO estimate error = %v Hz", err)
+	}
+}
+
+func TestCFORange(t *testing.T) {
+	// The half-symbol correlator is unambiguous for |CFO| < fs/(2L) =
+	// 312.5 kHz; test a negative offset too.
+	const cfo = -100e3
+	stream, _ := buildStream(600, 400, 30, 6)
+	shifted := dsp.MixFrequency(stream, cfo, 20e6, 0)
+	dets := Find(shifted, DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	if err := math.Abs(dets[0].CFOHz - cfo); err > 5e3 {
+		t.Errorf("CFO estimate error = %v Hz", err)
+	}
+}
+
+func TestDetectionAtLowSNR(t *testing.T) {
+	stream, _ := buildStream(800, 400, 8, 7)
+	dets := Find(stream, DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections at 8 dB = %d, want 1", len(dets))
+	}
+	if d := dets[0].Start - 800; d < -40 || d > 60 {
+		t.Errorf("start error at low SNR = %d", d)
+	}
+}
+
+func TestMetricEmptyInput(t *testing.T) {
+	m, p := Metric(nil, DefaultConfig())
+	if m != nil || p != nil {
+		t.Error("Metric(nil) should return nil")
+	}
+	if Find(make([]complex128, 10), DefaultConfig()) != nil {
+		t.Error("Find on tiny input should return nil")
+	}
+}
+
+func TestExtractAligned(t *testing.T) {
+	streams := [][]complex128{
+		make([]complex128, 100),
+		make([]complex128, 100),
+	}
+	for i := range streams[0] {
+		streams[0][i] = complex(float64(i), 0)
+		streams[1][i] = complex(0, float64(i))
+	}
+	got, ok := ExtractAligned(streams, Detection{Start: 10}, 20)
+	if !ok {
+		t.Fatal("extraction failed")
+	}
+	if len(got) != 2 || len(got[0]) != 20 {
+		t.Fatalf("shape %dx%d", len(got), len(got[0]))
+	}
+	if got[0][0] != 10 || got[1][19] != complex(0, 29) {
+		t.Error("window content wrong")
+	}
+	if _, ok := ExtractAligned(streams, Detection{Start: 95}, 20); ok {
+		t.Error("overrun accepted")
+	}
+	if _, ok := ExtractAligned(streams, Detection{Start: -1}, 5); ok {
+		t.Error("negative start accepted")
+	}
+}
+
+func BenchmarkMetric(b *testing.B) {
+	stream, _ := buildStream(1000, 1000, 20, 8)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Metric(stream, cfg)
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	stream, _ := buildStream(1000, 1000, 20, 9)
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(stream, cfg)
+	}
+}
+
+func TestCorrectCFOEnablesDemodulation(t *testing.T) {
+	// End-to-end: a packet with CFO fails hard-decision demodulation
+	// until the detector's estimate is applied.
+	mod := ofdm.NewModulator(ofdm.DefaultParams())
+	payload := []byte("cfo-correction-check-0123456789abcdef")
+	pkt, err := mod.BuildPacket(payload, ofdm.QAM16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := make([]complex128, 400+len(pkt.Samples)+200)
+	copy(stream[400:], pkt.Samples)
+	src := rng.New(31)
+	src.AddAWGN(stream, dsp.Power(pkt.Samples)/dsp.FromDB(30))
+	const cfo = 150e3 // ~0.48 subcarrier spacings: severe ICI
+	shifted := dsp.MixFrequency(stream, cfo, 20e6, 0)
+
+	dets := Find(shifted, DefaultConfig())
+	if len(dets) != 1 {
+		t.Fatalf("detections = %d", len(dets))
+	}
+	dem := ofdm.NewDemodulator(ofdm.DefaultParams())
+
+	// Locate the true packet start near the detection (the plateau gives
+	// CP-level ambiguity; search the neighbourhood for the best demod).
+	tryDemod := func(samples []complex128) bool {
+		for off := -40; off <= 40; off++ {
+			start := dets[0].Start + off
+			if start < 0 || start+len(pkt.Samples) > len(samples) {
+				continue
+			}
+			bits, err := dem.Demodulate(samples[start:], pkt.NSymbols, ofdm.QAM16)
+			if err != nil {
+				continue
+			}
+			errs := 0
+			for i := range bits {
+				if bits[i] != pkt.PayloadBits[i] {
+					errs++
+				}
+			}
+			if errs == 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	if tryDemod(shifted) {
+		t.Fatal("demodulation succeeded with uncorrected 150 kHz CFO — test is vacuous")
+	}
+	corrected := CorrectCFO(shifted, dets[0].CFOHz, 20e6)
+	if !tryDemod(corrected) {
+		t.Errorf("demodulation failed after CFO correction (estimate %.0f Hz, true %.0f)", dets[0].CFOHz, cfo)
+	}
+}
+
+func TestMetricBoundedProperty(t *testing.T) {
+	// The Minn-normalised metric is bounded to [0, 1] by Cauchy-Schwarz
+	// for any input.
+	src := rng.New(32)
+	for trial := 0; trial < 20; trial++ {
+		n := 400 + src.Intn(500)
+		x := src.AWGN(n, 1+10*src.Float64())
+		// Occasionally embed structure.
+		if trial%3 == 0 {
+			mod := ofdm.NewModulator(ofdm.DefaultParams())
+			pre := mod.Preamble()
+			copy(x[src.Intn(n-len(pre)):], pre)
+		}
+		m, _ := Metric(x, DefaultConfig())
+		for i, v := range m {
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("trial %d: metric[%d] = %v out of [0,1]", trial, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxErr(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if e := cmplx.Abs(a[i] - b[i]); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+func TestFFTEmptyAndSingle(t *testing.T) {
+	if FFT(nil) != nil {
+		t.Error("FFT(nil) != nil")
+	}
+	x := []complex128{3 + 4i}
+	if got := FFT(x); len(got) != 1 || got[0] != 3+4i {
+		t.Errorf("FFT single = %v", got)
+	}
+}
+
+func TestFFTKnownDC(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	f := FFT(x)
+	if cmplx.Abs(f[0]-4) > 1e-12 {
+		t.Errorf("DC bin = %v, want 4", f[0])
+	}
+	for k := 1; k < 4; k++ {
+		if cmplx.Abs(f[k]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", k, f[k])
+		}
+	}
+}
+
+func TestFFTKnownTone(t *testing.T) {
+	// x[n] = exp(2 pi i n k0 / N) puts all energy into bin k0.
+	const n, k0 = 16, 3
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*float64(k0*i)/float64(n))
+	}
+	f := FFT(x)
+	for k := range f {
+		want := 0.0
+		if k == k0 {
+			want = n
+		}
+		if math.Abs(cmplx.Abs(f[k])-want) > 1e-9 {
+			t.Errorf("bin %d magnitude = %v, want %v", k, cmplx.Abs(f[k]), want)
+		}
+	}
+}
+
+func TestFFTRoundTripPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{2, 4, 8, 64, 256, 1024} {
+		x := randSignal(rng, n)
+		if e := maxErr(IFFT(FFT(x)), x); e > 1e-10 {
+			t.Errorf("n=%d round-trip err %v", n, e)
+		}
+	}
+}
+
+func TestFFTRoundTripArbitraryN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 6, 7, 12, 17, 60, 100, 241} {
+		x := randSignal(rng, n)
+		if e := maxErr(IFFT(FFT(x)), x); e > 1e-9 {
+			t.Errorf("n=%d round-trip err %v", n, e)
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{8, 13} {
+		x := randSignal(rng, n)
+		want := make([]complex128, n)
+		for k := 0; k < n; k++ {
+			for m := 0; m < n; m++ {
+				want[k] += x[m] * cmplx.Rect(1, -2*math.Pi*float64(k*m)/float64(n))
+			}
+		}
+		if e := maxErr(FFT(x), want); e > 1e-9 {
+			t.Errorf("n=%d FFT vs naive DFT err %v", n, e)
+		}
+	}
+}
+
+func TestFFTLinearityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 1 << (1 + r.Intn(6))
+		x, y := randSignal(r, n), randSignal(r, n)
+		a := complex(r.NormFloat64(), r.NormFloat64())
+		sum := make([]complex128, n)
+		for i := range sum {
+			sum[i] = a*x[i] + y[i]
+		}
+		fx, fy, fs := FFT(x), FFT(y), FFT(sum)
+		for i := range fs {
+			if cmplx.Abs(fs[i]-(a*fx[i]+fy[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 2 + r.Intn(100)
+		x := randSignal(r, n)
+		te := Energy(x)
+		fe := Energy(FFT(x)) / float64(n)
+		return math.Abs(te-fe) < 1e-8*(1+te)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTShift(t *testing.T) {
+	x := []complex128{0, 1, 2, 3}
+	got := FFTShift(x)
+	want := []complex128{2, 3, 0, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FFTShift = %v, want %v", got, want)
+		}
+	}
+	odd := FFTShift([]complex128{0, 1, 2, 3, 4})
+	wantOdd := []complex128{3, 4, 0, 1, 2}
+	for i := range wantOdd {
+		if odd[i] != wantOdd[i] {
+			t.Fatalf("odd FFTShift = %v, want %v", odd, wantOdd)
+		}
+	}
+}
+
+func TestFFTFreqs(t *testing.T) {
+	f := FFTFreqs(4, 20e6)
+	want := []float64{0, 5e6, 10e6, -5e6}
+	for i := range want {
+		if math.Abs(f[i]-want[i]) > 1 {
+			t.Fatalf("FFTFreqs = %v, want %v", f, want)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	a := []complex128{1, 2}
+	b := []complex128{1, 1, 1}
+	got := Convolve(a, b)
+	want := []complex128{1, 3, 3, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Convolve len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("Convolve = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConvolveImpulseIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	x := randSignal(rng, 37)
+	got := Convolve(x, []complex128{1})
+	if e := maxErr(got, x); e > 1e-10 {
+		t.Errorf("convolution with impulse changed signal: %v", e)
+	}
+}
+
+func TestCrossCorrelateFindsTemplate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tmpl := randSignal(rng, 16)
+	sig := make([]complex128, 100)
+	copy(sig[40:], tmpl)
+	c := CrossCorrelate(sig, tmpl)
+	best, bestMag := 0, 0.0
+	for i, v := range c {
+		if m := cmplx.Abs(v); m > bestMag {
+			best, bestMag = i, m
+		}
+	}
+	if best != 40 {
+		t.Fatalf("correlation peak at %d, want 40", best)
+	}
+}
+
+func TestAutoCorrelateZeroLagIsEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x := randSignal(rng, 50)
+	r := AutoCorrelate(x, 5)
+	if math.Abs(real(r[0])-Energy(x)) > 1e-9 {
+		t.Errorf("r[0] = %v, energy %v", r[0], Energy(x))
+	}
+}
+
+func TestFractionalDelayIntegerShift(t *testing.T) {
+	// A one-sample delay at fs must equal a circular shift by one.
+	rng := rand.New(rand.NewSource(9))
+	const fs = 20e6
+	x := randSignal(rng, 64)
+	d := FractionalDelay(x, 1/fs, fs)
+	for i := range x {
+		want := x[(i+63)%64]
+		if cmplx.Abs(d[i]-want) > 1e-9 {
+			t.Fatalf("sample %d: got %v want %v", i, d[i], want)
+		}
+	}
+}
+
+func TestFractionalDelayToneTheory(t *testing.T) {
+	// Delaying a pure tone by tau multiplies it by exp(-2 pi i f tau).
+	const fs = 20e6
+	const bin = 5
+	n := 128
+	x := make([]complex128, n)
+	f := bin * fs / float64(n)
+	for i := range x {
+		x[i] = cmplx.Rect(1, 2*math.Pi*f*float64(i)/fs)
+	}
+	tau := 13.7e-9 // sub-sample
+	d := FractionalDelay(x, tau, fs)
+	rot := cmplx.Rect(1, -2*math.Pi*f*tau)
+	for i := range x {
+		if cmplx.Abs(d[i]-x[i]*rot) > 1e-9 {
+			t.Fatalf("sample %d: got %v want %v", i, d[i], x[i]*rot)
+		}
+	}
+}
+
+func TestFractionalDelayPreservesEnergyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 16 + r.Intn(100)
+		x := randSignal(r, n)
+		tau := r.Float64() * 1e-7
+		d := FractionalDelay(x, tau, 20e6)
+		return math.Abs(Energy(d)-Energy(x)) < 1e-7*(1+Energy(x))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixFrequency(t *testing.T) {
+	x := []complex128{1, 1, 1, 1}
+	y := MixFrequency(x, 5e6, 20e6, 0)
+	// 5 MHz at 20 MHz sampling advances pi/2 per sample.
+	want := []complex128{1, 1i, -1, -1i}
+	for i := range want {
+		if cmplx.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("MixFrequency = %v, want %v", y, want)
+		}
+	}
+}
+
+func TestUnwrapPhase(t *testing.T) {
+	ph := []float64{0, 2, -2.5, -0.5} // -2.5 after 2 is a wrap: true path 0,2,3.78..
+	un := UnwrapPhase(ph)
+	if un[2] <= un[1] {
+		t.Errorf("unwrap failed: %v", un)
+	}
+	for i := 1; i < len(un); i++ {
+		if math.Abs(un[i]-un[i-1]) > math.Pi {
+			t.Errorf("unwrapped jump > pi at %d: %v", i, un)
+		}
+	}
+}
+
+func TestWrapPhase(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0}, {math.Pi / 2, math.Pi / 2}, {3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi}, {2 * math.Pi, 0},
+	}
+	for _, c := range cases {
+		if got := WrapPhase(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("WrapPhase(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for name, w := range map[string][]float64{
+		"hamming":  Hamming(64),
+		"hann":     Hann(64),
+		"blackman": Blackman(64),
+	} {
+		if len(w) != 64 {
+			t.Errorf("%s length %d", name, len(w))
+		}
+		// Symmetry.
+		for i := 0; i < 32; i++ {
+			if math.Abs(w[i]-w[63-i]) > 1e-12 {
+				t.Errorf("%s asymmetric at %d", name, i)
+			}
+		}
+		// Peak near the middle, bounded by 1.
+		for i, v := range w {
+			if v > 1+1e-12 || v < -1e-12 {
+				t.Errorf("%s out of range at %d: %v", name, i, v)
+			}
+		}
+	}
+	if Hann(1)[0] != 1 {
+		t.Error("Hann(1) != [1]")
+	}
+}
+
+func TestMovingSum(t *testing.T) {
+	x := []complex128{1, 2, 3, 4}
+	got := MovingSum(x, 2)
+	want := []complex128{3, 5, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MovingSum = %v, want %v", got, want)
+		}
+	}
+	if MovingSum(x, 0) != nil || MovingSum(x, 5) != nil {
+		t.Error("invalid window should yield nil")
+	}
+	xr := []float64{1, 2, 3, 4}
+	gr := MovingSumReal(xr, 3)
+	if len(gr) != 2 || gr[0] != 6 || gr[1] != 9 {
+		t.Fatalf("MovingSumReal = %v", gr)
+	}
+}
+
+func TestMovingSumMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		n := 4 + r.Intn(60)
+		w := 1 + r.Intn(n)
+		x := randSignal(r, n)
+		got := MovingSum(x, w)
+		for i := range got {
+			var s complex128
+			for j := 0; j < w; j++ {
+				s += x[i+j]
+			}
+			if cmplx.Abs(got[i]-s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	if DB(1) != 0 {
+		t.Error("DB(1) != 0")
+	}
+	if math.Abs(DB(100)-20) > 1e-12 {
+		t.Error("DB(100) != 20")
+	}
+	if DB(0) != -300 {
+		t.Error("DB(0) should clamp to -300")
+	}
+	if math.Abs(FromDB(30)-1000) > 1e-9 {
+		t.Error("FromDB(30) != 1000")
+	}
+}
+
+func TestEnergyPowerScaleAdd(t *testing.T) {
+	x := []complex128{3, 4i}
+	if Energy(x) != 25 {
+		t.Errorf("Energy = %v", Energy(x))
+	}
+	if Power(x) != 12.5 {
+		t.Errorf("Power = %v", Power(x))
+	}
+	if Power(nil) != 0 {
+		t.Error("Power(nil) != 0")
+	}
+	Scale(x, 2)
+	if x[0] != 6 {
+		t.Errorf("Scale failed: %v", x)
+	}
+	dst := []complex128{1, 1}
+	AddInto(dst, []complex128{2, 3})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Errorf("AddInto = %v", dst)
+	}
+}
+
+func TestApplyWindow(t *testing.T) {
+	x := []complex128{2, 2, 2}
+	w := []float64{0.5, 1, 0.5}
+	y := ApplyWindow(x, w)
+	if y[0] != 1 || y[1] != 2 || y[2] != 1 {
+		t.Errorf("ApplyWindow = %v", y)
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	x := randSignal(rng, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	x := randSignal(rng, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkFractionalDelay8192(b *testing.B) {
+	rng := rand.New(rand.NewSource(14))
+	x := randSignal(rng, 8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FractionalDelay(x, 13e-9, 20e6)
+	}
+}

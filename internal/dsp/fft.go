@@ -1,0 +1,173 @@
+// Package dsp provides the signal-processing primitives SecureAngle's PHY
+// pipeline is built on: FFTs of arbitrary length, convolution and
+// correlation, frequency-domain fractional delay, window functions, and
+// phase utilities. Everything is stdlib-only and allocation-conscious on
+// the hot paths (the per-packet correlation pipeline).
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Power-of-two lengths use an iterative radix-2
+// decimation-in-time transform; other lengths fall back to Bluestein's
+// algorithm. Length 0 returns an empty slice.
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, false)
+	return out
+}
+
+// IFFT returns the inverse DFT of x, scaled by 1/N so that IFFT(FFT(x))
+// round-trips.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	fftInPlace(out, true)
+	scale := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= scale
+	}
+	return out
+}
+
+// FFTInPlace computes the forward DFT of x in place. Non-power-of-two
+// lengths are handled transparently (with internal allocation).
+func FFTInPlace(x []complex128) { fftInPlace(x, false) }
+
+func fftInPlace(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) == 0 {
+		radix2(x, inverse)
+		return
+	}
+	bluestein(x, inverse)
+}
+
+// radix2 is an iterative Cooley-Tukey DIT FFT for power-of-two lengths.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	logN := bits.TrailingZeros(uint(n))
+
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wBase
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution via a larger
+// power-of-two FFT (chirp-z transform).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp: w[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n keeps the argument
+	// bounded for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	invM := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * invM * chirp[k]
+	}
+}
+
+// FFTShift rotates the zero-frequency bin to the centre (like Matlab's
+// fftshift). Returns a new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// FFTFreqs returns the frequency of each DFT bin for sample rate fs, in the
+// standard order: bins 0..N/2-1 nonnegative, then negative frequencies.
+func FFTFreqs(n int, fs float64) []float64 {
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		f := float64(k)
+		if k > n/2 {
+			f -= float64(n)
+		}
+		out[k] = f * fs / float64(n)
+	}
+	return out
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1).
+func NextPow2(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("dsp: NextPow2(%d)", n))
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

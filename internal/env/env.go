@@ -1,0 +1,361 @@
+// Package env simulates the indoor propagation environment the SecureAngle
+// prototype was measured in: walls with reflection and transmission
+// coefficients, a cement pillar that blocks or attenuates paths, and a
+// geometric ray tracer (the image method) that produces, for any
+// transmitter/receiver pair, the set of propagation paths — direct plus
+// reflections — with their angles of arrival, delays, and complex gains.
+//
+// The package also models the temporal dynamics of the channel: reflection
+// path gains drift with a configurable coherence time (an
+// Ornstein-Uhlenbeck process per wall), while the direct path stays
+// stable, which is the behaviour Figure 6 of the paper probes at
+// log-spaced intervals out to one day.
+package env
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/geom"
+	"secureangle/internal/rng"
+)
+
+// Material describes how a surface interacts with an incident ray, as
+// amplitude (not power) coefficients.
+type Material struct {
+	Reflection   float64 // amplitude reflection coefficient, 0..1
+	Transmission float64 // amplitude transmission (through-wall) coefficient, 0..1
+}
+
+// Typical materials for the office testbed. Reflection coefficients fold
+// in the diffuse-scattering loss of rough painted surfaces (a smooth
+// specular model with textbook Fresnel magnitudes lets corner clients'
+// wall bounces rival their direct path and produces deep coherent fades
+// that real cluttered offices do not exhibit).
+var (
+	// Drywall partitions: weak reflectors, fairly transparent.
+	Drywall = Material{Reflection: 0.28, Transmission: 0.55}
+	// Concrete exterior walls / pillar faces: the strongest reflectors,
+	// with the 10-15 dB penetration loss measured for real concrete walls
+	// at 2.4 GHz (outdoor attackers remain audible — the threat model of
+	// section 1 requires it).
+	Concrete = Material{Reflection: 0.45, Transmission: 0.25}
+	// Glass: modest reflection, mostly transparent.
+	Glass = Material{Reflection: 0.25, Transmission: 0.75}
+)
+
+// Wall is a planar (in 2-D: linear) reflector/transmitter.
+type Wall struct {
+	Seg geom.Segment
+	Mat Material
+	// Name is used in diagnostics and drift bookkeeping.
+	Name string
+}
+
+// Obstacle is a convex blocking region (the cement pillar). Rays crossing
+// it are attenuated by Transmission per crossing; its faces also act as
+// reflectors with the given material.
+type Obstacle struct {
+	Poly geom.Polygon
+	Mat  Material
+	Name string
+}
+
+// Path is one propagation path from transmitter to receiver.
+type Path struct {
+	BearingDeg float64    // angle of arrival at the receiver, global degrees
+	Delay      float64    // absolute propagation delay, seconds
+	Gain       complex128 // complex amplitude (free-space loss x interactions x drift)
+	Order      int        // number of reflections (0 = direct path)
+	Via        string     // name of the reflecting wall(s), for diagnostics
+}
+
+// Environment is the full propagation scene.
+type Environment struct {
+	Walls     []Wall
+	Obstacles []Obstacle
+
+	// MaxOrder caps reflection depth: 0 = direct only, 1 = single-bounce,
+	// 2 adds double-bounce paths.
+	MaxOrder int
+
+	// CarrierHz fixes the wavelength for per-path phase.
+	CarrierHz float64
+
+	// MinGain drops paths whose |gain| falls below this fraction of the
+	// strongest path's |gain|, keeping path lists small.
+	MinGain float64
+
+	drift *driftState
+}
+
+// New returns an environment with the given scene and sensible defaults
+// (single-bounce reflections, default carrier, 1% path-gain floor).
+func New(walls []Wall, obstacles []Obstacle) *Environment {
+	return &Environment{
+		Walls:     walls,
+		Obstacles: obstacles,
+		MaxOrder:  1,
+		CarrierHz: antenna.DefaultCarrierHz,
+		MinGain:   0.01,
+	}
+}
+
+// Wavelength returns the carrier wavelength.
+func (e *Environment) Wavelength() float64 { return antenna.SpeedOfLight / e.CarrierHz }
+
+// reflectors returns every reflecting segment in the scene: walls plus
+// obstacle faces.
+func (e *Environment) reflectors() []Wall {
+	out := make([]Wall, 0, len(e.Walls)+4*len(e.Obstacles))
+	out = append(out, e.Walls...)
+	for _, o := range e.Obstacles {
+		for i, edge := range o.Poly.Edges() {
+			out = append(out, Wall{Seg: edge, Mat: o.Mat, Name: o.Name + faceName(i)})
+		}
+	}
+	return out
+}
+
+func faceName(i int) string { return "/face" + string(rune('0'+i%10)) }
+
+// freeSpaceAmp is the free-space amplitude factor lambda/(4 pi d).
+func (e *Environment) freeSpaceAmp(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1 // clamp: the testbed never places a client on top of the AP
+	}
+	return e.Wavelength() / (4 * math.Pi * d)
+}
+
+// segmentAttenuation multiplies the amplitude transmission coefficients of
+// every wall and obstacle face the open segment (a,b) crosses, excluding
+// reflectors named in skip (the walls a reflected ray bounces off).
+func (e *Environment) segmentAttenuation(a, b geom.Point, skip map[string]bool) float64 {
+	seg := geom.Segment{A: a, B: b}
+	att := 1.0
+	for _, w := range e.reflectors() {
+		if skip[w.Name] {
+			continue
+		}
+		if _, hit := seg.IntersectInterior(w.Seg); hit {
+			att *= w.Mat.Transmission
+		}
+	}
+	return att
+}
+
+// Trace returns the propagation paths from tx to rx, strongest first.
+// Paths include the direct path (possibly attenuated through walls or the
+// pillar) and up to MaxOrder wall reflections computed with the image
+// method. Gains include the drift perturbation if EnableDrift was called.
+func (e *Environment) Trace(tx, rx geom.Point) []Path {
+	var paths []Path
+
+	k := 2 * math.Pi / e.Wavelength()
+
+	// Direct path.
+	d := tx.Dist(rx)
+	att := e.segmentAttenuation(tx, rx, nil)
+	if amp := e.freeSpaceAmp(d) * att; amp > 0 {
+		paths = append(paths, Path{
+			BearingDeg: geom.BearingDeg(rx, tx),
+			Delay:      d / antenna.SpeedOfLight,
+			Gain:       cmplx.Rect(amp, -k*d),
+			Order:      0,
+			Via:        "direct",
+		})
+	}
+
+	if e.MaxOrder >= 1 {
+		paths = append(paths, e.singleBounce(tx, rx, k)...)
+	}
+	if e.MaxOrder >= 2 {
+		paths = append(paths, e.doubleBounce(tx, rx, k)...)
+	}
+
+	// Apply drift perturbations to reflected paths.
+	if e.drift != nil {
+		for i := range paths {
+			if paths[i].Order > 0 {
+				paths[i].Gain *= e.drift.gainFor(paths[i].Via)
+			}
+		}
+	}
+
+	// Sort by gain, strongest first, and apply the relative gain floor.
+	sort.Slice(paths, func(i, j int) bool {
+		return cmplx.Abs(paths[i].Gain) > cmplx.Abs(paths[j].Gain)
+	})
+	if len(paths) > 0 {
+		floor := cmplx.Abs(paths[0].Gain) * e.MinGain
+		kept := paths[:0]
+		for _, p := range paths {
+			if cmplx.Abs(p.Gain) >= floor {
+				kept = append(kept, p)
+			}
+		}
+		paths = kept
+	}
+	return paths
+}
+
+// singleBounce finds all one-reflection paths via the image method: mirror
+// tx across each reflector; if the image-to-rx segment crosses the actual
+// reflector segment, a specular path exists through the crossing point.
+func (e *Environment) singleBounce(tx, rx geom.Point, k float64) []Path {
+	var out []Path
+	for _, w := range e.reflectors() {
+		img := w.Seg.Reflect(tx)
+		hit, ok := geom.Segment{A: img, B: rx}.IntersectInterior(w.Seg)
+		if !ok {
+			continue
+		}
+		// Total geometric length equals |img - rx| by the mirror property.
+		d := img.Dist(rx)
+		att := w.Mat.Reflection
+		skip := map[string]bool{w.Name: true}
+		att *= e.segmentAttenuation(tx, hit, skip)
+		att *= e.segmentAttenuation(hit, rx, skip)
+		amp := e.freeSpaceAmp(d) * att
+		if amp <= 0 {
+			continue
+		}
+		out = append(out, Path{
+			BearingDeg: geom.BearingDeg(rx, hit),
+			Delay:      d / antenna.SpeedOfLight,
+			Gain:       cmplx.Rect(amp, -k*d),
+			Order:      1,
+			Via:        w.Name,
+		})
+	}
+	return out
+}
+
+// doubleBounce finds two-reflection paths: mirror tx across wall A, mirror
+// that image across wall B, and trace back rx -> B -> A -> tx.
+func (e *Environment) doubleBounce(tx, rx geom.Point, k float64) []Path {
+	refl := e.reflectors()
+	var out []Path
+	for ai, wa := range refl {
+		imgA := wa.Seg.Reflect(tx)
+		for bi, wb := range refl {
+			if ai == bi {
+				continue
+			}
+			imgAB := wb.Seg.Reflect(imgA)
+			// Last leg: rx toward imgAB must cross wall B.
+			hitB, ok := geom.Segment{A: imgAB, B: rx}.IntersectInterior(wb.Seg)
+			if !ok {
+				continue
+			}
+			// Middle leg: hitB toward imgA must cross wall A.
+			hitA, ok := geom.Segment{A: imgA, B: hitB}.IntersectInterior(wa.Seg)
+			if !ok {
+				continue
+			}
+			d := imgAB.Dist(rx)
+			skip := map[string]bool{wa.Name: true, wb.Name: true}
+			att := wa.Mat.Reflection * wb.Mat.Reflection
+			att *= e.segmentAttenuation(tx, hitA, skip)
+			att *= e.segmentAttenuation(hitA, hitB, skip)
+			att *= e.segmentAttenuation(hitB, rx, skip)
+			amp := e.freeSpaceAmp(d) * att
+			if amp <= 0 {
+				continue
+			}
+			out = append(out, Path{
+				BearingDeg: geom.BearingDeg(rx, hitB),
+				Delay:      d / antenna.SpeedOfLight,
+				Gain:       cmplx.Rect(amp, -k*d),
+				Order:      2,
+				Via:        wa.Name + "+" + wb.Name,
+			})
+		}
+	}
+	return out
+}
+
+// --- Temporal drift (coherence-time model) ---
+
+// driftState carries one complex perturbation per reflector, each driven
+// by two OU processes (log-magnitude and phase).
+type driftState struct {
+	tau  float64
+	mag  map[string]*rng.OU
+	ph   map[string]*rng.OU
+	src  *rng.Source
+	magS float64
+	phS  float64
+}
+
+// EnableDrift turns on temporal evolution of reflection gains. tau is the
+// coherence time in seconds (the paper cites 25-125 ms outdoors at walking
+// speed; indoor office reflectors drift much more slowly, so experiments
+// use seconds-to-minutes scales). magSigma is the stationary std of the
+// log-amplitude perturbation; phSigmaRad of the phase perturbation.
+func (e *Environment) EnableDrift(src *rng.Source, tau, magSigma, phSigmaRad float64) {
+	e.drift = &driftState{
+		tau:  tau,
+		mag:  make(map[string]*rng.OU),
+		ph:   make(map[string]*rng.OU),
+		src:  src,
+		magS: magSigma,
+		phS:  phSigmaRad,
+	}
+}
+
+// Advance evolves the drift state by dt seconds. A no-op when drift is
+// disabled.
+func (e *Environment) Advance(dt float64) {
+	if e.drift == nil {
+		return
+	}
+	for _, o := range e.drift.mag {
+		o.Advance(dt)
+	}
+	for _, o := range e.drift.ph {
+		o.Advance(dt)
+	}
+}
+
+// gainFor returns the current complex perturbation for a reflector,
+// lazily creating its OU processes on first use.
+func (d *driftState) gainFor(name string) complex128 {
+	m, ok := d.mag[name]
+	if !ok {
+		m = rng.NewOU(d.src.Fork(), 0, d.magS, d.tau)
+		d.mag[name] = m
+	}
+	p, ok := d.ph[name]
+	if !ok {
+		p = rng.NewOU(d.src.Fork(), 0, d.phS, d.tau)
+		d.ph[name] = p
+	}
+	return cmplx.Rect(math.Exp(m.Value()), p.Value())
+}
+
+// DirectPath returns the order-0 path from Trace, if present.
+func DirectPath(paths []Path) (Path, bool) {
+	for _, p := range paths {
+		if p.Order == 0 {
+			return p, true
+		}
+	}
+	return Path{}, false
+}
+
+// StrongestBearing returns the bearing of the strongest path.
+func StrongestBearing(paths []Path) (float64, bool) {
+	if len(paths) == 0 {
+		return 0, false
+	}
+	best := paths[0]
+	for _, p := range paths[1:] {
+		if cmplx.Abs(p.Gain) > cmplx.Abs(best.Gain) {
+			best = p
+		}
+	}
+	return best.BearingDeg, true
+}

@@ -1,0 +1,318 @@
+package env
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/geom"
+	"secureangle/internal/rng"
+)
+
+// openRoom is a 10x8 m room with concrete walls.
+func openRoom() *Environment {
+	walls := []Wall{
+		{Seg: geom.Segment{A: geom.Point{X: 0, Y: 0}, B: geom.Point{X: 10, Y: 0}}, Mat: Concrete, Name: "south"},
+		{Seg: geom.Segment{A: geom.Point{X: 10, Y: 0}, B: geom.Point{X: 10, Y: 8}}, Mat: Concrete, Name: "east"},
+		{Seg: geom.Segment{A: geom.Point{X: 10, Y: 8}, B: geom.Point{X: 0, Y: 8}}, Mat: Concrete, Name: "north"},
+		{Seg: geom.Segment{A: geom.Point{X: 0, Y: 8}, B: geom.Point{X: 0, Y: 0}}, Mat: Concrete, Name: "west"},
+	}
+	return New(walls, nil)
+}
+
+func TestDirectPathGeometry(t *testing.T) {
+	e := openRoom()
+	tx := geom.Point{X: 7, Y: 4}
+	rx := geom.Point{X: 3, Y: 4}
+	paths := e.Trace(tx, rx)
+	dp, ok := DirectPath(paths)
+	if !ok {
+		t.Fatal("no direct path")
+	}
+	if math.Abs(dp.BearingDeg-0) > 1e-9 { // tx is due +x of rx
+		t.Errorf("direct bearing = %v, want 0", dp.BearingDeg)
+	}
+	wantDelay := 4.0 / antenna.SpeedOfLight
+	if math.Abs(dp.Delay-wantDelay) > 1e-15 {
+		t.Errorf("delay = %v, want %v", dp.Delay, wantDelay)
+	}
+	if dp.Order != 0 || dp.Via != "direct" {
+		t.Errorf("direct path metadata: %+v", dp)
+	}
+}
+
+func TestDirectPathIsStrongest(t *testing.T) {
+	e := openRoom()
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	if len(paths) < 2 {
+		t.Fatalf("expected multipath, got %d paths", len(paths))
+	}
+	// Trace sorts strongest first; with line of sight that must be direct.
+	if paths[0].Order != 0 {
+		t.Errorf("strongest path is order %d via %s", paths[0].Order, paths[0].Via)
+	}
+	for _, p := range paths[1:] {
+		if cmplx.Abs(p.Gain) > cmplx.Abs(paths[0].Gain)+1e-18 {
+			t.Error("paths not sorted by gain")
+		}
+	}
+}
+
+func TestSingleBounceCount(t *testing.T) {
+	// In a closed rectangle with both endpoints interior, all four walls
+	// give a specular single-bounce path.
+	e := openRoom()
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	var bounces int
+	for _, p := range paths {
+		if p.Order == 1 {
+			bounces++
+		}
+	}
+	if bounces != 4 {
+		t.Errorf("single-bounce paths = %d, want 4", bounces)
+	}
+}
+
+func TestReflectionGeometryKnown(t *testing.T) {
+	// tx and rx both 2 m above the south wall (y=0), 6 m apart: the
+	// south-wall bounce has total length sqrt(6^2 + 4^2) = 7.211 m and
+	// arrives from below rx at the specular point midway.
+	e := openRoom()
+	tx := geom.Point{X: 8, Y: 2}
+	rx := geom.Point{X: 2, Y: 2}
+	paths := e.Trace(tx, rx)
+	var south *Path
+	for i := range paths {
+		if paths[i].Via == "south" {
+			south = &paths[i]
+		}
+	}
+	if south == nil {
+		t.Fatal("no south-wall bounce")
+	}
+	wantLen := math.Hypot(6, 4)
+	if math.Abs(south.Delay*antenna.SpeedOfLight-wantLen) > 1e-9 {
+		t.Errorf("bounce length = %v, want %v", south.Delay*antenna.SpeedOfLight, wantLen)
+	}
+	// Specular point at (5, 0): bearing from rx (2,2) to (5,0).
+	wantBearing := geom.BearingDeg(rx, geom.Point{X: 5, Y: 0})
+	if math.Abs(south.BearingDeg-wantBearing) > 1e-9 {
+		t.Errorf("bounce bearing = %v, want %v", south.BearingDeg, wantBearing)
+	}
+}
+
+func TestReflectionWeakerThanDirect(t *testing.T) {
+	e := openRoom()
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	dp, _ := DirectPath(paths)
+	for _, p := range paths {
+		if p.Order == 1 && cmplx.Abs(p.Gain) >= cmplx.Abs(dp.Gain) {
+			t.Errorf("bounce via %s at least as strong as direct", p.Via)
+		}
+	}
+}
+
+func TestThroughWallAttenuation(t *testing.T) {
+	// Put a drywall partition between tx and rx; direct gain must shrink
+	// by exactly the transmission coefficient relative to no partition.
+	walls := []Wall{
+		{Seg: geom.Segment{A: geom.Point{X: 5, Y: -10}, B: geom.Point{X: 5, Y: 10}}, Mat: Drywall, Name: "partition"},
+	}
+	tx := geom.Point{X: 8, Y: 0}
+	rx := geom.Point{X: 2, Y: 0}
+
+	withWall := New(walls, nil)
+	free := New(nil, nil)
+	p1, ok1 := DirectPath(withWall.Trace(tx, rx))
+	p0, ok0 := DirectPath(free.Trace(tx, rx))
+	if !ok0 || !ok1 {
+		t.Fatal("missing direct paths")
+	}
+	ratio := cmplx.Abs(p1.Gain) / cmplx.Abs(p0.Gain)
+	if math.Abs(ratio-Drywall.Transmission) > 1e-9 {
+		t.Errorf("through-wall ratio = %v, want %v", ratio, Drywall.Transmission)
+	}
+}
+
+func TestObstacleBlocksDirect(t *testing.T) {
+	pillar := Obstacle{
+		Poly: geom.Rect(4.5, -0.5, 5.5, 0.5),
+		Mat:  Concrete,
+		Name: "pillar",
+	}
+	e := New(nil, []Obstacle{pillar})
+	tx := geom.Point{X: 9, Y: 0}
+	rx := geom.Point{X: 1, Y: 0}
+	p, ok := DirectPath(e.Trace(tx, rx))
+	if !ok {
+		t.Fatal("direct path dropped entirely")
+	}
+	free, _ := DirectPath(New(nil, nil).Trace(tx, rx))
+	ratio := cmplx.Abs(p.Gain) / cmplx.Abs(free.Gain)
+	// The ray crosses two pillar faces.
+	want := Concrete.Transmission * Concrete.Transmission
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("pillar attenuation = %v, want %v", ratio, want)
+	}
+}
+
+func TestObstacleFacesReflect(t *testing.T) {
+	pillar := Obstacle{Poly: geom.Rect(4, 2, 5, 3), Mat: Concrete, Name: "pillar"}
+	e := New(nil, []Obstacle{pillar})
+	// tx and rx placed south of the pillar: its south face (y=2) should
+	// produce a bounce.
+	tx := geom.Point{X: 6, Y: 0}
+	rx := geom.Point{X: 3, Y: 0}
+	var found bool
+	for _, p := range e.Trace(tx, rx) {
+		if p.Order == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no reflection off pillar faces")
+	}
+}
+
+func TestMinGainFloorDropsWeakPaths(t *testing.T) {
+	e := openRoom()
+	e.MinGain = 0.9999 // keep only (nearly) the strongest
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	if len(paths) != 1 {
+		t.Errorf("gain floor kept %d paths, want 1", len(paths))
+	}
+}
+
+func TestDoubleBounce(t *testing.T) {
+	e := openRoom()
+	e.MaxOrder = 2
+	e.MinGain = 0 // keep everything
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	var order2 int
+	for _, p := range paths {
+		if p.Order == 2 {
+			order2++
+			if p.Delay <= 0 {
+				t.Error("double bounce with nonpositive delay")
+			}
+		}
+	}
+	if order2 == 0 {
+		t.Error("MaxOrder=2 produced no double-bounce paths")
+	}
+	// Double bounces travel farther than the direct path.
+	dp, _ := DirectPath(paths)
+	for _, p := range paths {
+		if p.Order == 2 && p.Delay <= dp.Delay {
+			t.Error("double bounce arrived before direct path")
+		}
+	}
+}
+
+func TestPhaseMatchesDelay(t *testing.T) {
+	// Path phase must equal -2 pi d / lambda (mod 2 pi).
+	e := openRoom()
+	paths := e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4.5})
+	lambda := e.Wavelength()
+	for _, p := range paths {
+		d := p.Delay * antenna.SpeedOfLight
+		want := math.Mod(-2*math.Pi*d/lambda, 2*math.Pi)
+		got := cmplx.Phase(p.Gain)
+		diff := math.Mod(got-want, 2*math.Pi)
+		if diff > math.Pi {
+			diff -= 2 * math.Pi
+		}
+		if diff < -math.Pi {
+			diff += 2 * math.Pi
+		}
+		if math.Abs(diff) > 1e-6 {
+			t.Errorf("path via %s: phase %v, want %v", p.Via, got, want)
+		}
+	}
+}
+
+func TestDriftStableDirectWanderingReflections(t *testing.T) {
+	e := openRoom()
+	e.EnableDrift(rng.New(1), 60, 0.2, 0.8)
+	tx := geom.Point{X: 7, Y: 4}
+	rx := geom.Point{X: 3, Y: 4}
+
+	base := e.Trace(tx, rx)
+	baseDirect, _ := DirectPath(base)
+	baseBounce := gainsByVia(base)
+
+	e.Advance(600) // ten coherence times
+	later := e.Trace(tx, rx)
+	laterDirect, _ := DirectPath(later)
+	laterBounce := gainsByVia(later)
+
+	if cmplx.Abs(baseDirect.Gain-laterDirect.Gain) > 1e-15 {
+		t.Error("direct path drifted")
+	}
+	var changed int
+	for via, g := range baseBounce {
+		if g2, ok := laterBounce[via]; ok && cmplx.Abs(g-g2) > 1e-6 {
+			changed++
+		}
+	}
+	if changed == 0 {
+		t.Error("no reflection gains drifted after 10 coherence times")
+	}
+}
+
+func TestDriftDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []Path {
+		e := openRoom()
+		e.EnableDrift(rng.New(seed), 60, 0.2, 0.8)
+		e.Advance(30)
+		return e.Trace(geom.Point{X: 7, Y: 4}, geom.Point{X: 3, Y: 4})
+	}
+	a := mk(5)
+	b := mk(5)
+	if len(a) != len(b) {
+		t.Fatal("path counts differ")
+	}
+	for i := range a {
+		if cmplx.Abs(a[i].Gain-b[i].Gain) > 1e-15 {
+			t.Fatal("same seed produced different drift")
+		}
+	}
+}
+
+func TestAdvanceWithoutDriftIsNoop(t *testing.T) {
+	e := openRoom()
+	e.Advance(100) // must not panic
+}
+
+func TestStrongestBearing(t *testing.T) {
+	if _, ok := StrongestBearing(nil); ok {
+		t.Error("empty path list")
+	}
+	paths := []Path{
+		{BearingDeg: 10, Gain: 0.1},
+		{BearingDeg: 20, Gain: 0.5},
+		{BearingDeg: 30, Gain: 0.2},
+	}
+	b, ok := StrongestBearing(paths)
+	if !ok || b != 20 {
+		t.Errorf("StrongestBearing = %v, %v", b, ok)
+	}
+}
+
+func TestDirectPathAbsent(t *testing.T) {
+	if _, ok := DirectPath([]Path{{Order: 1}}); ok {
+		t.Error("order-1-only list reported a direct path")
+	}
+}
+
+func gainsByVia(paths []Path) map[string]complex128 {
+	out := map[string]complex128{}
+	for _, p := range paths {
+		if p.Order > 0 {
+			out[p.Via] = p.Gain
+		}
+	}
+	return out
+}

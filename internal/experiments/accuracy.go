@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/stats"
+	"secureangle/internal/testbed"
+)
+
+// AccuracyResult quantifies the section 2.3.1 claim: "after overhearing
+// just one packet, it is possible to measure approximately three quarters
+// of our clients' bearings to the access point to within 2.5 degrees and
+// all clients' bearings to within 14 degrees with 95% confidence".
+type AccuracyResult struct {
+	// PerClientP95 is each client's 95th-percentile single-packet error.
+	PerClientP95 map[int]float64
+	// FractionWithin2_5 is the fraction of clients whose 95th-percentile
+	// error is at most 2.5 degrees.
+	FractionWithin2_5 float64
+	// MaxP95 is the worst client's 95th-percentile error (the paper's
+	// "all clients within 14 degrees").
+	MaxP95 float64
+	// Packets is the number of single-packet trials per client.
+	Packets int
+}
+
+// RunAccuracy measures single-packet bearing error distributions for all
+// 20 clients on the circular array.
+func RunAccuracy(seed int64, packets int) (*AccuracyResult, error) {
+	if packets <= 0 {
+		packets = 20
+	}
+	ap := newAP1(seed)
+	res := &AccuracyResult{PerClientP95: map[int]float64{}, Packets: packets}
+	var within int
+	var clients int
+	for _, c := range testbed.Clients() {
+		truth := testbed.GroundTruth(testbed.AP1, c.Pos)
+		var errs []float64
+		for pkt := 0; pkt < packets; pkt++ {
+			rep, err := observe(ap, c.ID, c.Pos, uint16(pkt))
+			if err != nil {
+				continue
+			}
+			errs = append(errs, geom.AngularDistDeg(rep.BearingDeg, truth))
+		}
+		if len(errs) == 0 {
+			return nil, fmt.Errorf("experiments: client %d undetectable", c.ID)
+		}
+		p95 := stats.Percentile(errs, 95)
+		res.PerClientP95[c.ID] = p95
+		clients++
+		if p95 <= 2.5 {
+			within++
+		}
+		if p95 > res.MaxP95 {
+			res.MaxP95 = p95
+		}
+	}
+	res.FractionWithin2_5 = float64(within) / float64(clients)
+	return res, nil
+}
+
+// Render prints the accuracy-claim table.
+func (r *AccuracyResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 2.3.1 accuracy claim (single-packet bearings, %d packets/client):\n", r.Packets)
+	fmt.Fprintf(&b, "%-8s %s\n", "client", "95th-pct error (deg)")
+	for id := 1; id <= 20; id++ {
+		if v, ok := r.PerClientP95[id]; ok {
+			fmt.Fprintf(&b, "%-8d %.1f\n", id, v)
+		}
+	}
+	fmt.Fprintf(&b, "fraction of clients within 2.5 deg: %.2f (paper: ~0.75)\n", r.FractionWithin2_5)
+	fmt.Fprintf(&b, "worst client 95th-pct error: %.1f deg (paper: 14 deg)\n", r.MaxP95)
+	return b.String()
+}

@@ -1,0 +1,58 @@
+// Package experiments contains the drivers that regenerate every artefact
+// of the paper's evaluation (section 3): Figure 5 (bearing accuracy per
+// client), Figure 6 (signature stability over time), Figure 7 (resolution
+// versus antenna count), the section 2.3.1 accuracy claim, the virtual
+// fence and address-spoofing applications, and the ablations DESIGN.md
+// calls out. Each driver returns a structured result that cmd/secureangle
+// renders as the paper's rows/series and bench_test.go exercises.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"secureangle/internal/core"
+	"secureangle/internal/geom"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+	"secureangle/internal/stats"
+	"secureangle/internal/testbed"
+)
+
+// observe sends one uplink packet from the client and returns the AP's
+// report.
+func observe(ap *core.AP, clientID int, pos geom.Point, seq uint16) (*core.Report, error) {
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, seq, []byte("uplink")), ofdm.QPSK)
+	if err != nil {
+		return nil, err
+	}
+	return ap.Observe(pos, bb)
+}
+
+// newAP1 builds the standard circular-array AP at the Figure 4 position.
+func newAP1(seed int64) *core.AP {
+	e, _ := testbed.Building()
+	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(seed))
+	return core.NewAP("ap1", fe, e, core.DefaultConfig())
+}
+
+// bearingStats converts packet bearings to a circular mean, deviations,
+// and a Student-t confidence half-width.
+func bearingStats(bearings []float64, conf float64) (mean float64, ci float64) {
+	mean = stats.CircularMeanDeg(bearings)
+	devs := make([]float64, len(bearings))
+	for i, b := range bearings {
+		d := math.Mod(b-mean, 360)
+		if d > 180 {
+			d -= 360
+		}
+		if d < -180 {
+			d += 360
+		}
+		devs[i] = d
+	}
+	return mean, stats.ConfidenceInterval(devs, conf)
+}
+
+// fmtDeg renders a bearing for table output.
+func fmtDeg(v float64) string { return fmt.Sprintf("%7.1f", v) }

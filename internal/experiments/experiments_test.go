@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment drivers are the heaviest integration tests in the tree:
+// each runs the full env -> radio -> detect -> MUSIC pipeline dozens to
+// hundreds of times. They use reduced packet counts where the paper's
+// full counts are not needed to verify the qualitative claims.
+
+func TestFig5Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunFig5(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 20 {
+		t.Fatalf("clients = %d", len(res.Clients))
+	}
+	// Headline: mean 99% CI across clients in the paper's band (~7 deg;
+	// allow generous margin for the simulated office).
+	if res.MeanCI99 > 12 {
+		t.Errorf("mean 99%% CI = %.1f deg, paper reports ~7", res.MeanCI99)
+	}
+	// Qualitative structure: the pillar/far clients are the bad ones.
+	if !res.DegradedClientsWorse() {
+		t.Error("clients 6/11/12 are not the degraded ones")
+	}
+	// Bearing estimates correlate with ground truth: no client should be
+	// grossly wrong on average except the known hard cases.
+	for _, c := range res.Clients {
+		limit := 15.0
+		switch c.ID {
+		case 6, 11, 12:
+			limit = 60 // pillar/far-corner reflection-flip regime
+		case 2, 13, 14, 15, 16, 17, 18, 19, 20:
+			limit = 30 // through-wall clients: occasional drift-induced flips
+		}
+		if c.AbsError > limit {
+			t.Errorf("client %d mean error %.1f deg exceeds %v", c.ID, c.AbsError, limit)
+		}
+	}
+	if !strings.Contains(res.Render(), "Figure 5") {
+		t.Error("render output malformed")
+	}
+}
+
+func TestFig6Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunFig6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clients) != 3 {
+		t.Fatalf("clients = %d", len(res.Clients))
+	}
+	for _, c := range res.Clients {
+		if len(c.Snapshots) != len(Fig6Offsets) {
+			t.Fatalf("client %d snapshots = %d", c.ID, len(c.Snapshots))
+		}
+		// Short-term similarity must be high (minute-to-minute stability).
+		for _, s := range c.Snapshots[:3] { // 0, 1, 10 s
+			if s.SimilarityToT0 < 0.9 {
+				t.Errorf("client %d at %gs: similarity %.3f, want > 0.9",
+					c.ID, s.OffsetSec, s.SimilarityToT0)
+			}
+		}
+	}
+	if !res.DirectStableReflectionsWander() {
+		t.Error("Figure 6 structure violated: direct peak unstable or no drift at all")
+	}
+	if !strings.Contains(res.Render(), "Figure 6") {
+		t.Error("render output malformed")
+	}
+}
+
+func TestFig7Reproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunFig7(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if !res.ResolutionImproves() {
+		for _, row := range res.Rows {
+			t.Logf("antennas=%d peak=%.1f err=%.1f peaks=%d",
+				row.Antennas, row.PeakBearing, row.AbsError, row.PeakCount)
+		}
+		t.Error("Figure 7 structure violated: resolution does not improve with antennas")
+	}
+}
+
+func TestAccuracyClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunAccuracy(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: ~3/4 of clients within 2.5 deg. Require at least half in the
+	// simulated office (the exact fraction depends on wall materials).
+	if res.FractionWithin2_5 < 0.5 {
+		t.Errorf("fraction within 2.5 deg = %.2f, paper ~0.75", res.FractionWithin2_5)
+	}
+	// Paper: all clients within 14 deg; allow the reflection-flip clients
+	// some slack but demand a finite band.
+	if res.MaxP95 > 60 {
+		t.Errorf("worst client p95 = %.1f deg", res.MaxP95)
+	}
+	if !strings.Contains(res.Render(), "2.5") {
+		t.Error("render output malformed")
+	}
+}
+
+func TestFenceExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunFence(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 24 { // 20 clients + 4 intruders
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	// Every outside intruder must be dropped (the security property);
+	// most inside clients must be allowed (the availability property).
+	var insideOK, insideTotal int
+	for _, c := range res.Cases {
+		if !c.Inside {
+			if c.Decision.String() != "drop" {
+				t.Errorf("intruder %s allowed (fused at %v)", c.Label, c.FusedPos)
+			}
+			continue
+		}
+		insideTotal++
+		if c.Decision.String() == "allow" {
+			insideOK++
+		}
+	}
+	if frac := float64(insideOK) / float64(insideTotal); frac < 0.8 {
+		t.Errorf("only %.2f of inside clients allowed", frac)
+	}
+	if res.MedianLocErrM > 1.5 {
+		t.Errorf("median localisation error %.2f m", res.MedianLocErrM)
+	}
+}
+
+func TestSpoofExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunSpoof(6, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseAlarmRate > 0.2 {
+		t.Errorf("false alarm rate %.2f", res.FalseAlarmRate)
+	}
+	if res.AoADetectionRate < 0.9 {
+		t.Errorf("AoA detection rate %.2f, want >= 0.9", res.AoADetectionRate)
+	}
+	// The directional attacker defeats RSS: its detection rate must be
+	// clearly below SecureAngle's.
+	if res.RSSDetectionRate >= res.AoADetectionRate {
+		t.Errorf("RSS (%.2f) not worse than AoA (%.2f) under directional attack",
+			res.RSSDetectionRate, res.AoADetectionRate)
+	}
+}
+
+func TestEstimatorAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunEstimatorAblation(7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MUSIC", "Bartlett", "MVDR"} {
+		if _, ok := res.MeanErrDeg[name]; !ok {
+			t.Errorf("missing estimator %s", name)
+		}
+	}
+	// MUSIC should be at least as accurate as the classical Bartlett
+	// beamformer on LoS clients.
+	if res.MeanErrDeg["MUSIC"] > res.MeanErrDeg["Bartlett"]+1 {
+		t.Errorf("MUSIC %.2f worse than Bartlett %.2f",
+			res.MeanErrDeg["MUSIC"], res.MeanErrDeg["Bartlett"])
+	}
+}
+
+func TestCalibrationAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunCalibrationAblation(8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WithCalDeg > 5 {
+		t.Errorf("calibrated error %.1f deg", res.WithCalDeg)
+	}
+	if res.WithoutCalDeg < 3*res.WithCalDeg && res.WithoutCalDeg < 15 {
+		t.Errorf("uncalibrated error %.1f deg vs calibrated %.1f: calibration appears unnecessary",
+			res.WithoutCalDeg, res.WithCalDeg)
+	}
+}
+
+func TestPacketVsSampleAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunPacketVsSample(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WholePacketDeg > res.SingleSampleDeg {
+		t.Errorf("whole-packet error %.1f worse than single-sample %.1f",
+			res.WholePacketDeg, res.SingleSampleDeg)
+	}
+}

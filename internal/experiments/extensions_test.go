@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMobilityTracking(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunMobility(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Steps) < 30 {
+		t.Fatalf("steps = %d", len(res.Steps))
+	}
+	if res.FixRate < 0.9 {
+		t.Errorf("fix rate %.2f", res.FixRate)
+	}
+	// Filtering must not be worse than raw triangulation, and the walk
+	// must be tracked to house-scale accuracy.
+	if res.FilteredRMSE > res.RawRMSE+0.1 {
+		t.Errorf("filtered RMSE %.2f worse than raw %.2f", res.FilteredRMSE, res.RawRMSE)
+	}
+	if res.FilteredRMSE > 2.0 {
+		t.Errorf("filtered RMSE %.2f m", res.FilteredRMSE)
+	}
+	if !strings.Contains(res.Render(), "Mobility tracking") {
+		t.Error("render malformed")
+	}
+}
+
+func TestDownlinkBeamforming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunBeamform(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := 10 * math.Log10(8)
+	// Steering from the uplink AoA estimate must realise nearly the full
+	// 8-antenna array gain at every LoS client.
+	for _, c := range res.Clients {
+		if c.IdealDB < ideal-1e-6 {
+			t.Errorf("client %d ideal gain %.2f < %.2f", c.ID, c.IdealDB, ideal)
+		}
+		if c.GainDB < ideal-1.0 {
+			t.Errorf("client %d realised gain %.2f dB, want within 1 dB of %.2f", c.ID, c.GainDB, ideal)
+		}
+	}
+	if res.MeanGainDB < ideal-0.5 {
+		t.Errorf("mean gain %.2f dB", res.MeanGainDB)
+	}
+	if res.BeamwidthDeg <= 0 || res.BeamwidthDeg > 90 {
+		t.Errorf("beamwidth %.1f deg", res.BeamwidthDeg)
+	}
+	if !strings.Contains(res.Render(), "Downlink") {
+		t.Error("render malformed")
+	}
+}
+
+func TestInterference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunInterference(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 5 {
+		t.Fatalf("trials = %d", len(res.Trials))
+	}
+	// Equal-distance pairs resolve; the near-far pair (client 5 at 2.3 m
+	// vs client 9 at 5.9 m, ~8 dB power imbalance) may capture — classic
+	// near-far behaviour, so demand at least 4 of 5.
+	if res.ResolveRate < 0.8 {
+		t.Errorf("resolve rate %.2f", res.ResolveRate)
+	}
+	// The stronger transmitter's bearing must always be recovered.
+	for _, tr := range res.Trials {
+		if tr.ErrA > 5 && tr.ErrB > 5 {
+			t.Errorf("pair %d+%d: neither bearing recovered", tr.ClientA, tr.ClientB)
+		}
+	}
+}
+
+func TestSNRSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunSNRSweep(14, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// High SNR: perfect detection and sub-2-degree error.
+	first := res.Points[0]
+	if first.DetectRate < 1 || first.MedianErrDeg > 2 {
+		t.Errorf("30 dB point: %+v", first)
+	}
+	// Detection must degrade monotonically-ish: the last point (deep
+	// negative SNR) must fail.
+	last := res.Points[len(res.Points)-1]
+	if last.DetectRate > 0.2 {
+		t.Errorf("detection at %v dB should fail, rate %v", last.SNRdB, last.DetectRate)
+	}
+	// The cliff lies somewhere sensible for Schmidl-Cox at threshold 0.5.
+	if res.CliffdB < 2 || res.CliffdB > 25 {
+		t.Errorf("cliff at %v dB", res.CliffdB)
+	}
+}
+
+func TestGridFreeAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	res, err := RunGridFreeAblation(15, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"MUSIC-3deg", "root-MUSIC", "ESPRIT"} {
+		if _, ok := res.MeanErrDeg[name]; !ok {
+			t.Fatalf("missing %s", name)
+		}
+	}
+	// Grid-free methods must beat the coarse grid's quantisation.
+	if res.MeanErrDeg["root-MUSIC"] >= res.MeanErrDeg["MUSIC-3deg"] {
+		t.Errorf("root-MUSIC %.2f not better than 3-degree grid %.2f",
+			res.MeanErrDeg["root-MUSIC"], res.MeanErrDeg["MUSIC-3deg"])
+	}
+	if res.MeanErrDeg["root-MUSIC"] > 1 {
+		t.Errorf("root-MUSIC error %.2f deg", res.MeanErrDeg["root-MUSIC"])
+	}
+}
+
+func TestRendersProduceOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full testbed sweep")
+	}
+	// Smoke-check every Render method the CLI prints.
+	snr, err := RunSNRSweep(16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snr.Render(), "SNR robustness") {
+		t.Error("snr render")
+	}
+	intf, err := RunInterference(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(intf.Render(), "Concurrent transmitters") {
+		t.Error("interference render")
+	}
+	gf, err := RunGridFreeAblation(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(gf.Render(), "Grid-free") {
+		t.Error("grid-free render")
+	}
+}

@@ -1,0 +1,201 @@
+// Package fec implements 802.11a/g's forward error correction: the
+// rate-1/2 K=7 convolutional code (generators 133/171 octal), a
+// hard-decision Viterbi decoder, and the per-symbol block interleaver.
+// The prototype's traffic was real 802.11 OFDM; with this package the
+// simulated packets carry the same coding chain, so bit errors introduced
+// by the channel behave the way deployed receivers see them.
+package fec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+const (
+	// K is the constraint length.
+	K = 7
+	// nStates is the trellis size, 2^(K-1).
+	nStates = 1 << (K - 1)
+	// g0 and g1 are the standard 802.11a generator polynomials (octal
+	// 133 and 171 in the newest-bit-at-MSB convention). This encoder's
+	// shift register keeps the newest bit at the LSB, so the constants
+	// are stored bit-reversed (155, 117 octal); the emitted sequence is
+	// bit-exact with the standard.
+	g0 = 0o155
+	g1 = 0o117
+)
+
+// parity returns the parity of x.
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// Encode convolutionally encodes bits (values 0/1) at rate 1/2, appending
+// K-1 zero tail bits to terminate the trellis. Output length is
+// 2*(len(bits)+6).
+func Encode(bits []byte) []byte {
+	out := make([]byte, 0, 2*(len(bits)+K-1))
+	var state uint32 // last K-1 input bits, newest in the LSB side of the register
+	emit := func(b byte) {
+		reg := state<<1 | uint32(b)
+		out = append(out, parity(reg&g0), parity(reg&g1))
+		state = reg & (nStates - 1)
+	}
+	for _, b := range bits {
+		emit(b & 1)
+	}
+	for i := 0; i < K-1; i++ {
+		emit(0)
+	}
+	return out
+}
+
+// ErrBadLength reports a coded stream whose length is not usable.
+var ErrBadLength = errors.New("fec: coded length must be even and cover the tail")
+
+// Decode runs hard-decision Viterbi over a rate-1/2 coded stream produced
+// by Encode (including its tail), returning the information bits.
+func Decode(coded []byte) ([]byte, error) {
+	if len(coded)%2 != 0 || len(coded) < 2*(K-1) {
+		return nil, ErrBadLength
+	}
+	nSteps := len(coded) / 2
+	nInfo := nSteps - (K - 1)
+	if nInfo < 0 {
+		return nil, ErrBadLength
+	}
+
+	const inf = math.MaxInt32 / 2
+	metric := make([]int32, nStates)
+	next := make([]int32, nStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	// Survivor bits, one row per step.
+	surv := make([][]byte, nSteps)
+
+	// Precompute per-(state, input) outputs.
+	var out0 [nStates][2]byte // input 0: coded bit pair
+	var out1 [nStates][2]byte
+	for s := 0; s < nStates; s++ {
+		reg0 := uint32(s) << 1
+		out0[s] = [2]byte{parity(reg0 & g0), parity(reg0 & g1)}
+		reg1 := reg0 | 1
+		out1[s] = [2]byte{parity(reg1 & g0), parity(reg1 & g1)}
+	}
+
+	for step := 0; step < nSteps; step++ {
+		r0, r1 := coded[2*step]&1, coded[2*step+1]&1
+		for i := range next {
+			next[i] = inf
+		}
+		row := make([]byte, nStates)
+		for s := 0; s < nStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			for _, in := range [2]int{0, 1} {
+				var o [2]byte
+				if in == 0 {
+					o = out0[s]
+				} else {
+					o = out1[s]
+				}
+				ns := ((s << 1) | in) & (nStates - 1)
+				cost := metric[s]
+				if o[0] != r0 {
+					cost++
+				}
+				if o[1] != r1 {
+					cost++
+				}
+				if cost < next[ns] {
+					next[ns] = cost
+					// Survivor: remember the predecessor's top bit and
+					// input; the predecessor is recoverable from ns and
+					// the stored dropped bit.
+					row[ns] = byte(in) | byte(s>>(K-2))<<1
+				}
+			}
+		}
+		copy(metric, next)
+		surv[step] = row
+	}
+
+	// Terminated trellis ends at state 0.
+	state := 0
+	decoded := make([]byte, nSteps)
+	for step := nSteps - 1; step >= 0; step-- {
+		entry := surv[step][state]
+		in := entry & 1
+		dropped := (entry >> 1) & 1
+		decoded[step] = in
+		state = (state >> 1) | int(dropped)<<(K-2)
+	}
+	return decoded[:nInfo], nil
+}
+
+// Interleaver is the 802.11a per-OFDM-symbol block interleaver for ncbps
+// coded bits per symbol (two permutations; the second depends on the bits
+// per subcarrier, nbpsc).
+type Interleaver struct {
+	ncbps int
+	perm  []int // write index for each read index
+	inv   []int
+}
+
+// NewInterleaver builds the interleaver for ncbps coded bits per symbol
+// and nbpsc coded bits per subcarrier.
+func NewInterleaver(ncbps, nbpsc int) (*Interleaver, error) {
+	if ncbps <= 0 || ncbps%16 != 0 {
+		return nil, fmt.Errorf("fec: ncbps %d must be a positive multiple of 16", ncbps)
+	}
+	s := nbpsc / 2
+	if s < 1 {
+		s = 1
+	}
+	il := &Interleaver{ncbps: ncbps, perm: make([]int, ncbps), inv: make([]int, ncbps)}
+	for k := 0; k < ncbps; k++ {
+		// First permutation: adjacent coded bits onto nonadjacent
+		// subcarriers.
+		i := (ncbps/16)*(k%16) + k/16
+		// Second permutation: adjacent bits alternate between more and
+		// less significant constellation bits.
+		j := s*(i/s) + (i+ncbps-(16*i)/ncbps)%s
+		il.perm[k] = j
+		il.inv[j] = k
+	}
+	return il, nil
+}
+
+// Interleave permutes one symbol's worth of bits.
+func (il *Interleaver) Interleave(bits []byte) ([]byte, error) {
+	if len(bits) != il.ncbps {
+		return nil, fmt.Errorf("fec: interleave needs %d bits, got %d", il.ncbps, len(bits))
+	}
+	out := make([]byte, il.ncbps)
+	for k, j := range il.perm {
+		out[j] = bits[k]
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(bits []byte) ([]byte, error) {
+	if len(bits) != il.ncbps {
+		return nil, fmt.Errorf("fec: deinterleave needs %d bits, got %d", il.ncbps, len(bits))
+	}
+	out := make([]byte, il.ncbps)
+	for j, k := range il.inv {
+		out[k] = bits[j]
+	}
+	return out, nil
+}

@@ -1,0 +1,225 @@
+package fec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func TestEncodeLengthAndRate(t *testing.T) {
+	bits := []byte{1, 0, 1, 1}
+	coded := Encode(bits)
+	if len(coded) != 2*(4+K-1) {
+		t.Fatalf("coded length = %d", len(coded))
+	}
+	for _, b := range coded {
+		if b > 1 {
+			t.Fatal("non-binary output")
+		}
+	}
+}
+
+func TestEncodeKnownVector(t *testing.T) {
+	// All-zero input must give all-zero output (linear code).
+	coded := Encode(make([]byte, 10))
+	for _, b := range coded {
+		if b != 0 {
+			t.Fatal("zero input produced nonzero output")
+		}
+	}
+	// A single leading 1 produces the generator impulse response:
+	// g0 = 133 octal = 1011011, g1 = 171 octal = 1111001 (MSB first taps;
+	// our register shifts left so the response reads off the taps).
+	coded = Encode([]byte{1, 0, 0, 0, 0, 0, 0})
+	wantPairs := [][2]byte{{1, 1}, {0, 1}, {1, 1}, {1, 1}, {0, 0}, {1, 0}, {1, 1}}
+	for i, w := range wantPairs {
+		if coded[2*i] != w[0] || coded[2*i+1] != w[1] {
+			t.Fatalf("impulse response pair %d = (%d,%d), want %v",
+				i, coded[2*i], coded[2*i+1], w)
+		}
+	}
+}
+
+func TestEncodeDecodeCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 48, 96, 500} {
+		bits := randBits(rng, n)
+		decoded, err := Decode(Encode(bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded, bits) {
+			t.Fatalf("n=%d: clean round trip failed", n)
+		}
+	}
+}
+
+func TestDecodeCorrectsErrors(t *testing.T) {
+	// Rate-1/2 K=7 has free distance 10: it corrects any 4 errors spread
+	// through a long block, and far denser random errors in practice.
+	rng := rand.New(rand.NewSource(2))
+	bits := randBits(rng, 200)
+	coded := Encode(bits)
+
+	// 4 isolated errors.
+	c := append([]byte(nil), coded...)
+	for _, pos := range []int{10, 90, 200, 333} {
+		c[pos] ^= 1
+	}
+	decoded, err := Decode(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(decoded, bits) {
+		t.Fatal("4 isolated errors not corrected")
+	}
+}
+
+func TestDecodeUnderRandomBER(t *testing.T) {
+	// 3% random BER over a long block: Viterbi should recover everything
+	// almost always at this operating point.
+	rng := rand.New(rand.NewSource(3))
+	fails := 0
+	for trial := 0; trial < 10; trial++ {
+		bits := randBits(rng, 300)
+		coded := Encode(bits)
+		for i := range coded {
+			if rng.Float64() < 0.03 {
+				coded[i] ^= 1
+			}
+		}
+		decoded, err := Decode(coded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(decoded, bits) {
+			fails++
+		}
+	}
+	if fails > 2 {
+		t.Errorf("3%% BER: %d/10 blocks failed", fails)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1}); err != ErrBadLength {
+		t.Errorf("odd length err = %v", err)
+	}
+	if _, err := Decode([]byte{1, 0}); err != ErrBadLength {
+		t.Errorf("too-short err = %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		bits := make([]byte, len(data))
+		for i, d := range data {
+			bits[i] = d & 1
+		}
+		decoded, err := Decode(Encode(bits))
+		return err == nil && bytes.Equal(decoded, bits)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// The four 802.11a modes: BPSK 48, QPSK 96, 16-QAM 192, 64-QAM 288
+	// coded bits per symbol.
+	for _, mode := range []struct{ ncbps, nbpsc int }{
+		{48, 1}, {96, 2}, {192, 4}, {288, 6},
+	} {
+		il, err := NewInterleaver(mode.ncbps, mode.nbpsc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := randBits(rng, mode.ncbps)
+		inter, err := il.Interleave(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := il.Deinterleave(inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(back, bits) {
+			t.Fatalf("ncbps=%d round trip failed", mode.ncbps)
+		}
+		// The interleave must actually move bits (not identity).
+		if bytes.Equal(inter, bits) && mode.ncbps > 16 {
+			t.Fatalf("ncbps=%d interleaver is the identity", mode.ncbps)
+		}
+	}
+}
+
+func TestInterleaverSpreadsBursts(t *testing.T) {
+	// A burst of adjacent coded-bit errors must land on non-adjacent
+	// positions after deinterleaving — the property that makes Viterbi
+	// effective against frequency-selective fades.
+	il, err := NewInterleaver(192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := make([]byte, 192)
+	for i := 60; i < 68; i++ { // 8-bit burst in the interleaved domain
+		burst[i] = 1
+	}
+	spread, err := il.Deinterleave(burst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max run length of 1s after deinterleaving must be short.
+	run, maxRun := 0, 0
+	for _, b := range spread {
+		if b == 1 {
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if maxRun > 2 {
+		t.Errorf("burst survived deinterleaving with run %d", maxRun)
+	}
+}
+
+func TestInterleaverRejectsBadSizes(t *testing.T) {
+	if _, err := NewInterleaver(50, 2); err == nil {
+		t.Error("non-multiple-of-16 accepted")
+	}
+	if _, err := NewInterleaver(0, 1); err == nil {
+		t.Error("zero accepted")
+	}
+	il, _ := NewInterleaver(48, 1)
+	if _, err := il.Interleave(make([]byte, 47)); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if _, err := il.Deinterleave(make([]byte, 49)); err == nil {
+		t.Error("wrong length accepted")
+	}
+}
+
+func BenchmarkViterbiDecode600(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	coded := Encode(randBits(rng, 600))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(coded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+// Package geom provides the 2-D computational geometry behind SecureAngle's
+// channel simulator and virtual fence: points, segments, reflections
+// (image method), ray-segment intersection, and point-in-polygon tests.
+//
+// Conventions: coordinates in metres; bearings in degrees measured
+// counter-clockwise from the +x axis, matching Figure 4 of the paper where
+// the circular array reports 0-360 degrees.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D point or vector in metres.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns s * p.
+func (p Point) Scale(s float64) Point { return Point{s * p.X, s * p.Y} }
+
+// Dot returns the dot product p . q.
+func (p Point) Dot(q Point) float64 { return p.X*q.X + p.Y*q.Y }
+
+// Cross returns the z component of the cross product p x q.
+func (p Point) Cross(q Point) float64 { return p.X*q.Y - p.Y*q.X }
+
+// Norm returns the Euclidean length of p.
+func (p Point) Norm() float64 { return math.Hypot(p.X, p.Y) }
+
+// Dist returns the distance between p and q.
+func (p Point) Dist(q Point) float64 { return p.Sub(q).Norm() }
+
+// Unit returns p scaled to unit length; the zero vector is returned as-is.
+func (p Point) Unit() Point {
+	n := p.Norm()
+	if n == 0 {
+		return p
+	}
+	return p.Scale(1 / n)
+}
+
+// String renders the point for diagnostics.
+func (p Point) String() string { return fmt.Sprintf("(%.3f, %.3f)", p.X, p.Y) }
+
+// BearingDeg returns the bearing from p to q in degrees in [0, 360).
+func BearingDeg(p, q Point) float64 {
+	d := q.Sub(p)
+	deg := math.Atan2(d.Y, d.X) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// PointAt returns the point at the given bearing (degrees) and range r
+// from origin o.
+func PointAt(o Point, bearingDeg, r float64) Point {
+	rad := bearingDeg * math.Pi / 180
+	return Point{o.X + r*math.Cos(rad), o.Y + r*math.Sin(rad)}
+}
+
+// AngularDistDeg returns the smallest absolute difference between two
+// bearings in degrees, in [0, 180].
+func AngularDistDeg(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// Segment is a line segment between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the segment's length.
+func (s Segment) Length() float64 { return s.A.Dist(s.B) }
+
+// Midpoint returns the segment's midpoint.
+func (s Segment) Midpoint() Point { return s.A.Add(s.B).Scale(0.5) }
+
+// Intersect reports whether segments s and t properly intersect and, if so,
+// the intersection point. Collinear overlaps report no intersection (they
+// do not occur with the testbed geometry and are irrelevant for ray
+// tracing, where grazing incidence carries no energy).
+func (s Segment) Intersect(t Segment) (Point, bool) {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	if math.Abs(denom) < 1e-15 {
+		return Point{}, false
+	}
+	qp := t.A.Sub(s.A)
+	u := qp.Cross(d) / denom // parameter along s
+	v := qp.Cross(r) / denom // parameter along t
+	const eps = 1e-12
+	if u < -eps || u > 1+eps || v < -eps || v > 1+eps {
+		return Point{}, false
+	}
+	return s.A.Add(r.Scale(u)), true
+}
+
+// IntersectInterior is Intersect but excludes intersections at the
+// endpoints of either segment (strict interior crossing). Ray tracing uses
+// it to avoid double-counting a wall the ray merely touches at a corner.
+func (s Segment) IntersectInterior(t Segment) (Point, bool) {
+	r := s.B.Sub(s.A)
+	d := t.B.Sub(t.A)
+	denom := r.Cross(d)
+	if math.Abs(denom) < 1e-15 {
+		return Point{}, false
+	}
+	qp := t.A.Sub(s.A)
+	u := qp.Cross(d) / denom
+	v := qp.Cross(r) / denom
+	const eps = 1e-9
+	if u <= eps || u >= 1-eps || v <= eps || v >= 1-eps {
+		return Point{}, false
+	}
+	return s.A.Add(r.Scale(u)), true
+}
+
+// Reflect returns the mirror image of p across the infinite line through
+// the segment — the "image source" of the image method of multipath
+// modelling.
+func (s Segment) Reflect(p Point) Point {
+	d := s.B.Sub(s.A)
+	n2 := d.Dot(d)
+	if n2 == 0 {
+		return p
+	}
+	ap := p.Sub(s.A)
+	t := ap.Dot(d) / n2
+	foot := s.A.Add(d.Scale(t))
+	return foot.Add(foot.Sub(p))
+}
+
+// DistToPoint returns the shortest distance from p to the segment.
+func (s Segment) DistToPoint(p Point) float64 {
+	d := s.B.Sub(s.A)
+	n2 := d.Dot(d)
+	if n2 == 0 {
+		return s.A.Dist(p)
+	}
+	t := p.Sub(s.A).Dot(d) / n2
+	t = math.Max(0, math.Min(1, t))
+	return s.A.Add(d.Scale(t)).Dist(p)
+}
+
+// Polygon is a simple polygon given by its vertices in order.
+type Polygon []Point
+
+// Contains reports whether p lies strictly inside the polygon, using the
+// even-odd ray-casting rule. Points exactly on an edge may report either
+// way; callers that care (the fence) apply a margin.
+func (poly Polygon) Contains(p Point) bool {
+	n := len(poly)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := poly[i], poly[j]
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xCross := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// Edges returns the polygon's edges as segments.
+func (poly Polygon) Edges() []Segment {
+	n := len(poly)
+	out := make([]Segment, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Segment{poly[i], poly[(i+1)%n]})
+	}
+	return out
+}
+
+// Centroid returns the arithmetic mean of the vertices (adequate for the
+// convex rooms in the testbed).
+func (poly Polygon) Centroid() Point {
+	var c Point
+	for _, p := range poly {
+		c = c.Add(p)
+	}
+	return c.Scale(1 / float64(len(poly)))
+}
+
+// Rect returns the axis-aligned rectangle polygon with corners (x0,y0) and
+// (x1,y1).
+func Rect(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}
+}
+
+// LineIntersection returns the intersection of two infinite lines, each
+// given by a point and a bearing in degrees. ok is false for (nearly)
+// parallel lines. This is the primitive behind two-AP bearing
+// triangulation.
+func LineIntersection(p1 Point, bearing1 float64, p2 Point, bearing2 float64) (Point, bool) {
+	r1 := math.Pi / 180 * bearing1
+	r2 := math.Pi / 180 * bearing2
+	d1 := Point{math.Cos(r1), math.Sin(r1)}
+	d2 := Point{math.Cos(r2), math.Sin(r2)}
+	denom := d1.Cross(d2)
+	if math.Abs(denom) < 1e-9 {
+		return Point{}, false
+	}
+	t := p2.Sub(p1).Cross(d2) / denom
+	return p1.Add(d1.Scale(t)), true
+}

@@ -1,0 +1,247 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPointArithmetic(t *testing.T) {
+	p := Point{1, 2}
+	q := Point{3, -1}
+	if p.Add(q) != (Point{4, 1}) {
+		t.Error("Add")
+	}
+	if p.Sub(q) != (Point{-2, 3}) {
+		t.Error("Sub")
+	}
+	if p.Scale(2) != (Point{2, 4}) {
+		t.Error("Scale")
+	}
+	if p.Dot(q) != 1 {
+		t.Error("Dot")
+	}
+	if p.Cross(q) != -7 {
+		t.Error("Cross")
+	}
+	if !approx(Point{3, 4}.Norm(), 5, 1e-12) {
+		t.Error("Norm")
+	}
+	if !approx(p.Dist(q), math.Hypot(2, 3), 1e-12) {
+		t.Error("Dist")
+	}
+	u := Point{3, 4}.Unit()
+	if !approx(u.Norm(), 1, 1e-12) {
+		t.Error("Unit")
+	}
+	if (Point{}).Unit() != (Point{}) {
+		t.Error("Unit zero vector")
+	}
+}
+
+func TestBearingDeg(t *testing.T) {
+	o := Point{0, 0}
+	cases := []struct {
+		q    Point
+		want float64
+	}{
+		{Point{1, 0}, 0}, {Point{0, 1}, 90}, {Point{-1, 0}, 180}, {Point{0, -1}, 270},
+		{Point{1, 1}, 45},
+	}
+	for _, c := range cases {
+		if got := BearingDeg(o, c.q); !approx(got, c.want, 1e-9) {
+			t.Errorf("BearingDeg(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPointAtRoundTrip(t *testing.T) {
+	f := func(bearing, r float64) bool {
+		b := math.Mod(math.Abs(bearing), 360)
+		rr := 1 + math.Mod(math.Abs(r), 100)
+		o := Point{2, 3}
+		p := PointAt(o, b, rr)
+		return approx(BearingDeg(o, p), b, 1e-6) && approx(o.Dist(p), rr, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngularDistDeg(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{0, 0, 0}, {10, 350, 20}, {180, 0, 180}, {359, 1, 2}, {90, 270, 180},
+	}
+	for _, c := range cases {
+		if got := AngularDistDeg(c.a, c.b); !approx(got, c.want, 1e-9) {
+			t.Errorf("AngularDistDeg(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSegmentIntersect(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{2, 2}}
+	u := Segment{Point{0, 2}, Point{2, 0}}
+	p, ok := s.Intersect(u)
+	if !ok || !approx(p.X, 1, 1e-12) || !approx(p.Y, 1, 1e-12) {
+		t.Fatalf("Intersect = %v, %v", p, ok)
+	}
+	// Non-intersecting.
+	v := Segment{Point{5, 5}, Point{6, 6}}
+	if _, ok := s.Intersect(v); ok {
+		t.Error("disjoint segments intersected")
+	}
+	// Parallel.
+	w := Segment{Point{0, 1}, Point{2, 3}}
+	if _, ok := s.Intersect(w); ok {
+		t.Error("parallel segments intersected")
+	}
+}
+
+func TestIntersectInteriorExcludesEndpoints(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{2, 0}}
+	touch := Segment{Point{2, 0}, Point{2, 2}} // shares endpoint (2,0)
+	if _, ok := s.IntersectInterior(touch); ok {
+		t.Error("endpoint touch counted as interior intersection")
+	}
+	cross := Segment{Point{1, -1}, Point{1, 1}}
+	if _, ok := s.IntersectInterior(cross); !ok {
+		t.Error("proper crossing missed")
+	}
+}
+
+func TestReflect(t *testing.T) {
+	// Mirror across the x-axis.
+	wall := Segment{Point{0, 0}, Point{10, 0}}
+	img := wall.Reflect(Point{3, 4})
+	if !approx(img.X, 3, 1e-12) || !approx(img.Y, -4, 1e-12) {
+		t.Fatalf("Reflect = %v", img)
+	}
+	// Reflection is an involution.
+	f := func(x, y float64) bool {
+		p := Point{math.Mod(x, 50), math.Mod(y, 50)}
+		w := Segment{Point{1, 2}, Point{7, 5}}
+		back := w.Reflect(w.Reflect(p))
+		return approx(back.X, p.X, 1e-9) && approx(back.Y, p.Y, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReflectPreservesWallDistance(t *testing.T) {
+	wall := Segment{Point{0, 0}, Point{4, 4}}
+	p := Point{1, 3}
+	img := wall.Reflect(p)
+	if !approx(wall.DistToPoint(p), wall.DistToPoint(img), 1e-9) {
+		t.Errorf("reflection changed distance to wall: %v vs %v",
+			wall.DistToPoint(p), wall.DistToPoint(img))
+	}
+}
+
+func TestDistToPoint(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{10, 0}}
+	if !approx(s.DistToPoint(Point{5, 3}), 3, 1e-12) {
+		t.Error("perpendicular distance")
+	}
+	if !approx(s.DistToPoint(Point{-3, 4}), 5, 1e-12) {
+		t.Error("distance beyond endpoint should be to endpoint")
+	}
+	degenerate := Segment{Point{1, 1}, Point{1, 1}}
+	if !approx(degenerate.DistToPoint(Point{4, 5}), 5, 1e-12) {
+		t.Error("degenerate segment distance")
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	sq := Rect(0, 0, 10, 10)
+	if !sq.Contains(Point{5, 5}) {
+		t.Error("centre not inside")
+	}
+	if sq.Contains(Point{-1, 5}) || sq.Contains(Point{5, 11}) {
+		t.Error("outside point reported inside")
+	}
+	tri := Polygon{{0, 0}, {4, 0}, {0, 4}}
+	if !tri.Contains(Point{1, 1}) {
+		t.Error("triangle interior")
+	}
+	if tri.Contains(Point{3, 3}) {
+		t.Error("triangle exterior")
+	}
+	if (Polygon{{0, 0}, {1, 1}}).Contains(Point{0, 0}) {
+		t.Error("degenerate polygon should contain nothing")
+	}
+}
+
+func TestPolygonEdgesAndCentroid(t *testing.T) {
+	sq := Rect(0, 0, 2, 2)
+	edges := sq.Edges()
+	if len(edges) != 4 {
+		t.Fatalf("edges = %d", len(edges))
+	}
+	var perim float64
+	for _, e := range edges {
+		perim += e.Length()
+	}
+	if !approx(perim, 8, 1e-12) {
+		t.Errorf("perimeter = %v", perim)
+	}
+	c := sq.Centroid()
+	if !approx(c.X, 1, 1e-12) || !approx(c.Y, 1, 1e-12) {
+		t.Errorf("centroid = %v", c)
+	}
+}
+
+func TestLineIntersection(t *testing.T) {
+	// From (0,0) at 45 deg and from (2,0) at 135 deg meet at (1,1).
+	p, ok := LineIntersection(Point{0, 0}, 45, Point{2, 0}, 135)
+	if !ok || !approx(p.X, 1, 1e-9) || !approx(p.Y, 1, 1e-9) {
+		t.Fatalf("LineIntersection = %v, %v", p, ok)
+	}
+	// Parallel lines fail.
+	if _, ok := LineIntersection(Point{0, 0}, 30, Point{1, 1}, 30); ok {
+		t.Error("parallel lines intersected")
+	}
+	if _, ok := LineIntersection(Point{0, 0}, 30, Point{1, 1}, 210); ok {
+		t.Error("anti-parallel lines intersected")
+	}
+}
+
+func TestLineIntersectionTriangulationProperty(t *testing.T) {
+	// Two APs observing the true bearing to a target must triangulate back
+	// to the target.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		ap1 := Point{rng.Float64() * 10, rng.Float64() * 10}
+		ap2 := Point{10 + rng.Float64()*10, rng.Float64() * 10}
+		target := Point{rng.Float64() * 20, 10 + rng.Float64()*10}
+		b1 := BearingDeg(ap1, target)
+		b2 := BearingDeg(ap2, target)
+		got, ok := LineIntersection(ap1, b1, ap2, b2)
+		if !ok {
+			continue // collinear geometry, legitimately ambiguous
+		}
+		if got.Dist(target) > 1e-6 {
+			t.Fatalf("triangulation error %v for target %v got %v", got.Dist(target), target, got)
+		}
+	}
+}
+
+func TestSegmentBasics(t *testing.T) {
+	s := Segment{Point{0, 0}, Point{4, 0}}
+	if !approx(s.Length(), 4, 1e-12) {
+		t.Error("Length")
+	}
+	if s.Midpoint() != (Point{2, 0}) {
+		t.Error("Midpoint")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1, 2}).String(); got != "(1.000, 2.000)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,184 @@
+package iqfile
+
+import (
+	"bytes"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func randomCapture(seed int64, chans, n int) *Capture {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Capture{SampleRate: 20e6, Streams: make([][]complex128, chans)}
+	for i := range c.Streams {
+		c.Streams[i] = make([]complex128, n)
+		for t := range c.Streams[i] {
+			c.Streams[i][t] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return c
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := randomCapture(1, 8, 500)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SampleRate != 20e6 || len(got.Streams) != 8 || len(got.Streams[0]) != 500 {
+		t.Fatalf("shape: %v channels, %d samples, rate %v", len(got.Streams), len(got.Streams[0]), got.SampleRate)
+	}
+	for ch := range c.Streams {
+		for i := range c.Streams[ch] {
+			if cmplx.Abs(got.Streams[ch][i]-c.Streams[ch][i]) > 1e-6 {
+				t.Fatalf("ch %d sample %d: %v vs %v", ch, i, got.Streams[ch][i], c.Streams[ch][i])
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, chans, n uint8) bool {
+		ch := 1 + int(chans)%8
+		sm := 1 + int(n)%64
+		c := randomCapture(seed, ch, sm)
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range c.Streams {
+			for j := range c.Streams[i] {
+				if cmplx.Abs(got.Streams[i][j]-c.Streams[i][j]) > 1e-5*(1+cmplx.Abs(c.Streams[i][j])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, &Capture{SampleRate: 1}); err == nil {
+		t.Error("empty capture accepted")
+	}
+	ragged := &Capture{SampleRate: 1, Streams: [][]complex128{make([]complex128, 3), make([]complex128, 4)}}
+	if err := Write(&buf, ragged); err == nil {
+		t.Error("ragged capture accepted")
+	}
+	tooMany := &Capture{SampleRate: 1, Streams: make([][]complex128, MaxChannels+1)}
+	for i := range tooMany.Streams {
+		tooMany.Streams[i] = make([]complex128, 1)
+	}
+	if err := Write(&buf, tooMany); err == nil {
+		t.Error("channel overflow accepted")
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	c := randomCapture(2, 2, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := Read(bytes.NewReader(bad)); err != ErrBadMagic {
+		t.Errorf("bad magic err = %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[5] = 99
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncated data.
+	if _, err := Read(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Error("truncated data accepted")
+	}
+	// Truncated header.
+	if _, err := Read(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated header accepted")
+	}
+	// Hostile sample count.
+	bad = append([]byte(nil), good...)
+	for i := 16; i < 24; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("hostile count accepted")
+	}
+	// NaN sample rate.
+	bad = append([]byte(nil), good...)
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		bad[8+i] = byte(nan >> (56 - 8*i))
+	}
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("NaN rate accepted")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cap.saiq")
+	c := randomCapture(3, 4, 100)
+	if err := Save(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Streams) != 4 || len(got.Streams[0]) != 100 {
+		t.Error("shape after load")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.saiq")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func BenchmarkWrite8x2000(b *testing.B) {
+	c := randomCapture(4, 8, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead8x2000(b *testing.B) {
+	c := randomCapture(5, 8, 2000)
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

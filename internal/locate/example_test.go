@@ -1,0 +1,35 @@
+package locate_test
+
+import (
+	"fmt"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+)
+
+// ExampleTriangulate shows two APs' bearings intersecting at a client.
+func ExampleTriangulate() {
+	obs := []locate.BearingObs{
+		{AP: geom.Point{X: 0, Y: 0}, BearingDeg: 45},
+		{AP: geom.Point{X: 10, Y: 0}, BearingDeg: 135},
+	}
+	p, _ := locate.Triangulate(obs)
+	fmt.Printf("client at (%.0f, %.0f)\n", p.X, p.Y)
+	// Output:
+	// client at (5, 5)
+}
+
+// ExampleFence_Decide shows the virtual fence dropping an outside
+// transmitter.
+func ExampleFence_Decide() {
+	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	intruder := geom.Point{X: -4, Y: 8}
+	obs := []locate.BearingObs{
+		{AP: geom.Point{X: 8, Y: 5}, BearingDeg: geom.BearingDeg(geom.Point{X: 8, Y: 5}, intruder)},
+		{AP: geom.Point{X: 12, Y: 13}, BearingDeg: geom.BearingDeg(geom.Point{X: 12, Y: 13}, intruder)},
+	}
+	decision, pos, _ := fence.Decide(obs)
+	fmt.Printf("%s (located at (%.0f, %.0f))\n", decision, pos.X, pos.Y)
+	// Output:
+	// drop (located at (-4, 8))
+}

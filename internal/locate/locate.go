@@ -1,0 +1,198 @@
+// Package locate fuses direct-path bearings from multiple SecureAngle APs
+// into client positions and implements the virtual fence of section 2.3.1:
+// "the intersection point of the direct path AoA is identified as the
+// location of client", with frames from clients located outside a
+// protected boundary dropped. It also implements the false-positive
+// rejection of section 3.1 — reflection-path peaks from different APs do
+// not intersect consistently, so the candidate combination with the
+// smallest triangulation residual identifies the true direct paths.
+package locate
+
+import (
+	"errors"
+	"math"
+
+	"secureangle/internal/cmat"
+	"secureangle/internal/geom"
+)
+
+// BearingObs is one AP's bearing observation of a client.
+type BearingObs struct {
+	AP         geom.Point
+	BearingDeg float64
+	// Weight scales the observation's influence (e.g. by peak strength
+	// or SNR); zero means 1.
+	Weight float64
+}
+
+// ErrUnderdetermined is returned when fewer than two usable bearings are
+// supplied.
+var ErrUnderdetermined = errors.New("locate: need at least two bearings")
+
+// ErrDegenerate is returned when all bearing lines are (nearly) parallel.
+var ErrDegenerate = errors.New("locate: bearing lines nearly parallel")
+
+// Triangulate returns the weighted least-squares intersection of the
+// bearing lines: the point x minimising sum_i w_i * (n_i . x - n_i . p_i)^2
+// with n_i the unit normal of AP i's bearing line.
+func Triangulate(obs []BearingObs) (geom.Point, error) {
+	if len(obs) < 2 {
+		return geom.Point{}, ErrUnderdetermined
+	}
+	a := make([][]float64, 0, len(obs))
+	b := make([]float64, 0, len(obs))
+	for _, o := range obs {
+		w := o.Weight
+		if w <= 0 {
+			w = 1
+		}
+		sw := math.Sqrt(w)
+		rad := o.BearingDeg * math.Pi / 180
+		// Line direction (cos, sin); normal (-sin, cos).
+		nx, ny := -math.Sin(rad), math.Cos(rad)
+		a = append(a, []float64{sw * nx, sw * ny})
+		b = append(b, sw*(nx*o.AP.X+ny*o.AP.Y))
+	}
+	x, err := cmat.SolveLeastSquaresReal(a, b)
+	if err != nil {
+		return geom.Point{}, ErrDegenerate
+	}
+	return geom.Point{X: x[0], Y: x[1]}, nil
+}
+
+// Residual returns the RMS perpendicular distance (metres) from p to the
+// bearing lines — the consistency measure used for outlier rejection.
+func Residual(p geom.Point, obs []BearingObs) float64 {
+	if len(obs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, o := range obs {
+		rad := o.BearingDeg * math.Pi / 180
+		nx, ny := -math.Sin(rad), math.Cos(rad)
+		d := nx*(p.X-o.AP.X) + ny*(p.Y-o.AP.Y)
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(obs)))
+}
+
+// ForwardConsistent reports whether p lies in the forward direction of
+// every bearing (a line intersection behind an AP is geometrically
+// impossible for a real source and marks a false-positive combination).
+func ForwardConsistent(p geom.Point, obs []BearingObs) bool {
+	for _, o := range obs {
+		rad := o.BearingDeg * math.Pi / 180
+		dx, dy := math.Cos(rad), math.Sin(rad)
+		if dx*(p.X-o.AP.X)+dy*(p.Y-o.AP.Y) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ResolveCandidates handles the false direct paths of section 3.1: each AP
+// contributes a small set of candidate bearings (its pseudospectrum's top
+// peaks); the combination whose lines intersect most consistently — the
+// minimum-residual, forward-consistent choice — identifies the true
+// direct paths and the client position.
+func ResolveCandidates(aps []geom.Point, candidates [][]float64) (geom.Point, []float64, error) {
+	if len(aps) != len(candidates) {
+		return geom.Point{}, nil, errors.New("locate: aps and candidates length mismatch")
+	}
+	if len(aps) < 2 {
+		return geom.Point{}, nil, ErrUnderdetermined
+	}
+	for _, c := range candidates {
+		if len(c) == 0 {
+			return geom.Point{}, nil, errors.New("locate: empty candidate set")
+		}
+	}
+	idx := make([]int, len(aps))
+	bestRes := math.Inf(1)
+	var bestPos geom.Point
+	var bestSel []float64
+	for {
+		obs := make([]BearingObs, len(aps))
+		sel := make([]float64, len(aps))
+		for i := range aps {
+			sel[i] = candidates[i][idx[i]]
+			obs[i] = BearingObs{AP: aps[i], BearingDeg: sel[i]}
+		}
+		if p, err := Triangulate(obs); err == nil && ForwardConsistent(p, obs) {
+			if r := Residual(p, obs); r < bestRes {
+				bestRes, bestPos, bestSel = r, p, sel
+			}
+		}
+		// Advance the mixed-radix counter over candidate combinations.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(candidates[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			break
+		}
+	}
+	if bestSel == nil {
+		return geom.Point{}, nil, ErrDegenerate
+	}
+	return bestPos, bestSel, nil
+}
+
+// Decision is a virtual-fence outcome for one located client.
+type Decision int
+
+const (
+	// Allow: the client is inside the protected boundary.
+	Allow Decision = iota
+	// Drop: the client is outside; its frames are dropped.
+	Drop
+)
+
+// String names the decision.
+func (d Decision) String() string {
+	if d == Allow {
+		return "allow"
+	}
+	return "drop"
+}
+
+// Fence is a virtual fence: a protected boundary with an optional safety
+// margin (positive margin requires clients to be strictly inside by that
+// many metres, absorbing localisation error in the conservative
+// direction).
+type Fence struct {
+	Boundary geom.Polygon
+	MarginM  float64
+}
+
+// Allows reports whether a located point is acceptable.
+func (f *Fence) Allows(p geom.Point) bool {
+	if !f.Boundary.Contains(p) {
+		return false
+	}
+	if f.MarginM <= 0 {
+		return true
+	}
+	for _, e := range f.Boundary.Edges() {
+		if e.DistToPoint(p) < f.MarginM {
+			return false
+		}
+	}
+	return true
+}
+
+// Decide triangulates the observations and applies the fence.
+func (f *Fence) Decide(obs []BearingObs) (Decision, geom.Point, error) {
+	p, err := Triangulate(obs)
+	if err != nil {
+		return Drop, geom.Point{}, err
+	}
+	if f.Allows(p) {
+		return Allow, p, nil
+	}
+	return Drop, p, nil
+}

@@ -1,0 +1,226 @@
+package locate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"secureangle/internal/geom"
+)
+
+func obsFor(aps []geom.Point, target geom.Point) []BearingObs {
+	out := make([]BearingObs, len(aps))
+	for i, ap := range aps {
+		out[i] = BearingObs{AP: ap, BearingDeg: geom.BearingDeg(ap, target)}
+	}
+	return out
+}
+
+func TestTriangulateExactTwoAPs(t *testing.T) {
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	target := geom.Point{X: 4, Y: 7}
+	p, err := Triangulate(obsFor(aps, target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist(target) > 1e-9 {
+		t.Errorf("triangulated %v, want %v", p, target)
+	}
+}
+
+func TestTriangulateThreeAPsOverdetermined(t *testing.T) {
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 12}}
+	target := geom.Point{X: 6, Y: 5}
+	p, err := Triangulate(obsFor(aps, target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist(target) > 1e-9 {
+		t.Errorf("triangulated %v, want %v", p, target)
+	}
+}
+
+func TestTriangulateNoisyBearings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 24, Y: 0}, {X: 12, Y: 16}}
+	target := geom.Point{X: 9, Y: 6}
+	var worst float64
+	for trial := 0; trial < 50; trial++ {
+		obs := obsFor(aps, target)
+		for i := range obs {
+			obs[i].BearingDeg += rng.NormFloat64() * 2 // 2-degree bearing noise
+		}
+		p, err := Triangulate(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst = math.Max(worst, p.Dist(target))
+	}
+	// 2 degrees over ~10-15 m baselines: sub-metre typical, bounded ~2 m.
+	if worst > 2.5 {
+		t.Errorf("worst localisation error %v m", worst)
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate(nil); err != ErrUnderdetermined {
+		t.Errorf("err = %v", err)
+	}
+	one := []BearingObs{{AP: geom.Point{}, BearingDeg: 10}}
+	if _, err := Triangulate(one); err != ErrUnderdetermined {
+		t.Errorf("err = %v", err)
+	}
+	// Parallel bearings never intersect.
+	par := []BearingObs{
+		{AP: geom.Point{X: 0, Y: 0}, BearingDeg: 45},
+		{AP: geom.Point{X: 5, Y: 0}, BearingDeg: 45},
+	}
+	if _, err := Triangulate(par); err != ErrDegenerate {
+		t.Errorf("parallel err = %v", err)
+	}
+}
+
+func TestTriangulateWeights(t *testing.T) {
+	// Two conflicting high-weight observations pin the solution; a third
+	// bogus low-weight bearing should barely move it.
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	target := geom.Point{X: 5, Y: 5}
+	obs := obsFor(aps, target)
+	for i := range obs {
+		obs[i].Weight = 100
+	}
+	obs = append(obs, BearingObs{AP: geom.Point{X: 5, Y: 20}, BearingDeg: 0, Weight: 0.01})
+	p, err := Triangulate(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dist(target) > 0.05 {
+		t.Errorf("weighted triangulation moved to %v", p)
+	}
+}
+
+func TestTriangulationRoundTripProperty(t *testing.T) {
+	f := func(txSeed, tySeed uint16) bool {
+		target := geom.Point{X: float64(txSeed%200)/10 + 1, Y: float64(tySeed%140)/10 + 1}
+		aps := []geom.Point{{X: 0, Y: 0}, {X: 24, Y: 0}, {X: 12, Y: 16}}
+		// Skip degenerate collinear configurations.
+		p, err := Triangulate(obsFor(aps, target))
+		if err != nil {
+			return true
+		}
+		return p.Dist(target) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResidualZeroAtSolution(t *testing.T) {
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}}
+	target := geom.Point{X: 4, Y: 7}
+	obs := obsFor(aps, target)
+	if r := Residual(target, obs); r > 1e-9 {
+		t.Errorf("residual at truth = %v", r)
+	}
+	if r := Residual(geom.Point{X: 0, Y: 7}, obs); r < 0.5 {
+		t.Errorf("residual away from truth = %v", r)
+	}
+	if Residual(target, nil) != 0 {
+		t.Error("empty residual")
+	}
+}
+
+func TestForwardConsistent(t *testing.T) {
+	ap := geom.Point{X: 0, Y: 0}
+	obs := []BearingObs{{AP: ap, BearingDeg: 45}}
+	if !ForwardConsistent(geom.Point{X: 3, Y: 3}, obs) {
+		t.Error("forward point rejected")
+	}
+	if ForwardConsistent(geom.Point{X: -3, Y: -3}, obs) {
+		t.Error("behind-the-AP point accepted")
+	}
+}
+
+func TestResolveCandidatesRejectsFalseDirectPaths(t *testing.T) {
+	// Section 3.1: each AP reports its true direct bearing plus a strong
+	// reflection bearing. Only the true pair intersects consistently.
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 24, Y: 0}, {X: 12, Y: 16}}
+	target := geom.Point{X: 9, Y: 6}
+	truth := make([]float64, 3)
+	cands := make([][]float64, 3)
+	for i, ap := range aps {
+		truth[i] = geom.BearingDeg(ap, target)
+		// A reflection peak 40-70 degrees off, listed first (stronger!).
+		cands[i] = []float64{truth[i] + 40 + 10*float64(i), truth[i]}
+	}
+	pos, sel, err := ResolveCandidates(aps, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos.Dist(target) > 0.1 {
+		t.Errorf("resolved position %v, want %v", pos, target)
+	}
+	for i := range sel {
+		if math.Abs(sel[i]-truth[i]) > 1e-9 {
+			t.Errorf("AP %d selected %v, want %v", i, sel[i], truth[i])
+		}
+	}
+}
+
+func TestResolveCandidatesErrors(t *testing.T) {
+	aps := []geom.Point{{X: 0, Y: 0}}
+	if _, _, err := ResolveCandidates(aps, [][]float64{{1}}); err != ErrUnderdetermined {
+		t.Errorf("err = %v", err)
+	}
+	if _, _, err := ResolveCandidates(aps, [][]float64{{1}, {2}}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	two := []geom.Point{{X: 0, Y: 0}, {X: 5, Y: 0}}
+	if _, _, err := ResolveCandidates(two, [][]float64{{1}, {}}); err == nil {
+		t.Error("empty candidates accepted")
+	}
+}
+
+func TestFenceAllows(t *testing.T) {
+	f := &Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	if !f.Allows(geom.Point{X: 12, Y: 8}) {
+		t.Error("centre rejected")
+	}
+	if f.Allows(geom.Point{X: -1, Y: 8}) {
+		t.Error("outside accepted")
+	}
+	withMargin := &Fence{Boundary: geom.Rect(0, 0, 24, 16), MarginM: 2}
+	if withMargin.Allows(geom.Point{X: 1, Y: 8}) {
+		t.Error("margin not enforced")
+	}
+	if !withMargin.Allows(geom.Point{X: 12, Y: 8}) {
+		t.Error("deep-inside point rejected with margin")
+	}
+}
+
+func TestFenceDecide(t *testing.T) {
+	f := &Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	aps := []geom.Point{{X: 4, Y: 4}, {X: 20, Y: 4}}
+
+	inside := geom.Point{X: 12, Y: 10}
+	dec, pos, err := f.Decide(obsFor(aps, inside))
+	if err != nil || dec != Allow {
+		t.Errorf("inside: %v, %v, %v", dec, pos, err)
+	}
+
+	outside := geom.Point{X: 12, Y: 25}
+	dec, pos, err = f.Decide(obsFor(aps, outside))
+	if err != nil || dec != Drop {
+		t.Errorf("outside: %v, %v, %v", dec, pos, err)
+	}
+	if pos.Dist(outside) > 1e-6 {
+		t.Errorf("outside localised at %v", pos)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	if Allow.String() != "allow" || Drop.String() != "drop" {
+		t.Error("decision strings")
+	}
+}

@@ -1,0 +1,151 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+// ESPRIT is the least-squares ESPRIT estimator for uniform linear arrays:
+// it exploits the shift invariance of the ULA's signal subspace — the
+// subspace seen by elements 1..m-1 equals the subspace seen by elements
+// 2..m rotated by the per-element phase step — and recovers arrival
+// angles from the eigenvalues of the k x k rotation operator, with no
+// grid and no spectral search at all.
+type ESPRIT struct {
+	// Sources fixes the signal-subspace dimension; 0 selects via MDL
+	// using Samples.
+	Sources int
+	Samples int
+}
+
+// Name identifies the estimator.
+func (e *ESPRIT) Name() string { return "ESPRIT" }
+
+// DOAs returns the arrival bearings (global degrees in the array's
+// unambiguous half-plane).
+func (e *ESPRIT) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error) {
+	spacing, axisDeg, err := ulaSpacingWavelengths(arr)
+	if err != nil {
+		return nil, err
+	}
+	m := arr.N()
+	if cov.Rows != m {
+		return nil, fmt.Errorf("music: covariance is %dx%d but array has %d elements", cov.Rows, cov.Cols, m)
+	}
+	eig, err := cmat.HermEig(cov)
+	if err != nil {
+		return nil, err
+	}
+	k := e.Sources
+	if k <= 0 {
+		n := e.Samples
+		if n <= 0 {
+			n = 1000
+		}
+		k = MDLSources(eig.Values, n)
+	}
+	if k >= m {
+		k = m - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	es := eig.SignalSubspace(k)
+	// Subarray selections: rows 0..m-2 and 1..m-1.
+	s1 := es.Submatrix(0, m-1, 0, k)
+	s2 := es.Submatrix(1, m, 0, k)
+
+	// Least squares Psi = (S1^H S1)^{-1} S1^H S2.
+	a := s1.Herm().Mul(s1)
+	b := s1.Herm().Mul(s2)
+	psi := cmat.New(k, k)
+	// Solve column by column.
+	for c := 0; c < k; c++ {
+		col, err := cmat.Solve(a, b.Col(c))
+		if err != nil {
+			return nil, fmt.Errorf("music: ESPRIT normal equations: %w", err)
+		}
+		for r := 0; r < k; r++ {
+			psi.Set(r, c, col[r])
+		}
+	}
+
+	vals, err := eigenvaluesGeneral(psi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, k)
+	for _, z := range vals {
+		ph := cmplx.Phase(z)
+		x := ph / (2 * math.Pi * spacing)
+		if x > 1 {
+			x = 1
+		}
+		if x < -1 {
+			x = -1
+		}
+		out = append(out, axisDeg+math.Acos(x)*180/math.Pi)
+	}
+	return out, nil
+}
+
+// Pseudospectrum implements Estimator by placing narrow peaks at the
+// ESPRIT DOAs (the DOAs method is the primary interface).
+func (e *ESPRIT) Pseudospectrum(cov *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
+	doas, err := e.DOAs(cov, arr)
+	if err != nil {
+		return nil, err
+	}
+	ps := &Pseudospectrum{AnglesDeg: append([]float64(nil), gridDeg...), P: make([]float64, len(gridDeg))}
+	const sigma = 1.0
+	for rank, d := range doas {
+		h := 1.0 / float64(rank+1)
+		for i, g := range gridDeg {
+			diff := angularSep(g, d)
+			ps.P[i] += h * math.Exp(-diff*diff/(2*sigma*sigma))
+		}
+	}
+	return ps, nil
+}
+
+// eigenvaluesGeneral computes the eigenvalues of a small general complex
+// matrix via its characteristic polynomial: the Faddeev-LeVerrier
+// recursion produces the coefficients, and the Durand-Kerner root finder
+// factors them. Adequate and stable for the k <= 7 rotation operators
+// ESPRIT produces.
+func eigenvaluesGeneral(a *cmat.Matrix) ([]complex128, error) {
+	n := a.Rows
+	if n != a.Cols {
+		return nil, fmt.Errorf("music: eigenvalues of non-square %dx%d", n, a.Cols)
+	}
+	if n == 1 {
+		return []complex128{a.At(0, 0)}, nil
+	}
+	// Faddeev-LeVerrier: M_1 = A, c_1 = -tr(M_1);
+	// M_j = A (M_{j-1} + c_{j-1} I), c_j = -tr(M_j)/j.
+	// charpoly: lambda^n + c_1 lambda^{n-1} + ... + c_n.
+	c := make([]complex128, n+1)
+	c[0] = 1
+	m := a.Clone()
+	for j := 1; j <= n; j++ {
+		if j > 1 {
+			prev := m.Clone()
+			for i := 0; i < n; i++ {
+				prev.Set(i, i, prev.At(i, i)+c[j-1])
+			}
+			m = a.Mul(prev)
+		}
+		c[j] = -m.Trace() / complex(float64(j), 0)
+	}
+	// polyRoots wants ascending coefficients: p(z) = sum coeffs[i] z^i.
+	coeffs := make([]complex128, n+1)
+	for i := 0; i <= n; i++ {
+		coeffs[i] = c[n-i]
+	}
+	return polyRoots(coeffs)
+}

@@ -1,0 +1,156 @@
+package music
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+func TestEigenvaluesGeneralKnown(t *testing.T) {
+	// [[2, 1], [0, 3]]: eigenvalues 2, 3.
+	a := cmat.FromRows([][]complex128{{2, 1}, {0, 3}})
+	vals, err := eigenvaluesGeneral(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(vals, func(i, j int) bool { return real(vals[i]) < real(vals[j]) })
+	if cmplx.Abs(vals[0]-2) > 1e-8 || cmplx.Abs(vals[1]-3) > 1e-8 {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+}
+
+func TestEigenvaluesGeneralRotation(t *testing.T) {
+	// A unitary diag(e^{i*0.5}, e^{-i*1.2}) similarity-transformed must
+	// keep its eigenvalues.
+	d := cmat.FromRows([][]complex128{
+		{cmplx.Rect(1, 0.5), 0},
+		{0, cmplx.Rect(1, -1.2)},
+	})
+	// Similarity transform with a non-trivial invertible T.
+	tm := cmat.FromRows([][]complex128{{1, 2i}, {0.5, 1}})
+	ti, err := cmat.Inverse(tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tm.Mul(d).Mul(ti)
+	vals, err := eigenvaluesGeneral(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found1, found2 := false, false
+	for _, v := range vals {
+		if cmplx.Abs(v-cmplx.Rect(1, 0.5)) < 1e-7 {
+			found1 = true
+		}
+		if cmplx.Abs(v-cmplx.Rect(1, -1.2)) < 1e-7 {
+			found2 = true
+		}
+	}
+	if !found1 || !found2 {
+		t.Errorf("eigenvalues = %v", vals)
+	}
+}
+
+func TestEigenvaluesGeneralSingle(t *testing.T) {
+	a := cmat.FromRows([][]complex128{{3 + 4i}})
+	vals, err := eigenvaluesGeneral(a)
+	if err != nil || len(vals) != 1 || vals[0] != 3+4i {
+		t.Errorf("vals = %v, err = %v", vals, err)
+	}
+}
+
+func TestESPRITSingleSource(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	for _, bearing := range []float64{40, 90, 150} {
+		streams := synthStreams(arr, []float64{bearing}, []float64{1}, 25, 500, 30)
+		est := &ESPRIT{Sources: 1}
+		doas, err := est.DOAs(cov(t, streams), arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doas) != 1 || math.Abs(doas[0]-bearing) > 1 {
+			t.Errorf("bearing %v: ESPRIT = %v", bearing, doas)
+		}
+	}
+}
+
+func TestESPRITTwoSources(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{55, 125}, []float64{1, 0.9}, 25, 1000, 31)
+	est := &ESPRIT{Sources: 2}
+	doas, err := est.DOAs(cov(t, streams), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Float64s(doas)
+	if len(doas) != 2 || math.Abs(doas[0]-55) > 2 || math.Abs(doas[1]-125) > 2 {
+		t.Errorf("ESPRIT DOAs = %v, want ~[55 125]", doas)
+	}
+}
+
+func TestESPRITMatchesRootMUSIC(t *testing.T) {
+	// Both grid-free methods should agree to a fraction of a degree on a
+	// clean single source.
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	const truth = 67.42
+	streams := synthStreams(arr, []float64{truth}, []float64{1}, 30, 1000, 32)
+	r := cov(t, streams)
+	esp, err := (&ESPRIT{Sources: 1}).DOAs(r, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := (&RootMUSIC{Sources: 1}).DOAs(r, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(esp[0]-rm[0]) > 0.3 {
+		t.Errorf("ESPRIT %v vs root-MUSIC %v", esp[0], rm[0])
+	}
+	if math.Abs(esp[0]-truth) > 0.3 {
+		t.Errorf("ESPRIT error %v", math.Abs(esp[0]-truth))
+	}
+}
+
+func TestESPRITRejectsNonULA(t *testing.T) {
+	uca := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	if _, err := (&ESPRIT{Sources: 1}).DOAs(cmat.Identity(8), uca); err != ErrNotULA {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestESPRITPseudospectrumAndName(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{100}, []float64{1}, 25, 500, 33)
+	est := &ESPRIT{Sources: 1}
+	ps, err := est.Pseudospectrum(cov(t, streams), arr, arr.ScanGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps.PeakBearing()-100) > 1.5 {
+		t.Errorf("peak %v", ps.PeakBearing())
+	}
+	if est.Name() != "ESPRIT" {
+		t.Error("name")
+	}
+}
+
+func BenchmarkESPRIT(b *testing.B) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{60, 120}, []float64{1, 0.8}, 25, 800, 34)
+	r, err := Covariance(streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &ESPRIT{Sources: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.DOAs(r, arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

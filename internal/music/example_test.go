@@ -1,0 +1,69 @@
+package music_test
+
+import (
+	"fmt"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/music"
+	"secureangle/internal/rng"
+)
+
+// ExampleMUSIC shows the core SecureAngle computation: a covariance from
+// per-antenna samples, eigendecomposed into a pseudospectrum whose peak
+// is the transmitter's bearing.
+func ExampleMUSIC() {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	src := rng.New(1)
+
+	// Synthesise a plane wave from 135 degrees with light noise.
+	steer := arr.Steering(135)
+	streams := make([][]complex128, arr.N())
+	for a := range streams {
+		streams[a] = make([]complex128, 400)
+	}
+	for t := 0; t < 400; t++ {
+		sym := src.ComplexGaussian(1)
+		for a := range streams {
+			streams[a][t] = sym * steer[a]
+		}
+	}
+	for a := range streams {
+		src.AddAWGN(streams[a], 0.01)
+	}
+
+	r, _ := music.Covariance(streams)
+	est := &music.MUSIC{Sources: 1}
+	ps, _ := est.Pseudospectrum(r, arr, arr.ScanGrid(1))
+	fmt.Printf("bearing: %.0f degrees\n", ps.PeakBearing())
+	// Output:
+	// bearing: 135 degrees
+}
+
+// ExampleRootMUSIC demonstrates grid-free estimation on a uniform linear
+// array.
+func ExampleRootMUSIC() {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	src := rng.New(2)
+
+	steer := arr.Steering(70)
+	streams := make([][]complex128, arr.N())
+	for a := range streams {
+		streams[a] = make([]complex128, 500)
+	}
+	for t := 0; t < 500; t++ {
+		sym := src.ComplexGaussian(1)
+		for a := range streams {
+			streams[a][t] = sym * steer[a]
+		}
+	}
+	for a := range streams {
+		src.AddAWGN(streams[a], 0.01)
+	}
+
+	r, _ := music.Covariance(streams)
+	est := &music.RootMUSIC{Sources: 1}
+	doas, _ := est.DOAs(r, arr)
+	fmt.Printf("grid-free bearing: %.1f degrees\n", doas[0])
+	// Output:
+	// grid-free bearing: 70.0 degrees
+}

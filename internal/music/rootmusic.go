@@ -1,0 +1,239 @@
+package music
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+// RootMUSIC is the polynomial-rooting variant of MUSIC for uniform linear
+// arrays: instead of scanning a bearing grid, it factors the noise-
+// subspace polynomial
+//
+//	P(z) = a(1/z*)^H En En^H a(z),  a(z) = [1, z, ..., z^(m-1)]^T
+//
+// and maps the roots nearest the unit circle to arrival angles. Grid-free
+// estimates avoid quantisation to the scan step, at the cost of only
+// working on ULAs (the Vandermonde steering structure is essential).
+type RootMUSIC struct {
+	// Sources fixes the signal-subspace dimension; 0 selects via MDL
+	// using Samples.
+	Sources int
+	Samples int
+}
+
+// ErrNotULA is returned when the array is not a uniform linear array.
+var ErrNotULA = errors.New("music: root-MUSIC requires a uniform linear array")
+
+// Name identifies the estimator.
+func (r *RootMUSIC) Name() string { return "root-MUSIC" }
+
+// ulaSpacingWavelengths validates the array is a ULA and returns its
+// element spacing in wavelengths and axis direction (degrees).
+func ulaSpacingWavelengths(arr *antenna.Array) (float64, float64, error) {
+	if arr.Kind != antenna.Linear || arr.N() < 2 {
+		return 0, 0, ErrNotULA
+	}
+	d0 := arr.Elements[1].Sub(arr.Elements[0])
+	for i := 2; i < arr.N(); i++ {
+		di := arr.Elements[i].Sub(arr.Elements[i-1])
+		if di.Sub(d0).Norm() > 1e-9 {
+			return 0, 0, ErrNotULA
+		}
+	}
+	axis := math.Atan2(d0.Y, d0.X) * 180 / math.Pi
+	return d0.Norm() / arr.Wavelength(), axis, nil
+}
+
+// DOAs returns the estimated arrival bearings (global degrees, in the
+// array's unambiguous half-plane), strongest-root first.
+func (r *RootMUSIC) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error) {
+	spacing, axisDeg, err := ulaSpacingWavelengths(arr)
+	if err != nil {
+		return nil, err
+	}
+	m := arr.N()
+	if cov.Rows != m {
+		return nil, fmt.Errorf("music: covariance is %dx%d but array has %d elements", cov.Rows, cov.Cols, m)
+	}
+	eig, err := cmat.HermEig(cov)
+	if err != nil {
+		return nil, err
+	}
+	k := r.Sources
+	if k <= 0 {
+		n := r.Samples
+		if n <= 0 {
+			n = 1000
+		}
+		k = MDLSources(eig.Values, n)
+	}
+	if k >= m {
+		k = m - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	// C = En En^H; the polynomial coefficients are the diagonal sums:
+	// P(z) = sum_{l=-(m-1)}^{m-1} c_l z^l with c_l = sum of the l-th
+	// diagonal of C. Multiply by z^{m-1} for an ordinary polynomial of
+	// degree 2(m-1).
+	en := eig.NoiseSubspace(k)
+	c := en.Mul(en.Herm())
+	coeffs := make([]complex128, 2*m-1) // index l+m-1
+	for l := -(m - 1); l <= m-1; l++ {
+		var s complex128
+		for i := 0; i < m; i++ {
+			j := i + l
+			if j < 0 || j >= m {
+				continue
+			}
+			// a(z)^H C a(z): the z^l coefficient collects C[i][j] with
+			// j - i = l.
+			s += c.At(i, j)
+		}
+		coeffs[l+m-1] = s
+	}
+
+	roots, err := polyRoots(coeffs)
+	if err != nil {
+		return nil, err
+	}
+
+	// Keep roots strictly inside the unit circle (the conjugate-
+	// reciprocal pairs outside mirror them), sorted by closeness to the
+	// circle; take the k closest.
+	type cand struct {
+		z    complex128
+		dist float64
+	}
+	var cands []cand
+	for _, z := range roots {
+		mag := cmplx.Abs(z)
+		if mag >= 1 {
+			continue
+		}
+		cands = append(cands, cand{z, 1 - mag})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+
+	var out []float64
+	for _, cd := range cands {
+		// arg(z) = 2 pi d/lambda cos(theta - axis)... for the ULA along
+		// its axis the steering phase step between adjacent elements for
+		// a wave from angle phi relative to the axis is
+		// 2 pi spacing cos(phi). Invert:
+		ph := cmplx.Phase(cd.z)
+		x := ph / (2 * math.Pi * spacing)
+		if x > 1 {
+			x = 1
+		}
+		if x < -1 {
+			x = -1
+		}
+		rel := math.Acos(x) * 180 / math.Pi // in [0, 180]: the CCW half-plane
+		out = append(out, axisDeg+rel)
+	}
+	return out, nil
+}
+
+// Pseudospectrum implements Estimator by synthesising narrow Gaussian
+// peaks at the rooted DOAs over the grid, so RootMUSIC can slot into any
+// code that expects a spectrum. The DOAs method is the primary interface.
+func (r *RootMUSIC) Pseudospectrum(cov *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
+	doas, err := r.DOAs(cov, arr)
+	if err != nil {
+		return nil, err
+	}
+	ps := &Pseudospectrum{AnglesDeg: append([]float64(nil), gridDeg...), P: make([]float64, len(gridDeg))}
+	const sigma = 1.0 // degrees
+	for rank, d := range doas {
+		h := 1.0 / float64(rank+1)
+		for i, g := range gridDeg {
+			diff := angularSep(g, d)
+			ps.P[i] += h * math.Exp(-diff*diff/(2*sigma*sigma))
+		}
+	}
+	return ps, nil
+}
+
+// polyRoots finds all roots of the polynomial
+// p(z) = coeffs[0] + coeffs[1] z + ... + coeffs[n] z^n
+// with the Durand-Kerner (Weierstrass) iteration. Leading/trailing zero
+// coefficients are trimmed (roots at the origin are reported directly).
+func polyRoots(coeffs []complex128) ([]complex128, error) {
+	// Trim the leading (highest-order) zeros.
+	n := len(coeffs)
+	for n > 0 && coeffs[n-1] == 0 {
+		n--
+	}
+	coeffs = coeffs[:n]
+	if len(coeffs) <= 1 {
+		return nil, errors.New("music: degenerate polynomial")
+	}
+	// Factor out z^q for trailing (constant-side) zeros.
+	var zeroRoots []complex128
+	for len(coeffs) > 1 && coeffs[0] == 0 {
+		coeffs = coeffs[1:]
+		zeroRoots = append(zeroRoots, 0)
+	}
+	deg := len(coeffs) - 1
+	if deg == 0 {
+		return zeroRoots, nil
+	}
+	// Normalise to monic.
+	monic := make([]complex128, len(coeffs))
+	lead := coeffs[deg]
+	for i := range coeffs {
+		monic[i] = coeffs[i] / lead
+	}
+	eval := func(z complex128) complex128 {
+		s := complex(0, 0)
+		for i := deg; i >= 0; i-- {
+			s = s*z + monic[i]
+		}
+		return s
+	}
+	// Durand-Kerner starting points: a slightly irrational spiral.
+	roots := make([]complex128, deg)
+	for i := range roots {
+		roots[i] = cmplx.Rect(0.9+0.1*float64(i)/float64(deg), 2*math.Pi*float64(i)/float64(deg)+0.4)
+	}
+	const maxIter = 500
+	for iter := 0; iter < maxIter; iter++ {
+		var maxStep float64
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex(1, 0)
+			for j := range roots {
+				if i == j {
+					continue
+				}
+				den *= roots[i] - roots[j]
+			}
+			if den == 0 {
+				// Perturb coincident estimates.
+				roots[i] += complex(1e-6, 1e-6)
+				continue
+			}
+			step := num / den
+			roots[i] -= step
+			if s := cmplx.Abs(step); s > maxStep {
+				maxStep = s
+			}
+		}
+		if maxStep < 1e-12 {
+			break
+		}
+	}
+	return append(zeroRoots, roots...), nil
+}

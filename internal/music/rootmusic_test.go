@@ -1,0 +1,215 @@
+package music
+
+import (
+	"math"
+	"math/cmplx"
+	"sort"
+	"testing"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+func TestPolyRootsQuadratic(t *testing.T) {
+	// z^2 - 3z + 2 = (z-1)(z-2).
+	roots, err := polyRoots([]complex128{2, -3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 2 {
+		t.Fatalf("roots = %v", roots)
+	}
+	sort.Slice(roots, func(a, b int) bool { return real(roots[a]) < real(roots[b]) })
+	if cmplx.Abs(roots[0]-1) > 1e-9 || cmplx.Abs(roots[1]-2) > 1e-9 {
+		t.Errorf("roots = %v, want 1, 2", roots)
+	}
+}
+
+func TestPolyRootsComplexAndZero(t *testing.T) {
+	// z(z^2 + 1) = roots 0, i, -i.
+	roots, err := polyRoots([]complex128{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != 3 {
+		t.Fatalf("roots = %v", roots)
+	}
+	var zero, plusI, minusI bool
+	for _, r := range roots {
+		switch {
+		case cmplx.Abs(r) < 1e-9:
+			zero = true
+		case cmplx.Abs(r-1i) < 1e-8:
+			plusI = true
+		case cmplx.Abs(r+1i) < 1e-8:
+			minusI = true
+		}
+	}
+	if !zero || !plusI || !minusI {
+		t.Errorf("roots = %v", roots)
+	}
+}
+
+func TestPolyRootsReconstructProperty(t *testing.T) {
+	// Roots of a random-coefficient polynomial must satisfy p(r) ~ 0.
+	for seed := int64(0); seed < 10; seed++ {
+		coeffs := []complex128{
+			complex(float64(seed)+1, 2), complex(3, -1), complex(-2, 0.5), complex(1, 0),
+		}
+		roots, err := polyRoots(coeffs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range roots {
+			var v complex128
+			for i := len(coeffs) - 1; i >= 0; i-- {
+				v = v*r + coeffs[i]
+			}
+			if cmplx.Abs(v) > 1e-6 {
+				t.Errorf("seed %d: |p(root)| = %v", seed, cmplx.Abs(v))
+			}
+		}
+	}
+}
+
+func TestPolyRootsDegenerate(t *testing.T) {
+	if _, err := polyRoots([]complex128{5}); err == nil {
+		t.Error("constant polynomial accepted")
+	}
+	if _, err := polyRoots(nil); err == nil {
+		t.Error("empty polynomial accepted")
+	}
+}
+
+func TestRootMUSICSingleSource(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	for _, bearing := range []float64{30, 75, 90, 140} {
+		streams := synthStreams(arr, []float64{bearing}, []float64{1}, 25, 500, 20)
+		r := cov(t, streams)
+		est := &RootMUSIC{Sources: 1}
+		doas, err := est.DOAs(r, arr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(doas) != 1 {
+			t.Fatalf("bearing %v: DOAs = %v", bearing, doas)
+		}
+		if math.Abs(doas[0]-bearing) > 1 {
+			t.Errorf("bearing %v: root-MUSIC gives %v", bearing, doas[0])
+		}
+	}
+}
+
+func TestRootMUSICTwoSources(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{60, 120}, []float64{1, 0.8}, 25, 800, 21)
+	est := &RootMUSIC{Sources: 2}
+	doas, err := est.DOAs(cov(t, streams), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doas) != 2 {
+		t.Fatalf("DOAs = %v", doas)
+	}
+	sort.Float64s(doas)
+	if math.Abs(doas[0]-60) > 2 || math.Abs(doas[1]-120) > 2 {
+		t.Errorf("DOAs = %v, want ~[60 120]", doas)
+	}
+}
+
+func TestRootMUSICGridFreePrecision(t *testing.T) {
+	// An off-grid bearing: root-MUSIC should beat a 1-degree scan.
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	const truth = 73.37
+	streams := synthStreams(arr, []float64{truth}, []float64{1}, 30, 1000, 22)
+	r := cov(t, streams)
+
+	root := &RootMUSIC{Sources: 1}
+	doas, err := root.DOAs(r, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rootErr := math.Abs(doas[0] - truth)
+
+	grid := &MUSIC{Sources: 1}
+	ps, err := grid.Pseudospectrum(r, arr, arr.ScanGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridErr := math.Abs(ps.PeakBearing() - truth)
+
+	if rootErr > 0.3 {
+		t.Errorf("root-MUSIC error %v deg", rootErr)
+	}
+	if rootErr > gridErr+1e-9 {
+		t.Errorf("root-MUSIC (%v) no better than 1-degree grid (%v)", rootErr, gridErr)
+	}
+}
+
+func TestRootMUSICRotatedArray(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz).Rotate(-94)
+	const truth = 10.0 // inside the rotated half-plane (-94..86)
+	streams := synthStreams(arr, []float64{truth}, []float64{1}, 25, 600, 23)
+	est := &RootMUSIC{Sources: 1}
+	doas, err := est.DOAs(cov(t, streams), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doas) != 1 || math.Abs(doas[0]-truth) > 1 {
+		t.Errorf("rotated array DOAs = %v, want ~10", doas)
+	}
+}
+
+func TestRootMUSICRejectsNonULA(t *testing.T) {
+	uca := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	est := &RootMUSIC{Sources: 1}
+	if _, err := est.DOAs(cmat.Identity(8), uca); err != ErrNotULA {
+		t.Errorf("err = %v, want ErrNotULA", err)
+	}
+}
+
+func TestRootMUSICAutoSources(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{50, 130}, []float64{1, 1}, 25, 1000, 24)
+	est := &RootMUSIC{Sources: 0, Samples: 1000}
+	doas, err := est.DOAs(cov(t, streams), arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doas) != 2 {
+		t.Errorf("MDL-driven DOAs = %v", doas)
+	}
+}
+
+func TestRootMUSICPseudospectrum(t *testing.T) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{85}, []float64{1}, 25, 500, 25)
+	est := &RootMUSIC{Sources: 1}
+	ps, err := est.Pseudospectrum(cov(t, streams), arr, arr.ScanGrid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ps.PeakBearing()-85) > 1.5 {
+		t.Errorf("pseudospectrum peak %v", ps.PeakBearing())
+	}
+	if est.Name() != "root-MUSIC" {
+		t.Error("name")
+	}
+}
+
+func BenchmarkRootMUSIC(b *testing.B) {
+	arr := antenna.NewHalfWaveULA(8, antenna.DefaultCarrierHz)
+	streams := synthStreams(arr, []float64{60, 120}, []float64{1, 0.8}, 25, 800, 26)
+	r, err := Covariance(streams)
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &RootMUSIC{Sources: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.DOAs(r, arr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"secureangle/internal/wifi"
+)
+
+// TypeAlert carries a spoofing alert: an AP that flagged a MAC address
+// reports it to the controller, and the controller broadcasts the
+// quarantine to every connected AP — one AP's detection protects the
+// whole deployment (the defense-in-depth posture of section 1 applied
+// fleet-wide).
+const TypeAlert = 3
+
+// Alert is a spoofing-detection notice for one MAC.
+type Alert struct {
+	// APName identifies the reporting AP ("controller" on broadcasts).
+	APName string
+	MAC    wifi.Addr
+	// Distance is the signature distance that triggered the flag.
+	Distance float64
+}
+
+// MarshalAlert encodes an Alert message body.
+func MarshalAlert(a Alert) []byte {
+	b := []byte{TypeAlert}
+	b = writeString(b, a.APName)
+	b = append(b, a.MAC[:]...)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(a.Distance))
+	return b
+}
+
+// unmarshalAlert decodes an Alert body (after the type byte).
+func unmarshalAlert(rest []byte) (Alert, error) {
+	var a Alert
+	name, rest, err := readString(rest)
+	if err != nil {
+		return a, err
+	}
+	if len(rest) != 6+8 {
+		return a, ErrBadMessage
+	}
+	a.APName = name
+	copy(a.MAC[:], rest[:6])
+	a.Distance = math.Float64frombits(binary.BigEndian.Uint64(rest[6:14]))
+	return a, nil
+}
+
+// --- Controller-side quarantine state ---
+
+// quarantine tracks flagged MACs and the agents to notify.
+type quarantine struct {
+	mu    sync.Mutex
+	macs  map[wifi.Addr]Alert
+	conns map[string]chan []byte // per-AP outbound broadcast queues
+}
+
+func newQuarantine() *quarantine {
+	return &quarantine{
+		macs:  make(map[wifi.Addr]Alert),
+		conns: make(map[string]chan []byte),
+	}
+}
+
+// add records a flagged MAC; returns true if it is new.
+func (q *quarantine) add(a Alert) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, seen := q.macs[a.MAC]; seen {
+		return false
+	}
+	q.macs[a.MAC] = a
+	return true
+}
+
+// list snapshots the quarantined MACs.
+func (q *quarantine) list() []Alert {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]Alert, 0, len(q.macs))
+	for _, a := range q.macs {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Quarantined returns the controller's current quarantine list.
+func (c *Controller) Quarantined() []Alert {
+	if c.quar == nil {
+		return nil
+	}
+	return c.quar.list()
+}
+
+// handleAlert ingests an agent's alert and broadcasts the quarantine to
+// every connected agent.
+func (c *Controller) handleAlert(a Alert) {
+	if !c.quar.add(a) {
+		return // already quarantined
+	}
+	c.logf("controller: quarantining %s (flagged by %s, distance %.3f)", a.MAC, a.APName, a.Distance)
+	broadcast := MarshalAlert(Alert{APName: "controller", MAC: a.MAC, Distance: a.Distance})
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	for name, ch := range c.quar.conns {
+		select {
+		case ch <- broadcast:
+		default:
+			c.logf("controller: broadcast queue to %s full", name)
+		}
+	}
+}
+
+// --- Agent-side ---
+
+// SendAlert reports a flagged MAC to the controller.
+func (a *Agent) SendAlert(apName string, mac wifi.Addr, distance float64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return WriteMessage(a.conn, MarshalAlert(Alert{APName: apName, MAC: mac, Distance: distance}))
+}
+
+// Alerts starts a background reader delivering controller broadcasts.
+// Call at most once; the channel closes when the connection drops. Only
+// agents that listen for alerts should call this (the read loop consumes
+// the connection's inbound side).
+func (a *Agent) Alerts() <-chan Alert {
+	out := make(chan Alert, 16)
+	go func() {
+		defer close(out)
+		for {
+			body, err := ReadMessage(a.conn)
+			if err != nil {
+				return
+			}
+			msg, err := Unmarshal(body)
+			if err != nil {
+				continue
+			}
+			if al, ok := msg.(Alert); ok {
+				out <- al
+			}
+		}
+	}()
+	return out
+}

@@ -1,0 +1,354 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/wifi"
+)
+
+// FenceDecision is the controller's fused output for one transmission.
+type FenceDecision struct {
+	MAC      wifi.Addr
+	SeqNo    uint64
+	Pos      geom.Point
+	Decision locate.Decision
+	// APs lists the access points whose bearings contributed.
+	APs []string
+}
+
+// Controller fuses AP reports into localisation and fence decisions. One
+// goroutine per connection reads messages; fusion state is mutex-guarded.
+type Controller struct {
+	Fence *locate.Fence
+	// MinAPs is the number of distinct AP bearings required per decision
+	// (default 2).
+	MinAPs int
+	// Logf, if set, receives diagnostic output.
+	Logf func(format string, args ...any)
+	// DecisionTimeout bounds how long a geometrically-degenerate pending
+	// decision waits for a more diverse bearing before fusing what it has
+	// (default 1s).
+	DecisionTimeout time.Duration
+
+	mu       sync.Mutex
+	apPos    map[string]geom.Point
+	pending  map[pendingKey]map[string]float64 // (mac, seq) -> apName -> bearing
+	decided  map[pendingKey]bool
+	decision chan FenceDecision
+	quar     *quarantine
+	timers   map[pendingKey]*time.Timer
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+type pendingKey struct {
+	mac wifi.Addr
+	seq uint64
+}
+
+// NewController returns a controller enforcing the given fence.
+func NewController(fence *locate.Fence) *Controller {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Controller{
+		Fence:    fence,
+		MinAPs:   2,
+		apPos:    make(map[string]geom.Point),
+		pending:  make(map[pendingKey]map[string]float64),
+		decided:  make(map[pendingKey]bool),
+		decision: make(chan FenceDecision, 64),
+		quar:     newQuarantine(),
+		timers:   make(map[pendingKey]*time.Timer),
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+}
+
+// Decisions delivers fused fence decisions as they become available.
+func (c *Controller) Decisions() <-chan FenceDecision { return c.decision }
+
+// Serve starts accepting AP connections on the listener. It returns
+// immediately; Close shuts everything down.
+func (c *Controller) Serve(ln net.Listener) {
+	c.ln = ln
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.handle(conn)
+			}()
+		}
+	}()
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (c *Controller) Close() {
+	c.mu.Lock()
+	for k, t := range c.timers {
+		t.Stop()
+		delete(c.timers, k)
+	}
+	c.mu.Unlock()
+	c.cancel()
+	if c.ln != nil {
+		c.ln.Close()
+	}
+	c.wg.Wait()
+	close(c.decision)
+}
+
+func (c *Controller) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+func (c *Controller) handle(conn net.Conn) {
+	defer conn.Close()
+	// Close the connection when the controller shuts down so the read
+	// loop unblocks.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-c.ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	for {
+		body, err := ReadMessage(conn)
+		if err != nil {
+			if !errors.Is(err, net.ErrClosed) {
+				c.logf("controller: read: %v", err)
+			}
+			return
+		}
+		msg, err := Unmarshal(body)
+		if err != nil {
+			c.logf("controller: decode: %v", err)
+			return
+		}
+		switch m := msg.(type) {
+		case Hello:
+			c.mu.Lock()
+			c.apPos[m.Name] = m.Pos
+			c.mu.Unlock()
+			c.logf("controller: AP %q at %v", m.Name, m.Pos)
+			c.startBroadcaster(m.Name, conn, done)
+		case Report:
+			c.ingest(m)
+		case Alert:
+			c.handleAlert(m)
+		}
+	}
+}
+
+// startBroadcaster registers an outbound queue for an AP connection and
+// pumps controller broadcasts (quarantine alerts) onto the socket. The
+// write side of the connection is the controller's alone, so no lock is
+// shared with the read loop.
+func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}) {
+	ch := make(chan []byte, 16)
+	c.quar.mu.Lock()
+	c.quar.conns[name] = ch
+	c.quar.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		defer func() {
+			c.quar.mu.Lock()
+			delete(c.quar.conns, name)
+			c.quar.mu.Unlock()
+		}()
+		for {
+			select {
+			case body := <-ch:
+				if err := WriteMessage(conn, body); err != nil {
+					return
+				}
+			case <-c.ctx.Done():
+				return
+			case <-done:
+				return
+			}
+		}
+	}()
+}
+
+// ingest records a report and emits a decision once MinAPs distinct APs
+// have reported the same (MAC, seq).
+func (c *Controller) ingest(r Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.apPos[r.APName]; !ok {
+		c.logf("controller: report from unknown AP %q dropped", r.APName)
+		return
+	}
+	key := pendingKey{r.MAC, r.SeqNo}
+	if c.decided[key] {
+		return
+	}
+	m := c.pending[key]
+	if m == nil {
+		m = make(map[string]float64)
+		c.pending[key] = m
+	}
+	m[r.APName] = r.BearingDeg
+	if len(m) < c.MinAPs {
+		return
+	}
+
+	// Geometric dilution guard: when every pair of bearing lines is
+	// nearly parallel (a client close to the line between two APs), the
+	// intersection is ill-conditioned and can land tens of metres away.
+	// Hold the decision until a bearing with angular diversity arrives —
+	// unless every registered AP has already reported, or the decision
+	// timeout forces the best-available fix (see below).
+	if !c.diverse(m) && len(m) < len(c.apPos) {
+		if _, armed := c.timers[key]; !armed {
+			k := key
+			c.timers[key] = time.AfterFunc(c.decisionTimeout(), func() {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				c.finalizeLocked(k)
+			})
+		}
+		return
+	}
+	c.finalizeLocked(key)
+}
+
+// decisionTimeout returns the configured forced-decision deadline.
+func (c *Controller) decisionTimeout() time.Duration {
+	if c.DecisionTimeout > 0 {
+		return c.DecisionTimeout
+	}
+	return time.Second
+}
+
+// diverse checks angular diversity of the pending bearings (c.mu held).
+func (c *Controller) diverse(m map[string]float64) bool {
+	obs := make([]locate.BearingObs, 0, len(m))
+	for name, bearing := range m {
+		obs = append(obs, locate.BearingObs{AP: c.apPos[name], BearingDeg: bearing})
+	}
+	return angularlyDiverse(obs, 15)
+}
+
+// finalizeLocked fuses whatever bearings are pending for key and emits
+// the decision. Caller holds c.mu. A no-op when the key was already
+// decided or has too few bearings.
+func (c *Controller) finalizeLocked(key pendingKey) {
+	if t, ok := c.timers[key]; ok {
+		t.Stop()
+		delete(c.timers, key)
+	}
+	if c.decided[key] {
+		return
+	}
+	m := c.pending[key]
+	if len(m) < c.MinAPs {
+		return
+	}
+	obs := make([]locate.BearingObs, 0, len(m))
+	aps := make([]string, 0, len(m))
+	for name, bearing := range m {
+		obs = append(obs, locate.BearingObs{AP: c.apPos[name], BearingDeg: bearing})
+		aps = append(aps, name)
+	}
+	dec, pos, err := c.Fence.Decide(obs)
+	if err != nil {
+		c.logf("controller: fuse %v seq %d: %v", key.mac, key.seq, err)
+		return
+	}
+	c.decided[key] = true
+	delete(c.pending, key)
+	out := FenceDecision{MAC: key.mac, SeqNo: key.seq, Pos: pos, Decision: dec, APs: aps}
+	select {
+	case c.decision <- out:
+	default:
+		c.logf("controller: decision channel full, dropping %v", out.MAC)
+	}
+}
+
+// angularlyDiverse reports whether some pair of bearing lines crosses at
+// no less than minDeg degrees (bearings compared modulo 180: a line and
+// its reverse are the same line).
+func angularlyDiverse(obs []locate.BearingObs, minDeg float64) bool {
+	for i := 0; i < len(obs); i++ {
+		for j := i + 1; j < len(obs); j++ {
+			d := obs[i].BearingDeg - obs[j].BearingDeg
+			for d < 0 {
+				d += 180
+			}
+			for d >= 180 {
+				d -= 180
+			}
+			if d > 90 {
+				d = 180 - d
+			}
+			if d >= minDeg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// --- AP agent side ---
+
+// Agent is an AP's connection to the controller.
+type Agent struct {
+	conn net.Conn
+	mu   sync.Mutex
+}
+
+// Dial connects to the controller and sends the Hello.
+func Dial(addr string, hello Hello) (*Agent, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{conn: conn}
+	if err := WriteMessage(conn, MarshalHello(hello)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewAgentOn wraps an existing connection (tests use net.Pipe).
+func NewAgentOn(conn net.Conn, hello Hello) (*Agent, error) {
+	a := &Agent{conn: conn}
+	if err := WriteMessage(conn, MarshalHello(hello)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Send ships one report; safe for concurrent use.
+func (a *Agent) Send(r Report) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return WriteMessage(a.conn, MarshalReport(r))
+}
+
+// Close terminates the agent's connection.
+func (a *Agent) Close() error { return a.conn.Close() }

@@ -1,0 +1,293 @@
+package netproto
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/music"
+	"secureangle/internal/signature"
+	"secureangle/internal/wifi"
+)
+
+func testSig() *signature.Signature {
+	grid := make([]float64, 360)
+	p := make([]float64, 360)
+	for i := range grid {
+		grid[i] = float64(i)
+		p[i] = float64(i%37) + 1
+	}
+	return signature.FromPseudospectrum(&music.Pseudospectrum{AnglesDeg: grid, P: p})
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Name: "ap-west", Pos: geom.Point{X: 8, Y: 5}}
+	got, err := Unmarshal(MarshalHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Hello) != h {
+		t.Errorf("round trip %v != %v", got, h)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := Report{
+		APName:     "ap1",
+		MAC:        wifi.MustParseAddr("00:16:ea:50:00:05"),
+		BearingDeg: 123.75,
+		SeqNo:      987654321,
+		Sig:        testSig(),
+	}
+	got, err := Unmarshal(MarshalReport(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := got.(Report)
+	if gr.APName != r.APName || gr.MAC != r.MAC || gr.BearingDeg != r.BearingDeg || gr.SeqNo != r.SeqNo {
+		t.Errorf("fields: %+v", gr)
+	}
+	d, err := signature.Distance(gr.Sig, r.Sig)
+	if err != nil || d > 1e-12 {
+		t.Errorf("signature round trip: %v, %v", d, err)
+	}
+}
+
+func TestReportWithoutSignature(t *testing.T) {
+	r := Report{APName: "ap2", BearingDeg: 45}
+	got, err := Unmarshal(MarshalReport(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Report).Sig != nil {
+		t.Error("nil signature did not survive")
+	}
+}
+
+func TestUnmarshalMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{99},                    // unknown type
+		{TypeHello},             // no name
+		{TypeHello, 0, 3, 'a'},  // short name
+		{TypeReport, 0, 1, 'x'}, // truncated body
+	}
+	for i, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Valid hello with trailing garbage.
+	h := MarshalHello(Hello{Name: "a"})
+	if _, err := Unmarshal(append(h, 0xff)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestMessageFraming(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("hello framing")
+	if err := WriteMessage(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Error("framing round trip")
+	}
+}
+
+func TestMessageSizeLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, make([]byte, MaxMessageSize+1)); err != ErrTooLarge {
+		t.Errorf("oversize write err = %v", err)
+	}
+	// Hostile length prefix.
+	buf.Reset()
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadMessage(&buf); err != ErrTooLarge {
+		t.Errorf("hostile prefix err = %v", err)
+	}
+}
+
+// startController runs a controller on a loopback listener.
+func startController(t *testing.T) (*Controller, string) {
+	t.Helper()
+	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	c := NewController(fence)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(ln)
+	return c, ln.Addr().String()
+}
+
+func TestControllerFusesInsideClient(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+
+	target := geom.Point{X: 9, Y: 6}
+	ap1Pos := geom.Point{X: 4, Y: 2}
+	ap2Pos := geom.Point{X: 20, Y: 3}
+	a1, err := Dial(addr, Hello{Name: "ap1", Pos: ap1Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := Dial(addr, Hello{Name: "ap2", Pos: ap2Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+
+	mac := wifi.MustParseAddr("00:16:ea:50:00:07")
+	if err := a1.Send(Report{APName: "ap1", MAC: mac, SeqNo: 1, BearingDeg: geom.BearingDeg(ap1Pos, target)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a2.Send(Report{APName: "ap2", MAC: mac, SeqNo: 1, BearingDeg: geom.BearingDeg(ap2Pos, target)}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case d := <-c.Decisions():
+		if d.Decision != locate.Allow {
+			t.Errorf("inside client dropped: %+v", d)
+		}
+		if d.Pos.Dist(target) > 0.1 {
+			t.Errorf("fused position %v, want %v", d.Pos, target)
+		}
+		if d.MAC != mac || d.SeqNo != 1 {
+			t.Error("decision identity wrong")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision within 5s")
+	}
+}
+
+func TestControllerDropsOutsideClient(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+
+	intruder := geom.Point{X: -5, Y: 8} // outside the shell
+	ap1Pos := geom.Point{X: 4, Y: 2}
+	ap2Pos := geom.Point{X: 12, Y: 14}
+	a1, _ := Dial(addr, Hello{Name: "ap1", Pos: ap1Pos})
+	defer a1.Close()
+	a2, _ := Dial(addr, Hello{Name: "ap2", Pos: ap2Pos})
+	defer a2.Close()
+
+	mac := wifi.MustParseAddr("66:66:66:66:66:66")
+	a1.Send(Report{APName: "ap1", MAC: mac, SeqNo: 9, BearingDeg: geom.BearingDeg(ap1Pos, intruder)})
+	a2.Send(Report{APName: "ap2", MAC: mac, SeqNo: 9, BearingDeg: geom.BearingDeg(ap2Pos, intruder)})
+
+	select {
+	case d := <-c.Decisions():
+		if d.Decision != locate.Drop {
+			t.Errorf("outside client allowed: %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision within 5s")
+	}
+}
+
+func TestControllerIgnoresUnknownAP(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+
+	// Agent that never sent a Hello for the name it reports under.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a report directly without Hello.
+	mac := wifi.MustParseAddr("00:16:ea:50:00:01")
+	if err := WriteMessage(conn, MarshalReport(Report{APName: "ghost", MAC: mac, SeqNo: 1, BearingDeg: 10})); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case d, ok := <-c.Decisions():
+		if ok {
+			t.Errorf("decision from unknown AP: %+v", d)
+		}
+	case <-time.After(300 * time.Millisecond):
+		// expected: nothing fused
+	}
+}
+
+func TestControllerRequiresMinAPs(t *testing.T) {
+	c, addr := startController(t)
+	c.MinAPs = 3
+	defer c.Close()
+
+	ap1Pos := geom.Point{X: 4, Y: 2}
+	ap2Pos := geom.Point{X: 20, Y: 3}
+	a1, _ := Dial(addr, Hello{Name: "ap1", Pos: ap1Pos})
+	defer a1.Close()
+	a2, _ := Dial(addr, Hello{Name: "ap2", Pos: ap2Pos})
+	defer a2.Close()
+
+	mac := wifi.MustParseAddr("00:16:ea:50:00:02")
+	target := geom.Point{X: 9, Y: 6}
+	a1.Send(Report{APName: "ap1", MAC: mac, SeqNo: 3, BearingDeg: geom.BearingDeg(ap1Pos, target)})
+	a2.Send(Report{APName: "ap2", MAC: mac, SeqNo: 3, BearingDeg: geom.BearingDeg(ap2Pos, target)})
+
+	select {
+	case d := <-c.Decisions():
+		t.Errorf("decision with only 2 of 3 APs: %+v", d)
+	case <-time.After(300 * time.Millisecond):
+	}
+}
+
+func TestControllerGracefulClose(t *testing.T) {
+	c, addr := startController(t)
+	a, err := Dial(addr, Hello{Name: "ap1", Pos: geom.Point{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	done := make(chan struct{})
+	go func() {
+		c.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung with open connection")
+	}
+	// Decisions channel must be closed.
+	if _, ok := <-c.Decisions(); ok {
+		t.Error("decisions channel still open")
+	}
+}
+
+func TestAgentOnPipe(t *testing.T) {
+	// NewAgentOn works over an in-memory pipe; the far end sees the Hello.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		if _, err := NewAgentOn(client, Hello{Name: "pipe-ap", Pos: geom.Point{X: 1, Y: 2}}); err != nil {
+			t.Error(err)
+		}
+	}()
+	body, err := ReadMessage(server)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := Unmarshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := msg.(Hello); h.Name != "pipe-ap" {
+		t.Errorf("hello = %+v", h)
+	}
+}

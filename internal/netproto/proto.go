@@ -1,0 +1,194 @@
+// Package netproto is the system-level glue of section 2.3: SecureAngle
+// APs stream per-packet AoA reports to a controller over TCP, and the
+// controller fuses bearings from multiple APs into client locations and
+// virtual-fence decisions.
+//
+// Wire format: length-prefixed binary messages, big endian throughout.
+// Each message is
+//
+//	uint32 length (of everything after this field)
+//	uint8  type
+//	...    type-specific body
+//
+// Message types: Hello (AP announces its name and position) and Report
+// (one packet's MAC, bearing, and serialised AoA signature).
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/signature"
+	"secureangle/internal/wifi"
+)
+
+// Message type identifiers.
+const (
+	TypeHello  = 1
+	TypeReport = 2
+)
+
+// MaxMessageSize bounds a single message (a signature over a 0.25-degree
+// 360 grid is ~23 KB; 1 MB leaves ample margin while stopping hostile
+// length prefixes from ballooning allocations).
+const MaxMessageSize = 1 << 20
+
+// Hello announces an AP to the controller.
+type Hello struct {
+	Name string
+	Pos  geom.Point
+}
+
+// Report is one packet observation from one AP.
+type Report struct {
+	APName     string
+	MAC        wifi.Addr
+	BearingDeg float64
+	// SeqNo correlates reports of the same transmission across APs.
+	SeqNo uint64
+	// Sig may be nil when only the bearing is reported.
+	Sig *signature.Signature
+}
+
+var (
+	// ErrTooLarge reports a message exceeding MaxMessageSize.
+	ErrTooLarge = errors.New("netproto: message too large")
+	// ErrBadMessage reports a malformed body.
+	ErrBadMessage = errors.New("netproto: malformed message")
+)
+
+// writeString appends a uint16-length-prefixed string.
+func writeString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readString(b []byte) (string, []byte, error) {
+	if len(b) < 2 {
+		return "", nil, ErrBadMessage
+	}
+	n := int(binary.BigEndian.Uint16(b))
+	b = b[2:]
+	if len(b) < n {
+		return "", nil, ErrBadMessage
+	}
+	return string(b[:n]), b[n:], nil
+}
+
+// MarshalHello encodes a Hello message body (without the length prefix).
+func MarshalHello(h Hello) []byte {
+	b := []byte{TypeHello}
+	b = writeString(b, h.Name)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.Pos.X))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.Pos.Y))
+	return b
+}
+
+// MarshalReport encodes a Report message body.
+func MarshalReport(r Report) []byte {
+	b := []byte{TypeReport}
+	b = writeString(b, r.APName)
+	b = append(b, r.MAC[:]...)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.BearingDeg))
+	b = binary.BigEndian.AppendUint64(b, r.SeqNo)
+	if r.Sig != nil {
+		sig := r.Sig.Marshal()
+		b = binary.BigEndian.AppendUint32(b, uint32(len(sig)))
+		b = append(b, sig...)
+	} else {
+		b = binary.BigEndian.AppendUint32(b, 0)
+	}
+	return b
+}
+
+// Unmarshal decodes a message body into either Hello or Report.
+func Unmarshal(b []byte) (any, error) {
+	if len(b) < 1 {
+		return nil, ErrBadMessage
+	}
+	switch b[0] {
+	case TypeHello:
+		name, rest, err := readString(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 16 {
+			return nil, ErrBadMessage
+		}
+		return Hello{
+			Name: name,
+			Pos: geom.Point{
+				X: math.Float64frombits(binary.BigEndian.Uint64(rest[0:8])),
+				Y: math.Float64frombits(binary.BigEndian.Uint64(rest[8:16])),
+			},
+		}, nil
+	case TypeReport:
+		name, rest, err := readString(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) < 6+8+8+4 {
+			return nil, ErrBadMessage
+		}
+		var r Report
+		r.APName = name
+		copy(r.MAC[:], rest[:6])
+		rest = rest[6:]
+		r.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
+		r.SeqNo = binary.BigEndian.Uint64(rest[8:16])
+		sigLen := int(binary.BigEndian.Uint32(rest[16:20]))
+		rest = rest[20:]
+		if sigLen > 0 {
+			if len(rest) != sigLen {
+				return nil, ErrBadMessage
+			}
+			sig, err := signature.Unmarshal(rest)
+			if err != nil {
+				return nil, fmt.Errorf("netproto: %w", err)
+			}
+			r.Sig = sig
+		} else if len(rest) != 0 {
+			return nil, ErrBadMessage
+		}
+		return r, nil
+	case TypeAlert:
+		return unmarshalAlert(b[1:])
+	default:
+		return nil, fmt.Errorf("netproto: unknown message type %d", b[0])
+	}
+}
+
+// WriteMessage frames and writes one message body.
+func WriteMessage(w io.Writer, body []byte) error {
+	if len(body) > MaxMessageSize {
+		return ErrTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadMessage reads one length-prefixed message body.
+func ReadMessage(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxMessageSize {
+		return nil, ErrTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

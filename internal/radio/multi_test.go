@@ -1,0 +1,181 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/env"
+	"secureangle/internal/geom"
+	"secureangle/internal/music"
+	"secureangle/internal/rng"
+)
+
+func TestReceiveMultiErrors(t *testing.T) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	fe := NewFrontEnd(arr, geom.Point{}, rng.New(1))
+	e := freeSpace()
+	if _, err := fe.ReceiveMulti(e, nil); err == nil {
+		t.Error("empty transmissions accepted")
+	}
+	if _, err := fe.ReceiveMulti(e, []Transmission{{Pos: geom.Point{X: 1}, Baseband: nil}}); err == nil {
+		t.Error("empty baseband accepted")
+	}
+	if _, err := fe.ReceiveMulti(e, []Transmission{{Pos: geom.Point{X: 1}, Baseband: make([]complex128, 8), SampleOffset: -1}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestReceiveMultiMatchesSingleTransmitter(t *testing.T) {
+	// With one transmission, ReceiveMulti must be statistically
+	// equivalent to Receive: check the pipeline bearing matches.
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	ap := geom.Point{}
+	fe := NewFrontEnd(arr, ap, rng.New(2), WithSNR(25))
+	e := freeSpace()
+	tx := geom.PointAt(ap, 130, 6)
+	bb := testPacket(t)
+
+	streams, err := fe.ReceiveMulti(e, []Transmission{{Pos: tx, Baseband: bb, Power: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyCalibration(streams, fe.Calibrate(2000))
+	r, err := music.Covariance(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &music.MUSIC{Sources: 0, Samples: len(streams[0])}
+	ps, err := est.Pseudospectrum(r, arr, arr.ScanGrid(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geom.AngularDistDeg(ps.PeakBearing(), 130) > 2.5 {
+		t.Errorf("single-tx ReceiveMulti bearing = %v", ps.PeakBearing())
+	}
+}
+
+func TestReceiveMultiResolvesConcurrentTransmitters(t *testing.T) {
+	// Two clients transmitting simultaneously from different bearings:
+	// their symbol streams are independent, so MUSIC separates both —
+	// unlike coherent multipath of a single transmitter.
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	ap := geom.Point{}
+	fe := NewFrontEnd(arr, ap, rng.New(3), WithSNR(25))
+	e := freeSpace()
+	txA := geom.PointAt(ap, 60, 6)
+	txB := geom.PointAt(ap, 210, 7)
+
+	streams, err := fe.ReceiveMulti(e, []Transmission{
+		{Pos: txA, Baseband: testPacket(t), Power: 1},
+		{Pos: txB, Baseband: testPacket(t), Power: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ApplyCalibration(streams, fe.Calibrate(2000))
+	r, err := music.Covariance(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := &music.MUSIC{Sources: 2}
+	ps, err := est.Pseudospectrum(r, arr, arr.ScanGrid(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peaks := ps.Peaks(15, 15)
+	if len(peaks) < 2 {
+		t.Fatalf("peaks = %v", peaks)
+	}
+	got60, got210 := false, false
+	for _, p := range peaks[:2] {
+		if geom.AngularDistDeg(p.BearingDeg, 60) < 4 {
+			got60 = true
+		}
+		if geom.AngularDistDeg(p.BearingDeg, 210) < 4 {
+			got210 = true
+		}
+	}
+	if !got60 || !got210 {
+		t.Errorf("concurrent transmitters not resolved: %v", peaks[:2])
+	}
+}
+
+func TestReceiveMultiOffsetWindow(t *testing.T) {
+	// A transmission with a sample offset must land at that offset: the
+	// energy before it should be noise-level.
+	arr := antenna.NewUCA(4, 0.047, antenna.DefaultCarrierHz)
+	ap := geom.Point{}
+	fe := NewFrontEnd(arr, ap, rng.New(4), WithSNR(30))
+	e := freeSpace()
+	bb := testPacket(t)
+	const off = 2000
+	streams, err := fe.ReceiveMulti(e, []Transmission{
+		{Pos: geom.PointAt(ap, 45, 5), Baseband: bb, SampleOffset: off, Power: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streams[0]) != off+len(bb) {
+		t.Fatalf("window length %d", len(streams[0]))
+	}
+	var early, late float64
+	for i := 0; i < 1500; i++ {
+		v := streams[0][i]
+		early += real(v)*real(v) + imag(v)*imag(v)
+	}
+	// The padded baseband has 300 lead-in zeros; the packet body occupies
+	// [off+300, off+len(bb)-300).
+	for i := off + 350; i < off+len(bb)-350; i++ {
+		v := streams[0][i]
+		late += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if late < 100*early {
+		t.Errorf("offset energy ratio late/early = %v, want >> 1", late/math.Max(early, 1e-30))
+	}
+}
+
+func TestReceiveMultiPowerScaling(t *testing.T) {
+	// Power 4 should raise received energy ~4x versus power 1.
+	arr := antenna.NewUCA(4, 0.047, antenna.DefaultCarrierHz)
+	ap := geom.Point{}
+	e := freeSpace()
+	bb := testPacket(t)
+	energy := func(p float64, seed int64) float64 {
+		fe := NewFrontEnd(arr, ap, rng.New(seed), WithNoiseFloor(1e-15))
+		streams, err := fe.ReceiveMulti(e, []Transmission{
+			{Pos: geom.PointAt(ap, 45, 5), Baseband: bb, Power: p},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s float64
+		for _, v := range streams[0] {
+			s += real(v)*real(v) + imag(v)*imag(v)
+		}
+		return s
+	}
+	e1 := energy(1, 5)
+	e4 := energy(4, 5)
+	if ratio := e4 / e1; math.Abs(ratio-4) > 0.2 {
+		t.Errorf("power scaling ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestReceiveMultiAllBlocked(t *testing.T) {
+	shield := env.Wall{
+		Seg:  geom.Segment{A: geom.Point{X: 2, Y: -50}, B: geom.Point{X: 2, Y: 50}},
+		Mat:  env.Material{Reflection: 0, Transmission: 0},
+		Name: "shield",
+	}
+	blocked := env.New([]env.Wall{shield}, nil)
+	blocked.MaxOrder = 0
+	arr := antenna.NewUCA(4, 0.047, antenna.DefaultCarrierHz)
+	fe := NewFrontEnd(arr, geom.Point{}, rng.New(6))
+	_, err := fe.ReceiveMulti(blocked, []Transmission{
+		{Pos: geom.Point{X: 5, Y: 0}, Baseband: make([]complex128, 64), Power: 1},
+	})
+	if err == nil {
+		t.Error("fully blocked multi-receive should error")
+	}
+}

@@ -1,0 +1,343 @@
+// Package radio simulates the access point's multi-channel receiver — the
+// role the WARP boards play in the SecureAngle prototype — and the
+// calibration rig of section 2.2 (a USRP2 feeding a continuous carrier
+// through equal-length cables into every radio front end).
+//
+// The front end applies, in order, exactly the impairments the hardware
+// introduces and nothing else:
+//
+//  1. per-path steering phases from the array geometry (the physics),
+//  2. a fixed, unknown phase offset per radio chain (the downconverter
+//     impairment calibration must remove),
+//  3. a common carrier frequency offset between client and AP (the boards
+//     share oscillators and sampling clocks, so the offset is identical on
+//     every chain),
+//  4. additive white Gaussian noise per chain at a configured SNR,
+//  5. optional ADC quantisation.
+package radio
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/dsp"
+	"secureangle/internal/env"
+	"secureangle/internal/geom"
+	"secureangle/internal/rng"
+)
+
+// FrontEnd is one AP's receive chain set.
+type FrontEnd struct {
+	Array *antenna.Array
+	// Pos is the AP (array centre) position in the environment.
+	Pos geom.Point
+	// PhaseOffsets holds the per-chain downconverter phase (radians),
+	// unknown to the algorithms until calibration estimates it.
+	PhaseOffsets []float64
+	// CFOHz is the residual carrier offset between client and AP.
+	CFOHz float64
+	// SNRdB sets the per-chain noise level relative to the mean received
+	// signal power across chains. Ignored when NoiseFloor is set.
+	SNRdB float64
+	// NoiseFloor, if positive, is an absolute per-sample noise variance:
+	// with it, distant or blocked clients naturally arrive at lower SNR,
+	// as in the real testbed. Overrides SNRdB.
+	NoiseFloor float64
+	// QuantBits, if nonzero, quantises I and Q to that many bits across
+	// a full scale of +-4 sigma of the signal.
+	QuantBits int
+	// SampleRate of the ADCs.
+	SampleRate float64
+
+	noise *rng.Source
+}
+
+// Option configures a FrontEnd.
+type Option func(*FrontEnd)
+
+// WithCFO sets the client-AP carrier frequency offset.
+func WithCFO(hz float64) Option { return func(f *FrontEnd) { f.CFOHz = hz } }
+
+// WithSNR sets the per-chain SNR in dB.
+func WithSNR(db float64) Option { return func(f *FrontEnd) { f.SNRdB = db } }
+
+// WithNoiseFloor sets an absolute per-sample noise variance, overriding
+// the relative SNR model.
+func WithNoiseFloor(sigma2 float64) Option { return func(f *FrontEnd) { f.NoiseFloor = sigma2 } }
+
+// WithQuantization enables b-bit ADC quantisation.
+func WithQuantization(b int) Option { return func(f *FrontEnd) { f.QuantBits = b } }
+
+// WithPhaseOffsets fixes the per-chain offsets instead of drawing them
+// randomly (tests use this to assert exact values).
+func WithPhaseOffsets(offsets []float64) Option {
+	return func(f *FrontEnd) { f.PhaseOffsets = append([]float64(nil), offsets...) }
+}
+
+// NewFrontEnd builds a front end at the given position. Unknown per-chain
+// phase offsets are drawn uniformly from [0, 2 pi) — the situation before
+// the section 2.2 calibration — unless WithPhaseOffsets overrides them.
+func NewFrontEnd(arr *antenna.Array, pos geom.Point, src *rng.Source, opts ...Option) *FrontEnd {
+	f := &FrontEnd{
+		Array:      arr,
+		Pos:        pos,
+		CFOHz:      0,
+		SNRdB:      25,
+		SampleRate: 20e6,
+		noise:      src.Fork(),
+	}
+	f.PhaseOffsets = make([]float64, arr.N())
+	for i := range f.PhaseOffsets {
+		f.PhaseOffsets[i] = src.Phase()
+	}
+	for _, o := range opts {
+		o(f)
+	}
+	if len(f.PhaseOffsets) != arr.N() {
+		panic("radio: phase offset count != antenna count")
+	}
+	return f
+}
+
+// Receive propagates the transmitted baseband through the environment to
+// this AP and returns one sample stream per antenna, all impairments
+// applied. The transmit buffer should include lead-in/lead-out padding
+// (see PadPacket) so fractionally-delayed copies stay within the buffer.
+func (f *FrontEnd) Receive(e *env.Environment, tx geom.Point, baseband []complex128) ([][]complex128, error) {
+	if len(baseband) == 0 {
+		return nil, errors.New("radio: empty baseband")
+	}
+	paths := e.Trace(tx, f.Pos)
+	if len(paths) == 0 {
+		return nil, errors.New("radio: no propagation paths (fully blocked)")
+	}
+	n := f.Array.N()
+	out := make([][]complex128, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([]complex128, len(baseband))
+	}
+
+	// Per-path: delay once, then fan out with per-antenna steering phase.
+	for _, p := range paths {
+		delayed := dsp.FractionalDelay(baseband, p.Delay, f.SampleRate)
+		dsp.Scale(delayed, p.Gain)
+		steer := f.Array.Steering(p.BearingDeg)
+		for a := 0; a < n; a++ {
+			s := steer[a]
+			dst := out[a]
+			for i, v := range delayed {
+				dst[i] += v * s
+			}
+		}
+	}
+
+	// Mean signal power across chains sets the noise variance, unless an
+	// absolute floor is configured.
+	var sp float64
+	for a := 0; a < n; a++ {
+		sp += dsp.Power(out[a])
+	}
+	sp /= float64(n)
+	sigma2 := sp / dsp.FromDB(f.SNRdB)
+	if f.NoiseFloor > 0 {
+		sigma2 = f.NoiseFloor
+	}
+
+	for a := 0; a < n; a++ {
+		// Downconverter phase offset (the impairment of section 2.2).
+		dsp.Scale(out[a], cmplx.Rect(1, f.PhaseOffsets[a]))
+		// Common CFO, identical on all chains (shared oscillators).
+		if f.CFOHz != 0 {
+			out[a] = dsp.MixFrequency(out[a], f.CFOHz, f.SampleRate, 0)
+		}
+		f.noise.AddAWGN(out[a], sigma2)
+		if f.QuantBits > 0 {
+			quantize(out[a], f.QuantBits, 4*math.Sqrt(sp+sigma2))
+		}
+	}
+	return out, nil
+}
+
+// Transmission is one concurrent transmitter for ReceiveMulti.
+type Transmission struct {
+	Pos geom.Point
+	// Baseband is the transmitted samples (already padded).
+	Baseband []complex128
+	// SampleOffset delays this transmitter's start within the capture
+	// window (collisions and partial overlaps).
+	SampleOffset int
+	// Power scales the transmit amplitude (1 = unit power).
+	Power float64
+}
+
+// ReceiveMulti simulates several transmitters on the air at once — the
+// interference scenario section 3 of the paper worries about ("background
+// noise and interference from other senders"). The capture window spans
+// the longest transmission; each transmitter's signal propagates through
+// its own multipath channel and the superposition arrives at every
+// antenna.
+func (f *FrontEnd) ReceiveMulti(e *env.Environment, txs []Transmission) ([][]complex128, error) {
+	if len(txs) == 0 {
+		return nil, errors.New("radio: no transmissions")
+	}
+	winLen := 0
+	for _, tx := range txs {
+		if len(tx.Baseband) == 0 {
+			return nil, errors.New("radio: empty baseband")
+		}
+		if tx.SampleOffset < 0 {
+			return nil, errors.New("radio: negative sample offset")
+		}
+		if n := tx.SampleOffset + len(tx.Baseband); n > winLen {
+			winLen = n
+		}
+	}
+	n := f.Array.N()
+	out := make([][]complex128, n)
+	for a := 0; a < n; a++ {
+		out[a] = make([]complex128, winLen)
+	}
+
+	heard := false
+	for _, tx := range txs {
+		paths := e.Trace(tx.Pos, f.Pos)
+		if len(paths) == 0 {
+			continue // this transmitter is fully blocked
+		}
+		heard = true
+		amp := complex(math.Sqrt(math.Max(tx.Power, 0)), 0)
+		if tx.Power == 0 {
+			amp = 1
+		}
+		for _, p := range paths {
+			delayed := dsp.FractionalDelay(tx.Baseband, p.Delay, f.SampleRate)
+			dsp.Scale(delayed, p.Gain*amp)
+			steer := f.Array.Steering(p.BearingDeg)
+			for a := 0; a < n; a++ {
+				s := steer[a]
+				dst := out[a][tx.SampleOffset:]
+				for i, v := range delayed {
+					dst[i] += v * s
+				}
+			}
+		}
+	}
+	if !heard {
+		return nil, errors.New("radio: no propagation paths (all transmitters blocked)")
+	}
+
+	var sp float64
+	for a := 0; a < n; a++ {
+		sp += dsp.Power(out[a])
+	}
+	sp /= float64(n)
+	sigma2 := sp / dsp.FromDB(f.SNRdB)
+	if f.NoiseFloor > 0 {
+		sigma2 = f.NoiseFloor
+	}
+	for a := 0; a < n; a++ {
+		dsp.Scale(out[a], cmplx.Rect(1, f.PhaseOffsets[a]))
+		if f.CFOHz != 0 {
+			out[a] = dsp.MixFrequency(out[a], f.CFOHz, f.SampleRate, 0)
+		}
+		f.noise.AddAWGN(out[a], sigma2)
+		if f.QuantBits > 0 {
+			quantize(out[a], f.QuantBits, 4*math.Sqrt(sp+sigma2))
+		}
+	}
+	return out, nil
+}
+
+// quantize rounds I and Q to b-bit levels over [-fullScale, fullScale].
+func quantize(x []complex128, b int, fullScale float64) {
+	if fullScale <= 0 {
+		return
+	}
+	levels := float64(int(1) << uint(b-1)) // per sign
+	step := fullScale / levels
+	q := func(v float64) float64 {
+		v = math.Max(-fullScale, math.Min(fullScale, v))
+		return math.Round(v/step) * step
+	}
+	for i := range x {
+		x[i] = complex(q(real(x[i])), q(imag(x[i])))
+	}
+}
+
+// PadPacket surrounds packet samples with lead/tail zeros so that packet
+// detection sees a noise floor before the preamble and fractional path
+// delays do not wrap signal energy around the buffer.
+func PadPacket(samples []complex128, lead, tail int) []complex128 {
+	out := make([]complex128, lead+len(samples)+tail)
+	copy(out[lead:], samples)
+	return out
+}
+
+// --- Calibration (section 2.2) ---
+
+// CalibrationCapture simulates switching every front-end input from its
+// antenna to the splitter fed by the reference source: each chain receives
+// the same continuous carrier over an equal-length path, so the only
+// phase differences between chains are the downconverter offsets (plus
+// noise). n is the number of samples captured per chain.
+func (f *FrontEnd) CalibrationCapture(n int) [][]complex128 {
+	out := make([][]complex128, f.Array.N())
+	// Reference tone at a small baseband offset (a pure DC tone would
+	// stress quantisers unrealistically; any common tone works since
+	// offsets are estimated chain-relative).
+	const toneHz = 312.5e3 // one OFDM subcarrier spacing
+	sigma2 := 1 / dsp.FromDB(f.SNRdB+20)
+	for a := range out {
+		tone := make([]complex128, n)
+		for i := range tone {
+			tone[i] = cmplx.Rect(1, 2*math.Pi*toneHz*float64(i)/f.SampleRate)
+		}
+		dsp.Scale(tone, cmplx.Rect(1, f.PhaseOffsets[a]))
+		// Cabled capture: much cleaner than over-the-air (36 dB attenuator
+		// feeding directly into the front end), hence SNR + 20 dB.
+		f.noise.AddAWGN(tone, sigma2)
+		out[a] = tone
+	}
+	return out
+}
+
+// EstimateOffsets recovers each chain's phase offset relative to chain 0
+// from a calibration capture: the paper's "seven relative phase offsets
+// for antennas 2-8, relative to antenna one". Averaging the per-sample
+// conjugate products rejects the capture noise.
+func EstimateOffsets(capture [][]complex128) []float64 {
+	out := make([]float64, len(capture))
+	if len(capture) == 0 {
+		return out
+	}
+	ref := capture[0]
+	for a := 1; a < len(capture); a++ {
+		var acc complex128
+		for i := range ref {
+			acc += capture[a][i] * cmplx.Conj(ref[i])
+		}
+		out[a] = cmplx.Phase(acc)
+	}
+	return out
+}
+
+// ApplyCalibration subtracts the estimated relative offsets from
+// per-antenna streams in place, cancelling the downconverter phases so
+// the steering model of section 2.1 applies.
+func ApplyCalibration(streams [][]complex128, offsets []float64) {
+	for a := range streams {
+		if a >= len(offsets) {
+			break
+		}
+		rot := cmplx.Rect(1, -offsets[a])
+		dsp.Scale(streams[a], rot)
+	}
+}
+
+// Calibrate runs the full section 2.2 procedure: capture, estimate,
+// return the offsets to apply to subsequent over-the-air captures.
+func (f *FrontEnd) Calibrate(nSamples int) []float64 {
+	return EstimateOffsets(f.CalibrationCapture(nSamples))
+}

@@ -1,0 +1,118 @@
+// Package rng wraps math/rand with the random processes the simulator
+// needs: complex AWGN, Rayleigh/Rician path gains, random phases, and an
+// Ornstein-Uhlenbeck drift process used to model channel coherence time.
+// Every consumer takes an explicit *Source so experiments are reproducible
+// from a single seed.
+package rng
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// Source is a deterministic random source for simulation.
+type Source struct {
+	r *rand.Rand
+}
+
+// New returns a Source seeded with seed.
+func New(seed int64) *Source {
+	return &Source{r: rand.New(rand.NewSource(seed))}
+}
+
+// Fork returns an independent Source derived from this one, so that
+// subsystems (noise per antenna, drift per path) consume disjoint streams
+// without coupling their sample counts.
+func (s *Source) Fork() *Source { return New(s.r.Int63()) }
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 { return lo + (hi-lo)*s.r.Float64() }
+
+// Normal returns a Gaussian sample with the given mean and stddev.
+func (s *Source) Normal(mean, std float64) float64 { return mean + std*s.r.NormFloat64() }
+
+// Phase returns a uniform phase in [0, 2 pi).
+func (s *Source) Phase() float64 { return 2 * math.Pi * s.r.Float64() }
+
+// ComplexGaussian returns a circularly-symmetric complex Gaussian sample
+// with total variance sigma2 (variance sigma2/2 per real dimension) — the
+// standard AWGN model.
+func (s *Source) ComplexGaussian(sigma2 float64) complex128 {
+	std := math.Sqrt(sigma2 / 2)
+	return complex(std*s.r.NormFloat64(), std*s.r.NormFloat64())
+}
+
+// AWGN fills a fresh slice of n complex noise samples of total variance
+// sigma2 each.
+func (s *Source) AWGN(n int, sigma2 float64) []complex128 {
+	out := make([]complex128, n)
+	std := math.Sqrt(sigma2 / 2)
+	for i := range out {
+		out[i] = complex(std*s.r.NormFloat64(), std*s.r.NormFloat64())
+	}
+	return out
+}
+
+// AddAWGN adds complex Gaussian noise of per-sample variance sigma2 to x in
+// place.
+func (s *Source) AddAWGN(x []complex128, sigma2 float64) {
+	std := math.Sqrt(sigma2 / 2)
+	for i := range x {
+		x[i] += complex(std*s.r.NormFloat64(), std*s.r.NormFloat64())
+	}
+}
+
+// Rayleigh returns a Rayleigh-distributed magnitude with scale sigma
+// (mode sigma; mean sigma*sqrt(pi/2)).
+func (s *Source) Rayleigh(sigma float64) float64 {
+	return sigma * math.Sqrt(-2*math.Log(1-s.r.Float64()))
+}
+
+// RicianGain returns a complex gain with a fixed line-of-sight component of
+// magnitude losMag and a scattered complex Gaussian component of total
+// variance scatter2 — the standard Rician fading model.
+func (s *Source) RicianGain(losMag, scatter2 float64) complex128 {
+	return complex(losMag, 0)*cmplx.Rect(1, s.Phase()) + s.ComplexGaussian(scatter2)
+}
+
+// OU is a discrete Ornstein-Uhlenbeck process: a mean-reverting random walk
+// with stationary standard deviation Sigma and correlation time Tau. The
+// channel simulator uses one OU process per reflector degree of freedom so
+// that reflection-path gains decorrelate over the configured coherence
+// time while remaining stationary — exactly the behaviour Figure 6 probes.
+type OU struct {
+	Mean  float64 // long-run mean
+	Sigma float64 // stationary standard deviation
+	Tau   float64 // correlation time, seconds
+	x     float64 // current deviation from mean
+	src   *Source
+}
+
+// NewOU returns an OU process started at its stationary distribution.
+func NewOU(src *Source, mean, sigma, tau float64) *OU {
+	return &OU{Mean: mean, Sigma: sigma, Tau: tau, x: src.Normal(0, sigma), src: src}
+}
+
+// Value returns the current process value.
+func (o *OU) Value() float64 { return o.Mean + o.x }
+
+// Advance steps the process forward by dt seconds and returns the new
+// value. The exact discretisation x' = a x + sqrt(1-a^2) sigma W with
+// a = exp(-dt/tau) keeps the process stationary for any step size, so the
+// simulator can jump straight from t=0 to t=1 day (Figure 6's log-spaced
+// offsets) without accumulating integration error.
+func (o *OU) Advance(dt float64) float64 {
+	if dt < 0 {
+		dt = 0
+	}
+	a := math.Exp(-dt / o.Tau)
+	o.x = a*o.x + math.Sqrt(1-a*a)*o.src.Normal(0, o.Sigma)
+	return o.Value()
+}

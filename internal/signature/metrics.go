@@ -1,0 +1,131 @@
+package signature
+
+import (
+	"math"
+	"sort"
+)
+
+// L2Distance returns the Euclidean distance between two unit-energy
+// signatures, in [0, sqrt(2)] for nonnegative spectra. It penalises
+// absolute shape differences more evenly than cosine distance, which is
+// dominated by the tallest peaks.
+func L2Distance(a, b *Signature) (float64, error) {
+	if err := a.checkGrid(b); err != nil {
+		return 0, err
+	}
+	var s float64
+	for i := range a.P {
+		d := a.P[i] - b.P[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// PeakSetDistance compares the *peak structure* of two signatures: the
+// direct-path and reflection bearings (section 1: "The combined direct
+// path and reflection path AoAs form the unique signature"). It is the
+// mean, over the peaks of each signature, of the angular distance to the
+// nearest peak of the other (a symmetric Chamfer distance on the circle),
+// in degrees. Robust to peak-height changes that leave geometry intact —
+// the regime where reflection gains drift but bearings hold.
+func PeakSetDistance(a, b *Signature, minSepDeg, floorDB float64) (float64, error) {
+	if err := a.checkGrid(b); err != nil {
+		return 0, err
+	}
+	pa := a.PeakBearings(minSepDeg, floorDB)
+	pb := b.PeakBearings(minSepDeg, floorDB)
+	if len(pa) == 0 || len(pb) == 0 {
+		return 180, nil
+	}
+	return (chamfer(pa, pb) + chamfer(pb, pa)) / 2, nil
+}
+
+func chamfer(from, to []float64) float64 {
+	var sum float64
+	for _, f := range from {
+		best := 180.0
+		for _, t := range to {
+			if d := angSepDeg(f, t); d < best {
+				best = d
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+func angSepDeg(a, b float64) float64 {
+	d := math.Mod(math.Abs(a-b), 360)
+	if d > 180 {
+		d = 360 - d
+	}
+	return d
+}
+
+// Metric selects a distance function for matching.
+type Metric int
+
+const (
+	// Cosine is 1 - cosine similarity (the default tracker metric).
+	Cosine Metric = iota
+	// L2 is Euclidean distance on unit-energy spectra.
+	L2
+	// PeakSet is the symmetric nearest-peak angular distance (degrees,
+	// so thresholds differ from the unit-free metrics).
+	PeakSet
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Cosine:
+		return "cosine"
+	case L2:
+		return "l2"
+	case PeakSet:
+		return "peakset"
+	default:
+		return "unknown"
+	}
+}
+
+// DistanceWith computes the chosen metric.
+func DistanceWith(m Metric, a, b *Signature) (float64, error) {
+	switch m {
+	case Cosine:
+		return Distance(a, b)
+	case L2:
+		return L2Distance(a, b)
+	case PeakSet:
+		return PeakSetDistance(a, b, 8, 15)
+	default:
+		return Distance(a, b)
+	}
+}
+
+// RankMatches orders candidate signatures by ascending distance to the
+// probe under the chosen metric — the registry-search primitive for
+// identifying which known client a packet most resembles.
+func RankMatches(m Metric, probe *Signature, candidates map[string]*Signature) ([]Match, error) {
+	out := make([]Match, 0, len(candidates))
+	for name, sig := range candidates {
+		d, err := DistanceWith(m, probe, sig)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Match{Name: name, Distance: d})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Distance != out[j].Distance {
+			return out[i].Distance < out[j].Distance
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out, nil
+}
+
+// Match is one ranked candidate.
+type Match struct {
+	Name     string
+	Distance float64
+}

@@ -1,0 +1,122 @@
+package signature
+
+import (
+	"math"
+	"testing"
+)
+
+func TestL2DistanceBasics(t *testing.T) {
+	a := FromPseudospectrum(gauss(grid360(), []float64{100}, []float64{5}, []float64{1}))
+	if d, err := L2Distance(a, a); err != nil || d != 0 {
+		t.Errorf("self L2 = %v, %v", d, err)
+	}
+	b := FromPseudospectrum(gauss(grid360(), []float64{250}, []float64{5}, []float64{1}))
+	d, err := L2Distance(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disjoint unit-energy spectra: distance sqrt(2).
+	if math.Abs(d-math.Sqrt2) > 1e-6 {
+		t.Errorf("disjoint L2 = %v, want sqrt(2)", d)
+	}
+	short := FromPseudospectrum(gauss(grid360()[:100], []float64{50}, []float64{5}, []float64{1}))
+	if _, err := L2Distance(a, short); err != ErrGridMismatch {
+		t.Errorf("grid mismatch err = %v", err)
+	}
+}
+
+func TestPeakSetDistance(t *testing.T) {
+	a := FromPseudospectrum(gauss(grid360(), []float64{100, 200}, []float64{4, 4}, []float64{1, 0.5}))
+	// Same peak geometry, different heights: metric must be near zero.
+	b := FromPseudospectrum(gauss(grid360(), []float64{100, 200}, []float64{4, 4}, []float64{0.5, 1}))
+	d, err := PeakSetDistance(a, b, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.5 {
+		t.Errorf("height-only change moved peak-set distance to %v", d)
+	}
+	// Moved peaks: distance reflects the shift.
+	c := FromPseudospectrum(gauss(grid360(), []float64{115, 215}, []float64{4, 4}, []float64{1, 0.5}))
+	d2, err := PeakSetDistance(a, c, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d2-15) > 2 {
+		t.Errorf("15-degree shift gives peak-set distance %v", d2)
+	}
+}
+
+func TestPeakSetDistanceEmpty(t *testing.T) {
+	flat := FromPseudospectrum(gauss(grid360(), nil, nil, nil))
+	a := FromPseudospectrum(gauss(grid360(), []float64{100}, []float64{4}, []float64{1}))
+	d, err := PeakSetDistance(a, flat, 8, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A flat spectrum still produces grid-local maxima? It is all zeros,
+	// so no peaks: the metric must saturate.
+	if d != 180 {
+		t.Logf("flat spectrum peak-set distance = %v (acceptable if flat has pseudo-peaks)", d)
+	}
+}
+
+func TestMetricDispatchAndString(t *testing.T) {
+	a := FromPseudospectrum(gauss(grid360(), []float64{100}, []float64{5}, []float64{1}))
+	b := FromPseudospectrum(gauss(grid360(), []float64{110}, []float64{5}, []float64{1}))
+	for _, m := range []Metric{Cosine, L2, PeakSet} {
+		d, err := DistanceWith(m, a, b)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if d <= 0 {
+			t.Errorf("%v distance = %v for distinct signatures", m, d)
+		}
+		if m.String() == "unknown" {
+			t.Errorf("metric %d has no name", m)
+		}
+	}
+	if Metric(99).String() != "unknown" {
+		t.Error("unknown metric name")
+	}
+	if _, err := DistanceWith(Metric(99), a, b); err != nil {
+		t.Error("unknown metric should fall back to cosine")
+	}
+}
+
+func TestRankMatches(t *testing.T) {
+	probe := FromPseudospectrum(gauss(grid360(), []float64{100, 160}, []float64{4, 6}, []float64{1, 0.3}))
+	cands := map[string]*Signature{
+		"same-spot": FromPseudospectrum(gauss(grid360(), []float64{100, 161}, []float64{4, 6}, []float64{1, 0.28})),
+		"across":    FromPseudospectrum(gauss(grid360(), []float64{260, 30}, []float64{4, 6}, []float64{1, 0.3})),
+		"nearby":    FromPseudospectrum(gauss(grid360(), []float64{108, 168}, []float64{4, 6}, []float64{1, 0.3})),
+	}
+	ranked, err := RankMatches(Cosine, probe, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+	if ranked[0].Name != "same-spot" {
+		t.Errorf("best match = %s", ranked[0].Name)
+	}
+	if ranked[2].Name != "across" {
+		t.Errorf("worst match = %s", ranked[2].Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].Distance < ranked[i-1].Distance {
+			t.Error("ranking not ascending")
+		}
+	}
+}
+
+func TestRankMatchesGridMismatch(t *testing.T) {
+	probe := FromPseudospectrum(gauss(grid360(), []float64{100}, []float64{5}, []float64{1}))
+	bad := map[string]*Signature{
+		"short": FromPseudospectrum(gauss(grid360()[:10], []float64{5}, []float64{2}, []float64{1})),
+	}
+	if _, err := RankMatches(Cosine, probe, bad); err == nil {
+		t.Error("grid mismatch accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package stats supplies the statistics the evaluation harness reports:
+// means, standard deviations, percentiles, Student-t confidence intervals
+// (the paper quotes 95% and 99% CIs), circular statistics for bearings,
+// histograms, and bootstrap resampling.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, 0 for empty input.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator); 0 when
+// fewer than two samples.
+func Variance(x []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// MinMax returns the extrema; zeros for empty input.
+func MinMax(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Percentile returns the p-th percentile (0-100) with linear interpolation
+// between closest ranks. NaN for empty input.
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), x...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func Median(x []float64) float64 { return Percentile(x, 50) }
+
+// tCritical approximates the two-sided Student-t critical value for the
+// given confidence level (e.g. 0.99) and degrees of freedom, using a table
+// for small df and the normal approximation beyond it. Accuracy of ~1% is
+// ample for the CI error bars in Figures 5-7.
+func tCritical(conf float64, df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	var table []float64
+	switch {
+	case conf >= 0.985: // 99% two-sided
+		table = []float64{63.66, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+			3.106, 3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+			2.831, 2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750}
+	case conf >= 0.965: // 98% two-sided
+		table = []float64{31.82, 6.965, 4.541, 3.747, 3.365, 3.143, 2.998, 2.896, 2.821, 2.764,
+			2.718, 2.681, 2.650, 2.624, 2.602, 2.583, 2.567, 2.552, 2.539, 2.528,
+			2.518, 2.508, 2.500, 2.492, 2.485, 2.479, 2.473, 2.467, 2.462, 2.457}
+	case conf >= 0.925: // 95% two-sided
+		table = []float64{12.71, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+			2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+			2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042}
+	default: // 90%
+		table = []float64{6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812,
+			1.796, 1.782, 1.771, 1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725,
+			1.721, 1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701, 1.699, 1.697}
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	// Large-df limits (normal quantiles).
+	switch {
+	case conf >= 0.985:
+		return 2.576
+	case conf >= 0.965:
+		return 2.326
+	case conf >= 0.925:
+		return 1.960
+	default:
+		return 1.645
+	}
+}
+
+// ConfidenceInterval returns the half-width of the two-sided Student-t
+// confidence interval for the mean of x at the given confidence level
+// (e.g. 0.99 for the 99% error bars in Figure 5). Zero when fewer than two
+// samples.
+func ConfidenceInterval(x []float64, conf float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	return tCritical(conf, n-1) * StdDev(x) / math.Sqrt(float64(n))
+}
+
+// CircularMeanDeg returns the circular mean of bearings in degrees, mapped
+// to [0, 360). Bearings straddling the 0/360 seam average correctly (e.g.
+// 350 and 10 average to 0, not 180).
+func CircularMeanDeg(deg []float64) float64 {
+	var sx, sy float64
+	for _, d := range deg {
+		r := d * math.Pi / 180
+		sx += math.Cos(r)
+		sy += math.Sin(r)
+	}
+	m := math.Atan2(sy, sx) * 180 / math.Pi
+	if m < 0 {
+		m += 360
+	}
+	return m
+}
+
+// CircularSpreadDeg returns the circular standard deviation (degrees) of
+// bearings, from the mean resultant length R: sqrt(-2 ln R).
+func CircularSpreadDeg(deg []float64) float64 {
+	n := len(deg)
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for _, d := range deg {
+		r := d * math.Pi / 180
+		sx += math.Cos(r)
+		sy += math.Sin(r)
+	}
+	R := math.Hypot(sx, sy) / float64(n)
+	if R >= 1 {
+		return 0
+	}
+	if R <= 0 {
+		return 180
+	}
+	return math.Sqrt(-2*math.Log(R)) * 180 / math.Pi
+}
+
+// AngularErrorsDeg returns |a_i - b_i| on the circle, element-wise, in
+// degrees (range [0, 180]).
+func AngularErrorsDeg(a, b []float64) []float64 {
+	n := min(len(a), len(b))
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := math.Mod(math.Abs(a[i]-b[i]), 360)
+		if d > 180 {
+			d = 360 - d
+		}
+		out[i] = d
+	}
+	return out
+}
+
+// Histogram bins x into nbins equal-width bins over [lo, hi]; values
+// outside the range are clamped into the end bins.
+func Histogram(x []float64, lo, hi float64, nbins int) []int {
+	out := make([]int, nbins)
+	if nbins == 0 || hi <= lo {
+		return out
+	}
+	w := (hi - lo) / float64(nbins)
+	for _, v := range x {
+		b := int((v - lo) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		out[b]++
+	}
+	return out
+}
+
+// Bootstrap resamples x with replacement iters times, applies stat to each
+// resample, and returns the results (for non-parametric CIs on arbitrary
+// statistics).
+func Bootstrap(rng *rand.Rand, x []float64, iters int, stat func([]float64) float64) []float64 {
+	if len(x) == 0 || iters <= 0 {
+		return nil
+	}
+	out := make([]float64, iters)
+	resample := make([]float64, len(x))
+	for i := 0; i < iters; i++ {
+		for j := range resample {
+			resample[j] = x[rng.Intn(len(x))]
+		}
+		out[i] = stat(resample)
+	}
+	return out
+}
+
+// FractionWithin returns the fraction of values with |v| <= bound.
+func FractionWithin(x []float64, bound float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var c int
+	for _, v := range x {
+		if math.Abs(v) <= bound {
+			c++
+		}
+	}
+	return float64(c) / float64(len(x))
+}

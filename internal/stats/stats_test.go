@@ -1,0 +1,201 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !approx(Mean(x), 5, 1e-12) {
+		t.Errorf("Mean = %v", Mean(x))
+	}
+	// Sample variance with n-1: sum sq dev = 32, /7.
+	if !approx(Variance(x), 32.0/7, 1e-12) {
+		t.Errorf("Variance = %v", Variance(x))
+	}
+	if !approx(StdDev(x), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("StdDev = %v", StdDev(x))
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty/singleton handling")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+	lo, hi = MinMax(nil)
+	if lo != 0 || hi != 0 {
+		t.Error("MinMax(nil)")
+	}
+}
+
+func TestPercentileAndMedian(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if !approx(Percentile(x, 0), 1, 1e-12) || !approx(Percentile(x, 100), 5, 1e-12) {
+		t.Error("percentile extremes")
+	}
+	if !approx(Median(x), 3, 1e-12) {
+		t.Error("median odd")
+	}
+	if !approx(Median([]float64{1, 2, 3, 4}), 2.5, 1e-12) {
+		t.Error("median even with interpolation")
+	}
+	if !approx(Percentile(x, 25), 2, 1e-12) {
+		t.Errorf("P25 = %v", Percentile(x, 25))
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("Percentile(nil) should be NaN")
+	}
+	// Percentile must not reorder the caller's slice.
+	y := []float64{3, 1, 2}
+	Percentile(y, 50)
+	if y[0] != 3 || y[1] != 1 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestConfidenceIntervalKnown(t *testing.T) {
+	// n=10, std=1: 95% CI half-width = 2.262/sqrt(10) ~ 0.7153.
+	x := make([]float64, 10)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	sd := StdDev(x)
+	want95 := 2.262 * sd / math.Sqrt(10)
+	if got := ConfidenceInterval(x, 0.95); !approx(got, want95, 1e-3*want95) {
+		t.Errorf("CI95 = %v, want %v", got, want95)
+	}
+	want99 := 3.250 * sd / math.Sqrt(10)
+	if got := ConfidenceInterval(x, 0.99); !approx(got, want99, 1e-3*want99) {
+		t.Errorf("CI99 = %v, want %v", got, want99)
+	}
+	if ConfidenceInterval([]float64{1}, 0.95) != 0 {
+		t.Error("CI of singleton should be 0")
+	}
+}
+
+func TestConfidenceIntervalLargeDF(t *testing.T) {
+	x := make([]float64, 100)
+	rng := rand.New(rand.NewSource(1))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	ci95 := ConfidenceInterval(x, 0.95)
+	ci99 := ConfidenceInterval(x, 0.99)
+	if ci99 <= ci95 {
+		t.Errorf("CI99 (%v) should exceed CI95 (%v)", ci99, ci95)
+	}
+	// Roughly 1.96 * sd / 10.
+	want := 1.96 * StdDev(x) / 10
+	if !approx(ci95, want, 0.05*want) {
+		t.Errorf("CI95 = %v, want ~%v", ci95, want)
+	}
+}
+
+func TestCircularMeanDeg(t *testing.T) {
+	if got := CircularMeanDeg([]float64{350, 10}); !approx(got, 0, 1e-9) && !approx(got, 360, 1e-9) {
+		t.Errorf("circular mean of 350,10 = %v", got)
+	}
+	if got := CircularMeanDeg([]float64{90, 90, 90}); !approx(got, 90, 1e-9) {
+		t.Errorf("constant mean = %v", got)
+	}
+	if got := CircularMeanDeg([]float64{80, 100}); !approx(got, 90, 1e-9) {
+		t.Errorf("mean of 80,100 = %v", got)
+	}
+}
+
+func TestCircularSpreadDeg(t *testing.T) {
+	if got := CircularSpreadDeg([]float64{45, 45, 45}); !approx(got, 0, 1e-6) {
+		t.Errorf("zero spread = %v", got)
+	}
+	tight := CircularSpreadDeg([]float64{44, 45, 46})
+	wide := CircularSpreadDeg([]float64{0, 90, 180})
+	if tight >= wide {
+		t.Errorf("spread ordering: tight %v, wide %v", tight, wide)
+	}
+	if CircularSpreadDeg(nil) != 0 {
+		t.Error("empty spread")
+	}
+}
+
+func TestAngularErrorsDeg(t *testing.T) {
+	got := AngularErrorsDeg([]float64{0, 350, 180}, []float64{10, 10, 185})
+	want := []float64{10, 20, 5}
+	for i := range want {
+		if !approx(got[i], want[i], 1e-9) {
+			t.Errorf("AngularErrors[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.5, 1.5, 1.6, 9.9, -5, 15}, 0, 10, 10)
+	if h[0] != 2 { // 0.5 and clamped -5
+		t.Errorf("bin0 = %d", h[0])
+	}
+	if h[1] != 2 {
+		t.Errorf("bin1 = %d", h[1])
+	}
+	if h[9] != 2 { // 9.9 and clamped 15
+		t.Errorf("bin9 = %d", h[9])
+	}
+	var total int
+	for _, c := range h {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := []float64{1, 2, 3, 4, 5}
+	res := Bootstrap(rng, x, 200, Mean)
+	if len(res) != 200 {
+		t.Fatalf("len = %d", len(res))
+	}
+	m := Mean(res)
+	if !approx(m, 3, 0.5) {
+		t.Errorf("bootstrap mean of means = %v", m)
+	}
+	if Bootstrap(rng, nil, 10, Mean) != nil {
+		t.Error("Bootstrap(nil)")
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	x := []float64{-1, 0.5, 2, -3}
+	if got := FractionWithin(x, 1); got != 0.5 {
+		t.Errorf("FractionWithin = %v", got)
+	}
+	if FractionWithin(nil, 1) != 0 {
+		t.Error("empty input")
+	}
+}
+
+func TestMeanShiftProperty(t *testing.T) {
+	// Mean(x + c) = Mean(x) + c; Variance is shift-invariant.
+	f := func(vals [8]float64, c float64) bool {
+		c = math.Mod(c, 1000)
+		x := vals[:]
+		shifted := make([]float64, len(x))
+		for i, v := range x {
+			shifted[i] = math.Mod(v, 1000) + c
+			x[i] = math.Mod(v, 1000)
+		}
+		return approx(Mean(shifted), Mean(x)+c, 1e-6) &&
+			approx(Variance(shifted), Variance(x), 1e-6*(1+Variance(x)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

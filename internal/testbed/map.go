@@ -1,0 +1,90 @@
+package testbed
+
+import (
+	"strings"
+)
+
+// Map renders the Figure 4 floor plan as ASCII art: walls, the pillar,
+// numbered clients (letters beyond 9), and AP positions. One character
+// cell covers 0.5 m x 1 m (x by y), matching a terminal's aspect ratio.
+func Map() string {
+	const (
+		cellW = 0.5 // metres per column
+		cellH = 1.0 // metres per row
+		cols  = int(24/cellW) + 1
+		rows  = int(16/cellH) + 1
+	)
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	// plot marks the cell containing the point; y grows upward, rows grow
+	// downward.
+	plot := func(x, y float64, marks string) {
+		c := int(x / cellW)
+		r := rows - 1 - int(y/cellH)
+		// Clamp markers into the interior so border walls stay intact.
+		if r < 1 {
+			r = 1
+		}
+		if r > rows-2 {
+			r = rows - 2
+		}
+		for i := 0; i < len(marks); i++ {
+			cc := c + i
+			if cc < 1 {
+				cc = 1
+			}
+			if cc > cols-2 {
+				cc = cols - 2
+			}
+			grid[r][cc] = marks[i]
+		}
+	}
+
+	// Shell.
+	for c := 0; c < cols; c++ {
+		grid[0][c] = '-'
+		grid[rows-1][c] = '-'
+	}
+	for r := 0; r < rows; r++ {
+		grid[r][0] = '|'
+		grid[r][cols-1] = '|'
+	}
+	grid[0][0], grid[0][cols-1] = '+', '+'
+	grid[rows-1][0], grid[rows-1][cols-1] = '+', '+'
+
+	// Partitions: drywall x=16 (y 0..10), drywall y=10 (x 0..24).
+	for y := 0.5; y < 10; y += cellH {
+		plot(16, y, ":")
+	}
+	for x := 0.5; x < 24; x += cellW {
+		plot(x, 10, ".")
+	}
+
+	// Pillar.
+	plot(10.0, 6.8, "##")
+
+	// Clients: 1-9 digits, 10-20 letters a-k.
+	for _, c := range Clients() {
+		mark := string(rune('0' + c.ID))
+		if c.ID >= 10 {
+			mark = string(rune('a' + c.ID - 10))
+		}
+		plot(c.Pos.X, c.Pos.Y, mark)
+	}
+
+	// APs.
+	plot(AP1.X, AP1.Y, "A")
+	plot(AP2.X, AP2.Y, "B")
+	plot(AP3.X, AP3.Y, "C")
+
+	var b strings.Builder
+	b.WriteString("Figure 4 floor plan (A/B/C = APs, digits/letters = clients 1-20, ## = pillar):\n")
+	for _, row := range grid {
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: a=10 b=11 c=12 d=13 e=14 f=15 g=16 h=17 i=18 j=19 k=20\n")
+	return b.String()
+}

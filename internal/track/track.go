@@ -1,0 +1,116 @@
+// Package track implements the paper's section 5 extension of testing
+// the applications "with client mobility and track[ing] the mobility
+// trace with multiple APs": a constant-velocity alpha-beta filter over
+// the positions that multi-AP bearing triangulation produces, smoothing
+// per-packet localisation noise into a mobility trace.
+package track
+
+import (
+	"errors"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+)
+
+// Filter is a 2-D alpha-beta (g-h) tracker with a constant-velocity
+// motion model. Alpha weighs the position innovation, Beta the velocity
+// innovation per second.
+type Filter struct {
+	Alpha float64
+	Beta  float64
+
+	pos    geom.Point
+	vel    geom.Point
+	inited bool
+}
+
+// NewFilter returns a tracker with the given gains. Typical indoor
+// walking-speed settings: alpha 0.5, beta 0.3.
+func NewFilter(alpha, beta float64) *Filter {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.5
+	}
+	if beta < 0 || beta > 2 {
+		beta = 0.3
+	}
+	return &Filter{Alpha: alpha, Beta: beta}
+}
+
+// Update feeds one position measurement taken dt seconds after the
+// previous one and returns the filtered position estimate.
+func (f *Filter) Update(meas geom.Point, dt float64) geom.Point {
+	if !f.inited {
+		f.pos = meas
+		f.inited = true
+		return f.pos
+	}
+	if dt <= 0 {
+		dt = 1e-3
+	}
+	// Predict.
+	pred := f.pos.Add(f.vel.Scale(dt))
+	// Innovate.
+	resid := meas.Sub(pred)
+	f.pos = pred.Add(resid.Scale(f.Alpha))
+	f.vel = f.vel.Add(resid.Scale(f.Beta / dt))
+	return f.pos
+}
+
+// Velocity returns the current velocity estimate (m/s).
+func (f *Filter) Velocity() geom.Point { return f.vel }
+
+// Reset clears the filter state.
+func (f *Filter) Reset() { *f = Filter{Alpha: f.Alpha, Beta: f.Beta} }
+
+// ErrNoFix is returned when a trace step has too few bearings to
+// triangulate.
+var ErrNoFix = errors.New("track: not enough bearings for a fix")
+
+// Step fuses one time step's bearing observations and advances the
+// filter. Steps without a usable fix coast on the motion model (the
+// filter's prediction) and report ok=false.
+func (f *Filter) Step(obs []locate.BearingObs, dt float64) (geom.Point, bool) {
+	p, err := locate.Triangulate(obs)
+	if err != nil {
+		// Coast: advance the prediction without an innovation.
+		if f.inited {
+			f.pos = f.pos.Add(f.vel.Scale(dt))
+		}
+		return f.pos, false
+	}
+	return f.Update(p, dt), true
+}
+
+// Waypoint is one point of a mobility ground-truth trace.
+type Waypoint struct {
+	T   float64 // seconds
+	Pos geom.Point
+}
+
+// LinearTrace returns waypoints along straight segments between corners,
+// walked at the given speed with one waypoint per sampleInterval seconds.
+func LinearTrace(corners []geom.Point, speedMps, sampleInterval float64) []Waypoint {
+	if len(corners) < 2 || speedMps <= 0 || sampleInterval <= 0 {
+		return nil
+	}
+	var out []Waypoint
+	t := 0.0
+	out = append(out, Waypoint{T: 0, Pos: corners[0]})
+	for i := 1; i < len(corners); i++ {
+		a, b := corners[i-1], corners[i]
+		segLen := a.Dist(b)
+		dir := b.Sub(a).Unit()
+		walked := 0.0
+		for {
+			walked += speedMps * sampleInterval
+			if walked >= segLen {
+				break
+			}
+			t += sampleInterval
+			out = append(out, Waypoint{T: t, Pos: a.Add(dir.Scale(walked))})
+		}
+		t += (segLen - (walked - speedMps*sampleInterval)) / speedMps
+		out = append(out, Waypoint{T: t, Pos: b})
+	}
+	return out
+}

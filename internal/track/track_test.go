@@ -1,0 +1,153 @@
+package track
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+)
+
+func TestFilterFirstUpdatePassesThrough(t *testing.T) {
+	f := NewFilter(0.5, 0.3)
+	p := f.Update(geom.Point{X: 3, Y: 4}, 1)
+	if p != (geom.Point{X: 3, Y: 4}) {
+		t.Errorf("first update = %v", p)
+	}
+}
+
+func TestFilterConvergesOnStationaryTarget(t *testing.T) {
+	f := NewFilter(0.5, 0.3)
+	rng := rand.New(rand.NewSource(1))
+	target := geom.Point{X: 10, Y: 5}
+	var last geom.Point
+	for i := 0; i < 50; i++ {
+		meas := target.Add(geom.Point{X: rng.NormFloat64() * 0.5, Y: rng.NormFloat64() * 0.5})
+		last = f.Update(meas, 0.5)
+	}
+	if last.Dist(target) > 0.5 {
+		t.Errorf("converged to %v, want near %v", last, target)
+	}
+	// Velocity jitter scales with beta/dt * measurement noise (~0.6 m/s
+	// here); it must stay bounded but will not be zero.
+	if f.Velocity().Norm() > 1.2 {
+		t.Errorf("stationary target but velocity %v", f.Velocity())
+	}
+}
+
+func TestFilterTracksConstantVelocity(t *testing.T) {
+	f := NewFilter(0.5, 0.3)
+	rng := rand.New(rand.NewSource(2))
+	const dt = 0.5
+	vel := geom.Point{X: 1, Y: 0.5} // m/s
+	pos := geom.Point{}
+	var err float64
+	for i := 0; i < 60; i++ {
+		pos = pos.Add(vel.Scale(dt))
+		meas := pos.Add(geom.Point{X: rng.NormFloat64() * 0.3, Y: rng.NormFloat64() * 0.3})
+		est := f.Update(meas, dt)
+		if i > 20 { // after convergence
+			err = math.Max(err, est.Dist(pos))
+		}
+	}
+	if err > 0.8 {
+		t.Errorf("steady-state tracking error %v m", err)
+	}
+	if f.Velocity().Sub(vel).Norm() > 0.4 {
+		t.Errorf("velocity estimate %v, want %v", f.Velocity(), vel)
+	}
+}
+
+func TestFilterSmoothsNoise(t *testing.T) {
+	// Filtered RMS error must beat raw measurement RMS error.
+	raw := NewFilter(0.4, 0.2)
+	rng := rand.New(rand.NewSource(3))
+	const dt = 0.5
+	vel := geom.Point{X: 1.2, Y: 0}
+	pos := geom.Point{}
+	var rawSq, filtSq float64
+	n := 0
+	for i := 0; i < 100; i++ {
+		pos = pos.Add(vel.Scale(dt))
+		meas := pos.Add(geom.Point{X: rng.NormFloat64(), Y: rng.NormFloat64()})
+		est := raw.Update(meas, dt)
+		if i > 20 {
+			rawSq += meas.Sub(pos).Dot(meas.Sub(pos))
+			filtSq += est.Sub(pos).Dot(est.Sub(pos))
+			n++
+		}
+	}
+	if filtSq >= rawSq {
+		t.Errorf("filter did not reduce error: filt %v vs raw %v",
+			math.Sqrt(filtSq/float64(n)), math.Sqrt(rawSq/float64(n)))
+	}
+}
+
+func TestFilterGainClamps(t *testing.T) {
+	f := NewFilter(-1, 99)
+	if f.Alpha != 0.5 || f.Beta != 0.3 {
+		t.Errorf("gains not clamped: %+v", f)
+	}
+}
+
+func TestFilterReset(t *testing.T) {
+	f := NewFilter(0.5, 0.3)
+	f.Update(geom.Point{X: 1, Y: 1}, 1)
+	f.Update(geom.Point{X: 2, Y: 2}, 1)
+	f.Reset()
+	p := f.Update(geom.Point{X: 9, Y: 9}, 1)
+	if p != (geom.Point{X: 9, Y: 9}) {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestStepTriangulatesAndCoasts(t *testing.T) {
+	aps := []geom.Point{{X: 0, Y: 0}, {X: 20, Y: 0}}
+	target := geom.Point{X: 8, Y: 6}
+	obs := []locate.BearingObs{
+		{AP: aps[0], BearingDeg: geom.BearingDeg(aps[0], target)},
+		{AP: aps[1], BearingDeg: geom.BearingDeg(aps[1], target)},
+	}
+	f := NewFilter(0.5, 0.3)
+	p, ok := f.Step(obs, 0.5)
+	if !ok || p.Dist(target) > 1e-6 {
+		t.Fatalf("step = %v, %v", p, ok)
+	}
+	// Underdetermined step coasts.
+	p2, ok := f.Step(obs[:1], 0.5)
+	if ok {
+		t.Error("single-bearing step claimed a fix")
+	}
+	if p2.Dist(target) > 1 {
+		t.Errorf("coast wandered to %v", p2)
+	}
+}
+
+func TestLinearTrace(t *testing.T) {
+	corners := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 5}}
+	wps := LinearTrace(corners, 1, 0.5)
+	if len(wps) < 25 {
+		t.Fatalf("waypoints = %d", len(wps))
+	}
+	if wps[0].Pos != corners[0] {
+		t.Error("trace does not start at the first corner")
+	}
+	last := wps[len(wps)-1]
+	if last.Pos.Dist(corners[2]) > 1e-9 {
+		t.Errorf("trace ends at %v, want %v", last.Pos, corners[2])
+	}
+	// Monotone time, uniform spacing along segments (0.5 m at 1 m/s per
+	// 0.5 s sample).
+	for i := 1; i < len(wps); i++ {
+		if wps[i].T <= wps[i-1].T {
+			t.Fatalf("time not monotone at %d", i)
+		}
+	}
+	if LinearTrace(corners[:1], 1, 0.5) != nil {
+		t.Error("degenerate trace accepted")
+	}
+	if LinearTrace(corners, 0, 0.5) != nil {
+		t.Error("zero speed accepted")
+	}
+}

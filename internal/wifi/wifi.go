@@ -1,0 +1,186 @@
+// Package wifi implements the minimal slice of the 802.11 MAC that
+// SecureAngle's applications consume: addresses, data/management frame
+// headers, CRC-32 frame check sequences, and (de)serialisation. The
+// spoofing-prevention application keys its signature registry on the
+// transmitter address carried here.
+package wifi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// ParseAddr parses the colon-separated hex form "aa:bb:cc:dd:ee:ff".
+func ParseAddr(s string) (Addr, error) {
+	var a Addr
+	if len(s) != 17 {
+		return a, fmt.Errorf("wifi: bad MAC address %q", s)
+	}
+	for i := 0; i < 6; i++ {
+		var b byte
+		if _, err := fmt.Sscanf(s[i*3:i*3+2], "%02x", &b); err != nil {
+			return a, fmt.Errorf("wifi: bad MAC address %q: %v", s, err)
+		}
+		a[i] = b
+		if i < 5 && s[i*3+2] != ':' {
+			return a, fmt.Errorf("wifi: bad MAC address %q", s)
+		}
+	}
+	return a, nil
+}
+
+// MustParseAddr is ParseAddr that panics on error, for test fixtures.
+func MustParseAddr(s string) Addr {
+	a, err := ParseAddr(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in the canonical colon form.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Broadcast is the all-ones address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// FrameType is the 802.11 frame type.
+type FrameType byte
+
+const (
+	// Management frames (type 00).
+	Management FrameType = 0
+	// Control frames (type 01).
+	Control FrameType = 1
+	// Data frames (type 10).
+	Data FrameType = 2
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case Management:
+		return "management"
+	case Control:
+		return "control"
+	case Data:
+		return "data"
+	default:
+		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// Frame is a simplified 802.11 frame: frame control essentials, the three
+// addresses of an infrastructure BSS frame, a sequence number, and a
+// payload, protected by a CRC-32 FCS on the wire.
+type Frame struct {
+	Type    FrameType
+	Subtype byte
+	ToDS    bool
+	FromDS  bool
+	Retry   bool
+	Addr1   Addr // receiver
+	Addr2   Addr // transmitter — the address SecureAngle fingerprints
+	Addr3   Addr // BSSID
+	Seq     uint16
+	Payload []byte
+}
+
+// headerLen is frame control (2) + duration (2) + 3 addresses (18) +
+// seq control (2).
+const headerLen = 2 + 2 + 18 + 2
+
+// fcsLen is the CRC-32 trailer length.
+const fcsLen = 4
+
+// ErrBadFCS reports a frame whose CRC-32 check failed.
+var ErrBadFCS = errors.New("wifi: FCS mismatch")
+
+// ErrTruncated reports a byte slice too short to hold a frame.
+var ErrTruncated = errors.New("wifi: truncated frame")
+
+// Marshal serialises the frame including its FCS.
+func (f *Frame) Marshal() []byte {
+	out := make([]byte, headerLen+len(f.Payload)+fcsLen)
+	fc := uint16(f.Type&0x3) << 2
+	fc |= uint16(f.Subtype&0xf) << 4
+	if f.ToDS {
+		fc |= 1 << 8
+	}
+	if f.FromDS {
+		fc |= 1 << 9
+	}
+	if f.Retry {
+		fc |= 1 << 11
+	}
+	binary.LittleEndian.PutUint16(out[0:2], fc)
+	// Duration left zero.
+	copy(out[4:10], f.Addr1[:])
+	copy(out[10:16], f.Addr2[:])
+	copy(out[16:22], f.Addr3[:])
+	binary.LittleEndian.PutUint16(out[22:24], f.Seq<<4)
+	copy(out[headerLen:], f.Payload)
+	fcs := crc32.ChecksumIEEE(out[:headerLen+len(f.Payload)])
+	binary.LittleEndian.PutUint32(out[headerLen+len(f.Payload):], fcs)
+	return out
+}
+
+// Unmarshal parses a frame and verifies its FCS.
+func Unmarshal(b []byte) (*Frame, error) {
+	if len(b) < headerLen+fcsLen {
+		return nil, ErrTruncated
+	}
+	body := b[:len(b)-fcsLen]
+	want := binary.LittleEndian.Uint32(b[len(b)-fcsLen:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, ErrBadFCS
+	}
+	fc := binary.LittleEndian.Uint16(b[0:2])
+	f := &Frame{
+		Type:    FrameType((fc >> 2) & 0x3),
+		Subtype: byte((fc >> 4) & 0xf),
+		ToDS:    fc&(1<<8) != 0,
+		FromDS:  fc&(1<<9) != 0,
+		Retry:   fc&(1<<11) != 0,
+		Seq:     binary.LittleEndian.Uint16(b[22:24]) >> 4,
+	}
+	copy(f.Addr1[:], b[4:10])
+	copy(f.Addr2[:], b[10:16])
+	copy(f.Addr3[:], b[16:22])
+	f.Payload = append([]byte(nil), body[headerLen:]...)
+	return f, nil
+}
+
+// Scrambler is the 802.11 frame-synchronous scrambler, polynomial
+// x^7 + x^4 + 1, used to whiten payload bits so OFDM symbols have no
+// pathological structure.
+type Scrambler struct {
+	state byte // 7-bit state
+}
+
+// NewScrambler returns a scrambler with the given nonzero 7-bit seed.
+func NewScrambler(seed byte) *Scrambler {
+	if seed&0x7f == 0 {
+		seed = 0x5d // standard-ish nonzero default
+	}
+	return &Scrambler{state: seed & 0x7f}
+}
+
+// Apply scrambles (or descrambles — the operation is an involution when
+// started from the same seed) the bits in place and returns them.
+func (s *Scrambler) Apply(bits []byte) []byte {
+	for i := range bits {
+		// Feedback = x7 xor x4 (bits 6 and 3 of state).
+		fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
+		s.state = ((s.state << 1) | fb) & 0x7f
+		bits[i] ^= fb
+	}
+	return bits
+}

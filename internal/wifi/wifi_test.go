@@ -1,0 +1,172 @@
+package wifi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseAddr(t *testing.T) {
+	a, err := ParseAddr("00:16:ea:12:34:56")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != "00:16:ea:12:34:56" {
+		t.Errorf("round trip = %s", a)
+	}
+	for _, bad := range []string{"", "0016ea123456", "00:16:ea:12:34", "zz:16:ea:12:34:56", "00-16-ea-12-34-56"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Errorf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMustParseAddrPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseAddr did not panic")
+		}
+	}()
+	MustParseAddr("bogus")
+}
+
+func TestBroadcast(t *testing.T) {
+	if Broadcast.String() != "ff:ff:ff:ff:ff:ff" {
+		t.Errorf("Broadcast = %s", Broadcast)
+	}
+}
+
+func TestFrameTypeString(t *testing.T) {
+	if Management.String() != "management" || Control.String() != "control" || Data.String() != "data" {
+		t.Error("FrameType strings")
+	}
+	if FrameType(7).String() == "" {
+		t.Error("unknown type should render")
+	}
+}
+
+func testFrame() *Frame {
+	return &Frame{
+		Type:    Data,
+		Subtype: 0,
+		ToDS:    true,
+		Retry:   true,
+		Addr1:   MustParseAddr("00:16:ea:aa:aa:01"),
+		Addr2:   MustParseAddr("00:16:ea:bb:bb:02"),
+		Addr3:   MustParseAddr("00:16:ea:cc:cc:03"),
+		Seq:     1234,
+		Payload: []byte("hello secureangle"),
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := testFrame()
+	b := f.Marshal()
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != f.Type || got.Subtype != f.Subtype || got.ToDS != f.ToDS ||
+		got.FromDS != f.FromDS || got.Retry != f.Retry || got.Seq != f.Seq {
+		t.Errorf("header mismatch: %+v vs %+v", got, f)
+	}
+	if got.Addr1 != f.Addr1 || got.Addr2 != f.Addr2 || got.Addr3 != f.Addr3 {
+		t.Error("addresses mismatch")
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(a1, a2, a3 [6]byte, seq uint16, payload []byte) bool {
+		fr := &Frame{
+			Type: Data, Addr1: Addr(a1), Addr2: Addr(a2), Addr3: Addr(a3),
+			Seq: seq & 0xfff, Payload: payload,
+		}
+		got, err := Unmarshal(fr.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Addr2 == fr.Addr2 && got.Seq == fr.Seq && bytes.Equal(got.Payload, fr.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnmarshalDetectsCorruption(t *testing.T) {
+	b := testFrame().Marshal()
+	for _, idx := range []int{0, 5, 12, len(b) - 5, len(b) - 1} {
+		c := append([]byte(nil), b...)
+		c[idx] ^= 0x40
+		if _, err := Unmarshal(c); err != ErrBadFCS {
+			t.Errorf("corruption at %d: err = %v, want ErrBadFCS", idx, err)
+		}
+	}
+}
+
+func TestUnmarshalTruncated(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); err != ErrTruncated {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestSpoofedFrameCarriesForgedAddress(t *testing.T) {
+	// The attack SecureAngle defends against: a frame with a forged Addr2
+	// is valid at the MAC layer — the FCS says nothing about identity.
+	legit := testFrame()
+	spoof := testFrame()
+	spoof.Addr2 = legit.Addr2 // attacker copies the victim's MAC
+	got, err := Unmarshal(spoof.Marshal())
+	if err != nil {
+		t.Fatalf("spoofed frame rejected by MAC layer: %v", err)
+	}
+	if got.Addr2 != legit.Addr2 {
+		t.Error("forged address not preserved")
+	}
+}
+
+func TestScramblerInvolution(t *testing.T) {
+	f := func(seed byte, data []byte) bool {
+		bits := make([]byte, len(data))
+		for i, d := range data {
+			bits[i] = d & 1
+		}
+		orig := append([]byte(nil), bits...)
+		NewScrambler(seed).Apply(bits)
+		NewScrambler(seed).Apply(bits)
+		return bytes.Equal(bits, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScramblerWhitens(t *testing.T) {
+	bits := make([]byte, 1000) // all zeros
+	NewScrambler(0x5d).Apply(bits)
+	ones := 0
+	for _, b := range bits {
+		if b == 1 {
+			ones++
+		}
+	}
+	// A maximal-length 7-bit LFSR is balanced to within ~1/127.
+	if ones < 400 || ones > 600 {
+		t.Errorf("scrambler output unbalanced: %d ones of 1000", ones)
+	}
+}
+
+func TestScramblerZeroSeedSubstituted(t *testing.T) {
+	s := NewScrambler(0)
+	bits := make([]byte, 8)
+	s.Apply(bits)
+	var any byte
+	for _, b := range bits {
+		any |= b
+	}
+	if any == 0 {
+		t.Error("zero seed left scrambler degenerate")
+	}
+}

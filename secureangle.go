@@ -1,0 +1,137 @@
+// Package secureangle is a from-scratch reproduction of
+//
+//	Jie Xiong and Kyle Jamieson, "SecureAngle: Improving Wireless
+//	Security Using Angle-of-Arrival Information", HotNets-IX, 2010.
+//	DOI 10.1145/1868447.1868458.
+//
+// SecureAngle equips a multi-antenna 802.11 access point with
+// physical-layer angle-of-arrival estimation: MUSIC pseudospectra computed
+// from packet-scale antenna correlation matrices serve simultaneously as
+// bearing estimates (for indoor localisation and a multi-AP "virtual
+// fence") and as per-client signatures (for link-layer address-spoofing
+// detection) — a layer of defense in depth beneath WEP/WPA/WPA2.
+//
+// This root package is a small facade over the implementation packages in
+// internal/: it re-exports the types a typical user touches and provides
+// turnkey constructors for the paper's Figure 4 testbed. The full surface
+// lives in:
+//
+//	internal/core        the per-AP pipeline (detect -> calibrate -> correlate -> MUSIC -> signature)
+//	internal/music       MUSIC, Bartlett, MVDR, smoothing, MDL/AIC
+//	internal/antenna     linear and circular array geometry and steering
+//	internal/radio       receiver impairments + the section 2.2 calibration
+//	internal/env         image-method multipath ray tracer with drift
+//	internal/ofdm        802.11a/g-style OFDM PHY (Schmidl-Cox preamble)
+//	internal/detect      Schmidl-Cox packet detection and CFO estimation
+//	internal/wifi        minimal 802.11 MAC framing
+//	internal/signature   AoA signatures, matching, tracking
+//	internal/locate      bearing triangulation and the virtual fence
+//	internal/netproto    AP -> controller fusion protocol over TCP
+//	internal/baseline    RSS signalprint baseline and directional attacker
+//	internal/testbed     the paper's Figure 4 office and its 20 clients
+//	internal/experiments drivers for Figures 5-7 and all in-text claims
+//
+// The quickest start:
+//
+//	env, _ := secureangle.Testbed()
+//	ap := secureangle.NewTestbedAP("ap1", secureangle.AP1, 42)
+//	client, _ := secureangle.Client(5)
+//	rep, err := secureangle.ObserveFrame(ap, client.ID, client.Pos)
+//	// rep.BearingDeg, rep.Sig, rep.Spectrum ...
+//
+// See examples/ for runnable programs and cmd/secureangle for the
+// experiment harness that regenerates every figure in the paper.
+package secureangle
+
+import (
+	"secureangle/internal/antenna"
+	"secureangle/internal/core"
+	"secureangle/internal/env"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/music"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/rng"
+	"secureangle/internal/signature"
+	"secureangle/internal/testbed"
+	"secureangle/internal/wifi"
+)
+
+// Core re-exports: the types a library user holds.
+type (
+	// AP is a SecureAngle access point: array front end, calibration,
+	// detection, MUSIC, and the per-MAC signature registry.
+	AP = core.AP
+	// Config tunes an AP's pipeline.
+	Config = core.Config
+	// Report is the physical-layer result for one received packet.
+	Report = core.Report
+	// FrameReport extends Report with the spoof-check decision.
+	FrameReport = core.FrameReport
+	// Array is an antenna array geometry.
+	Array = antenna.Array
+	// Environment is the propagation scene (walls, obstacles, drift).
+	Environment = env.Environment
+	// Signature is a client's AoA signature.
+	Signature = signature.Signature
+	// Pseudospectrum is likelihood versus bearing.
+	Pseudospectrum = music.Pseudospectrum
+	// Fence is the virtual fence of section 2.3.1.
+	Fence = locate.Fence
+	// BearingObs is one AP's bearing observation for triangulation.
+	BearingObs = locate.BearingObs
+	// Point is a 2-D position in metres.
+	Point = geom.Point
+	// MAC is a 48-bit link-layer address.
+	MAC = wifi.Addr
+	// TestbedClient is one of the Figure 4 testbed's numbered clients.
+	TestbedClient = testbed.Client
+)
+
+// DefaultConfig returns the pipeline settings used throughout the paper
+// reproduction.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Testbed returns the paper's Figure 4 environment and the building-shell
+// fence boundary.
+func Testbed() (*Environment, geom.Polygon) { return testbed.Building() }
+
+// AP positions of the testbed.
+var (
+	AP1 = testbed.AP1
+	AP2 = testbed.AP2
+	AP3 = testbed.AP3
+)
+
+// Client returns testbed client id (1-20).
+func Client(id int) (testbed.Client, error) { return testbed.ClientByID(id) }
+
+// CircularArray returns the paper's octagonal 8-antenna array (4.7 cm
+// sides); LinearArray the half-wavelength 8-antenna ULA (6.13 cm spacing).
+func CircularArray() *Array { return testbed.CircularArray() }
+
+// LinearArray returns the paper's half-wavelength 8-antenna ULA.
+func LinearArray() *Array { return testbed.LinearArray() }
+
+// NewTestbedAP builds a calibrated AP with the circular array at pos in
+// the Figure 4 environment, seeded deterministically.
+func NewTestbedAP(name string, pos Point, seed int64) *AP {
+	e, _ := testbed.Building()
+	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(seed))
+	return core.NewAP(name, fe, e, core.DefaultConfig())
+}
+
+// ObserveFrame sends one QPSK uplink data frame from the given testbed
+// client position through the channel to the AP and returns the bearing
+// report — the one-call version of the full pipeline.
+func ObserveFrame(ap *AP, clientID int, pos Point) (*Report, error) {
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, 1, []byte("uplink")), ofdm.QPSK)
+	if err != nil {
+		return nil, err
+	}
+	return ap.Observe(pos, bb)
+}
+
+// Triangulate fuses bearing observations from two or more APs into a
+// position (least squares).
+func Triangulate(obs []BearingObs) (Point, error) { return locate.Triangulate(obs) }
