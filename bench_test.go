@@ -19,6 +19,7 @@
 package secureangle
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -27,7 +28,9 @@ import (
 	"secureangle/internal/experiments"
 	"secureangle/internal/geom"
 	"secureangle/internal/music"
+	"secureangle/internal/ofdm"
 	"secureangle/internal/rng"
+	"secureangle/internal/testbed"
 )
 
 func BenchmarkFig5BearingSweep(b *testing.B) {
@@ -262,6 +265,70 @@ func BenchmarkPipelinePerPacket(b *testing.B) {
 		if _, err := ObserveFrame(ap, client.ID, client.Pos); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObserveBatch measures the batched observation pipeline —
+// serial channel synthesis ordering, then detect/calibrate/covariance/
+// eigendecomposition/manifold-scan fanned out on a bounded worker pool.
+// The "serial" rows run the same transmissions through one-at-a-time
+// Observe calls as the baseline; the "pooled" rows use ObserveBatch with
+// the pool bounded by GOMAXPROCS. Each op is one whole batch, so compare
+// ns/op at equal batch size, and sweep parallelism with e.g.
+//
+//	go test -bench ObserveBatch -cpu 1,2,4
+func BenchmarkObserveBatch(b *testing.B) {
+	clients := make([]TestbedClient, 0, 20)
+	for id := 1; id <= 20; id++ {
+		c, err := Client(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	makeItems := func(batch int) []BatchItem {
+		items := make([]BatchItem, batch)
+		for i := range items {
+			c := clients[i%len(clients)]
+			bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, uint16(i), []byte("uplink")), ofdm.QPSK)
+			if err != nil {
+				b.Fatal(err)
+			}
+			items[i] = BatchItem{TX: c.Pos, Baseband: bb}
+		}
+		return items
+	}
+
+	for _, batch := range []int{8, 32} {
+		items := makeItems(batch)
+
+		b.Run(fmt.Sprintf("batch=%d/serial", batch), func(b *testing.B) {
+			ap := NewTestbedAP("bench", AP1, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if _, err := ap.Observe(it.TX, it.Baseband); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("batch=%d/pooled", batch), func(b *testing.B) {
+			// Workers = 0: the pool follows GOMAXPROCS (the -cpu sweep).
+			ap := NewTestbedAP("bench", AP1, 1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res := ap.ObserveBatch(items)
+				for _, r := range res {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,3 @@
+module secureangle
+
+go 1.24

@@ -1,0 +1,74 @@
+package antenna
+
+// Manifold is a precomputed scan manifold for one (array, grid) pair: the
+// steering vector of every grid bearing, plus its conjugate, evaluated
+// once. The per-packet estimation path scans several hundred bearings per
+// packet; recomputing each steering vector costs a sine/cosine pair per
+// element per bearing, which an AP serving many clients pays thousands of
+// times per second for values that never change after installation. A
+// Manifold is immutable after construction and safe for concurrent use.
+type Manifold struct {
+	arr       *Array
+	anglesDeg []float64
+	// steer and conj are row-major: row g (length N) is the steering
+	// vector, respectively its elementwise conjugate, for anglesDeg[g].
+	steer []complex128
+	conj  []complex128
+}
+
+// NewManifold evaluates the array's steering vectors over the grid.
+func NewManifold(a *Array, gridDeg []float64) *Manifold {
+	n := a.N()
+	mf := &Manifold{
+		arr:       a,
+		anglesDeg: append([]float64(nil), gridDeg...),
+		steer:     make([]complex128, len(gridDeg)*n),
+		conj:      make([]complex128, len(gridDeg)*n),
+	}
+	for g, th := range gridDeg {
+		row := mf.steer[g*n : (g+1)*n]
+		a.SteeringInto(row, th)
+		crow := mf.conj[g*n : (g+1)*n]
+		for i, v := range row {
+			crow[i] = complex(real(v), -imag(v))
+		}
+	}
+	return mf
+}
+
+// NewManifoldForScan builds the manifold over the array's own ScanGrid.
+func NewManifoldForScan(a *Array, stepDeg float64) *Manifold {
+	return NewManifold(a, a.ScanGrid(stepDeg))
+}
+
+// Array returns the array the manifold was built for.
+func (mf *Manifold) Array() *Array { return mf.arr }
+
+// N returns the number of array elements per steering vector.
+func (mf *Manifold) N() int { return mf.arr.N() }
+
+// NumAngles returns the number of grid bearings.
+func (mf *Manifold) NumAngles() int { return len(mf.anglesDeg) }
+
+// AnglesDeg returns a copy of the bearing grid.
+func (mf *Manifold) AnglesDeg() []float64 {
+	return append([]float64(nil), mf.anglesDeg...)
+}
+
+// AngleAt returns grid bearing g.
+func (mf *Manifold) AngleAt(g int) float64 { return mf.anglesDeg[g] }
+
+// Steering returns the precomputed steering vector for grid index g. The
+// returned slice aliases the manifold's storage and must not be modified.
+func (mf *Manifold) Steering(g int) []complex128 {
+	n := mf.arr.N()
+	return mf.steer[g*n : (g+1)*n : (g+1)*n]
+}
+
+// SteeringConj returns the elementwise conjugate of the steering vector
+// for grid index g (the rows of the manifold's conjugate transpose). The
+// returned slice aliases the manifold's storage and must not be modified.
+func (mf *Manifold) SteeringConj(g int) []complex128 {
+	n := mf.arr.N()
+	return mf.conj[g*n : (g+1)*n : (g+1)*n]
+}

@@ -1,0 +1,52 @@
+package antenna
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestManifoldMatchesSteering(t *testing.T) {
+	for _, arr := range []*Array{
+		NewHalfWaveULA(8, DefaultCarrierHz),
+		NewUCA(8, 0.047, DefaultCarrierHz),
+		NewHalfWaveULA(4, DefaultCarrierHz).Rotate(-37),
+	} {
+		grid := arr.ScanGrid(0.5)
+		mf := NewManifold(arr, grid)
+		if mf.NumAngles() != len(grid) {
+			t.Fatalf("NumAngles = %d, want %d", mf.NumAngles(), len(grid))
+		}
+		if mf.N() != arr.N() {
+			t.Fatalf("N = %d, want %d", mf.N(), arr.N())
+		}
+		if mf.Array() != arr {
+			t.Fatal("Array() does not return the source array")
+		}
+		for g, th := range grid {
+			if mf.AngleAt(g) != th {
+				t.Fatalf("AngleAt(%d) = %v, want %v", g, mf.AngleAt(g), th)
+			}
+			want := arr.Steering(th)
+			got := mf.Steering(g)
+			conj := mf.SteeringConj(g)
+			for e := range want {
+				if got[e] != want[e] {
+					t.Fatalf("%v at grid %d elem %d: steering %v, want %v", arr.Kind, g, e, got[e], want[e])
+				}
+				if conj[e] != cmplx.Conj(want[e]) {
+					t.Fatalf("%v at grid %d elem %d: conj %v, want %v", arr.Kind, g, e, conj[e], cmplx.Conj(want[e]))
+				}
+			}
+		}
+	}
+}
+
+func TestManifoldAnglesDegIsCopy(t *testing.T) {
+	arr := NewHalfWaveULA(4, DefaultCarrierHz)
+	mf := NewManifoldForScan(arr, 1)
+	a := mf.AnglesDeg()
+	a[0] = -999
+	if mf.AngleAt(0) == -999 {
+		t.Fatal("AnglesDeg aliases internal storage")
+	}
+}

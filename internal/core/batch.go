@@ -1,0 +1,168 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/radio"
+	"secureangle/internal/testbed"
+	"secureangle/internal/wifi"
+)
+
+// BatchItem is one transmission for ObserveBatch: a transmitter position
+// and the padded baseband it sends.
+type BatchItem struct {
+	TX       geom.Point
+	Baseband []complex128
+}
+
+// BatchResult pairs the pipeline output for one batch item with its error;
+// exactly one of the two is set. Per-item errors (a blocked transmitter,
+// an undetected packet) do not fail the rest of the batch.
+type BatchResult struct {
+	Report *Report
+	Err    error
+}
+
+// workers resolves the estimation pool bound.
+func (ap *AP) workers(items int) int {
+	w := ap.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > items {
+		w = items
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runPool fans fn over item indices on a bounded worker pool.
+func runPool(n, workers int, fn func(i int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ObserveBatch receives a batch of transmissions and runs the estimation
+// pipeline — detect, calibrate, covariance, eigendecomposition, manifold
+// scan — on a bounded worker pool (Config.Workers, default GOMAXPROCS).
+//
+// The order-sensitive half of reception (ray tracing through the shared
+// environment, forking the front end's noise stream) runs serially in
+// item order, so a batch draws a deterministic set of channel and noise
+// realisations; everything downstream runs concurrently. Results align
+// with items by index. Note the per-item noise streams are forked rather
+// than drawn from the front end's sequential stream, so a batch's noise
+// differs sample-for-sample from the same transmissions pushed one at a
+// time through Observe (both are draws from the same model).
+func (ap *AP) ObserveBatch(items []BatchItem) []BatchResult {
+	out := make([]BatchResult, len(items))
+	prep := make([]*radio.PreparedReceive, len(items))
+
+	ap.prepMu.Lock()
+	for i, it := range items {
+		p, err := ap.FE.PrepareReceive(ap.Env, it.TX, len(it.Baseband))
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		prep[i] = p
+	}
+	ap.prepMu.Unlock()
+
+	runPool(len(items), ap.workers(len(items)), func(i int) {
+		if prep[i] == nil {
+			return
+		}
+		streams, err := ap.FE.ReceivePrepared(prep[i], items[i].Baseband)
+		if err != nil {
+			out[i].Err = err
+			return
+		}
+		out[i].Report, out[i].Err = ap.process(streams)
+	})
+	return out
+}
+
+// ProcessStreamsBatch runs the estimation pipeline on raw per-antenna
+// captures (each element as for ProcessStreams) concurrently on the
+// bounded worker pool. The streams are modified in place. Results align
+// with streamSets by index, and each result is identical to a serial
+// ProcessStreams call on the same capture.
+func (ap *AP) ProcessStreamsBatch(streamSets [][][]complex128) []BatchResult {
+	out := make([]BatchResult, len(streamSets))
+	runPool(len(streamSets), ap.workers(len(streamSets)), func(i int) {
+		out[i].Report, out[i].Err = ap.process(streamSets[i])
+	})
+	return out
+}
+
+// FrameBatchItem is one MAC frame transmission for ProcessFrameBatch.
+type FrameBatchItem struct {
+	TX    geom.Point
+	Frame *wifi.Frame
+	Mod   ofdm.Modulation
+}
+
+// FrameBatchResult pairs a spoof-checked FrameReport with its error.
+type FrameBatchResult struct {
+	Report *FrameReport
+	Err    error
+}
+
+// ProcessFrameBatch is the batch form of ProcessFrame: transmissions are
+// synthesised and estimated as in ObserveBatch, then the spoof checks run
+// serially in item order against the sharded registry, so enrollment and
+// accept/flag decisions are deterministic for a given batch.
+func (ap *AP) ProcessFrameBatch(items []FrameBatchItem) []FrameBatchResult {
+	out := make([]FrameBatchResult, len(items))
+	obs := make([]BatchItem, len(items))
+	for i, it := range items {
+		bb, err := testbed.FrameBaseband(it.Frame, it.Mod)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		obs[i] = BatchItem{TX: it.TX, Baseband: bb}
+	}
+	reps := ap.ObserveBatch(obs)
+	for i, r := range reps {
+		if out[i].Err != nil {
+			continue
+		}
+		if r.Err != nil {
+			out[i].Err = r.Err
+			continue
+		}
+		fr := &FrameReport{Report: *r.Report, MAC: items[i].Frame.Addr2}
+		dec, dist, enrolled, err := ap.registry.observe(items[i].Frame.Addr2, r.Report.Sig, ap.cfg.Policy)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		fr.Decision = dec
+		fr.Distance = dist
+		fr.Enrolled = enrolled
+		out[i].Report = fr
+	}
+	return out
+}

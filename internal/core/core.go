@@ -15,7 +15,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"secureangle/internal/antenna"
@@ -38,7 +37,11 @@ type Config struct {
 	GridStepDeg float64
 	// Estimator computes pseudospectra; default is MUSIC with
 	// MDL-selected source count, which handles the partially-coherent
-	// multipath of packet-scale covariances.
+	// multipath of packet-scale covariances. Estimators that implement
+	// music.ManifoldEstimator run on the AP's precomputed scan manifold
+	// and receive the packet's true snapshot count. A non-nil Estimator
+	// must be safe for concurrent Pseudospectrum calls if the batch
+	// entry points are used (the estimators in internal/music all are).
 	Estimator music.Estimator
 	// Policy is the signature matching threshold for spoof detection.
 	Policy signature.MatchPolicy
@@ -46,6 +49,9 @@ type Config struct {
 	CalSamples int
 	// Detector configures Schmidl-Cox packet detection.
 	Detector detect.Config
+	// Workers bounds the worker pool ObserveBatch and
+	// ProcessStreamsBatch fan estimation out on (default GOMAXPROCS).
+	Workers int
 }
 
 // DefaultConfig returns the settings used throughout the evaluation.
@@ -65,12 +71,15 @@ type AP struct {
 	FE   *radio.FrontEnd
 	Env  *env.Environment
 
-	cfg     Config
-	offsets []float64
-	grid    []float64
+	cfg      Config
+	offsets  []float64
+	grid     []float64
+	manifold *antenna.Manifold
 
-	mu       sync.Mutex
-	registry map[wifi.Addr]*signature.Tracker
+	// prepMu serialises the order-sensitive half of batch synthesis (the
+	// front end's noise-stream forks) across concurrent batch calls.
+	prepMu   sync.Mutex
+	registry *shardedRegistry
 }
 
 // NewAP builds an AP and immediately runs the section 2.2 calibration
@@ -86,14 +95,16 @@ func NewAP(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config) *AP 
 	if cfg.Detector.HalfLen == 0 {
 		cfg.Detector = detect.DefaultConfig()
 	}
+	grid := fe.Array.ScanGrid(cfg.GridStepDeg)
 	ap := &AP{
 		Name:     name,
 		FE:       fe,
 		Env:      e,
 		cfg:      cfg,
 		offsets:  fe.Calibrate(cfg.CalSamples),
-		grid:     fe.Array.ScanGrid(cfg.GridStepDeg),
-		registry: make(map[wifi.Addr]*signature.Tracker),
+		grid:     grid,
+		manifold: antenna.NewManifold(fe.Array, grid),
+		registry: newShardedRegistry(),
 	}
 	return ap
 }
@@ -136,11 +147,21 @@ var ErrNoPacket = errors.New("core: no packet detected")
 // Observe receives a transmission from tx through the environment and
 // runs the full pipeline, returning the bearing report.
 func (ap *AP) Observe(tx geom.Point, baseband []complex128) (*Report, error) {
-	streams, err := ap.FE.Receive(ap.Env, tx, baseband)
+	streams, err := ap.Receive(tx, baseband)
 	if err != nil {
 		return nil, fmt.Errorf("core: receive: %w", err)
 	}
 	return ap.process(streams)
+}
+
+// Receive propagates baseband from tx to the AP's antennas and returns
+// the raw capture without running the estimation stages — the synthesis
+// half of Observe. Callers that must consume channel and noise
+// realisations in a fixed order but want the estimation fanned out (the
+// experiment sweeps) capture serially with Receive and then hand the
+// captures to ProcessStreamsBatch.
+func (ap *AP) Receive(tx geom.Point, baseband []complex128) ([][]complex128, error) {
+	return ap.FE.Receive(ap.Env, tx, baseband)
 }
 
 // ProcessStreams runs the detection + estimation pipeline on raw
@@ -151,7 +172,9 @@ func (ap *AP) ProcessStreams(streams [][]complex128) (*Report, error) {
 	return ap.process(streams)
 }
 
-// process runs detection + estimation on already-received streams.
+// process runs detection + estimation on already-received streams. It is
+// a pure function of the streams and the AP's immutable configuration, so
+// the batch entry points run it concurrently from a worker pool.
 func (ap *AP) process(streams [][]complex128) (*Report, error) {
 	radio.ApplyCalibration(streams, ap.offsets)
 
@@ -175,13 +198,38 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 		return nil, err
 	}
 
-	est := ap.cfg.Estimator
-	if est == nil {
-		est = &music.MUSIC{Sources: 0, Samples: n}
-	}
-	ps, err := est.Pseudospectrum(r, ap.FE.Array, ap.grid)
-	if err != nil {
-		return nil, err
+	var (
+		ps      *music.Pseudospectrum
+		sources int
+		snr     float64
+	)
+	switch est := ap.cfg.Estimator.(type) {
+	case nil:
+		// Default auto-MUSIC path: one eigendecomposition per packet,
+		// shared between the manifold scan (whose MDL model order uses
+		// the packet's true snapshot count n) and the subspace stats.
+		eig, err := cmat.HermEig(r)
+		if err != nil {
+			return nil, err
+		}
+		var k int
+		ps, k, err = (&music.MUSIC{}).PseudospectrumFromEig(eig, ap.manifold, n)
+		if err != nil {
+			return nil, err
+		}
+		sources, snr = k, snrFromEig(eig.Values, k)
+	case music.ManifoldEstimator:
+		ps, err = est.PseudospectrumOnManifold(r, ap.manifold, n)
+		if err != nil {
+			return nil, err
+		}
+		sources, snr = subspaceStats(r, n)
+	default:
+		ps, err = est.Pseudospectrum(r, ap.FE.Array, ap.grid)
+		if err != nil {
+			return nil, err
+		}
+		sources, snr = subspaceStats(r, n)
 	}
 
 	rep := &Report{
@@ -191,8 +239,9 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 		Spectrum:   ps,
 		Sig:        signature.FromPseudospectrum(ps),
 		Detection:  det,
+		Sources:    sources,
+		SNRdB:      snr,
 	}
-	rep.Sources, rep.SNRdB = subspaceStats(r, n)
 	return rep, nil
 }
 
@@ -233,25 +282,31 @@ func subspaceStats(r *cmat.Matrix, n int) (int, float64) {
 		return 1, 0
 	}
 	k := music.MDLSources(eig.Values, n)
+	return k, snrFromEig(eig.Values, k)
+}
+
+// snrFromEig estimates the in-band SNR from descending covariance
+// eigenvalues split at signal-subspace dimension k.
+func snrFromEig(eigvals []float64, k int) float64 {
 	var sig, noise float64
-	for i, v := range eig.Values {
+	for i, v := range eigvals {
 		if i < k {
 			sig += v
 		} else {
 			noise += v
 		}
 	}
-	m := len(eig.Values)
+	m := len(eigvals)
 	if noise <= 0 || k >= m {
-		return k, 60
+		return 60
 	}
 	// Per-eigenvalue noise power; signal mass above the noise floor.
 	noisePer := noise / float64(m-k)
 	excess := sig - float64(k)*noisePer
 	if excess <= 0 {
-		return k, 0
+		return 0
 	}
-	return k, dsp.DB(excess / noise)
+	return dsp.DB(excess / noise)
 }
 
 // packetExtent returns the number of samples from start to the end of the
@@ -323,56 +378,29 @@ func (ap *AP) ProcessFrame(tx geom.Point, frame *wifi.Frame, mod ofdm.Modulation
 		return nil, err
 	}
 	fr := &FrameReport{Report: *rep, MAC: frame.Addr2}
-
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	tr, known := ap.registry[frame.Addr2]
-	if !known {
-		ap.registry[frame.Addr2] = signature.NewTracker(rep.Sig, ap.cfg.Policy, 0.25)
-		fr.Decision = signature.Accept
-		fr.Enrolled = true
-		return fr, nil
-	}
-	dec, dist, err := tr.Observe(rep.Sig)
+	dec, dist, enrolled, err := ap.registry.observe(frame.Addr2, rep.Sig, ap.cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
 	fr.Decision = dec
 	fr.Distance = dist
+	fr.Enrolled = enrolled
 	return fr, nil
 }
 
 // Enroll registers (or replaces) a certified signature for a MAC address.
 func (ap *AP) Enroll(mac wifi.Addr, sig *signature.Signature) {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	ap.registry[mac] = signature.NewTracker(sig, ap.cfg.Policy, 0.25)
+	ap.registry.enroll(mac, sig, ap.cfg.Policy)
 }
 
 // Known reports whether a MAC has a certified signature.
 func (ap *AP) Known(mac wifi.Addr) bool {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	_, ok := ap.registry[mac]
-	return ok
+	return ap.registry.known(mac)
 }
 
 // StoredSignature returns the current certified signature for a MAC.
 func (ap *AP) StoredSignature(mac wifi.Addr) (*signature.Signature, bool) {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	tr, ok := ap.registry[mac]
-	if !ok {
-		return nil, false
-	}
-	return tr.Stored(), true
-}
-
-// Identification is one ranked registry candidate for an observed
-// signature.
-type Identification struct {
-	MAC      wifi.Addr
-	Distance float64
+	return ap.registry.stored(mac)
 }
 
 // Identify ranks every enrolled client by signature distance to an
@@ -381,21 +409,5 @@ type Identification struct {
 // known client the transmitter's physical signature actually resembles
 // (often the attacker's own enrolled station).
 func (ap *AP) Identify(obs *signature.Signature) ([]Identification, error) {
-	ap.mu.Lock()
-	defer ap.mu.Unlock()
-	out := make([]Identification, 0, len(ap.registry))
-	for mac, tr := range ap.registry {
-		d, err := signature.Distance(tr.Stored(), obs)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Identification{MAC: mac, Distance: d})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Distance != out[j].Distance {
-			return out[i].Distance < out[j].Distance
-		}
-		return out[i].MAC.String() < out[j].MAC.String()
-	})
-	return out, nil
+	return rankByDistance(ap.registry.snapshot(), obs)
 }

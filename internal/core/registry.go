@@ -1,0 +1,139 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"secureangle/internal/signature"
+	"secureangle/internal/wifi"
+)
+
+// trackerAlpha is the certified-signature update rate used for every
+// tracker the AP enrolls (section 2.3.2's Scl update).
+const trackerAlpha = 0.25
+
+// registryShardCount is the lock-striping factor of the per-MAC signature
+// registry. A single mutex serialises every spoof check an AP performs;
+// with the batch pipeline running checks from a worker pool, striping by
+// MAC keeps unrelated clients off each other's lock while preserving
+// per-MAC ordering (all packets of one MAC hash to one shard).
+const registryShardCount = 16
+
+type registryShard struct {
+	mu sync.Mutex
+	m  map[wifi.Addr]*signature.Tracker
+}
+
+// shardedRegistry is the N-way lock-striped replacement for the old
+// map[wifi.Addr]*Tracker under one AP-wide mutex.
+type shardedRegistry struct {
+	shards [registryShardCount]registryShard
+}
+
+func newShardedRegistry() *shardedRegistry {
+	r := &shardedRegistry{}
+	for i := range r.shards {
+		r.shards[i].m = make(map[wifi.Addr]*signature.Tracker)
+	}
+	return r
+}
+
+// shardFor hashes a MAC onto its shard (FNV-1a over the 6 address bytes).
+func (r *shardedRegistry) shardFor(mac wifi.Addr) *registryShard {
+	h := uint32(2166136261)
+	for _, b := range mac {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return &r.shards[h%registryShardCount]
+}
+
+// observe runs the spoof check for one observation: unknown MACs enroll a
+// tracker seeded with sig and report enrolled=true; known MACs are
+// compared against their certified signature.
+func (r *shardedRegistry) observe(mac wifi.Addr, sig *signature.Signature, policy signature.MatchPolicy) (dec signature.Decision, dist float64, enrolled bool, err error) {
+	s := r.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, known := s.m[mac]
+	if !known {
+		s.m[mac] = signature.NewTracker(sig, policy, trackerAlpha)
+		return signature.Accept, 0, true, nil
+	}
+	dec, dist, err = tr.Observe(sig)
+	return dec, dist, false, err
+}
+
+// enroll registers (or replaces) a certified signature.
+func (r *shardedRegistry) enroll(mac wifi.Addr, sig *signature.Signature, policy signature.MatchPolicy) {
+	s := r.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[mac] = signature.NewTracker(sig, policy, trackerAlpha)
+}
+
+// known reports whether a MAC has a certified signature.
+func (r *shardedRegistry) known(mac wifi.Addr) bool {
+	s := r.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.m[mac]
+	return ok
+}
+
+// stored returns the current certified signature for a MAC.
+func (r *shardedRegistry) stored(mac wifi.Addr) (*signature.Signature, bool) {
+	s := r.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr, ok := s.m[mac]
+	if !ok {
+		return nil, false
+	}
+	return tr.Stored(), true
+}
+
+// snapshot returns every enrolled (MAC, certified signature) pair. Each
+// shard is locked in turn, so the result is a consistent view per shard
+// but not across shards — the same guarantee registry iteration under one
+// mutex gave callers that interleave with concurrent enrolls.
+func (r *shardedRegistry) snapshot() []Identification {
+	var out []Identification
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		for mac, tr := range s.m {
+			out = append(out, Identification{MAC: mac, sig: tr.Stored()})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// Identification is one ranked registry candidate for an observed
+// signature.
+type Identification struct {
+	MAC      wifi.Addr
+	Distance float64
+
+	sig *signature.Signature
+}
+
+// rankByDistance scores every candidate against obs and sorts ascending.
+func rankByDistance(cands []Identification, obs *signature.Signature) ([]Identification, error) {
+	for i := range cands {
+		d, err := signature.Distance(cands[i].sig, obs)
+		if err != nil {
+			return nil, err
+		}
+		cands[i].Distance = d
+		cands[i].sig = nil
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Distance != cands[j].Distance {
+			return cands[i].Distance < cands[j].Distance
+		}
+		return cands[i].MAC.String() < cands[j].MAC.String()
+	})
+	return cands, nil
+}

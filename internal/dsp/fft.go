@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // FFT returns the discrete Fourier transform of x. The input is not
@@ -48,6 +49,20 @@ func IFFT(x []complex128) []complex128 {
 // lengths are handled transparently (with internal allocation).
 func FFTInPlace(x []complex128) { fftInPlace(x, false) }
 
+// IFFTInPlace computes the inverse DFT of x in place, scaled by 1/N so
+// that IFFTInPlace(FFTInPlace(x)) round-trips.
+func IFFTInPlace(x []complex128) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	fftInPlace(x, true)
+	scale := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
 func fftInPlace(x []complex128, inverse bool) {
 	n := len(x)
 	if n <= 1 {
@@ -60,9 +75,91 @@ func fftInPlace(x []complex128, inverse bool) {
 	bluestein(x, inverse)
 }
 
+// maxCachedFFT bounds the transform sizes whose tables are retained. The
+// packet pipeline uses a handful of sizes in the low thousands; anything
+// larger recomputes twiddles on the fly rather than hold megabytes live.
+const maxCachedFFT = 1 << 18
+
+// maxPlanEntries bounds the number of retained per-length plans in each
+// cache (radix-2 tables, Bluestein plans). A workload whose transform
+// lengths vary without limit — baseband length varies per frame — would
+// otherwise accumulate plans forever; on overflow the cache is dropped
+// wholesale and rebuilt from the lengths still in use, like the
+// channel-response cache in internal/radio.
+const maxPlanEntries = 64
+
+// planCache is a bounded per-length cache shared by both plan kinds.
+type planCache struct {
+	mu sync.RWMutex
+	m  map[int]any
+}
+
+func (c *planCache) load(n int) (any, bool) {
+	c.mu.RLock()
+	v, ok := c.m[n]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+// store inserts a plan, evicting everything first when full, and returns
+// the winning entry (an earlier concurrent builder may have stored one).
+func (c *planCache) store(n int, v any) any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[n]; ok {
+		return prev
+	}
+	if c.m == nil || len(c.m) >= maxPlanEntries {
+		c.m = make(map[int]any)
+	}
+	c.m[n] = v
+	return v
+}
+
+// radix2Tables holds the precomputed machinery for one power-of-two size:
+// the bit-reversal permutation and the twiddle factors of every stage,
+// packed stage after stage (the stage with half-size h starts at h-1).
+type radix2Tables struct {
+	rev []int32
+	fwd []complex128
+	inv []complex128
+}
+
+var radix2Cache planCache
+
+func tablesFor(n int) *radix2Tables {
+	if t, ok := radix2Cache.load(n); ok {
+		return t.(*radix2Tables)
+	}
+	logN := bits.TrailingZeros(uint(n))
+	t := &radix2Tables{
+		rev: make([]int32, n),
+		fwd: make([]complex128, n-1),
+		inv: make([]complex128, n-1),
+	}
+	for i := 0; i < n; i++ {
+		t.rev[i] = int32(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+	}
+	for half := 1; half < n; half <<= 1 {
+		base := half - 1
+		for k := 0; k < half; k++ {
+			ang := math.Pi * float64(k) / float64(half)
+			t.fwd[base+k] = cmplx.Rect(1, -ang)
+			t.inv[base+k] = cmplx.Rect(1, ang)
+		}
+	}
+	return radix2Cache.store(n, t).(*radix2Tables)
+}
+
 // radix2 is an iterative Cooley-Tukey DIT FFT for power-of-two lengths.
+// Cacheable sizes use precomputed bit-reversal and twiddle tables; larger
+// sizes fall back to the recurrence form.
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
+	if n <= maxCachedFFT {
+		radix2Cached(x, inverse, tablesFor(n))
+		return
+	}
 	logN := bits.TrailingZeros(uint(n))
 
 	// Bit-reversal permutation.
@@ -94,45 +191,111 @@ func radix2(x []complex128, inverse bool) {
 	}
 }
 
-// bluestein computes an arbitrary-length DFT as a convolution via a larger
-// power-of-two FFT (chirp-z transform).
-func bluestein(x []complex128, inverse bool) {
+func radix2Cached(x []complex128, inverse bool, t *radix2Tables) {
 	n := len(x)
-	sign := -1.0
+	for i, j := range t.rev {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	tw := t.fwd
 	if inverse {
-		sign = 1.0
+		tw = t.inv
 	}
-	// Chirp: w[k] = exp(sign * i*pi*k^2/n). k^2 mod 2n keeps the argument
-	// bounded for large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		stage := tw[half-1 : 2*half-1]
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * stage[k]
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
 	}
+}
 
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
+// bluesteinPlan caches, for one transform length n, the chirp sequence and
+// the forward FFTs of the chirp-conjugate convolution kernel for both
+// transform directions — everything about Bluestein's algorithm that does
+// not depend on the input samples.
+type bluesteinPlan struct {
+	n, m   int
+	chirpF []complex128 // forward chirp exp(-i pi k^2 / n)
+	chirpI []complex128 // inverse chirp (conjugate)
+	kernF  []complex128 // FFT of conj(chirpF) kernel, length m
+	kernI  []complex128 // FFT of conj(chirpI) kernel, length m
+}
+
+var bluesteinCache planCache
+
+func planFor(n int) *bluesteinPlan {
+	if p, ok := bluesteinCache.load(n); ok {
+		return p.(*bluesteinPlan)
 	}
-	a := make([]complex128, m)
+	return bluesteinCache.store(n, buildUncachedPlan(n)).(*bluesteinPlan)
+}
+
+func bluesteinKernel(chirp []complex128, n, m int) []complex128 {
 	b := make([]complex128, m)
 	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
 		b[k] = cmplx.Conj(chirp[k])
 	}
 	for k := 1; k < n; k++ {
 		b[m-k] = cmplx.Conj(chirp[k])
 	}
-	radix2(a, false)
 	radix2(b, false)
+	return b
+}
+
+// bluestein computes an arbitrary-length DFT as a convolution via a larger
+// power-of-two FFT (chirp-z transform). The chirp and the kernel FFT are
+// input-independent and come from a per-length cached plan, so each call
+// costs two radix-2 transforms instead of three.
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	var p *bluesteinPlan
+	if n <= maxCachedFFT {
+		p = planFor(n)
+	} else {
+		p = buildUncachedPlan(n)
+	}
+	chirp, kern := p.chirpF, p.kernF
+	if inverse {
+		chirp, kern = p.chirpI, p.kernI
+	}
+	m := p.m
+	a := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+	}
+	radix2(a, false)
 	for i := range a {
-		a[i] *= b[i]
+		a[i] *= kern[i]
 	}
 	radix2(a, true)
 	invM := complex(1/float64(m), 0)
 	for k := 0; k < n; k++ {
 		x[k] = a[k] * invM * chirp[k]
 	}
+}
+
+func buildUncachedPlan(n int) *bluesteinPlan {
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	p := &bluesteinPlan{n: n, m: m, chirpF: make([]complex128, n), chirpI: make([]complex128, n)}
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		ang := math.Pi * float64(kk) / float64(n)
+		p.chirpF[k] = cmplx.Rect(1, -ang)
+		p.chirpI[k] = cmplx.Rect(1, ang)
+	}
+	p.kernF = bluesteinKernel(p.chirpF, n, m)
+	p.kernI = bluesteinKernel(p.chirpI, n, m)
+	return p
 }
 
 // FFTShift rotates the zero-frequency bin to the centre (like Matlab's

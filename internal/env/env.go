@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/cmplx"
 	"sort"
+	"sync"
 
 	"secureangle/internal/antenna"
 	"secureangle/internal/geom"
@@ -88,7 +89,12 @@ type Environment struct {
 	// strongest path's |gain|, keeping path lists small.
 	MinGain float64
 
+	// mu serialises Trace and Advance: tracing lazily instantiates drift
+	// processes and Advance evolves them, so concurrent APs sharing one
+	// environment must not interleave inside either.
+	mu    sync.Mutex
 	drift *driftState
+	epoch uint64
 }
 
 // New returns an environment with the given scene and sensible defaults
@@ -151,6 +157,8 @@ func (e *Environment) segmentAttenuation(a, b geom.Point, skip map[string]bool) 
 // pillar) and up to MaxOrder wall reflections computed with the image
 // method. Gains include the drift perturbation if EnableDrift was called.
 func (e *Environment) Trace(tx, rx geom.Point) []Path {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var paths []Path
 
 	k := 2 * math.Pi / e.Wavelength()
@@ -296,6 +304,9 @@ type driftState struct {
 // use seconds-to-minutes scales). magSigma is the stationary std of the
 // log-amplitude perturbation; phSigmaRad of the phase perturbation.
 func (e *Environment) EnableDrift(src *rng.Source, tau, magSigma, phSigmaRad float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.epoch++
 	e.drift = &driftState{
 		tau:  tau,
 		mag:  make(map[string]*rng.OU),
@@ -309,15 +320,28 @@ func (e *Environment) EnableDrift(src *rng.Source, tau, magSigma, phSigmaRad flo
 // Advance evolves the drift state by dt seconds. A no-op when drift is
 // disabled.
 func (e *Environment) Advance(dt float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.drift == nil {
 		return
 	}
+	e.epoch++
 	for _, o := range e.drift.mag {
 		o.Advance(dt)
 	}
 	for _, o := range e.drift.ph {
 		o.Advance(dt)
 	}
+}
+
+// Epoch returns a counter that increments whenever the channel realisation
+// may have changed (drift enabled or advanced). Between equal epochs,
+// Trace is a pure function of its endpoints, which lets receivers cache
+// derived channel state per transmitter position.
+func (e *Environment) Epoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
 }
 
 // gainFor returns the current complex perturbation for a reflector,

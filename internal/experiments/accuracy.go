@@ -38,14 +38,30 @@ func RunAccuracy(seed int64, packets int) (*AccuracyResult, error) {
 	var clients int
 	for _, c := range testbed.Clients() {
 		truth := testbed.GroundTruth(testbed.AP1, c.Pos)
+		// Serial capture (deterministic noise draws), chunked parallel
+		// estimation: large -packets runs hold O(chunk) captures.
 		var errs []float64
+		var captures [][][]complex128
+		flush := func() {
+			for _, br := range ap.ProcessStreamsBatch(captures) {
+				if br.Err != nil {
+					continue
+				}
+				errs = append(errs, geom.AngularDistDeg(br.Report.BearingDeg, truth))
+			}
+			captures = captures[:0]
+		}
 		for pkt := 0; pkt < packets; pkt++ {
-			rep, err := observe(ap, c.ID, c.Pos, uint16(pkt))
+			streams, err := synthesize(ap, c.ID, c.Pos, uint16(pkt))
 			if err != nil {
 				continue
 			}
-			errs = append(errs, geom.AngularDistDeg(rep.BearingDeg, truth))
+			captures = append(captures, streams)
+			if len(captures) >= estimateChunkSize {
+				flush()
+			}
 		}
+		flush()
 		if len(errs) == 0 {
 			return nil, fmt.Errorf("experiments: client %d undetectable", c.ID)
 		}

@@ -29,6 +29,25 @@ func observe(ap *core.AP, clientID int, pos geom.Point, seq uint16) (*core.Repor
 	return ap.Observe(pos, bb)
 }
 
+// estimateChunkSize bounds how many raw captures a sweep buffers before
+// flushing them through the batch worker pool — enough to keep the pool
+// busy, small enough that a large -packets run holds O(chunk) captures
+// rather than O(packets).
+const estimateChunkSize = 32
+
+// synthesize captures one uplink packet's raw per-antenna streams without
+// running the estimation stages. The sweeps capture serially — channel
+// drift and noise draws stay in a deterministic order, so results match
+// the packet-at-a-time drivers bit for bit — and then fan the captures
+// out on core's batch worker pool.
+func synthesize(ap *core.AP, clientID int, pos geom.Point, seq uint16) ([][]complex128, error) {
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, seq, []byte("uplink")), ofdm.QPSK)
+	if err != nil {
+		return nil, err
+	}
+	return ap.Receive(pos, bb)
+}
+
 // newAP1 builds the standard circular-array AP at the Figure 4 position.
 func newAP1(seed int64) *core.AP {
 	e, _ := testbed.Building()

@@ -52,17 +52,34 @@ func RunFig5(seed int64, packetsPerClient int) (*Fig5Result, error) {
 	var cis []float64
 	for _, c := range testbed.Clients() {
 		truth := testbed.GroundTruth(testbed.AP1, c.Pos)
+		// Capture the client's packets serially (the drift advances
+		// between captures), estimating each chunk in parallel so a
+		// large packet count never holds more than a chunk of captures.
 		var bearings []float64
+		var captures [][][]complex128
+		flush := func() {
+			for _, br := range ap.ProcessStreamsBatch(captures) {
+				if br.Err != nil {
+					continue // undetected packet: skip, like a real capture
+				}
+				bearings = append(bearings, br.Report.BearingDeg)
+			}
+			captures = captures[:0]
+		}
 		tried := 0
 		for pkt := 0; pkt < packetsPerClient; pkt++ {
 			tried++
 			e.Advance(20)
-			rep, err := observe(ap, c.ID, c.Pos, uint16(pkt))
+			streams, err := synthesize(ap, c.ID, c.Pos, uint16(pkt))
 			if err != nil {
-				continue // blocked/undetected packet: skip, like a real capture
+				continue // blocked packet: skip, like a real capture
 			}
-			bearings = append(bearings, rep.BearingDeg)
+			captures = append(captures, streams)
+			if len(captures) >= estimateChunkSize {
+				flush()
+			}
 		}
+		flush()
 		if len(bearings) == 0 {
 			return nil, fmt.Errorf("experiments: client %d produced no usable packets", c.ID)
 		}

@@ -71,17 +71,28 @@ func RunFig6(seed int64) (*Fig6Result, error) {
 			return nil, err
 		}
 		fc := Fig6Client{ID: id, GroundTruth: testbed.GroundTruth(testbed.AP1, c.Pos)}
-		var t0 *signature.Signature
-		var t0Peak float64
-		var directPeaks []float64
+		// Capture the log-spaced snapshots serially (drift advances
+		// between them), then estimate the whole series in parallel.
+		captures := make([][][]complex128, 0, len(Fig6Offsets))
 		prev := 0.0
 		for _, off := range Fig6Offsets {
 			e.Advance(off - prev)
 			prev = off
-			rep, err := observe(ap, id, c.Pos, uint16(off))
+			streams, err := synthesize(ap, id, c.Pos, uint16(off))
 			if err != nil {
 				return nil, fmt.Errorf("experiments: fig6 client %d at %gs: %w", id, off, err)
 			}
+			captures = append(captures, streams)
+		}
+		batch := ap.ProcessStreamsBatch(captures)
+		var t0 *signature.Signature
+		var t0Peak float64
+		var directPeaks []float64
+		for i, off := range Fig6Offsets {
+			if batch[i].Err != nil {
+				return nil, fmt.Errorf("experiments: fig6 client %d at %gs: %w", id, off, batch[i].Err)
+			}
+			rep := batch[i].Report
 			snap := Fig6Snapshot{
 				OffsetSec:   off,
 				PeakBearing: rep.BearingDeg,

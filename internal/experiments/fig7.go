@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"secureangle/internal/core"
 	"secureangle/internal/detect"
@@ -70,32 +71,50 @@ func RunFig7(seed int64) (*Fig7Result, error) {
 		return nil, fmt.Errorf("experiments: fig7 extraction failed")
 	}
 
-	res := &Fig7Result{ClientID: 12, GroundTruth: truth}
-	for _, n := range []int{2, 4, 6, 8} {
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		sub := arr.Subarray(idx...)
-		r, err := music.Covariance(win[:n])
-		if err != nil {
-			return nil, err
-		}
-		est := &music.MUSIC{Sources: 0, Samples: len(win[0])}
-		ps, err := est.Pseudospectrum(r, sub, sub.ScanGrid(0.5))
-		if err != nil {
-			return nil, err
-		}
-		peaks := ps.Peaks(8, 10)
-		res.Rows = append(res.Rows, Fig7Row{
-			Antennas:    n,
-			PeakBearing: ps.PeakBearing(),
-			PeakCount:   len(peaks),
-			SpectrumDB:  ps.NormalizedDB(),
-			GridDeg:     ps.AnglesDeg,
-			AbsError:    geom.AngularDistDeg(ps.PeakBearing(), truth),
-		})
+	// The subarray analyses share one capture and are independent of each
+	// other — run them concurrently.
+	counts := []int{2, 4, 6, 8}
+	rows := make([]Fig7Row, len(counts))
+	errs := make([]error, len(counts))
+	var wg sync.WaitGroup
+	for i, n := range counts {
+		wg.Add(1)
+		go func(i, n int) {
+			defer wg.Done()
+			idx := make([]int, n)
+			for j := range idx {
+				idx[j] = j
+			}
+			sub := arr.Subarray(idx...)
+			r, err := music.Covariance(win[:n])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			est := &music.MUSIC{Sources: 0, Samples: len(win[0])}
+			ps, err := est.Pseudospectrum(r, sub, sub.ScanGrid(0.5))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			peaks := ps.Peaks(8, 10)
+			rows[i] = Fig7Row{
+				Antennas:    n,
+				PeakBearing: ps.PeakBearing(),
+				PeakCount:   len(peaks),
+				SpectrumDB:  ps.NormalizedDB(),
+				GridDeg:     ps.AnglesDeg,
+				AbsError:    geom.AngularDistDeg(ps.PeakBearing(), truth),
+			}
+		}(i, n)
 	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Fig7Result{ClientID: 12, GroundTruth: truth, Rows: rows}
 	return res, nil
 }
 

@@ -1,0 +1,161 @@
+package music
+
+import (
+	"fmt"
+	"math"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+)
+
+// ManifoldEstimator is the manifold-aware fast path of the Estimator
+// contract: evaluation over a precomputed scan manifold, with the number
+// of snapshots behind the covariance threaded through for the estimators
+// whose model-order selection needs it (MUSIC's MDL). All estimators in
+// this package implement it; the grid-based Estimator signature remains as
+// an adapter that builds a one-shot manifold.
+type ManifoldEstimator interface {
+	Estimator
+	// PseudospectrumOnManifold evaluates likelihood over the manifold's
+	// grid. snapshots is the number of time samples behind r; pass 0 when
+	// unknown (estimator-specific defaults apply).
+	PseudospectrumOnManifold(r *cmat.Matrix, mf *antenna.Manifold, snapshots int) (*Pseudospectrum, error)
+}
+
+func checkManifold(r *cmat.Matrix, mf *antenna.Manifold) error {
+	if r.Rows != mf.N() {
+		return fmt.Errorf("music: covariance is %dx%d but manifold has %d elements", r.Rows, r.Cols, mf.N())
+	}
+	return nil
+}
+
+// PseudospectrumOnManifold implements ManifoldEstimator.
+func (m *MUSIC) PseudospectrumOnManifold(r *cmat.Matrix, mf *antenna.Manifold, snapshots int) (*Pseudospectrum, error) {
+	if err := checkManifold(r, mf); err != nil {
+		return nil, err
+	}
+	eig, err := cmat.HermEig(r)
+	if err != nil {
+		return nil, err
+	}
+	ps, _, err := m.PseudospectrumFromEig(eig, mf, snapshots)
+	return ps, err
+}
+
+// PseudospectrumFromEig evaluates the MUSIC scan from an already-computed
+// eigendecomposition of the covariance — the pipeline computes one
+// eigendecomposition per packet and shares it between the scan and the
+// subspace statistics. It returns the signal-subspace dimension actually
+// used (Sources, or the MDL choice from snapshots when Sources is zero).
+func (m *MUSIC) PseudospectrumFromEig(eig *cmat.EigResult, mf *antenna.Manifold, snapshots int) (*Pseudospectrum, int, error) {
+	rows := len(eig.Values)
+	if rows != mf.N() {
+		return nil, 0, fmt.Errorf("music: eigensystem is %dx%d but manifold has %d elements", rows, rows, mf.N())
+	}
+	k := m.Sources
+	if k <= 0 {
+		n := snapshots
+		if n <= 0 {
+			n = m.Samples
+		}
+		if n <= 0 {
+			n = 1000
+		}
+		k = MDLSources(eig.Values, n)
+	}
+	if k >= rows {
+		k = rows - 1
+	}
+	if k < 1 {
+		k = 1
+	}
+
+	nn := rows
+	ev := eig.Vectors
+	ps := &Pseudospectrum{AnglesDeg: mf.AnglesDeg(), P: make([]float64, mf.NumAngles())}
+	for g := range ps.P {
+		a := mf.Steering(g)
+		den := 0.0
+		// For each noise-subspace column j: |sum_e conj(V[e][k+j]) a[e]|^2.
+		for j := k; j < nn; j++ {
+			var s complex128
+			for e := 0; e < nn; e++ {
+				v := ev.At(e, j)
+				s += complex(real(v), -imag(v)) * a[e]
+			}
+			den += real(s)*real(s) + imag(s)*imag(s)
+		}
+		if den < 1e-18 {
+			den = 1e-18
+		}
+		ps.P[g] = 1 / den
+	}
+	return ps, k, nil
+}
+
+// PseudospectrumOnManifold implements ManifoldEstimator.
+func (Bartlett) PseudospectrumOnManifold(r *cmat.Matrix, mf *antenna.Manifold, _ int) (*Pseudospectrum, error) {
+	if err := checkManifold(r, mf); err != nil {
+		return nil, err
+	}
+	nn := r.Rows
+	den := float64(nn)
+	ps := &Pseudospectrum{AnglesDeg: mf.AnglesDeg(), P: make([]float64, mf.NumAngles())}
+	for g := range ps.P {
+		a := mf.Steering(g)
+		ac := mf.SteeringConj(g)
+		// a^H R a, accumulated row by row as conj(a_e) * (R a)_e.
+		var num complex128
+		for e := 0; e < nn; e++ {
+			row := r.Data[e*nn : (e+1)*nn]
+			var ra complex128
+			for f, v := range row {
+				ra += v * a[f]
+			}
+			num += ac[e] * ra
+		}
+		ps.P[g] = math.Max(real(num)/den, 0)
+	}
+	return ps, nil
+}
+
+// PseudospectrumOnManifold implements ManifoldEstimator.
+func (mv MVDR) PseudospectrumOnManifold(r *cmat.Matrix, mf *antenna.Manifold, _ int) (*Pseudospectrum, error) {
+	if err := checkManifold(r, mf); err != nil {
+		return nil, err
+	}
+	load := mv.DiagonalLoad
+	if load <= 0 {
+		load = 1e-3
+	}
+	reg := r.Clone()
+	tr := real(r.Trace()) / float64(r.Rows)
+	for i := 0; i < reg.Rows; i++ {
+		reg.Set(i, i, reg.At(i, i)+complex(load*tr, 0))
+	}
+	inv, err := cmat.Inverse(reg)
+	if err != nil {
+		return nil, err
+	}
+	nn := r.Rows
+	ps := &Pseudospectrum{AnglesDeg: mf.AnglesDeg(), P: make([]float64, mf.NumAngles())}
+	for g := range ps.P {
+		a := mf.Steering(g)
+		ac := mf.SteeringConj(g)
+		var den complex128
+		for e := 0; e < nn; e++ {
+			row := inv.Data[e*nn : (e+1)*nn]
+			var ria complex128
+			for f, v := range row {
+				ria += v * a[f]
+			}
+			den += ac[e] * ria
+		}
+		d := real(den)
+		if d < 1e-18 {
+			d = 1e-18
+		}
+		ps.P[g] = 1 / d
+	}
+	return ps, nil
+}

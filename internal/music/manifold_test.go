@@ -1,0 +1,171 @@
+package music
+
+import (
+	"math"
+	"testing"
+
+	"secureangle/internal/antenna"
+	"secureangle/internal/cmat"
+	"secureangle/internal/rng"
+)
+
+// twoSourceCovariance builds a packet-like covariance with sources at the
+// given bearings plus noise, from nSamp snapshots.
+func twoSourceCovariance(t testing.TB, arr *antenna.Array, b1, b2 float64, nSamp int, seed int64) *cmat.Matrix {
+	t.Helper()
+	src := rng.New(seed)
+	s1 := arr.Steering(b1)
+	s2 := arr.Steering(b2)
+	n := arr.N()
+	streams := make([][]complex128, n)
+	for a := range streams {
+		streams[a] = make([]complex128, nSamp)
+	}
+	for ts := 0; ts < nSamp; ts++ {
+		g1 := src.ComplexGaussian(1)
+		g2 := src.ComplexGaussian(1)
+		for a := 0; a < n; a++ {
+			streams[a][ts] = g1*s1[a] + g2*s2[a]
+		}
+	}
+	for a := 0; a < n; a++ {
+		src.AddAWGN(streams[a], 0.01)
+	}
+	r, err := Covariance(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestManifoldPathMatchesGridPath asserts that every estimator's manifold
+// fast path reproduces the grid-signature adapter exactly.
+func TestManifoldPathMatchesGridPath(t *testing.T) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	grid := arr.ScanGrid(1)
+	mf := antenna.NewManifold(arr, grid)
+	r := twoSourceCovariance(t, arr, 40, 200, 400, 7)
+
+	ests := []ManifoldEstimator{
+		&MUSIC{Sources: 2},
+		&MUSIC{Samples: 400},
+		Bartlett{},
+		MVDR{},
+	}
+	for _, est := range ests {
+		viaGrid, err := est.Pseudospectrum(r, arr, grid)
+		if err != nil {
+			t.Fatalf("%s grid path: %v", est.Name(), err)
+		}
+		viaManifold, err := est.PseudospectrumOnManifold(r, mf, 400)
+		if err != nil {
+			t.Fatalf("%s manifold path: %v", est.Name(), err)
+		}
+		if len(viaGrid.P) != len(viaManifold.P) {
+			t.Fatalf("%s: length mismatch %d vs %d", est.Name(), len(viaGrid.P), len(viaManifold.P))
+		}
+		for i := range viaGrid.P {
+			rel := math.Abs(viaGrid.P[i]-viaManifold.P[i]) / math.Max(viaGrid.P[i], 1e-300)
+			if rel > 1e-9 {
+				t.Fatalf("%s: P[%d] grid %v vs manifold %v", est.Name(), i, viaGrid.P[i], viaManifold.P[i])
+			}
+			if viaGrid.AnglesDeg[i] != viaManifold.AnglesDeg[i] {
+				t.Fatalf("%s: angle[%d] mismatch", est.Name(), i)
+			}
+		}
+	}
+}
+
+// TestManifoldSnapshotPlumbing asserts that the manifold path's MDL model
+// order follows the snapshot count handed down by the pipeline rather
+// than the 1000-sample default.
+func TestManifoldSnapshotPlumbing(t *testing.T) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	mf := antenna.NewManifoldForScan(arr, 1)
+	const nSamp = 150
+	r := twoSourceCovariance(t, arr, 60, 230, nSamp, 3)
+	eig, err := cmat.HermEig(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := &MUSIC{}
+	_, k, err := m.PseudospectrumFromEig(eig, mf, nSamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MDLSources(eig.Values, nSamp); k != want {
+		t.Fatalf("snapshots=%d: k = %d, want MDL's %d", nSamp, k, want)
+	}
+
+	// With no snapshot count the estimator's own Samples field governs,
+	// then the historical 1000 default.
+	m2 := &MUSIC{Samples: 25}
+	_, k2, err := m2.PseudospectrumFromEig(eig, mf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MDLSources(eig.Values, 25); k2 != want {
+		t.Fatalf("Samples=25 fallback: k = %d, want %d", k2, want)
+	}
+	_, k3, err := (&MUSIC{}).PseudospectrumFromEig(eig, mf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := MDLSources(eig.Values, 1000); k3 != want {
+		t.Fatalf("default fallback: k = %d, want %d", k3, want)
+	}
+
+	// Explicit Sources overrides any snapshot count.
+	_, k4, err := (&MUSIC{Sources: 3}).PseudospectrumFromEig(eig, mf, nSamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k4 != 3 {
+		t.Fatalf("Sources=3: k = %d", k4)
+	}
+}
+
+func TestManifoldShapeMismatch(t *testing.T) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	small := antenna.NewHalfWaveULA(4, antenna.DefaultCarrierHz)
+	mf := antenna.NewManifoldForScan(small, 1)
+	r := twoSourceCovariance(t, arr, 40, 200, 100, 1)
+	for _, est := range []ManifoldEstimator{&MUSIC{Sources: 1}, Bartlett{}, MVDR{}} {
+		if _, err := est.PseudospectrumOnManifold(r, mf, 100); err == nil {
+			t.Fatalf("%s: no error for 8x8 covariance on 4-element manifold", est.Name())
+		}
+	}
+}
+
+// BenchmarkMUSICScanManifold measures the per-packet MUSIC scan with the
+// steering manifold precomputed once, against BenchmarkMUSICScanRecompute
+// where every call rebuilds the steering vectors (the pre-refactor
+// behaviour of the grid-signature path).
+func BenchmarkMUSICScanManifold(b *testing.B) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	mf := antenna.NewManifoldForScan(arr, 1)
+	r := twoSourceCovariance(b, arr, 40, 200, 400, 7)
+	est := &MUSIC{Sources: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.PseudospectrumOnManifold(r, mf, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMUSICScanRecompute(b *testing.B) {
+	arr := antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
+	grid := arr.ScanGrid(1)
+	r := twoSourceCovariance(b, arr, 40, 200, 400, 7)
+	est := &MUSIC{Sources: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Pseudospectrum(r, arr, grid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -221,46 +221,15 @@ type MUSIC struct {
 func (m *MUSIC) Name() string { return "MUSIC" }
 
 // Pseudospectrum implements Estimator: P(theta) =
-// 1 / || En^H a(theta) ||^2, with En the noise subspace.
+// 1 / || En^H a(theta) ||^2, with En the noise subspace. It adapts the
+// grid signature onto the manifold fast path by evaluating a one-shot
+// manifold for the given grid; callers scanning the same grid repeatedly
+// should precompute an antenna.Manifold and use PseudospectrumOnManifold.
 func (m *MUSIC) Pseudospectrum(r *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
 	if r.Rows != arr.N() {
 		return nil, fmt.Errorf("music: covariance is %dx%d but array has %d elements", r.Rows, r.Cols, arr.N())
 	}
-	eig, err := cmat.HermEig(r)
-	if err != nil {
-		return nil, err
-	}
-	k := m.Sources
-	if k <= 0 {
-		n := m.Samples
-		if n <= 0 {
-			n = 1000
-		}
-		k = MDLSources(eig.Values, n)
-	}
-	if k >= r.Rows {
-		k = r.Rows - 1
-	}
-	if k < 1 {
-		k = 1
-	}
-	en := eig.NoiseSubspace(k)
-	enH := en.Herm()
-	ps := &Pseudospectrum{AnglesDeg: append([]float64(nil), gridDeg...), P: make([]float64, len(gridDeg))}
-	a := make([]complex128, arr.N())
-	for i, th := range gridDeg {
-		arr.SteeringInto(a, th)
-		proj := enH.MulVec(a)
-		den := 0.0
-		for _, v := range proj {
-			den += real(v)*real(v) + imag(v)*imag(v)
-		}
-		if den < 1e-18 {
-			den = 1e-18
-		}
-		ps.P[i] = 1 / den
-	}
-	return ps, nil
+	return m.PseudospectrumOnManifold(r, antenna.NewManifold(arr, gridDeg), 0)
 }
 
 // Bartlett is the classical delay-and-sum beamformer baseline:
@@ -270,21 +239,13 @@ type Bartlett struct{}
 // Name implements Estimator.
 func (Bartlett) Name() string { return "Bartlett" }
 
-// Pseudospectrum implements Estimator.
-func (Bartlett) Pseudospectrum(r *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
+// Pseudospectrum implements Estimator by adapting the grid signature onto
+// the manifold fast path.
+func (b Bartlett) Pseudospectrum(r *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
 	if r.Rows != arr.N() {
 		return nil, fmt.Errorf("music: covariance is %dx%d but array has %d elements", r.Rows, r.Cols, arr.N())
 	}
-	ps := &Pseudospectrum{AnglesDeg: append([]float64(nil), gridDeg...), P: make([]float64, len(gridDeg))}
-	a := make([]complex128, arr.N())
-	for i, th := range gridDeg {
-		arr.SteeringInto(a, th)
-		ra := r.MulVec(a)
-		num := real(cmat.Dot(a, ra))
-		den := float64(arr.N())
-		ps.P[i] = math.Max(num/den, 0)
-	}
-	return ps, nil
+	return b.PseudospectrumOnManifold(r, antenna.NewManifold(arr, gridDeg), 0)
 }
 
 // MVDR is the Capon minimum-variance beamformer baseline:
@@ -297,36 +258,13 @@ type MVDR struct {
 // Name implements Estimator.
 func (MVDR) Name() string { return "MVDR" }
 
-// Pseudospectrum implements Estimator.
+// Pseudospectrum implements Estimator by adapting the grid signature onto
+// the manifold fast path.
 func (mv MVDR) Pseudospectrum(r *cmat.Matrix, arr *antenna.Array, gridDeg []float64) (*Pseudospectrum, error) {
 	if r.Rows != arr.N() {
 		return nil, fmt.Errorf("music: covariance is %dx%d but array has %d elements", r.Rows, r.Cols, arr.N())
 	}
-	load := mv.DiagonalLoad
-	if load <= 0 {
-		load = 1e-3
-	}
-	reg := r.Clone()
-	tr := real(r.Trace()) / float64(r.Rows)
-	for i := 0; i < reg.Rows; i++ {
-		reg.Set(i, i, reg.At(i, i)+complex(load*tr, 0))
-	}
-	inv, err := cmat.Inverse(reg)
-	if err != nil {
-		return nil, err
-	}
-	ps := &Pseudospectrum{AnglesDeg: append([]float64(nil), gridDeg...), P: make([]float64, len(gridDeg))}
-	a := make([]complex128, arr.N())
-	for i, th := range gridDeg {
-		arr.SteeringInto(a, th)
-		ria := inv.MulVec(a)
-		den := real(cmat.Dot(a, ria))
-		if den < 1e-18 {
-			den = 1e-18
-		}
-		ps.P[i] = 1 / den
-	}
-	return ps, nil
+	return mv.PseudospectrumOnManifold(r, antenna.NewManifold(arr, gridDeg), 0)
 }
 
 // MDLSources estimates the number of sources from sorted-descending

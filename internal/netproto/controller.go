@@ -2,6 +2,7 @@ package netproto
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"net"
 	"sync"
@@ -154,6 +155,10 @@ func (c *Controller) handle(conn net.Conn) {
 			c.startBroadcaster(m.Name, conn, done)
 		case Report:
 			c.ingest(m)
+		case ReportBatch:
+			for _, r := range m {
+				c.ingest(r)
+			}
 		case Alert:
 			c.handleAlert(m)
 		}
@@ -348,6 +353,43 @@ func (a *Agent) Send(r Report) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return WriteMessage(a.conn, MarshalReport(r))
+}
+
+// SendBatch ships a batch of reports as ReportBatch messages — the
+// AP-side counterpart of core.ObserveBatch, one frame (and one syscall)
+// for many observations instead of one each. Batches whose encoding
+// would exceed MaxMessageSize are split across multiple frames
+// transparently. Safe for concurrent use; reports of one call are not
+// interleaved with other senders.
+func (a *Agent) SendBatch(rs []Report) error {
+	if len(rs) == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for start := 0; start < len(rs); {
+		// Grow the chunk until the next report would overflow the frame.
+		body := []byte{TypeReportBatch, 0, 0, 0, 0}
+		end := start
+		for ; end < len(rs); end++ {
+			next := appendReportBody(body, rs[end])
+			if len(next) > MaxMessageSize && end > start {
+				break
+			}
+			body = next
+			if len(body) > MaxMessageSize {
+				// A single oversized report: let WriteMessage reject it.
+				end++
+				break
+			}
+		}
+		binary.BigEndian.PutUint32(body[1:5], uint32(end-start))
+		if err := WriteMessage(a.conn, body); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
 }
 
 // Close terminates the agent's connection.

@@ -28,8 +28,9 @@ import (
 
 // Message type identifiers.
 const (
-	TypeHello  = 1
-	TypeReport = 2
+	TypeHello       = 1
+	TypeReport      = 2
+	TypeReportBatch = 4
 )
 
 // MaxMessageSize bounds a single message (a signature over a 0.25-degree
@@ -90,7 +91,11 @@ func MarshalHello(h Hello) []byte {
 
 // MarshalReport encodes a Report message body.
 func MarshalReport(r Report) []byte {
-	b := []byte{TypeReport}
+	return appendReportBody([]byte{TypeReport}, r)
+}
+
+// appendReportBody appends one report's self-delimiting wire form.
+func appendReportBody(b []byte, r Report) []byte {
 	b = writeString(b, r.APName)
 	b = append(b, r.MAC[:]...)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.BearingDeg))
@@ -103,6 +108,54 @@ func MarshalReport(r Report) []byte {
 		b = binary.BigEndian.AppendUint32(b, 0)
 	}
 	return b
+}
+
+// ReportBatch is several observations shipped as one framed message — the
+// batch pipeline's ObserveBatch output crosses the wire in one write
+// instead of one syscall per packet.
+type ReportBatch []Report
+
+// MarshalReportBatch encodes a ReportBatch message body. The caller must
+// keep the result under MaxMessageSize (Agent.SendBatch chunks
+// automatically).
+func MarshalReportBatch(rs []Report) []byte {
+	b := []byte{TypeReportBatch}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(rs)))
+	for _, r := range rs {
+		b = appendReportBody(b, r)
+	}
+	return b
+}
+
+// readReportBody parses one report from b, returning the remainder.
+func readReportBody(b []byte) (Report, []byte, error) {
+	var r Report
+	name, rest, err := readString(b)
+	if err != nil {
+		return r, nil, err
+	}
+	if len(rest) < 6+8+8+4 {
+		return r, nil, ErrBadMessage
+	}
+	r.APName = name
+	copy(r.MAC[:], rest[:6])
+	rest = rest[6:]
+	r.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
+	r.SeqNo = binary.BigEndian.Uint64(rest[8:16])
+	sigLen := int(binary.BigEndian.Uint32(rest[16:20]))
+	rest = rest[20:]
+	if sigLen > 0 {
+		if len(rest) < sigLen {
+			return r, nil, ErrBadMessage
+		}
+		sig, err := signature.Unmarshal(rest[:sigLen])
+		if err != nil {
+			return r, nil, fmt.Errorf("netproto: %w", err)
+		}
+		r.Sig = sig
+		rest = rest[sigLen:]
+	}
+	return r, rest, nil
 }
 
 // Unmarshal decodes a message body into either Hello or Report.
@@ -127,34 +180,44 @@ func Unmarshal(b []byte) (any, error) {
 			},
 		}, nil
 	case TypeReport:
-		name, rest, err := readString(b[1:])
+		r, rest, err := readReportBody(b[1:])
 		if err != nil {
 			return nil, err
 		}
-		if len(rest) < 6+8+8+4 {
-			return nil, ErrBadMessage
-		}
-		var r Report
-		r.APName = name
-		copy(r.MAC[:], rest[:6])
-		rest = rest[6:]
-		r.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
-		r.SeqNo = binary.BigEndian.Uint64(rest[8:16])
-		sigLen := int(binary.BigEndian.Uint32(rest[16:20]))
-		rest = rest[20:]
-		if sigLen > 0 {
-			if len(rest) != sigLen {
-				return nil, ErrBadMessage
-			}
-			sig, err := signature.Unmarshal(rest)
-			if err != nil {
-				return nil, fmt.Errorf("netproto: %w", err)
-			}
-			r.Sig = sig
-		} else if len(rest) != 0 {
+		if len(rest) != 0 {
 			return nil, ErrBadMessage
 		}
 		return r, nil
+	case TypeReportBatch:
+		rest := b[1:]
+		if len(rest) < 4 {
+			return nil, ErrBadMessage
+		}
+		// Validate the count in uint64 before any int conversion: on
+		// 32-bit builds a hostile count >= 2^31 would wrap negative and
+		// slip past the bound only to panic in make. A report body is at
+		// least 2+6+8+8+4 bytes, so a genuine count can never exceed the
+		// body length it must be backed by.
+		count64 := uint64(binary.BigEndian.Uint32(rest[:4]))
+		rest = rest[4:]
+		if count64 > uint64(len(rest)/(2+6+8+8+4)) {
+			return nil, ErrBadMessage
+		}
+		count := int(count64)
+		batch := make(ReportBatch, 0, count)
+		for i := 0; i < count; i++ {
+			var r Report
+			var err error
+			r, rest, err = readReportBody(rest)
+			if err != nil {
+				return nil, err
+			}
+			batch = append(batch, r)
+		}
+		if len(rest) != 0 {
+			return nil, ErrBadMessage
+		}
+		return batch, nil
 	case TypeAlert:
 		return unmarshalAlert(b[1:])
 	default:

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"secureangle/internal/antenna"
 	"secureangle/internal/dsp"
@@ -51,7 +52,29 @@ type FrontEnd struct {
 	// SampleRate of the ADCs.
 	SampleRate float64
 
-	noise *rng.Source
+	// mu guards the noise stream and the channel-response cache; the
+	// deterministic synthesis itself runs outside the lock.
+	mu        sync.Mutex
+	noise     *rng.Source
+	chanCache map[chanKey]*chanResponse
+}
+
+// maxChanCacheEntries bounds the per-front-end channel cache (an entry is
+// one per-antenna frequency response, ~N*len(baseband) complexes).
+const maxChanCacheEntries = 64
+
+// chanKey identifies one cached channel: transmitter position and
+// transform length.
+type chanKey struct {
+	x, y float64
+	n    int
+}
+
+// chanResponse is the frequency-domain channel from one transmitter to
+// every antenna, valid for one environment drift epoch.
+type chanResponse struct {
+	epoch uint64
+	h     [][]complex128 // [antenna][DFT bin]
 }
 
 // Option configures a FrontEnd.
@@ -105,34 +128,150 @@ func NewFrontEnd(arr *antenna.Array, pos geom.Point, src *rng.Source, opts ...Op
 // this AP and returns one sample stream per antenna, all impairments
 // applied. The transmit buffer should include lead-in/lead-out padding
 // (see PadPacket) so fractionally-delayed copies stay within the buffer.
+//
+// The multipath channel is applied in the frequency domain: one forward
+// FFT of the baseband, a multiply by the per-antenna channel response
+// (cached per transmitter position while the environment's drift epoch is
+// unchanged), and one inverse FFT per antenna — instead of a forward plus
+// inverse transform per propagation path. The result is the same linear
+// combination of fractionally-delayed path copies, just summed before the
+// inverse transform rather than after.
 func (f *FrontEnd) Receive(e *env.Environment, tx geom.Point, baseband []complex128) ([][]complex128, error) {
 	if len(baseband) == 0 {
 		return nil, errors.New("radio: empty baseband")
 	}
+	resp, err := f.channelResponse(e, tx, len(baseband))
+	if err != nil {
+		return nil, err
+	}
+	out := f.synthesize(resp, baseband)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.impair(out, f.noise)
+	return out, nil
+}
+
+// PreparedReceive bundles the order-sensitive half of Receive — the
+// channel response for one (transmitter, length) pair and a noise source
+// forked from the front end's stream — so the heavy synthesis can then run
+// on any goroutine. Obtain it with PrepareReceive (serially), consume it
+// with ReceivePrepared (concurrently).
+type PreparedReceive struct {
+	resp  *chanResponse
+	noise *rng.Source
+	n     int
+}
+
+// PrepareReceive resolves the channel for a transmission of n samples from
+// tx and forks a private noise stream for it. Calls must not overlap with
+// each other or with Receive on the same front end's noise determinism
+// boundary; in return, the ReceivePrepared calls that consume the results
+// are safe to run concurrently.
+func (f *FrontEnd) PrepareReceive(e *env.Environment, tx geom.Point, n int) (*PreparedReceive, error) {
+	if n <= 0 {
+		return nil, errors.New("radio: empty baseband")
+	}
+	resp, err := f.channelResponse(e, tx, n)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	src := f.noise.Fork()
+	f.mu.Unlock()
+	return &PreparedReceive{resp: resp, noise: src, n: n}, nil
+}
+
+// ReceivePrepared synthesises the per-antenna streams for one prepared
+// transmission. Safe for concurrent use across distinct PreparedReceive
+// values.
+func (f *FrontEnd) ReceivePrepared(p *PreparedReceive, baseband []complex128) ([][]complex128, error) {
+	if len(baseband) != p.n {
+		return nil, errors.New("radio: baseband length differs from prepared length")
+	}
+	out := f.synthesize(p.resp, baseband)
+	f.impair(out, p.noise)
+	return out, nil
+}
+
+// channelResponse returns the cached frequency-domain channel for (tx, n),
+// rebuilding it when the environment's drift epoch has moved on.
+func (f *FrontEnd) channelResponse(e *env.Environment, tx geom.Point, n int) (*chanResponse, error) {
+	epoch := e.Epoch()
+	key := chanKey{x: tx.X, y: tx.Y, n: n}
+	f.mu.Lock()
+	if r, ok := f.chanCache[key]; ok && r.epoch == epoch {
+		f.mu.Unlock()
+		return r, nil
+	}
+	f.mu.Unlock()
+
 	paths := e.Trace(tx, f.Pos)
 	if len(paths) == 0 {
 		return nil, errors.New("radio: no propagation paths (fully blocked)")
 	}
-	n := f.Array.N()
-	out := make([][]complex128, n)
-	for a := 0; a < n; a++ {
-		out[a] = make([]complex128, len(baseband))
-	}
+	r := &chanResponse{epoch: epoch, h: f.buildResponse(paths, n)}
 
-	// Per-path: delay once, then fan out with per-antenna steering phase.
+	f.mu.Lock()
+	if f.chanCache == nil {
+		f.chanCache = make(map[chanKey]*chanResponse)
+	}
+	if len(f.chanCache) >= maxChanCacheEntries {
+		clear(f.chanCache)
+	}
+	f.chanCache[key] = r
+	f.mu.Unlock()
+	return r, nil
+}
+
+// buildResponse accumulates every path's delay ramp and steering phase
+// into one per-antenna frequency response: H_a[k] = sum over paths of
+// gain * steer_a * exp(-i 2 pi f_k delay).
+func (f *FrontEnd) buildResponse(paths []env.Path, n int) [][]complex128 {
+	nAnt := f.Array.N()
+	h := make([][]complex128, nAnt)
+	for a := range h {
+		h[a] = make([]complex128, n)
+	}
+	freqs := dsp.FFTFreqs(n, f.SampleRate)
+	ramp := make([]complex128, n)
 	for _, p := range paths {
-		delayed := dsp.FractionalDelay(baseband, p.Delay, f.SampleRate)
-		dsp.Scale(delayed, p.Gain)
+		for k, fr := range freqs {
+			ramp[k] = p.Gain * cmplx.Rect(1, -2*math.Pi*fr*p.Delay)
+		}
 		steer := f.Array.Steering(p.BearingDeg)
-		for a := 0; a < n; a++ {
+		for a := 0; a < nAnt; a++ {
 			s := steer[a]
-			dst := out[a]
-			for i, v := range delayed {
-				dst[i] += v * s
+			dst := h[a]
+			for k, v := range ramp {
+				dst[k] += v * s
 			}
 		}
 	}
+	return h
+}
 
+// synthesize applies a channel response to the baseband: one forward FFT,
+// then per antenna a bin-wise multiply and inverse FFT. Pure function of
+// its inputs; safe for concurrent use.
+func (f *FrontEnd) synthesize(resp *chanResponse, baseband []complex128) [][]complex128 {
+	spec := dsp.FFT(baseband)
+	out := make([][]complex128, len(resp.h))
+	for a, ha := range resp.h {
+		stream := make([]complex128, len(spec))
+		for k, v := range spec {
+			stream[k] = v * ha[k]
+		}
+		dsp.IFFTInPlace(stream)
+		out[a] = stream
+	}
+	return out
+}
+
+// impair applies the receiver impairments to clean streams in place, in
+// the fixed order the hardware imposes: per-chain downconverter phase,
+// common CFO, additive noise from src, optional quantisation.
+func (f *FrontEnd) impair(out [][]complex128, src *rng.Source) {
+	n := len(out)
 	// Mean signal power across chains sets the noise variance, unless an
 	// absolute floor is configured.
 	var sp float64
@@ -152,12 +291,11 @@ func (f *FrontEnd) Receive(e *env.Environment, tx geom.Point, baseband []complex
 		if f.CFOHz != 0 {
 			out[a] = dsp.MixFrequency(out[a], f.CFOHz, f.SampleRate, 0)
 		}
-		f.noise.AddAWGN(out[a], sigma2)
+		src.AddAWGN(out[a], sigma2)
 		if f.QuantBits > 0 {
 			quantize(out[a], f.QuantBits, 4*math.Sqrt(sp+sigma2))
 		}
 	}
-	return out, nil
 }
 
 // Transmission is one concurrent transmitter for ReceiveMulti.
@@ -228,25 +366,9 @@ func (f *FrontEnd) ReceiveMulti(e *env.Environment, txs []Transmission) ([][]com
 		return nil, errors.New("radio: no propagation paths (all transmitters blocked)")
 	}
 
-	var sp float64
-	for a := 0; a < n; a++ {
-		sp += dsp.Power(out[a])
-	}
-	sp /= float64(n)
-	sigma2 := sp / dsp.FromDB(f.SNRdB)
-	if f.NoiseFloor > 0 {
-		sigma2 = f.NoiseFloor
-	}
-	for a := 0; a < n; a++ {
-		dsp.Scale(out[a], cmplx.Rect(1, f.PhaseOffsets[a]))
-		if f.CFOHz != 0 {
-			out[a] = dsp.MixFrequency(out[a], f.CFOHz, f.SampleRate, 0)
-		}
-		f.noise.AddAWGN(out[a], sigma2)
-		if f.QuantBits > 0 {
-			quantize(out[a], f.QuantBits, 4*math.Sqrt(sp+sigma2))
-		}
-	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.impair(out, f.noise)
 	return out, nil
 }
 
@@ -283,6 +405,8 @@ func PadPacket(samples []complex128, lead, tail int) []complex128 {
 // phase differences between chains are the downconverter offsets (plus
 // noise). n is the number of samples captured per chain.
 func (f *FrontEnd) CalibrationCapture(n int) [][]complex128 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	out := make([][]complex128, f.Array.N())
 	// Reference tone at a small baseband offset (a pure DC tone would
 	// stress quantisers unrealistically; any common tone works since

@@ -86,6 +86,17 @@ type (
 	MAC = wifi.Addr
 	// TestbedClient is one of the Figure 4 testbed's numbered clients.
 	TestbedClient = testbed.Client
+	// BatchItem is one transmission for AP.ObserveBatch.
+	BatchItem = core.BatchItem
+	// BatchResult is one AP.ObserveBatch output (report or error).
+	BatchResult = core.BatchResult
+	// FrameBatchItem is one MAC frame for AP.ProcessFrameBatch.
+	FrameBatchItem = core.FrameBatchItem
+	// FrameBatchResult is one AP.ProcessFrameBatch output.
+	FrameBatchResult = core.FrameBatchResult
+	// Manifold is a precomputed steering manifold for an (array, grid)
+	// pair — the cache behind the estimation fast path.
+	Manifold = antenna.Manifold
 )
 
 // DefaultConfig returns the pipeline settings used throughout the paper
@@ -116,9 +127,15 @@ func LinearArray() *Array { return testbed.LinearArray() }
 // NewTestbedAP builds a calibrated AP with the circular array at pos in
 // the Figure 4 environment, seeded deterministically.
 func NewTestbedAP(name string, pos Point, seed int64) *AP {
+	return NewTestbedAPConfig(name, pos, seed, DefaultConfig())
+}
+
+// NewTestbedAPConfig is NewTestbedAP with an explicit pipeline Config
+// (estimator choice, worker-pool bound, detection tuning).
+func NewTestbedAPConfig(name string, pos Point, seed int64, cfg Config) *AP {
 	e, _ := testbed.Building()
 	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(seed))
-	return core.NewAP(name, fe, e, core.DefaultConfig())
+	return core.NewAP(name, fe, e, cfg)
 }
 
 // ObserveFrame sends one QPSK uplink data frame from the given testbed
@@ -130,6 +147,22 @@ func ObserveFrame(ap *AP, clientID int, pos Point) (*Report, error) {
 		return nil, err
 	}
 	return ap.Observe(pos, bb)
+}
+
+// ObserveFrameBatch sends one QPSK uplink data frame from each client and
+// runs the estimation stages on the AP's bounded worker pool — the batch
+// form of ObserveFrame. Results align with clients by index; per-client
+// failures (blocked, undetected) surface as per-item errors.
+func ObserveFrameBatch(ap *AP, clients []TestbedClient) ([]BatchResult, error) {
+	items := make([]BatchItem, len(clients))
+	for i, c := range clients {
+		bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, 1, []byte("uplink")), ofdm.QPSK)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = BatchItem{TX: c.Pos, Baseband: bb}
+	}
+	return ap.ObserveBatch(items), nil
 }
 
 // Triangulate fuses bearing observations from two or more APs into a
