@@ -19,6 +19,7 @@
 package secureangle
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -326,6 +327,83 @@ func BenchmarkObserveBatch(b *testing.B) {
 					if r.Err != nil {
 						b.Fatal(r.Err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamIngest compares the v2 streaming handle against
+// per-call Observe at several batch sizes. The "observe" rows push
+// each batch through one-at-a-time ctx-aware Observe calls; the
+// "stream" rows submit the batch to an open Stream and wait for all of
+// its ordered results. Each op is one whole batch, so compare ns/op at
+// equal batch size; parallel gains appear with -cpu > 1 (this mirrors
+// BenchmarkObserveBatch's serial/pooled split, but through the
+// always-on handle with backpressure and reordering on the path).
+func BenchmarkStreamIngest(b *testing.B) {
+	ctx := context.Background()
+	makeItems := func(batch int) []BatchItem {
+		items := make([]BatchItem, batch)
+		for i := range items {
+			c, err := Client(i%20 + 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			it, err := TestbedBatchItem(c, uint16(i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			items[i] = it
+		}
+		return items
+	}
+
+	for _, batch := range []int{1, 16, 64} {
+		items := makeItems(batch)
+
+		b.Run(fmt.Sprintf("batch=%d/observe", batch), func(b *testing.B) {
+			node, err := New(WithName("bench"), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if _, err := node.Observe(ctx, it.TX, it.Baseband); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+
+		b.Run(fmt.Sprintf("batch=%d/stream", batch), func(b *testing.B) {
+			node, err := New(WithName("bench"), WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := node.Stream(ctx, batch)
+			defer s.Close()
+			acks := make(chan struct{}, batch)
+			go func() {
+				for r := range s.Results() {
+					if r.Err != nil {
+						b.Error(r.Err)
+					}
+					acks <- struct{}{}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, it := range items {
+					if _, err := s.Submit(ctx, it); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for range items {
+					<-acks
 				}
 			}
 		})

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"secureangle/internal/dsp"
 	"secureangle/internal/experiments"
@@ -182,6 +184,7 @@ func runServe(addr string) error {
 	fmt.Printf("fence controller listening on %s (boundary: building shell)\n", ln.Addr())
 	c.Serve(ln)
 
+	sub := c.Subscribe(64)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -189,7 +192,7 @@ func runServe(addr string) error {
 		fmt.Println("\nshutting down")
 		c.Close()
 	}()
-	for d := range c.Decisions() {
+	for d := range sub.C {
 		fmt.Printf("decision: %s seq %d -> %s at %v (APs %v)\n", d.MAC, d.SeqNo, d.Decision, d.Pos, d.APs)
 	}
 	return nil
@@ -208,6 +211,7 @@ func runDemo(seed int64) error {
 	}
 	c.Serve(ln)
 	defer c.Close()
+	sub := c.Subscribe(16)
 	fmt.Printf("controller on %s\n", ln.Addr())
 
 	apPos := []geom.Point{testbed.AP1, testbed.AP2}
@@ -219,12 +223,15 @@ func runDemo(seed int64) error {
 		}
 		return out
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 	for i, pos := range apPos {
 		name := fmt.Sprintf("ap%d", i+1)
-		a, err := netproto.Dial(ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		a, err := netproto.DialContext(ctx, ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
 		if err != nil {
 			return err
 		}
+		fmt.Printf("%s connected (protocol v%d)\n", name, a.Version())
 		defer a.Close()
 		agents[i] = a
 	}
@@ -240,7 +247,7 @@ func runDemo(seed int64) error {
 				return err
 			}
 		}
-		d := <-c.Decisions()
+		d := <-sub.C
 		fmt.Printf("  -> %s (located %v)\n", d.Decision, d.Pos)
 		return nil
 	}

@@ -1,45 +1,51 @@
 // Quickstart: the smallest end-to-end SecureAngle use — one access point,
-// one client, one packet, one bearing.
+// one client, one packet, one bearing — on the v2 Node API: a long-lived
+// node built with functional options, context threaded through the
+// pipeline, and typed errors.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
-	"secureangle/internal/core"
-	"secureangle/internal/ofdm"
-	"secureangle/internal/rng"
+	"secureangle"
 	"secureangle/internal/testbed"
 )
 
 func main() {
-	// The Figure 4 office: walls, a cement pillar, 20 clients, and an
-	// 8-antenna AP.
-	environment, _ := testbed.Building()
+	ctx := context.Background()
 
-	// An AP with the paper's octagonal circular array. NewAP runs the
-	// section 2.2 phase calibration automatically.
-	frontEnd := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(42))
-	ap := core.NewAP("ap1", frontEnd, environment, core.DefaultConfig())
-
-	// Client 5 sends one 802.11-style uplink data frame.
-	client, err := testbed.ClientByID(5)
-	if err != nil {
-		log.Fatal(err)
-	}
-	frame := testbed.UplinkFrame(client.ID, 1, []byte("hello, SecureAngle"))
-	baseband, err := testbed.FrameBaseband(frame, ofdm.QPSK)
+	// An AP with the paper's octagonal circular array in the Figure 4
+	// office. New runs the section 2.2 phase calibration automatically;
+	// every unset option takes the paper-testbed default.
+	node, err := secureangle.New(
+		secureangle.WithName("ap1"),
+		secureangle.WithPosition(secureangle.AP1),
+		secureangle.WithSeed(42),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The AP receives it through the simulated channel and runs the full
+	// Client 5 sends one 802.11-style uplink data frame. The node
+	// receives it through the simulated channel and runs the full
 	// pipeline: Schmidl-Cox detection, calibration, packet-scale
 	// correlation, MUSIC.
-	report, err := ap.Observe(client.Pos, baseband)
+	client, err := secureangle.Client(5)
 	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := node.ObserveTestbedFrame(ctx, client.ID, client.Pos)
+	switch {
+	case errors.Is(err, secureangle.ErrNotDetected):
+		log.Fatal("no packet detected — SNR below the detection cliff")
+	case errors.Is(err, secureangle.ErrBlocked):
+		log.Fatal("client fully blocked — no propagation path")
+	case err != nil:
 		log.Fatal(err)
 	}
 
@@ -56,5 +62,34 @@ func main() {
 	fmt.Println("pseudospectrum peaks (bearing, dB rel. strongest):")
 	for _, p := range report.Spectrum.Peaks(10, 15) {
 		fmt.Printf("  %6.1f deg   %6.1f dB\n", p.BearingDeg, p.RelDB)
+	}
+
+	// The same pipeline as an always-on service: the streaming handle
+	// accepts transmissions with backpressure and delivers results in
+	// submission order.
+	stream := node.Stream(ctx, 8)
+	go func() {
+		for id := 1; id <= 5; id++ {
+			c, err := secureangle.Client(id)
+			if err != nil {
+				continue
+			}
+			item, err := secureangle.TestbedBatchItem(c, uint16(id))
+			if err != nil {
+				continue
+			}
+			if _, err := stream.Submit(ctx, item); err != nil {
+				return
+			}
+		}
+		stream.Close()
+	}()
+	fmt.Println("\nstreaming ingest (clients 1-5, submission order):")
+	for r := range stream.Results() {
+		if r.Err != nil {
+			fmt.Printf("  #%d: %v\n", r.Seq, r.Err)
+			continue
+		}
+		fmt.Printf("  #%d: bearing %6.1f deg, SNR %5.1f dB\n", r.Seq, r.Report.BearingDeg, r.Report.SNRdB)
 	}
 }

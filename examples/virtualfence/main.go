@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"secureangle/internal/core"
 	"secureangle/internal/geom"
@@ -23,6 +25,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	environment, shell := testbed.Building()
 
 	// Controller with the building shell as the fence boundary. The 1.5 m
@@ -36,6 +39,10 @@ func main() {
 	}
 	controller.Serve(ln)
 	defer controller.Close()
+	// v2 subscription API: any number of consumers can subscribe to the
+	// fused decisions (the legacy Decisions() channel still works too).
+	decisions := controller.Subscribe(16)
+	defer controller.Unsubscribe(decisions)
 	fmt.Printf("fence controller on %s\n\n", ln.Addr())
 
 	// Three full APs (array + calibration + MUSIC pipeline).
@@ -46,10 +53,15 @@ func main() {
 		name := fmt.Sprintf("ap%d", i+1)
 		fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(int64(100+i)))
 		aps[i] = core.NewAP(name, fe, environment, core.DefaultConfig())
-		agents[i], err = netproto.Dial(ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		// DialContext negotiates protocol v2 (versioned Hello/Welcome);
+		// a v1 agent dialing the same controller still works.
+		dialCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		agents[i], err = netproto.DialContext(dialCtx, ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		cancel()
 		if err != nil {
 			log.Fatal(err)
 		}
+		agents[i].Timeout = 5 * time.Second // deadline-aware sends
 		defer agents[i].Close()
 	}
 
@@ -84,7 +96,7 @@ func main() {
 			fmt.Printf("  controller: no decision possible — fewer than 2 APs heard the packet (fail closed)\n\n")
 			return
 		}
-		d := <-controller.Decisions()
+		d := <-decisions.C
 		fmt.Printf("  controller: %s — located at %v (truth %v, error %.2f m)\n\n",
 			d.Decision, d.Pos, pos, d.Pos.Dist(pos))
 	}

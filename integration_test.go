@@ -6,6 +6,8 @@ package secureangle
 // exercised together, the way the examples run it but with assertions.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"testing"
@@ -114,6 +116,129 @@ func TestFullStackFenceOverTCP(t *testing.T) {
 		if d.Decision != locate.Drop {
 			t.Errorf("intruder allowed at %v", d.Pos)
 		}
+	}
+}
+
+// TestFullStackV2StreamToController drives the v2 service path end to
+// end: a Node's streaming handle feeds per-packet reports to a v2
+// controller session (DialContext + SendBatchContext + Subscribe), and
+// a spoof-flag PipelineError's stage crosses the wire on the alert
+// path and lands in the controller's quarantine.
+func TestFullStackV2StreamToController(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack integration")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	_, shell := testbed.Building()
+	controller := netproto.NewController(&locate.Fence{Boundary: shell, MarginM: 1.5})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	controller.Serve(ln)
+	defer controller.Close()
+	sub := controller.Subscribe(16)
+	defer controller.Unsubscribe(sub)
+
+	// Two v2 nodes, each with its own agent session.
+	positions := []Point{AP1, AP2}
+	nodes := make([]*Node, len(positions))
+	agents := make([]*netproto.Agent, len(positions))
+	for i, pos := range positions {
+		name := fmt.Sprintf("ap%d", i+1)
+		n, err := New(WithName(name), WithPosition(pos), WithSeed(int64(500+i)), WithWorkers(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		a, err := netproto.DialContext(ctx, ln.Addr().String(), netproto.Hello{Name: name, Pos: pos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Version() != netproto.ProtoV2 {
+			t.Fatalf("%s negotiated v%d", name, a.Version())
+		}
+		defer a.Close()
+		agents[i] = a
+	}
+
+	// One transmission through each node's stream; reports ship as a
+	// deadline-bounded batch.
+	client, err := Client(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := TestbedBatchItem(client, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := testbed.ClientMAC(5)
+	for i, n := range nodes {
+		s := n.Stream(ctx, 4)
+		if _, err := s.Submit(ctx, item); err != nil {
+			t.Fatal(err)
+		}
+		var reports []netproto.Report
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for r := range s.Results() {
+				if r.Err != nil {
+					t.Errorf("node %d stream: %v", i, r.Err)
+					continue
+				}
+				reports = append(reports, netproto.Report{
+					APName: r.Report.AP, MAC: mac, SeqNo: 1,
+					BearingDeg: r.Report.BearingDeg, Sig: r.Report.Sig,
+				})
+			}
+		}()
+		s.Close()
+		<-done
+		if err := agents[i].SendBatchContext(ctx, reports); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case d := <-sub.C:
+		if d.Decision != locate.Allow {
+			t.Errorf("inside client dropped: %+v", d)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no fused decision")
+	}
+
+	// The alert path: a deferred-calibration node fails with a typed
+	// PipelineError whose stage rides the v2 alert to the controller.
+	uncal, err := New(WithName("ap1"), WithPosition(AP1), WithDeferredCalibration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = uncal.ObserveTestbedFrame(ctx, client.ID, client.Pos)
+	var pe *PipelineError
+	if !errors.As(err, &pe) || !errors.Is(err, ErrNotCalibrated) {
+		t.Fatalf("expected ErrNotCalibrated PipelineError, got %v", err)
+	}
+	if err := agents[0].SendAlertDetail(netproto.Alert{
+		APName: "ap1", MAC: mac, Distance: 0, Stage: pe.Stage,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		q := controller.Quarantined()
+		if len(q) == 1 {
+			if q[0].Stage != core.StageCalibrate {
+				t.Fatalf("quarantine stage %q, want %q", q[0].Stage, core.StageCalibrate)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("alert never reached the controller")
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -20,7 +21,9 @@ type BatchItem struct {
 
 // BatchResult pairs the pipeline output for one batch item with its error;
 // exactly one of the two is set. Per-item errors (a blocked transmitter,
-// an undetected packet) do not fail the rest of the batch.
+// an undetected packet) do not fail the rest of the batch; each error is
+// a *PipelineError wrapping the taxonomy sentinels, so callers dispatch
+// with errors.Is(r.Err, ErrNotDetected) and friends.
 type BatchResult struct {
 	Report *Report
 	Err    error
@@ -62,9 +65,18 @@ func runPool(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
-// ObserveBatch receives a batch of transmissions and runs the estimation
-// pipeline — detect, calibrate, covariance, eigendecomposition, manifold
-// scan — on a bounded worker pool (Config.Workers, default GOMAXPROCS).
+// ObserveBatch is ObserveBatchContext with a background context.
+func (ap *AP) ObserveBatch(items []BatchItem) []BatchResult {
+	return ap.ObserveBatchContext(context.Background(), items)
+}
+
+// ObserveBatchContext receives a batch of transmissions and runs the
+// estimation pipeline — detect, calibrate, covariance,
+// eigendecomposition, manifold scan — on a bounded worker pool
+// (Config.Workers, default GOMAXPROCS). Cancelling ctx stops the pool
+// from dispatching further items; every item not yet started gets a
+// StageDispatch *PipelineError wrapping ctx.Err(), while items already
+// in flight finish normally. The slice is always fully populated.
 //
 // The order-sensitive half of reception (ray tracing through the shared
 // environment, forking the front end's noise stream) runs serially in
@@ -74,15 +86,19 @@ func runPool(n, workers int, fn func(i int)) {
 // than drawn from the front end's sequential stream, so a batch's noise
 // differs sample-for-sample from the same transmissions pushed one at a
 // time through Observe (both are draws from the same model).
-func (ap *AP) ObserveBatch(items []BatchItem) []BatchResult {
+func (ap *AP) ObserveBatchContext(ctx context.Context, items []BatchItem) []BatchResult {
 	out := make([]BatchResult, len(items))
 	prep := make([]*radio.PreparedReceive, len(items))
 
 	ap.prepMu.Lock()
 	for i, it := range items {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = ap.stageErr(StageDispatch, err)
+			continue
+		}
 		p, err := ap.FE.PrepareReceive(ap.Env, it.TX, len(it.Baseband))
 		if err != nil {
-			out[i].Err = err
+			out[i].Err = ap.stageErr(StageReceive, err)
 			continue
 		}
 		prep[i] = p
@@ -93,9 +109,13 @@ func (ap *AP) ObserveBatch(items []BatchItem) []BatchResult {
 		if prep[i] == nil {
 			return
 		}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = ap.stageErr(StageDispatch, err)
+			return
+		}
 		streams, err := ap.FE.ReceivePrepared(prep[i], items[i].Baseband)
 		if err != nil {
-			out[i].Err = err
+			out[i].Err = ap.stageErr(StageReceive, err)
 			return
 		}
 		out[i].Report, out[i].Err = ap.process(streams)
@@ -103,14 +123,25 @@ func (ap *AP) ObserveBatch(items []BatchItem) []BatchResult {
 	return out
 }
 
-// ProcessStreamsBatch runs the estimation pipeline on raw per-antenna
-// captures (each element as for ProcessStreams) concurrently on the
-// bounded worker pool. The streams are modified in place. Results align
-// with streamSets by index, and each result is identical to a serial
-// ProcessStreams call on the same capture.
+// ProcessStreamsBatch is ProcessStreamsBatchContext with a background
+// context.
 func (ap *AP) ProcessStreamsBatch(streamSets [][][]complex128) []BatchResult {
+	return ap.ProcessStreamsBatchContext(context.Background(), streamSets)
+}
+
+// ProcessStreamsBatchContext runs the estimation pipeline on raw
+// per-antenna captures (each element as for ProcessStreams) concurrently
+// on the bounded worker pool. The streams are modified in place. Results
+// align with streamSets by index, and each result is identical to a
+// serial ProcessStreams call on the same capture. Cancelling ctx stops
+// dispatching; undispatched items get StageDispatch errors.
+func (ap *AP) ProcessStreamsBatchContext(ctx context.Context, streamSets [][][]complex128) []BatchResult {
 	out := make([]BatchResult, len(streamSets))
 	runPool(len(streamSets), ap.workers(len(streamSets)), func(i int) {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = ap.stageErr(StageDispatch, err)
+			return
+		}
 		out[i].Report, out[i].Err = ap.process(streamSets[i])
 	})
 	return out
@@ -129,11 +160,21 @@ type FrameBatchResult struct {
 	Err    error
 }
 
-// ProcessFrameBatch is the batch form of ProcessFrame: transmissions are
-// synthesised and estimated as in ObserveBatch, then the spoof checks run
-// serially in item order against the sharded registry, so enrollment and
-// accept/flag decisions are deterministic for a given batch.
+// ProcessFrameBatch is ProcessFrameBatchContext with a background
+// context.
 func (ap *AP) ProcessFrameBatch(items []FrameBatchItem) []FrameBatchResult {
+	return ap.ProcessFrameBatchContext(context.Background(), items)
+}
+
+// ProcessFrameBatchContext is the batch form of ProcessFrame:
+// transmissions are synthesised and estimated as in ObserveBatchContext,
+// then the spoof checks run serially in item order against the sharded
+// registry, so enrollment and accept/flag decisions are deterministic
+// for a given batch. Pipeline errors carry the item's transmitter
+// address; cancellation marks undispatched items with StageDispatch
+// errors and skips their spoof checks (a cancelled batch must not
+// enroll).
+func (ap *AP) ProcessFrameBatchContext(ctx context.Context, items []FrameBatchItem) []FrameBatchResult {
 	out := make([]FrameBatchResult, len(items))
 	obs := make([]BatchItem, len(items))
 	for i, it := range items {
@@ -144,19 +185,23 @@ func (ap *AP) ProcessFrameBatch(items []FrameBatchItem) []FrameBatchResult {
 		}
 		obs[i] = BatchItem{TX: it.TX, Baseband: bb}
 	}
-	reps := ap.ObserveBatch(obs)
+	reps := ap.ObserveBatchContext(ctx, obs)
 	for i, r := range reps {
 		if out[i].Err != nil {
 			continue
 		}
 		if r.Err != nil {
-			out[i].Err = r.Err
+			out[i].Err = withMAC(r.Err, items[i].Frame.Addr2)
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			out[i].Err = &PipelineError{Stage: StageDispatch, AP: ap.Name, MAC: items[i].Frame.Addr2, Err: err}
 			continue
 		}
 		fr := &FrameReport{Report: *r.Report, MAC: items[i].Frame.Addr2}
 		dec, dist, enrolled, err := ap.registry.observe(items[i].Frame.Addr2, r.Report.Sig, ap.cfg.Policy)
 		if err != nil {
-			out[i].Err = err
+			out[i].Err = &PipelineError{Stage: StageSpoofCheck, AP: ap.Name, MAC: items[i].Frame.Addr2, Err: err}
 			continue
 		}
 		fr.Decision = dec

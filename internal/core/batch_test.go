@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sort"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func TestObserveBatchConcurrentCallers(t *testing.T) {
 				items = append(items, BatchItem{TX: c.Pos, Baseband: uplinkBaseband(t, c.ID, uint16(g))})
 			}
 			for _, r := range ap.ObserveBatch(items) {
-				if r.Err != nil && r.Err != ErrNoPacket {
+				if r.Err != nil && !errors.Is(r.Err, ErrNotDetected) {
 					t.Errorf("goroutine %d: %v", g, r.Err)
 				}
 			}
@@ -159,7 +160,7 @@ func TestObserveBatchConcurrentCallers(t *testing.T) {
 			defer wg.Done()
 			c := clients[g%len(clients)]
 			frame := testbed.UplinkFrame(c.ID, uint16(g), []byte("uplink"))
-			if _, err := ap.ProcessFrame(c.Pos, frame, ofdm.QPSK); err != nil && err != ErrNoPacket {
+			if _, err := ap.ProcessFrame(c.Pos, frame, ofdm.QPSK); err != nil && !errors.Is(err, ErrNotDetected) {
 				t.Errorf("frame goroutine %d: %v", g, err)
 			}
 		}(g)

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -50,11 +51,19 @@ type Config struct {
 	// Detector configures Schmidl-Cox packet detection.
 	Detector detect.Config
 	// Workers bounds the worker pool ObserveBatch and
-	// ProcessStreamsBatch fan estimation out on (default GOMAXPROCS).
+	// ProcessStreamsBatch fan estimation out on. Zero means one worker
+	// per CPU (GOMAXPROCS); negative values are rejected by Validate.
 	Workers int
+	// DeferCalibration skips the constructor's section 2.2 calibration
+	// pass. Observations fail with ErrNotCalibrated until the AP's
+	// Calibrate method runs — the service posture where an AP comes up,
+	// registers with the controller, and calibrates on command.
+	DeferCalibration bool
 }
 
 // DefaultConfig returns the settings used throughout the evaluation.
+// Workers is left at zero, which means one worker per CPU (GOMAXPROCS)
+// in every batch/stream entry point.
 func DefaultConfig() Config {
 	return Config{
 		GridStepDeg: 1,
@@ -63,6 +72,48 @@ func DefaultConfig() Config {
 		CalSamples:  2000,
 		Detector:    detect.DefaultConfig(),
 	}
+}
+
+// WithDefaults fills zero-valued knobs with the evaluation defaults
+// (the tolerant pre-v2 constructor behavior): grid step 1 degree, 2000
+// calibration samples, the default detector and policy. Workers stays
+// zero — zero already means GOMAXPROCS.
+func (c Config) WithDefaults() Config {
+	if c.GridStepDeg == 0 {
+		c.GridStepDeg = 1
+	}
+	if c.CalSamples == 0 {
+		c.CalSamples = 2000
+	}
+	if c.Detector.HalfLen == 0 {
+		c.Detector = detect.DefaultConfig()
+	}
+	if c.Policy == (signature.MatchPolicy{}) {
+		c.Policy = signature.DefaultPolicy()
+	}
+	return c
+}
+
+// Validate rejects configurations no pipeline can run: a negative
+// worker bound, a zero or negative pseudospectrum step, a non-positive
+// calibration capture length, or a match policy without a usable
+// threshold. A zero-valued knob is not automatically an error — NewAP
+// and the secureangle.New facade fill defaults (withDefaults) before
+// validating, so only genuinely contradictory settings fail.
+func (c Config) Validate() error {
+	if c.Workers < 0 {
+		return fmt.Errorf("core: Workers %d is negative (0 means GOMAXPROCS)", c.Workers)
+	}
+	if c.GridStepDeg <= 0 {
+		return fmt.Errorf("core: GridStepDeg %g must be positive", c.GridStepDeg)
+	}
+	if c.CalSamples <= 0 {
+		return fmt.Errorf("core: CalSamples %d must be positive", c.CalSamples)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // AP is one SecureAngle access point.
@@ -84,16 +135,15 @@ type AP struct {
 
 // NewAP builds an AP and immediately runs the section 2.2 calibration
 // procedure against its front end, so subsequent observations are phase
-// coherent.
+// coherent (unless cfg.DeferCalibration postpones it). Zero-valued
+// config knobs take the evaluation defaults; a config that fails
+// Validate after defaulting (negative Workers, negative grid step, a
+// broken match policy) is a programming error and panics — callers that
+// want an error instead validate first, as secureangle.New does.
 func NewAP(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config) *AP {
-	if cfg.GridStepDeg <= 0 {
-		cfg.GridStepDeg = 1
-	}
-	if cfg.CalSamples <= 0 {
-		cfg.CalSamples = 2000
-	}
-	if cfg.Detector.HalfLen == 0 {
-		cfg.Detector = detect.DefaultConfig()
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	grid := fe.Array.ScanGrid(cfg.GridStepDeg)
 	ap := &AP{
@@ -101,13 +151,25 @@ func NewAP(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config) *AP 
 		FE:       fe,
 		Env:      e,
 		cfg:      cfg,
-		offsets:  fe.Calibrate(cfg.CalSamples),
 		grid:     grid,
 		manifold: antenna.NewManifold(fe.Array, grid),
 		registry: newShardedRegistry(),
 	}
+	if !cfg.DeferCalibration {
+		ap.offsets = fe.Calibrate(cfg.CalSamples)
+	}
 	return ap
 }
+
+// Calibrate runs the section 2.2 procedure now — the deferred half of
+// Config.DeferCalibration. Not safe to call concurrently with
+// observations (calibration is a setup step, not a hot-path one).
+func (ap *AP) Calibrate() {
+	ap.offsets = ap.FE.Calibrate(ap.cfg.CalSamples)
+}
+
+// Calibrated reports whether calibration offsets are in place.
+func (ap *AP) Calibrated() bool { return ap.offsets != nil }
 
 // NewAPFromCapture builds an AP whose calibration offsets come from a
 // recorded calibration capture (one stream per chain of the reference
@@ -140,16 +202,27 @@ type Report struct {
 	SNRdB float64
 }
 
-// ErrNoPacket is returned when the Schmidl-Cox detector finds no packet
-// in the received samples.
-var ErrNoPacket = errors.New("core: no packet detected")
-
 // Observe receives a transmission from tx through the environment and
-// runs the full pipeline, returning the bearing report.
+// runs the full pipeline, returning the bearing report. Failures are
+// *PipelineError values wrapping the taxonomy sentinels (ErrBlocked,
+// ErrNotDetected, ...).
 func (ap *AP) Observe(tx geom.Point, baseband []complex128) (*Report, error) {
+	return ap.ObserveContext(context.Background(), tx, baseband)
+}
+
+// ObserveContext is Observe honouring ctx: a cancelled context stops
+// the pipeline at the next stage boundary and returns the ctx error
+// wrapped in a StageDispatch PipelineError.
+func (ap *AP) ObserveContext(ctx context.Context, tx geom.Point, baseband []complex128) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, ap.stageErr(StageDispatch, err)
+	}
 	streams, err := ap.Receive(tx, baseband)
 	if err != nil {
-		return nil, fmt.Errorf("core: receive: %w", err)
+		return nil, ap.stageErr(StageReceive, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ap.stageErr(StageDispatch, err)
 	}
 	return ap.process(streams)
 }
@@ -174,13 +247,22 @@ func (ap *AP) ProcessStreams(streams [][]complex128) (*Report, error) {
 
 // process runs detection + estimation on already-received streams. It is
 // a pure function of the streams and the AP's immutable configuration, so
-// the batch entry points run it concurrently from a worker pool.
+// the batch entry points run it concurrently from a worker pool. Every
+// failure is a *PipelineError naming the stage that produced it.
 func (ap *AP) process(streams [][]complex128) (*Report, error) {
+	if ap.offsets == nil {
+		return nil, ap.stageErr(StageCalibrate, ErrNotCalibrated)
+	}
+	if len(streams) == 0 || len(streams[0]) < len(streams) {
+		// Fewer snapshots than antennas: the covariance cannot reach
+		// full rank, so nothing downstream is meaningful.
+		return nil, ap.stageErr(StageAlign, ErrTooFewSnapshots)
+	}
 	radio.ApplyCalibration(streams, ap.offsets)
 
 	dets := detect.Find(streams[0], ap.cfg.Detector)
 	if len(dets) == 0 {
-		return nil, ErrNoPacket
+		return nil, ap.stageErr(StageDetect, ErrNotDetected)
 	}
 	det := dets[0]
 
@@ -188,14 +270,17 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 	// falls back toward the noise floor ("compute the correlation matrix
 	// ... with each entire packet", section 3).
 	n := packetExtent(streams[0], det.Start)
+	if n < len(streams) {
+		return nil, ap.stageErr(StageAlign, ErrTooFewSnapshots)
+	}
 	win, ok := detect.ExtractAligned(streams, det, n)
 	if !ok {
-		return nil, errors.New("core: detection window out of range")
+		return nil, ap.stageErr(StageAlign, errors.New("detection window out of range"))
 	}
 
 	r, err := music.Covariance(win)
 	if err != nil {
-		return nil, err
+		return nil, ap.stageErr(StageEstimate, err)
 	}
 
 	var (
@@ -210,24 +295,24 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 		// the packet's true snapshot count n) and the subspace stats.
 		eig, err := cmat.HermEig(r)
 		if err != nil {
-			return nil, err
+			return nil, ap.stageErr(StageEstimate, err)
 		}
 		var k int
 		ps, k, err = (&music.MUSIC{}).PseudospectrumFromEig(eig, ap.manifold, n)
 		if err != nil {
-			return nil, err
+			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = k, snrFromEig(eig.Values, k)
 	case music.ManifoldEstimator:
 		ps, err = est.PseudospectrumOnManifold(r, ap.manifold, n)
 		if err != nil {
-			return nil, err
+			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = subspaceStats(r, n)
 	default:
 		ps, err = est.Pseudospectrum(r, ap.FE.Array, ap.grid)
 		if err != nil {
-			return nil, err
+			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = subspaceStats(r, n)
 	}
@@ -369,18 +454,24 @@ type FrameReport struct {
 // their certified signature Scl and either accepted (updating Scl) or
 // flagged.
 func (ap *AP) ProcessFrame(tx geom.Point, frame *wifi.Frame, mod ofdm.Modulation) (*FrameReport, error) {
+	return ap.ProcessFrameContext(context.Background(), tx, frame, mod)
+}
+
+// ProcessFrameContext is ProcessFrame honouring ctx. Pipeline failures
+// carry the frame's transmitter address in their PipelineError.
+func (ap *AP) ProcessFrameContext(ctx context.Context, tx geom.Point, frame *wifi.Frame, mod ofdm.Modulation) (*FrameReport, error) {
 	bb, err := testbed.FrameBaseband(frame, mod)
 	if err != nil {
 		return nil, err
 	}
-	rep, err := ap.Observe(tx, bb)
+	rep, err := ap.ObserveContext(ctx, tx, bb)
 	if err != nil {
-		return nil, err
+		return nil, withMAC(err, frame.Addr2)
 	}
 	fr := &FrameReport{Report: *rep, MAC: frame.Addr2}
 	dec, dist, enrolled, err := ap.registry.observe(frame.Addr2, rep.Sig, ap.cfg.Policy)
 	if err != nil {
-		return nil, err
+		return nil, &PipelineError{Stage: StageSpoofCheck, AP: ap.Name, MAC: frame.Addr2, Err: err}
 	}
 	fr.Decision = dec
 	fr.Distance = dist

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"secureangle/internal/testbed"
+)
+
+// streamItems builds n valid uplink batch items cycling the testbed
+// clients.
+func streamItems(t *testing.T, n int) []BatchItem {
+	t.Helper()
+	clients := testbed.Clients()
+	items := make([]BatchItem, n)
+	for i := range items {
+		c := clients[i%len(clients)]
+		items[i] = BatchItem{TX: c.Pos, Baseband: uplinkBaseband(t, c.ID, uint16(i))}
+	}
+	return items
+}
+
+// TestStreamMatchesObserveBatch: a stream over the same items on an
+// identically-seeded AP draws the same channel and noise realisations
+// as ObserveBatch, so the reports are bit-identical and arrive in
+// submission order.
+func TestStreamMatchesObserveBatch(t *testing.T) {
+	items := streamItems(t, 8)
+
+	batchAP := newBatchAP(t, 2)
+	want := batchAP.ObserveBatch(items)
+
+	streamAP := newBatchAP(t, 2)
+	s := streamAP.Stream(context.Background(), 4)
+	got := make([]StreamResult, 0, len(items))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range s.Results() {
+			got = append(got, r)
+		}
+	}()
+	for i, it := range items {
+		seq, err := s.Submit(context.Background(), it)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if seq != uint64(i) {
+			t.Fatalf("submit %d returned seq %d", i, seq)
+		}
+	}
+	s.Close()
+	<-done
+
+	if len(got) != len(items) {
+		t.Fatalf("got %d results for %d items", len(got), len(items))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i) {
+			t.Errorf("result %d has seq %d: delivery out of order", i, r.Seq)
+		}
+		if (r.Err == nil) != (want[i].Err == nil) {
+			t.Errorf("item %d: stream err %v, batch err %v", i, r.Err, want[i].Err)
+			continue
+		}
+		if r.Err == nil && r.Report.BearingDeg != want[i].Report.BearingDeg {
+			t.Errorf("item %d: stream bearing %v, batch bearing %v",
+				i, r.Report.BearingDeg, want[i].Report.BearingDeg)
+		}
+	}
+}
+
+// TestStreamBackpressure: with depth in-flight results unconsumed,
+// Submit blocks instead of buffering without bound.
+func TestStreamBackpressure(t *testing.T) {
+	ap := newBatchAP(t, 1)
+	items := streamItems(t, 4)
+	s := ap.Stream(context.Background(), 2)
+
+	// Fill the in-flight window without consuming results.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(context.Background(), items[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third submit must block until a result is consumed; give it a
+	// short context and expect the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.Submit(ctx, items[2]); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked submit returned %v, want deadline exceeded", err)
+	}
+
+	// Consuming one result frees one slot.
+	r := <-s.Results()
+	if r.Seq != 0 {
+		t.Fatalf("first result seq %d", r.Seq)
+	}
+	if _, err := s.Submit(context.Background(), items[3]); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	go func() {
+		for range s.Results() {
+		}
+	}()
+	s.Close()
+}
+
+// TestStreamCancellation: cancelling the stream context fails further
+// submits and terminates Results.
+func TestStreamCancellation(t *testing.T) {
+	ap := newBatchAP(t, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := ap.Stream(ctx, 2)
+	go func() {
+		for range s.Results() {
+		}
+	}()
+	if _, err := s.Submit(context.Background(), streamItems(t, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// The watcher closes the stream; Submit must fail from then on.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err := s.Submit(context.Background(), streamItems(t, 1)[0])
+		if err != nil {
+			if !errors.Is(err, context.Canceled) && !errors.Is(err, ErrStreamClosed) {
+				t.Fatalf("post-cancel submit: %v", err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submits still accepted after cancel")
+		}
+	}
+	s.Close() // idempotent
+}
+
+// TestStreamSubmitAfterClose: Close refuses later submissions.
+func TestStreamSubmitAfterClose(t *testing.T) {
+	ap := newBatchAP(t, 1)
+	s := ap.Stream(context.Background(), 2)
+	go func() {
+		for range s.Results() {
+		}
+	}()
+	s.Close()
+	if _, err := s.Submit(context.Background(), streamItems(t, 1)[0]); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("submit after close: %v, want ErrStreamClosed", err)
+	}
+}
+
+// TestStreamErrorTaxonomy: a noise-only submission surfaces
+// ErrNotDetected through the ordered Results channel as a
+// *PipelineError, without disturbing neighbouring items.
+func TestStreamErrorTaxonomy(t *testing.T) {
+	ap := newBatchAP(t, 2)
+	good := streamItems(t, 2)
+	silent := BatchItem{TX: good[1].TX, Baseband: make([]complex128, len(good[1].Baseband))}
+
+	s := ap.Stream(context.Background(), 4)
+	results := make([]StreamResult, 0, 3)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range s.Results() {
+			results = append(results, r)
+		}
+	}()
+	for _, it := range []BatchItem{good[0], silent, good[1]} {
+		if _, err := s.Submit(context.Background(), it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	<-done
+
+	if len(results) != 3 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("good items failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, ErrNotDetected) {
+		t.Fatalf("silent item err %v, want ErrNotDetected", results[1].Err)
+	}
+	var pe *PipelineError
+	if !errors.As(results[1].Err, &pe) || pe.Stage != StageDetect {
+		t.Fatalf("silent item err %v, want PipelineError at %q", results[1].Err, StageDetect)
+	}
+}

@@ -22,46 +22,84 @@ type Alert struct {
 	MAC    wifi.Addr
 	// Distance is the signature distance that triggered the flag.
 	Distance float64
+	// Stage, when non-empty, is the pipeline stage behind the alert —
+	// a core.PipelineError's Stage field crossing the wire, so the
+	// controller's quarantine records *why* an AP raised the flag
+	// ("spoofcheck" for a signature mismatch, "detect"/"estimate" for
+	// anomalous failures). Protocol v2 only: the field is stripped when
+	// the session negotiated v1, and absent from v1 peers' alerts.
+	Stage string
 }
 
-// MarshalAlert encodes an Alert message body.
+// MarshalAlert encodes an Alert message body in the highest wire form
+// this build speaks (the Stage field is omitted when empty, which is
+// also the v1 form).
 func MarshalAlert(a Alert) []byte {
+	return marshalAlertV(a, ProtoVersion)
+}
+
+// marshalAlertV encodes an Alert for a session at the given negotiated
+// version, stripping v2-only fields for v1 sessions.
+func marshalAlertV(a Alert, version uint16) []byte {
 	b := []byte{TypeAlert}
 	b = writeString(b, a.APName)
 	b = append(b, a.MAC[:]...)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(a.Distance))
+	if version >= ProtoV2 && a.Stage != "" {
+		b = writeString(b, a.Stage)
+	}
 	return b
 }
 
-// unmarshalAlert decodes an Alert body (after the type byte).
+// unmarshalAlert decodes an Alert body (after the type byte), accepting
+// both the v1 form and the v2 form with the trailing stage string.
 func unmarshalAlert(rest []byte) (Alert, error) {
 	var a Alert
 	name, rest, err := readString(rest)
 	if err != nil {
 		return a, err
 	}
-	if len(rest) != 6+8 {
+	if len(rest) < 6+8 {
 		return a, ErrBadMessage
 	}
 	a.APName = name
 	copy(a.MAC[:], rest[:6])
 	a.Distance = math.Float64frombits(binary.BigEndian.Uint64(rest[6:14]))
+	rest = rest[14:]
+	if len(rest) == 0 {
+		return a, nil
+	}
+	a.Stage, rest, err = readString(rest)
+	if err != nil {
+		return a, err
+	}
+	if len(rest) != 0 {
+		return a, ErrBadMessage
+	}
 	return a, nil
 }
 
 // --- Controller-side quarantine state ---
 
+// apConn is one registered agent connection's outbound queue and the
+// protocol version negotiated for it (broadcasts are re-encoded per
+// connection so v1 agents keep decoding them).
+type apConn struct {
+	ch      chan []byte
+	version uint16
+}
+
 // quarantine tracks flagged MACs and the agents to notify.
 type quarantine struct {
 	mu    sync.Mutex
 	macs  map[wifi.Addr]Alert
-	conns map[string]chan []byte // per-AP outbound broadcast queues
+	conns map[string]apConn // per-AP outbound broadcast queues
 }
 
 func newQuarantine() *quarantine {
 	return &quarantine{
 		macs:  make(map[wifi.Addr]Alert),
-		conns: make(map[string]chan []byte),
+		conns: make(map[string]apConn),
 	}
 }
 
@@ -96,18 +134,19 @@ func (c *Controller) Quarantined() []Alert {
 }
 
 // handleAlert ingests an agent's alert and broadcasts the quarantine to
-// every connected agent.
+// every connected agent, encoding per connection at its negotiated
+// protocol version (v1 sessions get the stage field stripped).
 func (c *Controller) handleAlert(a Alert) {
 	if !c.quar.add(a) {
 		return // already quarantined
 	}
-	c.logf("controller: quarantining %s (flagged by %s, distance %.3f)", a.MAC, a.APName, a.Distance)
-	broadcast := MarshalAlert(Alert{APName: "controller", MAC: a.MAC, Distance: a.Distance})
+	c.logf("controller: quarantining %s (flagged by %s, distance %.3f, stage %q)", a.MAC, a.APName, a.Distance, a.Stage)
+	out := Alert{APName: "controller", MAC: a.MAC, Distance: a.Distance, Stage: a.Stage}
 	c.quar.mu.Lock()
 	defer c.quar.mu.Unlock()
-	for name, ch := range c.quar.conns {
+	for name, ac := range c.quar.conns {
 		select {
-		case ch <- broadcast:
+		case ac.ch <- marshalAlertV(out, ac.version):
 		default:
 			c.logf("controller: broadcast queue to %s full", name)
 		}
@@ -116,11 +155,20 @@ func (c *Controller) handleAlert(a Alert) {
 
 // --- Agent-side ---
 
-// SendAlert reports a flagged MAC to the controller.
+// SendAlert reports a flagged MAC to the controller (no stage detail —
+// the v1 form; SendAlertDetail carries the full v2 Alert).
 func (a *Agent) SendAlert(apName string, mac wifi.Addr, distance float64) error {
+	return a.SendAlertDetail(Alert{APName: apName, MAC: mac, Distance: distance})
+}
+
+// SendAlertDetail ships a full Alert. The v2-only Stage field (set from
+// a core.PipelineError's Stage by callers that have one) is stripped
+// when this session negotiated protocol v1, so the encoding always
+// matches what the far end decodes.
+func (a *Agent) SendAlertDetail(al Alert) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return WriteMessage(a.conn, MarshalAlert(Alert{APName: apName, MAC: mac, Distance: distance}))
+	return a.writeBody(marshalAlertV(al, a.Version()))
 }
 
 // Alerts starts a background reader delivering controller broadcasts.

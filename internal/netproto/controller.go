@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -23,6 +24,15 @@ type FenceDecision struct {
 	APs []string
 }
 
+// DefaultReadTimeout is the per-connection read deadline Serve applies
+// between messages when Controller.ReadTimeout is zero. An agent that
+// goes silent for longer is disconnected, so a stalled peer cannot pin
+// a handler goroutine (and its Close drain) forever. Healthy agents
+// with nothing to report stay connected by calling Agent.Ping within
+// this window; deployments with listen-only v1 agents (which predate
+// Ping) should set ReadTimeout negative to disable the deadline.
+const DefaultReadTimeout = 2 * time.Minute
+
 // Controller fuses AP reports into localisation and fence decisions. One
 // goroutine per connection reads messages; fusion state is mutex-guarded.
 type Controller struct {
@@ -36,12 +46,18 @@ type Controller struct {
 	// decision waits for a more diverse bearing before fusing what it has
 	// (default 1s).
 	DecisionTimeout time.Duration
+	// ReadTimeout is the per-connection keepalive read deadline
+	// (default DefaultReadTimeout; negative disables deadlines).
+	ReadTimeout time.Duration
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
 	pending  map[pendingKey]map[string]float64 // (mac, seq) -> apName -> bearing
 	decided  map[pendingKey]bool
 	decision chan FenceDecision
+	subs     map[int]chan FenceDecision
+	nextSub  int
+	closed   bool
 	quar     *quarantine
 	timers   map[pendingKey]*time.Timer
 
@@ -66,6 +82,7 @@ func NewController(fence *locate.Fence) *Controller {
 		pending:  make(map[pendingKey]map[string]float64),
 		decided:  make(map[pendingKey]bool),
 		decision: make(chan FenceDecision, 64),
+		subs:     make(map[int]chan FenceDecision),
 		quar:     newQuarantine(),
 		timers:   make(map[pendingKey]*time.Timer),
 		ctx:      ctx,
@@ -73,8 +90,54 @@ func NewController(fence *locate.Fence) *Controller {
 	}
 }
 
-// Decisions delivers fused fence decisions as they become available.
+// Decisions delivers fused fence decisions as they become available —
+// the v1 single-consumer channel, kept for compatibility. New callers
+// use Subscribe, which fans out to any number of consumers.
 func (c *Controller) Decisions() <-chan FenceDecision { return c.decision }
+
+// Subscription is one registered consumer of fused fence decisions.
+type Subscription struct {
+	// C delivers this subscriber's decisions. It closes on Unsubscribe
+	// or when the controller shuts down.
+	C <-chan FenceDecision
+
+	id int
+	ch chan FenceDecision
+}
+
+// Subscribe registers a decision consumer. Every fused decision is
+// fanned out to all live subscriptions (and the legacy Decisions
+// channel); a subscriber that falls more than buf decisions behind has
+// further decisions dropped rather than stalling fusion. buf <= 0
+// defaults to 64. Subscribing to a closed controller returns an
+// already-closed channel.
+func (c *Controller) Subscribe(buf int) *Subscription {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan FenceDecision, buf)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextSub
+	c.nextSub++
+	if c.closed {
+		close(ch)
+	} else {
+		c.subs[id] = ch
+	}
+	return &Subscription{C: ch, id: id, ch: ch}
+}
+
+// Unsubscribe removes a subscription and closes its channel. Safe to
+// call after Close (a no-op then: Close already closed the channel).
+func (c *Controller) Unsubscribe(s *Subscription) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.subs[s.id]; ok {
+		delete(c.subs, s.id)
+		close(ch)
+	}
+}
 
 // Serve starts accepting AP connections on the listener. It returns
 // immediately; Close shuts everything down.
@@ -97,9 +160,16 @@ func (c *Controller) Serve(ln net.Listener) {
 	}()
 }
 
-// Close stops the listener and waits for connection handlers to drain.
+// Close stops the listener, drains the in-flight connection handlers
+// (each is unblocked by cancelling its connection), and only then
+// closes the decision channels, so no consumer sees a premature close.
 func (c *Controller) Close() {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
 	for k, t := range c.timers {
 		t.Stop()
 		delete(c.timers, k)
@@ -111,12 +181,26 @@ func (c *Controller) Close() {
 	}
 	c.wg.Wait()
 	close(c.decision)
+	c.mu.Lock()
+	for id, ch := range c.subs {
+		delete(c.subs, id)
+		close(ch)
+	}
+	c.mu.Unlock()
 }
 
 func (c *Controller) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
+}
+
+// readTimeout resolves the keepalive deadline (<0 disables).
+func (c *Controller) readTimeout() time.Duration {
+	if c.ReadTimeout != 0 {
+		return c.ReadTimeout
+	}
+	return DefaultReadTimeout
 }
 
 func (c *Controller) handle(conn net.Conn) {
@@ -133,7 +217,11 @@ func (c *Controller) handle(conn net.Conn) {
 		}
 	}()
 
+	helloed := false
 	for {
+		if t := c.readTimeout(); t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
 		body, err := ReadMessage(conn)
 		if err != nil {
 			if !errors.Is(err, net.ErrClosed) {
@@ -148,11 +236,30 @@ func (c *Controller) handle(conn net.Conn) {
 		}
 		switch m := msg.(type) {
 		case Hello:
+			if helloed {
+				c.logf("controller: duplicate Hello %q ignored", m.Name)
+				continue
+			}
+			helloed = true
+			ver := NegotiateVersion(m.Version)
 			c.mu.Lock()
 			c.apPos[m.Name] = m.Pos
 			c.mu.Unlock()
-			c.logf("controller: AP %q at %v", m.Name, m.Pos)
-			c.startBroadcaster(m.Name, conn, done)
+			c.logf("controller: AP %q at %v (protocol v%d)", m.Name, m.Pos, ver)
+			if m.Version >= ProtoV2 {
+				// v2 handshake: answer with the negotiated version.
+				// Written directly — the broadcaster is not running yet,
+				// so this goroutine still owns the write side and the
+				// Welcome is guaranteed to be the first controller frame
+				// the agent reads.
+				if err := WriteMessage(conn, MarshalWelcome(Welcome{Version: ver})); err != nil {
+					c.logf("controller: welcome to %q: %v", m.Name, err)
+					return
+				}
+			}
+			c.startBroadcaster(m.Name, conn, done, ver)
+		case Ping:
+			// Keepalive only: reading it already pushed the deadline.
 		case Report:
 			c.ingest(m)
 		case ReportBatch:
@@ -166,20 +273,22 @@ func (c *Controller) handle(conn net.Conn) {
 }
 
 // startBroadcaster registers an outbound queue for an AP connection and
-// pumps controller broadcasts (quarantine alerts) onto the socket. The
-// write side of the connection is the controller's alone, so no lock is
-// shared with the read loop.
-func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}) {
+// pumps controller broadcasts (quarantine alerts) onto the socket. From
+// this point the write side of the connection is the broadcaster's
+// alone, so no lock is shared with the read loop.
+func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}, version uint16) chan []byte {
 	ch := make(chan []byte, 16)
 	c.quar.mu.Lock()
-	c.quar.conns[name] = ch
+	c.quar.conns[name] = apConn{ch: ch, version: version}
 	c.quar.mu.Unlock()
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		defer func() {
 			c.quar.mu.Lock()
-			delete(c.quar.conns, name)
+			if cur, ok := c.quar.conns[name]; ok && cur.ch == ch {
+				delete(c.quar.conns, name)
+			}
 			c.quar.mu.Unlock()
 		}()
 		for {
@@ -195,6 +304,7 @@ func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan stru
 			}
 		}
 	}()
+	return ch
 }
 
 // ingest records a report and emits a decision once MinAPs distinct APs
@@ -259,13 +369,14 @@ func (c *Controller) diverse(m map[string]float64) bool {
 
 // finalizeLocked fuses whatever bearings are pending for key and emits
 // the decision. Caller holds c.mu. A no-op when the key was already
-// decided or has too few bearings.
+// decided, has too few bearings, or the controller is closing (the
+// decision channels may be mid-close).
 func (c *Controller) finalizeLocked(key pendingKey) {
 	if t, ok := c.timers[key]; ok {
 		t.Stop()
 		delete(c.timers, key)
 	}
-	if c.decided[key] {
+	if c.decided[key] || c.closed {
 		return
 	}
 	m := c.pending[key]
@@ -290,6 +401,13 @@ func (c *Controller) finalizeLocked(key pendingKey) {
 	case c.decision <- out:
 	default:
 		c.logf("controller: decision channel full, dropping %v", out.MAC)
+	}
+	for id, ch := range c.subs {
+		select {
+		case ch <- out:
+		default:
+			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
+		}
 	}
 }
 
@@ -323,15 +441,35 @@ func angularlyDiverse(obs []locate.BearingObs, minDeg float64) bool {
 type Agent struct {
 	conn net.Conn
 	mu   sync.Mutex
+
+	// version is the negotiated protocol version (ProtoV1 when the
+	// legacy constructors skipped the handshake).
+	version uint16
+
+	// Timeout, when positive, bounds every Send*/SendAlert* write with
+	// a deadline, so a wedged controller cannot block the AP's hot path
+	// indefinitely. Set it before sharing the Agent across goroutines.
+	Timeout time.Duration
 }
 
-// Dial connects to the controller and sends the Hello.
+// Version reports the protocol version negotiated for this session.
+func (a *Agent) Version() uint16 {
+	if a.version == 0 {
+		return ProtoV1
+	}
+	return a.version
+}
+
+// Dial connects to the controller and sends the Hello as given — the
+// v1 exchange (no version negotiation) unless the caller sets
+// hello.Version and reads the Welcome itself. New code uses
+// DialContext, which negotiates automatically.
 func Dial(addr string, hello Hello) (*Agent, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	a := &Agent{conn: conn}
+	a := &Agent{conn: conn, version: NegotiateVersion(hello.Version)}
 	if err := WriteMessage(conn, MarshalHello(hello)); err != nil {
 		conn.Close()
 		return nil, err
@@ -339,20 +477,113 @@ func Dial(addr string, hello Hello) (*Agent, error) {
 	return a, nil
 }
 
-// NewAgentOn wraps an existing connection (tests use net.Pipe).
+// DialContext connects to the controller under ctx (an already-
+// cancelled context fails immediately; a deadline bounds dial and
+// handshake) and performs the v2 handshake: the Hello advertises
+// hello.Version (defaulted to ProtoVersion when zero) and the
+// controller's Welcome fixes the session version, readable afterwards
+// via Version.
+func DialContext(ctx context.Context, addr string, hello Hello) (*Agent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	a, err := handshake(ctx, conn, hello)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewAgentOn wraps an existing connection (tests use net.Pipe) with the
+// v1 exchange: the Hello is written as given and no reply is awaited.
 func NewAgentOn(conn net.Conn, hello Hello) (*Agent, error) {
-	a := &Agent{conn: conn}
+	a := &Agent{conn: conn, version: NegotiateVersion(hello.Version)}
 	if err := WriteMessage(conn, MarshalHello(hello)); err != nil {
 		return nil, err
 	}
 	return a, nil
 }
 
-// Send ships one report; safe for concurrent use.
+// NewAgentContext is DialContext's handshake on an existing connection:
+// it writes a versioned Hello and waits for the controller's Welcome.
+// The far end must therefore be a (v2) controller, not a passive pipe.
+func NewAgentContext(ctx context.Context, conn net.Conn, hello Hello) (*Agent, error) {
+	return handshake(ctx, conn, hello)
+}
+
+// handshake writes the versioned Hello and consumes the Welcome. Both a
+// ctx deadline and plain cancellation interrupt it: cancellation closes
+// the connection mid-handshake, so a peer that accepts but never
+// replies cannot block the caller.
+func handshake(ctx context.Context, conn net.Conn, hello Hello) (*Agent, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if hello.Version == 0 {
+		hello.Version = ProtoVersion
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := WriteMessage(conn, MarshalHello(hello)); err != nil {
+		return nil, err
+	}
+	a := &Agent{conn: conn, version: ProtoV1}
+	if hello.Version >= ProtoV2 {
+		body, err := ReadMessage(conn)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, fmt.Errorf("netproto: welcome: %w", err)
+		}
+		msg, err := Unmarshal(body)
+		if err != nil {
+			return nil, fmt.Errorf("netproto: welcome: %w", err)
+		}
+		w, ok := msg.(Welcome)
+		if !ok {
+			return nil, fmt.Errorf("netproto: expected Welcome, got %T", msg)
+		}
+		a.version = NegotiateVersion(w.Version)
+	}
+	return a, nil
+}
+
+// writeBody frames and writes one message with the Agent's write
+// deadline applied. Caller holds a.mu.
+func (a *Agent) writeBody(body []byte) error {
+	if a.Timeout > 0 {
+		a.conn.SetWriteDeadline(time.Now().Add(a.Timeout))
+		defer a.conn.SetWriteDeadline(time.Time{})
+	}
+	return WriteMessage(a.conn, body)
+}
+
+// Send ships one report; safe for concurrent use. A configured Timeout
+// bounds the write.
 func (a *Agent) Send(r Report) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return WriteMessage(a.conn, MarshalReport(r))
+	return a.writeBody(MarshalReport(r))
+}
+
+// SendContext is Send with the context's deadline bounding the write
+// instead of the Agent's Timeout; an already-cancelled context fails
+// immediately, before taking the send lock.
+func (a *Agent) SendContext(ctx context.Context, r Report) error {
+	return a.sendWithCtx(ctx, func(write func([]byte) error) error {
+		return write(MarshalReport(r))
+	})
 }
 
 // SendBatch ships a batch of reports as ReportBatch messages — the
@@ -360,13 +591,46 @@ func (a *Agent) Send(r Report) error {
 // for many observations instead of one each. Batches whose encoding
 // would exceed MaxMessageSize are split across multiple frames
 // transparently. Safe for concurrent use; reports of one call are not
-// interleaved with other senders.
+// interleaved with other senders. A configured Timeout bounds each
+// frame's write.
 func (a *Agent) SendBatch(rs []Report) error {
-	if len(rs) == 0 {
-		return nil
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.sendBatchLocked(rs, a.writeBody)
+}
+
+// SendBatchContext is SendBatch with the context's deadline bounding
+// every frame write instead of the Agent's Timeout; an already-
+// cancelled context fails immediately.
+func (a *Agent) SendBatchContext(ctx context.Context, rs []Report) error {
+	return a.sendWithCtx(ctx, func(write func([]byte) error) error {
+		return a.sendBatchLocked(rs, write)
+	})
+}
+
+// sendWithCtx runs one send operation under a.mu with the context's
+// deadline (when present) replacing the Agent's Timeout for its writes.
+// The single home for the deadline-vs-Timeout rule.
+func (a *Agent) sendWithCtx(ctx context.Context, send func(write func([]byte) error) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		a.conn.SetWriteDeadline(dl)
+		defer a.conn.SetWriteDeadline(time.Time{})
+		return send(func(body []byte) error { return WriteMessage(a.conn, body) })
+	}
+	return send(a.writeBody)
+}
+
+// sendBatchLocked chunks reports into ReportBatch frames under
+// MaxMessageSize and hands each to write. Caller holds a.mu.
+func (a *Agent) sendBatchLocked(rs []Report, write func([]byte) error) error {
+	if len(rs) == 0 {
+		return nil
+	}
 	for start := 0; start < len(rs); {
 		// Grow the chunk until the next report would overflow the frame.
 		body := []byte{TypeReportBatch, 0, 0, 0, 0}
@@ -384,12 +648,22 @@ func (a *Agent) SendBatch(rs []Report) error {
 			}
 		}
 		binary.BigEndian.PutUint32(body[1:5], uint32(end-start))
-		if err := WriteMessage(a.conn, body); err != nil {
+		if err := write(body); err != nil {
 			return err
 		}
 		start = end
 	}
 	return nil
+}
+
+// Ping sends a keepalive frame, resetting the controller's read
+// deadline for this connection. Agents that can go quiet longer than
+// Controller.ReadTimeout (listen-only fence nodes) call it
+// periodically; agents that report continuously never need to.
+func (a *Agent) Ping() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeBody(MarshalPing())
 }
 
 // Close terminates the agent's connection.

@@ -24,13 +24,27 @@ func testSig() *signature.Signature {
 }
 
 func TestHelloRoundTrip(t *testing.T) {
+	// An unversioned Hello marshals in the v1 wire form and decodes as
+	// protocol version 1.
 	h := Hello{Name: "ap-west", Pos: geom.Point{X: 8, Y: 5}}
 	got, err := Unmarshal(MarshalHello(h))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.(Hello) != h {
-		t.Errorf("round trip %v != %v", got, h)
+	want := h
+	want.Version = ProtoV1
+	if got.(Hello) != want {
+		t.Errorf("round trip %v != %v", got, want)
+	}
+
+	// A versioned Hello round-trips with its version intact.
+	h2 := Hello{Name: "ap-east", Pos: geom.Point{X: 1, Y: 2}, Version: ProtoV2}
+	got2, err := Unmarshal(MarshalHello(h2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.(Hello) != h2 {
+		t.Errorf("v2 round trip %v != %v", got2, h2)
 	}
 }
 

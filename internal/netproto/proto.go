@@ -31,18 +31,68 @@ const (
 	TypeHello       = 1
 	TypeReport      = 2
 	TypeReportBatch = 4
+	TypeWelcome     = 5
+	TypePing        = 6
 )
+
+// Wire protocol versions. v1 is the seed protocol: a Hello with no
+// version field and no controller reply. v2 appends a version to the
+// Hello, answers it with a Welcome carrying the negotiated version
+// (the minimum of what both ends speak), and extends Alert with the
+// pipeline-stage field. Agents and controllers negotiate down, so a v1
+// agent talks to a v2 controller unchanged.
+const (
+	ProtoV1 = 1
+	ProtoV2 = 2
+	// ProtoVersion is the highest version this build speaks.
+	ProtoVersion = ProtoV2
+)
+
+// NegotiateVersion returns the version a ProtoVersion-speaking peer
+// settles on against a remote advertising v: the highest version both
+// ends speak. A zero v (a Hello without the field) is v1.
+func NegotiateVersion(v uint16) uint16 {
+	if v < ProtoV2 {
+		return ProtoV1
+	}
+	if v > ProtoVersion {
+		return ProtoVersion
+	}
+	return v
+}
 
 // MaxMessageSize bounds a single message (a signature over a 0.25-degree
 // 360 grid is ~23 KB; 1 MB leaves ample margin while stopping hostile
 // length prefixes from ballooning allocations).
 const MaxMessageSize = 1 << 20
 
-// Hello announces an AP to the controller.
+// Hello announces an AP to the controller. Version is the highest
+// protocol version the agent speaks; zero (or 1) marshals in the v1
+// wire form, without the version field, so a Hello round-trips
+// byte-identically with v1 peers.
 type Hello struct {
 	Name string
 	Pos  geom.Point
+	// Version is the advertised protocol version (0 means v1).
+	Version uint16
 }
+
+// Welcome is the controller's reply to a v2 (or later) Hello, carrying
+// the negotiated protocol version for the connection. v1 agents never
+// receive one — the v1 exchange had no controller reply.
+type Welcome struct {
+	Version uint16
+}
+
+// Ping is an agent keepalive: the controller drops connections that
+// stay silent past its read deadline, so an agent with nothing to
+// report (listen-only fence nodes between transmissions) pings within
+// Controller.ReadTimeout to stay registered. The controller ignores the
+// body — reading the frame is what resets the deadline.
+type Ping struct{}
+
+// MarshalPing encodes a Ping message body.
+func MarshalPing() []byte { return []byte{TypePing} }
 
 // Report is one packet observation from one AP.
 type Report struct {
@@ -80,13 +130,24 @@ func readString(b []byte) (string, []byte, error) {
 	return string(b[:n]), b[n:], nil
 }
 
-// MarshalHello encodes a Hello message body (without the length prefix).
+// MarshalHello encodes a Hello message body (without the length
+// prefix). Version 0 or 1 produces the v1 form (no version field);
+// higher versions append it.
 func MarshalHello(h Hello) []byte {
 	b := []byte{TypeHello}
 	b = writeString(b, h.Name)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.Pos.X))
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(h.Pos.Y))
+	if h.Version >= ProtoV2 {
+		b = binary.BigEndian.AppendUint16(b, h.Version)
+	}
 	return b
+}
+
+// MarshalWelcome encodes a Welcome message body.
+func MarshalWelcome(w Welcome) []byte {
+	b := []byte{TypeWelcome}
+	return binary.BigEndian.AppendUint16(b, w.Version)
 }
 
 // MarshalReport encodes a Report message body.
@@ -169,7 +230,13 @@ func Unmarshal(b []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(rest) != 16 {
+		var version uint16
+		switch len(rest) {
+		case 16:
+			version = ProtoV1
+		case 18:
+			version = binary.BigEndian.Uint16(rest[16:18])
+		default:
 			return nil, ErrBadMessage
 		}
 		return Hello{
@@ -178,7 +245,18 @@ func Unmarshal(b []byte) (any, error) {
 				X: math.Float64frombits(binary.BigEndian.Uint64(rest[0:8])),
 				Y: math.Float64frombits(binary.BigEndian.Uint64(rest[8:16])),
 			},
+			Version: version,
 		}, nil
+	case TypeWelcome:
+		if len(b) != 3 {
+			return nil, ErrBadMessage
+		}
+		return Welcome{Version: binary.BigEndian.Uint16(b[1:3])}, nil
+	case TypePing:
+		if len(b) != 1 {
+			return nil, ErrBadMessage
+		}
+		return Ping{}, nil
 	case TypeReport:
 		r, rest, err := readReportBody(b[1:])
 		if err != nil {

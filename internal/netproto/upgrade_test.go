@@ -1,0 +1,336 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/wifi"
+)
+
+// TestV1HelloWireFormatUnchanged pins the v1 encoding: an unversioned
+// Hello must marshal byte-identically to the seed protocol (no version
+// field), or real v1 agents would stop decoding.
+func TestV1HelloWireFormatUnchanged(t *testing.T) {
+	b := MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 3, Y: 4}})
+	// type byte + 2-byte name length + name + 16 bytes of position.
+	if want := 1 + 2 + 3 + 16; len(b) != want {
+		t.Fatalf("v1 hello is %d bytes, want %d", len(b), want)
+	}
+	v2 := MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 3, Y: 4}, Version: ProtoV2})
+	if len(v2) != len(b)+2 {
+		t.Fatalf("v2 hello is %d bytes, want %d", len(v2), len(b)+2)
+	}
+}
+
+// TestUpgradeV1AgentV2Controller is the acceptance round trip: a v1
+// agent (Hello without a version field) and a v2 agent (negotiated
+// handshake) both exchange reports with the same v2 controller, whose
+// fused decision draws on both.
+func TestUpgradeV1AgentV2Controller(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+	sub := c.Subscribe(4)
+
+	target := geom.Point{X: 9, Y: 6}
+	ap1Pos := geom.Point{X: 4, Y: 2}
+	ap2Pos := geom.Point{X: 20, Y: 3}
+
+	// v1 agent: the legacy constructor, no version, no Welcome.
+	v1, err := Dial(addr, Hello{Name: "ap1", Pos: ap1Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	if v1.Version() != ProtoV1 {
+		t.Fatalf("v1 agent negotiated v%d", v1.Version())
+	}
+
+	// v2 agent: DialContext performs the versioned handshake.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v2, err := DialContext(ctx, addr, Hello{Name: "ap2", Pos: ap2Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.Version() != ProtoV2 {
+		t.Fatalf("v2 agent negotiated v%d, want %d", v2.Version(), ProtoV2)
+	}
+
+	mac := wifi.MustParseAddr("00:16:ea:50:00:11")
+	if err := v1.Send(Report{APName: "ap1", MAC: mac, SeqNo: 7, BearingDeg: geom.BearingDeg(ap1Pos, target)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := v2.SendContext(ctx, Report{APName: "ap2", MAC: mac, SeqNo: 7, BearingDeg: geom.BearingDeg(ap2Pos, target)}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case d := <-sub.C:
+		if d.MAC != mac || d.SeqNo != 7 {
+			t.Errorf("decision identity %v/%d", d.MAC, d.SeqNo)
+		}
+		if d.Decision != locate.Allow {
+			t.Errorf("inside client dropped: %+v", d)
+		}
+		if d.Pos.Dist(target) > 0.1 {
+			t.Errorf("fused position %v", d.Pos)
+		}
+		if len(d.APs) != 2 {
+			t.Errorf("decision drew on APs %v, want both", d.APs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no decision within 5s")
+	}
+}
+
+// TestAlertStagePerVersion: a v2 agent's staged alert is broadcast with
+// the stage to v2 sessions and with the stage stripped (still
+// decodable) to v1 sessions.
+func TestAlertStagePerVersion(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+
+	v1, err := Dial(addr, Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v2, err := DialContext(ctx, addr, Hello{Name: "ap2", Pos: geom.Point{X: 2, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+
+	v1Alerts := v1.Alerts()
+	v2Alerts := v2.Alerts()
+
+	mac := wifi.MustParseAddr("66:00:00:00:00:01")
+	if err := v2.SendAlertDetail(Alert{APName: "ap2", MAC: mac, Distance: 0.4, Stage: "spoofcheck"}); err != nil {
+		t.Fatal(err)
+	}
+
+	recv := func(ch <-chan Alert, label string) Alert {
+		select {
+		case a, ok := <-ch:
+			if !ok {
+				t.Fatalf("%s alert channel closed", label)
+			}
+			return a
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s got no alert broadcast", label)
+			return Alert{}
+		}
+	}
+	a2 := recv(v2Alerts, "v2")
+	if a2.MAC != mac || a2.Stage != "spoofcheck" {
+		t.Errorf("v2 broadcast %+v, want stage intact", a2)
+	}
+	a1 := recv(v1Alerts, "v1")
+	if a1.MAC != mac {
+		t.Errorf("v1 broadcast %+v", a1)
+	}
+	if a1.Stage != "" {
+		t.Errorf("v1 session received v2-only stage %q", a1.Stage)
+	}
+	if q := c.Quarantined(); len(q) != 1 || q[0].Stage != "spoofcheck" {
+		t.Errorf("quarantine %+v, want one staged entry", q)
+	}
+}
+
+// TestDialContextAlreadyCancelled: the satellite requirement — a dead
+// context fails the dial without touching the network.
+func TestDialContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DialContext(ctx, "127.0.0.1:1", Hello{Name: "x"}); err == nil {
+		t.Fatal("cancelled DialContext succeeded")
+	}
+}
+
+// TestSubscribeFanout: every subscriber sees every decision;
+// unsubscribing closes only that channel; the legacy Decisions channel
+// keeps working alongside.
+func TestSubscribeFanout(t *testing.T) {
+	c, addr := startController(t)
+	defer c.Close()
+	s1 := c.Subscribe(4)
+	s2 := c.Subscribe(4)
+
+	ap1Pos := geom.Point{X: 4, Y: 2}
+	ap2Pos := geom.Point{X: 20, Y: 3}
+	a1, err := Dial(addr, Hello{Name: "ap1", Pos: ap1Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a1.Close()
+	a2, err := Dial(addr, Hello{Name: "ap2", Pos: ap2Pos})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+
+	target := geom.Point{X: 9, Y: 6}
+	mac := wifi.MustParseAddr("00:16:ea:50:00:12")
+	send := func(seq uint64) {
+		t.Helper()
+		if err := a1.Send(Report{APName: "ap1", MAC: mac, SeqNo: seq, BearingDeg: geom.BearingDeg(ap1Pos, target)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.Send(Report{APName: "ap2", MAC: mac, SeqNo: seq, BearingDeg: geom.BearingDeg(ap2Pos, target)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recv := func(ch <-chan FenceDecision, label string) FenceDecision {
+		t.Helper()
+		select {
+		case d, ok := <-ch:
+			if !ok {
+				t.Fatalf("%s closed early", label)
+			}
+			return d
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s got nothing", label)
+			return FenceDecision{}
+		}
+	}
+
+	send(1)
+	d1 := recv(s1.C, "sub1")
+	d2 := recv(s2.C, "sub2")
+	dl := recv(c.Decisions(), "legacy")
+	if d1.SeqNo != 1 || d2.SeqNo != 1 || dl.SeqNo != 1 {
+		t.Errorf("fanout seqs %d/%d/%d", d1.SeqNo, d2.SeqNo, dl.SeqNo)
+	}
+
+	c.Unsubscribe(s2)
+	if _, ok := <-s2.C; ok {
+		t.Error("unsubscribed channel still open")
+	}
+	send(2)
+	if d := recv(s1.C, "sub1"); d.SeqNo != 2 {
+		t.Errorf("sub1 seq %d after unsubscribe of sub2", d.SeqNo)
+	}
+	recv(c.Decisions(), "legacy")
+}
+
+// TestSubscribeAfterClose returns an already-closed channel rather than
+// one that can never deliver.
+func TestSubscribeAfterClose(t *testing.T) {
+	c, _ := startController(t)
+	c.Close()
+	s := c.Subscribe(1)
+	if _, ok := <-s.C; ok {
+		t.Error("subscription on closed controller delivered")
+	}
+	c.Unsubscribe(s) // must not panic
+}
+
+// TestDialContextCancelMidHandshake: plain cancellation (no deadline)
+// interrupts a handshake against a peer that accepts but never replies.
+func TestDialContextCancelMidHandshake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		time.Sleep(3 * time.Second) // accept, then say nothing
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := DialContext(ctx, ln.Addr().String(), Hello{Name: "x"})
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("mid-handshake cancel returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("DialContext ignored cancellation during the Welcome read")
+	}
+}
+
+// TestPingKeepalive: an otherwise-idle agent that pings inside the read
+// deadline stays registered with the controller.
+func TestPingKeepalive(t *testing.T) {
+	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	c := NewController(fence)
+	c.ReadTimeout = 150 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(ln)
+	defer c.Close()
+
+	a, err := Dial(ln.Addr().String(), Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Stay idle for several deadline windows, pinging inside each.
+	for i := 0; i < 6; i++ {
+		time.Sleep(50 * time.Millisecond)
+		if err := a.Ping(); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	// Still connected: an alert sent now must reach the quarantine.
+	mac := wifi.MustParseAddr("66:00:00:00:00:02")
+	if err := a.SendAlert("ap1", mac, 0.5); err != nil {
+		t.Fatalf("post-ping alert: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.Quarantined()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("alert after keepalives never arrived — connection dropped?")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestControllerReadDeadline: a connected agent that never sends
+// anything is disconnected once the keepalive deadline lapses, instead
+// of pinning its handler goroutine.
+func TestControllerReadDeadline(t *testing.T) {
+	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	c := NewController(fence)
+	c.ReadTimeout = 100 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(ln)
+	defer c.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Stall silently. The controller must drop us; its close of the
+	// connection surfaces as EOF/reset on our read.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("stalled connection still alive after keepalive deadline")
+	}
+}

@@ -18,6 +18,7 @@ package radio
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/cmplx"
 	"sync"
@@ -28,6 +29,11 @@ import (
 	"secureangle/internal/geom"
 	"secureangle/internal/rng"
 )
+
+// ErrBlocked reports a transmitter with no propagation path to the AP —
+// every ray (direct and reflected) is obstructed. Callers that must
+// distinguish "unhearable" from other failures test with errors.Is.
+var ErrBlocked = errors.New("radio: no propagation paths (fully blocked)")
 
 // FrontEnd is one AP's receive chain set.
 type FrontEnd struct {
@@ -207,7 +213,7 @@ func (f *FrontEnd) channelResponse(e *env.Environment, tx geom.Point, n int) (*c
 
 	paths := e.Trace(tx, f.Pos)
 	if len(paths) == 0 {
-		return nil, errors.New("radio: no propagation paths (fully blocked)")
+		return nil, ErrBlocked
 	}
 	r := &chanResponse{epoch: epoch, h: f.buildResponse(paths, n)}
 
@@ -363,7 +369,7 @@ func (f *FrontEnd) ReceiveMulti(e *env.Environment, txs []Transmission) ([][]com
 		}
 	}
 	if !heard {
-		return nil, errors.New("radio: no propagation paths (all transmitters blocked)")
+		return nil, fmt.Errorf("%w (all transmitters)", ErrBlocked)
 	}
 
 	f.mu.Lock()

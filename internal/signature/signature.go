@@ -127,6 +127,18 @@ type MatchPolicy struct {
 // from different-location signatures in the testbed experiments.
 func DefaultPolicy() MatchPolicy { return MatchPolicy{MaxDistance: 0.12} }
 
+// Validate rejects a policy no tracker can apply: the cosine distance
+// lives in [0, 2], so a non-positive threshold flags every packet
+// (including the training one) and a threshold above 2 accepts every
+// packet. Zero is tolerated as "use the default" by callers that
+// normalise configs; Validate itself is strict.
+func (p MatchPolicy) Validate() error {
+	if p.MaxDistance <= 0 || p.MaxDistance > 2 {
+		return fmt.Errorf("signature: MaxDistance %g outside (0, 2]", p.MaxDistance)
+	}
+	return nil
+}
+
 // Decision is the outcome of a signature check.
 type Decision int
 

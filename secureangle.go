@@ -31,16 +31,25 @@
 //	internal/testbed     the paper's Figure 4 office and its 20 clients
 //	internal/experiments drivers for Figures 5-7 and all in-text claims
 //
-// The quickest start:
+// The quickest start (the v2 Node API — functional options, context
+// threading, typed errors):
 //
-//	env, _ := secureangle.Testbed()
-//	ap := secureangle.NewTestbedAP("ap1", secureangle.AP1, 42)
+//	node, _ := secureangle.New(secureangle.WithName("ap1"), secureangle.WithSeed(42))
 //	client, _ := secureangle.Client(5)
-//	rep, err := secureangle.ObserveFrame(ap, client.ID, client.Pos)
+//	rep, err := node.ObserveTestbedFrame(ctx, client.ID, client.Pos)
 //	// rep.BearingDeg, rep.Sig, rep.Spectrum ...
+//	// errors.Is(err, secureangle.ErrNotDetected) etc. for failures
 //
-// See examples/ for runnable programs and cmd/secureangle for the
-// experiment harness that regenerates every figure in the paper.
+// or, as an always-on service, via the streaming handle:
+//
+//	s := node.Stream(ctx, 16)
+//	go func() { for r := range s.Results() { ... } }()
+//	s.Submit(ctx, item)
+//
+// The v1 call-per-packet surface (NewTestbedAP, ObserveFrame, ...)
+// remains below as thin adapters over the same pipeline. See examples/
+// for runnable programs and cmd/secureangle for the experiment harness
+// that regenerates every figure in the paper.
 package secureangle
 
 import (
@@ -51,7 +60,6 @@ import (
 	"secureangle/internal/locate"
 	"secureangle/internal/music"
 	"secureangle/internal/ofdm"
-	"secureangle/internal/rng"
 	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
 	"secureangle/internal/wifi"
@@ -131,11 +139,20 @@ func NewTestbedAP(name string, pos Point, seed int64) *AP {
 }
 
 // NewTestbedAPConfig is NewTestbedAP with an explicit pipeline Config
-// (estimator choice, worker-pool bound, detection tuning).
+// (estimator choice, worker-pool bound, detection tuning). It is a thin
+// adapter over the v2 constructor: equivalent to
+//
+//	node, _ := New(WithName(name), WithPosition(pos), WithSeed(seed), WithConfig(cfg))
+//	ap := node.AP()
+//
+// and like New it panics only on a Config that fails Validate after
+// defaulting.
 func NewTestbedAPConfig(name string, pos Point, seed int64, cfg Config) *AP {
-	e, _ := testbed.Building()
-	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), pos, rng.New(seed))
-	return core.NewAP(name, fe, e, cfg)
+	n, err := New(WithName(name), WithPosition(pos), WithSeed(seed), WithConfig(cfg))
+	if err != nil {
+		panic(err)
+	}
+	return n.AP()
 }
 
 // ObserveFrame sends one QPSK uplink data frame from the given testbed
