@@ -18,6 +18,7 @@ import (
 	"secureangle/internal/radio"
 	"secureangle/internal/rng"
 	"secureangle/internal/testbed"
+	"secureangle/internal/wifi"
 )
 
 func runFig5(seed int64, packets int) error {
@@ -172,6 +173,46 @@ func runCalibrate(seed int64) error {
 	return nil
 }
 
+// runTracks dials a running controller as a v2 observer session (an
+// empty Hello name: never registered as a bearing source) and prints
+// its live mobility traces — the wire face of the fusion engine's
+// per-client alpha-beta tracks. An empty mac queries all.
+func runTracks(addr, mac string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}})
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	if a.Version() < netproto.ProtoV2 {
+		return fmt.Errorf("controller at %s negotiated protocol v%d; tracks needs v2", addr, a.Version())
+	}
+	q := netproto.Query{All: mac == ""}
+	if mac != "" {
+		addr, err := wifi.ParseAddr(mac)
+		if err != nil {
+			return err
+		}
+		q.MAC = addr
+	}
+	states, err := a.QueryTracks(ctx, q)
+	if err != nil {
+		return err
+	}
+	if len(states) == 0 {
+		fmt.Println("no live tracks")
+		return nil
+	}
+	fmt.Printf("%-18s %-16s %-16s %6s %8s %8s %s\n", "MAC", "pos(m)", "vel(m/s)", "fixes", "lastSeq", "age", "fence")
+	for _, ts := range states {
+		fmt.Printf("%-18s %-16v %-16v %6d %8d %8s %s\n",
+			ts.MAC, ts.Pos, ts.Vel, ts.Fixes, ts.LastSeq,
+			time.Since(ts.Updated).Truncate(time.Millisecond), ts.Decision)
+	}
+	return nil
+}
+
 func runServe(addr string) error {
 	_, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
@@ -259,7 +300,21 @@ func runDemo(seed int64) error {
 	if err := send(1, 5, five.Pos, "client 5 (inside)"); err != nil {
 		return err
 	}
-	return send(2, 99, testbed.OutsidePositions()[0], "intruder (outside)")
+	if err := send(2, 99, testbed.OutsidePositions()[0], "intruder (outside)"); err != nil {
+		return err
+	}
+
+	// The controller kept alpha-beta mobility tracks for both clients;
+	// pull them over the wire with the v2 Query/Tracks exchange.
+	states, err := agents[0].QueryTracks(ctx, netproto.Query{All: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("live controller tracks:")
+	for _, ts := range states {
+		fmt.Printf("  %s at %v (fixes %d, fence %s)\n", ts.MAC, ts.Pos, ts.Fixes, ts.Decision)
+	}
+	return nil
 }
 
 func runAll(seed int64, packets int) error {

@@ -13,6 +13,7 @@
 //	secureangle ablation   — estimator / calibration / covariance ablations
 //	secureangle calibrate  — the section 2.2 calibration procedure, narrated
 //	secureangle serve      — run the fence controller on a TCP port
+//	secureangle tracks     — query a running controller's live mobility traces
 //	secureangle demo       — end-to-end demo: APs + controller over loopback TCP
 //	secureangle all        — every experiment in sequence (EXPERIMENTS.md input)
 //
@@ -40,6 +41,7 @@ func main() {
 	spectra := fs.Bool("spectra", false, "dump full pseudospectra as TSV")
 	client := fs.Int("client", 5, "testbed client ID for capture")
 	file := fs.String("file", "capture.saiq", "I/Q capture path")
+	macFlag := fs.String("mac", "", "client MAC to query (tracks; empty = all)")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -76,6 +78,8 @@ func main() {
 		err = runCalibrate(*seed)
 	case "serve":
 		err = runServe(*listen)
+	case "tracks":
+		err = runTracks(*listen, *macFlag)
 	case "demo":
 		err = runDemo(*seed)
 	case "all":
@@ -116,8 +120,9 @@ services and demos:
   replay      run the offline pipeline on a SAIQ capture
   calibrate   narrate the section 2.2 phase-offset calibration
   serve       run the AoA fusion controller on -listen
+  tracks      query a running controller's live mobility traces (-mac filters)
   demo        APs + controller end-to-end over loopback TCP
 
-flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path
+flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff
 `)
 }

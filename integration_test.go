@@ -295,3 +295,75 @@ func TestFullStackSpoofAcrossReboots(t *testing.T) {
 		t.Errorf("attacker accepted after reboot (distance %v)", spoof.Distance)
 	}
 }
+
+// TestFacadeControllerTracks drives the root facade's controller
+// surface: NewController, fused FenceDecisions via Subscribe, the
+// mobility TrackState accessors, and ControllerStats — all through the
+// re-exported types, the way an external consumer would.
+func TestFacadeControllerTracks(t *testing.T) {
+	_, shell := testbed.Building()
+	c := NewController(&Fence{Boundary: shell})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(ln)
+	defer c.Close()
+	sub := c.Subscribe(8)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	apPos := []Point{AP1, AP2}
+	agents := make([]*netproto.Agent, len(apPos))
+	for i, pos := range apPos {
+		agents[i], err = netproto.DialContext(ctx, ln.Addr().String(), netproto.Hello{
+			Name: fmt.Sprintf("ap%d", i+1), Pos: pos,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer agents[i].Close()
+	}
+
+	mac := testbed.ClientMAC(7)
+	var lastTarget Point
+	for seq := uint64(1); seq <= 4; seq++ {
+		lastTarget = Point{X: 8 + float64(seq), Y: 6}
+		for i, a := range agents {
+			if err := a.SendContext(ctx, netproto.Report{
+				APName: fmt.Sprintf("ap%d", i+1), MAC: mac, SeqNo: seq,
+				BearingDeg: geom.BearingDeg(apPos[i], lastTarget),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var d FenceDecision
+		select {
+		case d = <-sub.C:
+		case <-ctx.Done():
+			t.Fatalf("no decision for seq %d", seq)
+		}
+		if d.Decision != locate.Allow {
+			t.Errorf("seq %d: inside walker dropped", seq)
+		}
+	}
+
+	var ts TrackState
+	var ok bool
+	if ts, ok = c.Track(mac); !ok {
+		t.Fatal("facade Track missing")
+	}
+	if ts.Fixes != 4 || ts.LastSeq != 4 {
+		t.Errorf("track %+v, want 4 fixes through seq 4", ts)
+	}
+	if ts.Pos.Dist(lastTarget) > 2 {
+		t.Errorf("track position %v far from last fix %v", ts.Pos, lastTarget)
+	}
+	if snap := c.Snapshot(); len(snap) != 1 {
+		t.Errorf("snapshot has %d tracks, want 1", len(snap))
+	}
+	var stats ControllerStats
+	if stats = c.Stats(); stats.Decisions != 4 || stats.Ingested != 8 {
+		t.Errorf("stats = %+v, want 4 decisions from 8 ingested", stats)
+	}
+}

@@ -38,14 +38,9 @@ func newShardedRegistry() *shardedRegistry {
 	return r
 }
 
-// shardFor hashes a MAC onto its shard (FNV-1a over the 6 address bytes).
+// shardFor hashes a MAC onto its shard (FNV-1a).
 func (r *shardedRegistry) shardFor(mac wifi.Addr) *registryShard {
-	h := uint32(2166136261)
-	for _, b := range mac {
-		h ^= uint32(b)
-		h *= 16777619
-	}
-	return &r.shards[h%registryShardCount]
+	return &r.shards[mac.Hash()%registryShardCount]
 }
 
 // observe runs the spoof check for one observation: unknown MACs enroll a

@@ -1,0 +1,883 @@
+// Package fusion is the controller's bearing-fusion engine: AP reports
+// of the same transmission — one (MAC, sequence-number) key — are
+// collected until enough geometrically-diverse bearings exist to
+// triangulate a position and apply the virtual fence.
+//
+// The engine replaces the seed controller's three unbounded maps under
+// one mutex with a bounded, sharded design built for the ROADMAP's
+// "millions of users" target:
+//
+//   - State is sharded by MAC (FNV-1a, the same pattern as core's
+//     signature registry), so concurrent AP connections ingesting
+//     unrelated clients never contend on one lock.
+//   - Decided (MAC, seq) dedup state is a per-client 64-entry sliding
+//     window over sequence numbers — O(1) per client — instead of a map
+//     that retains every key ever fused.
+//   - Pending entries that never reach MinAPs bearings (a client only
+//     one AP can hear) expire after PendingTTL instead of leaking; the
+//     seed only armed a timer *after* the MinAPs threshold.
+//   - A hard MaxClients cap evicts the least-recently-active client,
+//     and MaxPendingPerClient bounds each client's in-flight
+//     transmissions, so hostile MAC/seq churn cannot grow state.
+//   - All deadlines (decision timeouts and TTLs) live in two per-shard
+//     FIFO queues — both durations are constants, so creation order is
+//     deadline order — swept by one coarse ticker instead of a
+//     time.Timer per key. Entries unlink in O(1) when they decide, so
+//     the queues hold only live pendings.
+//
+// Each client additionally carries an alpha-beta track.Filter fed by
+// its fused positions, so the engine maintains live mobility traces
+// (the paper's section 5 scenario) queryable via Track and Snapshot.
+package fusion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/track"
+	"secureangle/internal/wifi"
+)
+
+// Defaults for zero Config fields.
+const (
+	DefaultShards              = 16
+	DefaultMinAPs              = 2
+	DefaultDecisionTimeout     = time.Second
+	DefaultPendingTTL          = 10 * time.Second
+	DefaultMinDiversityDeg     = 15.0
+	DefaultMaxClients          = 65536
+	DefaultMaxPendingPerClient = 8
+	DefaultTickInterval        = 50 * time.Millisecond
+)
+
+// seqWindow is the per-client sliding dedup window: a decision for
+// (MAC, s) suppresses re-fusion of any seq in [s-63, s]. Sequence
+// numbers older than the window are treated as duplicates — the price
+// of O(1) dedup state per client.
+const seqWindow = 64
+
+// seqResetJump is the backward distance past which a sequence number
+// is read as a counter reset rather than a stale replay: real 802.11
+// sequence counters are 12-bit and wrap 4095 -> 0, which must not
+// blacklist the client forever. A reset reinitialises the window.
+const seqResetJump = 4 * seqWindow
+
+// Config tunes an Engine. Zero fields take the defaults above; Validate
+// rejects contradictions (Config-style, like core.Config).
+type Config struct {
+	// Shards is the lock-striping factor over MACs.
+	Shards int
+	// MinAPs is the number of distinct AP bearings required per decision.
+	MinAPs int
+	// DecisionTimeout bounds how long a geometrically-degenerate pending
+	// decision waits for a more diverse bearing before fusing what it has.
+	DecisionTimeout time.Duration
+	// PendingTTL bounds how long a sub-MinAPs entry may wait for more
+	// bearings before it is expired (the seed leaked these forever).
+	PendingTTL time.Duration
+	// MinDiversityDeg is the angular-diversity threshold of the
+	// geometric-dilution guard: some pair of bearing lines must cross at
+	// no less than this many degrees, or the decision is held for
+	// DecisionTimeout. Zero means the default 15; negative disables the
+	// guard entirely.
+	MinDiversityDeg float64
+	// MaxClients caps tracked clients across all shards; the
+	// least-recently-active client is evicted beyond it.
+	MaxClients int
+	// MaxPendingPerClient caps one client's in-flight transmissions; the
+	// oldest pending entry is evicted beyond it.
+	MaxPendingPerClient int
+	// TickInterval is the coarse deadline-sweep period. Expiries and
+	// forced decisions land within one tick of their deadline.
+	TickInterval time.Duration
+	// TrackAlpha/TrackBeta are the mobility filter gains (zero takes the
+	// indoor-walking defaults 0.5/0.3).
+	TrackAlpha, TrackBeta float64
+
+	// Fence decides fused positions. Required.
+	Fence *locate.Fence
+	// APCount, when set, reports the number of registered APs: a pending
+	// decision every registered AP contributed to is fused even without
+	// angular diversity (waiting cannot improve it). Nil means unknown —
+	// the guard then always waits for diversity or the timeout.
+	APCount func() int
+	// Emit receives every fused decision, called outside all shard
+	// locks. Nil discards decisions (tracking still updates).
+	Emit func(Decision)
+	// Logf, if set, receives diagnostic output.
+	Logf func(format string, args ...any)
+
+	// clock overrides time.Now in tests.
+	clock func() time.Time
+}
+
+// WithDefaults returns cfg with zero fields replaced by defaults.
+func (cfg Config) WithDefaults() Config {
+	if cfg.Shards == 0 {
+		cfg.Shards = DefaultShards
+	}
+	if cfg.MinAPs == 0 {
+		cfg.MinAPs = DefaultMinAPs
+	}
+	if cfg.DecisionTimeout == 0 {
+		cfg.DecisionTimeout = DefaultDecisionTimeout
+	}
+	if cfg.PendingTTL == 0 {
+		cfg.PendingTTL = DefaultPendingTTL
+	}
+	if cfg.MinDiversityDeg == 0 {
+		cfg.MinDiversityDeg = DefaultMinDiversityDeg
+	}
+	if cfg.MaxClients == 0 {
+		cfg.MaxClients = DefaultMaxClients
+	}
+	if cfg.MaxPendingPerClient == 0 {
+		cfg.MaxPendingPerClient = DefaultMaxPendingPerClient
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = DefaultTickInterval
+	}
+	// track.NewFilter treats 0 gains as literal, so default them here.
+	if cfg.TrackAlpha == 0 {
+		cfg.TrackAlpha = 0.5
+	}
+	if cfg.TrackBeta == 0 {
+		cfg.TrackBeta = 0.3
+	}
+	if cfg.clock == nil {
+		cfg.clock = time.Now
+	}
+	return cfg
+}
+
+// Validate reports contradictions in an already-defaulted Config.
+func (cfg Config) Validate() error {
+	if cfg.Fence == nil {
+		return errors.New("fusion: Config.Fence is required")
+	}
+	if cfg.Shards < 1 {
+		return fmt.Errorf("fusion: Shards %d < 1", cfg.Shards)
+	}
+	if cfg.MinAPs < 2 {
+		return fmt.Errorf("fusion: MinAPs %d < 2 (triangulation needs two bearings)", cfg.MinAPs)
+	}
+	if cfg.DecisionTimeout < 0 || cfg.PendingTTL < 0 || cfg.TickInterval < 0 {
+		return errors.New("fusion: negative timeout")
+	}
+	if math.IsNaN(cfg.MinDiversityDeg) || cfg.MinDiversityDeg >= 90 {
+		return fmt.Errorf("fusion: MinDiversityDeg %v unreachable (pairwise line angles top out at 90)", cfg.MinDiversityDeg)
+	}
+	if cfg.MaxClients < 1 {
+		return fmt.Errorf("fusion: MaxClients %d < 1", cfg.MaxClients)
+	}
+	if cfg.MaxPendingPerClient < 1 {
+		return fmt.Errorf("fusion: MaxPendingPerClient %d < 1", cfg.MaxPendingPerClient)
+	}
+	return nil
+}
+
+// Bearing is one AP's report of one transmission, with the AP's
+// position resolved by the caller (the controller's registry) at report
+// time.
+type Bearing struct {
+	AP    string
+	APPos geom.Point
+	MAC   wifi.Addr
+	Seq   uint64
+	Deg   float64
+}
+
+// Decision is one fused fence outcome.
+type Decision struct {
+	MAC      wifi.Addr
+	Seq      uint64
+	Pos      geom.Point
+	Decision locate.Decision
+	// APs lists the access points whose bearings contributed.
+	APs []string
+	// Forced marks a decision fused at the DecisionTimeout (or TTL)
+	// deadline without reaching angular diversity.
+	Forced bool
+}
+
+// TrackState is one client's live mobility-trace state: the alpha-beta
+// filtered position and velocity after its latest fused fix.
+type TrackState struct {
+	MAC wifi.Addr
+	// Pos is the filtered position (metres).
+	Pos geom.Point
+	// Vel is the filtered velocity estimate (m/s).
+	Vel geom.Point
+	// Fixes counts fused positions folded into the track.
+	Fixes uint64
+	// LastSeq is the sequence number of the latest fix.
+	LastSeq uint64
+	// Updated is when the latest fix arrived.
+	Updated time.Time
+	// Decision is the latest fence outcome.
+	Decision locate.Decision
+}
+
+// Stats are the engine's monotonic counters.
+type Stats struct {
+	// Ingested counts bearings accepted into a shard.
+	Ingested uint64
+	// Decisions counts fused decisions emitted.
+	Decisions uint64
+	// DupDropped counts bearings for already-decided (MAC, seq) keys.
+	DupDropped uint64
+	// PendingExpired counts sub-MinAPs entries dropped at PendingTTL.
+	PendingExpired uint64
+	// PendingEvicted counts entries displaced by MaxPendingPerClient.
+	PendingEvicted uint64
+	// ClientsEvicted counts clients displaced by MaxClients.
+	ClientsEvicted uint64
+	// ForcedTimeouts counts decisions fused at a deadline without
+	// angular diversity.
+	ForcedTimeouts uint64
+	// FuseErrors counts pending entries dropped because triangulation
+	// failed (degenerate geometry at a forced deadline).
+	FuseErrors uint64
+}
+
+// counters are per-shard statistics, mutated under the shard lock so
+// the ingest hot path never touches a shared atomic cache line.
+type counters struct {
+	ingested, decisions, dupDropped    uint64
+	pendingExpired, pendingEvicted     uint64
+	clientsEvicted, forced, fuseErrors uint64
+}
+
+func (c *counters) add(o counters) {
+	c.ingested += o.ingested
+	c.decisions += o.decisions
+	c.dupDropped += o.dupDropped
+	c.pendingExpired += o.pendingExpired
+	c.pendingEvicted += o.pendingEvicted
+	c.clientsEvicted += o.clientsEvicted
+	c.forced += o.forced
+	c.fuseErrors += o.fuseErrors
+}
+
+// Engine is the sharded fusion engine. Safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	shards []*shard
+	// pendingPool recycles pendingTx values (and their bearing maps)
+	// across transmissions.
+	pendingPool sync.Pool
+
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// New builds an Engine from cfg (zero fields defaulted, then
+// validated).
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		shards: make([]*shard, cfg.Shards),
+		done:   make(chan struct{}),
+	}
+	e.pendingPool.New = func() any {
+		return &pendingTx{bearings: make(map[string]apBearing, cfg.MinAPs)}
+	}
+	// Per-shard client cap, rounded up so the global cap is respected
+	// within a shard's worth of slack under adversarial skew.
+	perShard := (cfg.MaxClients + cfg.Shards - 1) / cfg.Shards
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			clients:    make(map[wifi.Addr]*client),
+			maxClients: perShard,
+		}
+	}
+	e.wg.Add(1)
+	go e.tickLoop()
+	return e, nil
+}
+
+// MustNew is New for static configs known to be valid; it panics on a
+// Validate failure (the core.NewAP contract).
+func MustNew(cfg Config) *Engine {
+	e, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Close stops the deadline sweeper. In-flight Ingest calls complete;
+// pending entries are abandoned without decisions.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.done)
+	e.wg.Wait()
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.cfg.Logf != nil {
+		e.cfg.Logf(format, args...)
+	}
+}
+
+func (e *Engine) tickLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.cfg.TickInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			e.Sweep(e.cfg.clock())
+		}
+	}
+}
+
+// shardFor hashes a MAC onto its shard (FNV-1a, the signature-registry
+// pattern).
+func (e *Engine) shardFor(mac wifi.Addr) *shard {
+	return e.shards[mac.Hash()%uint32(len(e.shards))]
+}
+
+// Ingest records one bearing and fuses a decision once MinAPs distinct
+// APs have reported the same (MAC, seq) with acceptable geometry.
+// After Close it drops the bearing: the deadline sweeper is gone, so
+// accepting new pendings would leave them unexpirable.
+func (e *Engine) Ingest(b Bearing) {
+	if e.closed.Load() {
+		return
+	}
+	now := e.cfg.clock()
+	s := e.shardFor(b.MAC)
+	s.mu.Lock()
+	d, emit := e.ingestLocked(s, b, now)
+	s.mu.Unlock()
+	if emit && e.cfg.Emit != nil {
+		e.cfg.Emit(d)
+	}
+}
+
+func (e *Engine) ingestLocked(s *shard, b Bearing, now time.Time) (Decision, bool) {
+	s.ctr.ingested++
+	cl := s.touch(e, b.MAC)
+	if cl.seen(b.Seq) {
+		s.ctr.dupDropped++
+		return Decision{}, false
+	}
+	p := cl.pending[b.Seq]
+	if p == nil {
+		if len(cl.pending) >= e.cfg.MaxPendingPerClient {
+			s.evictOldestPending(e, cl)
+		}
+		p = e.pendingPool.Get().(*pendingTx)
+		p.cl, p.seq, p.created = cl, b.Seq, now
+		cl.pending[b.Seq] = p
+		s.ttlList.pushTail(p, ttlLinks)
+	}
+	p.bearings[b.AP] = apBearing{pos: b.APPos, deg: b.Deg}
+	if len(p.bearings) < e.cfg.MinAPs {
+		return Decision{}, false
+	}
+
+	// Geometric dilution guard: when every pair of bearing lines is
+	// nearly parallel (a client close to the line between two APs), the
+	// intersection is ill-conditioned and can land tens of metres away.
+	// Hold the decision until a bearing with angular diversity arrives —
+	// unless every registered AP has already reported, or a deadline
+	// forces the best-available fix.
+	if len(p.bearings) < e.apCount() && !e.diverse(p) {
+		if !p.armed {
+			p.armed = true
+			p.armedAt = now
+			s.decideList.pushTail(p, decideLinks)
+		}
+		return Decision{}, false
+	}
+	return e.finalizeLocked(s, p, now, false)
+}
+
+// apCount resolves the registered-AP shortcut bound; unknown means the
+// shortcut never fires.
+func (e *Engine) apCount() int {
+	if e.cfg.APCount == nil {
+		return math.MaxInt
+	}
+	if n := e.cfg.APCount(); n > 0 {
+		return n
+	}
+	return math.MaxInt
+}
+
+// diverse checks angular diversity of a pending entry's bearings.
+func (e *Engine) diverse(p *pendingTx) bool {
+	if e.cfg.MinDiversityDeg < 0 {
+		return true
+	}
+	for a1, b1 := range p.bearings {
+		for a2, b2 := range p.bearings {
+			if a1 >= a2 {
+				continue
+			}
+			// Bearings compare modulo 180: a line and its reverse are
+			// the same line.
+			d := b1.deg - b2.deg
+			for d < 0 {
+				d += 180
+			}
+			for d >= 180 {
+				d -= 180
+			}
+			if d > 90 {
+				d = 180 - d
+			}
+			if d >= e.cfg.MinDiversityDeg {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// finalizeLocked fuses a pending entry, records the seq in the dedup
+// window, and advances the client's mobility track. Shard lock held;
+// the returned decision is emitted by the caller after unlock.
+func (e *Engine) finalizeLocked(s *shard, p *pendingTx, now time.Time, forced bool) (Decision, bool) {
+	cl, seq := p.cl, p.seq
+	obs := s.obsScratch[:0]
+	aps := make([]string, 0, len(p.bearings))
+	for name, b := range p.bearings {
+		obs = append(obs, locate.BearingObs{AP: b.pos, BearingDeg: b.deg})
+		aps = append(aps, name)
+	}
+	s.obsScratch = obs[:0] // keep any growth for the next decision
+	dec, pos, err := e.cfg.Fence.Decide(obs)
+	if err != nil {
+		s.ctr.fuseErrors++
+		e.logf("fusion: fuse %v seq %d: %v", cl.mac, seq, err)
+		// The dedup window is NOT marked on failure, so the seq can be
+		// rescued: an ingest-path failure keeps the entry pending for a
+		// later, more diverse bearing (the seed behaviour, but with the
+		// TTL still bounding it); a deadline-path failure drops the
+		// entry — its wait is up — without poisoning future reports.
+		if forced {
+			s.dropPending(e, p)
+		}
+		return Decision{}, false
+	}
+	s.dropPending(e, p)
+	cl.mark(seq)
+	s.ctr.decisions++
+	if forced {
+		s.ctr.forced++
+	}
+	dt := 0.0
+	if cl.fixes > 0 {
+		dt = now.Sub(cl.lastFix).Seconds()
+	}
+	cl.trackPos = cl.filter.Update(pos, dt)
+	cl.lastFix = now
+	cl.fixes++
+	cl.lastSeq = seq
+	cl.lastDecision = dec
+	return Decision{MAC: cl.mac, Seq: seq, Pos: pos, Decision: dec, APs: aps, Forced: forced}, true
+}
+
+// Sweep processes every deadline due at or before now: sub-MinAPs
+// entries past their TTL are expired, and entries held for diversity
+// past their decision timeout are force-fused. The internal ticker
+// calls this every TickInterval; tests call it directly with a
+// synthetic clock.
+func (e *Engine) Sweep(now time.Time) {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		var out []Decision
+		// Decision deadlines first (they are the shorter duration):
+		// every armed entry already has >= MinAPs bearings.
+		for p := s.decideList.head; p != nil; p = s.decideList.head {
+			if now.Before(p.armedAt.Add(e.cfg.DecisionTimeout)) {
+				break
+			}
+			if dec, ok := e.finalizeLocked(s, p, now, true); ok {
+				out = append(out, dec)
+			}
+		}
+		for p := s.ttlList.head; p != nil; p = s.ttlList.head {
+			if now.Before(p.created.Add(e.cfg.PendingTTL)) {
+				break
+			}
+			if len(p.bearings) >= e.cfg.MinAPs {
+				// Viable but still held at TTL (the decision deadline
+				// postdates it): fuse what we have rather than discard.
+				if dec, ok := e.finalizeLocked(s, p, now, true); ok {
+					out = append(out, dec)
+				}
+				continue
+			}
+			cl, seq, n := p.cl, p.seq, len(p.bearings)
+			s.dropPending(e, p)
+			s.ctr.pendingExpired++
+			e.logf("fusion: expired %v seq %d with %d bearing(s) after %v", cl.mac, seq, n, e.cfg.PendingTTL)
+		}
+		s.mu.Unlock()
+		if e.cfg.Emit != nil {
+			for _, dec := range out {
+				e.cfg.Emit(dec)
+			}
+		}
+	}
+}
+
+// Stats snapshots the engine counters (aggregated across shards).
+func (e *Engine) Stats() Stats {
+	var c counters
+	for _, s := range e.shards {
+		s.mu.Lock()
+		c.add(s.ctr)
+		s.mu.Unlock()
+	}
+	return Stats{
+		Ingested:       c.ingested,
+		Decisions:      c.decisions,
+		DupDropped:     c.dupDropped,
+		PendingExpired: c.pendingExpired,
+		PendingEvicted: c.pendingEvicted,
+		ClientsEvicted: c.clientsEvicted,
+		ForcedTimeouts: c.forced,
+		FuseErrors:     c.fuseErrors,
+	}
+}
+
+// ClientCount reports live tracked clients across all shards — the
+// bounded-memory invariant is ClientCount <= MaxClients + slack and
+// PendingCount <= ClientCount * MaxPendingPerClient, regardless of how
+// many packets were ever ingested.
+func (e *Engine) ClientCount() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		n += len(s.clients)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// PendingCount reports in-flight pending transmissions across shards.
+func (e *Engine) PendingCount() int {
+	n := 0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, cl := range s.clients {
+			n += len(cl.pending)
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Track returns the live mobility-trace state for one MAC.
+func (e *Engine) Track(mac wifi.Addr) (TrackState, bool) {
+	s := e.shardFor(mac)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl := s.clients[mac]
+	if cl == nil || cl.fixes == 0 {
+		return TrackState{}, false
+	}
+	return cl.state(), true
+}
+
+// Snapshot returns the mobility-trace state of every client with at
+// least one fused fix. Consistent per shard, not across shards (the
+// registry-snapshot contract).
+func (e *Engine) Snapshot() []TrackState {
+	var out []TrackState
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, cl := range s.clients {
+			if cl.fixes > 0 {
+				out = append(out, cl.state())
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// --- shard internals ---
+
+type apBearing struct {
+	pos geom.Point
+	deg float64
+}
+
+// pendingTx is one in-flight transmission. It is linked into its
+// shard's TTL queue from creation and into the decision-deadline queue
+// once armed; both links unlink in O(1) when the entry resolves.
+type pendingTx struct {
+	bearings map[string]apBearing
+	created  time.Time
+	armedAt  time.Time
+	armed    bool
+
+	cl  *client
+	seq uint64
+
+	ttlPrev, ttlNext       *pendingTx
+	decidePrev, decideNext *pendingTx
+}
+
+// pendingLinks selects one of pendingTx's two intrusive link pairs.
+type pendingLinks int
+
+const (
+	ttlLinks pendingLinks = iota
+	decideLinks
+)
+
+func (p *pendingTx) links(which pendingLinks) (prev, next **pendingTx) {
+	if which == ttlLinks {
+		return &p.ttlPrev, &p.ttlNext
+	}
+	return &p.decidePrev, &p.decideNext
+}
+
+// pendingList is an intrusive FIFO of pendingTx. Deadlines are
+// constant offsets from push time, so head order is deadline order.
+type pendingList struct {
+	head, tail *pendingTx
+	which      pendingLinks
+}
+
+func (l *pendingList) pushTail(p *pendingTx, which pendingLinks) {
+	l.which = which
+	prev, next := p.links(which)
+	*prev, *next = l.tail, nil
+	if l.tail != nil {
+		_, tn := l.tail.links(which)
+		*tn = p
+	} else {
+		l.head = p
+	}
+	l.tail = p
+}
+
+func (l *pendingList) unlink(p *pendingTx) {
+	prev, next := p.links(l.which)
+	if *prev != nil {
+		_, pn := (*prev).links(l.which)
+		*pn = *next
+	} else {
+		l.head = *next
+	}
+	if *next != nil {
+		np, _ := (*next).links(l.which)
+		*np = *prev
+	} else {
+		l.tail = *prev
+	}
+	*prev, *next = nil, nil
+}
+
+type shard struct {
+	mu         sync.Mutex
+	clients    map[wifi.Addr]*client
+	ttlList    pendingList
+	decideList pendingList
+	maxClients int
+	ctr        counters
+	// obsScratch is reused across decisions (Fence.Decide does not
+	// retain the slice).
+	obsScratch []locate.BearingObs
+	// Intrusive LRU list over clients; head = most recently active.
+	lruHead, lruTail *client
+}
+
+// dropPending unlinks p from its client and both deadline queues and
+// recycles it. Shard lock held.
+func (s *shard) dropPending(e *Engine, p *pendingTx) {
+	delete(p.cl.pending, p.seq)
+	s.ttlList.unlink(p)
+	if p.armed {
+		s.decideList.unlink(p)
+	}
+	clear(p.bearings)
+	p.armed = false
+	p.cl = nil
+	e.pendingPool.Put(p)
+}
+
+type client struct {
+	mac     wifi.Addr
+	pending map[uint64]*pendingTx
+
+	// Anti-replay dedup window: seqHi is the highest decided seq,
+	// seqMask bit i marks seqHi-i decided.
+	seqInit bool
+	seqHi   uint64
+	seqMask uint64
+
+	filter       *track.Filter
+	trackPos     geom.Point
+	lastFix      time.Time
+	fixes        uint64
+	lastSeq      uint64
+	lastDecision locate.Decision
+
+	lruPrev, lruNext *client
+}
+
+func (cl *client) state() TrackState {
+	return TrackState{
+		MAC:      cl.mac,
+		Pos:      cl.trackPos,
+		Vel:      cl.filter.Velocity(),
+		Fixes:    cl.fixes,
+		LastSeq:  cl.lastSeq,
+		Updated:  cl.lastFix,
+		Decision: cl.lastDecision,
+	}
+}
+
+// seen reports whether seq was already decided: inside the window the
+// bitmap answers; moderately older than the window counts as a stale
+// replay (decided); a jump of seqResetJump or more back is a counter
+// reset (802.11 wrap) and fuses normally.
+func (cl *client) seen(seq uint64) bool {
+	if !cl.seqInit || seq > cl.seqHi {
+		return false
+	}
+	d := cl.seqHi - seq
+	if d >= seqResetJump {
+		return false // counter reset, not a replay
+	}
+	if d >= seqWindow {
+		return true
+	}
+	return cl.seqMask&(1<<d) != 0
+}
+
+// mark records seq as decided in the sliding window (reinitialising it
+// on a counter reset, mirroring seen).
+func (cl *client) mark(seq uint64) {
+	if !cl.seqInit {
+		cl.seqInit, cl.seqHi, cl.seqMask = true, seq, 1
+		return
+	}
+	if seq > cl.seqHi {
+		if shift := seq - cl.seqHi; shift >= seqWindow {
+			cl.seqMask = 0
+		} else {
+			cl.seqMask <<= shift
+		}
+		cl.seqHi = seq
+		cl.seqMask |= 1
+		return
+	}
+	d := cl.seqHi - seq
+	if d >= seqResetJump {
+		cl.seqHi, cl.seqMask = seq, 1
+		return
+	}
+	if d < seqWindow {
+		cl.seqMask |= 1 << d
+	}
+}
+
+// touch returns the client for mac, creating it (and evicting the LRU
+// client past the shard cap) as needed, and moves it to the LRU head.
+// Shard lock held.
+func (s *shard) touch(e *Engine, mac wifi.Addr) *client {
+	cl := s.clients[mac]
+	if cl == nil {
+		if len(s.clients) >= s.maxClients {
+			s.evictLRU(e)
+		}
+		cl = &client{
+			mac:     mac,
+			pending: make(map[uint64]*pendingTx, 1),
+			filter:  track.NewFilter(e.cfg.TrackAlpha, e.cfg.TrackBeta),
+		}
+		s.clients[mac] = cl
+	}
+	s.lruMoveToFront(cl)
+	return cl
+}
+
+func (s *shard) lruMoveToFront(cl *client) {
+	if s.lruHead == cl {
+		return
+	}
+	s.lruUnlink(cl)
+	cl.lruNext = s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.lruPrev = cl
+	}
+	s.lruHead = cl
+	if s.lruTail == nil {
+		s.lruTail = cl
+	}
+}
+
+func (s *shard) lruUnlink(cl *client) {
+	if cl.lruPrev != nil {
+		cl.lruPrev.lruNext = cl.lruNext
+	}
+	if cl.lruNext != nil {
+		cl.lruNext.lruPrev = cl.lruPrev
+	}
+	if s.lruHead == cl {
+		s.lruHead = cl.lruNext
+	}
+	if s.lruTail == cl {
+		s.lruTail = cl.lruPrev
+	}
+	cl.lruPrev, cl.lruNext = nil, nil
+}
+
+// evictLRU drops the least-recently-active client and its in-flight
+// pendings. Shard lock held.
+func (s *shard) evictLRU(e *Engine) {
+	victim := s.lruTail
+	if victim == nil {
+		return
+	}
+	s.lruUnlink(victim)
+	delete(s.clients, victim.mac)
+	for _, p := range victim.pending {
+		s.dropPending(e, p)
+	}
+	s.ctr.clientsEvicted++
+	e.logf("fusion: evicted client %v (%d fixes) at MaxClients", victim.mac, victim.fixes)
+}
+
+// evictOldestPending drops cl's oldest in-flight transmission to make
+// room for a new one. Shard lock held.
+func (s *shard) evictOldestPending(e *Engine, cl *client) {
+	var oldest *pendingTx
+	for _, p := range cl.pending {
+		if oldest == nil || p.created.Before(oldest.created) {
+			oldest = p
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	seq := oldest.seq
+	s.dropPending(e, oldest)
+	s.ctr.pendingEvicted++
+	e.logf("fusion: evicted pending %v seq %d at MaxPendingPerClient", cl.mac, seq)
+}

@@ -3,6 +3,7 @@ package netproto
 import (
 	"encoding/binary"
 	"math"
+	"net"
 	"sync"
 
 	"secureangle/internal/wifi"
@@ -83,10 +84,14 @@ func unmarshalAlert(rest []byte) (Alert, error) {
 
 // apConn is one registered agent connection's outbound queue and the
 // protocol version negotiated for it (broadcasts are re-encoded per
-// connection so v1 agents keep decoding them).
+// connection so v1 agents keep decoding them). stop and conn let a
+// reconnect under the same AP name retire the stale broadcaster and
+// connection atomically with the replacement.
 type apConn struct {
 	ch      chan []byte
 	version uint16
+	stop    chan struct{}
+	conn    net.Conn
 }
 
 // quarantine tracks flagged MACs and the agents to notify.
@@ -171,27 +176,28 @@ func (a *Agent) SendAlertDetail(al Alert) error {
 	return a.writeBody(marshalAlertV(al, a.Version()))
 }
 
-// Alerts starts a background reader delivering controller broadcasts.
-// Call at most once; the channel closes when the connection drops. Only
-// agents that listen for alerts should call this (the read loop consumes
-// the connection's inbound side).
+// Alerts delivers controller broadcasts through the agent's shared
+// background reader (started on first use; TrackReplies feeds off the
+// same reader, and up to a buffer's worth of alerts read before this
+// call are flushed to the subscriber). The channel closes when the
+// connection drops. Only agents that listen for controller frames
+// should call this (the read loop consumes the connection's inbound
+// side), and callers must keep draining the channel.
 func (a *Agent) Alerts() <-chan Alert {
-	out := make(chan Alert, 16)
-	go func() {
-		defer close(out)
-		for {
-			body, err := ReadMessage(a.conn)
-			if err != nil {
-				return
-			}
-			msg, err := Unmarshal(body)
-			if err != nil {
-				continue
-			}
-			if al, ok := msg.(Alert); ok {
-				out <- al
-			}
+	a.startReader()
+	a.pendMu.Lock()
+	// Flush parked broadcasts in order before live delivery begins;
+	// len(pendAlerts) <= cap(alerts) and nothing was sent while
+	// unsubscribed, so these sends cannot block — and the reader only
+	// closes the channel after marking readerClosed under this lock,
+	// so they cannot hit a closed channel either.
+	if !a.readerClosed {
+		for _, al := range a.pendAlerts {
+			a.alerts <- al
 		}
-	}()
-	return out
+	}
+	a.pendAlerts = nil
+	a.wantAlerts.Store(true)
+	a.pendMu.Unlock()
+	return a.alerts
 }

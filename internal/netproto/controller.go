@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
 	"secureangle/internal/locate"
 	"secureangle/internal/wifi"
@@ -33,8 +35,11 @@ type FenceDecision struct {
 // Ping) should set ReadTimeout negative to disable the deadline.
 const DefaultReadTimeout = 2 * time.Minute
 
-// Controller fuses AP reports into localisation and fence decisions. One
-// goroutine per connection reads messages; fusion state is mutex-guarded.
+// Controller fuses AP reports into localisation and fence decisions.
+// One goroutine per connection reads messages; fusion state lives in a
+// bounded fusion.Engine sharded by client MAC (see package fusion for
+// the lifecycle guarantees), built lazily from the exported tuning
+// fields on first use — set them before traffic arrives.
 type Controller struct {
 	Fence *locate.Fence
 	// MinAPs is the number of distinct AP bearings required per decision
@@ -49,27 +54,38 @@ type Controller struct {
 	// ReadTimeout is the per-connection keepalive read deadline
 	// (default DefaultReadTimeout; negative disables deadlines).
 	ReadTimeout time.Duration
+	// MinDiversityDeg is the angular-diversity threshold of the
+	// geometric-dilution guard (0 = the default 15 degrees; negative
+	// disables the guard).
+	MinDiversityDeg float64
+	// PendingTTL bounds how long a report waits for corroborating
+	// bearings from other APs before it is expired (default 10s).
+	PendingTTL time.Duration
+	// MaxClients caps tracked clients, LRU-evicted beyond it (default
+	// 65536). MaxPendingPerClient caps one client's in-flight
+	// transmissions (default 8).
+	MaxClients          int
+	MaxPendingPerClient int
+	// FusionShards is the engine's lock-striping factor (default 16).
+	FusionShards int
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
-	pending  map[pendingKey]map[string]float64 // (mac, seq) -> apName -> bearing
-	decided  map[pendingKey]bool
 	decision chan FenceDecision
 	subs     map[int]chan FenceDecision
 	nextSub  int
 	closed   bool
 	quar     *quarantine
-	timers   map[pendingKey]*time.Timer
+
+	engineOnce  sync.Once
+	engine      atomic.Pointer[fusion.Engine]
+	unknownAP   atomic.Uint64
+	observerSeq atomic.Uint64
 
 	ln     net.Listener
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelFunc
-}
-
-type pendingKey struct {
-	mac wifi.Addr
-	seq uint64
 }
 
 // NewController returns a controller enforcing the given fence.
@@ -79,15 +95,120 @@ func NewController(fence *locate.Fence) *Controller {
 		Fence:    fence,
 		MinAPs:   2,
 		apPos:    make(map[string]geom.Point),
-		pending:  make(map[pendingKey]map[string]float64),
-		decided:  make(map[pendingKey]bool),
 		decision: make(chan FenceDecision, 64),
 		subs:     make(map[int]chan FenceDecision),
 		quar:     newQuarantine(),
-		timers:   make(map[pendingKey]*time.Timer),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
+}
+
+// fusionConfig assembles the engine Config from the controller's
+// tuning fields as they stand right now.
+func (c *Controller) fusionConfig() fusion.Config {
+	return fusion.Config{
+		Shards:              c.FusionShards,
+		MinAPs:              c.MinAPs,
+		DecisionTimeout:     c.DecisionTimeout,
+		PendingTTL:          c.PendingTTL,
+		MinDiversityDeg:     c.MinDiversityDeg,
+		MaxClients:          c.MaxClients,
+		MaxPendingPerClient: c.MaxPendingPerClient,
+		Fence:               c.Fence,
+		APCount:             c.apCount,
+		Emit:                c.emitDecision,
+		Logf:                func(format string, args ...any) { c.logf(format, args...) },
+	}
+}
+
+// eng returns the fusion engine, building it on first ingest from the
+// controller's tuning fields (so callers may set them any time between
+// NewController and the first report; read-only accessors never
+// trigger the build). Contradictory settings panic, the core.NewAP
+// Config contract — Serve pre-validates so the common
+// misconfiguration fails at startup, not at the first packet. After
+// Close, either no engine exists (nil, and ingest is a no-op) or the
+// existing engine refuses further bearings itself.
+func (c *Controller) eng() *fusion.Engine {
+	if e := c.engine.Load(); e != nil {
+		return e
+	}
+	c.engineOnce.Do(func() {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		c.engine.Store(fusion.MustNew(c.fusionConfig()))
+	})
+	return c.engine.Load()
+}
+
+func (c *Controller) apCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.apPos)
+}
+
+// emitDecision fans one fused decision out to the legacy channel and
+// every subscriber (the fusion engine calls it outside shard locks).
+func (c *Controller) emitDecision(d fusion.Decision) {
+	out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return // the decision channels may be mid-close
+	}
+	select {
+	case c.decision <- out:
+	default:
+		c.logf("controller: decision channel full, dropping %v", out.MAC)
+	}
+	for id, ch := range c.subs {
+		select {
+		case ch <- out:
+		default:
+			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
+		}
+	}
+}
+
+// ControllerStats aggregates the fusion engine's counters with the
+// controller's own ingress drops.
+type ControllerStats struct {
+	fusion.Stats
+	// UnknownAPDrops counts reports from APs that never sent a Hello.
+	UnknownAPDrops uint64
+}
+
+// Stats snapshots the controller's fusion and ingress counters. Like
+// the other read-only accessors it reports zeros before the first
+// report has built the engine, rather than building it (which would
+// freeze the tuning fields early).
+func (c *Controller) Stats() ControllerStats {
+	s := ControllerStats{UnknownAPDrops: c.unknownAP.Load()}
+	if e := c.engine.Load(); e != nil {
+		s.Stats = e.Stats()
+	}
+	return s
+}
+
+// Track returns the live mobility-trace state for one client MAC — the
+// in-process face of the wire Query/Tracks exchange.
+func (c *Controller) Track(mac wifi.Addr) (fusion.TrackState, bool) {
+	if e := c.engine.Load(); e != nil {
+		return e.Track(mac)
+	}
+	return fusion.TrackState{}, false
+}
+
+// Snapshot returns the mobility-trace state of every tracked client.
+func (c *Controller) Snapshot() []fusion.TrackState {
+	if e := c.engine.Load(); e != nil {
+		return e.Snapshot()
+	}
+	return nil
 }
 
 // Decisions delivers fused fence decisions as they become available —
@@ -140,8 +261,15 @@ func (c *Controller) Unsubscribe(s *Subscription) {
 }
 
 // Serve starts accepting AP connections on the listener. It returns
-// immediately; Close shuts everything down.
+// immediately; Close shuts everything down. Contradictory fusion
+// tuning (see Config in package fusion) panics here, before any peer
+// traffic can trigger the engine's lazy build inside a handler.
 func (c *Controller) Serve(ln net.Listener) {
+	if c.engine.Load() == nil {
+		if err := c.fusionConfig().WithDefaults().Validate(); err != nil {
+			panic(err)
+		}
+	}
 	c.ln = ln
 	c.wg.Add(1)
 	go func() {
@@ -161,8 +289,10 @@ func (c *Controller) Serve(ln net.Listener) {
 }
 
 // Close stops the listener, drains the in-flight connection handlers
-// (each is unblocked by cancelling its connection), and only then
-// closes the decision channels, so no consumer sees a premature close.
+// (each is unblocked by cancelling its connection), shuts the fusion
+// engine down, and only then closes the decision channels, so no
+// consumer sees a premature close. The final fusion statistics are
+// logged through Logf.
 func (c *Controller) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -170,11 +300,16 @@ func (c *Controller) Close() {
 		return
 	}
 	c.closed = true
-	for k, t := range c.timers {
-		t.Stop()
-		delete(c.timers, k)
-	}
 	c.mu.Unlock()
+	// Burn the lazy-init slot so a racing ingest cannot build a fresh
+	// engine after we shut down; then close whichever engine exists.
+	c.engineOnce.Do(func() {})
+	if e := c.engine.Load(); e != nil {
+		e.Close()
+		s := c.Stats()
+		c.logf("controller: close: ingested=%d decisions=%d dups=%d expired=%d evictedPending=%d evictedClients=%d forced=%d fuseErrors=%d unknownAP=%d",
+			s.Ingested, s.Decisions, s.DupDropped, s.PendingExpired, s.PendingEvicted, s.ClientsEvicted, s.ForcedTimeouts, s.FuseErrors, s.UnknownAPDrops)
+	}
 	c.cancel()
 	if c.ln != nil {
 		c.ln.Close()
@@ -218,6 +353,9 @@ func (c *Controller) handle(conn net.Conn) {
 	}()
 
 	helloed := false
+	var ver uint16 = ProtoV1
+	var apName string
+	var bcast chan []byte
 	for {
 		if t := c.readTimeout(); t > 0 {
 			conn.SetReadDeadline(time.Now().Add(t))
@@ -241,11 +379,20 @@ func (c *Controller) handle(conn net.Conn) {
 				continue
 			}
 			helloed = true
-			ver := NegotiateVersion(m.Version)
-			c.mu.Lock()
-			c.apPos[m.Name] = m.Pos
-			c.mu.Unlock()
-			c.logf("controller: AP %q at %v (protocol v%d)", m.Name, m.Pos, ver)
+			ver = NegotiateVersion(m.Version)
+			apName = m.Name
+			if m.Name == "" {
+				// Observer session: receives broadcasts and may query,
+				// but is never a bearing source — kept out of apPos so
+				// it cannot skew the all-APs-reported fusion shortcut.
+				apName = fmt.Sprintf("#observer%d", c.observerSeq.Add(1))
+				c.logf("controller: observer %s connected (protocol v%d)", apName, ver)
+			} else {
+				c.mu.Lock()
+				c.apPos[m.Name] = m.Pos
+				c.mu.Unlock()
+				c.logf("controller: AP %q at %v (protocol v%d)", m.Name, m.Pos, ver)
+			}
 			if m.Version >= ProtoV2 {
 				// v2 handshake: answer with the negotiated version.
 				// Written directly — the broadcaster is not running yet,
@@ -257,7 +404,7 @@ func (c *Controller) handle(conn net.Conn) {
 					return
 				}
 			}
-			c.startBroadcaster(m.Name, conn, done, ver)
+			bcast = c.startBroadcaster(apName, conn, done, ver)
 		case Ping:
 			// Keepalive only: reading it already pushed the deadline.
 		case Report:
@@ -268,19 +415,41 @@ func (c *Controller) handle(conn net.Conn) {
 			}
 		case Alert:
 			c.handleAlert(m)
+		case Query:
+			// v2-gated: a Query on a v1 session (or before the Hello) is
+			// ignored rather than answered with frames the peer cannot
+			// decode — and rather than killing the connection.
+			if !helloed || ver < ProtoV2 {
+				c.logf("controller: query ignored on v%d session", ver)
+				continue
+			}
+			c.answerQuery(m, apName, bcast)
 		}
 	}
 }
 
 // startBroadcaster registers an outbound queue for an AP connection and
-// pumps controller broadcasts (quarantine alerts) onto the socket. From
-// this point the write side of the connection is the broadcaster's
-// alone, so no lock is shared with the read loop.
+// pumps controller broadcasts (quarantine alerts, track replies) onto
+// the socket. From this point the write side of the connection is the
+// broadcaster's alone, so no lock is shared with the read loop.
+//
+// An AP reconnecting under a name still registered (its old TCP
+// connection lingering half-open) replaces the registration atomically:
+// the stale broadcaster is stopped, its queue abandoned, and its
+// connection closed so the old handler reaps itself — no handoff window
+// in which broadcasts race between the two connections.
 func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}, version uint16) chan []byte {
 	ch := make(chan []byte, 16)
+	stop := make(chan struct{})
 	c.quar.mu.Lock()
-	c.quar.conns[name] = apConn{ch: ch, version: version}
+	prev, hadPrev := c.quar.conns[name]
+	c.quar.conns[name] = apConn{ch: ch, version: version, stop: stop, conn: conn}
 	c.quar.mu.Unlock()
+	if hadPrev {
+		c.logf("controller: AP %q reconnected, replacing stale connection", name)
+		close(prev.stop)
+		prev.conn.Close()
+	}
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -297,6 +466,8 @@ func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan stru
 				if err := WriteMessage(conn, body); err != nil {
 					return
 				}
+			case <-stop:
+				return
 			case <-c.ctx.Done():
 				return
 			case <-done:
@@ -307,132 +478,21 @@ func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan stru
 	return ch
 }
 
-// ingest records a report and emits a decision once MinAPs distinct APs
-// have reported the same (MAC, seq).
+// ingest resolves a report's AP position and hands the bearing to the
+// fusion engine, which emits a decision once MinAPs distinct APs have
+// reported the same (MAC, seq) with acceptable geometry.
 func (c *Controller) ingest(r Report) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.apPos[r.APName]; !ok {
+	pos, ok := c.apPos[r.APName]
+	c.mu.Unlock()
+	if !ok {
+		c.unknownAP.Add(1)
 		c.logf("controller: report from unknown AP %q dropped", r.APName)
 		return
 	}
-	key := pendingKey{r.MAC, r.SeqNo}
-	if c.decided[key] {
-		return
+	if e := c.eng(); e != nil {
+		e.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
 	}
-	m := c.pending[key]
-	if m == nil {
-		m = make(map[string]float64)
-		c.pending[key] = m
-	}
-	m[r.APName] = r.BearingDeg
-	if len(m) < c.MinAPs {
-		return
-	}
-
-	// Geometric dilution guard: when every pair of bearing lines is
-	// nearly parallel (a client close to the line between two APs), the
-	// intersection is ill-conditioned and can land tens of metres away.
-	// Hold the decision until a bearing with angular diversity arrives —
-	// unless every registered AP has already reported, or the decision
-	// timeout forces the best-available fix (see below).
-	if !c.diverse(m) && len(m) < len(c.apPos) {
-		if _, armed := c.timers[key]; !armed {
-			k := key
-			c.timers[key] = time.AfterFunc(c.decisionTimeout(), func() {
-				c.mu.Lock()
-				defer c.mu.Unlock()
-				c.finalizeLocked(k)
-			})
-		}
-		return
-	}
-	c.finalizeLocked(key)
-}
-
-// decisionTimeout returns the configured forced-decision deadline.
-func (c *Controller) decisionTimeout() time.Duration {
-	if c.DecisionTimeout > 0 {
-		return c.DecisionTimeout
-	}
-	return time.Second
-}
-
-// diverse checks angular diversity of the pending bearings (c.mu held).
-func (c *Controller) diverse(m map[string]float64) bool {
-	obs := make([]locate.BearingObs, 0, len(m))
-	for name, bearing := range m {
-		obs = append(obs, locate.BearingObs{AP: c.apPos[name], BearingDeg: bearing})
-	}
-	return angularlyDiverse(obs, 15)
-}
-
-// finalizeLocked fuses whatever bearings are pending for key and emits
-// the decision. Caller holds c.mu. A no-op when the key was already
-// decided, has too few bearings, or the controller is closing (the
-// decision channels may be mid-close).
-func (c *Controller) finalizeLocked(key pendingKey) {
-	if t, ok := c.timers[key]; ok {
-		t.Stop()
-		delete(c.timers, key)
-	}
-	if c.decided[key] || c.closed {
-		return
-	}
-	m := c.pending[key]
-	if len(m) < c.MinAPs {
-		return
-	}
-	obs := make([]locate.BearingObs, 0, len(m))
-	aps := make([]string, 0, len(m))
-	for name, bearing := range m {
-		obs = append(obs, locate.BearingObs{AP: c.apPos[name], BearingDeg: bearing})
-		aps = append(aps, name)
-	}
-	dec, pos, err := c.Fence.Decide(obs)
-	if err != nil {
-		c.logf("controller: fuse %v seq %d: %v", key.mac, key.seq, err)
-		return
-	}
-	c.decided[key] = true
-	delete(c.pending, key)
-	out := FenceDecision{MAC: key.mac, SeqNo: key.seq, Pos: pos, Decision: dec, APs: aps}
-	select {
-	case c.decision <- out:
-	default:
-		c.logf("controller: decision channel full, dropping %v", out.MAC)
-	}
-	for id, ch := range c.subs {
-		select {
-		case ch <- out:
-		default:
-			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
-		}
-	}
-}
-
-// angularlyDiverse reports whether some pair of bearing lines crosses at
-// no less than minDeg degrees (bearings compared modulo 180: a line and
-// its reverse are the same line).
-func angularlyDiverse(obs []locate.BearingObs, minDeg float64) bool {
-	for i := 0; i < len(obs); i++ {
-		for j := i + 1; j < len(obs); j++ {
-			d := obs[i].BearingDeg - obs[j].BearingDeg
-			for d < 0 {
-				d += 180
-			}
-			for d >= 180 {
-				d -= 180
-			}
-			if d > 90 {
-				d = 180 - d
-			}
-			if d >= minDeg {
-				return true
-			}
-		}
-	}
-	return false
 }
 
 // --- AP agent side ---
@@ -450,6 +510,22 @@ type Agent struct {
 	// a deadline, so a wedged controller cannot block the AP's hot path
 	// indefinitely. Set it before sharing the Agent across goroutines.
 	Timeout time.Duration
+
+	// The shared inbound reader (see startReader): one goroutine demuxes
+	// controller frames onto the per-type channels for Alerts and
+	// TrackReplies. Track frames nobody subscribed to are discarded, so
+	// a tracks-only consumer is never wedged behind undrained alerts
+	// (and vice versa); alerts arriving before Alerts() is called are
+	// parked (bounded) and flushed to the first subscriber.
+	readerOnce   sync.Once
+	alerts       chan Alert
+	tracks       chan Tracks
+	wantAlerts   atomic.Bool
+	wantTracks   atomic.Bool
+	pendMu       sync.Mutex
+	pendAlerts   []Alert
+	readerClosed bool // reader exited; channels are closed (pendMu)
+	querySeq     atomic.Uint32
 }
 
 // Version reports the protocol version negotiated for this session.

@@ -33,14 +33,18 @@ const (
 	TypeReportBatch = 4
 	TypeWelcome     = 5
 	TypePing        = 6
+	TypeQuery       = 7
+	TypeTrack       = 8
 )
 
 // Wire protocol versions. v1 is the seed protocol: a Hello with no
 // version field and no controller reply. v2 appends a version to the
 // Hello, answers it with a Welcome carrying the negotiated version
-// (the minimum of what both ends speak), and extends Alert with the
-// pipeline-stage field. Agents and controllers negotiate down, so a v1
-// agent talks to a v2 controller unchanged.
+// (the minimum of what both ends speak), extends Alert with the
+// pipeline-stage field, and adds the Query/Tracks mobility-trace
+// exchange (the controller ignores Query on v1 sessions and never
+// sends Tracks to them). Agents and controllers negotiate down, so a
+// v1 agent talks to a v2 controller unchanged.
 const (
 	ProtoV1 = 1
 	ProtoV2 = 2
@@ -69,7 +73,10 @@ const MaxMessageSize = 1 << 20
 // Hello announces an AP to the controller. Version is the highest
 // protocol version the agent speaks; zero (or 1) marshals in the v1
 // wire form, without the version field, so a Hello round-trips
-// byte-identically with v1 peers.
+// byte-identically with v1 peers. An empty Name makes the session an
+// observer: it receives broadcasts and may query tracks, but is not
+// registered as a bearing source (the `secureangle tracks` CLI
+// connects this way).
 type Hello struct {
 	Name string
 	Pos  geom.Point
@@ -298,6 +305,10 @@ func Unmarshal(b []byte) (any, error) {
 		return batch, nil
 	case TypeAlert:
 		return unmarshalAlert(b[1:])
+	case TypeQuery:
+		return unmarshalQuery(b[1:])
+	case TypeTrack:
+		return unmarshalTracks(b[1:])
 	default:
 		return nil, fmt.Errorf("netproto: unknown message type %d", b[0])
 	}

@@ -1,0 +1,281 @@
+package netproto
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"math"
+	"time"
+
+	"secureangle/internal/fusion"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/wifi"
+)
+
+// The v2 mobility-trace exchange: an agent sends Query and the
+// controller answers with one or more Tracks frames carrying the
+// fusion engine's live track state. Both message types are v2-gated —
+// the controller ignores a Query arriving on a v1 session (and never
+// emits Tracks on one), and Agent.Query refuses to send on a v1
+// session, so v1 peers never see a frame they cannot decode.
+
+// ErrRequiresV2 reports a v2-only operation attempted on a session
+// that negotiated protocol v1.
+var ErrRequiresV2 = errors.New("netproto: operation requires protocol v2")
+
+// Query asks the controller for mobility-trace state: every tracked
+// client when All is set, otherwise the single MAC. ID correlates the
+// reply frames with the request (echoed into every Tracks chunk), so
+// a reply still in flight when its query is abandoned cannot be
+// mistaken for the next query's answer.
+type Query struct {
+	MAC wifi.Addr
+	All bool
+	ID  uint32
+}
+
+// Tracks is the controller's reply to a Query, echoing its ID. Large
+// snapshots are chunked across frames; More marks every frame except
+// the last.
+type Tracks struct {
+	ID     uint32
+	More   bool
+	States []fusion.TrackState
+}
+
+// trackWireSize is one encoded TrackState: MAC + pos + vel + fixes +
+// lastSeq + updated (unix nanos) + decision byte.
+const trackWireSize = 6 + 16 + 16 + 8 + 8 + 8 + 1
+
+// maxTracksPerFrame bounds a Tracks frame under MaxMessageSize.
+const maxTracksPerFrame = (MaxMessageSize - 16) / trackWireSize
+
+// MarshalQuery encodes a Query message body.
+func MarshalQuery(q Query) []byte {
+	b := []byte{TypeQuery, 0}
+	if q.All {
+		b[1] = 1
+	}
+	b = binary.BigEndian.AppendUint32(b, q.ID)
+	return append(b, q.MAC[:]...)
+}
+
+func unmarshalQuery(rest []byte) (Query, error) {
+	if len(rest) != 11 {
+		return Query{}, ErrBadMessage
+	}
+	var q Query
+	q.All = rest[0]&1 != 0
+	q.ID = binary.BigEndian.Uint32(rest[1:5])
+	copy(q.MAC[:], rest[5:11])
+	return q, nil
+}
+
+// MarshalTracks encodes one Tracks message body. The caller keeps
+// len(States) within maxTracksPerFrame (the controller chunks).
+func MarshalTracks(t Tracks) []byte {
+	b := make([]byte, 0, 10+trackWireSize*len(t.States))
+	b = append(b, TypeTrack, 0)
+	if t.More {
+		b[1] = 1
+	}
+	b = binary.BigEndian.AppendUint32(b, t.ID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.States)))
+	for _, ts := range t.States {
+		b = append(b, ts.MAC[:]...)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(ts.Pos.X))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(ts.Pos.Y))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(ts.Vel.X))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(ts.Vel.Y))
+		b = binary.BigEndian.AppendUint64(b, ts.Fixes)
+		b = binary.BigEndian.AppendUint64(b, ts.LastSeq)
+		b = binary.BigEndian.AppendUint64(b, uint64(ts.Updated.UnixNano()))
+		b = append(b, byte(ts.Decision))
+	}
+	return b
+}
+
+func unmarshalTracks(rest []byte) (Tracks, error) {
+	if len(rest) < 9 {
+		return Tracks{}, ErrBadMessage
+	}
+	var t Tracks
+	t.More = rest[0]&1 != 0
+	t.ID = binary.BigEndian.Uint32(rest[1:5])
+	count64 := uint64(binary.BigEndian.Uint32(rest[5:9]))
+	rest = rest[9:]
+	if count64 != uint64(len(rest))/trackWireSize || uint64(len(rest)) != count64*trackWireSize {
+		return Tracks{}, ErrBadMessage
+	}
+	t.States = make([]fusion.TrackState, count64)
+	for i := range t.States {
+		ts := &t.States[i]
+		copy(ts.MAC[:], rest[:6])
+		ts.Pos = geom.Point{
+			X: math.Float64frombits(binary.BigEndian.Uint64(rest[6:14])),
+			Y: math.Float64frombits(binary.BigEndian.Uint64(rest[14:22])),
+		}
+		ts.Vel = geom.Point{
+			X: math.Float64frombits(binary.BigEndian.Uint64(rest[22:30])),
+			Y: math.Float64frombits(binary.BigEndian.Uint64(rest[30:38])),
+		}
+		ts.Fixes = binary.BigEndian.Uint64(rest[38:46])
+		ts.LastSeq = binary.BigEndian.Uint64(rest[46:54])
+		ts.Updated = time.Unix(0, int64(binary.BigEndian.Uint64(rest[54:62])))
+		ts.Decision = locate.Decision(rest[62])
+		rest = rest[trackWireSize:]
+	}
+	return t, nil
+}
+
+// --- Agent side ---
+
+// startReader launches the agent's single inbound reader, demuxing
+// controller frames onto per-type channels. It is shared by Alerts and
+// TrackReplies — the connection has one read side, so whichever is
+// called first owns it and both channels are fed. Frames of a kind no
+// caller has subscribed to are dropped rather than queued, so the
+// reader can only block on a channel some caller has promised to
+// drain.
+func (a *Agent) startReader() {
+	a.readerOnce.Do(func() {
+		a.alerts = make(chan Alert, 16)
+		a.tracks = make(chan Tracks, 4)
+		go func() {
+			defer func() {
+				// Mark the shutdown under pendMu before closing, so a
+				// concurrent Alerts() flush never sends on a closed
+				// channel (it waits for the lock, sees readerClosed,
+				// and skips).
+				a.pendMu.Lock()
+				a.readerClosed = true
+				a.pendMu.Unlock()
+				close(a.alerts)
+				close(a.tracks)
+			}()
+			for {
+				body, err := ReadMessage(a.conn)
+				if err != nil {
+					return
+				}
+				msg, err := Unmarshal(body)
+				if err != nil {
+					continue
+				}
+				switch m := msg.(type) {
+				case Alert:
+					a.deliverAlert(m)
+				case Tracks:
+					if a.wantTracks.Load() {
+						a.tracks <- m
+					}
+				}
+			}
+		}()
+	})
+}
+
+// deliverAlert hands one controller broadcast to the Alerts
+// subscriber, or parks it (bounded, oldest dropped) until someone
+// subscribes — an agent that started the shared reader via QueryTracks
+// before calling Alerts must not lose broadcasts read in between.
+func (a *Agent) deliverAlert(m Alert) {
+	a.pendMu.Lock()
+	if !a.wantAlerts.Load() {
+		if len(a.pendAlerts) >= cap(a.alerts) {
+			a.pendAlerts = a.pendAlerts[1:]
+		}
+		a.pendAlerts = append(a.pendAlerts, m)
+		a.pendMu.Unlock()
+		return
+	}
+	a.pendMu.Unlock()
+	a.alerts <- m
+}
+
+// Query asks the controller for mobility-trace state; replies arrive
+// as Tracks frames on TrackReplies. Protocol v2 only: on a v1 session
+// it fails with ErrRequiresV2 without touching the wire.
+func (a *Agent) Query(q Query) error {
+	if a.Version() < ProtoV2 {
+		return ErrRequiresV2
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeBody(MarshalQuery(q))
+}
+
+// TrackReplies delivers the controller's Tracks frames. Like Alerts it
+// consumes the connection's inbound side (through the shared reader);
+// the channel closes when the connection drops. Keep draining it —
+// once subscribed, an abandoned channel stalls the shared reader.
+func (a *Agent) TrackReplies() <-chan Tracks {
+	a.wantTracks.Store(true)
+	a.startReader()
+	return a.tracks
+}
+
+// QueryTracks sends a Query and collects its complete (possibly
+// chunked) reply under ctx. It is a convenience for request/response
+// callers — serialise calls, and do not interleave with manual
+// TrackReplies consumption.
+func (a *Agent) QueryTracks(ctx context.Context, q Query) ([]fusion.TrackState, error) {
+	ch := a.TrackReplies() // start the reader before the request can race the reply
+	q.ID = a.querySeq.Add(1)
+	if err := a.Query(q); err != nil {
+		return nil, err
+	}
+	var out []fusion.TrackState
+	for {
+		select {
+		case t, ok := <-ch:
+			if !ok {
+				return nil, errors.New("netproto: connection closed awaiting Tracks")
+			}
+			if t.ID != q.ID {
+				continue // stale frame of an abandoned earlier query
+			}
+			out = append(out, t.States...)
+			if !t.More {
+				return out, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// --- Controller side ---
+
+// answerQuery resolves a v2 session's Query against the fusion engine
+// and enqueues the (chunked) reply on the session's broadcast queue.
+func (c *Controller) answerQuery(q Query, name string, bcast chan []byte) {
+	var states []fusion.TrackState
+	if q.All {
+		states = c.Snapshot()
+	} else if ts, ok := c.Track(q.MAC); ok {
+		states = []fusion.TrackState{ts}
+	}
+	for first := true; first || len(states) > 0; first = false {
+		n := len(states)
+		if n > maxTracksPerFrame {
+			n = maxTracksPerFrame
+		}
+		frame := Tracks{ID: q.ID, States: states[:n], More: n < len(states)}
+		states = states[n:]
+		select {
+		case bcast <- MarshalTracks(frame):
+		default:
+			c.logf("controller: track reply queue to %s full, dropping %d states", name, n+len(states))
+			// Best effort: still terminate the reply, so a QueryTracks
+			// caller sees a truncated result instead of waiting out its
+			// context deadline for chunks that will never come.
+			select {
+			case bcast <- MarshalTracks(Tracks{ID: q.ID}):
+			default:
+			}
+			return
+		}
+	}
+}

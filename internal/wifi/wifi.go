@@ -15,6 +15,18 @@ import (
 // Addr is a 48-bit MAC address.
 type Addr [6]byte
 
+// Hash returns the FNV-1a hash of the address — the shared shard-
+// selection hash of core's signature registry and the controller's
+// fusion engine.
+func (a Addr) Hash() uint32 {
+	h := uint32(2166136261)
+	for _, b := range a {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	return h
+}
+
 // ParseAddr parses the colon-separated hex form "aa:bb:cc:dd:ee:ff".
 func ParseAddr(s string) (Addr, error) {
 	var a Addr

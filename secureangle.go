@@ -26,6 +26,8 @@
 //	internal/wifi        minimal 802.11 MAC framing
 //	internal/signature   AoA signatures, matching, tracking
 //	internal/locate      bearing triangulation and the virtual fence
+//	internal/fusion      bounded MAC-sharded bearing-fusion engine + mobility tracks
+//	internal/track       alpha-beta mobility filter over fused positions
 //	internal/netproto    AP -> controller fusion protocol over TCP
 //	internal/baseline    RSS signalprint baseline and directional attacker
 //	internal/testbed     the paper's Figure 4 office and its 20 clients
@@ -56,9 +58,11 @@ import (
 	"secureangle/internal/antenna"
 	"secureangle/internal/core"
 	"secureangle/internal/env"
+	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
 	"secureangle/internal/locate"
 	"secureangle/internal/music"
+	"secureangle/internal/netproto"
 	"secureangle/internal/ofdm"
 	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
@@ -105,6 +109,17 @@ type (
 	// Manifold is a precomputed steering manifold for an (array, grid)
 	// pair — the cache behind the estimation fast path.
 	Manifold = antenna.Manifold
+	// Controller is the multi-AP fusion controller: bearing reports in,
+	// fence decisions and mobility tracks out, backed by a bounded
+	// MAC-sharded fusion engine (see NewController).
+	Controller = netproto.Controller
+	// ControllerStats are the controller's fusion/ingress counters.
+	ControllerStats = netproto.ControllerStats
+	// FenceDecision is one fused controller decision.
+	FenceDecision = netproto.FenceDecision
+	// TrackState is one client's live mobility-trace state, from
+	// Controller.Track/Snapshot or the wire Query/Tracks exchange.
+	TrackState = fusion.TrackState
 )
 
 // DefaultConfig returns the pipeline settings used throughout the paper
@@ -185,3 +200,9 @@ func ObserveFrameBatch(ap *AP, clients []TestbedClient) ([]BatchResult, error) {
 // Triangulate fuses bearing observations from two or more APs into a
 // position (least squares).
 func Triangulate(obs []BearingObs) (Point, error) { return locate.Triangulate(obs) }
+
+// NewController builds the multi-AP fusion controller for a fence.
+// Tune the exported bounds (MinDiversityDeg, PendingTTL, MaxClients,
+// MaxPendingPerClient, FusionShards, ...) before Serve; see the README
+// "Controller at scale" section for the lifecycle guarantees.
+func NewController(fence *Fence) *Controller { return netproto.NewController(fence) }
