@@ -10,6 +10,9 @@ import (
 	"syscall"
 	"time"
 
+	"secureangle/internal/beamform"
+	"secureangle/internal/core"
+	"secureangle/internal/defense"
 	"secureangle/internal/dsp"
 	"secureangle/internal/experiments"
 	"secureangle/internal/geom"
@@ -213,6 +216,61 @@ func runTracks(addr, mac string) error {
 	return nil
 }
 
+// runDefense dials a running controller as a v3 observer session and
+// prints the defense engine's live threat states — the wire face of the
+// closed defense loop. A non-empty mac filters to one client; release
+// instead asks the controller for an operator release of that MAC.
+func runDefense(addr, mac string, release bool) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}})
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+	if a.Version() < netproto.ProtoV3 {
+		return fmt.Errorf("controller at %s negotiated protocol v%d; defense needs v3", addr, a.Version())
+	}
+	if release {
+		if mac == "" {
+			return fmt.Errorf("defense -release needs -mac")
+		}
+		addr, err := wifi.ParseAddr(mac)
+		if err != nil {
+			return err
+		}
+		if err := a.SendRelease(addr); err != nil {
+			return err
+		}
+		fmt.Printf("release of %s requested\n", addr)
+		return nil
+	}
+	q := netproto.Query{All: mac == ""}
+	if mac != "" {
+		addr, err := wifi.ParseAddr(mac)
+		if err != nil {
+			return err
+		}
+		q.MAC = addr
+	}
+	states, err := a.QueryThreats(ctx, q)
+	if err != nil {
+		return err
+	}
+	if len(states) == 0 {
+		fmt.Println("no tracked threats")
+		return nil
+	}
+	fmt.Printf("%-18s %-10s %-10s %6s %6s %6s %6s %8s %-10s %s\n",
+		"MAC", "state", "action", "score", "flags", "drops", "speed", "bearing", "by", "age")
+	for _, st := range states {
+		fmt.Printf("%-18s %-10s %-10s %6.2f %6d %6d %6d %8.1f %-10s %s\n",
+			st.MAC, st.State, st.Action, st.Score, st.Flags, st.FenceDrops, st.SpeedFlags,
+			st.BearingDeg, st.LastAP, time.Since(st.Updated).Truncate(time.Millisecond))
+	}
+	return nil
+}
+
 func runServe(addr string) error {
 	_, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
@@ -239,13 +297,17 @@ func runServe(addr string) error {
 	return nil
 }
 
-// runDemo wires two simulated APs to a controller over loopback TCP and
-// pushes one inside client and one outside intruder through the full
-// pipeline.
+// runDemo wires two simulated APs to a controller over loopback TCP,
+// pushes one inside client and one outside intruder through the fence,
+// then closes the defense loop: a spoof alert from ap1 becomes a
+// null-steer directive that ap2 applies with real beamforming weights.
 func runDemo(seed int64) error {
-	_, shell := testbed.Building()
+	environment, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
 	c := netproto.NewController(fence)
+	// Escalate straight to null-steer on the first flagged packet, so
+	// the demo shows the strongest countermeasure.
+	c.DefensePolicy = defense.Policy{NullSteerScore: 2}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err
@@ -314,6 +376,51 @@ func runDemo(seed int64) error {
 	for _, ts := range states {
 		fmt.Printf("  %s at %v (fixes %d, fence %s)\n", ts.MAC, ts.Pos, ts.Fixes, ts.Decision)
 	}
+
+	// Close the loop: ap1 flags the intruder's MAC as spoofed; the
+	// defense engine escalates and broadcasts a directive; ap2 — a real
+	// pipeline AP with the paper's circular array — applies null-steer
+	// weights toward the threat and acks the applied countermeasure.
+	dirCh := agents[1].Directives()
+	ap2 := core.NewAP("ap2", testbed.NewAPFrontEnd(testbed.CircularArray(), apPos[1], rng.New(seed+1)), environment, core.DefaultConfig())
+	intruderMAC := testbed.ClientMAC(99)
+	fmt.Printf("\nap1 flags %s as spoofed (signature distance 0.9 vs threshold 0.12)\n", intruderMAC)
+	if err := agents[0].SendAlertDetail(netproto.Alert{
+		APName: "ap1", MAC: intruderMAC, Distance: 0.9, Threshold: 0.12,
+		BearingDeg: bearingsFor(testbed.OutsidePositions()[0])[0], HasBearing: true, Stage: "spoofcheck",
+	}); err != nil {
+		return err
+	}
+	select {
+	case d := <-dirCh:
+		fmt.Printf("ap2 received directive: %s %s (score %.2f, reported by %s)\n", d.Action, d.MAC, d.Score, d.Reporter)
+		cm, err := ap2.ApplyDirective(d.Directive)
+		if err != nil {
+			return err
+		}
+		if cm.Weights != nil {
+			fmt.Printf("ap2 applied null-steer: %.1f dB toward threat bearing %.1f, %.1f dB toward serve bearing %.1f\n",
+				beamform.GainDB(ap2.FE.Array, cm.Weights, cm.NullBearingDeg), cm.NullBearingDeg,
+				beamform.GainDB(ap2.FE.Array, cm.Weights, cm.ServeBearingDeg), cm.ServeBearingDeg)
+		}
+		if err := agents[1].SendDirectiveAck(d.Directive); err != nil {
+			return err
+		}
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+
+	// The threat table over the wire, then the operator release path.
+	threats, err := agents[0].QueryThreats(ctx, netproto.Query{All: true})
+	if err != nil {
+		return err
+	}
+	fmt.Println("live threat states:")
+	for _, st := range threats {
+		fmt.Printf("  %s %s (action %s, score %.2f)\n", st.MAC, st.State, st.Action, st.Score)
+	}
+	c.Release(intruderMAC)
+	fmt.Printf("operator released %s (quarantine also decays on its own after the policy TTL)\n", intruderMAC)
 	return nil
 }
 

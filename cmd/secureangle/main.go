@@ -14,7 +14,8 @@
 //	secureangle calibrate  — the section 2.2 calibration procedure, narrated
 //	secureangle serve      — run the fence controller on a TCP port
 //	secureangle tracks     — query a running controller's live mobility traces
-//	secureangle demo       — end-to-end demo: APs + controller over loopback TCP
+//	secureangle defense    — query a controller's threat states (or -release a MAC)
+//	secureangle demo       — end-to-end demo: APs + controller + defense loop over loopback TCP
 //	secureangle all        — every experiment in sequence (EXPERIMENTS.md input)
 //
 // Flags: -seed N (default 1), -packets N (per-client packet count where
@@ -41,7 +42,8 @@ func main() {
 	spectra := fs.Bool("spectra", false, "dump full pseudospectra as TSV")
 	client := fs.Int("client", 5, "testbed client ID for capture")
 	file := fs.String("file", "capture.saiq", "I/Q capture path")
-	macFlag := fs.String("mac", "", "client MAC to query (tracks; empty = all)")
+	macFlag := fs.String("mac", "", "client MAC to query (tracks/defense; empty = all)")
+	releaseFlag := fs.Bool("release", false, "defense: request an operator release of -mac")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -80,6 +82,8 @@ func main() {
 		err = runServe(*listen)
 	case "tracks":
 		err = runTracks(*listen, *macFlag)
+	case "defense":
+		err = runDefense(*listen, *macFlag, *releaseFlag)
 	case "demo":
 		err = runDemo(*seed)
 	case "all":
@@ -121,8 +125,9 @@ services and demos:
   calibrate   narrate the section 2.2 phase-offset calibration
   serve       run the AoA fusion controller on -listen
   tracks      query a running controller's live mobility traces (-mac filters)
-  demo        APs + controller end-to-end over loopback TCP
+  defense     query a controller's defense threat states (-mac filters, -release frees a MAC)
+  demo        APs + controller + closed defense loop over loopback TCP
 
-flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff
+flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release
 `)
 }

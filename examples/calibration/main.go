@@ -1,89 +1,115 @@
-// Calibration: demonstrates why the section 2.2 procedure is necessary.
-// The same packet is processed twice — once with the per-chain
-// downconverter phase offsets uncorrected (bearing estimation breaks) and
-// once after applying the offsets recovered from the cabled reference
-// capture (bearing estimation works).
+// Calibration: demonstrates why the section 2.2 procedure is necessary,
+// on the v2 Node facade. A node built with deferred calibration refuses
+// observations with the typed ErrNotCalibrated (the service posture:
+// come up, register, calibrate on command); estimating on the raw
+// capture with the offsets uncorrected breaks bearing estimation, and
+// node.Calibrate restores it.
 //
 //	go run ./examples/calibration
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
+	"secureangle"
 	"secureangle/internal/detect"
 	"secureangle/internal/geom"
 	"secureangle/internal/music"
 	"secureangle/internal/ofdm"
-	"secureangle/internal/radio"
-	"secureangle/internal/rng"
 	"secureangle/internal/testbed"
 )
 
 func main() {
-	environment, _ := testbed.Building()
-	arr := testbed.CircularArray()
-	fe := testbed.NewAPFrontEnd(arr, testbed.AP1, rng.New(7))
-
-	client, err := testbed.ClientByID(5)
+	ctx := context.Background()
+	// Deferred calibration: the constructor skips the section 2.2 pass.
+	node, err := secureangle.New(
+		secureangle.WithName("ap1"),
+		secureangle.WithSeed(7),
+		secureangle.WithDeferredCalibration(),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	truth := testbed.GroundTruth(testbed.AP1, client.Pos)
+
+	client, err := secureangle.Client(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth := testbed.GroundTruth(secureangle.AP1, client.Pos)
 
 	frame := testbed.UplinkFrame(client.ID, 1, []byte("calibration demo"))
 	baseband, err := testbed.FrameBaseband(frame, ofdm.QPSK)
 	if err != nil {
 		log.Fatal(err)
 	}
-	streams, err := fe.Receive(environment, client.Pos, baseband)
+
+	// Before calibration the pipeline refuses with a typed error —
+	// errors.Is against the sentinel, the v2 error taxonomy.
+	if _, err := node.Observe(ctx, client.Pos, baseband); !errors.Is(err, secureangle.ErrNotCalibrated) {
+		log.Fatalf("expected ErrNotCalibrated, got %v", err)
+	}
+	fmt.Println("uncalibrated node refuses observations: ErrNotCalibrated")
+
+	// Capture the raw streams once, so the calibrated and uncalibrated
+	// estimates see the same packet.
+	raw, err := node.AP().Receive(client.Pos, baseband)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawCopy := make([][]complex128, len(raw))
+	for i, s := range raw {
+		rawCopy[i] = append([]complex128(nil), s...)
+	}
+
+	// What the refusal prevents: estimating on the capture with the
+	// per-chain downconverter phases uncorrected scrambles the steering
+	// model and the bearing lands far from the truth.
+	rawBearing := estimate(rawCopy, node.AP().Grid())
+
+	// Section 2.2: switch the inputs to the reference source, measure
+	// the relative offsets, switch back, subtract.
+	node.Calibrate()
+	fmt.Println("node.Calibrate() ran the section 2.2 reference-tone procedure")
+	rep, err := node.AP().ProcessStreams(raw)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Keep an uncalibrated copy.
-	raw := make([][]complex128, len(streams))
-	for i, s := range streams {
-		raw[i] = append([]complex128(nil), s...)
-	}
-
-	// Section 2.2: switch the inputs to the reference source, measure the
-	// seven relative offsets, switch back, subtract.
-	offsets := fe.Calibrate(4000)
-	radio.ApplyCalibration(streams, offsets)
-
-	estimate := func(set [][]complex128) float64 {
-		dets := detect.Find(set[0], detect.DefaultConfig())
-		if len(dets) == 0 {
-			log.Fatal("no packet detected")
-		}
-		n := len(set[0]) - dets[0].Start
-		win, ok := detect.ExtractAligned(set, dets[0], n)
-		if !ok {
-			log.Fatal("extraction failed")
-		}
-		r, err := music.Covariance(win)
-		if err != nil {
-			log.Fatal(err)
-		}
-		est := &music.MUSIC{Sources: 0, Samples: n}
-		ps, err := est.Pseudospectrum(r, arr, arr.ScanGrid(1))
-		if err != nil {
-			log.Fatal(err)
-		}
-		return ps.PeakBearing()
-	}
-
-	rawBearing := estimate(raw)
-	calBearing := estimate(streams)
-
-	fmt.Printf("ground-truth bearing:        %7.1f deg\n", truth)
+	fmt.Printf("\nground-truth bearing:        %7.1f deg\n", truth)
 	fmt.Printf("uncalibrated estimate:       %7.1f deg (error %.1f)\n",
 		rawBearing, geom.AngularDistDeg(rawBearing, truth))
 	fmt.Printf("calibrated estimate:         %7.1f deg (error %.1f)\n",
-		calBearing, geom.AngularDistDeg(calBearing, truth))
+		rep.BearingDeg, geom.AngularDistDeg(rep.BearingDeg, truth))
+
 	fmt.Println("\nper-chain offsets recovered (radians, relative to chain 1):")
-	for i, o := range offsets {
+	for i, o := range node.AP().Offsets() {
 		fmt.Printf("  chain %d: %+.4f\n", i+1, o)
 	}
+}
+
+// estimate runs detection + MUSIC directly on raw streams, bypassing
+// the AP's calibration — the broken path the Node API refuses to take.
+func estimate(set [][]complex128, grid []float64) float64 {
+	dets := detect.Find(set[0], detect.DefaultConfig())
+	if len(dets) == 0 {
+		log.Fatal("no packet detected")
+	}
+	n := len(set[0]) - dets[0].Start
+	win, ok := detect.ExtractAligned(set, dets[0], n)
+	if !ok {
+		log.Fatal("extraction failed")
+	}
+	r, err := music.Covariance(win)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est := &music.MUSIC{Sources: 0, Samples: n}
+	ps, err := est.Pseudospectrum(r, testbed.CircularArray(), grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ps.PeakBearing()
 }

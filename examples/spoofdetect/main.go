@@ -1,35 +1,40 @@
-// Spoofdetect: the section 2.3.2 application. The AP trains on a
-// legitimate client's AoA signature, keeps accepting that client through
-// normal channel noise, and flags an attacker who transmits with the
-// victim's MAC address from a different location — including an attacker
-// whose directional antenna defeats the RSS-signalprint baseline.
+// Spoofdetect: the section 2.3.2 application, on the v2 Node facade.
+// The AP trains on a legitimate client's AoA signature, keeps accepting
+// that client through normal channel noise, and flags an attacker who
+// transmits with the victim's MAC address from a different location —
+// including an attacker whose directional antenna defeats the RSS
+// signalprint baseline. The scored verdicts show the margin of every
+// call: how much drift headroom a clean packet had, and how far past
+// the threshold the spoofed ones landed.
 //
 //	go run ./examples/spoofdetect
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"secureangle"
 	"secureangle/internal/baseline"
-	"secureangle/internal/core"
 	"secureangle/internal/env"
 	"secureangle/internal/geom"
 	"secureangle/internal/ofdm"
-	"secureangle/internal/rng"
 	"secureangle/internal/testbed"
 )
 
 func main() {
-	environment, _ := testbed.Building()
-	fe := testbed.NewAPFrontEnd(testbed.CircularArray(), testbed.AP1, rng.New(11))
-	ap := core.NewAP("ap1", fe, environment, core.DefaultConfig())
-
-	victim, err := testbed.ClientByID(5)
+	ctx := context.Background()
+	node, err := secureangle.New(secureangle.WithName("ap1"), secureangle.WithSeed(11))
 	if err != nil {
 		log.Fatal(err)
 	}
-	attackerPos, err := testbed.ClientByID(9) // across the room
+
+	victim, err := secureangle.Client(5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attackerPos, err := secureangle.Client(9) // across the room
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,46 +42,49 @@ func main() {
 	// Training stage: the first frame from this MAC enrolls its
 	// signature Scl.
 	train := testbed.UplinkFrame(victim.ID, 0, []byte("association"))
-	if _, err := ap.ProcessFrame(victim.Pos, train, ofdm.QPSK); err != nil {
+	if _, err := node.ProcessFrame(ctx, victim.Pos, train, ofdm.QPSK); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("trained signature for %s (client %d at %v)\n\n",
 		testbed.ClientMAC(victim.ID), victim.ID, victim.Pos)
 
-	// Normal traffic: accepted, signature tracked.
+	// Normal traffic: accepted, signature tracked. Margin() is the
+	// headroom left before the drift would be flagged.
 	fmt.Println("legitimate traffic:")
 	for seq := uint16(1); seq <= 5; seq++ {
 		f := testbed.UplinkFrame(victim.ID, seq, []byte("normal data"))
-		fr, err := ap.ProcessFrame(victim.Pos, f, ofdm.QPSK)
+		fr, err := node.ProcessFrame(ctx, victim.Pos, f, ofdm.QPSK)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  seq %d: %-6s (signature distance %.4f)\n", seq, fr.Decision, fr.Distance)
+		fmt.Printf("  seq %d: %-6s (distance %.4f, margin %+.4f)\n",
+			seq, fr.Decision, fr.Distance, fr.Verdict().Margin())
 	}
 
 	// The attack: same MAC, different location.
 	fmt.Println("\nattacker spoofing the victim's MAC from across the room:")
 	for seq := uint16(100); seq < 103; seq++ {
 		f := testbed.UplinkFrame(victim.ID, seq, []byte("injected"))
-		fr, err := ap.ProcessFrame(attackerPos.Pos, f, ofdm.QPSK)
+		fr, err := node.ProcessFrame(ctx, attackerPos.Pos, f, ofdm.QPSK)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  seq %d: %-6s (signature distance %.4f)\n", seq, fr.Decision, fr.Distance)
+		fmt.Printf("  seq %d: %-6s (distance %.4f, margin %+.4f)\n",
+			seq, fr.Decision, fr.Distance, fr.Verdict().Margin())
 	}
 
 	// Who was it really? Rank the registry by signature distance: the
 	// attack frames' physical signature matches the attacker's own
 	// enrolled station.
-	if _, err := ap.ProcessFrame(attackerPos.Pos, testbed.UplinkFrame(attackerPos.ID, 1, nil), ofdm.QPSK); err != nil {
+	if _, err := node.ProcessFrame(ctx, attackerPos.Pos, testbed.UplinkFrame(attackerPos.ID, 1, nil), ofdm.QPSK); err != nil {
 		log.Fatal(err)
 	}
 	lastSpoof := testbed.UplinkFrame(victim.ID, 200, []byte("injected"))
-	fr, err := ap.ProcessFrame(attackerPos.Pos, lastSpoof, ofdm.QPSK)
+	fr, err := node.ProcessFrame(ctx, attackerPos.Pos, lastSpoof, ofdm.QPSK)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ids, err := ap.Identify(fr.Sig)
+	ids, err := node.AP().Identify(fr.Sig)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,6 +95,7 @@ func main() {
 
 	// The RSS baseline against a directional-antenna attacker.
 	fmt.Println("\nRSS signalprint baseline vs a 20 dB directional antenna:")
+	environment := node.Environment()
 	victimPrint := rssAt(environment, victim.Pos)
 	attackerPrint := rssAt(environment, attackerPos.Pos)
 	atk := baseline.DirectionalAttacker{MaxGainDB: 20, ErrorDB: 1}

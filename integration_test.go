@@ -157,7 +157,7 @@ func TestFullStackV2StreamToController(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if a.Version() != netproto.ProtoV2 {
+		if a.Version() != netproto.ProtoVersion {
 			t.Fatalf("%s negotiated v%d", name, a.Version())
 		}
 		defer a.Close()

@@ -8,6 +8,7 @@ import (
 	"secureangle/internal/geom"
 	"secureangle/internal/ofdm"
 	"secureangle/internal/radio"
+	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
 	"secureangle/internal/wifi"
 )
@@ -199,14 +200,19 @@ func (ap *AP) ProcessFrameBatchContext(ctx context.Context, items []FrameBatchIt
 			continue
 		}
 		fr := &FrameReport{Report: *r.Report, MAC: items[i].Frame.Addr2}
-		dec, dist, enrolled, err := ap.registry.observe(items[i].Frame.Addr2, r.Report.Sig, ap.cfg.Policy)
+		v, enrolled, err := ap.registry.observe(items[i].Frame.Addr2, r.Report.Sig, ap.cfg.Policy)
 		if err != nil {
 			out[i].Err = &PipelineError{Stage: StageSpoofCheck, AP: ap.Name, MAC: items[i].Frame.Addr2, Err: err}
 			continue
 		}
-		fr.Decision = dec
-		fr.Distance = dist
+		fr.Decision = v.Decision
+		fr.Distance = v.Distance
+		fr.Threshold = v.Threshold
 		fr.Enrolled = enrolled
+		fr.Quarantined = ap.measures.active(items[i].Frame.Addr2)
+		if v.Decision == signature.Accept && !fr.Quarantined {
+			ap.measures.noteServeBearing(r.Report.BearingDeg)
+		}
 		out[i].Report = fr
 	}
 	return out

@@ -276,14 +276,17 @@ func TestShardedRegistryMatchesSingleMutex(t *testing.T) {
 	for step := 0; step < 400; step++ {
 		mac := macs[src.Intn(len(macs))]
 		sig := randomSig()
-		d1, dist1, enr1, err1 := sharded.observe(mac, sig, policy)
+		v1, enr1, err1 := sharded.observe(mac, sig, policy)
 		d2, dist2, enr2, err2 := reference.observe(mac, sig, policy)
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatalf("step %d: error mismatch %v vs %v", step, err1, err2)
 		}
-		if d1 != d2 || dist1 != dist2 || enr1 != enr2 {
+		if v1.Decision != d2 || v1.Distance != dist2 || enr1 != enr2 {
 			t.Fatalf("step %d: sharded (%v, %v, %v) != reference (%v, %v, %v)",
-				step, d1, dist1, enr1, d2, dist2, enr2)
+				step, v1.Decision, v1.Distance, enr1, d2, dist2, enr2)
+		}
+		if v1.Threshold != policy.MaxDistance {
+			t.Fatalf("step %d: verdict threshold %v != policy %v", step, v1.Threshold, policy.MaxDistance)
 		}
 		if step%50 == 0 {
 			probe := randomSig()
@@ -353,7 +356,7 @@ func TestShardedRegistryConcurrent(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				mac := testbed.ClientMAC(i % 16)
-				_, _, enrolled, err := reg.observe(mac, sigs[(g*31+i)%len(sigs)], policy)
+				_, enrolled, err := reg.observe(mac, sigs[(g*31+i)%len(sigs)], policy)
 				if err != nil {
 					t.Errorf("observe: %v", err)
 					return

@@ -131,6 +131,10 @@ type AP struct {
 	// front end's noise-stream forks) across concurrent batch calls.
 	prepMu   sync.Mutex
 	registry *shardedRegistry
+	// measures is the AP's active-countermeasure table: the runtime face
+	// of controller defense directives (quarantine drops, null-steer
+	// weights). See countermeasure.go.
+	measures countermeasures
 }
 
 // NewAP builds an AP and immediately runs the section 2.2 calibration
@@ -443,9 +447,21 @@ type FrameReport struct {
 	MAC      wifi.Addr
 	Decision signature.Decision
 	Distance float64
+	// Threshold is the match policy's MaxDistance the check compared
+	// Distance against; Margin() on the Verdict view gives the headroom.
+	Threshold float64
 	// Enrolled is true when this packet trained a new registry entry
 	// (initial training stage) rather than being checked.
 	Enrolled bool
+	// Quarantined marks a frame from a MAC the AP holds an active
+	// countermeasure directive against (see ApplyDirective); such frames
+	// are to be dropped by the caller regardless of Decision.
+	Quarantined bool
+}
+
+// Verdict assembles the scored spoof-check verdict of this frame.
+func (fr *FrameReport) Verdict() signature.Verdict {
+	return signature.Verdict{Decision: fr.Decision, Distance: fr.Distance, Threshold: fr.Threshold}
 }
 
 // ProcessFrame transmits the frame from tx, runs the pipeline, and applies
@@ -469,13 +485,20 @@ func (ap *AP) ProcessFrameContext(ctx context.Context, tx geom.Point, frame *wif
 		return nil, withMAC(err, frame.Addr2)
 	}
 	fr := &FrameReport{Report: *rep, MAC: frame.Addr2}
-	dec, dist, enrolled, err := ap.registry.observe(frame.Addr2, rep.Sig, ap.cfg.Policy)
+	v, enrolled, err := ap.registry.observe(frame.Addr2, rep.Sig, ap.cfg.Policy)
 	if err != nil {
 		return nil, &PipelineError{Stage: StageSpoofCheck, AP: ap.Name, MAC: frame.Addr2, Err: err}
 	}
-	fr.Decision = dec
-	fr.Distance = dist
+	fr.Decision = v.Decision
+	fr.Distance = v.Distance
+	fr.Threshold = v.Threshold
 	fr.Enrolled = enrolled
+	fr.Quarantined = ap.measures.active(frame.Addr2)
+	if v.Decision == signature.Accept && !fr.Quarantined {
+		// Remember where legitimate traffic comes from: the serve bearing
+		// a null-steer countermeasure preserves gain toward.
+		ap.measures.noteServeBearing(rep.BearingDeg)
+	}
 	return fr, nil
 }
 

@@ -1,0 +1,213 @@
+package core
+
+// The AP side of the closed defense loop: controller directives
+// (internal/defense) land here and become physical countermeasures.
+// A quarantine directive marks the MAC so ProcessFrame stamps its
+// frames Quarantined (the caller drops them); a null-steer directive
+// additionally computes LCMV weights (internal/beamform) that keep
+// unit gain toward the AP's current serve bearing while placing a
+// spatial transmit null toward the threat — the paper's section 5
+// "yield to transmitters you can localise" primitive, finally wired
+// into the runtime.
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"secureangle/internal/beamform"
+	"secureangle/internal/defense"
+	"secureangle/internal/geom"
+	"secureangle/internal/wifi"
+)
+
+// Countermeasure is one applied directive: what the AP is doing about a
+// flagged MAC right now.
+type Countermeasure struct {
+	MAC    wifi.Addr
+	Action defense.Action
+	// NullBearingDeg is the bearing the transmit null points at (valid
+	// for ActionNullSteer).
+	NullBearingDeg float64
+	// ServeBearingDeg is the bearing the null-steer weights preserve
+	// unit gain toward (the AP's last accepted legitimate bearing).
+	ServeBearingDeg float64
+	// Weights are the applied unit-norm transmit weights (nil unless
+	// ActionNullSteer). Verify with beamform.Gain: ~0 at
+	// NullBearingDeg, high at ServeBearingDeg.
+	Weights []complex128
+	// Applied is when the directive took effect at this AP.
+	Applied time.Time
+	// Expires is the countermeasure's lease end (zero = no lease): past
+	// it the AP treats the countermeasure as cleared even if the
+	// release directive never arrived — the directive's TTL backstop,
+	// set from the controller policy's QuarantineTTL.
+	Expires time.Time
+}
+
+// expired reports whether the countermeasure's lease has lapsed.
+func (cm Countermeasure) expired(now time.Time) bool {
+	return !cm.Expires.IsZero() && now.After(cm.Expires)
+}
+
+// countermeasures is the AP's active-countermeasure table. The zero
+// value is usable: ProcessFrame only reads, ApplyDirective creates the
+// map lazily.
+type countermeasures struct {
+	mu sync.RWMutex
+	m  map[wifi.Addr]Countermeasure
+	// serveBearingDeg tracks the bearing of the last accepted
+	// legitimate frame — where the AP's downlink should keep pointing
+	// while it nulls a threat.
+	serveBearingDeg float64
+	serveKnown      bool
+	// nextReap amortises the lease sweep: expired entries (whose MACs
+	// may never transmit or be directed again — the exact case the
+	// lease backstops) are reaped at most once per reapInterval from
+	// the write paths, so the table stays O(live countermeasures).
+	nextReap time.Time
+}
+
+// reapInterval bounds how often the full-table lease sweep runs.
+const reapInterval = time.Minute
+
+// reapLocked deletes lease-expired entries when the amortisation timer
+// allows. Write lock held.
+func (c *countermeasures) reapLocked(now time.Time) {
+	if now.Before(c.nextReap) {
+		return
+	}
+	c.nextReap = now.Add(reapInterval)
+	for mac, cm := range c.m {
+		if cm.expired(now) {
+			delete(c.m, mac)
+		}
+	}
+}
+
+// active reports whether mac has a live countermeasure (its frames are
+// to be dropped). Lease expiry is checked lazily: a countermeasure
+// whose TTL lapsed counts as cleared, so a lost release directive
+// cannot strand a client (the map entry itself is reaped on the next
+// directive for the MAC).
+func (c *countermeasures) active(mac wifi.Addr) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cm, ok := c.m[mac]
+	return ok && !cm.expired(time.Now())
+}
+
+// noteServeBearing records the bearing of an accepted legitimate frame
+// (and, running on every accepted frame, hosts the amortised lease
+// reap).
+func (c *countermeasures) noteServeBearing(deg float64) {
+	now := time.Now()
+	c.mu.Lock()
+	c.serveBearingDeg, c.serveKnown = deg, true
+	c.reapLocked(now)
+	c.mu.Unlock()
+}
+
+// minNullSepDeg is the smallest serve/null angular separation the
+// constrained beamformer is asked to honour: closer than this the two
+// steering constraints are nearly colinear (unit gain and a null a
+// fraction of a beamwidth apart forces enormous sidelobes), so the
+// serve direction is shifted away from the null.
+const minNullSepDeg = 15.0
+
+// ApplyDirective applies one controller directive at this AP and
+// returns the resulting countermeasure state. ActionAllow clears the
+// MAC's entry (the returned countermeasure records the release);
+// ActionQuarantine marks the MAC for dropping; ActionNullSteer
+// additionally computes null-steer weights toward the directive's
+// bearing — derived from the threat's fused position when the
+// directive carries one (each AP computes its own bearing to it),
+// falling back to the reporting AP's measured bearing. A null-steer
+// directive with neither (no position, no valid bearing) is downgraded
+// to a plain quarantine: a spatial null must never be aimed at a
+// default direction. A positive directive TTL becomes the
+// countermeasure's lease (see Countermeasure.Expires).
+func (ap *AP) ApplyDirective(d defense.Directive) (Countermeasure, error) {
+	c := &ap.measures
+	now := time.Now()
+	cm := Countermeasure{MAC: d.MAC, Action: d.Action, Applied: now}
+	if d.Action == defense.ActionAllow {
+		c.mu.Lock()
+		delete(c.m, d.MAC)
+		c.mu.Unlock()
+		return cm, nil
+	}
+	if d.TTL > 0 {
+		cm.Expires = now.Add(d.TTL)
+	}
+	if d.Action == defense.ActionNullSteer && !d.HasPos && !d.HasBearing {
+		cm.Action = defense.ActionQuarantine
+	}
+	if cm.Action == defense.ActionNullSteer {
+		nullDeg := d.BearingDeg
+		if d.HasPos {
+			nullDeg = geom.BearingDeg(ap.FE.Pos, d.Pos)
+		}
+		c.mu.RLock()
+		serveDeg, known := c.serveBearingDeg, c.serveKnown
+		c.mu.RUnlock()
+		if !known || geom.AngularDistDeg(serveDeg, nullDeg) < minNullSepDeg {
+			// No (usable) serve direction: keep serving broadside
+			// relative to the threat.
+			serveDeg = math.Mod(nullDeg+90, 360)
+		}
+		w, err := beamform.SteerWithNull(ap.FE.Array, serveDeg, nullDeg)
+		if err != nil {
+			return Countermeasure{}, err
+		}
+		cm.NullBearingDeg = nullDeg
+		cm.ServeBearingDeg = serveDeg
+		cm.Weights = w
+	}
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[wifi.Addr]Countermeasure)
+	}
+	c.m[d.MAC] = cm
+	c.reapLocked(now)
+	c.mu.Unlock()
+	return cm, nil
+}
+
+// CountermeasureFor returns the active (unexpired) countermeasure for
+// a MAC.
+func (ap *AP) CountermeasureFor(mac wifi.Addr) (Countermeasure, bool) {
+	c := &ap.measures
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cm, ok := c.m[mac]
+	if !ok || cm.expired(time.Now()) {
+		return Countermeasure{}, false
+	}
+	return cm, true
+}
+
+// Countermeasures snapshots every active (unexpired) countermeasure at
+// this AP.
+func (ap *AP) Countermeasures() []Countermeasure {
+	c := &ap.measures
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	now := time.Now()
+	out := make([]Countermeasure, 0, len(c.m))
+	for _, cm := range c.m {
+		if !cm.expired(now) {
+			out = append(out, cm)
+		}
+	}
+	return out
+}
+
+// ServeBearing returns the bearing of the last accepted legitimate
+// frame, when one exists — the direction null-steer weights protect.
+func (ap *AP) ServeBearing() (float64, bool) {
+	c := &ap.measures
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.serveBearingDeg, c.serveKnown
+}

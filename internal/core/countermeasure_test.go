@@ -1,0 +1,208 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"secureangle/internal/beamform"
+	"secureangle/internal/defense"
+	"secureangle/internal/geom"
+	"secureangle/internal/ofdm"
+	"secureangle/internal/signature"
+	"secureangle/internal/testbed"
+	"secureangle/internal/wifi"
+)
+
+func TestDefenseApplyQuarantineDirective(t *testing.T) {
+	ap := newTestAP(t, 21)
+	victim, err := testbed.ClientByID(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mac := testbed.ClientMAC(5)
+
+	// Train, then confirm normal traffic is clean.
+	if _, err := ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 1, nil), ofdm.QPSK); err != nil {
+		t.Fatal(err)
+	}
+	fr, err := ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 2, nil), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Quarantined || fr.Decision != signature.Accept {
+		t.Fatalf("clean frame: %+v", fr)
+	}
+	if fr.Threshold != signature.DefaultPolicy().MaxDistance {
+		t.Errorf("FrameReport.Threshold = %v", fr.Threshold)
+	}
+	if v := fr.Verdict(); v.Margin() <= 0 {
+		t.Errorf("accepted frame has non-positive margin: %+v", v)
+	}
+
+	// Quarantine the MAC: subsequent frames are stamped for dropping.
+	cm, err := ap.ApplyDirective(defense.Directive{MAC: mac, Action: defense.ActionQuarantine})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Action != defense.ActionQuarantine || cm.Weights != nil {
+		t.Fatalf("countermeasure = %+v", cm)
+	}
+	fr, err = ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 3, nil), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Quarantined {
+		t.Fatal("quarantined MAC's frame not stamped")
+	}
+	if got := ap.Countermeasures(); len(got) != 1 || got[0].MAC != mac {
+		t.Fatalf("Countermeasures() = %+v", got)
+	}
+
+	// Release clears it.
+	if _, err := ap.ApplyDirective(defense.Directive{MAC: mac, Action: defense.ActionAllow}); err != nil {
+		t.Fatal(err)
+	}
+	fr, err = ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 4, nil), ofdm.QPSK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Quarantined {
+		t.Fatal("released MAC still stamped")
+	}
+	if got := ap.Countermeasures(); len(got) != 0 {
+		t.Fatalf("countermeasures after release: %+v", got)
+	}
+}
+
+func TestDefenseApplyNullSteerDirective(t *testing.T) {
+	ap := newTestAP(t, 22)
+	victim, err := testbed.ClientByID(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Train so the AP knows its serve bearing (victim's direction).
+	if _, err := ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 1, nil), ofdm.QPSK); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap.ProcessFrame(victim.Pos, testbed.UplinkFrame(5, 2, nil), ofdm.QPSK); err != nil {
+		t.Fatal(err)
+	}
+	serve, known := ap.ServeBearing()
+	if !known {
+		t.Fatal("no serve bearing after accepted traffic")
+	}
+
+	// Null-steer toward a threat position across the room: the AP must
+	// derive its own bearing from the fused position.
+	threatPos := geom.Point{X: 4, Y: 12}
+	threatMAC := wifi.MustParseAddr("66:00:00:00:00:01")
+	d := defense.Directive{
+		MAC: threatMAC, Action: defense.ActionNullSteer,
+		Pos: threatPos, HasPos: true, BearingDeg: 123, // wire bearing ignored when HasPos
+	}
+	cm, err := ap.ApplyDirective(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNull := geom.BearingDeg(ap.FE.Pos, threatPos)
+	if cm.NullBearingDeg != wantNull {
+		t.Fatalf("null bearing %v, want %v from fused position", cm.NullBearingDeg, wantNull)
+	}
+	arr := ap.FE.Array
+	if g := beamform.Gain(arr, cm.Weights, wantNull); g > 1e-12 {
+		t.Errorf("gain at null bearing = %g, want ~0", g)
+	}
+	gServe := beamform.Gain(arr, cm.Weights, cm.ServeBearingDeg)
+	if gServe < 1 {
+		t.Errorf("gain at serve bearing = %g, want >= 1 (constrained to unit response)", gServe)
+	}
+	if cm.ServeBearingDeg != serve && geom.AngularDistDeg(serve, wantNull) >= minNullSepDeg {
+		t.Errorf("serve bearing %v, want tracked %v", cm.ServeBearingDeg, serve)
+	}
+	// Null-steered MACs are also dropped.
+	if !ap.measures.active(threatMAC) {
+		t.Error("null-steered MAC not marked active")
+	}
+
+	// Fallback path: no position — use the reporter's measured bearing.
+	cm2, err := ap.ApplyDirective(defense.Directive{
+		MAC: threatMAC, Action: defense.ActionNullSteer, BearingDeg: 123, HasBearing: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm2.NullBearingDeg != 123 {
+		t.Errorf("fallback null bearing = %v, want 123", cm2.NullBearingDeg)
+	}
+	if g := beamform.Gain(arr, cm2.Weights, 123); g > 1e-12 {
+		t.Errorf("fallback gain at null = %g", g)
+	}
+
+	// No direction at all: the null-steer is downgraded to a plain
+	// quarantine rather than aimed at an arbitrary default bearing.
+	cm3, err := ap.ApplyDirective(defense.Directive{
+		MAC: threatMAC, Action: defense.ActionNullSteer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm3.Action != defense.ActionQuarantine || cm3.Weights != nil {
+		t.Errorf("directionless null-steer not downgraded: %+v", cm3)
+	}
+	if !ap.measures.active(threatMAC) {
+		t.Error("downgraded countermeasure not active")
+	}
+}
+
+func TestDefenseCountermeasureLeaseExpires(t *testing.T) {
+	// A lost release directive cannot strand a countermeasure: the
+	// directive's TTL becomes a lease the AP expires on its own.
+	ap := newTestAP(t, 24)
+	threatMAC := wifi.MustParseAddr("66:00:00:00:00:03")
+	cm, err := ap.ApplyDirective(defense.Directive{
+		MAC: threatMAC, Action: defense.ActionQuarantine, TTL: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.Expires.IsZero() {
+		t.Fatal("lease not recorded")
+	}
+	if !ap.measures.active(threatMAC) {
+		t.Fatal("countermeasure inactive before lease expiry")
+	}
+	if _, ok := ap.CountermeasureFor(threatMAC); !ok {
+		t.Fatal("CountermeasureFor missed live lease")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if ap.measures.active(threatMAC) {
+		t.Error("countermeasure survived its lease")
+	}
+	if _, ok := ap.CountermeasureFor(threatMAC); ok {
+		t.Error("CountermeasureFor returned an expired lease")
+	}
+	if got := ap.Countermeasures(); len(got) != 0 {
+		t.Errorf("Countermeasures() lists expired lease: %+v", got)
+	}
+}
+
+func TestDefenseNullSteerDegenerateServeBearing(t *testing.T) {
+	// A threat on the same bearing as the serve direction must not force
+	// the beamformer to satisfy colinear constraints: the serve bearing
+	// shifts away from the null.
+	ap := newTestAP(t, 23)
+	ap.measures.noteServeBearing(200)
+	cm, err := ap.ApplyDirective(defense.Directive{
+		MAC: wifi.MustParseAddr("66:00:00:00:00:02"), Action: defense.ActionNullSteer,
+		BearingDeg: 205, HasBearing: true, // within minNullSepDeg of the serve bearing
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sep := geom.AngularDistDeg(cm.ServeBearingDeg, cm.NullBearingDeg); sep < minNullSepDeg {
+		t.Fatalf("serve/null separation %v below floor", sep)
+	}
+	if g := beamform.Gain(ap.FE.Array, cm.Weights, 205); g > 1e-12 {
+		t.Errorf("gain at null = %g", g)
+	}
+}

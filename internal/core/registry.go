@@ -45,18 +45,19 @@ func (r *shardedRegistry) shardFor(mac wifi.Addr) *registryShard {
 
 // observe runs the spoof check for one observation: unknown MACs enroll a
 // tracker seeded with sig and report enrolled=true; known MACs are
-// compared against their certified signature.
-func (r *shardedRegistry) observe(mac wifi.Addr, sig *signature.Signature, policy signature.MatchPolicy) (dec signature.Decision, dist float64, enrolled bool, err error) {
+// compared against their certified signature, returning the scored
+// verdict (decision + distance + threshold).
+func (r *shardedRegistry) observe(mac wifi.Addr, sig *signature.Signature, policy signature.MatchPolicy) (v signature.Verdict, enrolled bool, err error) {
 	s := r.shardFor(mac)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	tr, known := s.m[mac]
 	if !known {
 		s.m[mac] = signature.NewTracker(sig, policy, trackerAlpha)
-		return signature.Accept, 0, true, nil
+		return signature.Verdict{Decision: signature.Accept, Threshold: policy.MaxDistance}, true, nil
 	}
-	dec, dist, err = tr.Observe(sig)
-	return dec, dist, false, err
+	v, err = tr.ObserveVerdict(sig)
+	return v, false, err
 }
 
 // enroll registers (or replaces) a certified signature.

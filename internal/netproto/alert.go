@@ -6,14 +6,17 @@ import (
 	"net"
 	"sync"
 
+	"secureangle/internal/defense"
 	"secureangle/internal/wifi"
 )
 
 // TypeAlert carries a spoofing alert: an AP that flagged a MAC address
-// reports it to the controller, and the controller broadcasts the
-// quarantine to every connected AP — one AP's detection protects the
-// whole deployment (the defense-in-depth posture of section 1 applied
-// fleet-wide).
+// reports it to the controller, which feeds the scored verdict into its
+// defense engine (package defense). When the engine escalates the
+// client into quarantine, every connected AP learns about it — v2
+// sessions through a typed Directive, v1 sessions through a legacy
+// Alert broadcast — so one AP's detection protects the whole deployment
+// (the defense-in-depth posture of section 1 applied fleet-wide).
 const TypeAlert = 3
 
 // Alert is a spoofing-detection notice for one MAC.
@@ -27,33 +30,58 @@ type Alert struct {
 	// a core.PipelineError's Stage field crossing the wire, so the
 	// controller's quarantine records *why* an AP raised the flag
 	// ("spoofcheck" for a signature mismatch, "detect"/"estimate" for
-	// anomalous failures). Protocol v2 only: the field is stripped when
-	// the session negotiated v1, and absent from v1 peers' alerts.
+	// anomalous failures). Protocol v2 onwards: the field is stripped
+	// when the session negotiated v1, and absent from v1 peers' alerts.
 	Stage string
+	// Threshold is the match policy's MaxDistance the flag was judged
+	// against — with Distance it carries the verdict's margin, so the
+	// defense engine weighs a barely-flagged packet differently from a
+	// gross mismatch. Protocol v3 only.
+	Threshold float64
+	// BearingDeg is the bearing the flagging AP observed the offending
+	// frame at — the null-steer fallback direction when the threat has
+	// no fused position. HasBearing marks it measured (bearing 0 is a
+	// legitimate direction): v1/v2 alerts and bare SendAlert leave it
+	// false, and the defense engine will not null-steer on a bearing
+	// nobody measured. Protocol v3 only.
+	BearingDeg float64
+	HasBearing bool
 }
 
 // MarshalAlert encodes an Alert message body in the highest wire form
-// this build speaks (the Stage field is omitted when empty, which is
-// also the v1 form).
+// this build speaks.
 func MarshalAlert(a Alert) []byte {
 	return marshalAlertV(a, ProtoVersion)
 }
 
 // marshalAlertV encodes an Alert for a session at the given negotiated
-// version, stripping v2-only fields for v1 sessions.
+// version: the v1 form has no trailing fields, v2 appends the stage
+// string when non-empty (byte-identical to what v2 builds shipped),
+// and v3 always appends stage + threshold + bearing.
 func marshalAlertV(a Alert, version uint16) []byte {
 	b := []byte{TypeAlert}
 	b = writeString(b, a.APName)
 	b = append(b, a.MAC[:]...)
 	b = binary.BigEndian.AppendUint64(b, math.Float64bits(a.Distance))
-	if version >= ProtoV2 && a.Stage != "" {
+	switch {
+	case version >= ProtoV3:
+		b = writeString(b, a.Stage)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(a.Threshold))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(a.BearingDeg))
+		if a.HasBearing {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	case version >= ProtoV2 && a.Stage != "":
 		b = writeString(b, a.Stage)
 	}
 	return b
 }
 
 // unmarshalAlert decodes an Alert body (after the type byte), accepting
-// both the v1 form and the v2 form with the trailing stage string.
+// the v1 form (no trailing fields), the v2 form (stage string only),
+// and the v3 form (stage + threshold + bearing).
 func unmarshalAlert(rest []byte) (Alert, error) {
 	var a Alert
 	name, rest, err := readString(rest)
@@ -68,19 +96,25 @@ func unmarshalAlert(rest []byte) (Alert, error) {
 	a.Distance = math.Float64frombits(binary.BigEndian.Uint64(rest[6:14]))
 	rest = rest[14:]
 	if len(rest) == 0 {
-		return a, nil
+		return a, nil // v1 form
 	}
 	a.Stage, rest, err = readString(rest)
 	if err != nil {
 		return a, err
 	}
-	if len(rest) != 0 {
+	if len(rest) == 0 {
+		return a, nil // v2 form (stage only)
+	}
+	if len(rest) != 17 {
 		return a, ErrBadMessage
 	}
+	a.Threshold = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
+	a.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[8:16]))
+	a.HasBearing = rest[16] != 0
 	return a, nil
 }
 
-// --- Controller-side quarantine state ---
+// --- Controller-side connection registry ---
 
 // apConn is one registered agent connection's outbound queue and the
 // protocol version negotiated for it (broadcasts are re-encoded per
@@ -94,67 +128,59 @@ type apConn struct {
 	conn    net.Conn
 }
 
-// quarantine tracks flagged MACs and the agents to notify.
-type quarantine struct {
+// peers tracks the agents to notify on broadcasts. (The seed kept the
+// quarantined-MAC map here too; that state now lives in the defense
+// engine, with TTLs and a release path, instead of a permanent map.)
+type peers struct {
 	mu    sync.Mutex
-	macs  map[wifi.Addr]Alert
 	conns map[string]apConn // per-AP outbound broadcast queues
 }
 
-func newQuarantine() *quarantine {
-	return &quarantine{
-		macs:  make(map[wifi.Addr]Alert),
-		conns: make(map[string]apConn),
-	}
+func newPeers() *peers {
+	return &peers{conns: make(map[string]apConn)}
 }
 
-// add records a flagged MAC; returns true if it is new.
-func (q *quarantine) add(a Alert) bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if _, seen := q.macs[a.MAC]; seen {
-		return false
+// Quarantined returns an Alert view of every client the defense engine
+// currently holds in quarantine — the shape the seed's permanent
+// quarantine list had, kept for compatibility. Entries now expire
+// (TTL/decay) and can be released (Controller.Release), so the list
+// shrinks as well as grows. Threats returns the full scored state.
+func (c *Controller) Quarantined() []Alert {
+	e := c.defenseLoaded()
+	if e == nil {
+		return nil
 	}
-	q.macs[a.MAC] = a
-	return true
-}
-
-// list snapshots the quarantined MACs.
-func (q *quarantine) list() []Alert {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	out := make([]Alert, 0, len(q.macs))
-	for _, a := range q.macs {
-		out = append(out, a)
+	states := e.Quarantined()
+	out := make([]Alert, 0, len(states))
+	for _, st := range states {
+		out = append(out, Alert{
+			APName:     st.LastAP,
+			MAC:        st.MAC,
+			Distance:   st.LastDistance,
+			Threshold:  st.LastThreshold,
+			Stage:      st.Stage,
+			BearingDeg: st.BearingDeg,
+			HasBearing: st.HasBearing,
+		})
 	}
 	return out
 }
 
-// Quarantined returns the controller's current quarantine list.
-func (c *Controller) Quarantined() []Alert {
-	if c.quar == nil {
-		return nil
-	}
-	return c.quar.list()
-}
-
-// handleAlert ingests an agent's alert and broadcasts the quarantine to
-// every connected agent, encoding per connection at its negotiated
-// protocol version (v1 sessions get the stage field stripped).
+// handleAlert ingests an agent's alert as a scored spoof verdict. The
+// defense engine decides whether it escalates; escalations come back
+// through emitDirective, which broadcasts to the fleet.
 func (c *Controller) handleAlert(a Alert) {
-	if !c.quar.add(a) {
-		return // already quarantined
-	}
-	c.logf("controller: quarantining %s (flagged by %s, distance %.3f, stage %q)", a.MAC, a.APName, a.Distance, a.Stage)
-	out := Alert{APName: "controller", MAC: a.MAC, Distance: a.Distance, Stage: a.Stage}
-	c.quar.mu.Lock()
-	defer c.quar.mu.Unlock()
-	for name, ac := range c.quar.conns {
-		select {
-		case ac.ch <- marshalAlertV(out, ac.version):
-		default:
-			c.logf("controller: broadcast queue to %s full", name)
-		}
+	if e := c.defense(); e != nil {
+		e.ReportSpoof(defense.SpoofVerdict{
+			AP:         a.APName,
+			MAC:        a.MAC,
+			Flagged:    true,
+			Distance:   a.Distance,
+			Threshold:  a.Threshold,
+			BearingDeg: a.BearingDeg,
+			HasBearing: a.HasBearing,
+			Stage:      a.Stage,
+		})
 	}
 }
 
@@ -166,10 +192,11 @@ func (a *Agent) SendAlert(apName string, mac wifi.Addr, distance float64) error 
 	return a.SendAlertDetail(Alert{APName: apName, MAC: mac, Distance: distance})
 }
 
-// SendAlertDetail ships a full Alert. The v2-only Stage field (set from
-// a core.PipelineError's Stage by callers that have one) is stripped
-// when this session negotiated protocol v1, so the encoding always
-// matches what the far end decodes.
+// SendAlertDetail ships a full Alert, encoded at this session's
+// negotiated version: the Stage field needs v2 and the scored
+// Threshold/BearingDeg/HasBearing fields need v3 — older sessions get
+// them stripped, so the encoding always matches what the far end
+// decodes.
 func (a *Agent) SendAlertDetail(al Alert) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -177,12 +204,12 @@ func (a *Agent) SendAlertDetail(al Alert) error {
 }
 
 // Alerts delivers controller broadcasts through the agent's shared
-// background reader (started on first use; TrackReplies feeds off the
-// same reader, and up to a buffer's worth of alerts read before this
-// call are flushed to the subscriber). The channel closes when the
-// connection drops. Only agents that listen for controller frames
-// should call this (the read loop consumes the connection's inbound
-// side), and callers must keep draining the channel.
+// background reader (started on first use; TrackReplies and Directives
+// feed off the same reader, and up to a buffer's worth of alerts read
+// before this call are flushed to the subscriber). The channel closes
+// when the connection drops. Only agents that listen for controller
+// frames should call this (the read loop consumes the connection's
+// inbound side), and callers must keep draining the channel.
 func (a *Agent) Alerts() <-chan Alert {
 	a.startReader()
 	a.pendMu.Lock()

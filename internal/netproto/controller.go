@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"secureangle/internal/defense"
 	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
 	"secureangle/internal/locate"
@@ -68,6 +69,11 @@ type Controller struct {
 	MaxPendingPerClient int
 	// FusionShards is the engine's lock-striping factor (default 16).
 	FusionShards int
+	// DefensePolicy tunes the defense engine's threat state machine —
+	// escalation thresholds, score decay, quarantine TTL (zero fields
+	// take the package defense defaults). Set it before traffic arrives,
+	// like the fusion tuning fields.
+	DefensePolicy defense.Policy
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
@@ -75,12 +81,16 @@ type Controller struct {
 	subs     map[int]chan FenceDecision
 	nextSub  int
 	closed   bool
-	quar     *quarantine
+	quar     *peers
 
 	engineOnce  sync.Once
 	engine      atomic.Pointer[fusion.Engine]
+	defenseOnce sync.Once
+	defenseEng  atomic.Pointer[defense.Engine]
 	unknownAP   atomic.Uint64
 	observerSeq atomic.Uint64
+	// directiveAcks counts applied-countermeasure reports from APs.
+	directiveAcks atomic.Uint64
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -97,7 +107,7 @@ func NewController(fence *locate.Fence) *Controller {
 		apPos:    make(map[string]geom.Point),
 		decision: make(chan FenceDecision, 64),
 		subs:     make(map[int]chan FenceDecision),
-		quar:     newQuarantine(),
+		quar:     newPeers(),
 		ctx:      ctx,
 		cancel:   cancel,
 	}
@@ -151,13 +161,78 @@ func (c *Controller) apCount() int {
 	return len(c.apPos)
 }
 
+// defenseConfig assembles the defense engine Config from the
+// controller's tuning as it stands right now.
+func (c *Controller) defenseConfig() defense.Config {
+	return defense.Config{
+		Policy: c.DefensePolicy,
+		Emit:   c.emitDirective,
+		Logf:   func(format string, args ...any) { c.logf(format, args...) },
+	}
+}
+
+// defense returns the defense engine, building it on first verdict
+// from DefensePolicy (the fusion-engine lazy-build contract:
+// contradictory settings panic; Serve pre-validates; read-only
+// accessors never trigger the build; after Close no engine is built).
+func (c *Controller) defense() *defense.Engine {
+	if e := c.defenseEng.Load(); e != nil {
+		return e
+	}
+	c.defenseOnce.Do(func() {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		c.defenseEng.Store(defense.MustNew(c.defenseConfig()))
+	})
+	return c.defenseEng.Load()
+}
+
+// defenseLoaded returns the defense engine only if a verdict has
+// already built it — the read-only accessors' view.
+func (c *Controller) defenseLoaded() *defense.Engine { return c.defenseEng.Load() }
+
+// Release is the operator path out of quarantine: drop the MAC's
+// threat state back to allow and broadcast the release directive to
+// every v2 AP. Reports whether the MAC had any threat state. (The wire
+// face is Agent.SendRelease; the CLI face `secureangle defense
+// -release`.)
+func (c *Controller) Release(mac wifi.Addr) bool {
+	if e := c.defenseLoaded(); e != nil {
+		return e.Release(mac)
+	}
+	return false
+}
+
+// Threats returns the defense engine's live threat state for every
+// tracked client — the in-process face of the Query(KindThreats)
+// exchange.
+func (c *Controller) Threats() []defense.ClientThreat {
+	if e := c.defenseLoaded(); e != nil {
+		return e.Snapshot()
+	}
+	return nil
+}
+
+// Threat returns one client's live threat state.
+func (c *Controller) Threat(mac wifi.Addr) (defense.ClientThreat, bool) {
+	if e := c.defenseLoaded(); e != nil {
+		return e.State(mac)
+	}
+	return defense.ClientThreat{}, false
+}
+
 // emitDecision fans one fused decision out to the legacy channel and
-// every subscriber (the fusion engine calls it outside shard locks).
+// every subscriber, then feeds the defense engine (the fusion engine
+// calls it outside shard locks).
 func (c *Controller) emitDecision(d fusion.Decision) {
 	out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return // the decision channels may be mid-close
 	}
 	select {
@@ -172,24 +247,49 @@ func (c *Controller) emitDecision(d fusion.Decision) {
 			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
 		}
 	}
+	c.mu.Unlock()
+
+	// Close the loop: every fused fence decision is defense evidence,
+	// and the refreshed mobility track both updates the threat's last
+	// known position and surfaces velocity anomalies.
+	if e := c.defense(); e != nil {
+		e.ReportFence(defense.FenceVerdict{
+			MAC: d.MAC, Seq: d.Seq, Pos: d.Pos,
+			Allowed: d.Decision == locate.Allow, Forced: d.Forced,
+		})
+		if ts, ok := c.Track(d.MAC); ok {
+			e.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
+		}
+	}
 }
 
 // ControllerStats aggregates the fusion engine's counters with the
-// controller's own ingress drops.
+// defense engine's and the controller's own ingress drops.
 type ControllerStats struct {
 	fusion.Stats
+	// Defense holds the defense engine's counters (verdicts ingested,
+	// quarantines, null-steer escalations, releases by cause).
+	Defense defense.Stats
 	// UnknownAPDrops counts reports from APs that never sent a Hello.
 	UnknownAPDrops uint64
+	// DirectiveAcks counts applied-countermeasure reports from APs.
+	DirectiveAcks uint64
 }
 
-// Stats snapshots the controller's fusion and ingress counters. Like
-// the other read-only accessors it reports zeros before the first
-// report has built the engine, rather than building it (which would
-// freeze the tuning fields early).
+// Stats snapshots the controller's fusion, defense, and ingress
+// counters. Like the other read-only accessors it reports zeros before
+// the first report has built the engines, rather than building them
+// (which would freeze the tuning fields early).
 func (c *Controller) Stats() ControllerStats {
-	s := ControllerStats{UnknownAPDrops: c.unknownAP.Load()}
+	s := ControllerStats{
+		UnknownAPDrops: c.unknownAP.Load(),
+		DirectiveAcks:  c.directiveAcks.Load(),
+	}
 	if e := c.engine.Load(); e != nil {
 		s.Stats = e.Stats()
+	}
+	if e := c.defenseLoaded(); e != nil {
+		s.Defense = e.Stats()
 	}
 	return s
 }
@@ -261,12 +361,18 @@ func (c *Controller) Unsubscribe(s *Subscription) {
 }
 
 // Serve starts accepting AP connections on the listener. It returns
-// immediately; Close shuts everything down. Contradictory fusion
-// tuning (see Config in package fusion) panics here, before any peer
-// traffic can trigger the engine's lazy build inside a handler.
+// immediately; Close shuts everything down. Contradictory fusion or
+// defense tuning (see Config in packages fusion and defense) panics
+// here, before any peer traffic can trigger the engines' lazy builds
+// inside a handler.
 func (c *Controller) Serve(ln net.Listener) {
 	if c.engine.Load() == nil {
 		if err := c.fusionConfig().WithDefaults().Validate(); err != nil {
+			panic(err)
+		}
+	}
+	if c.defenseEng.Load() == nil {
+		if err := c.defenseConfig().WithDefaults().Validate(); err != nil {
 			panic(err)
 		}
 	}
@@ -301,14 +407,21 @@ func (c *Controller) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	// Burn the lazy-init slot so a racing ingest cannot build a fresh
-	// engine after we shut down; then close whichever engine exists.
+	// Burn the lazy-init slots so a racing ingest cannot build a fresh
+	// engine after we shut down; then close whichever engines exist.
 	c.engineOnce.Do(func() {})
+	c.defenseOnce.Do(func() {})
 	if e := c.engine.Load(); e != nil {
 		e.Close()
 		s := c.Stats()
 		c.logf("controller: close: ingested=%d decisions=%d dups=%d expired=%d evictedPending=%d evictedClients=%d forced=%d fuseErrors=%d unknownAP=%d",
 			s.Ingested, s.Decisions, s.DupDropped, s.PendingExpired, s.PendingEvicted, s.ClientsEvicted, s.ForcedTimeouts, s.FuseErrors, s.UnknownAPDrops)
+	}
+	if e := c.defenseLoaded(); e != nil {
+		e.Close()
+		d := e.Stats()
+		c.logf("controller: defense close: spoofs=%d fences=%d tracks=%d quarantines=%d nullSteers=%d releases=%d (decay=%d ttl=%d operator=%d evicted=%d) acks=%d",
+			d.SpoofVerdicts, d.FenceVerdicts, d.TrackVerdicts, d.Quarantines, d.NullSteers, d.Releases, d.DecayReleases, d.TTLReleases, d.OperatorReleases, d.EvictedReleases, c.directiveAcks.Load())
 	}
 	c.cancel()
 	if c.ln != nil {
@@ -423,7 +536,16 @@ func (c *Controller) handle(conn net.Conn) {
 				c.logf("controller: query ignored on v%d session", ver)
 				continue
 			}
-			c.answerQuery(m, apName, bcast)
+			c.answerQuery(m, apName, bcast, ver)
+		case Directive:
+			// v3-gated: countermeasure acks and operator release
+			// requests only make sense on a session that negotiated the
+			// defense exchanges.
+			if !helloed || ver < ProtoV3 {
+				c.logf("controller: directive ignored on v%d session", ver)
+				continue
+			}
+			c.handleDirective(m, apName)
 		}
 	}
 }
@@ -512,20 +634,26 @@ type Agent struct {
 	Timeout time.Duration
 
 	// The shared inbound reader (see startReader): one goroutine demuxes
-	// controller frames onto the per-type channels for Alerts and
-	// TrackReplies. Track frames nobody subscribed to are discarded, so
-	// a tracks-only consumer is never wedged behind undrained alerts
-	// (and vice versa); alerts arriving before Alerts() is called are
-	// parked (bounded) and flushed to the first subscriber.
-	readerOnce   sync.Once
-	alerts       chan Alert
-	tracks       chan Tracks
-	wantAlerts   atomic.Bool
-	wantTracks   atomic.Bool
-	pendMu       sync.Mutex
-	pendAlerts   []Alert
-	readerClosed bool // reader exited; channels are closed (pendMu)
-	querySeq     atomic.Uint32
+	// controller frames onto the per-type channels for Alerts,
+	// TrackReplies, ThreatReplies, and Directives. Track/threat frames
+	// nobody subscribed to are discarded, so a tracks-only consumer is
+	// never wedged behind undrained alerts (and vice versa); alerts and
+	// directives arriving before their accessor is called are parked
+	// (bounded) and flushed to the first subscriber.
+	readerOnce     sync.Once
+	alerts         chan Alert
+	tracks         chan Tracks
+	threats        chan Threats
+	directives     chan Directive
+	wantAlerts     atomic.Bool
+	wantTracks     atomic.Bool
+	wantThreats    atomic.Bool
+	wantDirectives atomic.Bool
+	pendMu         sync.Mutex
+	pendAlerts     []Alert
+	pendDirectives []Directive
+	readerClosed   bool // reader exited; channels are closed (pendMu)
+	querySeq       atomic.Uint32
 }
 
 // Version reports the protocol version negotiated for this session.

@@ -1,0 +1,231 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"secureangle/internal/defense"
+	"secureangle/internal/geom"
+	"secureangle/internal/wifi"
+)
+
+// The v3 countermeasure exchange, the wire half of the closed defense
+// loop: the controller's defense engine emits typed directives
+// (quarantine / null-steer / release) which are broadcast to every v3
+// agent as TypeDirective frames; agents apply them (core.ApplyDirective)
+// and report the applied countermeasure back as an acknowledgement frame
+// of the same type. An agent may also send an unacknowledged
+// ActionAllow directive to request an operator release
+// (Agent.SendRelease — the `secureangle defense -release` CLI path).
+//
+// Both directions are v3-gated: the controller never enqueues a
+// TypeDirective frame on a session that negotiated v1 or v2 (those
+// fleets still receive the legacy Alert broadcast, encoded at their
+// version, when a client enters quarantine), and the agent-side
+// senders refuse with ErrRequiresV3.
+
+// Directive is the wire form of one defense countermeasure order: the
+// engine's typed directive plus the acknowledgement flag distinguishing
+// controller orders (Ack false, controller -> AP) from applied-
+// countermeasure reports (Ack true, AP -> controller; Reporter names
+// the applying AP).
+type Directive struct {
+	defense.Directive
+	Ack bool
+}
+
+// directive wire flag bits.
+const (
+	directiveFlagHasPos     = 1 << 0
+	directiveFlagAck        = 1 << 1
+	directiveFlagHasBearing = 1 << 2
+)
+
+// MarshalDirective encodes a Directive message body.
+func MarshalDirective(d Directive) []byte {
+	b := []byte{TypeDirective, 0}
+	if d.HasPos {
+		b[1] |= directiveFlagHasPos
+	}
+	if d.Ack {
+		b[1] |= directiveFlagAck
+	}
+	if d.HasBearing {
+		b[1] |= directiveFlagHasBearing
+	}
+	b = append(b, byte(d.Action), byte(d.From), byte(d.To))
+	b = append(b, d.MAC[:]...)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.BearingDeg))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Pos.X))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Pos.Y))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Score))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Distance))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(d.Threshold))
+	b = binary.BigEndian.AppendUint64(b, uint64(d.TTL))
+	b = writeString(b, d.Reporter)
+	b = writeString(b, d.Stage)
+	return b
+}
+
+// directiveFixedWire is the byte length of a Directive body between the
+// flags byte and the trailing strings.
+const directiveFixedWire = 3 + 6 + 7*8
+
+func unmarshalDirective(rest []byte) (Directive, error) {
+	if len(rest) < 1+directiveFixedWire {
+		return Directive{}, ErrBadMessage
+	}
+	var d Directive
+	flags := rest[0]
+	d.HasPos = flags&directiveFlagHasPos != 0
+	d.Ack = flags&directiveFlagAck != 0
+	d.HasBearing = flags&directiveFlagHasBearing != 0
+	d.Action = defense.Action(rest[1])
+	d.From = defense.State(rest[2])
+	d.To = defense.State(rest[3])
+	copy(d.MAC[:], rest[4:10])
+	rest = rest[10:]
+	d.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
+	d.Pos = geom.Point{
+		X: math.Float64frombits(binary.BigEndian.Uint64(rest[8:16])),
+		Y: math.Float64frombits(binary.BigEndian.Uint64(rest[16:24])),
+	}
+	d.Score = math.Float64frombits(binary.BigEndian.Uint64(rest[24:32]))
+	d.Distance = math.Float64frombits(binary.BigEndian.Uint64(rest[32:40]))
+	d.Threshold = math.Float64frombits(binary.BigEndian.Uint64(rest[40:48]))
+	d.TTL = time.Duration(binary.BigEndian.Uint64(rest[48:56]))
+	rest = rest[56:]
+	var err error
+	if d.Reporter, rest, err = readString(rest); err != nil {
+		return Directive{}, err
+	}
+	if d.Stage, rest, err = readString(rest); err != nil {
+		return Directive{}, err
+	}
+	if len(rest) != 0 {
+		return Directive{}, ErrBadMessage
+	}
+	return d, nil
+}
+
+// --- Controller side ---
+
+// emitDirective is the defense engine's Emit sink: broadcast the
+// directive to every v3 session, and mirror quarantine entries as
+// Alert broadcasts to every session (per-version encoding) — v1/v2
+// fleets cannot decode TypeDirective but still learn a MAC went bad,
+// and Alerts() consumers keep their pre-directive notification
+// surface.
+func (c *Controller) emitDirective(d defense.Directive) {
+	frame := MarshalDirective(Directive{Directive: d})
+	entering := d.To == defense.StateQuarantine && d.From != defense.StateQuarantine
+	var legacy Alert
+	if entering {
+		legacy = Alert{
+			APName: "controller", MAC: d.MAC, Distance: d.Distance,
+			Threshold: d.Threshold, Stage: d.Stage,
+			BearingDeg: d.BearingDeg, HasBearing: d.HasBearing,
+		}
+		c.logf("controller: quarantining %s (%s, score %.2f, action %s)", d.MAC, d.Reporter, d.Score, d.Action)
+	}
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	for name, ac := range c.quar.conns {
+		if entering {
+			select {
+			case ac.ch <- marshalAlertV(legacy, ac.version):
+			default:
+				c.logf("controller: broadcast queue to %s full", name)
+			}
+		}
+		if ac.version >= ProtoV3 {
+			select {
+			case ac.ch <- frame:
+			default:
+				c.logf("controller: directive queue to %s full", name)
+			}
+		}
+	}
+}
+
+// handleDirective processes an inbound Directive frame from an agent:
+// acknowledgement frames record the applied countermeasure; an
+// unacknowledged ActionAllow is an operator release request. Anything
+// else from an agent is ignored (APs do not order countermeasures).
+func (c *Controller) handleDirective(d Directive, apName string) {
+	if d.Ack {
+		c.directiveAcks.Add(1)
+		c.logf("controller: %s applied %s for %s (bearing %.1f)", apName, d.Action, d.MAC, d.BearingDeg)
+		return
+	}
+	if d.Action == defense.ActionAllow {
+		c.logf("controller: release of %s requested by %s", d.MAC, apName)
+		c.Release(d.MAC)
+		return
+	}
+	c.logf("controller: directive %s from %s ignored (agents cannot order countermeasures)", d.Action, apName)
+}
+
+// --- Agent side ---
+
+// Directives delivers controller countermeasure orders through the
+// agent's shared background reader (Alerts/TrackReplies feed off the
+// same reader; directives read before this call are parked, bounded,
+// and flushed to the subscriber). The channel closes when the
+// connection drops. Keep draining it once subscribed.
+func (a *Agent) Directives() <-chan Directive {
+	a.startReader()
+	a.pendMu.Lock()
+	if !a.readerClosed {
+		for _, d := range a.pendDirectives {
+			a.directives <- d
+		}
+	}
+	a.pendDirectives = nil
+	a.wantDirectives.Store(true)
+	a.pendMu.Unlock()
+	return a.directives
+}
+
+// deliverDirective hands one controller directive to the Directives
+// subscriber, or parks it (bounded, oldest dropped) until someone
+// subscribes — mirroring deliverAlert.
+func (a *Agent) deliverDirective(d Directive) {
+	a.pendMu.Lock()
+	if !a.wantDirectives.Load() {
+		if len(a.pendDirectives) >= cap(a.directives) {
+			a.pendDirectives = a.pendDirectives[1:]
+		}
+		a.pendDirectives = append(a.pendDirectives, d)
+		a.pendMu.Unlock()
+		return
+	}
+	a.pendMu.Unlock()
+	a.directives <- d
+}
+
+// SendDirectiveAck reports an applied countermeasure back to the
+// controller: the directive as applied, with Reporter naming this AP.
+// Protocol v3 only.
+func (a *Agent) SendDirectiveAck(d defense.Directive) error {
+	if a.Version() < ProtoV3 {
+		return ErrRequiresV3
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeBody(MarshalDirective(Directive{Directive: d, Ack: true}))
+}
+
+// SendRelease asks the controller for an operator release of mac — the
+// wire face of Controller.Release. Protocol v3 only.
+func (a *Agent) SendRelease(mac wifi.Addr) error {
+	if a.Version() < ProtoV3 {
+		return ErrRequiresV3
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.writeBody(MarshalDirective(Directive{
+		Directive: defense.Directive{MAC: mac, Action: defense.ActionAllow, Reporter: "operator"},
+	}))
+}

@@ -35,6 +35,8 @@ const (
 	TypePing        = 6
 	TypeQuery       = 7
 	TypeTrack       = 8
+	TypeDirective   = 9
+	TypeThreat      = 10
 )
 
 // Wire protocol versions. v1 is the seed protocol: a Hello with no
@@ -43,13 +45,22 @@ const (
 // (the minimum of what both ends speak), extends Alert with the
 // pipeline-stage field, and adds the Query/Tracks mobility-trace
 // exchange (the controller ignores Query on v1 sessions and never
-// sends Tracks to them). Agents and controllers negotiate down, so a
-// v1 agent talks to a v2 controller unchanged.
+// sends Tracks to them). v3 is the defense loop: Alert gains the
+// threshold/bearing scoring fields, Query gains a Kind byte selecting
+// the Query(KindThreats)/Threats defense-state exchange, and the
+// Directive countermeasure broadcast/ack/release flows are added. Each
+// frame is encoded at the session's negotiated version, so v1 and v2
+// peers keep decoding exactly the forms their builds shipped with —
+// they never see Directive, Threats, extended Alerts, or Kind-suffixed
+// Queries; quarantine entries reach them as legacy Alert broadcasts.
+// Agents and controllers negotiate down, so older agents talk to a
+// newer controller unchanged.
 const (
 	ProtoV1 = 1
 	ProtoV2 = 2
+	ProtoV3 = 3
 	// ProtoVersion is the highest version this build speaks.
-	ProtoVersion = ProtoV2
+	ProtoVersion = ProtoV3
 )
 
 // NegotiateVersion returns the version a ProtoVersion-speaking peer
@@ -309,6 +320,10 @@ func Unmarshal(b []byte) (any, error) {
 		return unmarshalQuery(b[1:])
 	case TypeTrack:
 		return unmarshalTracks(b[1:])
+	case TypeDirective:
+		return unmarshalDirective(b[1:])
+	case TypeThreat:
+		return unmarshalThreats(b[1:])
 	default:
 		return nil, fmt.Errorf("netproto: unknown message type %d", b[0])
 	}

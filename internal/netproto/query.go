@@ -7,32 +7,51 @@ import (
 	"math"
 	"time"
 
+	"secureangle/internal/defense"
 	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
 	"secureangle/internal/locate"
 	"secureangle/internal/wifi"
 )
 
-// The v2 mobility-trace exchange: an agent sends Query and the
-// controller answers with one or more Tracks frames carrying the
-// fusion engine's live track state. Both message types are v2-gated —
-// the controller ignores a Query arriving on a v1 session (and never
-// emits Tracks on one), and Agent.Query refuses to send on a v1
-// session, so v1 peers never see a frame they cannot decode.
+// The query exchanges: an agent sends Query and the controller answers
+// with one or more Tracks frames (KindTracks — the fusion engine's
+// live mobility state, protocol v2) or Threats frames (KindThreats —
+// the defense engine's live threat state, protocol v3). Every message
+// type is version-gated — the controller ignores a Query arriving on a
+// session too old for its kind (and never emits Tracks or Threats on
+// one), and the agent-side senders refuse locally, so older peers
+// never see a frame they cannot decode.
 
 // ErrRequiresV2 reports a v2-only operation attempted on a session
 // that negotiated protocol v1.
 var ErrRequiresV2 = errors.New("netproto: operation requires protocol v2")
 
-// Query asks the controller for mobility-trace state: every tracked
-// client when All is set, otherwise the single MAC. ID correlates the
-// reply frames with the request (echoed into every Tracks chunk), so
-// a reply still in flight when its query is abandoned cannot be
-// mistaken for the next query's answer.
+// ErrRequiresV3 reports a v3-only operation (the defense exchanges)
+// attempted on a session that negotiated an older protocol.
+var ErrRequiresV3 = errors.New("netproto: operation requires protocol v3")
+
+// QueryKind selects what a Query asks for.
+type QueryKind uint8
+
+const (
+	// KindTracks requests mobility-trace state (Tracks replies).
+	KindTracks QueryKind = 0
+	// KindThreats requests defense threat state (Threats replies;
+	// protocol v3).
+	KindThreats QueryKind = 1
+)
+
+// Query asks the controller for per-client state of the given Kind:
+// every tracked client when All is set, otherwise the single MAC. ID
+// correlates the reply frames with the request (echoed into every
+// reply chunk), so a reply still in flight when its query is abandoned
+// cannot be mistaken for the next query's answer.
 type Query struct {
-	MAC wifi.Addr
-	All bool
-	ID  uint32
+	MAC  wifi.Addr
+	All  bool
+	ID   uint32
+	Kind QueryKind
 }
 
 // Tracks is the controller's reply to a Query, echoing its ID. Large
@@ -51,24 +70,33 @@ const trackWireSize = 6 + 16 + 16 + 8 + 8 + 8 + 1
 // maxTracksPerFrame bounds a Tracks frame under MaxMessageSize.
 const maxTracksPerFrame = (MaxMessageSize - 16) / trackWireSize
 
-// MarshalQuery encodes a Query message body.
+// MarshalQuery encodes a Query message body. A KindTracks query is
+// encoded in the original 11-byte v2 form (decodable by v2
+// controllers); other kinds append the kind byte (the v3 form).
 func MarshalQuery(q Query) []byte {
 	b := []byte{TypeQuery, 0}
 	if q.All {
 		b[1] = 1
 	}
 	b = binary.BigEndian.AppendUint32(b, q.ID)
-	return append(b, q.MAC[:]...)
+	b = append(b, q.MAC[:]...)
+	if q.Kind != KindTracks {
+		b = append(b, byte(q.Kind))
+	}
+	return b
 }
 
 func unmarshalQuery(rest []byte) (Query, error) {
-	if len(rest) != 11 {
+	if len(rest) != 11 && len(rest) != 12 {
 		return Query{}, ErrBadMessage
 	}
 	var q Query
 	q.All = rest[0]&1 != 0
 	q.ID = binary.BigEndian.Uint32(rest[1:5])
 	copy(q.MAC[:], rest[5:11])
+	if len(rest) == 12 {
+		q.Kind = QueryKind(rest[11])
+	}
 	return q, nil
 }
 
@@ -129,30 +157,160 @@ func unmarshalTracks(rest []byte) (Tracks, error) {
 	return t, nil
 }
 
+// --- Threats: the defense-state reply ---
+
+// Threats is the controller's reply to a Query{Kind: KindThreats},
+// echoing its ID. Large snapshots are chunked across frames; More
+// marks every frame except the last.
+type Threats struct {
+	ID     uint32
+	More   bool
+	States []defense.ClientThreat
+}
+
+// threatFixedWire is one encoded ClientThreat minus its two strings:
+// MAC + state + action + score + flags + fenceDrops + speedFlags +
+// lastDistance + lastThreshold + bearing + hasBearing + pos + hasPos +
+// since + updated (unix nanos).
+const threatFixedWire = 6 + 1 + 1 + 8 + 8 + 8 + 8 + 8 + 8 + 8 + 1 + 16 + 1 + 8 + 8
+
+// threatMaxStr caps the LastAP/Stage strings on the wire so a frame's
+// size is boundable for chunking.
+const threatMaxStr = 255
+
+// maxThreatsPerFrame bounds a Threats frame under MaxMessageSize.
+const maxThreatsPerFrame = (MaxMessageSize - 16) / (threatFixedWire + 2*(2+threatMaxStr))
+
+// capStr truncates s to the wire cap.
+func capStr(s string) string {
+	if len(s) > threatMaxStr {
+		return s[:threatMaxStr]
+	}
+	return s
+}
+
+// MarshalThreats encodes one Threats message body. The caller keeps
+// len(States) within maxThreatsPerFrame (the controller chunks).
+func MarshalThreats(t Threats) []byte {
+	b := make([]byte, 0, 10+(threatFixedWire+16)*len(t.States))
+	b = append(b, TypeThreat, 0)
+	if t.More {
+		b[1] = 1
+	}
+	b = binary.BigEndian.AppendUint32(b, t.ID)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(t.States)))
+	for _, st := range t.States {
+		b = append(b, st.MAC[:]...)
+		b = append(b, byte(st.State), byte(st.Action))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.Score))
+		b = binary.BigEndian.AppendUint64(b, st.Flags)
+		b = binary.BigEndian.AppendUint64(b, st.FenceDrops)
+		b = binary.BigEndian.AppendUint64(b, st.SpeedFlags)
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.LastDistance))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.LastThreshold))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.BearingDeg))
+		if st.HasBearing {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.Pos.X))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(st.Pos.Y))
+		if st.HasPos {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(st.Since.UnixNano()))
+		b = binary.BigEndian.AppendUint64(b, uint64(st.Updated.UnixNano()))
+		b = writeString(b, capStr(st.LastAP))
+		b = writeString(b, capStr(st.Stage))
+	}
+	return b
+}
+
+func unmarshalThreats(rest []byte) (Threats, error) {
+	if len(rest) < 9 {
+		return Threats{}, ErrBadMessage
+	}
+	var t Threats
+	t.More = rest[0]&1 != 0
+	t.ID = binary.BigEndian.Uint32(rest[1:5])
+	count64 := uint64(binary.BigEndian.Uint32(rest[5:9]))
+	rest = rest[9:]
+	// Each state is at least threatFixedWire + two empty strings.
+	if count64 > uint64(len(rest))/(threatFixedWire+4) {
+		return Threats{}, ErrBadMessage
+	}
+	t.States = make([]defense.ClientThreat, count64)
+	for i := range t.States {
+		if len(rest) < threatFixedWire {
+			return Threats{}, ErrBadMessage
+		}
+		st := &t.States[i]
+		copy(st.MAC[:], rest[:6])
+		st.State = defense.State(rest[6])
+		st.Action = defense.Action(rest[7])
+		rest = rest[8:]
+		st.Score = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
+		st.Flags = binary.BigEndian.Uint64(rest[8:16])
+		st.FenceDrops = binary.BigEndian.Uint64(rest[16:24])
+		st.SpeedFlags = binary.BigEndian.Uint64(rest[24:32])
+		st.LastDistance = math.Float64frombits(binary.BigEndian.Uint64(rest[32:40]))
+		st.LastThreshold = math.Float64frombits(binary.BigEndian.Uint64(rest[40:48]))
+		st.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[48:56]))
+		st.HasBearing = rest[56] != 0
+		st.Pos = geom.Point{
+			X: math.Float64frombits(binary.BigEndian.Uint64(rest[57:65])),
+			Y: math.Float64frombits(binary.BigEndian.Uint64(rest[65:73])),
+		}
+		st.HasPos = rest[73] != 0
+		st.Since = time.Unix(0, int64(binary.BigEndian.Uint64(rest[74:82])))
+		st.Updated = time.Unix(0, int64(binary.BigEndian.Uint64(rest[82:90])))
+		rest = rest[90:]
+		var err error
+		if st.LastAP, rest, err = readString(rest); err != nil {
+			return Threats{}, err
+		}
+		if st.Stage, rest, err = readString(rest); err != nil {
+			return Threats{}, err
+		}
+	}
+	if len(rest) != 0 {
+		return Threats{}, ErrBadMessage
+	}
+	return t, nil
+}
+
 // --- Agent side ---
 
 // startReader launches the agent's single inbound reader, demuxing
-// controller frames onto per-type channels. It is shared by Alerts and
-// TrackReplies — the connection has one read side, so whichever is
-// called first owns it and both channels are fed. Frames of a kind no
-// caller has subscribed to are dropped rather than queued, so the
+// controller frames onto per-type channels. It is shared by Alerts,
+// TrackReplies, ThreatReplies, and Directives — the connection has one
+// read side, so whichever is called first owns it and all channels are
+// fed. Frames of a kind no caller has subscribed to are dropped
+// (alerts and directives: parked, bounded) rather than queued, so the
 // reader can only block on a channel some caller has promised to
 // drain.
 func (a *Agent) startReader() {
 	a.readerOnce.Do(func() {
 		a.alerts = make(chan Alert, 16)
 		a.tracks = make(chan Tracks, 4)
+		a.threats = make(chan Threats, 4)
+		a.directives = make(chan Directive, 16)
 		go func() {
 			defer func() {
 				// Mark the shutdown under pendMu before closing, so a
-				// concurrent Alerts() flush never sends on a closed
-				// channel (it waits for the lock, sees readerClosed,
-				// and skips).
+				// concurrent Alerts()/Directives() flush never sends on
+				// a closed channel (it waits for the lock, sees
+				// readerClosed, and skips).
 				a.pendMu.Lock()
 				a.readerClosed = true
 				a.pendMu.Unlock()
 				close(a.alerts)
 				close(a.tracks)
+				close(a.threats)
+				close(a.directives)
 			}()
 			for {
 				body, err := ReadMessage(a.conn)
@@ -170,6 +328,12 @@ func (a *Agent) startReader() {
 					if a.wantTracks.Load() {
 						a.tracks <- m
 					}
+				case Threats:
+					if a.wantThreats.Load() {
+						a.threats <- m
+					}
+				case Directive:
+					a.deliverDirective(m)
 				}
 			}
 		}()
@@ -194,10 +358,16 @@ func (a *Agent) deliverAlert(m Alert) {
 	a.alerts <- m
 }
 
-// Query asks the controller for mobility-trace state; replies arrive
-// as Tracks frames on TrackReplies. Protocol v2 only: on a v1 session
-// it fails with ErrRequiresV2 without touching the wire.
+// Query asks the controller for per-client state; replies arrive as
+// Tracks frames on TrackReplies (KindTracks, protocol v2) or Threats
+// frames on ThreatReplies (KindThreats, protocol v3). On a session
+// too old for the query's kind it fails with ErrRequiresV2/V3 without
+// touching the wire (a v2 controller would kill a connection sending
+// it the kind-suffixed form).
 func (a *Agent) Query(q Query) error {
+	if q.Kind != KindTracks && a.Version() < ProtoV3 {
+		return ErrRequiresV3
+	}
 	if a.Version() < ProtoV2 {
 		return ErrRequiresV2
 	}
@@ -216,12 +386,13 @@ func (a *Agent) TrackReplies() <-chan Tracks {
 	return a.tracks
 }
 
-// QueryTracks sends a Query and collects its complete (possibly
-// chunked) reply under ctx. It is a convenience for request/response
-// callers — serialise calls, and do not interleave with manual
-// TrackReplies consumption.
+// QueryTracks sends a KindTracks Query and collects its complete
+// (possibly chunked) reply under ctx. It is a convenience for
+// request/response callers — serialise calls, and do not interleave
+// with manual TrackReplies consumption.
 func (a *Agent) QueryTracks(ctx context.Context, q Query) ([]fusion.TrackState, error) {
 	ch := a.TrackReplies() // start the reader before the request can race the reply
+	q.Kind = KindTracks
 	q.ID = a.querySeq.Add(1)
 	if err := a.Query(q); err != nil {
 		return nil, err
@@ -246,33 +417,105 @@ func (a *Agent) QueryTracks(ctx context.Context, q Query) ([]fusion.TrackState, 
 	}
 }
 
+// ThreatReplies delivers the controller's Threats frames through the
+// shared reader; the channel closes when the connection drops. Keep
+// draining it once subscribed.
+func (a *Agent) ThreatReplies() <-chan Threats {
+	a.wantThreats.Store(true)
+	a.startReader()
+	return a.threats
+}
+
+// QueryThreats sends a KindThreats Query and collects the controller's
+// complete defense threat snapshot under ctx — the wire face of the
+// defense engine's Snapshot. Serialise calls, and do not interleave
+// with manual ThreatReplies consumption.
+func (a *Agent) QueryThreats(ctx context.Context, q Query) ([]defense.ClientThreat, error) {
+	ch := a.ThreatReplies()
+	q.Kind = KindThreats
+	q.ID = a.querySeq.Add(1)
+	if err := a.Query(q); err != nil {
+		return nil, err
+	}
+	var out []defense.ClientThreat
+	for {
+		select {
+		case t, ok := <-ch:
+			if !ok {
+				return nil, errors.New("netproto: connection closed awaiting Threats")
+			}
+			if t.ID != q.ID {
+				continue // stale frame of an abandoned earlier query
+			}
+			out = append(out, t.States...)
+			if !t.More {
+				return out, nil
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
 // --- Controller side ---
 
-// answerQuery resolves a v2 session's Query against the fusion engine
-// and enqueues the (chunked) reply on the session's broadcast queue.
-func (c *Controller) answerQuery(q Query, name string, bcast chan []byte) {
-	var states []fusion.TrackState
-	if q.All {
-		states = c.Snapshot()
-	} else if ts, ok := c.Track(q.MAC); ok {
-		states = []fusion.TrackState{ts}
+// answerQuery resolves a session's Query against the fusion engine
+// (KindTracks) or the defense engine (KindThreats, v3-gated like the
+// frames it answers with) and enqueues the (chunked) reply on the
+// session's broadcast queue.
+func (c *Controller) answerQuery(q Query, name string, bcast chan []byte, ver uint16) {
+	switch q.Kind {
+	case KindThreats:
+		if ver < ProtoV3 {
+			c.logf("controller: threat query ignored on v%d session", ver)
+			return
+		}
+		var states []defense.ClientThreat
+		if e := c.defenseLoaded(); e != nil {
+			if q.All {
+				states = e.Snapshot()
+			} else if st, ok := e.State(q.MAC); ok {
+				states = []defense.ClientThreat{st}
+			}
+		}
+		sendChunked(c, name, bcast, q.ID, states, maxThreatsPerFrame,
+			func(id uint32, ss []defense.ClientThreat, more bool) []byte {
+				return MarshalThreats(Threats{ID: id, States: ss, More: more})
+			})
+	default:
+		var states []fusion.TrackState
+		if q.All {
+			states = c.Snapshot()
+		} else if ts, ok := c.Track(q.MAC); ok {
+			states = []fusion.TrackState{ts}
+		}
+		sendChunked(c, name, bcast, q.ID, states, maxTracksPerFrame,
+			func(id uint32, ss []fusion.TrackState, more bool) []byte {
+				return MarshalTracks(Tracks{ID: id, States: ss, More: more})
+			})
 	}
+}
+
+// sendChunked splits a query reply across frames of at most maxPer
+// states and enqueues them on the session's broadcast queue. The first
+// frame is always sent (an empty snapshot still terminates the reply),
+// and a full queue degrades to a best-effort empty terminating frame,
+// so a Query* caller sees a truncated result instead of waiting out
+// its context deadline for chunks that will never come.
+func sendChunked[T any](c *Controller, name string, bcast chan []byte, id uint32, states []T, maxPer int, marshal func(id uint32, states []T, more bool) []byte) {
 	for first := true; first || len(states) > 0; first = false {
 		n := len(states)
-		if n > maxTracksPerFrame {
-			n = maxTracksPerFrame
+		if n > maxPer {
+			n = maxPer
 		}
-		frame := Tracks{ID: q.ID, States: states[:n], More: n < len(states)}
+		frame := marshal(id, states[:n], n < len(states))
 		states = states[n:]
 		select {
-		case bcast <- MarshalTracks(frame):
+		case bcast <- frame:
 		default:
-			c.logf("controller: track reply queue to %s full, dropping %d states", name, n+len(states))
-			// Best effort: still terminate the reply, so a QueryTracks
-			// caller sees a truncated result instead of waiting out its
-			// context deadline for chunks that will never come.
+			c.logf("controller: query reply queue to %s full, dropping %d states", name, n+len(states))
 			select {
-			case bcast <- MarshalTracks(Tracks{ID: q.ID}):
+			case bcast <- marshal(id, nil, false):
 			default:
 			}
 			return

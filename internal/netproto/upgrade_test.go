@@ -58,8 +58,8 @@ func TestUpgradeV1AgentV2Controller(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer v2.Close()
-	if v2.Version() != ProtoV2 {
-		t.Fatalf("v2 agent negotiated v%d, want %d", v2.Version(), ProtoV2)
+	if v2.Version() != ProtoVersion {
+		t.Fatalf("negotiating agent settled on v%d, want the build's v%d", v2.Version(), ProtoVersion)
 	}
 
 	mac := wifi.MustParseAddr("00:16:ea:50:00:11")

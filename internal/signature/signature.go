@@ -157,6 +157,37 @@ func (d Decision) String() string {
 	return "flag"
 }
 
+// Verdict is the scored outcome of a signature check: the binary
+// decision plus the distance it was made at and the threshold it was
+// made against, so callers (and the controller's defense engine) see
+// *how close* the call was, not just which side of the line it fell on.
+type Verdict struct {
+	Decision Decision
+	// Distance is the observed signature distance to the certified Scl.
+	Distance float64
+	// Threshold is the policy's MaxDistance the distance was compared to.
+	Threshold float64
+}
+
+// Margin is the verdict's headroom: Threshold - Distance. Positive for
+// accepted packets (how much drift remained before a flag), negative
+// for flagged ones (how far past the threshold the mismatch landed).
+// A barely-flagged packet (margin just below zero) and a
+// gross mismatch (margin near -Threshold or beyond) carry very
+// different threat weight downstream.
+func (v Verdict) Margin() float64 { return v.Threshold - v.Distance }
+
+// Severity is the normalised exceedance of a flagged verdict:
+// max(0, (Distance-Threshold)/Threshold). Zero for accepted packets,
+// 1.0 when the distance doubled the threshold. The defense engine
+// scales spoof weights by it.
+func (v Verdict) Severity() float64 {
+	if v.Threshold <= 0 || v.Distance <= v.Threshold {
+		return 0
+	}
+	return (v.Distance - v.Threshold) / v.Threshold
+}
+
 // Tracker maintains a client's certified signature Scl, updating it with
 // accepted observations so that slow channel drift is tracked while abrupt
 // changes are flagged (the paper: "Since Scl changes when the client or
@@ -190,20 +221,33 @@ func (t *Tracker) FlagRun() int { return t.flagRun }
 // untouched (an attacker must not be able to walk the profile toward
 // itself). The distance is returned for logging/metrics.
 func (t *Tracker) Observe(obs *Signature) (Decision, float64, error) {
+	v, err := t.ObserveVerdict(obs)
+	return v.Decision, v.Distance, err
+}
+
+// ObserveVerdict is Observe returning the full scored verdict — the
+// decision together with the distance and the threshold it was judged
+// against, so the margin of the call survives into the caller.
+func (t *Tracker) ObserveVerdict(obs *Signature) (Verdict, error) {
+	v := Verdict{Threshold: t.Policy.MaxDistance}
 	d, err := Distance(t.stored, obs)
 	if err != nil {
-		return Flag, 0, err
+		v.Decision = Flag
+		return v, err
 	}
+	v.Distance = d
 	if d > t.Policy.MaxDistance {
 		t.flagRun++
-		return Flag, d, nil
+		v.Decision = Flag
+		return v, nil
 	}
 	t.flagRun = 0
 	for i := range t.stored.P {
 		t.stored.P[i] = (1-t.Alpha)*t.stored.P[i] + t.Alpha*obs.P[i]
 	}
 	t.stored.normalize()
-	return Accept, d, nil
+	v.Decision = Accept
+	return v, nil
 }
 
 // --- Serialisation ---

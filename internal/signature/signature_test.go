@@ -242,3 +242,74 @@ func TestZeroSignature(t *testing.T) {
 		t.Errorf("zero-signature similarity = %v", sim)
 	}
 }
+
+// --- Scored verdicts (the defense engine's margin input) ---
+
+func TestDefenseVerdictMarginAndSeverity(t *testing.T) {
+	g := grid360()
+	legit := FromPseudospectrum(gauss(g, []float64{100, 160}, []float64{4, 6}, []float64{1, 0.3}))
+	attacker := FromPseudospectrum(gauss(g, []float64{260, 30}, []float64{4, 6}, []float64{1, 0.3}))
+	tr := NewTracker(legit, DefaultPolicy(), 0.3)
+
+	// Same location: accepted with positive margin.
+	v, err := tr.ObserveVerdict(legit.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Decision != Accept || v.Distance != 0 {
+		t.Fatalf("self verdict = %+v", v)
+	}
+	if v.Threshold != DefaultPolicy().MaxDistance {
+		t.Errorf("threshold %v not exported", v.Threshold)
+	}
+	if m := v.Margin(); m != v.Threshold {
+		t.Errorf("margin %v, want full threshold headroom", m)
+	}
+	if v.Severity() != 0 {
+		t.Errorf("accepted verdict severity %v, want 0", v.Severity())
+	}
+
+	// Different location: flagged with negative margin, and the scored
+	// verdict must agree with the legacy Observe tuple.
+	v, err = tr.ObserveVerdict(attacker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Decision != Flag {
+		t.Fatalf("attacker accepted: %+v", v)
+	}
+	if v.Margin() >= 0 {
+		t.Errorf("flagged margin %v, want negative", v.Margin())
+	}
+	wantSev := (v.Distance - v.Threshold) / v.Threshold
+	if math.Abs(v.Severity()-wantSev) > 1e-12 || v.Severity() <= 0 {
+		t.Errorf("severity %v, want %v", v.Severity(), wantSev)
+	}
+
+	tr2 := NewTracker(legit, DefaultPolicy(), 0.3)
+	dec, dist, err := tr2.Observe(attacker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec != v.Decision || dist != v.Distance {
+		t.Errorf("Observe (%v, %v) disagrees with ObserveVerdict %+v", dec, dist, v)
+	}
+}
+
+func TestDefenseVerdictGridMismatchFlags(t *testing.T) {
+	g := grid360()
+	legit := FromPseudospectrum(gauss(g, []float64{100}, []float64{4}, []float64{1}))
+	tr := NewTracker(legit, DefaultPolicy(), 0.3)
+	short := &Signature{AnglesDeg: g[:10], P: legit.P[:10]}
+	v, err := tr.ObserveVerdict(short)
+	if err == nil || v.Decision != Flag {
+		t.Fatalf("grid mismatch verdict = %+v, err %v", v, err)
+	}
+}
+
+func TestDefenseVerdictSeverityDegenerateThreshold(t *testing.T) {
+	v := Verdict{Decision: Flag, Distance: 0.5, Threshold: 0}
+	if s := v.Severity(); s != 0 {
+		t.Errorf("zero-threshold severity = %v, want 0 (no division blow-up)", s)
+	}
+}

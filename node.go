@@ -222,6 +222,23 @@ func TestbedBatchItem(c TestbedClient, seq uint16) (BatchItem, error) {
 	return BatchItem{TX: c.Pos, Baseband: bb}, nil
 }
 
+// ApplyDirective applies one controller defense directive at this
+// node's AP: quarantine marks the MAC for dropping (ProcessFrame
+// stamps its frames Quarantined), null-steer additionally computes
+// transmit weights with a spatial null toward the threat's bearing,
+// and allow releases. See the Countermeasure type for what is applied.
+func (n *Node) ApplyDirective(d Directive) (Countermeasure, error) {
+	return n.ap.ApplyDirective(d)
+}
+
+// Countermeasures snapshots the node's active countermeasures.
+func (n *Node) Countermeasures() []Countermeasure { return n.ap.Countermeasures() }
+
+// CountermeasureFor returns the active countermeasure for one MAC.
+func (n *Node) CountermeasureFor(mac MAC) (Countermeasure, bool) {
+	return n.ap.CountermeasureFor(mac)
+}
+
 // Enroll registers (or replaces) a certified signature for a MAC.
 func (n *Node) Enroll(mac MAC, sig *Signature) { n.ap.Enroll(mac, sig) }
 

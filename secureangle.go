@@ -57,6 +57,7 @@ package secureangle
 import (
 	"secureangle/internal/antenna"
 	"secureangle/internal/core"
+	"secureangle/internal/defense"
 	"secureangle/internal/env"
 	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
@@ -120,6 +121,40 @@ type (
 	// TrackState is one client's live mobility-trace state, from
 	// Controller.Track/Snapshot or the wire Query/Tracks exchange.
 	TrackState = fusion.TrackState
+	// Verdict is a scored spoof-check outcome: decision, distance, and
+	// the threshold it was judged against (Margin() is the headroom).
+	Verdict = signature.Verdict
+	// Directive is one typed defense countermeasure order: the
+	// controller's defense engine emits them on threat transitions and
+	// APs apply them (see Node.ApplyDirective).
+	Directive = defense.Directive
+	// DirectiveAction selects a directive's countermeasure.
+	DirectiveAction = defense.Action
+	// ThreatState is a client's position in the defense state machine
+	// (allow -> monitor -> quarantine).
+	ThreatState = defense.State
+	// ClientThreat is one client's queryable defense state, from
+	// Controller.Threats/Threat or the wire Query(KindThreats) exchange.
+	ClientThreat = defense.ClientThreat
+	// DefensePolicy tunes the controller's threat state machine
+	// (escalation thresholds, score decay, quarantine TTL).
+	DefensePolicy = defense.Policy
+	// DefenseStats are the defense engine's counters.
+	DefenseStats = defense.Stats
+	// Countermeasure is one directive as applied at an AP (quarantine
+	// mark or null-steer weights).
+	Countermeasure = core.Countermeasure
+)
+
+// Defense directive actions and threat states, re-exported.
+const (
+	ActionAllow      = defense.ActionAllow
+	ActionQuarantine = defense.ActionQuarantine
+	ActionNullSteer  = defense.ActionNullSteer
+
+	ThreatAllow      = defense.StateAllow
+	ThreatMonitor    = defense.StateMonitor
+	ThreatQuarantine = defense.StateQuarantine
 )
 
 // DefaultConfig returns the pipeline settings used throughout the paper
