@@ -1,0 +1,36 @@
+# SecureAngle build/test/bench entry points (mirrors the CI jobs).
+
+GO ?= go
+
+.PHONY: build test race stress bench fuzz lint
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+race: build
+	$(GO) test -race ./...
+
+# The stress trio CI runs: wire protocol, fusion/defense engines, and
+# the flight recorder (journal + replay + crash recovery), each 3x
+# under the race detector.
+stress:
+	$(GO) test -race -count=3 ./internal/netproto
+	$(GO) test -race -count=3 -run Fusion ./internal/fusion ./internal/netproto
+	$(GO) test -race -count=3 -run Defense ./...
+	$(GO) test -race -count=3 -run 'Journal|Replay|Recovery' ./...
+
+# Headline benchmarks -> BENCH_PR5.json (see scripts/bench.sh; CI
+# uploads the file as an artifact).
+bench:
+	sh scripts/bench.sh BENCH_PR5.json
+
+# Time-boxed native fuzzing of the wire decoder.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/netproto
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...

@@ -16,6 +16,7 @@ import (
 	"secureangle/internal/dsp"
 	"secureangle/internal/experiments"
 	"secureangle/internal/geom"
+	"secureangle/internal/journal"
 	"secureangle/internal/locate"
 	"secureangle/internal/netproto"
 	"secureangle/internal/radio"
@@ -271,11 +272,26 @@ func runDefense(addr, mac string, release bool) error {
 	return nil
 }
 
-func runServe(addr string) error {
+// runServe runs the fence controller; a non-empty journalDir turns on
+// the flight recorder (the `record` command path): state is recovered
+// from the directory before listening, and every decision-relevant
+// event is journalled from then on.
+func runServe(addr, journalDir string) error {
 	_, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
 	c := netproto.NewController(fence)
 	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
+	if journalDir != "" {
+		j, err := journal.Open(journalDir, journal.Options{Logf: c.Logf})
+		if err != nil {
+			return err
+		}
+		if err := c.WithJournal(j); err != nil {
+			j.Close()
+			return err
+		}
+		fmt.Printf("flight recorder journalling to %s (fsync policy: interval)\n", journalDir)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -421,6 +437,49 @@ func runDemo(seed int64) error {
 	}
 	c.Release(intruderMAC)
 	fmt.Printf("operator released %s (quarantine also decays on its own after the policy TTL)\n", intruderMAC)
+	return nil
+}
+
+// runJournalReplay re-runs a recorded incident offline under a
+// (possibly counterfactual) DefensePolicy and prints the directive
+// sequence the fleet would have seen — "what if QuarantineScore were
+// lower?" answered from the journal instead of a production experiment.
+func runJournalReplay(dir string, quarantineScore float64, halfLife, tail time.Duration) error {
+	_, shell := testbed.Building()
+	policy := defense.Policy{QuarantineScore: quarantineScore, HalfLife: halfLife}
+	// Keep the policy self-consistent when the knob is pushed past the
+	// dependent defaults in either direction: Validate requires
+	// ReleaseScore < MonitorScore <= QuarantineScore <= NullSteerScore.
+	if quarantineScore > defense.DefaultNullSteerScore {
+		policy.NullSteerScore = quarantineScore
+	}
+	if quarantineScore > 0 && quarantineScore <= defense.DefaultMonitorScore {
+		policy.MonitorScore = quarantineScore / 2
+		policy.ReleaseScore = quarantineScore / 4
+	}
+	res, err := journal.Replay(dir, journal.ReplayOptions{
+		Fence:  &locate.Fence{Boundary: shell},
+		Policy: policy,
+		Tail:   tail,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replayed %d reports, %d alerts, %d releases -> %d fence decisions (through LSN %d)\n",
+		res.Reports, res.Alerts, res.Releases, res.Decisions, res.LastLSN)
+	fmt.Printf("recorded policy emitted %d directives; replayed policy emitted %d:\n",
+		len(res.RecordedDirectives), len(res.Directives))
+	for _, rd := range res.Directives {
+		d := rd.Directive
+		fmt.Printf("  %s  after LSN %-6d %s %s -> %s (action %s, score %.2f, by %s)\n",
+			rd.TS.Format("15:04:05.000"), rd.AfterLSN, d.MAC, d.From, d.To, d.Action, d.Score, d.Reporter)
+	}
+	if len(res.Quarantined) > 0 {
+		fmt.Println("still quarantined at end of replay:")
+		for _, st := range res.Quarantined {
+			fmt.Printf("  %s (score %.2f, since %s)\n", st.MAC, st.Score, st.Since.Format("15:04:05.000"))
+		}
+	}
 	return nil
 }
 

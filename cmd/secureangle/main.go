@@ -12,7 +12,8 @@
 //	secureangle spoof      — address spoofing prevention + RSS baseline comparison
 //	secureangle ablation   — estimator / calibration / covariance ablations
 //	secureangle calibrate  — the section 2.2 calibration procedure, narrated
-//	secureangle serve      — run the fence controller on a TCP port
+//	secureangle serve      — run the fence controller on a TCP port (-journal enables the flight recorder)
+//	secureangle record     — serve with the flight recorder on (journal defaults to ./secureangle-journal)
 //	secureangle tracks     — query a running controller's live mobility traces
 //	secureangle defense    — query a controller's threat states (or -release a MAC)
 //	secureangle demo       — end-to-end demo: APs + controller + defense loop over loopback TCP
@@ -44,6 +45,10 @@ func main() {
 	file := fs.String("file", "capture.saiq", "I/Q capture path")
 	macFlag := fs.String("mac", "", "client MAC to query (tracks/defense; empty = all)")
 	releaseFlag := fs.Bool("release", false, "defense: request an operator release of -mac")
+	journalFlag := fs.String("journal", "", "journal directory (record/replay; serve: optional)")
+	qscore := fs.Float64("quarantine-score", 0, "replay: counterfactual DefensePolicy.QuarantineScore (0 = default)")
+	halfLife := fs.Duration("half-life", 0, "replay: counterfactual DefensePolicy.HalfLife (0 = default)")
+	tail := fs.Duration("tail", 0, "replay: extra simulated time after the last record")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -75,11 +80,21 @@ func main() {
 	case "capture":
 		err = runCapture(*seed, *client, *file)
 	case "replay":
-		err = runReplay(*file)
+		if *journalFlag != "" {
+			err = runJournalReplay(*journalFlag, *qscore, *halfLife, *tail)
+		} else {
+			err = runReplay(*file)
+		}
 	case "calibrate":
 		err = runCalibrate(*seed)
 	case "serve":
-		err = runServe(*listen)
+		err = runServe(*listen, *journalFlag)
+	case "record":
+		dir := *journalFlag
+		if dir == "" {
+			dir = "secureangle-journal"
+		}
+		err = runServe(*listen, dir)
 	case "tracks":
 		err = runTracks(*listen, *macFlag)
 	case "defense":
@@ -121,13 +136,16 @@ experiments:
 
 services and demos:
   capture     record one packet's 8-channel I/Q to a SAIQ file
-  replay      run the offline pipeline on a SAIQ capture
+  replay      -journal dir: re-run a recorded incident under a counterfactual
+              DefensePolicy (-quarantine-score, -half-life, -tail);
+              otherwise run the offline pipeline on a SAIQ -file capture
   calibrate   narrate the section 2.2 phase-offset calibration
-  serve       run the AoA fusion controller on -listen
+  serve       run the AoA fusion controller on -listen (-journal dir turns on the flight recorder)
+  record      serve with the flight recorder on (-journal defaults to ./secureangle-journal)
   tracks      query a running controller's live mobility traces (-mac filters)
   defense     query a controller's defense threat states (-mac filters, -release frees a MAC)
   demo        APs + controller + closed defense loop over loopback TCP
 
-flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release
+flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release   -journal dir   -quarantine-score X   -half-life D   -tail D
 `)
 }

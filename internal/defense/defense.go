@@ -36,9 +36,11 @@
 package defense
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -366,8 +368,10 @@ type Config struct {
 	// Logf, if set, receives diagnostic output.
 	Logf func(format string, args ...any)
 
-	// clock overrides time.Now in tests.
-	clock func() time.Time
+	// Clock overrides time.Now. Tests and the journal's deterministic
+	// replay (internal/journal) drive it with synthetic or recorded
+	// timestamps; nil means wall time.
+	Clock func() time.Time
 }
 
 // Defaults for zero Config fields.
@@ -390,8 +394,8 @@ func (cfg Config) WithDefaults() Config {
 	if cfg.TickInterval == 0 {
 		cfg.TickInterval = DefaultTickInterval
 	}
-	if cfg.clock == nil {
-		cfg.clock = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 	return cfg
 }
@@ -531,7 +535,7 @@ func (e *Engine) tickLoop() {
 		case <-e.done:
 			return
 		case <-t.C:
-			e.Sweep(e.cfg.clock())
+			e.Sweep(e.cfg.Clock())
 		}
 	}
 }
@@ -559,7 +563,7 @@ func (e *Engine) ReportSpoof(v SpoofVerdict) {
 	if e.closed.Load() {
 		return
 	}
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(v.MAC)
 	s.mu.Lock()
 	s.ctr.spoof++
@@ -591,7 +595,7 @@ func (e *Engine) ReportFence(v FenceVerdict) {
 	if e.closed.Load() {
 		return
 	}
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(v.MAC)
 	s.mu.Lock()
 	s.ctr.fence++
@@ -626,7 +630,7 @@ func (e *Engine) ReportTrack(v TrackVerdict) {
 	if max := e.cfg.Policy.MaxSpeedMS; max >= 0 {
 		anomalous = math.Hypot(v.Vel.X, v.Vel.Y) > max
 	}
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(v.MAC)
 	s.mu.Lock()
 	s.ctr.track++
@@ -653,7 +657,7 @@ func (e *Engine) Release(mac wifi.Addr) bool {
 	if e.closed.Load() {
 		return false
 	}
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(mac)
 	s.mu.Lock()
 	th, ok := s.threats[mac]
@@ -675,7 +679,7 @@ func (e *Engine) Release(mac wifi.Addr) bool {
 // State returns the live threat state for one MAC (score decayed to
 // now; reads do not mutate the stored score).
 func (e *Engine) State(mac wifi.Addr) (ClientThreat, bool) {
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(mac)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -689,7 +693,7 @@ func (e *Engine) State(mac wifi.Addr) (ClientThreat, bool) {
 // Snapshot returns every tracked client's threat state. Consistent per
 // shard, not across shards (the registry-snapshot contract).
 func (e *Engine) Snapshot() []ClientThreat {
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	var out []ClientThreat
 	for _, s := range e.shards {
 		s.mu.Lock()
@@ -704,7 +708,7 @@ func (e *Engine) Snapshot() []ClientThreat {
 // Quarantined returns the threat state of every client currently in
 // quarantine.
 func (e *Engine) Quarantined() []ClientThreat {
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	var out []ClientThreat
 	for _, s := range e.shards {
 		s.mu.Lock()
@@ -764,7 +768,19 @@ func (e *Engine) Sweep(now time.Time) {
 	for _, s := range e.shards {
 		s.mu.Lock()
 		var ds []Directive
-		for mac, th := range s.threats {
+		// Sweep in MAC order: map iteration order would otherwise decide
+		// which of two same-tick transitions emits its directive first,
+		// and replay (internal/journal) requires the sequence to be
+		// deterministic.
+		macs := make([]wifi.Addr, 0, len(s.threats))
+		for mac := range s.threats {
+			macs = append(macs, mac)
+		}
+		sort.Slice(macs, func(i, j int) bool {
+			return bytes.Compare(macs[i][:], macs[j][:]) < 0
+		})
+		for _, mac := range macs {
+			th := s.threats[mac]
 			th.decayTo(now, p.HalfLife)
 			switch th.state {
 			case StateQuarantine:

@@ -17,7 +17,7 @@ func testEngine(t *testing.T, cfg Config) (*Engine, *time.Time, *[]Directive, *s
 	now := time.Unix(1000, 0)
 	var mu sync.Mutex
 	var emitted []Directive
-	cfg.clock = func() time.Time { return now }
+	cfg.Clock = func() time.Time { return now }
 	cfg.TickInterval = time.Hour
 	if cfg.Emit == nil {
 		cfg.Emit = func(d Directive) {

@@ -1,0 +1,177 @@
+package defense
+
+// The threat engine's snapshot codec: a versioned binary encoding of
+// every tracked client's threat state — score, state-machine position,
+// evidence counters, and the direction/position data countermeasures
+// are aimed with — so a restarted controller resumes live quarantines
+// instead of handing every quarantined attacker a free re-entry window.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/wifi"
+)
+
+// Snapshot codec framing.
+const (
+	snapMagic   = "SADS" // SecureAngle Defense State
+	snapVersion = 1
+)
+
+// threatFixedSize is one encoded threat record minus its two strings:
+// MAC + state + action + score + 3 evidence counters + distance +
+// threshold + bearing + hasBearing + pos + hasPos + since + updated.
+const threatFixedSize = 6 + 1 + 1 + 8 + 3*8 + 8 + 8 + 8 + 1 + 16 + 1 + 8 + 8
+
+// Save writes a versioned binary snapshot of the engine's threat state
+// to w, in MAC order (deterministic bytes for identical state). Safe to
+// call concurrently with ingest; consistent per shard, not across
+// shards.
+func (e *Engine) Save(w io.Writer) error {
+	type rec struct {
+		mac  wifi.Addr
+		body []byte
+	}
+	var recs []rec
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for mac, th := range s.threats {
+			recs = append(recs, rec{mac: mac, body: encodeThreat(nil, th)})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		return bytes.Compare(recs[i].mac[:], recs[j].mac[:]) < 0
+	})
+	bw := bufio.NewWriter(w)
+	bw.WriteString(snapMagic)
+	var hdr [6]byte
+	binary.BigEndian.PutUint16(hdr[0:2], snapVersion)
+	binary.BigEndian.PutUint32(hdr[2:6], uint32(len(recs)))
+	bw.Write(hdr[:])
+	for i := range recs {
+		bw.Write(recs[i].body)
+	}
+	return bw.Flush()
+}
+
+// encodeThreat appends one threat's wire form: the fixed block, then
+// the two length-prefixed strings. Shard lock held.
+func encodeThreat(b []byte, th *threat) []byte {
+	b = append(b, th.mac[:]...)
+	b = append(b, byte(th.state), byte(th.action))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.score))
+	b = binary.BigEndian.AppendUint64(b, th.flags)
+	b = binary.BigEndian.AppendUint64(b, th.fenceDrops)
+	b = binary.BigEndian.AppendUint64(b, th.speedFlags)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.lastDistance))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.lastThreshold))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.bearingDeg))
+	b = appendBool(b, th.hasBearing)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.pos.X))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(th.pos.Y))
+	b = appendBool(b, th.hasPos)
+	b = binary.BigEndian.AppendUint64(b, uint64(th.since.UnixNano()))
+	b = binary.BigEndian.AppendUint64(b, uint64(th.updated.UnixNano()))
+	b = appendString(b, th.lastAP)
+	return appendString(b, th.stage)
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func readSnapString(br *bufio.Reader) (string, error) {
+	var n [2]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return "", err
+	}
+	buf := make([]byte, binary.BigEndian.Uint16(n[:]))
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// Restore loads a snapshot written by Save into the engine, replacing
+// any state held for the snapshotted MACs. Intended for a freshly-built
+// engine before traffic arrives (the crash-recovery path); no
+// directives are emitted — restored quarantines are already in force at
+// the engine's view of the fleet, and the controller re-broadcasts them
+// to APs as they (re)connect.
+func (e *Engine) Restore(r io.Reader) error {
+	hdr := make([]byte, 4+6)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return fmt.Errorf("defense: snapshot header: %w", err)
+	}
+	if string(hdr[:4]) != snapMagic {
+		return fmt.Errorf("defense: bad snapshot magic %q", hdr[:4])
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != snapVersion {
+		return fmt.Errorf("defense: unsupported snapshot version %d", v)
+	}
+	count := binary.BigEndian.Uint32(hdr[6:10])
+	br := bufio.NewReader(r)
+	fixed := make([]byte, threatFixedSize)
+	for i := uint32(0); i < count; i++ {
+		if _, err := io.ReadFull(br, fixed); err != nil {
+			return fmt.Errorf("defense: snapshot threat %d: %w", i, err)
+		}
+		lastAP, err := readSnapString(br)
+		if err != nil {
+			return fmt.Errorf("defense: snapshot threat %d: %w", i, err)
+		}
+		stage, err := readSnapString(br)
+		if err != nil {
+			return fmt.Errorf("defense: snapshot threat %d: %w", i, err)
+		}
+		e.restoreThreat(fixed, lastAP, stage)
+	}
+	return nil
+}
+
+// restoreThreat decodes one fixed block + strings and installs the
+// threat entry in its shard.
+func (e *Engine) restoreThreat(b []byte, lastAP, stage string) {
+	var mac wifi.Addr
+	copy(mac[:], b[:6])
+	now := e.cfg.Clock()
+	s := e.shardFor(mac)
+	s.mu.Lock()
+	th, ds := s.touch(e, mac, now)
+	th.state = State(b[6])
+	th.action = Action(b[7])
+	th.score = math.Float64frombits(binary.BigEndian.Uint64(b[8:16]))
+	th.flags = binary.BigEndian.Uint64(b[16:24])
+	th.fenceDrops = binary.BigEndian.Uint64(b[24:32])
+	th.speedFlags = binary.BigEndian.Uint64(b[32:40])
+	th.lastDistance = math.Float64frombits(binary.BigEndian.Uint64(b[40:48]))
+	th.lastThreshold = math.Float64frombits(binary.BigEndian.Uint64(b[48:56]))
+	th.bearingDeg = math.Float64frombits(binary.BigEndian.Uint64(b[56:64]))
+	th.hasBearing = b[64] != 0
+	th.pos = geom.Point{
+		X: math.Float64frombits(binary.BigEndian.Uint64(b[65:73])),
+		Y: math.Float64frombits(binary.BigEndian.Uint64(b[73:81])),
+	}
+	th.hasPos = b[81] != 0
+	th.since = time.Unix(0, int64(binary.BigEndian.Uint64(b[82:90])))
+	th.updated = time.Unix(0, int64(binary.BigEndian.Uint64(b[90:98])))
+	th.lastAP, th.stage = lastAP, stage
+	s.unlockAndEmit(e, ds)
+}

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,8 +114,10 @@ type Config struct {
 	// Logf, if set, receives diagnostic output.
 	Logf func(format string, args ...any)
 
-	// clock overrides time.Now in tests.
-	clock func() time.Time
+	// Clock overrides time.Now. Tests and the journal's deterministic
+	// replay (internal/journal) drive it with synthetic or recorded
+	// timestamps; nil means wall time.
+	Clock func() time.Time
 }
 
 // WithDefaults returns cfg with zero fields replaced by defaults.
@@ -150,8 +153,8 @@ func (cfg Config) WithDefaults() Config {
 	if cfg.TrackBeta == 0 {
 		cfg.TrackBeta = 0.3
 	}
-	if cfg.clock == nil {
-		cfg.clock = time.Now
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
 	}
 	return cfg
 }
@@ -342,7 +345,7 @@ func (e *Engine) tickLoop() {
 		case <-e.done:
 			return
 		case <-t.C:
-			e.Sweep(e.cfg.clock())
+			e.Sweep(e.cfg.Clock())
 		}
 	}
 }
@@ -361,7 +364,7 @@ func (e *Engine) Ingest(b Bearing) {
 	if e.closed.Load() {
 		return
 	}
-	now := e.cfg.clock()
+	now := e.cfg.Clock()
 	s := e.shardFor(b.MAC)
 	s.mu.Lock()
 	d, emit := e.ingestLocked(s, b, now)
@@ -458,10 +461,18 @@ func (e *Engine) diverse(p *pendingTx) bool {
 func (e *Engine) finalizeLocked(s *shard, p *pendingTx, now time.Time, forced bool) (Decision, bool) {
 	cl, seq := p.cl, p.seq
 	obs := s.obsScratch[:0]
+	// Fuse in AP-name order: map iteration order would otherwise leak
+	// into the least-squares accumulation (and the APs list), making the
+	// fused position vary in the last float bits between runs — replay
+	// (internal/journal) requires byte-identical decisions.
 	aps := make([]string, 0, len(p.bearings))
-	for name, b := range p.bearings {
-		obs = append(obs, locate.BearingObs{AP: b.pos, BearingDeg: b.deg})
+	for name := range p.bearings {
 		aps = append(aps, name)
+	}
+	sort.Strings(aps)
+	for _, name := range aps {
+		b := p.bearings[name]
+		obs = append(obs, locate.BearingObs{AP: b.pos, BearingDeg: b.deg})
 	}
 	s.obsScratch = obs[:0] // keep any growth for the next decision
 	dec, pos, err := e.cfg.Fence.Decide(obs)

@@ -79,7 +79,7 @@ func newTestEngine(t *testing.T, cfg Config, clk *fakeClock, cap *capture) *Engi
 		cfg.Fence = testFence()
 	}
 	if clk != nil {
-		cfg.clock = clk.Now
+		cfg.Clock = clk.Now
 	}
 	if cap != nil {
 		cfg.Emit = cap.emit
@@ -435,7 +435,7 @@ func TestFusionConcurrentIngest(t *testing.T) {
 		// Both APs reporting triggers the all-APs shortcut, so no key
 		// can stall on the diversity guard under the frozen test clock.
 		APCount: func() int { return 2 },
-		clock:   clk.Now,
+		Clock:   clk.Now,
 	}
 	e, err := New(cfg)
 	if err != nil {

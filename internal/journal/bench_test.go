@@ -1,0 +1,96 @@
+package journal
+
+import (
+	"testing"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/wifi"
+)
+
+// BenchmarkJournalAppend measures the hot append path — one report
+// record per op — under each fsync policy. The default (interval)
+// policy is the headline number: the acceptance bar is amortised
+// append <= 2 us/op with bounded allocs; fsync-always shows what
+// per-event durability costs on this disk.
+func BenchmarkJournalAppend(b *testing.B) {
+	ev := ReportEvent{
+		AP: "ap1", APPos: geom.Point{X: 1, Y: 2},
+		MAC: wifi.Addr{0x66, 0, 0, 0, 0, 5}, Seq: 7, BearingDeg: 42.5,
+	}
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"interval", Options{}},
+		{"never", Options{Fsync: FsyncNever}},
+		{"always", Options{Fsync: FsyncAlways}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			j, err := Open(b.TempDir(), bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ev.Seq = uint64(i)
+				if _, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ev)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJournalAppendParallel hammers Append from GOMAXPROCS
+// goroutines (the controller's per-connection handlers) under the
+// default policy.
+func BenchmarkJournalAppendParallel(b *testing.B) {
+	j, err := Open(b.TempDir(), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer j.Close()
+	ev := ReportEvent{AP: "ap1", MAC: wifi.Addr{0x66, 0, 0, 0, 0, 5}, BearingDeg: 42.5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ev)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJournalScan measures recovery-side throughput: records
+// scanned per op over a pre-built multi-segment log.
+func BenchmarkJournalScan(b *testing.B) {
+	dir := b.TempDir()
+	j, err := Open(dir, Options{Clock: func() time.Time { return time.Unix(1000, 0) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := ReportEvent{AP: "ap1", MAC: wifi.Addr{0x66, 0, 0, 0, 0, 5}, BearingDeg: 42.5}
+	const records = 10000
+	for i := 0; i < records; i++ {
+		ev.Seq = uint64(i)
+		if _, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ev)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := ReadRecords(dir, 0, func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != records {
+			b.Fatalf("scanned %d/%d", n, records)
+		}
+	}
+}

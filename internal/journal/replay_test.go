@@ -1,0 +1,229 @@
+package journal
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"secureangle/internal/defense"
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/wifi"
+)
+
+// writeIncident journals a synthetic two-AP incident and returns the
+// cast of MACs: a benign inside client, an outside attacker racking up
+// fence drops, and a spoofing attacker flagged by signature distance
+// (then released by the operator).
+func writeIncident(t *testing.T, dir string) (benign, fenceAttacker, spoofer wifi.Addr) {
+	t.Helper()
+	benign = wifi.Addr{0x02, 0, 0, 0, 0, 1}
+	fenceAttacker = wifi.Addr{0x02, 0, 0, 0, 0, 2}
+	spoofer = wifi.Addr{0x02, 0, 0, 0, 0, 3}
+	ap1, ap2 := geom.Point{X: 0, Y: 0}, geom.Point{X: 24, Y: 0}
+
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	ts := time.Unix(1_700_000_000, 0)
+	step := func() time.Time { ts = ts.Add(50 * time.Millisecond); return ts }
+	add := func(typ RecordType, data []byte) {
+		t.Helper()
+		if _, err := j.Append(Record{Type: typ, TS: step(), Data: data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report := func(mac wifi.Addr, seq uint64, target geom.Point) {
+		add(RecReport, EncodeReport(ReportEvent{AP: "ap1", APPos: ap1, MAC: mac, Seq: seq, BearingDeg: geom.BearingDeg(ap1, target)}))
+		add(RecReport, EncodeReport(ReportEvent{AP: "ap2", APPos: ap2, MAC: mac, Seq: seq, BearingDeg: geom.BearingDeg(ap2, target)}))
+	}
+
+	inside, outside := geom.Point{X: 12, Y: 8}, geom.Point{X: 12, Y: 20}
+	for seq := uint64(1); seq <= 2; seq++ {
+		report(benign, seq, inside)
+	}
+	// Six drops: with the default FenceWeight 0.5 the fourth crosses the
+	// default QuarantineScore 2; a sub-unity counterfactual crosses on
+	// the second.
+	for seq := uint64(1); seq <= 6; seq++ {
+		report(fenceAttacker, seq, outside)
+	}
+	// One gross signature mismatch quarantines immediately under the
+	// default SpoofWeight, then the operator releases it.
+	add(RecAlert, EncodeAlert(defense.SpoofVerdict{
+		AP: "ap1", MAC: spoofer, Flagged: true,
+		Distance: 0.9, Threshold: 0.12, BearingDeg: 60, HasBearing: true, Stage: "spoofcheck",
+	}))
+	add(RecRelease, EncodeRelease(ReleaseEvent{MAC: spoofer, Source: "operator"}))
+	return benign, fenceAttacker, spoofer
+}
+
+func testFence() *locate.Fence {
+	return &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+}
+
+// wireCat concatenates a replay's directive byte sequence — the
+// byte-identity comparison surface.
+func wireCat(res *ReplayResult) []byte {
+	var out []byte
+	for _, d := range res.Directives {
+		out = append(out, d.Wire...)
+	}
+	return out
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	_, fenceAttacker, spoofer := writeIncident(t, dir)
+
+	opts := ReplayOptions{Fence: testFence()}
+	a, err := Replay(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Directives) == 0 {
+		t.Fatal("replay emitted no directives")
+	}
+	if !bytes.Equal(wireCat(a), wireCat(b)) {
+		t.Fatalf("same journal + same policy diverged:\n%x\nvs\n%x", wireCat(a), wireCat(b))
+	}
+	for i := range a.Directives {
+		if !a.Directives[i].TS.Equal(b.Directives[i].TS) || a.Directives[i].AfterLSN != b.Directives[i].AfterLSN {
+			t.Errorf("directive %d provenance diverged: %+v vs %+v", i, a.Directives[i], b.Directives[i])
+		}
+	}
+
+	// The incident's shape under the default policy: the spoofer was
+	// quarantined and released; the fence attacker quarantined and still
+	// held at end of replay.
+	var sawSpooferQuar, sawSpooferRelease, sawFenceQuar bool
+	for _, rd := range a.Directives {
+		d := rd.Directive
+		switch {
+		case d.MAC == spoofer && d.To == defense.StateQuarantine:
+			sawSpooferQuar = true
+		case d.MAC == spoofer && d.Action == defense.ActionAllow:
+			sawSpooferRelease = true
+		case d.MAC == fenceAttacker && d.To == defense.StateQuarantine:
+			sawFenceQuar = true
+		}
+	}
+	if !sawSpooferQuar || !sawSpooferRelease || !sawFenceQuar {
+		t.Errorf("directive sequence missing expected transitions: spooferQuar=%v spooferRelease=%v fenceQuar=%v (%d directives)",
+			sawSpooferQuar, sawSpooferRelease, sawFenceQuar, len(a.Directives))
+	}
+	if len(a.Quarantined) != 1 || a.Quarantined[0].MAC != fenceAttacker {
+		t.Errorf("end-of-replay quarantine = %+v", a.Quarantined)
+	}
+	if a.Reports != 16 || a.Alerts != 1 || a.Releases != 1 || a.Decisions != 8 {
+		t.Errorf("replay counters = %+v", a)
+	}
+}
+
+func TestReplayCounterfactualPolicyDiverges(t *testing.T) {
+	dir := t.TempDir()
+	benign, fenceAttacker, _ := writeIncident(t, dir)
+
+	base, err := Replay(dir, ReplayOptions{Fence: testFence()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "What if the quarantine bar were lower?" — 0.9 instead of 2, so
+	// the second fence drop (not the fourth) quarantines the attacker.
+	counter, err := Replay(dir, ReplayOptions{
+		Fence: testFence(),
+		Policy: defense.Policy{
+			MonitorScore: 0.4, QuarantineScore: 0.9, ReleaseScore: 0.2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(wireCat(base), wireCat(counter)) {
+		t.Fatal("counterfactual policy produced an identical directive sequence")
+	}
+	firstQuar := func(res *ReplayResult) (uint64, bool) {
+		for _, rd := range res.Directives {
+			if rd.Directive.MAC == fenceAttacker && rd.Directive.To == defense.StateQuarantine {
+				return rd.AfterLSN, true
+			}
+		}
+		return 0, false
+	}
+	baseLSN, ok1 := firstQuar(base)
+	counterLSN, ok2 := firstQuar(counter)
+	if !ok1 || !ok2 {
+		t.Fatalf("missing fence-attacker quarantine: base=%v counter=%v", ok1, ok2)
+	}
+	if counterLSN >= baseLSN {
+		t.Errorf("lower quarantine bar did not quarantine earlier: base after LSN %d, counterfactual after LSN %d", baseLSN, counterLSN)
+	}
+	// The benign inside client is quarantined under neither policy.
+	for _, res := range []*ReplayResult{base, counter} {
+		for _, rd := range res.Directives {
+			if rd.Directive.MAC == benign {
+				t.Errorf("benign client drew a directive: %+v", rd.Directive)
+			}
+		}
+	}
+}
+
+func TestReplayTailPlaysOutDecay(t *testing.T) {
+	dir := t.TempDir()
+	_, fenceAttacker, _ := writeIncident(t, dir)
+
+	// A fast-decaying counterfactual policy with a long tail: the
+	// quarantine entered during the incident must decay back to release
+	// within the simulated tail, with no live wall-clock waiting.
+	// The bar must stay reachable under the fast decay (the default 2
+	// is not: half the evidence evaporates between drops), so lower it
+	// along with the release floor.
+	opts := ReplayOptions{
+		Fence: testFence(),
+		Policy: defense.Policy{
+			MonitorScore:    0.4,
+			QuarantineScore: 0.9,
+			ReleaseScore:    0.2,
+			HalfLife:        200 * time.Millisecond,
+			MinQuarantine:   time.Millisecond,
+		},
+		Tail: 5 * time.Second,
+	}
+	res, err := Replay(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Errorf("tail did not decay the quarantine: %+v", res.Quarantined)
+	}
+	var released bool
+	for _, rd := range res.Directives {
+		if rd.Directive.MAC == fenceAttacker && rd.Directive.Action == defense.ActionAllow && rd.Directive.Reporter == "decay" {
+			released = true
+		}
+	}
+	if !released {
+		t.Error("no decay release in the tail")
+	}
+	// Tail replays are deterministic too.
+	res2, err := Replay(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wireCat(res), wireCat(res2)) {
+		t.Error("tail replay diverged between runs")
+	}
+}
+
+func TestReplayRequiresFence(t *testing.T) {
+	if _, err := Replay(t.TempDir(), ReplayOptions{}); err == nil {
+		t.Fatal("fence-less replay succeeded")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"secureangle/internal/defense"
+	"secureangle/internal/journal"
 	"secureangle/internal/wifi"
 )
 
@@ -170,18 +171,23 @@ func (c *Controller) Quarantined() []Alert {
 // defense engine decides whether it escalates; escalations come back
 // through emitDirective, which broadcasts to the fleet.
 func (c *Controller) handleAlert(a Alert) {
-	if e := c.defense(); e != nil {
-		e.ReportSpoof(defense.SpoofVerdict{
-			AP:         a.APName,
-			MAC:        a.MAC,
-			Flagged:    true,
-			Distance:   a.Distance,
-			Threshold:  a.Threshold,
-			BearingDeg: a.BearingDeg,
-			HasBearing: a.HasBearing,
-			Stage:      a.Stage,
-		})
+	v := defense.SpoofVerdict{
+		AP:         a.APName,
+		MAC:        a.MAC,
+		Flagged:    true,
+		Distance:   a.Distance,
+		Threshold:  a.Threshold,
+		BearingDeg: a.BearingDeg,
+		HasBearing: a.HasBearing,
+		Stage:      a.Stage,
 	}
+	// Apply before journaling (the ingest ordering): a snapshot racing
+	// this alert re-applies it from the tail at worst — one bounded
+	// double-count of its score — rather than losing the evidence.
+	if e := c.defense(); e != nil {
+		e.ReportSpoof(v)
+	}
+	c.journalAppend(journal.RecAlert, journal.EncodeAlert(v))
 }
 
 // --- Agent-side ---

@@ -100,9 +100,10 @@ func TestQuarantinePropagation(t *testing.T) {
 }
 
 func TestQuarantineBroadcastReachesLateJoiner(t *testing.T) {
-	// An alert raised before an AP joins is NOT replayed (by design: the
-	// quarantine list is pull-able via Quarantined; broadcasts are
-	// real-time). This test pins the behaviour.
+	// An AP joining while a quarantine is in force receives it as a
+	// resume frame (the legacy Alert form on a v1 session) — the same
+	// path that re-arms the fleet after a crash-recovered controller
+	// restart. This test pins the behaviour.
 	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
 	c := NewController(fence)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -123,11 +124,17 @@ func TestQuarantineBroadcastReachesLateJoiner(t *testing.T) {
 	defer late.Close()
 	alerts := late.Alerts()
 	select {
-	case al := <-alerts:
-		t.Errorf("late joiner received replayed alert: %+v", al)
-	case <-time.After(300 * time.Millisecond):
+	case al, ok := <-alerts:
+		if !ok {
+			t.Fatal("alert channel closed")
+		}
+		if al.MAC != bad || al.APName != "controller" {
+			t.Errorf("resume alert = %+v", al)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late joiner never received the active quarantine")
 	}
-	// But the list is available on demand.
+	// And the list is available on demand.
 	if len(c.Quarantined()) != 1 {
 		t.Error("quarantine list missing the alert")
 	}

@@ -13,6 +13,7 @@ import (
 	"secureangle/internal/defense"
 	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
+	"secureangle/internal/journal"
 	"secureangle/internal/locate"
 	"secureangle/internal/wifi"
 )
@@ -74,6 +75,12 @@ type Controller struct {
 	// take the package defense defaults). Set it before traffic arrives,
 	// like the fusion tuning fields.
 	DefensePolicy defense.Policy
+	// SnapshotInterval is the journal's snapshot cadence when WithJournal
+	// attached one (default DefaultSnapshotInterval; negative disables
+	// snapshots entirely — recovery then replays the whole WAL). Between
+	// snapshots a crash costs one WAL-tail replay; shorter intervals buy
+	// faster restarts for more write amplification.
+	SnapshotInterval time.Duration
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
@@ -91,6 +98,16 @@ type Controller struct {
 	observerSeq atomic.Uint64
 	// directiveAcks counts applied-countermeasure reports from APs.
 	directiveAcks atomic.Uint64
+
+	// The flight recorder (see WithJournal): clk is the engines' time
+	// source, pinned to recorded timestamps while recovery replays the
+	// WAL tail; recovering suppresses journaling and fan-out of the
+	// re-derived events.
+	jrnl       atomic.Pointer[journal.Journal]
+	clk        journal.ReplayClock
+	recovering atomic.Bool
+	snapDone   chan struct{}
+	snapWG     sync.WaitGroup
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -128,6 +145,7 @@ func (c *Controller) fusionConfig() fusion.Config {
 		APCount:             c.apCount,
 		Emit:                c.emitDecision,
 		Logf:                func(format string, args ...any) { c.logf(format, args...) },
+		Clock:               c.clk.Now,
 	}
 }
 
@@ -168,6 +186,7 @@ func (c *Controller) defenseConfig() defense.Config {
 		Policy: c.DefensePolicy,
 		Emit:   c.emitDirective,
 		Logf:   func(format string, args ...any) { c.logf(format, args...) },
+		Clock:  c.clk.Now,
 	}
 }
 
@@ -201,10 +220,22 @@ func (c *Controller) defenseLoaded() *defense.Engine { return c.defenseEng.Load(
 // face is Agent.SendRelease; the CLI face `secureangle defense
 // -release`.)
 func (c *Controller) Release(mac wifi.Addr) bool {
-	if e := c.defenseLoaded(); e != nil {
-		return e.Release(mac)
+	return c.releaseFrom(mac, "operator")
+}
+
+// releaseFrom is the shared release path: source names who asked (the
+// in-process API, or the AP that relayed a wire request) and is what
+// the journal records.
+func (c *Controller) releaseFrom(mac wifi.Addr, source string) bool {
+	e := c.defenseLoaded()
+	if e == nil {
+		return false
 	}
-	return false
+	ok := e.Release(mac)
+	if ok {
+		c.journalAppend(journal.RecRelease, journal.EncodeRelease(journal.ReleaseEvent{MAC: mac, Source: source}))
+	}
+	return ok
 }
 
 // Threats returns the defense engine's live threat state for every
@@ -229,25 +260,32 @@ func (c *Controller) Threat(mac wifi.Addr) (defense.ClientThreat, bool) {
 // every subscriber, then feeds the defense engine (the fusion engine
 // calls it outside shard locks).
 func (c *Controller) emitDecision(d fusion.Decision) {
-	out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return // the decision channels may be mid-close
-	}
-	select {
-	case c.decision <- out:
-	default:
-		c.logf("controller: decision channel full, dropping %v", out.MAC)
-	}
-	for id, ch := range c.subs {
-		select {
-		case ch <- out:
-		default:
-			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
+	// During journal recovery the decision is a re-derivation of history:
+	// it still feeds the defense engine below (that is how threat scores
+	// are rebuilt), but consumers must not see it again and the journal
+	// already holds it.
+	if !c.recovering.Load() {
+		c.journalAppend(journal.RecDecision, journal.EncodeDecision(d))
+		out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return // the decision channels may be mid-close
 		}
+		select {
+		case c.decision <- out:
+		default:
+			c.logf("controller: decision channel full, dropping %v", out.MAC)
+		}
+		for id, ch := range c.subs {
+			select {
+			case ch <- out:
+			default:
+				c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
+			}
+		}
+		c.mu.Unlock()
 	}
-	c.mu.Unlock()
 
 	// Close the loop: every fused fence decision is defense evidence,
 	// and the refreshed mobility track both updates the threat's last
@@ -407,6 +445,24 @@ func (c *Controller) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	// Flight recorder last rites: stop the snapshot ticker, take the
+	// shutdown snapshot while the engines are still alive (so a clean
+	// restart restores instantly instead of replaying the WAL), and seal
+	// the journal.
+	if c.snapDone != nil {
+		close(c.snapDone)
+		c.snapWG.Wait()
+	}
+	if j := c.jrnl.Load(); j != nil {
+		if c.snapshotsEnabled() {
+			if err := c.saveSnapshot(j); err != nil {
+				c.logf("controller: shutdown snapshot: %v", err)
+			}
+		}
+		if err := j.Close(); err != nil {
+			c.logf("controller: journal close: %v", err)
+		}
+	}
 	// Burn the lazy-init slots so a racing ingest cannot build a fresh
 	// engine after we shut down; then close whichever engines exist.
 	c.engineOnce.Do(func() {})
@@ -572,6 +628,11 @@ func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan stru
 		close(prev.stop)
 		prev.conn.Close()
 	}
+	// A (re)connecting AP must learn the quarantines already in force —
+	// after a controller restart the defense engine's restored leases
+	// would otherwise exist only in controller memory while the fleet,
+	// freshly rebooted or lease-expired, lets the attackers back in.
+	resume := c.resumeFrames(version)
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
@@ -582,6 +643,13 @@ func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan stru
 			}
 			c.quar.mu.Unlock()
 		}()
+		// The pump owns the write side from birth, so the resume frames
+		// are written directly, ahead of any queued broadcast.
+		for _, frame := range resume {
+			if err := WriteMessage(conn, frame); err != nil {
+				return
+			}
+		}
 		for {
 			select {
 			case body := <-ch:
@@ -612,9 +680,16 @@ func (c *Controller) ingest(r Report) {
 		c.logf("controller: report from unknown AP %q dropped", r.APName)
 		return
 	}
+	// Apply before journaling: a snapshot racing this event then either
+	// sees its effect (and the event's LSN predates the capture) or the
+	// event lands in the replayed tail — double-applied at worst, never
+	// lost. The fusion seq window absorbs a re-applied report.
 	if e := c.eng(); e != nil {
 		e.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
 	}
+	c.journalAppend(journal.RecReport, journal.EncodeReport(journal.ReportEvent{
+		AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, BearingDeg: r.BearingDeg,
+	}))
 }
 
 // --- AP agent side ---

@@ -7,6 +7,7 @@ import (
 
 	"secureangle/internal/defense"
 	"secureangle/internal/geom"
+	"secureangle/internal/journal"
 	"secureangle/internal/wifi"
 )
 
@@ -118,6 +119,14 @@ func unmarshalDirective(rest []byte) (Directive, error) {
 // and Alerts() consumers keep their pre-directive notification
 // surface.
 func (c *Controller) emitDirective(d defense.Directive) {
+	// A directive re-derived during journal recovery is history: the
+	// journal already holds it, and no AP is connected yet to receive
+	// it (reconnecting APs get the surviving quarantines as resume
+	// frames from startBroadcaster instead).
+	if c.recovering.Load() {
+		return
+	}
+	c.journalAppend(journal.RecDirective, journal.EncodeDirective(d))
 	frame := MarshalDirective(Directive{Directive: d})
 	entering := d.To == defense.StateQuarantine && d.From != defense.StateQuarantine
 	var legacy Alert
@@ -156,12 +165,13 @@ func (c *Controller) emitDirective(d defense.Directive) {
 func (c *Controller) handleDirective(d Directive, apName string) {
 	if d.Ack {
 		c.directiveAcks.Add(1)
+		c.journalAppend(journal.RecAck, journal.EncodeAck(journal.AckEvent{AP: apName, Directive: d.Directive}))
 		c.logf("controller: %s applied %s for %s (bearing %.1f)", apName, d.Action, d.MAC, d.BearingDeg)
 		return
 	}
 	if d.Action == defense.ActionAllow {
 		c.logf("controller: release of %s requested by %s", d.MAC, apName)
-		c.Release(d.MAC)
+		c.releaseFrom(d.MAC, apName)
 		return
 	}
 	c.logf("controller: directive %s from %s ignored (agents cannot order countermeasures)", d.Action, apName)

@@ -1,0 +1,120 @@
+package netproto
+
+// Native fuzzing of the wire decoder: every inbound frame — from any
+// peer, at any negotiated version — funnels through Unmarshal, so it
+// must never panic, never over-allocate on a hostile length field, and
+// whatever it accepts must re-encode to a form it accepts again. CI
+// runs a time-boxed `go test -fuzz` smoke on top of the seeded corpus.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"secureangle/internal/defense"
+	"secureangle/internal/fusion"
+	"secureangle/internal/geom"
+	"secureangle/internal/wifi"
+)
+
+// fuzzSeeds returns one marshalled body per frame kind and version
+// form this build speaks — Hello v1/v2+, Report, ReportBatch, Welcome,
+// Ping, Alert v1/v2/v3, Query v2/v3, Tracks, Threats, Directive.
+func fuzzSeeds() [][]byte {
+	mac := wifi.Addr{0x66, 0, 0, 0, 0, 5}
+	dir := defense.Directive{
+		MAC: mac, Action: defense.ActionNullSteer,
+		From: defense.StateMonitor, To: defense.StateQuarantine,
+		Reporter: "ap1", BearingDeg: 60, HasBearing: true,
+		Pos: geom.Point{X: 3, Y: 4}, HasPos: true,
+		Score: 5, Distance: 0.9, Threshold: 0.12, Stage: "spoofcheck",
+		TTL: 10 * time.Minute,
+	}
+	return [][]byte{
+		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}}),                   // v1 form
+		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}, Version: ProtoV2}), // versioned form
+		MarshalHello(Hello{Name: "", Pos: geom.Point{}, Version: ProtoV3}),              // observer
+		MarshalReport(Report{APName: "ap1", MAC: mac, BearingDeg: 42.5, SeqNo: 7}),      // sig-less report
+		MarshalReportBatch([]Report{{APName: "a", MAC: mac, SeqNo: 1}, {APName: "b"}}),  // batch
+		MarshalWelcome(Welcome{Version: ProtoV2}),                                       //
+		MarshalPing(), //
+		marshalAlertV(Alert{APName: "ap1", MAC: mac, Distance: 0.9}, ProtoV1),           // v1 alert
+		marshalAlertV(Alert{APName: "ap1", MAC: mac, Stage: "spoofcheck"}, ProtoV2),     // v2 alert
+		MarshalAlert(Alert{APName: "ap1", MAC: mac, Threshold: 0.12, HasBearing: true}), // v3 alert
+		MarshalQuery(Query{All: true, ID: 9}),                                           // v2 query (KindTracks)
+		MarshalQuery(Query{MAC: mac, ID: 10, Kind: KindThreats}),                        // v3 query
+		MarshalTracks(Tracks{ID: 3, More: true, States: []fusion.TrackState{{MAC: mac, Fixes: 2, Updated: time.Unix(5, 0)}}}),
+		MarshalThreats(Threats{ID: 4, States: []defense.ClientThreat{{MAC: mac, State: defense.StateQuarantine, LastAP: "ap1", Since: time.Unix(5, 0), Updated: time.Unix(6, 0)}}}),
+		MarshalDirective(Directive{Directive: dir}),
+		MarshalDirective(Directive{Directive: dir, Ack: true}),
+		{},                // empty body
+		{0xff},            // unknown type
+		{TypeHello, 0xff}, // truncated
+	}
+}
+
+// remarshal re-encodes a decoded message in this build's highest wire
+// form (the re-decode target).
+func remarshal(msg any) ([]byte, bool) {
+	switch m := msg.(type) {
+	case Hello:
+		return MarshalHello(m), true
+	case Welcome:
+		return MarshalWelcome(m), true
+	case Ping:
+		return MarshalPing(), true
+	case Report:
+		return MarshalReport(m), true
+	case ReportBatch:
+		return MarshalReportBatch(m), true
+	case Alert:
+		return MarshalAlert(m), true
+	case Query:
+		return MarshalQuery(m), true
+	case Tracks:
+		return MarshalTracks(m), true
+	case Threats:
+		return MarshalThreats(m), true
+	case Directive:
+		return MarshalDirective(m), true
+	default:
+		return nil, false
+	}
+}
+
+func FuzzUnmarshal(f *testing.F) {
+	for _, seed := range fuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		msg, err := Unmarshal(body)
+		if err != nil {
+			return // malformed input rejected — the contract
+		}
+		// Round-trip property: whatever decodes must re-encode (the
+		// re-encode normalises to the newest version form) to a body
+		// that decodes again, and that second decode must re-encode to
+		// the SAME bytes — a fixed point after one normalisation. Bytes
+		// are the comparison surface because struct equality is wrong
+		// for NaN floats and for time.Time wall/monotonic split.
+		enc, ok := remarshal(msg)
+		if !ok {
+			t.Fatalf("decoded unknown message type %T", msg)
+		}
+		msg2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v\ninput: %x\nre-encoded: %x", msg, err, body, enc)
+		}
+		if reflect.TypeOf(msg2) != reflect.TypeOf(msg) {
+			t.Fatalf("re-decode changed type: %T -> %T", msg, msg2)
+		}
+		enc2, ok := remarshal(msg2)
+		if !ok {
+			t.Fatalf("re-decoded unknown message type %T", msg2)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("normalised form is not a fixed point for %T:\n%x\nvs\n%x", msg, enc, enc2)
+		}
+	})
+}

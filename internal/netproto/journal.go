@@ -1,0 +1,375 @@
+package netproto
+
+// The controller's flight recorder (see package journal): WithJournal
+// attaches a durable event journal, recovers state from it, and from
+// then on every decision-relevant event — reports at ingest, spoof
+// alerts, fused decisions, directives, acks, operator releases — is
+// appended as it happens, with the fusion and defense engines
+// snapshotted on a timer and at shutdown. A controller restarted over
+// the same directory resumes its live quarantines instead of handing
+// every quarantined attacker a free re-entry window as AP leases
+// expire.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+	"time"
+
+	"secureangle/internal/defense"
+	"secureangle/internal/fusion"
+	"secureangle/internal/journal"
+)
+
+// DefaultSnapshotInterval is the journal snapshot cadence when
+// Controller.SnapshotInterval is zero.
+const DefaultSnapshotInterval = 30 * time.Second
+
+// Controller snapshot framing: the journal's snapshot file holds both
+// engines' codecs, length-prefixed.
+const (
+	ctrlSnapMagic   = "SACS" // SecureAngle Controller Snapshot
+	ctrlSnapVersion = 1
+)
+
+// WithJournal attaches an open journal to the controller and recovers
+// from it: the latest snapshot (if any) is restored into the fusion and
+// defense engines, and the WAL tail after it is re-applied with the
+// engines' clock pinned to the recorded timestamps, so decay, pending
+// TTLs, and forced-decision deadlines replay exactly as they elapsed.
+// Call it after setting the tuning fields and before Serve — it builds
+// both engines (freezing the tuning, the lazy-build contract) and
+// returns an error on contradictory tuning or unreadable journal state.
+//
+// After WithJournal returns, every decision-relevant event is appended
+// to the journal as it happens, snapshots are taken every
+// SnapshotInterval and at Close, and APs that (re)connect receive the
+// surviving quarantines as resume directives.
+func (c *Controller) WithJournal(j *journal.Journal) error {
+	if j == nil {
+		return errors.New("netproto: WithJournal(nil)")
+	}
+	if c.jrnl.Load() != nil {
+		return errors.New("netproto: journal already attached")
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return errors.New("netproto: WithJournal on closed controller")
+	}
+	if err := c.fusionConfig().WithDefaults().Validate(); err != nil {
+		return err
+	}
+	if err := c.defenseConfig().WithDefaults().Validate(); err != nil {
+		return err
+	}
+
+	// Recovery runs with journaling suppressed (the events being
+	// re-applied are already in the log) and the engine clock pinned to
+	// recorded time. The journal is only attached once recovery
+	// succeeds: a failed recovery must not leave live events appending
+	// to (and shutdown snapshots overwriting) a directory whose history
+	// the engines do not reflect, and the caller may retry with a
+	// repaired journal.
+	c.recovering.Store(true)
+	defer func() {
+		c.clk.Live()
+		c.recovering.Store(false)
+	}()
+
+	fe := c.eng()
+	de := c.defense()
+	if fe == nil || de == nil {
+		return errors.New("netproto: engines unavailable for recovery")
+	}
+
+	// Restore the newest readable snapshot generation, falling back to
+	// its predecessor on pre-apply validation failure (that is why two
+	// generations are retained) — a corrupt latest snapshot costs a
+	// longer tail replay, not the recovery. Errors raised after
+	// validation are fatal: the engines may hold partial state.
+	var snapLSN uint64
+	snaps, err := journal.Snapshots(j.Dir())
+	if err != nil {
+		return fmt.Errorf("netproto: journal snapshots: %w", err)
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		r, err := journal.OpenSnapshot(j.Dir(), snaps[i])
+		if err != nil {
+			c.logf("controller: snapshot LSN %d unreadable (%v), trying older", snaps[i], err)
+			continue
+		}
+		err = readControllerSnapshot(r, fe, de)
+		r.Close()
+		if err == nil {
+			snapLSN = snaps[i]
+			break
+		}
+		if !errors.Is(err, errSnapshotCorrupt) {
+			return fmt.Errorf("netproto: journal snapshot LSN %d: %w", snaps[i], err)
+		}
+		c.logf("controller: snapshot LSN %d corrupt (%v), trying older", snaps[i], err)
+	}
+
+	last, n, err := journal.ApplyRecords(j.Dir(), snapLSN, journal.Hooks{
+		Clock: &c.clk,
+		Sweep: func(now time.Time) {
+			fe.Sweep(now)
+			de.Sweep(now)
+		},
+		Report: func(ev journal.ReportEvent) {
+			fe.Ingest(fusion.Bearing{AP: ev.AP, APPos: ev.APPos, MAC: ev.MAC, Seq: ev.Seq, Deg: ev.BearingDeg})
+		},
+		Alert: func(v defense.SpoofVerdict) {
+			de.ReportSpoof(v)
+		},
+		Release: func(ev journal.ReleaseEvent) {
+			de.Release(ev.MAC)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("netproto: journal recovery: %w", err)
+	}
+	quarantined := len(de.Quarantined())
+	c.logf("controller: journal recovery: snapshot through LSN %d, %d tail records re-applied (through LSN %d), %d client(s) still quarantined",
+		snapLSN, n, last, quarantined)
+
+	c.jrnl.Store(j)
+	if c.snapshotsEnabled() {
+		c.snapDone = make(chan struct{})
+		c.snapWG.Add(1)
+		go c.snapshotLoop(j)
+	}
+	return nil
+}
+
+// snapshotsEnabled resolves the snapshot cadence knob (negative
+// disables snapshots, including the shutdown one).
+func (c *Controller) snapshotsEnabled() bool { return c.SnapshotInterval >= 0 }
+
+// snapshotInterval resolves the cadence (0 means the default).
+func (c *Controller) snapshotInterval() time.Duration {
+	if c.SnapshotInterval != 0 {
+		return c.SnapshotInterval
+	}
+	return DefaultSnapshotInterval
+}
+
+func (c *Controller) snapshotLoop(j *journal.Journal) {
+	defer c.snapWG.Done()
+	t := time.NewTicker(c.snapshotInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.snapDone:
+			return
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			if err := c.saveSnapshot(j); err != nil && !errors.Is(err, journal.ErrClosed) {
+				c.logf("controller: snapshot: %v", err)
+			}
+		}
+	}
+}
+
+// SnapshotJournal forces a snapshot now (the timer path made callable —
+// operational tooling and tests). No-op error when no journal is
+// attached.
+func (c *Controller) SnapshotJournal() error {
+	j := c.jrnl.Load()
+	if j == nil {
+		return errors.New("netproto: no journal attached")
+	}
+	return c.saveSnapshot(j)
+}
+
+// saveSnapshot persists both engines' state through the journal's
+// atomic snapshot path.
+func (c *Controller) saveSnapshot(j *journal.Journal) error {
+	fe := c.engine.Load()
+	de := c.defenseLoaded()
+	_, err := j.SaveSnapshot(func(w io.Writer) error {
+		return writeControllerSnapshot(w, fe, de)
+	})
+	return err
+}
+
+// errSnapshotCorrupt marks a snapshot that failed validation BEFORE
+// any engine state was touched — recovery may cleanly fall back to the
+// previous generation. Errors past validation (a codec bug surfacing
+// mid-apply) are fatal instead: the engines may hold partial state.
+var errSnapshotCorrupt = errors.New("netproto: corrupt controller snapshot")
+
+// writeControllerSnapshot frames both engine codecs (either may be nil
+// before traffic) into one snapshot stream, CRC32C-sealed so recovery
+// can reject bit rot or a torn write before applying anything.
+func writeControllerSnapshot(w io.Writer, fe *fusion.Engine, de *defense.Engine) error {
+	buf := bytes.NewBuffer(make([]byte, 0, 4096))
+	buf.WriteString(ctrlSnapMagic)
+	var ver [2]byte
+	binary.BigEndian.PutUint16(ver[:], ctrlSnapVersion)
+	buf.Write(ver[:])
+	writeSection := func(save func(io.Writer) error) error {
+		lenAt := buf.Len()
+		buf.Write([]byte{0, 0, 0, 0})
+		if save != nil {
+			if err := save(buf); err != nil {
+				return err
+			}
+		}
+		binary.BigEndian.PutUint32(buf.Bytes()[lenAt:lenAt+4], uint32(buf.Len()-lenAt-4))
+		return nil
+	}
+	var feSave, deSave func(io.Writer) error
+	if fe != nil {
+		feSave = fe.Save
+	}
+	if de != nil {
+		deSave = de.Save
+	}
+	if err := writeSection(feSave); err != nil {
+		return err
+	}
+	if err := writeSection(deSave); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.Checksum(buf.Bytes(), crcTable))
+	buf.Write(crc[:])
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// readControllerSnapshot restores both engine codecs from a snapshot
+// stream written by writeControllerSnapshot. The whole stream is read
+// and CRC-validated before either engine is mutated; validation
+// failures return errSnapshotCorrupt.
+func readControllerSnapshot(r io.Reader, fe *fusion.Engine, de *defense.Engine) error {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errSnapshotCorrupt, err)
+	}
+	if len(blob) < 4+2+4+4+4 {
+		return fmt.Errorf("%w: %d bytes", errSnapshotCorrupt, len(blob))
+	}
+	body, crc := blob[:len(blob)-4], binary.BigEndian.Uint32(blob[len(blob)-4:])
+	if crc32.Checksum(body, crcTable) != crc {
+		return fmt.Errorf("%w: checksum mismatch", errSnapshotCorrupt)
+	}
+	if string(body[:4]) != ctrlSnapMagic {
+		return fmt.Errorf("%w: bad magic %q", errSnapshotCorrupt, body[:4])
+	}
+	if v := binary.BigEndian.Uint16(body[4:6]); v != ctrlSnapVersion {
+		return fmt.Errorf("%w: unsupported version %d", errSnapshotCorrupt, v)
+	}
+	rest := body[6:]
+	section := func() ([]byte, error) {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: truncated section header", errSnapshotCorrupt)
+		}
+		n := binary.BigEndian.Uint32(rest[:4])
+		rest = rest[4:]
+		if uint64(len(rest)) < uint64(n) {
+			return nil, fmt.Errorf("%w: truncated section", errSnapshotCorrupt)
+		}
+		s := rest[:n]
+		rest = rest[n:]
+		return s, nil
+	}
+	fuBlob, err := section()
+	if err != nil {
+		return err
+	}
+	deBlob, err := section()
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", errSnapshotCorrupt, len(rest))
+	}
+	// Validation passed: apply. Failures from here are fatal, not
+	// fallback-able (see errSnapshotCorrupt).
+	if len(fuBlob) > 0 {
+		if err := fe.Restore(bytes.NewReader(fuBlob)); err != nil {
+			return fmt.Errorf("fusion section: %w", err)
+		}
+	}
+	if len(deBlob) > 0 {
+		if err := de.Restore(bytes.NewReader(deBlob)); err != nil {
+			return fmt.Errorf("defense section: %w", err)
+		}
+	}
+	return nil
+}
+
+// journalAppend records one event when a journal is attached and the
+// controller is not replaying history. Append failures are logged, not
+// fatal: the controller keeps serving (degraded to in-memory) rather
+// than dropping the fleet because a disk filled.
+func (c *Controller) journalAppend(t journal.RecordType, data []byte) {
+	j := c.jrnl.Load()
+	if j == nil || c.recovering.Load() {
+		return
+	}
+	if _, err := j.Append(journal.Record{Type: t, Data: data}); err != nil && !errors.Is(err, journal.ErrClosed) {
+		c.logf("controller: journal append (%s): %v", t, err)
+	}
+}
+
+// resumeFrames builds the frames a (re)connecting AP session must see
+// to enforce the quarantines currently in force: v3 sessions get resume
+// directives carrying a fresh lease TTL, older sessions the legacy
+// Alert form. Ordered by MAC for determinism.
+func (c *Controller) resumeFrames(version uint16) [][]byte {
+	e := c.defenseLoaded()
+	if e == nil {
+		return nil
+	}
+	qs := e.Quarantined()
+	if len(qs) == 0 {
+		return nil
+	}
+	sort.Slice(qs, func(i, k int) bool {
+		return bytes.Compare(qs[i].MAC[:], qs[k].MAC[:]) < 0
+	})
+	policy := c.DefensePolicy.WithDefaults()
+	frames := make([][]byte, 0, len(qs))
+	for _, st := range qs {
+		if version >= ProtoV3 {
+			d := defense.Directive{
+				MAC:        st.MAC,
+				Action:     st.Action,
+				From:       defense.StateQuarantine,
+				To:         defense.StateQuarantine,
+				Reporter:   "resume",
+				BearingDeg: st.BearingDeg,
+				HasBearing: st.HasBearing,
+				Pos:        st.Pos,
+				HasPos:     st.HasPos,
+				Score:      st.Score,
+				Distance:   st.LastDistance,
+				Threshold:  st.LastThreshold,
+				Stage:      st.Stage,
+			}
+			if policy.QuarantineTTL > 0 {
+				d.TTL = policy.QuarantineTTL
+			}
+			frames = append(frames, MarshalDirective(Directive{Directive: d}))
+		} else {
+			frames = append(frames, marshalAlertV(Alert{
+				APName: "controller", MAC: st.MAC, Distance: st.LastDistance,
+				Threshold: st.LastThreshold, Stage: st.Stage,
+				BearingDeg: st.BearingDeg, HasBearing: st.HasBearing,
+			}, version))
+		}
+	}
+	return frames
+}

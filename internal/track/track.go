@@ -59,6 +59,19 @@ func (f *Filter) Update(meas geom.Point, dt float64) geom.Point {
 // Velocity returns the current velocity estimate (m/s).
 func (f *Filter) Velocity() geom.Point { return f.vel }
 
+// State exposes the filter's internal estimate for snapshotting: the
+// position, the velocity, and whether the filter has been initialised by
+// a first measurement. SetState is its inverse.
+func (f *Filter) State() (pos, vel geom.Point, inited bool) {
+	return f.pos, f.vel, f.inited
+}
+
+// SetState restores a filter estimate captured by State — the
+// crash-recovery path of the fusion engine's snapshot codec.
+func (f *Filter) SetState(pos, vel geom.Point, inited bool) {
+	f.pos, f.vel, f.inited = pos, vel, inited
+}
+
 // Reset clears the filter state.
 func (f *Filter) Reset() { *f = Filter{Alpha: f.Alpha, Beta: f.Beta} }
 

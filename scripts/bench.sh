@@ -1,0 +1,52 @@
+#!/bin/sh
+# Run the headline benchmarks and write BENCH_PR5.json — the start of
+# the bench trajectory (one BENCH_PRn.json per PR, uploaded as a CI
+# artifact, so perf regressions show up as a diffable series).
+#
+# Usage: scripts/bench.sh [output.json]
+# Benchtime can be tuned via BENCHTIME (default 1s).
+set -eu
+
+out="${1:-BENCH_PR5.json}"
+benchtime="${BENCHTIME:-1s}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# The headline set: per-packet pipeline, fusion ingest, defense
+# directive, journal append (each package's hot path).
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkPipelinePerPacket$' . | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkFusionIngest$' ./internal/fusion | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkDefenseDirective$' ./internal/defense | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v go="$(go env GOVERSION)" '
+BEGIN { n = 0 }
+/^pkg:/ { pkg = $2 }
+/^Benchmark/ {
+    name = $1; iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    line = sprintf("    {\"pkg\": \"%s\", \"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", pkg, name, iters, ns)
+    if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
+    if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+    line = line "}"
+    results[n++] = line
+}
+END {
+    printf "{\n  \"pr\": 5,\n  \"date\": \"%s\", \"go\": \"%s\",\n  \"benchmarks\": [\n", date, go
+    for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n - 1 ? "," : "")
+    print "  ]\n}"
+}
+' "$tmp" > "$out"
+
+echo "wrote $out:"
+cat "$out"

@@ -29,6 +29,7 @@
 //	internal/fusion      bounded MAC-sharded bearing-fusion engine + mobility tracks
 //	internal/track       alpha-beta mobility filter over fused positions
 //	internal/netproto    AP -> controller fusion protocol over TCP
+//	internal/journal     flight recorder: event WAL, snapshots, crash recovery, replay
 //	internal/baseline    RSS signalprint baseline and directional attacker
 //	internal/testbed     the paper's Figure 4 office and its 20 clients
 //	internal/experiments drivers for Figures 5-7 and all in-text claims
@@ -61,6 +62,7 @@ import (
 	"secureangle/internal/env"
 	"secureangle/internal/fusion"
 	"secureangle/internal/geom"
+	"secureangle/internal/journal"
 	"secureangle/internal/locate"
 	"secureangle/internal/music"
 	"secureangle/internal/netproto"
@@ -144,6 +146,24 @@ type (
 	// Countermeasure is one directive as applied at an AP (quarantine
 	// mark or null-steer weights).
 	Countermeasure = core.Countermeasure
+	// Journal is the controller's flight recorder: a segmented,
+	// CRC32C-framed, append-only event log plus engine snapshots (see
+	// OpenJournal and Controller.WithJournal).
+	Journal = journal.Journal
+	// JournalOptions tunes a Journal (segment size, retention, fsync
+	// policy).
+	JournalOptions = journal.Options
+	// JournalRecord is one journal entry (LSN, type, timestamp, payload).
+	JournalRecord = journal.Record
+	// FsyncPolicy selects the journal's durability/latency tradeoff.
+	FsyncPolicy = journal.FsyncPolicy
+	// ReplayOptions tunes a counterfactual ReplayJournal run.
+	ReplayOptions = journal.ReplayOptions
+	// ReplayResult is a completed ReplayJournal run: the counterfactual
+	// directive sequence plus what the live policy actually recorded.
+	ReplayResult = journal.ReplayResult
+	// ReplayedDirective is one directive a replayed policy emitted.
+	ReplayedDirective = journal.ReplayedDirective
 )
 
 // Defense directive actions and threat states, re-exported.
@@ -156,6 +176,32 @@ const (
 	ThreatMonitor    = defense.StateMonitor
 	ThreatQuarantine = defense.StateQuarantine
 )
+
+// Journal fsync policies, re-exported.
+const (
+	// FsyncInterval (the default) batches durability on a background
+	// flusher; a crash loses at most the last interval's events.
+	FsyncInterval = journal.FsyncInterval
+	// FsyncAlways fsyncs every append before returning.
+	FsyncAlways = journal.FsyncAlways
+	// FsyncNever leaves durability to the OS page cache.
+	FsyncNever = journal.FsyncNever
+)
+
+// OpenJournal opens (creating as needed) a flight-recorder journal
+// directory. Attach it to a controller with Controller.WithJournal
+// before Serve; a restarted controller recovers its fusion and defense
+// state from the same directory.
+func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
+	return journal.Open(dir, opts)
+}
+
+// ReplayJournal re-runs a recorded incident offline under opts.Policy —
+// deterministic counterfactual replay of the journalled event stream
+// (see the journal package for the guarantees).
+func ReplayJournal(dir string, opts ReplayOptions) (*ReplayResult, error) {
+	return journal.Replay(dir, opts)
+}
 
 // DefaultConfig returns the pipeline settings used throughout the paper
 // reproduction.
