@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress bench fuzz lint
+.PHONY: build test race stress bench bench-smoke fuzz lint
 
 build:
 	$(GO) build ./...
@@ -22,10 +22,16 @@ stress:
 	$(GO) test -race -count=3 -run Defense ./...
 	$(GO) test -race -count=3 -run 'Journal|Replay|Recovery' ./...
 
-# Headline benchmarks -> BENCH_PR5.json (see scripts/bench.sh; CI
-# uploads the file as an artifact).
+# Headline benchmarks -> BENCH_PR$(PR).json (see scripts/bench.sh; CI
+# uploads the file as an artifact and the script prints a side-by-side
+# delta against the previous PR's file). Override with `make bench PR=7`.
+PR ?= 6
 bench:
-	sh scripts/bench.sh BENCH_PR5.json
+	PR=$(PR) sh scripts/bench.sh
+
+# Fast 2x-regression gate against the committed baseline JSON.
+bench-smoke:
+	sh scripts/bench_smoke.sh
 
 # Time-boxed native fuzzing of the wire decoder.
 fuzz:

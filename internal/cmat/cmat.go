@@ -147,6 +147,38 @@ func (m *Matrix) Mul(n *Matrix) *Matrix {
 	return out
 }
 
+// MulInto computes the matrix product a * b into dst, reshaping dst's
+// backing storage only when too small — the in-place variant of Mul for
+// allocation-free hot paths. dst must not alias a or b. Returns dst.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("cmat: MulInto shape mismatch %dx%d * %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	need := a.Rows * b.Cols
+	if cap(dst.Data) < need {
+		dst.Data = make([]complex128, need)
+	}
+	dst.Rows, dst.Cols = a.Rows, b.Cols
+	dst.Data = dst.Data[:need]
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for r := 0; r < a.Rows; r++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[r*a.Cols+k]
+			if av == 0 {
+				continue
+			}
+			bRow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			oRow := dst.Data[r*dst.Cols : (r+1)*dst.Cols]
+			for c := range bRow {
+				oRow[c] += av * bRow[c]
+			}
+		}
+	}
+	return dst
+}
+
 // MulVec returns the matrix-vector product m * v.
 func (m *Matrix) MulVec(v []complex128) []complex128 {
 	if m.Cols != len(v) {

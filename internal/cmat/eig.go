@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // EigResult holds the eigendecomposition of a Hermitian matrix:
@@ -35,24 +34,64 @@ const (
 // near the diagonal, and the method is unconditionally stable, which
 // matters more than speed for the small (<=8x8) matrices in this system.
 func HermEig(a *Matrix) (*EigResult, error) {
+	var ws EigWorkspace
+	return ws.HermEig(a)
+}
+
+// EigWorkspace holds the Jacobi solver's working matrices and result
+// storage so repeated eigendecompositions of same-sized matrices perform
+// no heap allocation — the per-packet pipeline decomposes one 8x8
+// covariance per packet. The EigResult returned by HermEig aliases the
+// workspace and is valid until the next HermEig call on it. Not safe
+// for concurrent use.
+type EigWorkspace struct {
+	w, v *Matrix
+	idx  []int
+	vals []float64
+	col  []complex128
+	res  EigResult
+}
+
+func (ws *EigWorkspace) ensure(n int) {
+	if ws.w != nil && ws.w.Rows == n {
+		return
+	}
+	ws.w = New(n, n)
+	ws.v = New(n, n)
+	ws.idx = make([]int, n)
+	ws.vals = make([]float64, n)
+	ws.col = make([]complex128, n)
+	ws.res = EigResult{Values: make([]float64, n), Vectors: New(n, n)}
+}
+
+// HermEig is the package-level HermEig computing into the workspace; see
+// EigWorkspace for the aliasing contract.
+func (ws *EigWorkspace) HermEig(a *Matrix) (*EigResult, error) {
 	if !a.IsHermitian(1e-9 * (1 + a.FrobNorm())) {
 		return nil, ErrNotHermitian
 	}
 	n := a.Rows
-	w := a.Clone()
+	ws.ensure(n)
+	w, v := ws.w, ws.v
+	copy(w.Data, a.Data)
 	w.Hermitize()
-	v := Identity(n)
+	for i := range v.Data {
+		v.Data[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
 
 	scale := w.FrobNorm()
 	if scale == 0 {
 		// Zero matrix: eigenvalues all zero, identity eigenvectors.
-		return sortedEig(w, v), nil
+		return ws.sortedEig(), nil
 	}
 
 	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
 		off := offDiagNorm(w)
 		if off <= jacobiTol*scale {
-			return sortedEig(w, v), nil
+			return ws.sortedEig(), nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -62,7 +101,7 @@ func HermEig(a *Matrix) (*EigResult, error) {
 	}
 	if offDiagNorm(w) <= 1e-8*scale {
 		// Converged to a looser tolerance; still usable.
-		return sortedEig(w, v), nil
+		return ws.sortedEig(), nil
 	}
 	return nil, ErrNoConverge
 }
@@ -149,20 +188,31 @@ func offDiagNorm(m *Matrix) float64 {
 	return math.Sqrt(s)
 }
 
-func sortedEig(w, v *Matrix) *EigResult {
+func (ws *EigWorkspace) sortedEig() *EigResult {
+	w, v := ws.w, ws.v
 	n := w.Rows
-	idx := make([]int, n)
-	vals := make([]float64, n)
+	idx, vals := ws.idx, ws.vals
 	for i := 0; i < n; i++ {
 		idx[i] = i
 		vals[i] = real(w.At(i, i))
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	// Insertion sort, descending by eigenvalue: allocation-free (the
+	// reflective sort.Slice closure allocates) and plenty for n <= 8.
+	for i := 1; i < n; i++ {
+		j := i
+		for j > 0 && vals[idx[j]] > vals[idx[j-1]] {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+			j--
+		}
+	}
 
-	res := &EigResult{Values: make([]float64, n), Vectors: New(n, n)}
+	res := &ws.res
+	col := ws.col
 	for out, in := range idx {
 		res.Values[out] = vals[in]
-		col := v.Col(in)
+		for r := 0; r < n; r++ {
+			col[r] = v.At(r, in)
+		}
 		Normalize(col)
 		for r := 0; r < n; r++ {
 			res.Vectors.Set(r, out, col[r])

@@ -114,12 +114,14 @@ func (ap *AP) ObserveBatchContext(ctx context.Context, items []BatchItem) []Batc
 			out[i].Err = ap.stageErr(StageDispatch, err)
 			return
 		}
-		streams, err := ap.FE.ReceivePrepared(prep[i], items[i].Baseband)
+		sc := ap.getScratch()
+		defer ap.putScratch(sc)
+		streams, err := ap.FE.ReceivePreparedArena(prep[i], items[i].Baseband, sc.arena)
 		if err != nil {
 			out[i].Err = ap.stageErr(StageReceive, err)
 			return
 		}
-		out[i].Report, out[i].Err = ap.process(streams)
+		out[i].Report, out[i].Err = ap.processScratch(streams, sc)
 	})
 	return out
 }

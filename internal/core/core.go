@@ -26,16 +26,43 @@ import (
 	"secureangle/internal/geom"
 	"secureangle/internal/music"
 	"secureangle/internal/ofdm"
+	"secureangle/internal/pool"
 	"secureangle/internal/radio"
 	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
 	"secureangle/internal/wifi"
 )
 
+// BearingMode selects how the default (nil-Estimator) pipeline derives
+// its bearing estimate. The pseudospectrum — and with it the AoA
+// signature and every spoof/fence decision — always comes from the
+// manifold grid scan regardless of mode; the mode only governs the
+// bearing number, which the grid-free estimators resolve without the
+// grid's quantisation on arrays whose geometry permits it.
+type BearingMode int
+
+const (
+	// BearingAuto (the default) uses grid-free root-MUSIC on uniform
+	// linear arrays and the grid scan everywhere else.
+	BearingAuto BearingMode = iota
+	// BearingGrid forces the grid-scan bearing on every array.
+	BearingGrid
+	// BearingRootMUSIC behaves like BearingAuto (named for explicitness
+	// in configs that must not silently change estimator).
+	BearingRootMUSIC
+	// BearingESPRIT uses the ESPRIT rotation-operator estimator on
+	// uniform linear arrays, the grid scan everywhere else.
+	BearingESPRIT
+)
+
 // Config tunes an AP's estimation pipeline.
 type Config struct {
 	// GridStepDeg is the pseudospectrum angle resolution (default 1).
 	GridStepDeg float64
+	// Bearing selects the default path's bearing estimator; see
+	// BearingMode. Ignored when Estimator is non-nil (explicit
+	// estimators own the whole spectrum-and-bearing computation).
+	Bearing BearingMode
 	// Estimator computes pseudospectra; default is MUSIC with
 	// MDL-selected source count, which handles the partially-coherent
 	// multipath of packet-scale covariances. Estimators that implement
@@ -113,6 +140,9 @@ func (c Config) Validate() error {
 	if err := c.Policy.Validate(); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	if c.Bearing < BearingAuto || c.Bearing > BearingESPRIT {
+		return fmt.Errorf("core: unknown BearingMode %d", c.Bearing)
+	}
 	return nil
 }
 
@@ -126,6 +156,14 @@ type AP struct {
 	offsets  []float64
 	grid     []float64
 	manifold *antenna.Manifold
+
+	// ULA geometry for the grid-free bearing estimators; ulaOK is false
+	// on arrays they cannot serve (the circular octagon).
+	ulaSpacingWl float64
+	ulaAxisDeg   float64
+	ulaOK        bool
+	// scratch pools per-packet pipeline buffers (see pipeScratch).
+	scratch sync.Pool
 
 	// prepMu serialises the order-sensitive half of batch synthesis (the
 	// front end's noise-stream forks) across concurrent batch calls.
@@ -159,6 +197,7 @@ func NewAP(name string, fe *radio.FrontEnd, e *env.Environment, cfg Config) *AP 
 		manifold: antenna.NewManifold(fe.Array, grid),
 		registry: newShardedRegistry(),
 	}
+	ap.ulaSpacingWl, ap.ulaAxisDeg, ap.ulaOK = music.ULAGeometry(fe.Array)
 	if !cfg.DeferCalibration {
 		ap.offsets = fe.Calibrate(cfg.CalSamples)
 	}
@@ -221,14 +260,16 @@ func (ap *AP) ObserveContext(ctx context.Context, tx geom.Point, baseband []comp
 	if err := ctx.Err(); err != nil {
 		return nil, ap.stageErr(StageDispatch, err)
 	}
-	streams, err := ap.Receive(tx, baseband)
+	sc := ap.getScratch()
+	defer ap.putScratch(sc)
+	streams, err := ap.FE.ReceiveArena(ap.Env, tx, baseband, sc.arena)
 	if err != nil {
 		return nil, ap.stageErr(StageReceive, err)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, ap.stageErr(StageDispatch, err)
 	}
-	return ap.process(streams)
+	return ap.processScratch(streams, sc)
 }
 
 // Receive propagates baseband from tx to the AP's antennas and returns
@@ -249,11 +290,22 @@ func (ap *AP) ProcessStreams(streams [][]complex128) (*Report, error) {
 	return ap.process(streams)
 }
 
-// process runs detection + estimation on already-received streams. It is
-// a pure function of the streams and the AP's immutable configuration, so
-// the batch entry points run it concurrently from a worker pool. Every
+// process runs detection + estimation on already-received streams with a
+// pooled scratch. It is a pure function of the streams and the AP's
+// immutable configuration, so the batch entry points run it concurrently
+// from a worker pool (each worker holding its own scratch). Every
 // failure is a *PipelineError naming the stage that produced it.
 func (ap *AP) process(streams [][]complex128) (*Report, error) {
+	sc := ap.getScratch()
+	defer ap.putScratch(sc)
+	return ap.processScratch(streams, sc)
+}
+
+// processScratch is the pipeline body. Everything intermediate — the
+// detection metric, packet windows, covariance, eigensystem, grid-free
+// polynomial buffers — lives in sc; only the Report and the slices it
+// carries (spectrum values, signature) are allocated.
+func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, error) {
 	if ap.offsets == nil {
 		return nil, ap.stageErr(StageCalibrate, ErrNotCalibrated)
 	}
@@ -264,31 +316,32 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 	}
 	radio.ApplyCalibration(streams, ap.offsets)
 
-	dets := detect.Find(streams[0], ap.cfg.Detector)
-	if len(dets) == 0 {
+	sc.dets = detect.FindArena(streams[0], ap.cfg.Detector, sc.arena, sc.dets[:0])
+	if len(sc.dets) == 0 {
 		return nil, ap.stageErr(StageDetect, ErrNotDetected)
 	}
-	det := dets[0]
+	det := sc.dets[0]
 
 	// Packet extent: from the detected start to where smoothed power
 	// falls back toward the noise floor ("compute the correlation matrix
 	// ... with each entire packet", section 3).
-	n := packetExtent(streams[0], det.Start)
+	n := packetExtent(streams[0], det.Start, sc.arena)
 	if n < len(streams) {
 		return nil, ap.stageErr(StageAlign, ErrTooFewSnapshots)
 	}
-	win, ok := detect.ExtractAligned(streams, det, n)
+	win, ok := detect.ExtractAlignedArena(streams, det, n, sc.arena)
 	if !ok {
 		return nil, ap.stageErr(StageAlign, errors.New("detection window out of range"))
 	}
 
-	r, err := music.Covariance(win)
+	r, err := music.CovarianceInto(&sc.cov, win)
 	if err != nil {
 		return nil, ap.stageErr(StageEstimate, err)
 	}
 
 	var (
 		ps      *music.Pseudospectrum
+		bearing float64
 		sources int
 		snr     float64
 	)
@@ -296,35 +349,39 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 	case nil:
 		// Default auto-MUSIC path: one eigendecomposition per packet,
 		// shared between the manifold scan (whose MDL model order uses
-		// the packet's true snapshot count n) and the subspace stats.
-		eig, err := cmat.HermEig(r)
+		// the packet's true snapshot count n), the subspace stats, and
+		// the grid-free bearing estimators.
+		eig, err := sc.eig.HermEig(r)
 		if err != nil {
 			return nil, ap.stageErr(StageEstimate, err)
 		}
-		var k int
-		ps, k, err = (&music.MUSIC{}).PseudospectrumFromEig(eig, ap.manifold, n)
+		ps = &music.Pseudospectrum{AnglesDeg: ap.grid, P: make([]float64, len(ap.grid))}
+		k, err := (&music.MUSIC{}).PseudospectrumFromEigInto(ps, eig, ap.manifold, n)
 		if err != nil {
 			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = k, snrFromEig(eig.Values, k)
+		bearing = ap.bearingFromEig(eig, k, r, ps, sc)
 	case music.ManifoldEstimator:
 		ps, err = est.PseudospectrumOnManifold(r, ap.manifold, n)
 		if err != nil {
 			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = subspaceStats(r, n)
+		bearing = rankPeaksByPower(ps, r, ap.FE.Array)
 	default:
 		ps, err = est.Pseudospectrum(r, ap.FE.Array, ap.grid)
 		if err != nil {
 			return nil, ap.stageErr(StageEstimate, err)
 		}
 		sources, snr = subspaceStats(r, n)
+		bearing = rankPeaksByPower(ps, r, ap.FE.Array)
 	}
 
 	rep := &Report{
 		AP:         ap.Name,
 		APPos:      ap.FE.Pos,
-		BearingDeg: rankPeaksByPower(ps, r, ap.FE.Array),
+		BearingDeg: bearing,
 		Spectrum:   ps,
 		Sig:        signature.FromPseudospectrum(ps),
 		Detection:  det,
@@ -400,8 +457,8 @@ func snrFromEig(eigvals []float64, k int) float64 {
 
 // packetExtent returns the number of samples from start to the end of the
 // packet, found by tracking smoothed instantaneous power against the
-// trailing noise floor.
-func packetExtent(x []complex128, start int) int {
+// trailing noise floor. Scratch buffers come from ar (nil allocates).
+func packetExtent(x []complex128, start int, ar *pool.Arena) int {
 	const win = 80 // one OFDM symbol
 	if start >= len(x) {
 		return 0
@@ -410,11 +467,18 @@ func packetExtent(x []complex128, start int) int {
 	if len(rest) <= win {
 		return len(rest)
 	}
-	pow := make([]float64, len(rest))
+	var pow, smDst []float64
+	if ar == nil {
+		pow = make([]float64, len(rest))
+		smDst = make([]float64, len(rest)-win+1)
+	} else {
+		pow = ar.Float(len(rest))
+		smDst = ar.Float(len(rest) - win + 1)
+	}
 	for i, v := range rest {
 		pow[i] = real(v)*real(v) + imag(v)*imag(v)
 	}
-	sm := dsp.MovingSumReal(pow, win)
+	sm := dsp.MovingSumRealInto(smDst, pow, win)
 	// Peak smoothed power near the packet head sets the reference.
 	ref := 0.0
 	for i := 0; i < len(sm) && i < 400; i++ {

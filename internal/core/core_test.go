@@ -231,12 +231,12 @@ func TestPacketExtent(t *testing.T) {
 		x[i] = complex(1, 0)
 	}
 	rng.New(11).AddAWGN(x, 1e-6)
-	n := packetExtent(x, 100)
+	n := packetExtent(x, 100, nil)
 	if n < 700 || n > 1000 {
 		t.Errorf("extent = %d, want ~800", n)
 	}
 	// Start beyond the buffer.
-	if packetExtent(x, 2000) != 0 {
+	if packetExtent(x, 2000, nil) != 0 {
 		t.Error("extent past end should be 0")
 	}
 }

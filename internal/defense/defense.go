@@ -47,6 +47,7 @@ import (
 
 	"secureangle/internal/geom"
 	"secureangle/internal/signature"
+	"secureangle/internal/timingwheel"
 	"secureangle/internal/wifi"
 )
 
@@ -471,8 +472,8 @@ type Engine struct {
 	cfg    Config
 	shards []*dshard
 
-	done   chan struct{}
-	wg     sync.WaitGroup
+	wheel  *timingwheel.Wheel
+	tmr    timingwheel.Timer
 	closed atomic.Bool
 }
 
@@ -486,7 +487,6 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:    cfg,
 		shards: make([]*dshard, cfg.Shards),
-		done:   make(chan struct{}),
 	}
 	perShard := (cfg.MaxClients + cfg.Shards - 1) / cfg.Shards
 	for i := range e.shards {
@@ -495,8 +495,19 @@ func New(cfg Config) (*Engine, error) {
 			maxClients: perShard,
 		}
 	}
-	e.wg.Add(1)
-	go e.tickLoop()
+	// Periodic decay/TTL sweep on the shared hierarchical timing wheel
+	// (see internal/timingwheel): self-rescheduling timer, no goroutine.
+	e.wheel = timingwheel.Acquire()
+	e.tmr.Fn = func() {
+		if e.closed.Load() {
+			return
+		}
+		e.Sweep(e.cfg.Clock())
+		if !e.closed.Load() {
+			e.wheel.Schedule(&e.tmr, e.cfg.TickInterval)
+		}
+	}
+	e.wheel.Schedule(&e.tmr, cfg.TickInterval)
 	return e, nil
 }
 
@@ -516,27 +527,13 @@ func (e *Engine) Close() {
 	if e.closed.Swap(true) {
 		return
 	}
-	close(e.done)
-	e.wg.Wait()
+	e.wheel.StopWait(&e.tmr)
+	timingwheel.Release(e.wheel)
 }
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
 		e.cfg.Logf(format, args...)
-	}
-}
-
-func (e *Engine) tickLoop() {
-	defer e.wg.Done()
-	t := time.NewTicker(e.cfg.TickInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-e.done:
-			return
-		case <-t.C:
-			e.Sweep(e.cfg.Clock())
-		}
 	}
 }
 

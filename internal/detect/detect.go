@@ -11,6 +11,7 @@ import (
 	"math/cmplx"
 
 	"secureangle/internal/dsp"
+	"secureangle/internal/pool"
 )
 
 // Config parameterises the detector.
@@ -54,23 +55,44 @@ type Detection struct {
 // detections). The returned slice has len(x) - 2L + 1 entries; index d
 // corresponds to a candidate symbol starting at sample d.
 func Metric(x []complex128, cfg Config) ([]float64, []complex128) {
+	return MetricArena(x, cfg, nil)
+}
+
+func complexBuf(ar *pool.Arena, n int) []complex128 {
+	if ar == nil {
+		return make([]complex128, n)
+	}
+	return ar.ComplexUninit(n)
+}
+
+func floatBuf(ar *pool.Arena, n int) []float64 {
+	if ar == nil {
+		return make([]float64, n)
+	}
+	return ar.Float(n)
+}
+
+// MetricArena is Metric with every intermediate buffer drawn from ar (nil
+// behaves exactly like Metric): the returned slices alias the arena and
+// are valid until its next Reset.
+func MetricArena(x []complex128, cfg Config, ar *pool.Arena) ([]float64, []complex128) {
 	L := cfg.HalfLen
 	if len(x) < 2*L {
 		return nil, nil
 	}
 	// prod[d] = conj(x[d]) * x[d+L]; energy[d] = |x[d]|^2.
 	n := len(x) - L
-	prod := make([]complex128, n)
-	energy := make([]float64, len(x))
+	prod := complexBuf(ar, n)
+	energy := floatBuf(ar, len(x))
 	for d := 0; d < n; d++ {
 		prod[d] = cmplx.Conj(x[d]) * x[d+L]
 	}
 	for d := range x {
 		energy[d] = real(x[d])*real(x[d]) + imag(x[d])*imag(x[d])
 	}
-	p := dsp.MovingSum(prod, L)
-	r := dsp.MovingSumReal(energy, L) // r[d] = energy of x[d..d+L)
-	m := make([]float64, len(p))
+	p := dsp.MovingSumInto(complexBuf(ar, n-L+1), prod, L)
+	r := dsp.MovingSumRealInto(floatBuf(ar, len(x)-L+1), energy, L) // r[d] = energy of x[d..d+L)
+	m := floatBuf(ar, len(p))
 	for d := range p {
 		r1 := r[d]
 		r2 := r[d+L]
@@ -91,11 +113,18 @@ func Metric(x []complex128, cfg Config) ([]float64, []complex128) {
 // prefix; the rising edge marks the preamble start to within the CP,
 // which is all the correlation-matrix pipeline needs).
 func Find(x []complex128, cfg Config) []Detection {
-	m, p := Metric(x, cfg)
+	return FindArena(x, cfg, nil, nil)
+}
+
+// FindArena is Find with metric buffers drawn from ar and detections
+// appended to dets (pass a scratch slice truncated to length 0 for an
+// allocation-free steady state; nil behaves exactly like Find).
+func FindArena(x []complex128, cfg Config, ar *pool.Arena, dets []Detection) []Detection {
+	m, p := MetricArena(x, cfg, ar)
 	if m == nil {
-		return nil
+		return dets
 	}
-	var out []Detection
+	out := dets
 	lastEnd := -cfg.MinGap - 1
 	d := 0
 	for d < len(m) {
@@ -133,7 +162,18 @@ func cfoFromCorrelation(p complex128, cfg Config) float64 {
 // from all of them (the prototype's shared sampling clock guarantees
 // alignment; the simulator's front end provides the same guarantee).
 func ExtractAligned(streams [][]complex128, det Detection, n int) ([][]complex128, bool) {
-	out := make([][]complex128, len(streams))
+	return ExtractAlignedArena(streams, det, n, nil)
+}
+
+// ExtractAlignedArena is ExtractAligned drawing the header slice from ar
+// (the sample windows are views into streams either way).
+func ExtractAlignedArena(streams [][]complex128, det Detection, n int, ar *pool.Arena) ([][]complex128, bool) {
+	var out [][]complex128
+	if ar == nil {
+		out = make([][]complex128, len(streams))
+	} else {
+		out = ar.Streams(len(streams))
+	}
 	for i, s := range streams {
 		if det.Start < 0 || det.Start+n > len(s) {
 			return nil, false

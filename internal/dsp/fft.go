@@ -226,6 +226,22 @@ type bluesteinPlan struct {
 	chirpI []complex128 // inverse chirp (conjugate)
 	kernF  []complex128 // FFT of conj(chirpF) kernel, length m
 	kernI  []complex128 // FFT of conj(chirpI) kernel, length m
+	// scratch recycles the length-m convolution buffer across calls; a
+	// non-power-of-two transform would otherwise allocate (and zero)
+	// m complexes per call — the dominant per-packet garbage before the
+	// pooled pipeline.
+	scratch sync.Pool
+}
+
+func (p *bluesteinPlan) getScratch() []complex128 {
+	if b, ok := p.scratch.Get().(*[]complex128); ok {
+		return *b // holds stale samples; bluestein overwrites every element
+	}
+	return make([]complex128, p.m)
+}
+
+func (p *bluesteinPlan) putScratch(a []complex128) {
+	p.scratch.Put(&a)
 }
 
 var bluesteinCache planCache
@@ -266,9 +282,12 @@ func bluestein(x []complex128, inverse bool) {
 		chirp, kern = p.chirpI, p.kernI
 	}
 	m := p.m
-	a := make([]complex128, m)
+	a := p.getScratch()
 	for k := 0; k < n; k++ {
 		a[k] = x[k] * chirp[k]
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
 	}
 	radix2(a, false)
 	for i := range a {
@@ -279,6 +298,7 @@ func bluestein(x []complex128, inverse bool) {
 	for k := 0; k < n; k++ {
 		x[k] = a[k] * invM * chirp[k]
 	}
+	p.putScratch(a)
 }
 
 func buildUncachedPlan(n int) *bluesteinPlan {

@@ -92,11 +92,19 @@ func FractionalDelay(x []complex128, tau, fs float64) []complex128 {
 // frequency offset and for downconversion phase.
 func MixFrequency(x []complex128, f, fs, phase0 float64) []complex128 {
 	out := make([]complex128, len(x))
+	MixFrequencyInto(out, x, f, fs, phase0)
+	return out
+}
+
+// MixFrequencyInto is MixFrequency writing into dst (which must be at
+// least as long as x); dst may alias x for an in-place mix. It returns
+// dst truncated to len(x).
+func MixFrequencyInto(dst, x []complex128, f, fs, phase0 float64) []complex128 {
 	step := 2 * math.Pi * f / fs
 	for i := range x {
-		out[i] = x[i] * cmplx.Rect(1, phase0+step*float64(i))
+		dst[i] = x[i] * cmplx.Rect(1, phase0+step*float64(i))
 	}
-	return out
+	return dst[:len(x)]
 }
 
 // Energy returns the total energy sum |x[i]|^2.
@@ -214,7 +222,17 @@ func MovingSum(x []complex128, w int) []complex128 {
 	if w <= 0 || w > len(x) {
 		return nil
 	}
-	out := make([]complex128, len(x)-w+1)
+	return MovingSumInto(make([]complex128, len(x)-w+1), x, w)
+}
+
+// MovingSumInto is MovingSum writing into dst, which must hold at least
+// len(x)-w+1 entries; it returns dst truncated to that length (nil on a
+// degenerate window, as MovingSum).
+func MovingSumInto(dst, x []complex128, w int) []complex128 {
+	if w <= 0 || w > len(x) {
+		return nil
+	}
+	out := dst[:len(x)-w+1]
 	var acc complex128
 	for i := 0; i < w; i++ {
 		acc += x[i]
@@ -232,7 +250,15 @@ func MovingSumReal(x []float64, w int) []float64 {
 	if w <= 0 || w > len(x) {
 		return nil
 	}
-	out := make([]float64, len(x)-w+1)
+	return MovingSumRealInto(make([]float64, len(x)-w+1), x, w)
+}
+
+// MovingSumRealInto is MovingSumInto for real-valued series.
+func MovingSumRealInto(dst, x []float64, w int) []float64 {
+	if w <= 0 || w > len(x) {
+		return nil
+	}
+	out := dst[:len(x)-w+1]
 	var acc float64
 	for i := 0; i < w; i++ {
 		acc += x[i]

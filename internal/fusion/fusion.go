@@ -21,9 +21,11 @@
 //     transmissions, so hostile MAC/seq churn cannot grow state.
 //   - All deadlines (decision timeouts and TTLs) live in two per-shard
 //     FIFO queues — both durations are constants, so creation order is
-//     deadline order — swept by one coarse ticker instead of a
-//     time.Timer per key. Entries unlink in O(1) when they decide, so
-//     the queues hold only live pendings.
+//     deadline order — swept periodically by a self-rescheduling timer
+//     on the shared hierarchical timing wheel (internal/timingwheel)
+//     instead of a time.Timer per key or a ticker goroutine per engine.
+//     Entries unlink in O(1) when they decide, so the queues hold only
+//     live pendings.
 //
 // Each client additionally carries an alpha-beta track.Filter fed by
 // its fused positions, so the engine maintains live mobility traces
@@ -41,6 +43,7 @@ import (
 
 	"secureangle/internal/geom"
 	"secureangle/internal/locate"
+	"secureangle/internal/timingwheel"
 	"secureangle/internal/track"
 	"secureangle/internal/wifi"
 )
@@ -276,8 +279,8 @@ type Engine struct {
 	// across transmissions.
 	pendingPool sync.Pool
 
-	done   chan struct{}
-	wg     sync.WaitGroup
+	wheel  *timingwheel.Wheel
+	tmr    timingwheel.Timer
 	closed atomic.Bool
 }
 
@@ -291,7 +294,6 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:    cfg,
 		shards: make([]*shard, cfg.Shards),
-		done:   make(chan struct{}),
 	}
 	e.pendingPool.New = func() any {
 		return &pendingTx{bearings: make(map[string]apBearing, cfg.MinAPs)}
@@ -305,8 +307,20 @@ func New(cfg Config) (*Engine, error) {
 			maxClients: perShard,
 		}
 	}
-	e.wg.Add(1)
-	go e.tickLoop()
+	// Periodic deadline sweep on the shared hierarchical timing wheel:
+	// the timer reschedules itself from its own callback, so the engine
+	// owns no goroutine and an idle engine costs one O(1) wheel entry.
+	e.wheel = timingwheel.Acquire()
+	e.tmr.Fn = func() {
+		if e.closed.Load() {
+			return
+		}
+		e.Sweep(e.cfg.Clock())
+		if !e.closed.Load() {
+			e.wheel.Schedule(&e.tmr, e.cfg.TickInterval)
+		}
+	}
+	e.wheel.Schedule(&e.tmr, cfg.TickInterval)
 	return e, nil
 }
 
@@ -326,27 +340,13 @@ func (e *Engine) Close() {
 	if e.closed.Swap(true) {
 		return
 	}
-	close(e.done)
-	e.wg.Wait()
+	e.wheel.StopWait(&e.tmr)
+	timingwheel.Release(e.wheel)
 }
 
 func (e *Engine) logf(format string, args ...any) {
 	if e.cfg.Logf != nil {
 		e.cfg.Logf(format, args...)
-	}
-}
-
-func (e *Engine) tickLoop() {
-	defer e.wg.Done()
-	t := time.NewTicker(e.cfg.TickInterval)
-	defer t.Stop()
-	for {
-		select {
-		case <-e.done:
-			return
-		case <-t.C:
-			e.Sweep(e.cfg.Clock())
-		}
 	}
 }
 

@@ -48,6 +48,15 @@ func (e *ESPRIT) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error) {
 		}
 		k = MDLSources(eig.Values, n)
 	}
+	return ESPRITDOAsFromEig(eig, k, spacing, axisDeg)
+}
+
+// ESPRITDOAsFromEig runs the ESPRIT rotation-operator stage from an
+// existing eigendecomposition with k signal sources, for a ULA of the
+// given spacing (wavelengths) and axis bearing — the pipeline form that
+// shares the packet's one eigendecomposition. k is clamped to [1, m-1].
+func ESPRITDOAsFromEig(eig *cmat.EigResult, k int, spacingWl, axisDeg float64) ([]float64, error) {
+	m := len(eig.Values)
 	if k >= m {
 		k = m - 1
 	}
@@ -82,7 +91,7 @@ func (e *ESPRIT) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error) {
 	out := make([]float64, 0, k)
 	for _, z := range vals {
 		ph := cmplx.Phase(z)
-		x := ph / (2 * math.Pi * spacing)
+		x := ph / (2 * math.Pi * spacingWl)
 		if x > 1 {
 			x = 1
 		}

@@ -48,10 +48,19 @@ func (m *MUSIC) PseudospectrumOnManifold(r *cmat.Matrix, mf *antenna.Manifold, s
 // subspace statistics. It returns the signal-subspace dimension actually
 // used (Sources, or the MDL choice from snapshots when Sources is zero).
 func (m *MUSIC) PseudospectrumFromEig(eig *cmat.EigResult, mf *antenna.Manifold, snapshots int) (*Pseudospectrum, int, error) {
-	rows := len(eig.Values)
-	if rows != mf.N() {
-		return nil, 0, fmt.Errorf("music: eigensystem is %dx%d but manifold has %d elements", rows, rows, mf.N())
+	ps := &Pseudospectrum{AnglesDeg: mf.AnglesDeg(), P: make([]float64, mf.NumAngles())}
+	k, err := m.PseudospectrumFromEigInto(ps, eig, mf, snapshots)
+	if err != nil {
+		return nil, 0, err
 	}
+	return ps, k, nil
+}
+
+// sourceCount resolves the signal-subspace dimension: the fixed Sources
+// override, else MDL on the eigenvalues with the best snapshot count
+// available, clamped to [1, rows-1].
+func (m *MUSIC) sourceCount(eigvals []float64, snapshots int) int {
+	rows := len(eigvals)
 	k := m.Sources
 	if k <= 0 {
 		n := snapshots
@@ -61,7 +70,7 @@ func (m *MUSIC) PseudospectrumFromEig(eig *cmat.EigResult, mf *antenna.Manifold,
 		if n <= 0 {
 			n = 1000
 		}
-		k = MDLSources(eig.Values, n)
+		k = MDLSources(eigvals, n)
 	}
 	if k >= rows {
 		k = rows - 1
@@ -69,10 +78,25 @@ func (m *MUSIC) PseudospectrumFromEig(eig *cmat.EigResult, mf *antenna.Manifold,
 	if k < 1 {
 		k = 1
 	}
+	return k
+}
+
+// PseudospectrumFromEigInto is PseudospectrumFromEig scanning into a
+// caller-provided spectrum: ps.P must already have the manifold's length
+// (ps.AnglesDeg is the caller's concern — the pipeline shares one grid
+// slice across reports). Nothing is allocated.
+func (m *MUSIC) PseudospectrumFromEigInto(ps *Pseudospectrum, eig *cmat.EigResult, mf *antenna.Manifold, snapshots int) (int, error) {
+	rows := len(eig.Values)
+	if rows != mf.N() {
+		return 0, fmt.Errorf("music: eigensystem is %dx%d but manifold has %d elements", rows, rows, mf.N())
+	}
+	if len(ps.P) != mf.NumAngles() {
+		return 0, fmt.Errorf("music: spectrum has %d bins but manifold has %d angles", len(ps.P), mf.NumAngles())
+	}
+	k := m.sourceCount(eig.Values, snapshots)
 
 	nn := rows
 	ev := eig.Vectors
-	ps := &Pseudospectrum{AnglesDeg: mf.AnglesDeg(), P: make([]float64, mf.NumAngles())}
 	for g := range ps.P {
 		a := mf.Steering(g)
 		den := 0.0
@@ -90,7 +114,7 @@ func (m *MUSIC) PseudospectrumFromEig(eig *cmat.EigResult, mf *antenna.Manifold,
 		}
 		ps.P[g] = 1 / den
 	}
-	return ps, k, nil
+	return k, nil
 }
 
 // PseudospectrumOnManifold implements ManifoldEstimator.

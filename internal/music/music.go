@@ -54,6 +54,56 @@ func Covariance(streams [][]complex128) (*cmat.Matrix, error) {
 	return r, nil
 }
 
+// CovarianceInto is Covariance computing into r, reshaping its backing
+// storage only when too small — the allocation-free variant for the
+// per-packet hot path. It accumulates pair-major over the Hermitian
+// upper triangle (m(m+1)/2 inner products instead of m^2), mirroring
+// the lower triangle by conjugation, so it is also ~40% cheaper than
+// the sample-major outer-product form. Returns r.
+func CovarianceInto(r *cmat.Matrix, streams [][]complex128) (*cmat.Matrix, error) {
+	m := len(streams)
+	if m == 0 {
+		return nil, errors.New("music: no streams")
+	}
+	n := len(streams[0])
+	if n == 0 {
+		return nil, errors.New("music: empty streams")
+	}
+	for _, s := range streams {
+		if len(s) != n {
+			return nil, errors.New("music: stream lengths differ")
+		}
+	}
+	if cap(r.Data) < m*m {
+		r.Data = make([]complex128, m*m)
+	}
+	r.Rows, r.Cols = m, m
+	r.Data = r.Data[:m*m]
+	inv := 1 / float64(n)
+	for i := 0; i < m; i++ {
+		si := streams[i]
+		for j := i; j < m; j++ {
+			sj := streams[j]
+			var re, im float64
+			for t := 0; t < n; t++ {
+				a, b := si[t], sj[t]
+				// a * conj(b)
+				re += real(a)*real(b) + imag(a)*imag(b)
+				im += imag(a)*real(b) - real(a)*imag(b)
+			}
+			re *= inv
+			im *= inv
+			if i == j {
+				r.Data[i*m+i] = complex(re, 0)
+				continue
+			}
+			r.Data[i*m+j] = complex(re, im)
+			r.Data[j*m+i] = complex(re, -im)
+		}
+	}
+	return r, nil
+}
+
 // ForwardBackward applies forward-backward averaging,
 // R_fb = (R + J conj(R) J) / 2 with J the exchange matrix — a standard
 // decorrelation step for coherent multipath on centro-symmetric arrays

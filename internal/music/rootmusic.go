@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 
 	"secureangle/internal/antenna"
 	"secureangle/internal/cmat"
@@ -50,6 +49,42 @@ func ulaSpacingWavelengths(arr *antenna.Array) (float64, float64, error) {
 	return d0.Norm() / arr.Wavelength(), axis, nil
 }
 
+// ULAGeometry reports whether arr is a uniform linear array and, if so,
+// returns its element spacing in wavelengths and axis bearing in global
+// degrees — the precondition the grid-free estimators need, exported so
+// pipelines can select root-MUSIC/ESPRIT at construction time.
+func ULAGeometry(arr *antenna.Array) (spacingWl, axisDeg float64, ok bool) {
+	s, a, err := ulaSpacingWavelengths(arr)
+	return s, a, err == nil
+}
+
+// RootScratch holds the polynomial buffers RootDOAsFromEig reuses across
+// packets so the grid-free hot path performs no heap allocation. The
+// zero value is ready to use; not safe for concurrent use.
+type RootScratch struct {
+	coeffs []complex128
+	monic  []complex128
+	roots  []complex128
+	dists  []float64
+	doas   []float64
+}
+
+func growC(buf *[]complex128, n int) []complex128 {
+	if cap(*buf) < n {
+		*buf = make([]complex128, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
 // DOAs returns the estimated arrival bearings (global degrees, in the
 // array's unambiguous half-plane), strongest-root first.
 func (r *RootMUSIC) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error) {
@@ -79,29 +114,50 @@ func (r *RootMUSIC) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error
 	if k < 1 {
 		k = 1
 	}
+	doas, err := RootDOAsFromEig(eig, k, spacing, axisDeg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), doas...), nil
+}
 
-	// C = En En^H; the polynomial coefficients are the diagonal sums:
-	// P(z) = sum_{l=-(m-1)}^{m-1} c_l z^l with c_l = sum of the l-th
-	// diagonal of C. Multiply by z^{m-1} for an ordinary polynomial of
-	// degree 2(m-1).
-	en := eig.NoiseSubspace(k)
-	c := en.Mul(en.Herm())
-	coeffs := make([]complex128, 2*m-1) // index l+m-1
-	for l := -(m - 1); l <= m-1; l++ {
-		var s complex128
-		for i := 0; i < m; i++ {
-			j := i + l
-			if j < 0 || j >= m {
-				continue
-			}
-			// a(z)^H C a(z): the z^l coefficient collects C[i][j] with
-			// j - i = l.
-			s += c.At(i, j)
-		}
-		coeffs[l+m-1] = s
+// RootDOAsFromEig runs the root-MUSIC polynomial stage from an existing
+// eigendecomposition with k signal sources, for a ULA of the given
+// spacing (wavelengths) and axis bearing — the pipeline form that shares
+// the packet's one eigendecomposition. Buffers come from ws (nil for a
+// throwaway scratch); the returned slice aliases ws and is valid until
+// its next use.
+func RootDOAsFromEig(eig *cmat.EigResult, k int, spacingWl, axisDeg float64, ws *RootScratch) ([]float64, error) {
+	if ws == nil {
+		ws = &RootScratch{}
+	}
+	m := len(eig.Values)
+	if k < 1 || k >= m {
+		return nil, fmt.Errorf("music: source count %d out of range [1, %d)", k, m)
 	}
 
-	roots, err := polyRoots(coeffs)
+	// The noise-subspace projector C = En En^H enters only through its
+	// diagonal sums: P(z) = sum_l c_l z^l with c_l = sum_{j-i=l} C[i][j]
+	// (times z^{m-1} for an ordinary polynomial of degree 2(m-1)).
+	// Accumulate the sums column-by-column straight from the
+	// eigenvector matrix — no subspace copy, no matrix product.
+	ev := eig.Vectors
+	coeffs := growC(&ws.coeffs, 2*m-1) // index l+m-1
+	for i := range coeffs {
+		coeffs[i] = 0
+	}
+	for c := k; c < m; c++ {
+		for i := 0; i < m; i++ {
+			vi := ev.At(i, c)
+			for j := 0; j < m; j++ {
+				vj := ev.At(j, c)
+				// C[i][j] += V[i][c] * conj(V[j][c]) lands in c_{j-i}.
+				coeffs[j-i+m-1] += vi * complex(real(vj), -imag(vj))
+			}
+		}
+	}
+
+	roots, err := polyRootsScratch(coeffs, ws)
 	if err != nil {
 		return nil, err
 	}
@@ -109,31 +165,37 @@ func (r *RootMUSIC) DOAs(cov *cmat.Matrix, arr *antenna.Array) ([]float64, error
 	// Keep roots strictly inside the unit circle (the conjugate-
 	// reciprocal pairs outside mirror them), sorted by closeness to the
 	// circle; take the k closest.
-	type cand struct {
-		z    complex128
-		dist float64
-	}
-	var cands []cand
+	zs := roots[:0] // compact the inside-circle candidates in place
+	dists := growF(&ws.dists, len(roots))[:0]
 	for _, z := range roots {
 		mag := cmplx.Abs(z)
 		if mag >= 1 {
 			continue
 		}
-		cands = append(cands, cand{z, 1 - mag})
+		zs = append(zs, z)
+		dists = append(dists, 1-mag)
 	}
-	sort.Slice(cands, func(a, b int) bool { return cands[a].dist < cands[b].dist })
-	if len(cands) > k {
-		cands = cands[:k]
+	// Insertion sort by distance to the circle, ascending (<= 14 roots).
+	for i := 1; i < len(zs); i++ {
+		j := i
+		for j > 0 && dists[j] < dists[j-1] {
+			dists[j], dists[j-1] = dists[j-1], dists[j]
+			zs[j], zs[j-1] = zs[j-1], zs[j]
+			j--
+		}
+	}
+	if len(zs) > k {
+		zs = zs[:k]
 	}
 
-	var out []float64
-	for _, cd := range cands {
+	out := growF(&ws.doas, len(zs))[:0]
+	for _, z := range zs {
 		// arg(z) = 2 pi d/lambda cos(theta - axis)... for the ULA along
 		// its axis the steering phase step between adjacent elements for
 		// a wave from angle phi relative to the axis is
 		// 2 pi spacing cos(phi). Invert:
-		ph := cmplx.Phase(cd.z)
-		x := ph / (2 * math.Pi * spacing)
+		ph := cmplx.Phase(z)
+		x := ph / (2 * math.Pi * spacingWl)
 		if x > 1 {
 			x = 1
 		}
@@ -171,6 +233,17 @@ func (r *RootMUSIC) Pseudospectrum(cov *cmat.Matrix, arr *antenna.Array, gridDeg
 // with the Durand-Kerner (Weierstrass) iteration. Leading/trailing zero
 // coefficients are trimmed (roots at the origin are reported directly).
 func polyRoots(coeffs []complex128) ([]complex128, error) {
+	var ws RootScratch
+	rs, err := polyRootsScratch(coeffs, &ws)
+	if err != nil {
+		return nil, err
+	}
+	return append([]complex128(nil), rs...), nil
+}
+
+// polyRootsScratch is polyRoots with all buffers drawn from ws; the
+// returned slice aliases ws.roots.
+func polyRootsScratch(coeffs []complex128, ws *RootScratch) ([]complex128, error) {
 	// Trim the leading (highest-order) zeros.
 	n := len(coeffs)
 	for n > 0 && coeffs[n-1] == 0 {
@@ -180,31 +253,29 @@ func polyRoots(coeffs []complex128) ([]complex128, error) {
 	if len(coeffs) <= 1 {
 		return nil, errors.New("music: degenerate polynomial")
 	}
-	// Factor out z^q for trailing (constant-side) zeros.
-	var zeroRoots []complex128
+	// Factor out z^q for trailing (constant-side) zeros: roots at the
+	// origin, reported directly at the front of the output.
+	nzero := 0
 	for len(coeffs) > 1 && coeffs[0] == 0 {
 		coeffs = coeffs[1:]
-		zeroRoots = append(zeroRoots, 0)
+		nzero++
 	}
 	deg := len(coeffs) - 1
+	out := growC(&ws.roots, nzero+deg)
+	for i := 0; i < nzero; i++ {
+		out[i] = 0
+	}
 	if deg == 0 {
-		return zeroRoots, nil
+		return out[:nzero], nil
 	}
 	// Normalise to monic.
-	monic := make([]complex128, len(coeffs))
+	monic := growC(&ws.monic, len(coeffs))
 	lead := coeffs[deg]
 	for i := range coeffs {
 		monic[i] = coeffs[i] / lead
 	}
-	eval := func(z complex128) complex128 {
-		s := complex(0, 0)
-		for i := deg; i >= 0; i-- {
-			s = s*z + monic[i]
-		}
-		return s
-	}
 	// Durand-Kerner starting points: a slightly irrational spiral.
-	roots := make([]complex128, deg)
+	roots := out[nzero:]
 	for i := range roots {
 		roots[i] = cmplx.Rect(0.9+0.1*float64(i)/float64(deg), 2*math.Pi*float64(i)/float64(deg)+0.4)
 	}
@@ -212,7 +283,11 @@ func polyRoots(coeffs []complex128) ([]complex128, error) {
 	for iter := 0; iter < maxIter; iter++ {
 		var maxStep float64
 		for i := range roots {
-			num := eval(roots[i])
+			// Horner evaluation of the monic polynomial at roots[i].
+			num := complex(0, 0)
+			for c := deg; c >= 0; c-- {
+				num = num*roots[i] + monic[c]
+			}
 			den := complex(1, 0)
 			for j := range roots {
 				if i == j {
@@ -235,5 +310,5 @@ func polyRoots(coeffs []complex128) ([]complex128, error) {
 			break
 		}
 	}
-	return append(zeroRoots, roots...), nil
+	return out, nil
 }

@@ -1,0 +1,125 @@
+// Package pool provides the per-worker scratch arena the per-packet hot
+// path allocates from. The data plane's steady state — receive, detect,
+// covariance, eigendecomposition, pseudospectrum — reuses the same
+// buffers packet after packet (the NDN-DPDK forwarding discipline:
+// preallocated object pools, run-to-completion, no per-packet heap
+// traffic). An Arena is a bump allocator over a handful of growable
+// slabs: allocation is a slice re-slice, Reset recycles everything at
+// once, and after the first few packets the slabs have grown to the
+// workload's high-water mark and no further heap allocation occurs.
+//
+// An Arena is not safe for concurrent use; each pipeline worker owns one
+// (core keeps them in a sync.Pool keyed by worker).
+package pool
+
+// Arena is a bump allocator for the slice types the estimation path
+// uses. Buffers obtained from an Arena remain valid until Reset; Reset
+// invalidates all of them at once (the per-packet lifecycle).
+type Arena struct {
+	cbuf []complex128
+	coff int
+	fbuf []float64
+	foff int
+	sbuf [][]complex128
+	soff int
+}
+
+// NewArena returns an arena with capacity hints for the three slab
+// kinds; zero hints are fine (slabs grow on demand).
+func NewArena(complexCap, floatCap, sliceCap int) *Arena {
+	return &Arena{
+		cbuf: make([]complex128, complexCap),
+		fbuf: make([]float64, floatCap),
+		sbuf: make([][]complex128, sliceCap),
+	}
+}
+
+// Complex returns a zeroed []complex128 of length n valid until Reset.
+func (a *Arena) Complex(n int) []complex128 {
+	if a.coff+n > len(a.cbuf) {
+		a.growComplex(n)
+	}
+	out := a.cbuf[a.coff : a.coff+n : a.coff+n]
+	a.coff += n
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// ComplexUninit is Complex without the zero fill, for callers that
+// overwrite every element before reading (FFT inputs, copies). The
+// returned buffer holds stale samples from earlier packets.
+func (a *Arena) ComplexUninit(n int) []complex128 {
+	if a.coff+n > len(a.cbuf) {
+		a.growComplex(n)
+	}
+	out := a.cbuf[a.coff : a.coff+n : a.coff+n]
+	a.coff += n
+	return out
+}
+
+// Float returns a zeroed []float64 of length n valid until Reset.
+func (a *Arena) Float(n int) []float64 {
+	if a.foff+n > len(a.fbuf) {
+		a.growFloat(n)
+	}
+	out := a.fbuf[a.foff : a.foff+n : a.foff+n]
+	a.foff += n
+	for i := range out {
+		out[i] = 0
+	}
+	return out
+}
+
+// Streams returns a [][]complex128 header slice of length n (entries
+// nil) valid until Reset — the per-antenna stream set shape.
+func (a *Arena) Streams(n int) [][]complex128 {
+	if a.soff+n > len(a.sbuf) {
+		a.growStreams(n)
+	}
+	out := a.sbuf[a.soff : a.soff+n : a.soff+n]
+	a.soff += n
+	for i := range out {
+		out[i] = nil
+	}
+	return out
+}
+
+// Reset recycles the arena: every buffer handed out since the previous
+// Reset is invalidated and the backing slabs are reused.
+func (a *Arena) Reset() {
+	a.coff, a.foff, a.soff = 0, 0, 0
+}
+
+// grow* replace the active slab with one large enough for the request,
+// doubling so steady-state workloads stop growing after warm-up.
+// Outstanding buffers keep the old slab alive until their Reset, which
+// is exactly the lifetime contract.
+
+func (a *Arena) growComplex(n int) {
+	c := 2 * len(a.cbuf)
+	if c < a.coff+n {
+		c = a.coff + n
+	}
+	a.cbuf = make([]complex128, c)
+	a.coff = 0
+}
+
+func (a *Arena) growFloat(n int) {
+	c := 2 * len(a.fbuf)
+	if c < a.foff+n {
+		c = a.foff + n
+	}
+	a.fbuf = make([]float64, c)
+	a.foff = 0
+}
+
+func (a *Arena) growStreams(n int) {
+	c := 2 * len(a.sbuf)
+	if c < a.soff+n {
+		c = a.soff + n
+	}
+	a.sbuf = make([][]complex128, c)
+	a.soff = 0
+}

@@ -1,0 +1,76 @@
+package pool
+
+import "testing"
+
+func TestArenaReuseAndReset(t *testing.T) {
+	a := NewArena(8, 8, 2)
+	c1 := a.Complex(4)
+	if len(c1) != 4 {
+		t.Fatalf("len = %d", len(c1))
+	}
+	for i := range c1 {
+		c1[i] = complex(float64(i), 1)
+	}
+	c2 := a.Complex(4)
+	for _, v := range c2 {
+		if v != 0 {
+			t.Fatalf("Complex not zeroed: %v", v)
+		}
+	}
+	a.Reset()
+	c3 := a.Complex(4)
+	if &c3[0] != &c1[0] {
+		t.Error("Reset did not recycle the slab")
+	}
+	for _, v := range c3 {
+		if v != 0 {
+			t.Fatalf("recycled buffer not zeroed: %v", v)
+		}
+	}
+}
+
+func TestArenaGrowthKeepsOldBuffersValid(t *testing.T) {
+	a := NewArena(4, 0, 0)
+	c1 := a.Complex(4)
+	c1[0] = 7
+	c2 := a.Complex(16) // forces growth mid-cycle
+	if c1[0] != 7 {
+		t.Error("old buffer invalidated by growth")
+	}
+	c2[0] = 9
+	if c1[0] != 7 {
+		t.Error("new slab aliases old buffer")
+	}
+}
+
+func TestArenaSteadyStateZeroAlloc(t *testing.T) {
+	a := NewArena(0, 0, 0)
+	packet := func() {
+		s := a.Streams(8)
+		for i := range s {
+			s[i] = a.Complex(128)
+		}
+		_ = a.Float(256)
+		_ = a.ComplexUninit(64)
+		a.Reset()
+	}
+	packet() // warm to high-water mark
+	if n := testing.AllocsPerRun(100, packet); n > 0 {
+		t.Errorf("steady-state allocs/op = %v, want 0", n)
+	}
+}
+
+func TestArenaFloatAndStreams(t *testing.T) {
+	a := NewArena(0, 0, 0)
+	f := a.Float(10)
+	f[3] = 1.5
+	s := a.Streams(3)
+	if len(s) != 3 || s[0] != nil {
+		t.Fatalf("Streams shape wrong: %v", s)
+	}
+	a.Reset()
+	f2 := a.Float(10)
+	if f2[3] != 0 {
+		t.Error("Float not zeroed after Reset")
+	}
+}

@@ -29,25 +29,33 @@ func testArray() *antenna.Array {
 	return antenna.NewUCA(8, 0.047, antenna.DefaultCarrierHz)
 }
 
-// referenceReceive is the pre-refactor time-domain channel: per path, a
+// referenceReceive is the time-domain channel: per path, a
 // frequency-domain fractional delay of the whole baseband, then a
 // per-antenna steering fan-out — the behaviour the frequency-domain
-// Receive must reproduce.
+// Receive must reproduce. The delay runs at the same pow2 transform
+// length Receive uses (zero-pad, delay, truncate), so both sides realise
+// the identical circular convolution — which, given the transmit
+// buffer's lead/tail padding, is the linear (physical) convolution up to
+// the sinc tails the padding absorbs.
 func referenceReceive(f *FrontEnd, paths []env.Path, baseband []complex128) [][]complex128 {
 	n := f.Array.N()
+	ns := len(baseband)
+	m := dsp.NextPow2(ns)
+	padded := make([]complex128, m)
+	copy(padded, baseband)
 	out := make([][]complex128, n)
 	for a := 0; a < n; a++ {
-		out[a] = make([]complex128, len(baseband))
+		out[a] = make([]complex128, ns)
 	}
 	for _, p := range paths {
-		delayed := dsp.FractionalDelay(baseband, p.Delay, f.SampleRate)
+		delayed := dsp.FractionalDelay(padded, p.Delay, f.SampleRate)
 		dsp.Scale(delayed, p.Gain)
 		steer := f.Array.Steering(p.BearingDeg)
 		for a := 0; a < n; a++ {
 			s := steer[a]
 			dst := out[a]
-			for i, v := range delayed {
-				dst[i] += v * s
+			for i := range dst {
+				dst[i] += delayed[i] * s
 			}
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"secureangle/internal/dsp"
 	"secureangle/internal/env"
 	"secureangle/internal/geom"
+	"secureangle/internal/pool"
 	"secureangle/internal/rng"
 )
 
@@ -58,29 +59,71 @@ type FrontEnd struct {
 	// SampleRate of the ADCs.
 	SampleRate float64
 
-	// mu guards the noise stream and the channel-response cache; the
+	// mu guards the noise stream and the two synthesis caches; the
 	// deterministic synthesis itself runs outside the lock.
-	mu        sync.Mutex
-	noise     *rng.Source
-	chanCache map[chanKey]*chanResponse
+	mu         sync.Mutex
+	noise      *rng.Source
+	chanCache  map[chanKey]*chanResponse
+	cleanCache map[cleanKey]*cleanEntry
 }
 
 // maxChanCacheEntries bounds the per-front-end channel cache (an entry is
-// one per-antenna frequency response, ~N*len(baseband) complexes).
+// one per-antenna frequency response, ~N*NextPow2(len(baseband))
+// complexes).
 const maxChanCacheEntries = 64
 
+// maxCleanCacheEntries bounds the clean-capture cache (an entry is one
+// full set of pre-impairment antenna streams, ~N*len(baseband)
+// complexes, so the bound is deliberately small).
+const maxCleanCacheEntries = 16
+
 // chanKey identifies one cached channel: transmitter position and
-// transform length.
+// baseband length (which fixes the pow2 transform length).
 type chanKey struct {
 	x, y float64
 	n    int
 }
 
 // chanResponse is the frequency-domain channel from one transmitter to
-// every antenna, valid for one environment drift epoch.
+// every antenna, valid for one environment drift epoch. The response is
+// held at the pow2 transform length m >= n so synthesis runs entirely on
+// cached-table radix-2 transforms (a non-pow2 length would go through
+// Bluestein: three times the transforms and a scratch buffer per call).
 type chanResponse struct {
 	epoch uint64
-	h     [][]complex128 // [antenna][DFT bin]
+	m     int
+	h     [][]complex128 // [antenna][DFT bin], length m
+}
+
+// cleanKey identifies one cached clean capture: transmitter position,
+// baseband length, and a content hash of the baseband samples.
+type cleanKey struct {
+	x, y float64
+	n    int
+	hash uint64
+}
+
+// cleanEntry is the pre-impairment per-antenna capture for one
+// (transmitter, baseband) pair — the fully deterministic half of Receive.
+// Replaying it and applying live impairments draws exactly the same noise
+// sequence as a fresh synthesis, so caching is invisible to determinism.
+type cleanEntry struct {
+	epoch   uint64
+	streams [][]complex128 // [antenna][0:n], clean
+}
+
+// basebandHash is a word-wise FNV-1a over the sample bits — cheap enough
+// (~2 mul/sample) to key the clean-capture cache on content rather than
+// identity, so retransmissions of the same frame hit regardless of which
+// buffer carries them.
+func basebandHash(x []complex128) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range x {
+		h = (h ^ math.Float64bits(real(v))) * prime
+		h = (h ^ math.Float64bits(imag(v))) * prime
+	}
+	return h
 }
 
 // Option configures a FrontEnd.
@@ -143,18 +186,92 @@ func NewFrontEnd(arr *antenna.Array, pos geom.Point, src *rng.Source, opts ...Op
 // combination of fractionally-delayed path copies, just summed before the
 // inverse transform rather than after.
 func (f *FrontEnd) Receive(e *env.Environment, tx geom.Point, baseband []complex128) ([][]complex128, error) {
+	return f.ReceiveArena(e, tx, baseband, nil)
+}
+
+// ReceiveArena is Receive drawing every output and scratch buffer from ar
+// (nil behaves exactly like Receive): the returned streams alias the
+// arena and are valid until its next Reset. The per-packet pipeline holds
+// one arena per worker, making the steady-state receive allocation-free.
+func (f *FrontEnd) ReceiveArena(e *env.Environment, tx geom.Point, baseband []complex128, ar *pool.Arena) ([][]complex128, error) {
 	if len(baseband) == 0 {
 		return nil, errors.New("radio: empty baseband")
+	}
+	out, err := f.cleanStreams(e, tx, baseband, ar)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.impair(out, f.noise)
+	return out, nil
+}
+
+func arenaComplexUninit(ar *pool.Arena, n int) []complex128 {
+	if ar == nil {
+		return make([]complex128, n)
+	}
+	return ar.ComplexUninit(n)
+}
+
+func arenaStreams(ar *pool.Arena, n int) [][]complex128 {
+	if ar == nil {
+		return make([][]complex128, n)
+	}
+	return ar.Streams(n)
+}
+
+// cleanStreams returns the pre-impairment per-antenna capture for one
+// transmission: replayed from the clean-capture cache when this exact
+// (transmitter, baseband) pair was synthesised in the current drift
+// epoch, else synthesised through the pow2 frequency-domain channel (and
+// cached for the next retransmission).
+func (f *FrontEnd) cleanStreams(e *env.Environment, tx geom.Point, baseband []complex128, ar *pool.Arena) ([][]complex128, error) {
+	epoch := e.Epoch()
+	key := cleanKey{x: tx.X, y: tx.Y, n: len(baseband), hash: basebandHash(baseband)}
+	f.mu.Lock()
+	ce, ok := f.cleanCache[key]
+	f.mu.Unlock()
+	if ok && ce.epoch == epoch {
+		return f.replayClean(ce, ar), nil
 	}
 	resp, err := f.channelResponse(e, tx, len(baseband))
 	if err != nil {
 		return nil, err
 	}
-	out := f.synthesize(resp, baseband)
+	out := f.synthesize(resp, baseband, ar)
+	f.storeClean(key, epoch, out)
+	return out, nil
+}
+
+// replayClean copies a cached clean capture into fresh (arena) buffers so
+// the caller can impair them in place.
+func (f *FrontEnd) replayClean(ce *cleanEntry, ar *pool.Arena) [][]complex128 {
+	out := arenaStreams(ar, len(ce.streams))
+	for a, s := range ce.streams {
+		dst := arenaComplexUninit(ar, len(s))
+		copy(dst, s)
+		out[a] = dst
+	}
+	return out
+}
+
+// storeClean caches a private copy of the clean streams under the given
+// drift epoch.
+func (f *FrontEnd) storeClean(key cleanKey, epoch uint64, streams [][]complex128) {
+	cp := make([][]complex128, len(streams))
+	for a, s := range streams {
+		cp[a] = append([]complex128(nil), s...)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.impair(out, f.noise)
-	return out, nil
+	if f.cleanCache == nil {
+		f.cleanCache = make(map[cleanKey]*cleanEntry)
+	}
+	if len(f.cleanCache) >= maxCleanCacheEntries {
+		clear(f.cleanCache)
+	}
+	f.cleanCache[key] = &cleanEntry{epoch: epoch, streams: cp}
 }
 
 // PreparedReceive bundles the order-sensitive half of Receive — the
@@ -166,6 +283,8 @@ type PreparedReceive struct {
 	resp  *chanResponse
 	noise *rng.Source
 	n     int
+	tx    geom.Point
+	epoch uint64
 }
 
 // PrepareReceive resolves the channel for a transmission of n samples from
@@ -184,17 +303,34 @@ func (f *FrontEnd) PrepareReceive(e *env.Environment, tx geom.Point, n int) (*Pr
 	f.mu.Lock()
 	src := f.noise.Fork()
 	f.mu.Unlock()
-	return &PreparedReceive{resp: resp, noise: src, n: n}, nil
+	return &PreparedReceive{resp: resp, noise: src, n: n, tx: tx, epoch: resp.epoch}, nil
 }
 
 // ReceivePrepared synthesises the per-antenna streams for one prepared
 // transmission. Safe for concurrent use across distinct PreparedReceive
 // values.
 func (f *FrontEnd) ReceivePrepared(p *PreparedReceive, baseband []complex128) ([][]complex128, error) {
+	return f.ReceivePreparedArena(p, baseband, nil)
+}
+
+// ReceivePreparedArena is ReceivePrepared drawing output buffers from ar
+// (nil allocates); see ReceiveArena for the aliasing contract. Distinct
+// PreparedReceive values with distinct arenas are safe concurrently.
+func (f *FrontEnd) ReceivePreparedArena(p *PreparedReceive, baseband []complex128, ar *pool.Arena) ([][]complex128, error) {
 	if len(baseband) != p.n {
 		return nil, errors.New("radio: baseband length differs from prepared length")
 	}
-	out := f.synthesize(p.resp, baseband)
+	key := cleanKey{x: p.tx.X, y: p.tx.Y, n: p.n, hash: basebandHash(baseband)}
+	f.mu.Lock()
+	ce, ok := f.cleanCache[key]
+	f.mu.Unlock()
+	var out [][]complex128
+	if ok && ce.epoch == p.epoch {
+		out = f.replayClean(ce, ar)
+	} else {
+		out = f.synthesize(p.resp, baseband, ar)
+		f.storeClean(key, p.epoch, out)
+	}
 	f.impair(out, p.noise)
 	return out, nil
 }
@@ -215,7 +351,8 @@ func (f *FrontEnd) channelResponse(e *env.Environment, tx geom.Point, n int) (*c
 	if len(paths) == 0 {
 		return nil, ErrBlocked
 	}
-	r := &chanResponse{epoch: epoch, h: f.buildResponse(paths, n)}
+	m := dsp.NextPow2(n)
+	r := &chanResponse{epoch: epoch, m: m, h: f.buildResponse(paths, m)}
 
 	f.mu.Lock()
 	if f.chanCache == nil {
@@ -230,16 +367,16 @@ func (f *FrontEnd) channelResponse(e *env.Environment, tx geom.Point, n int) (*c
 }
 
 // buildResponse accumulates every path's delay ramp and steering phase
-// into one per-antenna frequency response: H_a[k] = sum over paths of
-// gain * steer_a * exp(-i 2 pi f_k delay).
-func (f *FrontEnd) buildResponse(paths []env.Path, n int) [][]complex128 {
+// into one per-antenna frequency response at the pow2 transform length m:
+// H_a[k] = sum over paths of gain * steer_a * exp(-i 2 pi f_k delay).
+func (f *FrontEnd) buildResponse(paths []env.Path, m int) [][]complex128 {
 	nAnt := f.Array.N()
 	h := make([][]complex128, nAnt)
 	for a := range h {
-		h[a] = make([]complex128, n)
+		h[a] = make([]complex128, m)
 	}
-	freqs := dsp.FFTFreqs(n, f.SampleRate)
-	ramp := make([]complex128, n)
+	freqs := dsp.FFTFreqs(m, f.SampleRate)
+	ramp := make([]complex128, m)
 	for _, p := range paths {
 		for k, fr := range freqs {
 			ramp[k] = p.Gain * cmplx.Rect(1, -2*math.Pi*fr*p.Delay)
@@ -256,19 +393,30 @@ func (f *FrontEnd) buildResponse(paths []env.Path, n int) [][]complex128 {
 	return h
 }
 
-// synthesize applies a channel response to the baseband: one forward FFT,
-// then per antenna a bin-wise multiply and inverse FFT. Pure function of
-// its inputs; safe for concurrent use.
-func (f *FrontEnd) synthesize(resp *chanResponse, baseband []complex128) [][]complex128 {
-	spec := dsp.FFT(baseband)
-	out := make([][]complex128, len(resp.h))
+// synthesize applies a channel response to the baseband: the baseband is
+// zero-padded to the response's pow2 length m (the transmit buffer's own
+// lead/tail padding keeps the fractionally-delayed copies inside the
+// first n samples, so truncating back to n loses nothing but the pad),
+// one forward FFT, then per antenna a bin-wise multiply and inverse FFT —
+// all radix-2 with cached tables, allocation-free given an arena. Pure
+// function of its inputs; safe for concurrent use with distinct arenas.
+func (f *FrontEnd) synthesize(resp *chanResponse, baseband []complex128, ar *pool.Arena) [][]complex128 {
+	n := len(baseband)
+	m := resp.m
+	spec := arenaComplexUninit(ar, m)
+	copy(spec, baseband)
+	for k := n; k < m; k++ {
+		spec[k] = 0
+	}
+	dsp.FFTInPlace(spec)
+	out := arenaStreams(ar, len(resp.h))
 	for a, ha := range resp.h {
-		stream := make([]complex128, len(spec))
+		stream := arenaComplexUninit(ar, m)
 		for k, v := range spec {
 			stream[k] = v * ha[k]
 		}
 		dsp.IFFTInPlace(stream)
-		out[a] = stream
+		out[a] = stream[:n]
 	}
 	return out
 }
@@ -295,7 +443,7 @@ func (f *FrontEnd) impair(out [][]complex128, src *rng.Source) {
 		dsp.Scale(out[a], cmplx.Rect(1, f.PhaseOffsets[a]))
 		// Common CFO, identical on all chains (shared oscillators).
 		if f.CFOHz != 0 {
-			out[a] = dsp.MixFrequency(out[a], f.CFOHz, f.SampleRate, 0)
+			dsp.MixFrequencyInto(out[a], out[a], f.CFOHz, f.SampleRate, 0)
 		}
 		src.AddAWGN(out[a], sigma2)
 		if f.QuantBits > 0 {

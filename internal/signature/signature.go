@@ -27,10 +27,13 @@ type Signature struct {
 }
 
 // FromPseudospectrum builds a signature from a MUSIC pseudospectrum,
-// normalising to unit energy.
+// normalising to unit energy. The bearing grid is shared with the
+// pseudospectrum (a grid is immutable once built; nothing in the
+// signature lifecycle writes it), while P is copied since the signature
+// normalises it in place.
 func FromPseudospectrum(ps *music.Pseudospectrum) *Signature {
 	s := &Signature{
-		AnglesDeg: append([]float64(nil), ps.AnglesDeg...),
+		AnglesDeg: ps.AnglesDeg,
 		P:         append([]float64(nil), ps.P...),
 	}
 	s.normalize()

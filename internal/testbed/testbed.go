@@ -26,6 +26,7 @@ package testbed
 
 import (
 	"fmt"
+	"sync"
 
 	"secureangle/internal/antenna"
 	"secureangle/internal/env"
@@ -182,13 +183,57 @@ func UplinkFrame(clientID int, seq uint16, payload []byte) *wifi.Frame {
 	}
 }
 
+// maxBasebandCacheEntries bounds the modulated-frame cache (an entry is
+// ~1100 complexes; the testbed's workloads cycle through a handful of
+// distinct frames).
+const maxBasebandCacheEntries = 64
+
+var (
+	basebandMu    sync.Mutex
+	basebandCache map[string][]complex128
+
+	// keyPool holds scratch buffers for the cache key so a warm
+	// FrameBaseband call marshals the frame without allocating.
+	keyPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 1<<10)
+		return &b
+	}}
+)
+
 // FrameBaseband turns a MAC frame into padded OFDM baseband samples ready
-// for the channel: the transmit side of the testbed.
+// for the channel: the transmit side of the testbed. Modulation is a pure
+// function of the frame bytes, so results are cached by content — the
+// returned slice is shared across calls and must be treated as read-only
+// (every receive path only reads the transmit buffer).
 func FrameBaseband(f *wifi.Frame, mod ofdm.Modulation) ([]complex128, error) {
+	kb := keyPool.Get().(*[]byte)
+	key := append(f.AppendMarshal((*kb)[:0]), byte(mod))
+	basebandMu.Lock()
+	bb, ok := basebandCache[string(key)]
+	basebandMu.Unlock()
+	if ok {
+		*kb = key
+		keyPool.Put(kb)
+		return bb, nil
+	}
 	m := ofdm.NewModulator(ofdm.DefaultParams())
-	pkt, err := m.BuildPacket(f.Marshal(), mod)
+	pkt, err := m.BuildPacket(key[:len(key)-1], mod)
 	if err != nil {
+		*kb = key
+		keyPool.Put(kb)
 		return nil, err
 	}
-	return radio.PadPacket(pkt.Samples, 300, 300), nil
+	bb = radio.PadPacket(pkt.Samples, 300, 300)
+	basebandMu.Lock()
+	if basebandCache == nil {
+		basebandCache = make(map[string][]complex128)
+	}
+	if len(basebandCache) >= maxBasebandCacheEntries {
+		clear(basebandCache)
+	}
+	basebandCache[string(key)] = bb
+	basebandMu.Unlock()
+	*kb = key
+	keyPool.Put(kb)
+	return bb, nil
 }

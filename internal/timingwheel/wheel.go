@@ -1,0 +1,327 @@
+// Package timingwheel implements a hierarchical timing wheel in the
+// style of the mintmr timers of fast dataplanes (and the classic
+// Varghese-Lauck scheme the kernel timer wheel uses): time is
+// quantised into ticks, each wheel level holds 64 slots, and a timer
+// lives in the slot of the level whose span covers its deadline.
+// Schedule and Cancel are O(1) — an intrusive doubly-linked list splice
+// — and a tick advance touches only the slots that actually expire,
+// cascading a higher-level slot down one level when the lower wheel
+// wraps.
+//
+// One driver goroutine serves any number of timers: it sleeps until the
+// earliest pending deadline (not on a coarse ticker) and is woken early
+// only when a newly scheduled timer beats the current wake-up. The
+// fusion and defense engines share a single process-wide wheel through
+// Acquire/Release, replacing their per-engine sweeper goroutines.
+package timingwheel
+
+import (
+	"sync"
+	"time"
+)
+
+const (
+	wheelBits = 6
+	wheelSize = 1 << wheelBits // 64 slots per level
+	wheelMask = wheelSize - 1
+	levels    = 4 // horizon: 64^4 ticks (= ~194 days at 1ms)
+)
+
+// Timer is one schedulable callback. The zero value with Fn set is
+// ready to use; a Timer must not be copied after first Schedule. The
+// callback runs on the wheel's driver goroutine, so it must not block
+// for long — and it may reschedule its own timer, which is how the
+// engines express periodic sweeps without a ticker goroutine each.
+type Timer struct {
+	// Fn is the expiry callback.
+	Fn func()
+
+	next, prev *Timer
+	slot       *slot
+	when       uint64 // absolute deadline, in ticks
+}
+
+type slot struct {
+	head Timer // sentinel: head.next..head.prev is the ring
+}
+
+func (s *slot) init() {
+	s.head.next, s.head.prev = &s.head, &s.head
+	s.head.slot = s
+}
+
+func (s *slot) push(t *Timer) {
+	t.slot = s
+	t.prev = s.head.prev
+	t.next = &s.head
+	s.head.prev.next = t
+	s.head.prev = t
+}
+
+// unlink removes t from its slot ring; safe on an unscheduled timer.
+func (t *Timer) unlink() {
+	if t.slot == nil {
+		return
+	}
+	t.prev.next = t.next
+	t.next.prev = t.prev
+	t.next, t.prev, t.slot = nil, nil, nil
+}
+
+// Wheel is a hierarchical timing wheel with its own driver goroutine.
+type Wheel struct {
+	tick  time.Duration
+	start time.Time
+
+	mu    sync.Mutex // guards slots, cur, timer links
+	slots [levels][wheelSize]slot
+	cur   uint64 // last tick fully processed
+
+	// runMu is held for the duration of each expiry batch, so
+	// StopWait can block until an in-flight callback returns.
+	runMu sync.Mutex
+
+	wake chan struct{} // kicked when an earlier deadline appears
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// DefaultTick is the default wheel resolution: deadlines are rounded up
+// to the next multiple of it. 1ms is far below the 50ms engine sweep
+// period and matches the latency of a woken goroutine anyway.
+const DefaultTick = time.Millisecond
+
+// New starts a wheel with the given tick resolution (0 selects
+// DefaultTick). Stop it with Stop.
+func New(tick time.Duration) *Wheel {
+	if tick <= 0 {
+		tick = DefaultTick
+	}
+	w := &Wheel{
+		tick:  tick,
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	for l := range w.slots {
+		for i := range w.slots[l] {
+			w.slots[l][i].init()
+		}
+	}
+	w.wg.Add(1)
+	go w.run()
+	return w
+}
+
+// Stop terminates the driver goroutine and waits for it. Pending timers
+// are abandoned without firing.
+func (w *Wheel) Stop() {
+	close(w.done)
+	w.wg.Wait()
+}
+
+// now returns the current time in ticks (monotonic since wheel start).
+func (w *Wheel) now() uint64 {
+	return uint64(time.Since(w.start) / w.tick)
+}
+
+// Schedule arms t to fire after d (rounded up to the wheel resolution,
+// so a timer never fires early). A scheduled timer is moved, not
+// duplicated. O(1).
+func (w *Wheel) Schedule(t *Timer, d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	ticks := uint64((d + w.tick - 1) / w.tick)
+	if ticks == 0 {
+		ticks = 1
+	}
+	w.mu.Lock()
+	t.unlink()
+	t.when = w.now() + ticks
+	if t.when <= w.cur {
+		t.when = w.cur + 1
+	}
+	w.place(t)
+	earliest := t.when
+	w.mu.Unlock()
+
+	// Wake the driver if this deadline may precede its current sleep.
+	_ = earliest
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Cancel disarms t; it reports whether the timer was scheduled. The
+// callback may still be executing — use StopWait to also drain it.
+func (w *Wheel) Cancel(t *Timer) bool {
+	w.mu.Lock()
+	was := t.slot != nil
+	t.unlink()
+	w.mu.Unlock()
+	return was
+}
+
+// StopWait cancels t and blocks until any in-flight expiry batch has
+// finished, then cancels again — so a callback that rescheduled its own
+// timer concurrently with StopWait is also disarmed. On return the
+// callback is not running and the timer will not fire.
+func (w *Wheel) StopWait(t *Timer) {
+	w.Cancel(t)
+	w.runMu.Lock()
+	//lint:ignore SA2001 the critical section is the wait itself
+	w.runMu.Unlock()
+	w.Cancel(t)
+}
+
+// place files t into the slot for t.when. Caller holds w.mu.
+func (w *Wheel) place(t *Timer) {
+	delta := t.when - w.cur
+	for l := 0; l < levels; l++ {
+		if delta < uint64(1)<<(wheelBits*(l+1)) || l == levels-1 {
+			idx := (t.when >> (wheelBits * l)) & wheelMask
+			w.slots[l][idx].push(t)
+			return
+		}
+	}
+}
+
+// nextDue scans for the earliest pending deadline. Caller holds w.mu.
+// Returns 0, false when the wheel is empty. O(levels * 64), run only
+// when the driver picks its sleep duration.
+func (w *Wheel) nextDue() (uint64, bool) {
+	best, ok := uint64(0), false
+	for l := 0; l < levels; l++ {
+		for i := 0; i < wheelSize; i++ {
+			s := &w.slots[l][i]
+			for t := s.head.next; t != &s.head; t = t.next {
+				if !ok || t.when < best {
+					best, ok = t.when, true
+				}
+			}
+		}
+	}
+	return best, ok
+}
+
+// run is the driver loop: sleep to the earliest deadline, advance the
+// wheel, fire what expired.
+func (w *Wheel) run() {
+	defer w.wg.Done()
+	sleep := time.NewTimer(time.Hour)
+	defer sleep.Stop()
+	for {
+		w.mu.Lock()
+		due, ok := w.nextDue()
+		w.mu.Unlock()
+
+		var wait time.Duration
+		if !ok {
+			wait = time.Hour
+		} else {
+			wait = time.Duration(due)*w.tick - time.Since(w.start)
+			if wait < 0 {
+				wait = 0
+			}
+		}
+		if !sleep.Stop() {
+			select {
+			case <-sleep.C:
+			default:
+			}
+		}
+		sleep.Reset(wait)
+
+		select {
+		case <-w.done:
+			return
+		case <-w.wake:
+		case <-sleep.C:
+		}
+		w.advance(w.now())
+	}
+}
+
+// advance processes every tick in (w.cur, to], firing expired timers.
+func (w *Wheel) advance(to uint64) {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+
+	var fire *Timer // singly-linked batch via .next
+	w.mu.Lock()
+	for w.cur < to {
+		w.cur++
+		// Cascade: when a lower wheel wraps, re-place the slot of the
+		// next level whose span just elapsed.
+		for l := 1; l < levels; l++ {
+			shift := uint(wheelBits * l)
+			if w.cur&((uint64(1)<<shift)-1) != 0 {
+				break
+			}
+			idx := (w.cur >> shift) & wheelMask
+			s := &w.slots[l][idx]
+			for t := s.head.next; t != &s.head; {
+				nxt := t.next
+				t.unlink()
+				w.place(t)
+				t = nxt
+			}
+		}
+		// Expire the level-0 slot for this tick.
+		s := &w.slots[0][w.cur&wheelMask]
+		for t := s.head.next; t != &s.head; {
+			nxt := t.next
+			t.unlink()
+			t.next = fire
+			fire = t
+			t = nxt
+		}
+	}
+	w.mu.Unlock()
+
+	for t := fire; t != nil; {
+		nxt := t.next
+		t.next = nil
+		if t.Fn != nil {
+			t.Fn()
+		}
+		t = nxt
+	}
+}
+
+// Shared process-wide wheel, refcounted so it exists only while at
+// least one engine is open.
+var (
+	sharedMu  sync.Mutex
+	sharedW   *Wheel
+	sharedRef int
+)
+
+// Acquire returns the shared wheel, starting it on first use.
+// Pair every Acquire with exactly one Release.
+func Acquire() *Wheel {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedRef == 0 {
+		sharedW = New(DefaultTick)
+	}
+	sharedRef++
+	return sharedW
+}
+
+// Release drops one reference to the shared wheel, stopping its driver
+// when the last user is gone.
+func Release(w *Wheel) {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if w != sharedW || sharedRef == 0 {
+		return
+	}
+	sharedRef--
+	if sharedRef == 0 {
+		sharedW.Stop()
+		sharedW = nil
+	}
+}

@@ -1,0 +1,198 @@
+package timingwheel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFiresOnce(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	ch := make(chan struct{})
+	tm := &Timer{Fn: func() { close(ch) }}
+	w.Schedule(tm, 5*time.Millisecond)
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer did not fire")
+	}
+}
+
+func TestNeverEarly(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	const d = 20 * time.Millisecond
+	start := time.Now()
+	var fired time.Duration
+	ch := make(chan struct{})
+	tm := &Timer{Fn: func() { fired = time.Since(start); close(ch) }}
+	w.Schedule(tm, d)
+	<-ch
+	// One tick of quantisation slack under the deadline is the contract.
+	if fired < d-time.Millisecond {
+		t.Errorf("fired after %v, scheduled for %v", fired, d)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	var fired atomic.Bool
+	tm := &Timer{Fn: func() { fired.Store(true) }}
+	w.Schedule(tm, 30*time.Millisecond)
+	if !w.Cancel(tm) {
+		t.Fatal("Cancel on a scheduled timer reported false")
+	}
+	if w.Cancel(tm) {
+		t.Error("second Cancel reported true")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestPeriodicReschedule(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	var n atomic.Int32
+	done := make(chan struct{})
+	var tm *Timer
+	tm = &Timer{Fn: func() {
+		if n.Add(1) == 5 {
+			close(done)
+			return
+		}
+		w.Schedule(tm, 2*time.Millisecond)
+	}}
+	w.Schedule(tm, 2*time.Millisecond)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("periodic timer fired %d/5 times", n.Load())
+	}
+}
+
+func TestStopWaitDrainsInFlight(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var after atomic.Bool
+	tm := &Timer{Fn: func() {
+		close(entered)
+		<-release
+		after.Store(true)
+	}}
+	w.Schedule(tm, time.Millisecond)
+	<-entered
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		close(release)
+	}()
+	w.StopWait(tm)
+	if !after.Load() {
+		t.Error("StopWait returned before the in-flight callback finished")
+	}
+}
+
+// TestHierarchyLongDelay schedules past the level-0 span (64 ticks) so
+// the deadline must survive at least one cascade.
+func TestHierarchyLongDelay(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	ch := make(chan struct{})
+	tm := &Timer{Fn: func() { close(ch) }}
+	w.Schedule(tm, 100*time.Millisecond) // > 64 ticks: lives in level 1 first
+	start := time.Now()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cascaded timer did not fire")
+	}
+	if e := time.Since(start); e < 99*time.Millisecond {
+		t.Errorf("fired after %v, scheduled for 100ms", e)
+	}
+}
+
+func TestManyTimersAllFire(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	const n = 200
+	var fired atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		tm := &Timer{Fn: func() { fired.Add(1); wg.Done() }}
+		w.Schedule(tm, time.Duration(1+i%90)*time.Millisecond)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("only %d/%d timers fired", fired.Load(), n)
+	}
+}
+
+func TestRescheduleMovesDeadline(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	ch := make(chan struct{})
+	tm := &Timer{Fn: func() { close(ch) }}
+	w.Schedule(tm, 500*time.Millisecond)
+	w.Schedule(tm, 5*time.Millisecond) // move earlier; must not fire twice
+	select {
+	case <-ch:
+	case <-time.After(2 * time.Second):
+		t.Fatal("moved timer did not fire at the earlier deadline")
+	}
+}
+
+func TestSharedAcquireRelease(t *testing.T) {
+	a := Acquire()
+	b := Acquire()
+	if a != b {
+		t.Error("Acquire returned distinct wheels")
+	}
+	ch := make(chan struct{})
+	tm := &Timer{Fn: func() { close(ch) }}
+	a.Schedule(tm, 2*time.Millisecond)
+	<-ch
+	Release(b)
+	Release(a)
+	sharedMu.Lock()
+	if sharedRef != 0 || sharedW != nil {
+		t.Errorf("shared wheel leaked: ref=%d", sharedRef)
+	}
+	sharedMu.Unlock()
+	// A fresh Acquire after full release starts a new wheel.
+	c := Acquire()
+	defer Release(c)
+	if c == nil {
+		t.Fatal("re-Acquire returned nil")
+	}
+}
+
+func TestConcurrentScheduleCancel(t *testing.T) {
+	w := New(time.Millisecond)
+	defer w.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tm := &Timer{Fn: func() {}}
+			for i := 0; i < 200; i++ {
+				w.Schedule(tm, time.Duration(1+i%70)*time.Millisecond)
+				if i%3 == 0 {
+					w.Cancel(tm)
+				}
+			}
+			w.StopWait(tm)
+		}()
+	}
+	wg.Wait()
+}

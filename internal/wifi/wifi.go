@@ -120,7 +120,22 @@ var ErrTruncated = errors.New("wifi: truncated frame")
 
 // Marshal serialises the frame including its FCS.
 func (f *Frame) Marshal() []byte {
-	out := make([]byte, headerLen+len(f.Payload)+fcsLen)
+	return f.AppendMarshal(nil)
+}
+
+// AppendMarshal serialises the frame including its FCS, appending to dst
+// (which may be nil, or a scratch buffer for an allocation-free marshal)
+// and returning the extended slice.
+func (f *Frame) AppendMarshal(dst []byte) []byte {
+	n := headerLen + len(f.Payload) + fcsLen
+	off := len(dst)
+	if cap(dst)-off >= n {
+		dst = dst[:off+n]
+		clear(dst[off:])
+	} else {
+		dst = append(dst, make([]byte, n)...)
+	}
+	out := dst[off:]
 	fc := uint16(f.Type&0x3) << 2
 	fc |= uint16(f.Subtype&0xf) << 4
 	if f.ToDS {
@@ -141,7 +156,7 @@ func (f *Frame) Marshal() []byte {
 	copy(out[headerLen:], f.Payload)
 	fcs := crc32.ChecksumIEEE(out[:headerLen+len(f.Payload)])
 	binary.LittleEndian.PutUint32(out[headerLen+len(f.Payload):], fcs)
-	return out
+	return dst
 }
 
 // Unmarshal parses a frame and verifies its FCS.

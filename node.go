@@ -204,7 +204,7 @@ func (n *Node) Stream(ctx context.Context, depth int) *Stream {
 // given testbed client ID at pos and observes it — the v2 form of the
 // package-level ObserveFrame helper.
 func (n *Node) ObserveTestbedFrame(ctx context.Context, clientID int, pos Point) (*Report, error) {
-	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, 1, []byte("uplink")), ofdm.QPSK)
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, 1, uplinkPayload), ofdm.QPSK)
 	if err != nil {
 		return nil, err
 	}
@@ -215,7 +215,7 @@ func (n *Node) ObserveTestbedFrame(ctx context.Context, clientID int, pos Point)
 // uplink frame — the per-item half of ObserveFrameBatch, usable with
 // both ObserveBatch and Stream.Submit.
 func TestbedBatchItem(c TestbedClient, seq uint16) (BatchItem, error) {
-	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, seq, []byte("uplink")), ofdm.QPSK)
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, seq, uplinkPayload), ofdm.QPSK)
 	if err != nil {
 		return BatchItem{}, err
 	}

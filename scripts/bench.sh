@@ -1,13 +1,17 @@
 #!/bin/sh
-# Run the headline benchmarks and write BENCH_PR5.json — the start of
-# the bench trajectory (one BENCH_PRn.json per PR, uploaded as a CI
-# artifact, so perf regressions show up as a diffable series).
+# Run the headline benchmarks and write BENCH_PR${PR}.json — one file
+# per PR, uploaded as a CI artifact, so perf regressions show up as a
+# diffable series. After writing, print a side-by-side delta against
+# the most recent previous BENCH_*.json in the repo root.
 #
 # Usage: scripts/bench.sh [output.json]
+#   PR=7 scripts/bench.sh          -> BENCH_PR7.json
+#   scripts/bench.sh custom.json   -> custom.json (PR still stamped)
 # Benchtime can be tuned via BENCHTIME (default 1s).
 set -eu
 
-out="${1:-BENCH_PR5.json}"
+pr="${PR:-6}"
+out="${1:-BENCH_PR${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -23,7 +27,23 @@ go test -run '^$' -benchmem -benchtime "$benchtime" \
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
 
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v go="$(go env GOVERSION)" '
+# Find the newest previous trajectory file (highest PR number below
+# ours) before the new file lands.
+prev=""
+for f in BENCH_PR*.json; do
+    [ -e "$f" ] || continue
+    [ "$f" = "$out" ] && continue
+    n="${f#BENCH_PR}"; n="${n%.json}"
+    case "$n" in *[!0-9]*) continue ;; esac
+    if [ "$n" -lt "$pr" ]; then
+        if [ -z "$prev" ]; then prev="$f"; else
+            pn="${prev#BENCH_PR}"; pn="${pn%.json}"
+            [ "$n" -gt "$pn" ] && prev="$f"
+        fi
+    fi
+done
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v go="$(go env GOVERSION)" -v pr="$pr" '
 BEGIN { n = 0 }
 /^pkg:/ { pkg = $2 }
 /^Benchmark/ {
@@ -42,7 +62,7 @@ BEGIN { n = 0 }
     results[n++] = line
 }
 END {
-    printf "{\n  \"pr\": 5,\n  \"date\": \"%s\", \"go\": \"%s\",\n  \"benchmarks\": [\n", date, go
+    printf "{\n  \"pr\": %s,\n  \"date\": \"%s\", \"go\": \"%s\",\n  \"benchmarks\": [\n", pr, date, go
     for (i = 0; i < n; i++) printf "%s%s\n", results[i], (i < n - 1 ? "," : "")
     print "  ]\n}"
 }
@@ -50,3 +70,36 @@ END {
 
 echo "wrote $out:"
 cat "$out"
+
+if [ -n "$prev" ]; then
+    echo
+    echo "delta vs $prev:"
+    awk -v prevfile="$prev" -v curfile="$out" '
+    function parse(file, dest,   line, name, ns, bytes, allocs) {
+        while ((getline line < file) > 0) {
+            if (line !~ /"name":/) continue
+            name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+            ns = line; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+            bytes = "-"; allocs = "-"
+            if (line ~ /"bytes_per_op":/) { bytes = line; sub(/.*"bytes_per_op": /, "", bytes); sub(/[,}].*/, "", bytes) }
+            if (line ~ /"allocs_per_op":/) { allocs = line; sub(/.*"allocs_per_op": /, "", allocs); sub(/[,}].*/, "", allocs) }
+            dest[name] = ns "|" bytes "|" allocs
+        }
+        close(file)
+    }
+    BEGIN {
+        parse(prevfile, old); parse(curfile, cur)
+        printf "%-30s %14s %14s %9s %12s %12s %10s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "old B/op", "new B/op", "allocs"
+        for (name in cur) {
+            split(cur[name], c, "|")
+            if (name in old) {
+                split(old[name], o, "|")
+                ratio = (o[1] + 0 > 0) ? sprintf("%.2fx", o[1] / c[1]) : "-"
+                da = (o[3] != "-" && c[3] != "-") ? o[3] "->" c[3] : "-"
+                printf "%-30s %14s %14s %9s %12s %12s %10s\n", name, o[1], c[1], ratio, o[2], c[2], da
+            } else {
+                printf "%-30s %14s %14s %9s %12s %12s %10s\n", name, "-", c[1], "new", "-", c[2], c[3]
+            }
+        }
+    }'
+fi

@@ -164,6 +164,24 @@ type (
 	ReplayResult = journal.ReplayResult
 	// ReplayedDirective is one directive a replayed policy emitted.
 	ReplayedDirective = journal.ReplayedDirective
+	// BearingMode selects how Config.Bearing resolves the report bearing
+	// (grid scan vs grid-free root-MUSIC/ESPRIT; the pseudospectrum and
+	// every decision built on it stay grid-scanned in all modes).
+	BearingMode = core.BearingMode
+)
+
+// Bearing estimator modes for Config.Bearing, re-exported.
+const (
+	// BearingAuto (the default) uses root-MUSIC on uniform linear
+	// arrays and falls back to the grid scan elsewhere.
+	BearingAuto = core.BearingAuto
+	// BearingGrid forces the 1-degree manifold grid scan.
+	BearingGrid = core.BearingGrid
+	// BearingRootMUSIC resolves bearings by polynomial rooting (ULA only).
+	BearingRootMUSIC = core.BearingRootMUSIC
+	// BearingESPRIT resolves bearings by least-squares rotational
+	// invariance, with no spectral search at all (ULA only).
+	BearingESPRIT = core.BearingESPRIT
 )
 
 // Defense directive actions and threat states, re-exported.
@@ -251,11 +269,15 @@ func NewTestbedAPConfig(name string, pos Point, seed int64, cfg Config) *AP {
 	return n.AP()
 }
 
+// uplinkPayload is the canonical payload ObserveFrame and friends send;
+// hoisted so the steady-state packet path does not re-allocate it.
+var uplinkPayload = []byte("uplink")
+
 // ObserveFrame sends one QPSK uplink data frame from the given testbed
 // client position through the channel to the AP and returns the bearing
 // report — the one-call version of the full pipeline.
 func ObserveFrame(ap *AP, clientID int, pos Point) (*Report, error) {
-	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, 1, []byte("uplink")), ofdm.QPSK)
+	bb, err := testbed.FrameBaseband(testbed.UplinkFrame(clientID, 1, uplinkPayload), ofdm.QPSK)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +291,7 @@ func ObserveFrame(ap *AP, clientID int, pos Point) (*Report, error) {
 func ObserveFrameBatch(ap *AP, clients []TestbedClient) ([]BatchResult, error) {
 	items := make([]BatchItem, len(clients))
 	for i, c := range clients {
-		bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, 1, []byte("uplink")), ofdm.QPSK)
+		bb, err := testbed.FrameBaseband(testbed.UplinkFrame(c.ID, 1, uplinkPayload), ofdm.QPSK)
 		if err != nil {
 			return nil, err
 		}
