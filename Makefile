@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress bench bench-smoke fuzz lint
+.PHONY: build test race stress bench bench-smoke fuzz lint ops-smoke
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,12 @@ stress:
 	$(GO) test -race -count=3 -run Fusion ./internal/fusion ./internal/netproto
 	$(GO) test -race -count=3 -run Defense ./...
 	$(GO) test -race -count=3 -run 'Journal|Replay|Recovery' ./...
+	$(GO) test -race -count=3 -run 'Ops|Enroll|Status' ./...
 
 # Headline benchmarks -> BENCH_PR$(PR).json (see scripts/bench.sh; CI
 # uploads the file as an artifact and the script prints a side-by-side
 # delta against the previous PR's file). Override with `make bench PR=7`.
-PR ?= 6
+PR ?= 7
 bench:
 	PR=$(PR) sh scripts/bench.sh
 
@@ -33,9 +34,19 @@ bench:
 bench-smoke:
 	sh scripts/bench_smoke.sh
 
-# Time-boxed native fuzzing of the wire decoder.
+# Time-boxed native fuzzing of every hostile-bytes decoder: the wire
+# frames, the journal event codecs, and the engine snapshot codecs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/netproto
+	$(GO) test -run '^$$' -fuzz FuzzEventDecoders -fuzztime 15s ./internal/journal
+	$(GO) test -run '^$$' -fuzz FuzzFusionSnapshotRestore -fuzztime 15s ./internal/fusion
+	$(GO) test -run '^$$' -fuzz FuzzDefenseSnapshotRestore -fuzztime 15s ./internal/defense
+
+# End-to-end smoke of the operations surface: real binary, real ops
+# endpoint, /metrics + /status validated from outside, enrollment
+# runbook exercised (see scripts/ops_smoke.sh).
+ops-smoke:
+	sh scripts/ops_smoke.sh
 
 lint:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi

@@ -14,6 +14,9 @@ import (
 // regression here means a scratch buffer escaped the pool or a cache
 // stopped hitting.
 func TestPacketPathAllocs(t *testing.T) {
+	if raceDetectorEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; alloc counts are unstable")
+	}
 	ap := NewTestbedAP("alloc", AP1, 1)
 	client, err := Client(5)
 	if err != nil {

@@ -180,11 +180,13 @@ func runCalibrate(seed int64) error {
 // runTracks dials a running controller as a v2 observer session (an
 // empty Hello name: never registered as a bearing source) and prints
 // its live mobility traces — the wire face of the fusion engine's
-// per-client alpha-beta tracks. An empty mac queries all.
-func runTracks(addr, mac string) error {
+// per-client alpha-beta tracks. An empty mac queries all. token
+// authenticates the observer against a -require-auth controller (any
+// enrolled AP's token works for an observer session).
+func runTracks(addr, mac, token string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}})
+	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}, Token: token})
 	if err != nil {
 		return err
 	}
@@ -221,10 +223,11 @@ func runTracks(addr, mac string) error {
 // prints the defense engine's live threat states — the wire face of the
 // closed defense loop. A non-empty mac filters to one client; release
 // instead asks the controller for an operator release of that MAC.
-func runDefense(addr, mac string, release bool) error {
+// token authenticates against a -require-auth controller.
+func runDefense(addr, mac string, release bool, token string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}})
+	a, err := netproto.DialContext(ctx, addr, netproto.Hello{Pos: geom.Point{}, Token: token})
 	if err != nil {
 		return err
 	}
@@ -275,11 +278,14 @@ func runDefense(addr, mac string, release bool) error {
 // runServe runs the fence controller; a non-empty journalDir turns on
 // the flight recorder (the `record` command path): state is recovered
 // from the directory before listening, and every decision-relevant
-// event is journalled from then on.
-func runServe(addr, journalDir string) error {
+// event is journalled from then on. A non-empty opsAddr serves the
+// operations endpoint (/metrics, /status, /enroll); requireAuth makes
+// enrollment tokens mandatory for every new session.
+func runServe(addr, journalDir, opsAddr string, requireAuth bool) error {
 	_, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
 	c := netproto.NewController(fence)
+	c.RequireAuth = requireAuth
 	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
 	if journalDir != "" {
 		j, err := journal.Open(journalDir, journal.Options{Logf: c.Logf})
@@ -298,6 +304,19 @@ func runServe(addr, journalDir string) error {
 	}
 	fmt.Printf("fence controller listening on %s (boundary: building shell)\n", ln.Addr())
 	c.Serve(ln)
+	if opsAddr != "" {
+		oln, err := net.Listen("tcp", opsAddr)
+		if err != nil {
+			c.Close()
+			return err
+		}
+		c.ServeOps(oln)
+		auth := "optional"
+		if requireAuth {
+			auth = "required"
+		}
+		fmt.Printf("ops endpoint on http://%s (/metrics /status /enroll; auth %s)\n", oln.Addr(), auth)
+	}
 
 	sub := c.Subscribe(64)
 	sig := make(chan os.Signal, 1)

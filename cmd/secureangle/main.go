@@ -12,8 +12,10 @@
 //	secureangle spoof      — address spoofing prevention + RSS baseline comparison
 //	secureangle ablation   — estimator / calibration / covariance ablations
 //	secureangle calibrate  — the section 2.2 calibration procedure, narrated
-//	secureangle serve      — run the fence controller on a TCP port (-journal enables the flight recorder)
+//	secureangle serve      — run the fence controller on a TCP port (-journal enables the flight recorder, -ops the operations endpoint)
 //	secureangle record     — serve with the flight recorder on (journal defaults to ./secureangle-journal)
+//	secureangle status     — render a running controller's /status document (fusion, defense, journal, per-AP health)
+//	secureangle enroll     — mint, list, rotate, or -revoke per-AP enrollment tokens on a running controller
 //	secureangle tracks     — query a running controller's live mobility traces
 //	secureangle defense    — query a controller's threat states (or -release a MAC)
 //	secureangle demo       — end-to-end demo: APs + controller + defense loop over loopback TCP
@@ -46,6 +48,10 @@ func main() {
 	macFlag := fs.String("mac", "", "client MAC to query (tracks/defense; empty = all)")
 	releaseFlag := fs.Bool("release", false, "defense: request an operator release of -mac")
 	journalFlag := fs.String("journal", "", "journal directory (record/replay; serve: optional)")
+	opsAddr := fs.String("ops", "", "ops HTTP address: serve/record listen for /metrics, /status, /enroll (empty = off); status/enroll target (empty = "+defaultOpsAddr+")")
+	requireAuth := fs.Bool("require-auth", false, "serve/record: require enrollment tokens from agents")
+	tokenFlag := fs.String("token", "", "enrollment token presented by tracks/defense observer sessions")
+	revokeFlag := fs.Bool("revoke", false, "enroll: revoke the named AP's token instead of minting one")
 	qscore := fs.Float64("quarantine-score", 0, "replay: counterfactual DefensePolicy.QuarantineScore (0 = default)")
 	halfLife := fs.Duration("half-life", 0, "replay: counterfactual DefensePolicy.HalfLife (0 = default)")
 	tail := fs.Duration("tail", 0, "replay: extra simulated time after the last record")
@@ -88,17 +94,21 @@ func main() {
 	case "calibrate":
 		err = runCalibrate(*seed)
 	case "serve":
-		err = runServe(*listen, *journalFlag)
+		err = runServe(*listen, *journalFlag, *opsAddr, *requireAuth)
 	case "record":
 		dir := *journalFlag
 		if dir == "" {
 			dir = "secureangle-journal"
 		}
-		err = runServe(*listen, dir)
+		err = runServe(*listen, dir, *opsAddr, *requireAuth)
+	case "status":
+		err = runStatus(opsTarget(*opsAddr))
+	case "enroll":
+		err = runEnroll(opsTarget(*opsAddr), fs.Arg(0), *revokeFlag)
 	case "tracks":
-		err = runTracks(*listen, *macFlag)
+		err = runTracks(*listen, *macFlag, *tokenFlag)
 	case "defense":
-		err = runDefense(*listen, *macFlag, *releaseFlag)
+		err = runDefense(*listen, *macFlag, *releaseFlag, *tokenFlag)
 	case "demo":
 		err = runDemo(*seed)
 	case "all":
@@ -140,12 +150,17 @@ services and demos:
               DefensePolicy (-quarantine-score, -half-life, -tail);
               otherwise run the offline pipeline on a SAIQ -file capture
   calibrate   narrate the section 2.2 phase-offset calibration
-  serve       run the AoA fusion controller on -listen (-journal dir turns on the flight recorder)
+  serve       run the AoA fusion controller on -listen (-journal dir turns on the
+              flight recorder; -ops addr serves /metrics, /status, /enroll;
+              -require-auth demands enrollment tokens)
   record      serve with the flight recorder on (-journal defaults to ./secureangle-journal)
-  tracks      query a running controller's live mobility traces (-mac filters)
-  defense     query a controller's defense threat states (-mac filters, -release frees a MAC)
+  status      render a running controller's /status (-ops targets its endpoint)
+  enroll      "enroll ap1" mints (or rotates) ap1's token on a running controller;
+              "enroll" alone lists enrollments; "enroll -revoke ap1" revokes
+  tracks      query a running controller's live mobility traces (-mac filters, -token authenticates)
+  defense     query a controller's defense threat states (-mac filters, -release frees a MAC, -token authenticates)
   demo        APs + controller + closed defense loop over loopback TCP
 
-flags: -seed N   -packets N   -listen addr   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release   -journal dir   -quarantine-score X   -half-life D   -tail D
+flags: -seed N   -packets N   -listen addr   -ops addr   -require-auth   -token T   -revoke   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release   -journal dir   -quarantine-score X   -half-life D   -tail D
 `)
 }

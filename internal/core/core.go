@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"secureangle/internal/antenna"
 	"secureangle/internal/cmat"
@@ -262,10 +263,12 @@ func (ap *AP) ObserveContext(ctx context.Context, tx geom.Point, baseband []comp
 	}
 	sc := ap.getScratch()
 	defer ap.putScratch(sc)
+	tRecv := time.Now()
 	streams, err := ap.FE.ReceiveArena(ap.Env, tx, baseband, sc.arena)
 	if err != nil {
 		return nil, ap.stageErr(StageReceive, err)
 	}
+	mReceiveSeconds.ObserveSince(tRecv)
 	if err := ctx.Err(); err != nil {
 		return nil, ap.stageErr(StageDispatch, err)
 	}
@@ -306,6 +309,8 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 // polynomial buffers — lives in sc; only the Report and the slices it
 // carries (spectrum values, signature) are allocated.
 func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, error) {
+	mPackets.Inc()
+	t0 := time.Now()
 	if ap.offsets == nil {
 		return nil, ap.stageErr(StageCalibrate, ErrNotCalibrated)
 	}
@@ -333,6 +338,8 @@ func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, 
 	if !ok {
 		return nil, ap.stageErr(StageAlign, errors.New("detection window out of range"))
 	}
+	mDetectSeconds.ObserveSince(t0)
+	tEst := time.Now()
 
 	r, err := music.CovarianceInto(&sc.cov, win)
 	if err != nil {
@@ -388,6 +395,9 @@ func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, 
 		Sources:    sources,
 		SNRdB:      snr,
 	}
+	mEstimateSeconds.ObserveSince(tEst)
+	mPacketSeconds.ObserveSince(t0)
+	mReports.Inc()
 	return rep, nil
 }
 

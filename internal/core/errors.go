@@ -89,6 +89,7 @@ func (e *PipelineError) Unwrap() error { return e.Err }
 
 // stageErr wraps err with this AP's identity and the failing stage.
 func (ap *AP) stageErr(stage string, err error) error {
+	countStageErr(stage)
 	return &PipelineError{Stage: stage, AP: ap.Name, Err: err}
 }
 

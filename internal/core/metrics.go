@@ -1,0 +1,52 @@
+package core
+
+import (
+	"secureangle/internal/ops"
+)
+
+// The pipeline's operational instruments, registered once on the
+// process-wide registry. Updates are atomic and allocation-free, so
+// they sit directly on the packet hot path without moving the pinned
+// alloc budget (see TestPacketPathAllocs at the repo root).
+var (
+	mPackets = ops.Default().Counter("secureangle_core_packets_total",
+		"Packets entering the estimation pipeline.")
+	mReports = ops.Default().Counter("secureangle_core_reports_total",
+		"Packets that produced a bearing report.")
+
+	mStageErrs = func() map[string]*ops.Counter {
+		m := make(map[string]*ops.Counter)
+		for _, st := range []string{
+			StageDispatch, StageReceive, StageCalibrate, StageDetect,
+			StageAlign, StageEstimate, StageSpoofCheck,
+		} {
+			m[st] = ops.Default().CounterL("secureangle_core_stage_errors_total",
+				"Pipeline failures by stage.", `stage="`+st+`"`)
+		}
+		return m
+	}()
+
+	mReceiveSeconds = ops.Default().HistogramL("secureangle_core_stage_seconds",
+		"Per-stage pipeline latency.", `stage="receive"`, ops.DurationBuckets())
+	mDetectSeconds = ops.Default().HistogramL("secureangle_core_stage_seconds",
+		"Per-stage pipeline latency.", `stage="detect"`, ops.DurationBuckets())
+	mEstimateSeconds = ops.Default().HistogramL("secureangle_core_stage_seconds",
+		"Per-stage pipeline latency.", `stage="estimate"`, ops.DurationBuckets())
+	mPacketSeconds = ops.Default().Histogram("secureangle_core_packet_seconds",
+		"End-to-end estimation latency per packet (detect + estimate).",
+		ops.DurationBuckets())
+
+	mScratchHits = ops.Default().Counter("secureangle_core_scratch_hits_total",
+		"Packet passes served by a pooled pipeline scratch.")
+	mScratchMisses = ops.Default().Counter("secureangle_core_scratch_misses_total",
+		"Packet passes that had to allocate a fresh pipeline scratch.")
+)
+
+// countStageErr records one pipeline failure for the stage. Unknown
+// stage names (none exist today) are dropped rather than allocating a
+// series on an error path.
+func countStageErr(stage string) {
+	if c, ok := mStageErrs[stage]; ok {
+		c.Inc()
+	}
+}

@@ -31,8 +31,10 @@ type pipeScratch struct {
 
 func (ap *AP) getScratch() *pipeScratch {
 	if sc, ok := ap.scratch.Get().(*pipeScratch); ok {
+		mScratchHits.Inc()
 		return sc
 	}
+	mScratchMisses.Inc()
 	n := ap.FE.Array.N()
 	return &pipeScratch{
 		// The arena grows to fit the first packet and stays there; these

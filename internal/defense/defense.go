@@ -719,6 +719,28 @@ func (e *Engine) Quarantined() []ClientThreat {
 	return out
 }
 
+// StateCounts reports how many tracked clients sit in each threat
+// state right now — the live gauge behind the ops surface's
+// secureangle_defense_clients series (a quarantine storm shows up as
+// the StateQuarantine count spiking).
+func (e *Engine) StateCounts() (allow, monitor, quarantine int) {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		for _, th := range s.threats {
+			switch th.state {
+			case StateQuarantine:
+				quarantine++
+			case StateMonitor:
+				monitor++
+			default:
+				allow++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return allow, monitor, quarantine
+}
+
 // ClientCount reports tracked threat entries across all shards.
 func (e *Engine) ClientCount() int {
 	n := 0

@@ -572,6 +572,31 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// ShardStats returns per-shard counter snapshots in shard order, plus
+// each shard's live client and pending counts folded into the same
+// struct positions the aggregate Stats uses. The ops surface exposes
+// these as `shard="i"`-labelled series so a hot shard (one MAC range
+// absorbing a spoof storm) is visible before it saturates.
+func (e *Engine) ShardStats() []Stats {
+	out := make([]Stats, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		c := s.ctr
+		s.mu.Unlock()
+		out[i] = Stats{
+			Ingested:       c.ingested,
+			Decisions:      c.decisions,
+			DupDropped:     c.dupDropped,
+			PendingExpired: c.pendingExpired,
+			PendingEvicted: c.pendingEvicted,
+			ClientsEvicted: c.clientsEvicted,
+			ForcedTimeouts: c.forced,
+			FuseErrors:     c.fuseErrors,
+		}
+	}
+	return out
+}
+
 // ClientCount reports live tracked clients across all shards — the
 // bounded-memory invariant is ClientCount <= MaxClients + slack and
 // PendingCount <= ClientCount * MaxPendingPerClient, regardless of how

@@ -1,0 +1,89 @@
+package fusion
+
+// Native fuzzing of the snapshot codec: crash recovery hands Restore
+// whatever bytes survived on disk, so it must never panic and never
+// over-allocate on a hostile header, and any snapshot it accepts must
+// restore to an engine whose own Save is a stable canonical form.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+	"secureangle/internal/wifi"
+)
+
+func fuzzFusionEngine(t *testing.T) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Fence:        &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)},
+		APCount:      func() int { return 2 },
+		TickInterval: time.Hour, // keep the sweeper out of the fuzz loop
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func FuzzFusionSnapshotRestore(f *testing.F) {
+	// Seed with real Save output: empty, and with fused per-client state.
+	seedEngine, err := New(Config{
+		Fence:        &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)},
+		APCount:      func() int { return 2 },
+		TickInterval: time.Hour,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer seedEngine.Close()
+	var empty bytes.Buffer
+	if err := seedEngine.Save(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	ap1, ap2 := geom.Point{X: 0, Y: 0}, geom.Point{X: 24, Y: 0}
+	target := geom.Point{X: 12, Y: 8}
+	for seq := uint64(1); seq <= 3; seq++ {
+		mac := wifi.Addr{2, 0, 0, 0, 0, byte(seq)}
+		seedEngine.Ingest(Bearing{AP: "ap1", APPos: ap1, MAC: mac, Seq: seq, Deg: geom.BearingDeg(ap1, target)})
+		seedEngine.Ingest(Bearing{AP: "ap2", APPos: ap2, MAC: mac, Seq: seq, Deg: geom.BearingDeg(ap2, target)})
+	}
+	var populated bytes.Buffer
+	if err := seedEngine.Save(&populated); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(populated.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("SAFS"))
+	f.Add([]byte("SAFS\x00\x01\xff\xff\xff\xff")) // huge claimed count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := fuzzFusionEngine(t)
+		if err := e.Restore(bytes.NewReader(data)); err != nil {
+			return // rejected snapshots are the contract for bad bytes
+		}
+		// An accepted snapshot must leave the engine serviceable: its
+		// own Save must succeed, and that canonical snapshot must
+		// restore and re-save to identical bytes (Save sorts by MAC, so
+		// equal state means equal bytes).
+		var canon bytes.Buffer
+		if err := e.Save(&canon); err != nil {
+			t.Fatalf("restored engine cannot Save: %v", err)
+		}
+		e2 := fuzzFusionEngine(t)
+		if err := e2.Restore(bytes.NewReader(canon.Bytes())); err != nil {
+			t.Fatalf("canonical snapshot rejected: %v\n%x", err, canon.Bytes())
+		}
+		var canon2 bytes.Buffer
+		if err := e2.Save(&canon2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canon.Bytes(), canon2.Bytes()) {
+			t.Fatalf("canonical snapshot is not a fixed point:\n%x\nvs\n%x", canon.Bytes(), canon2.Bytes())
+		}
+	})
+}

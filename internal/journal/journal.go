@@ -189,6 +189,14 @@ type Journal struct {
 	dirty   bool   // bytes written since the last fsync
 	closed  bool
 
+	// Operational counters, mutated under mu (the append path already
+	// holds it) and surfaced by Stats for the ops endpoint.
+	appends       uint64
+	appendedBytes uint64
+	fsyncs        uint64
+	rotations     uint64
+	snapTime      time.Time // when the latest snapshot completed (zero: none this run)
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
@@ -303,6 +311,8 @@ func (j *Journal) Append(rec Record) (uint64, error) {
 	binary.BigEndian.PutUint32(j.buf[start+4:start+8], crc32.Checksum(frame, crcTable))
 	j.nextLSN++
 	j.segSize += int64(recHdrSize + frameLen)
+	j.appends++
+	j.appendedBytes += uint64(recHdrSize + frameLen)
 	j.dirty = true
 	if j.opts.Fsync == FsyncAlways {
 		if err := j.syncLocked(); err != nil {
@@ -370,8 +380,51 @@ func (j *Journal) syncLocked() error {
 			return err
 		}
 		j.dirty = false
+		j.fsyncs++
 	}
 	return nil
+}
+
+// Stats is an operational snapshot of the journal: append/fsync
+// throughput counters (this process lifetime), the durable write
+// position, and on-disk segment/snapshot state.
+type Stats struct {
+	// Appends counts records appended; AppendedBytes their framed size.
+	Appends, AppendedBytes uint64
+	// Fsyncs counts actual fdatasync calls (policy-coalesced).
+	Fsyncs uint64
+	// Rotations counts sealed segments.
+	Rotations uint64
+	// LSN is the last assigned record number; SnapshotLSN the position
+	// the newest snapshot covers.
+	LSN, SnapshotLSN uint64
+	// SnapshotAt is when the newest snapshot completed (zero if none
+	// was taken in this process lifetime).
+	SnapshotAt time.Time
+	// Segments counts WAL segment files currently on disk.
+	Segments int
+}
+
+// Stats returns the journal's operational snapshot. Counter fields are
+// consistent with each other; the segment count is read from the
+// directory and may lag a concurrent rotation by one.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	st := Stats{
+		Appends:       j.appends,
+		AppendedBytes: j.appendedBytes,
+		Fsyncs:        j.fsyncs,
+		Rotations:     j.rotations,
+		LSN:           j.nextLSN - 1,
+		SnapshotLSN:   j.snapLSN,
+		SnapshotAt:    j.snapTime,
+	}
+	dir := j.dir
+	j.mu.Unlock()
+	if segs, err := listSegments(dir); err == nil {
+		st.Segments = len(segs)
+	}
+	return st
 }
 
 // Sync makes every appended record durable now, regardless of policy.
@@ -395,6 +448,7 @@ func (j *Journal) rotateLocked() error {
 			return err
 		}
 		j.f = nil
+		j.rotations++
 	}
 	j.trimLocked()
 	return nil
@@ -507,6 +561,7 @@ func (j *Journal) SaveSnapshot(write func(io.Writer) error) (uint64, error) {
 	if lsn > j.snapLSN {
 		j.snapLSN = lsn
 	}
+	j.snapTime = j.opts.Clock()
 	j.trimSnapshotsLocked()
 	j.trimLocked()
 	j.mu.Unlock()

@@ -127,6 +127,7 @@ type apConn struct {
 	version uint16
 	stop    chan struct{}
 	conn    net.Conn
+	health  *apHealth
 }
 
 // peers tracks the agents to notify on broadcasts. (The seed kept the

@@ -2,10 +2,12 @@ package netproto
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -75,6 +77,13 @@ type Controller struct {
 	// take the package defense defaults). Set it before traffic arrives,
 	// like the fusion tuning fields.
 	DefensePolicy defense.Policy
+	// RequireAuth closes the TCP port to everything but enrolled APs:
+	// sessions whose Hello carries no valid enrollment token (any
+	// v1–v3 agent, or a v4 agent that skipped `secureangle enroll`)
+	// are rejected at the handshake. Off by default — the pre-v4 open
+	// behaviour — so existing fleets keep connecting; a presented
+	// token must validate even when auth is optional.
+	RequireAuth bool
 	// SnapshotInterval is the journal's snapshot cadence when WithJournal
 	// attached one (default DefaultSnapshotInterval; negative disables
 	// snapshots entirely — recovery then replays the whole WAL). Between
@@ -89,6 +98,17 @@ type Controller struct {
 	nextSub  int
 	closed   bool
 	quar     *peers
+	// tokens maps enrolled AP names to token digests (see enroll.go);
+	// dirSent remembers when each MAC's latest directive was broadcast
+	// so an ack can be turned into a latency sample (bounded, see
+	// noteDirectiveSent). Both under mu.
+	tokens  map[string][sha256.Size]byte
+	dirSent map[wifi.Addr]time.Time
+
+	// opsSrv is the /metrics + /status HTTP server when ServeOps was
+	// called (nil otherwise), shut down by Close.
+	opsSrv *http.Server
+	opsLn  net.Listener
 
 	engineOnce  sync.Once
 	engine      atomic.Pointer[fusion.Engine]
@@ -483,6 +503,12 @@ func (c *Controller) Close() {
 	if c.ln != nil {
 		c.ln.Close()
 	}
+	c.mu.Lock()
+	opsSrv := c.opsSrv
+	c.mu.Unlock()
+	if opsSrv != nil {
+		opsSrv.Close()
+	}
 	c.wg.Wait()
 	close(c.decision)
 	c.mu.Lock()
@@ -525,6 +551,7 @@ func (c *Controller) handle(conn net.Conn) {
 	var ver uint16 = ProtoV1
 	var apName string
 	var bcast chan []byte
+	var health *apHealth
 	for {
 		if t := c.readTimeout(); t > 0 {
 			conn.SetReadDeadline(time.Now().Add(t))
@@ -541,6 +568,10 @@ func (c *Controller) handle(conn net.Conn) {
 			c.logf("controller: decode: %v", err)
 			return
 		}
+		if health != nil {
+			health.lastSeen.Store(time.Now().UnixNano())
+			health.frames.Add(1)
+		}
 		switch m := msg.(type) {
 		case Hello:
 			if helloed {
@@ -549,6 +580,20 @@ func (c *Controller) handle(conn net.Conn) {
 			}
 			helloed = true
 			ver = NegotiateVersion(m.Version)
+			if ok, reason := c.authorize(m); !ok {
+				// Reject before the AP registers as a bearing source. A
+				// v4 peer gets the typed rejection; older peers (which
+				// can only be here with RequireAuth on) just see the
+				// connection drop — their protocol has no room for more.
+				if ver >= ProtoV4 {
+					if err := WriteMessage(conn, MarshalWelcome(Welcome{Version: ver, Status: WelcomeAuthRejected})); err != nil {
+						c.logf("controller: auth reject to %q: %v", m.Name, err)
+					}
+				}
+				mAuthRejects.Inc()
+				c.logf("controller: session %q rejected: %s", m.Name, reason)
+				return
+			}
 			apName = m.Name
 			if m.Name == "" {
 				// Observer session: receives broadcasts and may query,
@@ -567,18 +612,26 @@ func (c *Controller) handle(conn net.Conn) {
 				// Written directly — the broadcaster is not running yet,
 				// so this goroutine still owns the write side and the
 				// Welcome is guaranteed to be the first controller frame
-				// the agent reads.
+				// the agent reads. (On v4+ sessions MarshalWelcome
+				// appends WelcomeOK.)
 				if err := WriteMessage(conn, MarshalWelcome(Welcome{Version: ver})); err != nil {
 					c.logf("controller: welcome to %q: %v", m.Name, err)
 					return
 				}
 			}
-			bcast = c.startBroadcaster(apName, conn, done, ver)
+			health = newAPHealth(apName, m.Name == "", ver)
+			bcast = c.startBroadcaster(apName, conn, done, ver, health)
 		case Ping:
 			// Keepalive only: reading it already pushed the deadline.
 		case Report:
+			if health != nil {
+				health.reports.Add(1)
+			}
 			c.ingest(m)
 		case ReportBatch:
+			if health != nil {
+				health.reports.Add(uint64(len(m)))
+			}
 			for _, r := range m {
 				c.ingest(r)
 			}
@@ -616,12 +669,15 @@ func (c *Controller) handle(conn net.Conn) {
 // the stale broadcaster is stopped, its queue abandoned, and its
 // connection closed so the old handler reaps itself — no handoff window
 // in which broadcasts race between the two connections.
-func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}, version uint16) chan []byte {
+func (c *Controller) startBroadcaster(name string, conn net.Conn, done chan struct{}, version uint16, health *apHealth) chan []byte {
 	ch := make(chan []byte, 16)
 	stop := make(chan struct{})
+	if health != nil {
+		health.queue = func() int { return len(ch) }
+	}
 	c.quar.mu.Lock()
 	prev, hadPrev := c.quar.conns[name]
-	c.quar.conns[name] = apConn{ch: ch, version: version, stop: stop, conn: conn}
+	c.quar.conns[name] = apConn{ch: ch, version: version, stop: stop, conn: conn, health: health}
 	c.quar.mu.Unlock()
 	if hadPrev {
 		c.logf("controller: AP %q reconnected, replacing stale connection", name)
@@ -832,6 +888,9 @@ func handshake(ctx context.Context, conn net.Conn, hello Hello) (*Agent, error) 
 		w, ok := msg.(Welcome)
 		if !ok {
 			return nil, fmt.Errorf("netproto: expected Welcome, got %T", msg)
+		}
+		if w.Status != WelcomeOK {
+			return nil, ErrAuthRejected
 		}
 		a.version = NegotiateVersion(w.Version)
 	}

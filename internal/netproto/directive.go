@@ -127,6 +127,7 @@ func (c *Controller) emitDirective(d defense.Directive) {
 		return
 	}
 	c.journalAppend(journal.RecDirective, journal.EncodeDirective(d))
+	c.noteDirectiveSent(d.MAC)
 	frame := MarshalDirective(Directive{Directive: d})
 	entering := d.To == defense.StateQuarantine && d.From != defense.StateQuarantine
 	var legacy Alert
@@ -165,6 +166,7 @@ func (c *Controller) emitDirective(d defense.Directive) {
 func (c *Controller) handleDirective(d Directive, apName string) {
 	if d.Ack {
 		c.directiveAcks.Add(1)
+		c.noteDirectiveAck(d.MAC, apName)
 		c.journalAppend(journal.RecAck, journal.EncodeAck(journal.AckEvent{AP: apName, Directive: d.Directive}))
 		c.logf("controller: %s applied %s for %s (bearing %.1f)", apName, d.Action, d.MAC, d.BearingDeg)
 		return

@@ -1,0 +1,216 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"secureangle/internal/geom"
+	"secureangle/internal/locate"
+)
+
+func startAuthController(t *testing.T, require bool) (*Controller, string) {
+	t.Helper()
+	fence := &locate.Fence{Boundary: geom.Rect(0, 0, 24, 16)}
+	c := NewController(fence)
+	c.RequireAuth = require
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Serve(ln)
+	return c, ln.Addr().String()
+}
+
+func dialToken(t *testing.T, addr, name, token string) (*Agent, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return DialContext(ctx, addr, Hello{Name: name, Pos: geom.Point{X: 1, Y: 1}, Token: token})
+}
+
+// TestEnrollTokenAccepted: the mint → Hello → Welcome round trip. A v4
+// agent presenting its minted token connects and its reports are
+// ingested, not dropped.
+func TestEnrollTokenAccepted(t *testing.T) {
+	c, addr := startAuthController(t, true)
+	defer c.Close()
+	token, err := c.EnrollAP("ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dialToken(t, addr, "ap1", token)
+	if err != nil {
+		t.Fatalf("enrolled agent rejected: %v", err)
+	}
+	defer a.Close()
+	if a.Version() != ProtoV4 {
+		t.Fatalf("negotiated v%d, want v4", a.Version())
+	}
+}
+
+// TestEnrollBadTokenRejected: the acceptance criterion — a v4 agent
+// with a bad or revoked token gets the typed rejection.
+func TestEnrollBadTokenRejected(t *testing.T) {
+	c, addr := startAuthController(t, true)
+	defer c.Close()
+	token, err := c.EnrollAP("ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dialToken(t, addr, "ap1", "deadbeef"); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("bad token: err = %v, want ErrAuthRejected", err)
+	}
+	if _, err := dialToken(t, addr, "ap2", token); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("unenrolled name with someone else's token: err = %v, want ErrAuthRejected", err)
+	}
+	if !c.RevokeAP("ap1") {
+		t.Fatal("RevokeAP(ap1) = false")
+	}
+	if _, err := dialToken(t, addr, "ap1", token); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("revoked token: err = %v, want ErrAuthRejected", err)
+	}
+	if c.RevokeAP("ap1") {
+		t.Fatal("second RevokeAP(ap1) = true")
+	}
+}
+
+// TestEnrollRotation: re-enrolling a name rotates its token; the old
+// token stops validating immediately.
+func TestEnrollRotation(t *testing.T) {
+	c, addr := startAuthController(t, true)
+	defer c.Close()
+	old, err := c.EnrollAP("ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c.EnrollAP("ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old == fresh {
+		t.Fatal("rotation returned the same token")
+	}
+	if _, err := dialToken(t, addr, "ap1", old); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("stale token: err = %v, want ErrAuthRejected", err)
+	}
+	a, err := dialToken(t, addr, "ap1", fresh)
+	if err != nil {
+		t.Fatalf("rotated token rejected: %v", err)
+	}
+	a.Close()
+	if got := c.EnrolledAPs(); len(got) != 1 || got[0] != "ap1" {
+		t.Fatalf("EnrolledAPs = %v", got)
+	}
+}
+
+// TestEnrollLegacyOptionalAuth: the backward-compat criterion — v1–v3
+// agents still connect when auth is optional, and a v4 agent may omit
+// the token.
+func TestEnrollLegacyOptionalAuth(t *testing.T) {
+	c, addr := startAuthController(t, false)
+	defer c.Close()
+	v1, err := Dial(addr, Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v2, err := DialContext(ctx, addr, Hello{Name: "ap2", Pos: geom.Point{X: 2, Y: 1}, Version: ProtoV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()
+	if v2.Version() != ProtoV2 {
+		t.Fatalf("v2 agent negotiated v%d", v2.Version())
+	}
+	v4, err := dialToken(t, addr, "ap3", "")
+	if err != nil {
+		t.Fatalf("tokenless v4 agent rejected with auth optional: %v", err)
+	}
+	defer v4.Close()
+	// A presented token must still validate, even when auth is optional.
+	if _, err := dialToken(t, addr, "ap4", "bogus"); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("bogus token with auth optional: err = %v, want ErrAuthRejected", err)
+	}
+}
+
+// TestEnrollRequireAuthClosesLegacy: with RequireAuth on, a tokenless
+// v2 session is refused. The v2 protocol has no room for a typed
+// rejection, so the agent observes the handshake failing.
+func TestEnrollRequireAuthClosesLegacy(t *testing.T) {
+	c, addr := startAuthController(t, true)
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := DialContext(ctx, addr, Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 1}, Version: ProtoV2}); err == nil {
+		t.Fatal("tokenless v2 agent connected to a RequireAuth controller")
+	}
+}
+
+// TestEnrollObserver: observers have no name to look a token up
+// under, so with auth required they present any enrolled AP's token.
+func TestEnrollObserver(t *testing.T) {
+	c, addr := startAuthController(t, true)
+	defer c.Close()
+	token, err := c.EnrollAP("ap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dialToken(t, addr, "", "nope"); !errors.Is(err, ErrAuthRejected) {
+		t.Fatalf("observer with bad token: err = %v, want ErrAuthRejected", err)
+	}
+	obs, err := dialToken(t, addr, "", token)
+	if err != nil {
+		t.Fatalf("observer with enrolled token rejected: %v", err)
+	}
+	obs.Close()
+}
+
+// TestEnrollV4WireForms pins the new encodings: the v4 Hello appends
+// version + token to the v1 body, the v4 Welcome appends a status
+// byte, and both survive Unmarshal.
+func TestEnrollV4WireForms(t *testing.T) {
+	h := Hello{Name: "ap1", Pos: geom.Point{X: 3, Y: 4}, Version: ProtoV4, Token: "tok"}
+	b := MarshalHello(h)
+	if want := 1 + 2 + 3 + 16 + 2 + 2 + 3; len(b) != want {
+		t.Fatalf("v4 hello is %d bytes, want %d", len(b), want)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Hello) != h {
+		t.Fatalf("hello round trip = %+v, want %+v", got, h)
+	}
+	w := Welcome{Version: ProtoV4, Status: WelcomeAuthRejected}
+	wb := MarshalWelcome(w)
+	if len(wb) != 4 {
+		t.Fatalf("v4 welcome is %d bytes, want 4", len(wb))
+	}
+	wgot, err := Unmarshal(wb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wgot.(Welcome) != w {
+		t.Fatalf("welcome round trip = %+v, want %+v", wgot, w)
+	}
+	// The v1–v3 forms must be byte-identical to what they always were.
+	if got := MarshalWelcome(Welcome{Version: ProtoV2}); len(got) != 3 {
+		t.Fatalf("v2 welcome grew to %d bytes", len(got))
+	}
+	if got := MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 3, Y: 4}, Version: ProtoV3}); len(got) != 1+2+3+16+2 {
+		t.Fatalf("v3 hello grew to %d bytes", len(got))
+	}
+	// A status byte on a pre-v4 Welcome is malformed, as is trailing
+	// garbage on a pre-v4 Hello.
+	if _, err := Unmarshal([]byte{TypeWelcome, 0, 2, 1}); err == nil {
+		t.Fatal("4-byte v2 welcome decoded")
+	}
+	if _, err := Unmarshal(append(MarshalHello(Hello{Name: "x", Version: ProtoV2}), 0, 0)); err == nil {
+		t.Fatal("v2 hello with trailing bytes decoded")
+	}
+}

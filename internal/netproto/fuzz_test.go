@@ -35,6 +35,10 @@ func fuzzSeeds() [][]byte {
 		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}}),                   // v1 form
 		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}, Version: ProtoV2}), // versioned form
 		MarshalHello(Hello{Name: "", Pos: geom.Point{}, Version: ProtoV3}),              // observer
+		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}, Version: ProtoV4,
+			Token: "deadbeefdeadbeefdeadbeefdeadbeef"}), // enrolled v4 form
+		MarshalHello(Hello{Name: "ap1", Pos: geom.Point{X: 1, Y: 2}, Version: ProtoV4}), // v4, tokenless
+		MarshalWelcome(Welcome{Version: ProtoV4, Status: WelcomeAuthRejected}),          // v4 rejection
 		MarshalReport(Report{APName: "ap1", MAC: mac, BearingDeg: 42.5, SeqNo: 7}),      // sig-less report
 		MarshalReportBatch([]Report{{APName: "a", MAC: mac, SeqNo: 1}, {APName: "b"}}),  // batch
 		MarshalWelcome(Welcome{Version: ProtoV2}),                                       //

@@ -55,12 +55,20 @@ const (
 // Queries; quarantine entries reach them as legacy Alert broadcasts.
 // Agents and controllers negotiate down, so older agents talk to a
 // newer controller unchanged.
+// v4 is the enrollment extension: the Hello gains a bearer-token
+// string (minted by the controller at enroll time) and the Welcome
+// gains a status byte so an authentication rejection is a typed
+// outcome rather than a silent hangup. Sessions negotiated below v4
+// keep the exact v1–v3 wire forms — no token, 3-byte Welcome — and
+// whether the controller accepts them is its RequireAuth knob, not a
+// wire-format question.
 const (
 	ProtoV1 = 1
 	ProtoV2 = 2
 	ProtoV3 = 3
+	ProtoV4 = 4
 	// ProtoVersion is the highest version this build speaks.
-	ProtoVersion = ProtoV3
+	ProtoVersion = ProtoV4
 )
 
 // NegotiateVersion returns the version a ProtoVersion-speaking peer
@@ -93,13 +101,32 @@ type Hello struct {
 	Pos  geom.Point
 	// Version is the advertised protocol version (0 means v1).
 	Version uint16
+	// Token is the enrollment bearer token (v4+; empty for earlier
+	// versions and for agents connecting to an auth-optional
+	// controller).
+	Token string
 }
+
+// Welcome status codes (v4+).
+const (
+	// WelcomeOK: the session is accepted.
+	WelcomeOK = 0
+	// WelcomeAuthRejected: the Hello's token was missing, unknown, or
+	// revoked and the controller requires authentication. The
+	// controller closes the connection after sending it.
+	WelcomeAuthRejected = 1
+)
 
 // Welcome is the controller's reply to a v2 (or later) Hello, carrying
 // the negotiated protocol version for the connection. v1 agents never
-// receive one — the v1 exchange had no controller reply.
+// receive one — the v1 exchange had no controller reply. On v4+
+// sessions a status byte follows the version (see WelcomeOK and
+// WelcomeAuthRejected); earlier sessions keep the 3-byte form.
 type Welcome struct {
 	Version uint16
+	// Status is WelcomeOK or WelcomeAuthRejected (v4+; earlier wire
+	// forms have no status and decode as WelcomeOK).
+	Status uint8
 }
 
 // Ping is an agent keepalive: the controller drops connections that
@@ -159,13 +186,20 @@ func MarshalHello(h Hello) []byte {
 	if h.Version >= ProtoV2 {
 		b = binary.BigEndian.AppendUint16(b, h.Version)
 	}
+	if h.Version >= ProtoV4 {
+		b = writeString(b, h.Token)
+	}
 	return b
 }
 
 // MarshalWelcome encodes a Welcome message body.
 func MarshalWelcome(w Welcome) []byte {
 	b := []byte{TypeWelcome}
-	return binary.BigEndian.AppendUint16(b, w.Version)
+	b = binary.BigEndian.AppendUint16(b, w.Version)
+	if w.Version >= ProtoV4 {
+		b = append(b, w.Status)
+	}
+	return b
 }
 
 // MarshalReport encodes a Report message body.
@@ -249,11 +283,26 @@ func Unmarshal(b []byte) (any, error) {
 			return nil, err
 		}
 		var version uint16
-		switch len(rest) {
-		case 16:
+		var token string
+		switch {
+		case len(rest) == 16:
 			version = ProtoV1
-		case 18:
+		case len(rest) == 18:
 			version = binary.BigEndian.Uint16(rest[16:18])
+		case len(rest) > 18:
+			// Only v4+ Hellos carry bytes past the version field (the
+			// enrollment token); trailing garbage on a v1–v3 Hello is a
+			// malformed frame.
+			version = binary.BigEndian.Uint16(rest[16:18])
+			if version < ProtoV4 {
+				return nil, ErrBadMessage
+			}
+			var tail []byte
+			var err error
+			token, tail, err = readString(rest[18:])
+			if err != nil || len(tail) != 0 {
+				return nil, ErrBadMessage
+			}
 		default:
 			return nil, ErrBadMessage
 		}
@@ -264,12 +313,23 @@ func Unmarshal(b []byte) (any, error) {
 				Y: math.Float64frombits(binary.BigEndian.Uint64(rest[8:16])),
 			},
 			Version: version,
+			Token:   token,
 		}, nil
 	case TypeWelcome:
-		if len(b) != 3 {
+		switch len(b) {
+		case 3:
+			return Welcome{Version: binary.BigEndian.Uint16(b[1:3])}, nil
+		case 4:
+			v := binary.BigEndian.Uint16(b[1:3])
+			if v < ProtoV4 {
+				// v1–v3 Welcomes are exactly 3 bytes; a status byte on
+				// an older version is malformed.
+				return nil, ErrBadMessage
+			}
+			return Welcome{Version: v, Status: b[3]}, nil
+		default:
 			return nil, ErrBadMessage
 		}
-		return Welcome{Version: binary.BigEndian.Uint16(b[1:3])}, nil
 	case TypePing:
 		if len(b) != 1 {
 			return nil, ErrBadMessage

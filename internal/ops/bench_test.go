@@ -1,0 +1,44 @@
+package ops
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsCounter is the headline number for the metrics core:
+// one counter increment plus one histogram observation, the exact
+// footprint instrumentation adds to a hot-path event. Tracked in the
+// BENCH_PR*.json trajectory.
+func BenchmarkMetricsCounter(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench counter")
+	h := r.Histogram("bench_seconds", "bench histogram", DurationBuckets())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		h.Observe(0.0003)
+	}
+}
+
+func BenchmarkMetricsCounterParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "bench counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkMetricsObserveSince(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("bench_seconds", "bench histogram", DurationBuckets())
+	t0 := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(t0)
+	}
+}

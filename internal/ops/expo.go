@@ -1,0 +1,70 @@
+package ops
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per family, then
+// one sample line per series. Histograms expose cumulative _bucket
+// series plus _sum and _count, per the format. Families whose
+// collector has nothing to emit yet still get their header lines, so
+// a dashboard can discover the full catalogue from a fresh process.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.famsSorted() {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		f.samples(func(s Sample) {
+			switch s.Kind {
+			case KindCounter, KindGauge:
+				fmt.Fprintf(bw, "%s%s %s\n", s.Name, renderLabels(s.Labels), fmtFloat(s.Value))
+			case KindHistogram:
+				cum := uint64(0)
+				for i, c := range s.Buckets {
+					cum += c
+					le := "+Inf"
+					if i < len(s.Bounds) {
+						le = fmtFloat(s.Bounds[i])
+					}
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", s.Name, renderLabels(joinLabels(s.Labels, `le="`+le+`"`)), cum)
+				}
+				fmt.Fprintf(bw, "%s_sum%s %s\n", s.Name, renderLabels(s.Labels), fmtFloat(s.Sum))
+				fmt.Fprintf(bw, "%s_count%s %d\n", s.Name, renderLabels(s.Labels), s.Count)
+			}
+		})
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func renderLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,12 @@
+package ops
+
+import "net/http"
+
+// Handler serves the registry in Prometheus text exposition format.
+// Mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,392 @@
+// Package ops is the fleet operations metrics core: a registry of
+// atomic counters, gauges, and fixed-bucket histograms cheap enough to
+// sit on the data-plane hot paths. The design splits the cost the way
+// the hot paths need it split:
+//
+//   - Registration (Counter/Gauge/Histogram lookups by name) takes
+//     locks and may allocate. It happens once, at package init or
+//     engine construction, never per packet.
+//   - Updates (Inc/Add/Set/Observe) are lock-free atomic operations on
+//     the instrument pointer the caller kept. Zero allocations, no map
+//     lookups, safe from any goroutine.
+//   - Collection (WritePrometheus, Walk) snapshots under read locks at
+//     scrape cadence and may allocate freely.
+//
+// Instruments are identified by a Prometheus-style family name plus an
+// optional pre-rendered label string (`shard="3"`). Registering the
+// same (name, labels) pair twice returns the same instrument, so
+// package-level instruments and repeated engine construction in tests
+// compose without double-registration panics.
+//
+// Scrape-time views over state that lives elsewhere (per-AP health,
+// per-shard engine counters, journal position) register as collectors:
+// a closure invoked at collection time that emits one sample per label
+// set. Re-registering a collector under the same name replaces it, so
+// the latest controller owns the family.
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the exposition type of a metric family.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution.
+	KindHistogram
+)
+
+// String names the kind in Prometheus exposition terms.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Counter is a monotonically increasing uint64. All methods are
+// lock-free and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a float64 that can move in either direction. All methods
+// are lock-free and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution with cumulative exposition.
+// Observe is lock-free and allocation-free; bucket bounds are frozen
+// at registration.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since t0 in seconds.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	h.Observe(time.Since(t0).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets is the default bound set for latency histograms:
+// exponential from 1 us to ~16 s, wide enough for both the
+// sub-microsecond controller paths and the ~300 us packet pipeline.
+func DurationBuckets() []float64 {
+	b := make([]float64, 0, 13)
+	for v := 1e-6; v < 20; v *= 4 {
+		b = append(b, v)
+	}
+	return b
+}
+
+// family is one exposition family: a name, a kind, and one instrument
+// per label set (or a collector that emits samples at scrape time).
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	mu     sync.Mutex
+	series map[string]any // labels -> *Counter | *Gauge | *Histogram
+	order  []string       // labels in registration order
+
+	collect func(emit func(labels string, value float64))
+}
+
+const regShards = 16
+
+// Registry holds metric families sharded by name hash. The zero value
+// is not usable; call NewRegistry, or use Default.
+type Registry struct {
+	shards [regShards]struct {
+		mu   sync.RWMutex
+		fams map[string]*family
+	}
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].fams = make(map[string]*family)
+	}
+	return r
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry. Package-level instruments in
+// the instrumented layers register here, and the controller's
+// /metrics endpoint serves it.
+func Default() *Registry { return defaultRegistry }
+
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// fam returns the family, creating it with the given kind if absent.
+// It panics if the name exists with a different kind: that is a
+// programming error, not a runtime condition.
+func (r *Registry) fam(name, help string, kind Kind) *family {
+	sh := &r.shards[fnv32(name)%regShards]
+	sh.mu.RLock()
+	f := sh.fams[name]
+	sh.mu.RUnlock()
+	if f == nil {
+		sh.mu.Lock()
+		f = sh.fams[name]
+		if f == nil {
+			f = &family{name: name, help: help, kind: kind, series: make(map[string]any)}
+			sh.fams[name] = f
+		}
+		sh.mu.Unlock()
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("ops: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	return f
+}
+
+func (f *family) instrument(labels string, make func() any) any {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if inst, ok := f.series[labels]; ok {
+		return inst
+	}
+	inst := make()
+	f.series[labels] = inst
+	f.order = append(f.order, labels)
+	return inst
+}
+
+// Counter registers (or returns the existing) unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterL(name, help, "")
+}
+
+// CounterL registers (or returns the existing) counter with the given
+// pre-rendered label string, e.g. `stage="detect"`.
+func (r *Registry) CounterL(name, help, labels string) *Counter {
+	f := r.fam(name, help, KindCounter)
+	return f.instrument(labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or returns the existing) unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeL(name, help, "")
+}
+
+// GaugeL registers (or returns the existing) labelled gauge.
+func (r *Registry) GaugeL(name, help, labels string) *Gauge {
+	f := r.fam(name, help, KindGauge)
+	return f.instrument(labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or returns the existing) unlabelled histogram.
+// bounds must be ascending; they are copied. A histogram registered
+// twice keeps its first bound set.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.HistogramL(name, help, "", bounds)
+}
+
+// HistogramL registers (or returns the existing) labelled histogram.
+func (r *Registry) HistogramL(name, help, labels string, bounds []float64) *Histogram {
+	f := r.fam(name, help, KindHistogram)
+	return f.instrument(labels, func() any {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		for i := 1; i < len(b); i++ {
+			if b[i] <= b[i-1] {
+				panic(fmt.Sprintf("ops: histogram %q bounds not ascending", name))
+			}
+		}
+		return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}).(*Histogram)
+}
+
+// RegisterCollector installs a scrape-time sample source for one
+// family. kind must be KindCounter or KindGauge. The closure is called
+// once per collection with an emit function; each emit call produces
+// one sample with the given pre-rendered labels. Re-registering the
+// same name replaces the previous collector.
+func (r *Registry) RegisterCollector(name, help string, kind Kind, fn func(emit func(labels string, value float64))) {
+	if kind == KindHistogram {
+		panic("ops: histogram collectors are not supported")
+	}
+	sh := &r.shards[fnv32(name)%regShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f := sh.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		sh.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("ops: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	f.mu.Lock()
+	f.collect = fn
+	f.mu.Unlock()
+}
+
+// Sample is one collected value, used by Walk.
+type Sample struct {
+	Name   string
+	Labels string
+	Kind   Kind
+	Value  float64 // counters and gauges
+
+	// Histogram-only fields.
+	Bounds  []float64
+	Buckets []uint64 // per-bound counts (not cumulative), +Inf last
+	Count   uint64
+	Sum     float64
+}
+
+// famsSorted snapshots every family in name order.
+func (r *Registry) famsSorted() []*family {
+	var fams []*family
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, f := range sh.fams {
+			fams = append(fams, f)
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// samples visits one family's samples: registered instruments in
+// registration order, then collector samples in emit order. A family
+// may legitimately emit zero samples (a collector whose source is not
+// built yet).
+func (f *family) samples(visit func(s Sample)) {
+	f.mu.Lock()
+	collect := f.collect
+	labels := append([]string(nil), f.order...)
+	insts := make([]any, len(labels))
+	for i, l := range labels {
+		insts[i] = f.series[l]
+	}
+	f.mu.Unlock()
+	for i, l := range labels {
+		s := Sample{Name: f.name, Labels: l, Kind: f.kind}
+		switch inst := insts[i].(type) {
+		case *Counter:
+			s.Value = float64(inst.Load())
+		case *Gauge:
+			s.Value = inst.Load()
+		case *Histogram:
+			s.Bounds = inst.bounds
+			s.Buckets = make([]uint64, len(inst.counts))
+			for b := range inst.counts {
+				s.Buckets[b] = inst.counts[b].Load()
+			}
+			s.Count = inst.Count()
+			s.Sum = inst.Sum()
+		}
+		visit(s)
+	}
+	if collect != nil {
+		collect(func(labels string, value float64) {
+			visit(Sample{Name: f.name, Labels: labels, Kind: f.kind, Value: value})
+		})
+	}
+}
+
+// Walk visits every family in name order and every sample within a
+// family in registration order (collector samples in emit order). It
+// is the single traversal both the Prometheus writer and tests use.
+func (r *Registry) Walk(visit func(s Sample)) {
+	for _, f := range r.famsSorted() {
+		f.samples(visit)
+	}
+}
+
+// help returns the registered help string for a family name, for the
+// exposition writer.
+func (r *Registry) famMeta(name string) (help string, kind Kind, ok bool) {
+	sh := &r.shards[fnv32(name)%regShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	f := sh.fams[name]
+	if f == nil {
+		return "", 0, false
+	}
+	return f.help, f.kind, true
+}

@@ -1,0 +1,218 @@
+package ops
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOpsCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registering a counter must return the same instrument")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Load(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestOpsHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	var buckets []uint64
+	r.Walk(func(s Sample) {
+		if s.Name == "test_seconds" {
+			buckets = s.Buckets
+		}
+	})
+	want := []uint64{1, 1, 1, 1}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", buckets, want)
+		}
+	}
+}
+
+func TestOpsLabelledSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.CounterL("test_errs_total", "errors", `stage="detect"`)
+	b := r.CounterL("test_errs_total", "errors", `stage="align"`)
+	if a == b {
+		t.Fatal("distinct label sets must get distinct instruments")
+	}
+	a.Inc()
+	b.Add(2)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE test_errs_total counter",
+		`test_errs_total{stage="detect"} 1`,
+		`test_errs_total{stage="align"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOpsCollector(t *testing.T) {
+	r := NewRegistry()
+	vals := map[string]float64{"a": 1, "b": 2}
+	r.RegisterCollector("test_live", "live view", KindGauge, func(emit func(string, float64)) {
+		for _, k := range []string{"a", "b"} {
+			emit(fmt.Sprintf("ap=%q", k), vals[k])
+		}
+	})
+	var got []string
+	r.Walk(func(s Sample) {
+		got = append(got, fmt.Sprintf("%s{%s}=%g", s.Name, s.Labels, s.Value))
+	})
+	if len(got) != 2 || got[0] != `test_live{ap="a"}=1` || got[1] != `test_live{ap="b"}=2` {
+		t.Fatalf("collector samples = %v", got)
+	}
+	// Re-registering replaces the collector rather than stacking a second.
+	r.RegisterCollector("test_live", "live view", KindGauge, func(emit func(string, float64)) {
+		emit(`ap="c"`, 3)
+	})
+	got = got[:0]
+	r.Walk(func(s Sample) { got = append(got, s.Labels) })
+	if len(got) != 1 || got[0] != `ap="c"` {
+		t.Fatalf("replaced collector samples = %v", got)
+	}
+}
+
+func TestOpsExpositionParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "a counter").Add(7)
+	r.GaugeL("test_gauge", "a gauge", `shard="0"`).Set(1.25)
+	h := r.Histogram("test_seconds", "latency", DurationBuckets())
+	h.Observe(0.0003)
+	h.ObserveSince(time.Now().Add(-time.Millisecond))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := CheckExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v\n%s", err, buf.String())
+	}
+	if st.Families != 3 {
+		t.Fatalf("families = %d, want 3", st.Families)
+	}
+	if st.Samples < 10 {
+		t.Fatalf("samples = %d, want >= 10 (histogram buckets)", st.Samples)
+	}
+}
+
+func TestOpsCheckExpositionRejects(t *testing.T) {
+	bad := []string{
+		"1bad_name 3\n",
+		"ok_name notanumber\n",
+		"ok_name{le=\"unterminated} 3\n",
+		"# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"x 1\n# TYPE x counter\n",
+		"# TYPE x frobnicator\n",
+	}
+	for _, in := range bad {
+		if _, err := CheckExposition(strings.NewReader(in)); err == nil {
+			t.Fatalf("CheckExposition accepted %q", in)
+		}
+	}
+	good := "# HELP y help text\n# TYPE y histogram\ny_bucket{le=\"+Inf\"} 2\ny_sum 3.5\ny_count 2\n"
+	if _, err := CheckExposition(strings.NewReader(good)); err != nil {
+		t.Fatalf("CheckExposition rejected valid input: %v", err)
+	}
+}
+
+func TestOpsConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "c")
+	h := r.Histogram("test_seconds", "h", []float64{1, 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(1.5)
+				r.CounterL("test_dyn_total", "d", `w="x"`).Inc()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Load() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Load())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+// TestOpsUpdateAllocs pins the hot-path promise: updates on
+// pre-registered instruments are allocation-free.
+func TestOpsUpdateAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "c")
+	g := r.Gauge("test_gauge", "g")
+	h := r.Histogram("test_seconds", "h", DurationBuckets())
+	t0 := time.Now()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(0.5)
+		h.Observe(0.002)
+		h.ObserveSince(t0)
+	})
+	if allocs != 0 {
+		t.Fatalf("instrument updates allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestOpsKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter name must panic")
+		}
+	}()
+	r.Gauge("test_total", "g")
+}

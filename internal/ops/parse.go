@@ -1,0 +1,179 @@
+package ops
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpoStats summarises a parsed exposition: how many families and
+// samples it contained. CheckExposition returns it so smoke tests can
+// assert the scrape was non-trivial, not just syntactically valid.
+type ExpoStats struct {
+	Families int
+	Samples  int
+}
+
+// CheckExposition validates Prometheus text exposition format
+// (0.0.4): metric-name syntax, label syntax, parseable sample values,
+// at most one # TYPE per family, and TYPE lines preceding the
+// family's samples. It exists so the CI smoke and the unit tests
+// validate /metrics with a real parser instead of grepping for
+// substrings. The first violation is returned with its line number.
+func CheckExposition(r io.Reader) (ExpoStats, error) {
+	var st ExpoStats
+	typed := make(map[string]string) // family -> type
+	seen := make(map[string]bool)    // family with samples emitted
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 3 && (fields[1] == "TYPE" || fields[1] == "HELP") {
+				name := fields[2]
+				if !validMetricName(name) {
+					return st, fmt.Errorf("line %d: bad metric name %q in %s line", lineNo, name, fields[1])
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return st, fmt.Errorf("line %d: TYPE line missing type", lineNo)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return st, fmt.Errorf("line %d: unknown type %q", lineNo, fields[3])
+					}
+					if _, dup := typed[name]; dup {
+						return st, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					}
+					if seen[name] {
+						return st, fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+					}
+					typed[name] = fields[3]
+					st.Families++
+				}
+			}
+			continue
+		}
+		name, rest, err := parseSampleName(line)
+		if err != nil {
+			return st, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		seen[familyOf(name, typed)] = true
+		rest = strings.TrimSpace(rest)
+		val := rest
+		if i := strings.IndexByte(rest, ' '); i >= 0 {
+			val = rest[:i] // optional timestamp follows
+		}
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			return st, fmt.Errorf("line %d: bad sample value %q", lineNo, val)
+		}
+		st.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// familyOf maps a sample's metric name back to its declared family,
+// accounting for histogram/summary suffixes.
+func familyOf(name string, typed map[string]string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseSampleName consumes the metric name and optional {labels} from
+// a sample line, returning the name and the remainder (the value).
+func parseSampleName(line string) (name, rest string, err error) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name = line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if i < len(line) && line[i] == '{' {
+		end, err := scanLabels(line[i:])
+		if err != nil {
+			return "", "", err
+		}
+		i += end
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", fmt.Errorf("missing value after %q", name)
+	}
+	return name, line[i+1:], nil
+}
+
+// scanLabels validates a {k="v",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func scanLabels(s string) (int, error) {
+	i := 1
+	for {
+		if i < len(s) && s[i] == '}' {
+			return i + 1, nil
+		}
+		start := i
+		for i < len(s) && s[i] != '=' {
+			c := s[i]
+			if c != '_' && !(c >= 'a' && c <= 'z') && !(c >= 'A' && c <= 'Z') && !(i > start && c >= '0' && c <= '9') {
+				return 0, fmt.Errorf("bad label name in %q", s)
+			}
+			i++
+		}
+		if i == start || i >= len(s) {
+			return 0, fmt.Errorf("bad label block %q", s)
+		}
+		i++ // '='
+		if i >= len(s) || s[i] != '"' {
+			return 0, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return 0, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++ // closing quote
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package secureangle
+
+const raceDetectorEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package secureangle
+
+// raceDetectorEnabled reports whether this test binary was built with
+// -race. Under the race detector sync.Pool deliberately drops a
+// fraction of Puts (to widen the interleavings it can observe), so
+// pooled-path allocation counts are not meaningful there.
+const raceDetectorEnabled = true

@@ -10,14 +10,15 @@
 # Benchtime can be tuned via BENCHTIME (default 1s).
 set -eu
 
-pr="${PR:-6}"
+pr="${PR:-7}"
 out="${1:-BENCH_PR${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # The headline set: per-packet pipeline, fusion ingest, defense
-# directive, journal append (each package's hot path).
+# directive, journal append (each package's hot path), and the ops
+# metrics update the first four now carry.
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkPipelinePerPacket$' . | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
@@ -26,6 +27,8 @@ go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkDefenseDirective$' ./internal/defense | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
 
 # Find the newest previous trajectory file (highest PR number below
 # ours) before the new file lands.

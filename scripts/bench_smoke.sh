@@ -1,5 +1,5 @@
 #!/bin/sh
-# Fast perf-regression gate for CI: run the four trajectory benchmarks
+# Fast perf-regression gate for CI: run the five trajectory benchmarks
 # at fixed low iteration counts and fail if any ns/op regresses more
 # than 2x against the committed baseline JSON (the newest BENCH_PR*.json
 # in the repo root, or $1 if given). The per-packet pipeline runs 100
@@ -40,6 +40,8 @@ go test -run '^$' -benchtime 50000x \
     -bench 'BenchmarkDefenseDirective$' ./internal/defense | tee -a "$tmp"
 go test -run '^$' -benchtime 50000x \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
+go test -run '^$' -benchtime 500000x \
+    -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
 
 awk -v baseline="$baseline" '
 function parse(file,   line, name, ns) {

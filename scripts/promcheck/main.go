@@ -1,0 +1,88 @@
+// Command promcheck validates a running controller's operations
+// endpoint: /metrics must be well-formed Prometheus text exposition
+// (parsed with the same ops.CheckExposition the unit tests use) with a
+// sane minimum catalogue, and /status must be valid JSON with the
+// status document's required sections. CI's ops e2e smoke runs it
+// against a freshly-started `secureangle serve -ops`.
+//
+// Usage: promcheck [-min-families N] [-min-samples N] host:port
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"secureangle/internal/ops"
+)
+
+func main() {
+	minFamilies := flag.Int("min-families", 10, "minimum metric families /metrics must expose")
+	minSamples := flag.Int("min-samples", 10, "minimum samples /metrics must expose")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: promcheck [-min-families N] [-min-samples N] host:port")
+		os.Exit(2)
+	}
+	base := "http://" + flag.Arg(0)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	body, ct, err := get(client, base+"/metrics")
+	if err != nil {
+		fail("GET /metrics: %v", err)
+	}
+	if want := "text/plain"; len(ct) < len(want) || ct[:len(want)] != want {
+		fail("/metrics content type %q, want text/plain exposition", ct)
+	}
+	st, err := ops.CheckExposition(bytes.NewReader(body))
+	if err != nil {
+		fail("/metrics is not valid exposition: %v", err)
+	}
+	if st.Families < *minFamilies || st.Samples < *minSamples {
+		fail("/metrics too sparse: %d families / %d samples (want >= %d / >= %d)",
+			st.Families, st.Samples, *minFamilies, *minSamples)
+	}
+
+	body, ct, err = get(client, base+"/status")
+	if err != nil {
+		fail("GET /status: %v", err)
+	}
+	if want := "application/json"; len(ct) < len(want) || ct[:len(want)] != want {
+		fail("/status content type %q, want application/json", ct)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fail("/status is not JSON: %v", err)
+	}
+	for _, key := range []string{"time", "proto_version", "fusion", "defense", "aps", "threats"} {
+		if _, ok := doc[key]; !ok {
+			fail("/status missing %q section", key)
+		}
+	}
+
+	fmt.Printf("ok: /metrics %d families, %d samples; /status %d sections\n",
+		st.Families, st.Samples, len(doc))
+}
+
+func get(client *http.Client, url string) (body []byte, contentType string, err error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("%s", resp.Status)
+	}
+	body, err = io.ReadAll(resp.Body)
+	return body, resp.Header.Get("Content-Type"), err
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

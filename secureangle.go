@@ -56,6 +56,8 @@
 package secureangle
 
 import (
+	"io"
+
 	"secureangle/internal/antenna"
 	"secureangle/internal/core"
 	"secureangle/internal/defense"
@@ -67,6 +69,7 @@ import (
 	"secureangle/internal/music"
 	"secureangle/internal/netproto"
 	"secureangle/internal/ofdm"
+	"secureangle/internal/ops"
 	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
 	"secureangle/internal/wifi"
@@ -118,6 +121,20 @@ type (
 	Controller = netproto.Controller
 	// ControllerStats are the controller's fusion/ingress counters.
 	ControllerStats = netproto.ControllerStats
+	// ControllerStatus is the controller's live status document —
+	// fusion/defense/journal counters, per-AP health, the threat table —
+	// from Controller.StatusReport or the ops endpoint's /status.
+	ControllerStatus = netproto.Status
+	// APHealth is one connected session's health snapshot (last seen,
+	// frames, reports, acks, send-queue depth).
+	APHealth = netproto.APHealth
+	// JournalStats are the flight recorder's position and durability
+	// counters, from Journal.Stats.
+	JournalStats = journal.Stats
+	// MetricsRegistry is the ops metrics core: atomic counters, gauges,
+	// and fixed-bucket histograms with Prometheus text exposition. The
+	// process-wide instance is Metrics().
+	MetricsRegistry = ops.Registry
 	// FenceDecision is one fused controller decision.
 	FenceDecision = netproto.FenceDecision
 	// TrackState is one client's live mobility-trace state, from
@@ -303,6 +320,21 @@ func ObserveFrameBatch(ap *AP, clients []TestbedClient) ([]BatchResult, error) {
 // Triangulate fuses bearing observations from two or more APs into a
 // position (least squares).
 func Triangulate(obs []BearingObs) (Point, error) { return locate.Triangulate(obs) }
+
+// ErrAuthRejected: the controller refused the handshake for a missing,
+// unknown, or revoked enrollment token (see Controller.EnrollAP).
+var ErrAuthRejected = netproto.ErrAuthRejected
+
+// Metrics returns the process-wide metrics registry: every instrumented
+// layer (pipeline, fusion, defense, journal, controller sessions)
+// registers its instruments here, and Controller.ServeOps serves it as
+// Prometheus text exposition at /metrics. Use WriteMetrics (or
+// reg.WritePrometheus) to scrape it in-process.
+func Metrics() *MetricsRegistry { return ops.Default() }
+
+// WriteMetrics writes the process-wide registry in Prometheus text
+// exposition format (version 0.0.4) — the in-process scrape.
+func WriteMetrics(w io.Writer) error { return ops.Default().WritePrometheus(w) }
 
 // NewController builds the multi-AP fusion controller for a fence.
 // Tune the exported bounds (MinDiversityDeg, PendingTTL, MaxClients,
