@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race stress bench bench-smoke fuzz lint ops-smoke
+.PHONY: build test race stress bench bench-smoke fuzz lint ops-smoke torture
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,12 @@ stress:
 	$(GO) test -race -count=3 -run Defense ./...
 	$(GO) test -race -count=3 -run 'Journal|Replay|Recovery' ./...
 	$(GO) test -race -count=3 -run 'Ops|Enroll|Status' ./...
+	$(GO) test -race -count=3 -run 'Partition|Replicat|Standby|Compact' ./...
 
 # Headline benchmarks -> BENCH_PR$(PR).json (see scripts/bench.sh; CI
 # uploads the file as an artifact and the script prints a side-by-side
 # delta against the previous PR's file). Override with `make bench PR=7`.
-PR ?= 7
+PR ?= 8
 bench:
 	PR=$(PR) sh scripts/bench.sh
 
@@ -35,12 +36,21 @@ bench-smoke:
 	sh scripts/bench_smoke.sh
 
 # Time-boxed native fuzzing of every hostile-bytes decoder: the wire
-# frames, the journal event codecs, and the engine snapshot codecs.
+# frames, the journal event codecs, the engine snapshot codecs, the
+# signature codec, and the I/Q capture reader.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzUnmarshal -fuzztime 30s ./internal/netproto
 	$(GO) test -run '^$$' -fuzz FuzzEventDecoders -fuzztime 15s ./internal/journal
 	$(GO) test -run '^$$' -fuzz FuzzFusionSnapshotRestore -fuzztime 15s ./internal/fusion
 	$(GO) test -run '^$$' -fuzz FuzzDefenseSnapshotRestore -fuzztime 15s ./internal/defense
+	$(GO) test -run '^$$' -fuzz FuzzSignatureCodec -fuzztime 15s ./internal/signature
+	$(GO) test -run '^$$' -fuzz FuzzIQFileRead -fuzztime 15s ./internal/iqfile
+
+# Crash-torture the flight recorder: kill -9 a serving controller
+# mid-rotation/mid-snapshot under load, many times, and assert every
+# journal directory recovers cleanly (see scripts/journal_torture.sh).
+torture:
+	sh scripts/journal_torture.sh
 
 # End-to-end smoke of the operations surface: real binary, real ops
 # endpoint, /metrics + /status validated from outside, enrollment

@@ -275,44 +275,60 @@ func runDefense(addr, mac string, release bool, token string) error {
 	return nil
 }
 
+// serveOptions carries `serve`/`record`'s knobs.
+type serveOptions struct {
+	addr, journalDir, opsAddr string
+	requireAuth               bool
+	// partitions shards the controller core by MAC range (1 = the
+	// monolithic layout, byte-compatible with earlier releases).
+	partitions int
+	// segmentBytes / snapshotEvery tune the flight recorder (zero =
+	// package defaults; negative snapshotEvery disables snapshots).
+	segmentBytes  int64
+	snapshotEvery time.Duration
+}
+
 // runServe runs the fence controller; a non-empty journalDir turns on
 // the flight recorder (the `record` command path): state is recovered
 // from the directory before listening, and every decision-relevant
 // event is journalled from then on. A non-empty opsAddr serves the
 // operations endpoint (/metrics, /status, /enroll); requireAuth makes
 // enrollment tokens mandatory for every new session.
-func runServe(addr, journalDir, opsAddr string, requireAuth bool) error {
+func runServe(o serveOptions) error {
 	_, shell := testbed.Building()
 	fence := &locate.Fence{Boundary: shell}
 	c := netproto.NewController(fence)
-	c.RequireAuth = requireAuth
-	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
-	if journalDir != "" {
-		j, err := journal.Open(journalDir, journal.Options{Logf: c.Logf})
-		if err != nil {
-			return err
-		}
-		if err := c.WithJournal(j); err != nil {
-			j.Close()
-			return err
-		}
-		fmt.Printf("flight recorder journalling to %s (fsync policy: interval)\n", journalDir)
+	c.RequireAuth = o.requireAuth
+	if o.partitions > 0 {
+		c.Partitions = o.partitions
 	}
-	ln, err := net.Listen("tcp", addr)
+	if o.snapshotEvery != 0 {
+		c.SnapshotInterval = o.snapshotEvery
+	}
+	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
+	if o.journalDir != "" {
+		opts := journal.Options{SegmentBytes: o.segmentBytes, Logf: c.Logf}
+		if err := c.WithJournalDir(o.journalDir, opts); err != nil {
+			return err
+		}
+		fmt.Printf("flight recorder journalling to %s (%d partition(s), fsync policy: interval)\n",
+			o.journalDir, c.Partitions)
+	}
+	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("fence controller listening on %s (boundary: building shell)\n", ln.Addr())
 	c.Serve(ln)
-	if opsAddr != "" {
-		oln, err := net.Listen("tcp", opsAddr)
+	if o.opsAddr != "" {
+		oln, err := net.Listen("tcp", o.opsAddr)
 		if err != nil {
 			c.Close()
 			return err
 		}
 		c.ServeOps(oln)
 		auth := "optional"
-		if requireAuth {
+		if o.requireAuth {
 			auth = "required"
 		}
 		fmt.Printf("ops endpoint on http://%s (/metrics /status /enroll; auth %s)\n", oln.Addr(), auth)
@@ -329,6 +345,68 @@ func runServe(addr, journalDir, opsAddr string, requireAuth bool) error {
 	for d := range sub.C {
 		fmt.Printf("decision: %s seq %d -> %s at %v (APs %v)\n", d.MAC, d.SeqNo, d.Decision, d.Pos, d.APs)
 	}
+	return nil
+}
+
+// runLoadgen hammers a running controller with synthetic traffic: two
+// AP identities reporting bearings for a MAC population spread across
+// the whole address space (so every partition sees work), plus a spoof
+// alert sprinkled in every few hundred reports. A connection that dies
+// mid-run is reported but is not an error — the journal torture
+// harness kills the controller out from under us on purpose.
+func runLoadgen(addr, token string, duration time.Duration, rate int) error {
+	if rate <= 0 {
+		rate = 2000
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), duration+10*time.Second)
+	defer cancel()
+	ap1Pos, ap2Pos := testbed.AP1, testbed.AP2
+	ag1, err := netproto.DialContext(ctx, addr, netproto.Hello{Name: "loadgen-ap1", Pos: ap1Pos, Token: token})
+	if err != nil {
+		return err
+	}
+	defer ag1.Close()
+	ag2, err := netproto.DialContext(ctx, addr, netproto.Hello{Name: "loadgen-ap2", Pos: ap2Pos, Token: token})
+	if err != nil {
+		return err
+	}
+	defer ag2.Close()
+
+	_, shell := testbed.Building()
+	center := shell.Centroid()
+	deadline := time.Now().Add(duration)
+	tick := time.NewTicker(time.Second / time.Duration(rate))
+	defer tick.Stop()
+	var sent uint64
+	for time.Now().Before(deadline) {
+		<-tick.C
+		sent++
+		// Spread the high-order MAC bits so a partitioned controller
+		// journals into every partition.
+		mac := wifi.Addr{byte(sent * 0x9e), byte(sent >> 8), byte(sent >> 16), 0, 0, byte(sent)}
+		target := geom.Point{
+			X: center.X + float64(int(sent%17)-8),
+			Y: center.Y + float64(int(sent%11)-5),
+		}
+		if err := ag1.Send(netproto.Report{APName: "loadgen-ap1", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap1Pos, target)}); err != nil {
+			fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
+			return nil
+		}
+		if err := ag2.Send(netproto.Report{APName: "loadgen-ap2", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap2Pos, target)}); err != nil {
+			fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
+			return nil
+		}
+		if sent%200 == 0 {
+			if err := ag1.SendAlertDetail(netproto.Alert{
+				APName: "loadgen-ap1", MAC: mac, Distance: 0.9, Threshold: 0.12,
+				BearingDeg: geom.BearingDeg(ap1Pos, target), HasBearing: true, Stage: "spoofcheck",
+			}); err != nil {
+				fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
+				return nil
+			}
+		}
+	}
+	fmt.Printf("loadgen: sent %d report pairs in %v\n", sent, duration)
 	return nil
 }
 

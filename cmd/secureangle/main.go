@@ -12,8 +12,10 @@
 //	secureangle spoof      — address spoofing prevention + RSS baseline comparison
 //	secureangle ablation   — estimator / calibration / covariance ablations
 //	secureangle calibrate  — the section 2.2 calibration procedure, narrated
-//	secureangle serve      — run the fence controller on a TCP port (-journal enables the flight recorder, -ops the operations endpoint)
+//	secureangle serve      — run the fence controller on a TCP port (-journal enables the flight recorder, -ops the operations endpoint, -partitions shards the core)
 //	secureangle record     — serve with the flight recorder on (journal defaults to ./secureangle-journal)
+//	secureangle standby    — follow a leader's journal stream as a warm replica (-promote flips a running standby live)
+//	secureangle loadgen    — hammer a running controller with synthetic report/alert traffic
 //	secureangle status     — render a running controller's /status document (fusion, defense, journal, per-AP health)
 //	secureangle enroll     — mint, list, rotate, or -revoke per-AP enrollment tokens on a running controller
 //	secureangle tracks     — query a running controller's live mobility traces
@@ -30,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 func main() {
@@ -55,6 +58,14 @@ func main() {
 	qscore := fs.Float64("quarantine-score", 0, "replay: counterfactual DefensePolicy.QuarantineScore (0 = default)")
 	halfLife := fs.Duration("half-life", 0, "replay: counterfactual DefensePolicy.HalfLife (0 = default)")
 	tail := fs.Duration("tail", 0, "replay: extra simulated time after the last record")
+	partitions := fs.Int("partitions", 1, "serve/record: MAC-range controller partitions")
+	segBytes := fs.Int64("segment-bytes", 0, "serve/record/standby: journal segment size in bytes (0 = default)")
+	snapEvery := fs.Duration("snapshot-every", 0, "serve/record/standby: snapshot cadence (0 = default, negative = off)")
+	leaderFlag := fs.String("leader", "", "standby: leader controller address to follow")
+	promoteFlag := fs.Bool("promote", false, "standby: promote a running standby via its ops endpoint and exit")
+	promoteAfter := fs.Duration("promote-after", 0, "standby: auto-promote after this much leader silence (0 = manual only)")
+	durationFlag := fs.Duration("duration", 3*time.Second, "loadgen: how long to generate load")
+	rateFlag := fs.Int("rate", 2000, "loadgen: reports per second")
 	fs.Parse(os.Args[2:])
 
 	var err error
@@ -94,13 +105,34 @@ func main() {
 	case "calibrate":
 		err = runCalibrate(*seed)
 	case "serve":
-		err = runServe(*listen, *journalFlag, *opsAddr, *requireAuth)
+		err = runServe(serveOptions{
+			addr: *listen, journalDir: *journalFlag, opsAddr: *opsAddr,
+			requireAuth: *requireAuth, partitions: *partitions,
+			segmentBytes: *segBytes, snapshotEvery: *snapEvery,
+		})
 	case "record":
 		dir := *journalFlag
 		if dir == "" {
 			dir = "secureangle-journal"
 		}
-		err = runServe(*listen, dir, *opsAddr, *requireAuth)
+		err = runServe(serveOptions{
+			addr: *listen, journalDir: dir, opsAddr: *opsAddr,
+			requireAuth: *requireAuth, partitions: *partitions,
+			segmentBytes: *segBytes, snapshotEvery: *snapEvery,
+		})
+	case "standby":
+		if *promoteFlag {
+			err = runStandbyPromote(opsTarget(*opsAddr))
+		} else {
+			err = runStandby(standbyOptions{
+				leader: *leaderFlag, dir: *journalFlag, token: *tokenFlag,
+				listen: *listen, opsAddr: *opsAddr, requireAuth: *requireAuth,
+				promoteAfter: *promoteAfter, segmentBytes: *segBytes,
+				snapshotEvery: *snapEvery,
+			})
+		}
+	case "loadgen":
+		err = runLoadgen(*listen, *tokenFlag, *durationFlag, *rateFlag)
 	case "status":
 		err = runStatus(opsTarget(*opsAddr))
 	case "enroll":
@@ -152,8 +184,14 @@ services and demos:
   calibrate   narrate the section 2.2 phase-offset calibration
   serve       run the AoA fusion controller on -listen (-journal dir turns on the
               flight recorder; -ops addr serves /metrics, /status, /enroll;
-              -require-auth demands enrollment tokens)
+              -require-auth demands enrollment tokens; -partitions N shards the
+              core by MAC range; -segment-bytes / -snapshot-every tune the journal)
   record      serve with the flight recorder on (-journal defaults to ./secureangle-journal)
+  standby     follow -leader as a warm replica: stream its journal into -journal,
+              expose lag on -ops, auto-promote after -promote-after of silence
+              (or "standby -promote -ops addr" to promote now), then serve -listen
+  loadgen     hammer a running controller at -listen with synthetic reports and
+              alerts (-rate per second, for -duration)
   status      render a running controller's /status (-ops targets its endpoint)
   enroll      "enroll ap1" mints (or rotates) ap1's token on a running controller;
               "enroll" alone lists enrollments; "enroll -revoke ap1" revokes

@@ -78,6 +78,32 @@ func runStatus(addr string) error {
 		fmt.Println("journal: off")
 	}
 
+	if st.Partitions > 1 {
+		fmt.Printf("partitions: %d (MAC-range sharded core)\n", st.Partitions)
+		if len(st.JournalPartitions) > 1 {
+			fmt.Printf("  %-4s %10s %10s %9s %8s %12s\n", "part", "LSN", "appends", "fsyncs", "segments", "snapshot LSN")
+			for i, p := range st.JournalPartitions {
+				fmt.Printf("  p%-3d %10d %10d %9d %8d %12d\n",
+					i, p.LSN, p.Appends, p.Fsyncs, p.Segments, p.SnapshotLSN)
+			}
+		}
+	}
+
+	if len(st.Replication) > 0 {
+		fmt.Println("\nreplicas:")
+		for _, r := range st.Replication {
+			name := r.Name
+			if name == "" {
+				name = "(standby)"
+			}
+			fmt.Printf("  %-14s max lag %d\n", name, r.MaxLag)
+			for _, p := range r.Partitions {
+				fmt.Printf("    p%-3d sent LSN %d, acked LSN %d, lag %d\n",
+					p.Partition, p.SentLSN, p.AckedLSN, p.Lag)
+			}
+		}
+	}
+
 	if len(st.APs) == 0 {
 		fmt.Println("\nno connected APs")
 	} else {

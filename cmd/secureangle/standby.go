@@ -1,0 +1,141 @@
+package main
+
+// The warm-standby CLI face: `standby` follows a leader's journal
+// stream into a local directory and serves clients only after
+// promotion (operator POST /promote via `standby -promote`, or
+// -promote-after of leader silence); the promoted controller then runs
+// the same decision loop as `serve`.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"secureangle/internal/journal"
+	"secureangle/internal/locate"
+	"secureangle/internal/netproto"
+	"secureangle/internal/testbed"
+)
+
+// standbyOptions carries `standby`'s knobs.
+type standbyOptions struct {
+	leader, dir, token string
+	listen, opsAddr    string
+	requireAuth        bool
+	promoteAfter       time.Duration
+	segmentBytes       int64
+	snapshotEvery      time.Duration
+}
+
+// runStandby follows o.leader as a warm replica. The replicated
+// journal lands in o.dir, replication lag and failover readiness are
+// exposed on the ops endpoint, and on promotion the wrapped controller
+// starts serving APs on o.listen — sessions that re-present their
+// original enrollment tokens are resumed with directive state intact.
+func runStandby(o standbyOptions) error {
+	if o.leader == "" {
+		return fmt.Errorf("standby needs -leader host:port (or -promote to flip a running standby)")
+	}
+	if o.dir == "" {
+		o.dir = "secureangle-standby-journal"
+	}
+	_, shell := testbed.Building()
+	logf := func(format string, args ...any) { fmt.Printf("[standby] "+format+"\n", args...) }
+	sb, err := netproto.NewStandby(netproto.StandbyConfig{
+		LeaderAddr: o.leader,
+		Dir:        o.dir,
+		Journal:    journal.Options{SegmentBytes: o.segmentBytes},
+		Token:      o.token,
+		Fence:      &locate.Fence{Boundary: shell},
+		Configure: func(c *netproto.Controller) {
+			c.RequireAuth = o.requireAuth
+			if o.snapshotEvery != 0 {
+				c.SnapshotInterval = o.snapshotEvery
+			}
+			c.Logf = logf
+		},
+		PromoteAfter: o.promoteAfter,
+		Logf:         logf,
+	})
+	if err != nil {
+		return err
+	}
+	if o.opsAddr != "" {
+		oln, err := net.Listen("tcp", o.opsAddr)
+		if err != nil {
+			sb.Close()
+			return err
+		}
+		sb.ServeOps(oln)
+		fmt.Printf("standby ops endpoint on http://%s (/metrics /status /promote)\n", oln.Addr())
+	}
+	fmt.Printf("standby following %s, replicating into %s\n", o.leader, o.dir)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("\nshutting down")
+		cancel()
+	}()
+
+	if err := sb.Run(ctx); err != nil {
+		sb.Close()
+		if ctx.Err() != nil {
+			return nil // operator interrupt while warm
+		}
+		return err
+	}
+
+	// Promoted: serve the controller exactly as `serve` would.
+	c := sb.Controller()
+	ln, err := net.Listen("tcp", o.listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("promoted: controller listening on %s (APs resume with their original tokens)\n", ln.Addr())
+	c.Serve(ln)
+	sub := c.Subscribe(64)
+	go func() {
+		<-ctx.Done()
+		c.Close()
+	}()
+	for d := range sub.C {
+		fmt.Printf("decision: %s seq %d -> %s at %v (APs %v)\n", d.MAC, d.SeqNo, d.Decision, d.Pos, d.APs)
+	}
+	return nil
+}
+
+// runStandbyPromote flips a running standby live by POSTing /promote
+// to its ops endpoint, then prints the post-promotion status.
+func runStandbyPromote(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post("http://"+addr+"/promote", "", nil)
+	if err != nil {
+		return fmt.Errorf("is the standby running with -ops %s? %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("promote: %s: %s", resp.Status, body)
+	}
+	var st netproto.StandbyStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	fmt.Printf("promoted standby (was following %s)\n", st.Leader)
+	for _, p := range st.Partitions {
+		fmt.Printf("  partition %d: applied LSN %d of leader %d (lag %d)\n",
+			p.Partition, p.AppliedLSN, p.LeaderLSN, p.Lag)
+	}
+	return nil
+}

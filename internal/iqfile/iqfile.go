@@ -108,9 +108,16 @@ func Read(r io.Reader) (*Capture, error) {
 	if chans < 1 || chans > MaxChannels || count > MaxSamples || rate <= 0 || math.IsNaN(rate) {
 		return nil, ErrBadHeader
 	}
+	// Grow the streams as data actually arrives rather than trusting the
+	// declared count up front: a hostile 22-byte header must not cost
+	// gigabytes of allocation before the first truncated read fails.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
 	c := &Capture{SampleRate: rate, Streams: make([][]complex128, chans)}
 	for i := range c.Streams {
-		c.Streams[i] = make([]complex128, count)
+		c.Streams[i] = make([]complex128, 0, capHint)
 	}
 	var buf [8]byte
 	for t := uint64(0); t < count; t++ {
@@ -120,7 +127,7 @@ func Read(r io.Reader) (*Capture, error) {
 			}
 			re := math.Float32frombits(binary.BigEndian.Uint32(buf[0:]))
 			im := math.Float32frombits(binary.BigEndian.Uint32(buf[4:]))
-			c.Streams[ch][t] = complex(float64(re), float64(im))
+			c.Streams[ch] = append(c.Streams[ch], complex(float64(re), float64(im)))
 		}
 	}
 	return c, nil

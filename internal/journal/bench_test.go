@@ -65,6 +65,47 @@ func BenchmarkJournalAppendParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkReplicationCursor measures streaming-side throughput: the
+// records/sec a leader's per-partition stream goroutine can pull
+// through a Cursor in frame-budget batches — the ceiling on how fast a
+// warm standby can catch up from cold over a fat pipe.
+func BenchmarkReplicationCursor(b *testing.B) {
+	dir := b.TempDir()
+	j, err := Open(dir, Options{Clock: func() time.Time { return time.Unix(1000, 0) }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := ReportEvent{AP: "ap1", MAC: wifi.Addr{0x66, 0, 0, 0, 0, 5}, BearingDeg: 42.5}
+	const records = 10000
+	for i := 0; i < records; i++ {
+		ev.Seq = uint64(i)
+		if _, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ev)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	j.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := NewCursor(dir, 0)
+		n := 0
+		for {
+			recs, err := c.Next(256 << 10) // the leader's frame budget
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) == 0 {
+				break
+			}
+			n += len(recs)
+		}
+		c.Close()
+		if n != records {
+			b.Fatalf("streamed %d/%d", n, records)
+		}
+	}
+}
+
 // BenchmarkJournalScan measures recovery-side throughput: records
 // scanned per op over a pre-built multi-segment log.
 func BenchmarkJournalScan(b *testing.B) {

@@ -1,0 +1,187 @@
+package journal
+
+import (
+	"io"
+	"testing"
+
+	"secureangle/internal/defense"
+	"secureangle/internal/wifi"
+)
+
+var (
+	benignMAC   = wifi.Addr{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	attackerMAC = wifi.Addr{0x02, 0x00, 0x00, 0x00, 0x00, 0x02}
+)
+
+// buildCompactable writes a journal whose sealed segments mix benign
+// reports with one attacker's incident (alert + directive), snapshots
+// so those segments become compaction candidates, and returns the
+// journal still open.
+func buildCompactable(t *testing.T, dir string) *Journal {
+	t.Helper()
+	j := mustOpen(t, dir, Options{SegmentBytes: 1 << 10, MaxSegments: 64, Fsync: FsyncNever})
+	report := func(mac wifi.Addr, seq uint64) {
+		if _, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ReportEvent{
+			AP: "ap1", MAC: mac, Seq: seq, BearingDeg: 42,
+		})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		report(benignMAC, uint64(i))
+	}
+	if _, err := j.Append(Record{Type: RecAlert, Data: EncodeAlert(defense.SpoofVerdict{
+		MAC: attackerMAC, AP: "ap1", Flagged: true, Distance: 9, Threshold: 3,
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	report(attackerMAC, 1)
+	if _, err := j.Append(Record{Type: RecDirective, Data: EncodeDirective(defense.Directive{
+		MAC: attackerMAC, Action: defense.ActionQuarantine,
+		From: defense.StateMonitor, To: defense.StateQuarantine,
+	})}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 80; i++ {
+		report(benignMAC, uint64(i))
+	}
+	// Snapshot to cover everything so far, then rotate past it so the
+	// covered segments are sealed candidates.
+	if _, err := j.SaveSnapshot(func(w io.Writer) error {
+		_, err := w.Write([]byte("snap"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 80; i < 120; i++ {
+		report(benignMAC, uint64(i))
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestCompactDropsBenignKeepsIncidents(t *testing.T) {
+	dir := t.TempDir()
+	j := buildCompactable(t, dir)
+	defer j.Close()
+
+	lastBefore := j.LSN()
+	st, err := j.Compact(CompactPolicy{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if st.SegmentsRewritten == 0 || st.RecordsDropped == 0 {
+		t.Fatalf("compaction was a no-op: %+v", st)
+	}
+	if st.BytesReclaimed <= 0 {
+		t.Fatalf("no bytes reclaimed: %+v", st)
+	}
+
+	// The compacted history must still scan cleanly end to end, keep
+	// every incident-relevant record, and bridge elisions with skips.
+	var alerts, directives, attackerReports, benignReports, skips int
+	err = ReadRecords(dir, 0, func(rec Record) error {
+		switch rec.Type {
+		case RecAlert:
+			alerts++
+		case RecDirective:
+			directives++
+		case RecSkip:
+			skips++
+		case RecReport:
+			ev, err := DecodeReport(rec.Data)
+			if err != nil {
+				t.Fatalf("report decode: %v", err)
+			}
+			if ev.MAC == attackerMAC {
+				attackerReports++
+			} else {
+				benignReports++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("read compacted journal: %v", err)
+	}
+	if alerts != 1 || directives != 1 {
+		t.Fatalf("incident records lost: alerts=%d directives=%d", alerts, directives)
+	}
+	if attackerReports != 1 {
+		t.Fatalf("attacker reports: got %d, want 1 (in-window reports are kept)", attackerReports)
+	}
+	if skips == 0 {
+		t.Fatal("no skip records bridging the elided runs")
+	}
+	// The benign reports in the covered, out-of-window segments are
+	// gone; the uncovered tail (80..119) plus any in-window stragglers
+	// survive.
+	if benignReports >= 120 {
+		t.Fatalf("benign reports not compacted: %d survive", benignReports)
+	}
+
+	// Appends continue seamlessly after compaction.
+	lsn, err := j.Append(Record{Type: RecReport, Data: EncodeReport(ReportEvent{AP: "ap1", MAC: benignMAC, Seq: 999})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != lastBefore+1 {
+		t.Fatalf("post-compaction LSN %d, want %d", lsn, lastBefore+1)
+	}
+}
+
+func TestCompactedJournalStreamsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	j := buildCompactable(t, dir)
+	if _, err := j.Compact(CompactPolicy{}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A replication cursor walks the compacted history without stalling
+	// and surfaces the skips, ending at the journal's tip.
+	c := NewCursor(dir, 0)
+	defer c.Close()
+	tip := uint64(0)
+	for {
+		recs, err := c.Next(1 << 20)
+		if err != nil {
+			t.Fatalf("cursor over compacted journal: %v", err)
+		}
+		if len(recs) == 0 {
+			break
+		}
+		for _, rec := range recs {
+			tip = rec.LSN
+			if rec.Type == RecSkip {
+				sk, err := DecodeSkip(rec.Data)
+				if err != nil {
+					t.Fatalf("skip decode: %v", err)
+				}
+				tip = sk.End
+			}
+		}
+	}
+	if tip != j.LSN() {
+		t.Fatalf("cursor reached LSN %d, want tip %d", tip, j.LSN())
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopening over the compacted directory recovers to the same tip —
+	// the recovery scan handles skip records too.
+	j2 := mustOpen(t, dir, Options{SegmentBytes: 1 << 10, MaxSegments: 64, Fsync: FsyncNever})
+	defer j2.Close()
+	lsn, err := j2.Append(Record{Type: RecReport, Data: EncodeReport(ReportEvent{AP: "ap1", MAC: benignMAC, Seq: 1000})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != tip+1 {
+		t.Fatalf("post-reopen LSN %d, want %d", lsn, tip+1)
+	}
+}

@@ -1,0 +1,197 @@
+package journal
+
+// Cursor is the replication reader: a resumable, tail-following scan
+// of a journal directory that a leader uses to stream records to a
+// warm standby. Unlike the recovery scan (scanSegment), a Cursor must
+// coexist with the live writer: a short or CRC-failing frame at the
+// end of the open segment is usually a record mid-write, not a tear,
+// so the cursor parks at the frame boundary and retries from the same
+// offset on the next call instead of declaring the segment finished.
+//
+// The cursor surfaces RecSkip records verbatim so a follower
+// reproduces compaction gaps, and follows segment rotation by moving
+// to the successor segment once the current one is exhausted and a
+// segment starting at the next LSN exists.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Cursor reads a journal directory's records in LSN order, resumably.
+// Not safe for concurrent use; one goroutine per cursor.
+type Cursor struct {
+	dir  string
+	next uint64 // next LSN to deliver
+
+	f   *os.File // open segment (nil between segments)
+	off int64    // read offset into f
+}
+
+// NewCursor positions a cursor so its first delivered record has
+// LSN > after. Pass after=0 to stream from the start of retained
+// history (a fresh follower bootstraps onto whatever the leader still
+// has — its journal accepts any starting LSN).
+func NewCursor(dir string, after uint64) *Cursor {
+	return &Cursor{dir: dir, next: after + 1}
+}
+
+// NextLSN returns the LSN the next delivered record will have (or
+// exceed, when retention starts history later).
+func (c *Cursor) NextLSN() uint64 { return c.next }
+
+// Close releases the cursor's open segment.
+func (c *Cursor) Close() error {
+	if c.f != nil {
+		err := c.f.Close()
+		c.f = nil
+		return err
+	}
+	return nil
+}
+
+// Next returns the next batch of records, up to maxBytes of payload
+// (at least one record when any is available, regardless of size). An
+// empty batch with nil error means the cursor is caught up with the
+// durable tail — poll again later. Frames the writer has not finished
+// flushing are invisible until complete.
+func (c *Cursor) Next(maxBytes int) ([]Record, error) {
+	var out []Record
+	total := 0
+	for {
+		if c.f == nil {
+			ok, err := c.openNext()
+			if err != nil {
+				return out, err
+			}
+			if !ok {
+				return out, nil // no segment holds c.next yet
+			}
+		}
+		rec, ok, err := c.readRecord()
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			// Exhausted the readable frames here. If a successor segment
+			// already starts at c.next, this one is sealed — move on.
+			// Otherwise we are at the live tail: hand back what we have.
+			if c.successorExists() {
+				c.f.Close()
+				c.f = nil
+				continue
+			}
+			return out, nil
+		}
+		out = append(out, rec)
+		total += len(rec.Data)
+		if total >= maxBytes {
+			return out, nil
+		}
+	}
+}
+
+// openNext opens the segment containing c.next, or the earliest later
+// segment when retention already dropped it (the follower bootstraps
+// from there). ok is false when no segment holds records >= c.next.
+func (c *Cursor) openNext() (bool, error) {
+	segs, err := listSegments(c.dir)
+	if err != nil {
+		return false, err
+	}
+	if len(segs) == 0 {
+		return false, nil
+	}
+	pick := -1
+	for i, seg := range segs {
+		if seg.firstLSN <= c.next {
+			pick = i
+		}
+	}
+	if pick == -1 {
+		// History starts past c.next: jump forward to its beginning.
+		pick = 0
+		c.next = segs[0].firstLSN
+	}
+	path := filepath.Join(c.dir, segs[pick].name)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil // raced retention; retry next call
+		}
+		return false, err
+	}
+	hdr := make([]byte, segHdrSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return false, nil // header not flushed yet; retry later
+	}
+	if string(hdr[:4]) != segMagic {
+		f.Close()
+		return false, fmt.Errorf("journal: bad segment magic in %s", segs[pick].name)
+	}
+	if v := binary.BigEndian.Uint16(hdr[4:6]); v != segVersion {
+		f.Close()
+		return false, fmt.Errorf("journal: unsupported segment version %d in %s", v, segs[pick].name)
+	}
+	c.f = f
+	c.off = segHdrSize
+	return true, nil
+}
+
+// readRecord reads one complete frame at c.off. ok is false when the
+// remaining bytes do not (yet) form a complete valid frame — the
+// offset is left unchanged so the same position is retried later.
+func (c *Cursor) readRecord() (Record, bool, error) {
+	for {
+		var rh [recHdrSize]byte
+		if _, err := c.f.ReadAt(rh[:], c.off); err != nil {
+			return Record{}, false, nil // tail reached (or header mid-write)
+		}
+		frameLen := binary.BigEndian.Uint32(rh[0:4])
+		if frameLen < frameFixed || frameLen > MaxRecordSize {
+			return Record{}, false, nil // not a frame (zero-fill or mid-write)
+		}
+		frame := make([]byte, frameLen)
+		if _, err := c.f.ReadAt(frame, c.off+recHdrSize); err != nil {
+			return Record{}, false, nil // frame body not flushed yet
+		}
+		if crc32.Checksum(frame, crcTable) != binary.BigEndian.Uint32(rh[4:8]) {
+			return Record{}, false, nil // mid-write (or a tear recovery will judge)
+		}
+		rec := Record{
+			Type: RecordType(frame[0]),
+			LSN:  binary.BigEndian.Uint64(frame[1:9]),
+			TS:   time.Unix(0, int64(binary.BigEndian.Uint64(frame[9:17]))),
+			Data: frame[frameFixed:],
+		}
+		c.off += int64(recHdrSize) + int64(frameLen)
+		if rec.LSN < c.next {
+			continue // before the subscribe position: skip within the segment
+		}
+		if rec.LSN != c.next {
+			return Record{}, false, fmt.Errorf("journal: cursor sequence broke at LSN %d (want %d)", rec.LSN, c.next)
+		}
+		c.next = rec.LSN + 1
+		if rec.Type == RecSkip {
+			skip, err := DecodeSkip(rec.Data)
+			if err != nil || skip.End < rec.LSN {
+				return Record{}, false, fmt.Errorf("journal: cursor hit malformed skip at LSN %d", rec.LSN)
+			}
+			c.next = skip.End + 1
+		}
+		return rec, true, nil
+	}
+}
+
+// successorExists reports whether a segment starting exactly at c.next
+// is on disk — the signal that the current segment is sealed.
+func (c *Cursor) successorExists() bool {
+	_, err := os.Stat(filepath.Join(c.dir, segmentName(c.next)))
+	return err == nil
+}

@@ -1,0 +1,232 @@
+package journal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// drain pulls records from the cursor until it reports caught-up.
+func drain(t *testing.T, c *Cursor) []Record {
+	t.Helper()
+	var out []Record
+	for {
+		recs, err := c.Next(1 << 20)
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		if len(recs) == 0 {
+			return out
+		}
+		out = append(out, recs...)
+	}
+}
+
+func TestCursorStreamsAcrossRotations(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, MaxSegments: 64, Fsync: FsyncNever})
+	defer j.Close()
+
+	appendN(t, j, RecReport, 50, make([]byte, 64))
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCursor(dir, 0)
+	defer c.Close()
+	recs := drain(t, c)
+	if len(recs) != 50 {
+		t.Fatalf("cursor delivered %d records, want 50", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d, want %d", i, rec.LSN, i+1)
+		}
+	}
+
+	// The cursor follows appends made after it caught up.
+	_, last2 := appendN(t, j, RecReport, 30, make([]byte, 64))
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	recs = drain(t, c)
+	if len(recs) != 30 {
+		t.Fatalf("follow-up delivered %d records, want 30", len(recs))
+	}
+	if recs[len(recs)-1].LSN != last2 {
+		t.Fatalf("last followed LSN %d, want %d", recs[len(recs)-1].LSN, last2)
+	}
+}
+
+func TestCursorResumesFromPosition(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, MaxSegments: 64, Fsync: FsyncNever})
+	defer j.Close()
+	appendN(t, j, RecReport, 20, make([]byte, 32))
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCursor(dir, 12)
+	defer c.Close()
+	recs := drain(t, c)
+	if len(recs) != 8 {
+		t.Fatalf("cursor from 12 delivered %d records, want 8", len(recs))
+	}
+	if recs[0].LSN != 13 {
+		t.Fatalf("first resumed LSN %d, want 13", recs[0].LSN)
+	}
+}
+
+func TestCursorBootstrapsPastTrimmedHistory(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 512, MaxSegments: 2, Fsync: FsyncNever})
+	defer j.Close()
+	// Snapshot so retention may drop sealed covered segments, then
+	// append enough to rotate several times.
+	appendN(t, j, RecReport, 100, make([]byte, 64))
+	if _, err := j.SaveSnapshot(func(w io.Writer) error {
+		_, err := w.Write([]byte("snap"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, j, RecReport, 100, make([]byte, 64))
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0].firstLSN == 1 {
+		t.Skip("retention kept full history; nothing to bootstrap past")
+	}
+
+	c := NewCursor(dir, 0)
+	defer c.Close()
+	recs := drain(t, c)
+	if len(recs) == 0 {
+		t.Fatal("cursor delivered nothing")
+	}
+	if recs[0].LSN != segs[0].firstLSN {
+		t.Fatalf("bootstrap started at LSN %d, want history start %d", recs[0].LSN, segs[0].firstLSN)
+	}
+	if recs[len(recs)-1].LSN != 200 {
+		t.Fatalf("bootstrap ended at LSN %d, want 200", recs[len(recs)-1].LSN)
+	}
+}
+
+func TestCursorParksAtTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 1 << 20, MaxSegments: 64, Fsync: FsyncNever})
+	appendN(t, j, RecReport, 10, make([]byte, 32))
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Garbage at the tail looks like a frame mid-write: the cursor must
+	// deliver the valid prefix and park without error.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, segs[len(segs)-1].name), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c := NewCursor(dir, 0)
+	defer c.Close()
+	recs := drain(t, c)
+	if len(recs) != 10 {
+		t.Fatalf("cursor delivered %d records, want 10", len(recs))
+	}
+	// Still parked, still no error.
+	recs, err = c.Next(1 << 20)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("parked cursor returned %d records, err %v", len(recs), err)
+	}
+}
+
+func TestCursorSurfacesSkipRecords(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{SegmentBytes: 1 << 20, MaxSegments: 64, Fsync: FsyncNever})
+	defer j.Close()
+	now := time.Unix(1_700_000_000, 0)
+	recs := []Record{
+		{LSN: 1, Type: RecReport, TS: now, Data: []byte("a")},
+		{LSN: 2, Type: RecSkip, TS: now, Data: EncodeSkip(SkipEvent{End: 5})},
+		{LSN: 6, Type: RecReport, TS: now, Data: []byte("b")},
+	}
+	for _, rec := range recs {
+		if err := j.AppendRecord(rec); err != nil {
+			t.Fatalf("AppendRecord LSN %d: %v", rec.LSN, err)
+		}
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCursor(dir, 0)
+	defer c.Close()
+	got := drain(t, c)
+	if len(got) != 3 {
+		t.Fatalf("cursor delivered %d records, want 3 (skip surfaced verbatim)", len(got))
+	}
+	if got[1].Type != RecSkip || got[2].LSN != 6 {
+		t.Fatalf("skip not surfaced correctly: %+v", got)
+	}
+}
+
+func TestAppendRecordFollowerSemantics(t *testing.T) {
+	dir := t.TempDir()
+	j := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	defer j.Close()
+	now := time.Unix(1_700_000_000, 0)
+
+	// A virgin journal accepts any starting LSN: a fresh follower
+	// bootstraps onto leader history that retention already trimmed.
+	if err := j.AppendRecord(Record{LSN: 100, Type: RecReport, TS: now, Data: []byte("x")}); err != nil {
+		t.Fatalf("bootstrap append: %v", err)
+	}
+	// Duplicates are idempotent no-ops.
+	if err := j.AppendRecord(Record{LSN: 100, Type: RecReport, TS: now, Data: []byte("x")}); err != nil {
+		t.Fatalf("duplicate append: %v", err)
+	}
+	// Gaps are refused.
+	if err := j.AppendRecord(Record{LSN: 103, Type: RecReport, TS: now, Data: []byte("y")}); err == nil {
+		t.Fatal("gap append succeeded, want error")
+	}
+	if err := j.AppendRecord(Record{LSN: 101, Type: RecReport, TS: now, Data: []byte("y")}); err != nil {
+		t.Fatalf("sequential append: %v", err)
+	}
+	if got := j.LSN(); got != 101 {
+		t.Fatalf("LSN %d, want 101", got)
+	}
+
+	// Records carrying zero LSNs belong to Append, not AppendRecord.
+	if err := j.AppendRecord(Record{Type: RecReport, TS: now}); err == nil {
+		t.Fatal("zero-LSN AppendRecord succeeded, want error")
+	}
+
+	// A reopened follower journal continues from its durable position.
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := mustOpen(t, dir, Options{Fsync: FsyncNever})
+	defer j2.Close()
+	if err := j2.AppendRecord(Record{LSN: 102, Type: RecReport, TS: now, Data: []byte("z")}); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if err := j2.AppendRecord(Record{LSN: 200, Type: RecReport, TS: now}); err == nil {
+		t.Fatal("gap after reopen succeeded, want error")
+	}
+}

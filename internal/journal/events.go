@@ -37,6 +37,15 @@ const (
 	RecAck RecordType = 5
 	// RecRelease is one operator release (input).
 	RecRelease RecordType = 6
+	// RecSkip marks a compaction gap: the record's own LSN is the first
+	// elided LSN and its payload carries the last. Readers advance the
+	// expected sequence across the gap without dispatching anything.
+	RecSkip RecordType = 7
+	// RecEnroll is one enrollment-table mutation: an AP token digest
+	// minted (Digest set) or revoked (Digest empty). Journalled so
+	// tokens survive crash recovery and replicate to a standby — APs
+	// re-home after failover without re-minting (audit/input).
+	RecEnroll RecordType = 8
 )
 
 // String names the record type.
@@ -54,6 +63,10 @@ func (t RecordType) String() string {
 		return "ack"
 	case RecRelease:
 		return "release"
+	case RecSkip:
+		return "skip"
+	case RecEnroll:
+		return "enroll"
 	default:
 		return fmt.Sprintf("record(%d)", uint8(t))
 	}
@@ -384,9 +397,61 @@ func DecodeRelease(b []byte) (ReleaseEvent, error) {
 	return ev, r.err
 }
 
+// SkipEvent is one compaction gap: the run of elided LSNs ends at End
+// (inclusive). The carrying record's own LSN is the first elided LSN.
+type SkipEvent struct {
+	End uint64
+}
+
+// EncodeSkip encodes a compaction-gap payload.
+func EncodeSkip(ev SkipEvent) []byte {
+	b := make([]byte, 0, 1+8)
+	b = append(b, eventVersion)
+	return binary.BigEndian.AppendUint64(b, ev.End)
+}
+
+// DecodeSkip decodes an EncodeSkip payload.
+func DecodeSkip(b []byte) (SkipEvent, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return SkipEvent{}, err
+	}
+	ev := SkipEvent{End: r.u64()}
+	return ev, r.err
+}
+
+// EnrollEvent is one enrollment-table mutation. Digest is the sha256
+// of the minted token (the plaintext token is never journalled); an
+// empty Digest revokes the name.
+type EnrollEvent struct {
+	Name   string
+	Digest []byte
+}
+
+// EncodeEnroll encodes an enrollment-mutation payload.
+func EncodeEnroll(ev EnrollEvent) []byte {
+	b := make([]byte, 0, 1+2+len(ev.Name)+2+len(ev.Digest))
+	b = append(b, eventVersion)
+	b = putStr(b, ev.Name)
+	return putStr(b, string(ev.Digest))
+}
+
+// DecodeEnroll decodes an EncodeEnroll payload.
+func DecodeEnroll(b []byte) (EnrollEvent, error) {
+	r, err := newReader(b)
+	if err != nil {
+		return EnrollEvent{}, err
+	}
+	ev := EnrollEvent{Name: r.str()}
+	if d := r.str(); d != "" {
+		ev.Digest = []byte(d)
+	}
+	return ev, r.err
+}
+
 // DecodeEvent decodes a record's payload by its type, returning one of
 // ReportEvent, defense.SpoofVerdict, fusion.Decision, defense.Directive,
-// AckEvent, or ReleaseEvent.
+// AckEvent, ReleaseEvent, SkipEvent, or EnrollEvent.
 func DecodeEvent(rec Record) (any, error) {
 	switch rec.Type {
 	case RecReport:
@@ -401,6 +466,10 @@ func DecodeEvent(rec Record) (any, error) {
 		return DecodeAck(rec.Data)
 	case RecRelease:
 		return DecodeRelease(rec.Data)
+	case RecSkip:
+		return DecodeSkip(rec.Data)
+	case RecEnroll:
+		return DecodeEnroll(rec.Data)
 	default:
 		return nil, fmt.Errorf("journal: unknown record type %d", rec.Type)
 	}

@@ -332,6 +332,92 @@ func (j *Journal) Append(rec Record) (uint64, error) {
 	return lsn, nil
 }
 
+// AppendRecord writes one record preserving its LSN and timestamp —
+// the standby's replication sink, where the leader (not this journal)
+// owns LSN assignment. The record must continue the local sequence:
+// rec.LSN below the write position is ignored as an idempotent
+// duplicate (replays after a reconnect), rec.LSN past it is an error
+// (the leader streams contiguously, gaps included as RecSkip records).
+// An empty journal accepts any starting LSN, bootstrapping a follower
+// onto a leader whose history starts past LSN 1.
+func (j *Journal) AppendRecord(rec Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	if len(rec.Data) > MaxRecordSize-frameFixed {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordSize", len(rec.Data))
+	}
+	if rec.LSN == 0 {
+		return fmt.Errorf("journal: AppendRecord needs an assigned LSN")
+	}
+	if j.virginLocked() {
+		j.nextLSN = rec.LSN
+	}
+	if rec.LSN < j.nextLSN {
+		return nil // duplicate of an already-durable record
+	}
+	if rec.LSN > j.nextLSN {
+		return fmt.Errorf("journal: replication gap: record LSN %d, want %d", rec.LSN, j.nextLSN)
+	}
+	next := rec.LSN + 1
+	if rec.Type == RecSkip {
+		skip, err := DecodeSkip(rec.Data)
+		if err != nil {
+			return fmt.Errorf("journal: bad skip record at LSN %d: %w", rec.LSN, err)
+		}
+		if skip.End < rec.LSN {
+			return fmt.Errorf("journal: skip record at LSN %d ends at %d", rec.LSN, skip.End)
+		}
+		next = skip.End + 1
+	}
+	if j.f == nil {
+		if err := j.openSegmentLocked(); err != nil {
+			return err
+		}
+	}
+	frameLen := frameFixed + len(rec.Data)
+	start := len(j.buf)
+	j.buf = binary.BigEndian.AppendUint32(j.buf, uint32(frameLen))
+	j.buf = append(j.buf, 0, 0, 0, 0) // crc placeholder
+	j.buf = append(j.buf, byte(rec.Type))
+	j.buf = binary.BigEndian.AppendUint64(j.buf, rec.LSN)
+	j.buf = binary.BigEndian.AppendUint64(j.buf, uint64(rec.TS.UnixNano()))
+	j.buf = append(j.buf, rec.Data...)
+	frame := j.buf[start+recHdrSize:]
+	binary.BigEndian.PutUint32(j.buf[start+4:start+8], crc32.Checksum(frame, crcTable))
+	j.nextLSN = next
+	j.segSize += int64(recHdrSize + frameLen)
+	j.appends++
+	j.appendedBytes += uint64(recHdrSize + frameLen)
+	j.dirty = true
+	if j.opts.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	} else if len(j.buf) >= 1<<16 {
+		if err := j.flushLocked(); err != nil {
+			return err
+		}
+	}
+	if j.segSize >= j.opts.SegmentBytes {
+		return j.rotateLocked()
+	}
+	return nil
+}
+
+// virginLocked reports whether the journal has no history at all — no
+// appends this run, no open segment, and nothing durable from earlier
+// runs (Open left nextLSN at 1 and no segments exist).
+func (j *Journal) virginLocked() bool {
+	if j.appends != 0 || j.f != nil || j.nextLSN != 1 || j.snapLSN != 0 {
+		return false
+	}
+	segs, err := listSegments(j.dir)
+	return err == nil && len(segs) == 0
+}
+
 // openSegmentLocked starts the segment whose first record will be
 // nextLSN. An existing file of that name can only be the torn remnant
 // of a crash before any of its records became durable (the open scan
@@ -701,6 +787,15 @@ func scanSegment(path string, firstLSN, after uint64, fn func(Record) error) (ui
 			return last, nil // sequence broke: treat as a tear
 		}
 		last = rec.LSN
+		if rec.Type == RecSkip {
+			// Compaction gap: the record stands in for LSNs
+			// [rec.LSN, End]; the expected sequence resumes after it.
+			skip, err := DecodeSkip(rec.Data)
+			if err != nil || skip.End < rec.LSN {
+				return rec.LSN - 1, nil // malformed gap marker: treat as a tear
+			}
+			last = skip.End
+		}
 		if fn != nil && rec.LSN > after {
 			if err := fn(rec); err != nil {
 				return last, scanAbort{err}

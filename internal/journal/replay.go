@@ -37,11 +37,68 @@ type Hooks struct {
 	Report  func(ReportEvent)
 	Alert   func(defense.SpoofVerdict)
 	Release func(ReleaseEvent)
+	// Enroll applies an enrollment-table mutation (token digest minted
+	// or revoked) — how tokens survive recovery and failover.
+	Enroll func(EnrollEvent)
 	// Output observers — recorded decisions/directives/acks, for audit
 	// or comparison; recovery leaves them nil (it re-derives outputs).
 	Decision  func(fusion.Decision)
 	Directive func(defense.Directive)
 	Ack       func(AckEvent)
+}
+
+// Apply dispatches one record through h: pins the clock to the record
+// timestamp, sweeps, decodes, and routes the event to its sink. It is
+// the single-record core of ApplyRecords; the standby's live feed
+// applies each replicated record through it. RecSkip records advance
+// nothing (the elided events are compacted-away benign bulk).
+func Apply(rec Record, h Hooks) error {
+	if h.Clock != nil {
+		h.Clock.Set(rec.TS)
+	}
+	if h.Sweep != nil {
+		h.Sweep(rec.TS)
+	}
+	if h.OnRecord != nil {
+		h.OnRecord(rec)
+	}
+	ev, err := DecodeEvent(rec)
+	if err != nil {
+		return fmt.Errorf("LSN %d: %w", rec.LSN, err)
+	}
+	switch ev := ev.(type) {
+	case ReportEvent:
+		if h.Report != nil {
+			h.Report(ev)
+		}
+	case defense.SpoofVerdict:
+		if h.Alert != nil {
+			h.Alert(ev)
+		}
+	case ReleaseEvent:
+		if h.Release != nil {
+			h.Release(ev)
+		}
+	case EnrollEvent:
+		if h.Enroll != nil {
+			h.Enroll(ev)
+		}
+	case fusion.Decision:
+		if h.Decision != nil {
+			h.Decision(ev)
+		}
+	case defense.Directive:
+		if h.Directive != nil {
+			h.Directive(ev)
+		}
+	case AckEvent:
+		if h.Ack != nil {
+			h.Ack(ev)
+		}
+	case SkipEvent:
+		// Compaction gap: nothing to re-apply.
+	}
+	return nil
 }
 
 // ApplyRecords re-applies every record in dir with LSN > after through
@@ -55,42 +112,8 @@ func ApplyRecords(dir string, after uint64, h Hooks) (last uint64, n int, err er
 	}
 	last = after
 	err = ReadRecords(dir, after, func(rec Record) error {
-		h.Clock.Set(rec.TS)
-		if h.Sweep != nil {
-			h.Sweep(rec.TS)
-		}
-		if h.OnRecord != nil {
-			h.OnRecord(rec)
-		}
-		ev, err := DecodeEvent(rec)
-		if err != nil {
-			return fmt.Errorf("LSN %d: %w", rec.LSN, err)
-		}
-		switch ev := ev.(type) {
-		case ReportEvent:
-			if h.Report != nil {
-				h.Report(ev)
-			}
-		case defense.SpoofVerdict:
-			if h.Alert != nil {
-				h.Alert(ev)
-			}
-		case ReleaseEvent:
-			if h.Release != nil {
-				h.Release(ev)
-			}
-		case fusion.Decision:
-			if h.Decision != nil {
-				h.Decision(ev)
-			}
-		case defense.Directive:
-			if h.Directive != nil {
-				h.Directive(ev)
-			}
-		case AckEvent:
-			if h.Ack != nil {
-				h.Ack(ev)
-			}
+		if err := Apply(rec, h); err != nil {
+			return err
 		}
 		last, n = rec.LSN, n+1
 		return nil

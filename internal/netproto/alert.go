@@ -148,11 +148,11 @@ func newPeers() *peers {
 // (TTL/decay) and can be released (Controller.Release), so the list
 // shrinks as well as grows. Threats returns the full scored state.
 func (c *Controller) Quarantined() []Alert {
-	e := c.defenseLoaded()
-	if e == nil {
+	s := c.partsLoaded()
+	if s == nil {
 		return nil
 	}
-	states := e.Quarantined()
+	states := s.Quarantined()
 	out := make([]Alert, 0, len(states))
 	for _, st := range states {
 		out = append(out, Alert{
@@ -185,10 +185,10 @@ func (c *Controller) handleAlert(a Alert) {
 	// Apply before journaling (the ingest ordering): a snapshot racing
 	// this alert re-applies it from the tail at worst — one bounded
 	// double-count of its score — rather than losing the evidence.
-	if e := c.defense(); e != nil {
-		e.ReportSpoof(v)
+	if s := c.partsBuild(); s != nil {
+		s.ReportSpoof(v)
 	}
-	c.journalAppend(journal.RecAlert, journal.EncodeAlert(v))
+	c.journalAppend(v.MAC, journal.RecAlert, journal.EncodeAlert(v))
 }
 
 // --- Agent-side ---

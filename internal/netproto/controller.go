@@ -17,6 +17,7 @@ import (
 	"secureangle/internal/geom"
 	"secureangle/internal/journal"
 	"secureangle/internal/locate"
+	"secureangle/internal/partition"
 	"secureangle/internal/wifi"
 )
 
@@ -90,6 +91,16 @@ type Controller struct {
 	// snapshots a crash costs one WAL-tail replay; shorter intervals buy
 	// faster restarts for more write amplification.
 	SnapshotInterval time.Duration
+	// Partitions splits the controller core into N MAC-range partitions
+	// (default 1), each with its own fusion engine, defense engine, and
+	// — with WithJournalDir — journal stream. The public API is
+	// unchanged: Track, Threats, Quarantined, and StatusReport fan in
+	// across partitions. Because fusion/defense state is strictly
+	// per-MAC, a partitioned controller is decision-identical to the
+	// monolith; per-partition capacity caps (MaxClients etc.) apply to
+	// each partition, so the effective totals scale with N. Set it
+	// before traffic arrives, like the other tuning fields.
+	Partitions int
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
@@ -110,24 +121,31 @@ type Controller struct {
 	opsSrv *http.Server
 	opsLn  net.Listener
 
-	engineOnce  sync.Once
-	engine      atomic.Pointer[fusion.Engine]
-	defenseOnce sync.Once
-	defenseEng  atomic.Pointer[defense.Engine]
+	// parts is the partitioned engine core (one fusion + defense engine
+	// pair per MAC-range partition), built lazily on first traffic —
+	// both engine kinds together, freezing the tuning fields.
+	partsOnce   sync.Once
+	parts       atomic.Pointer[partition.Set]
 	unknownAP   atomic.Uint64
 	observerSeq atomic.Uint64
 	// directiveAcks counts applied-countermeasure reports from APs.
 	directiveAcks atomic.Uint64
 
-	// The flight recorder (see WithJournal): clk is the engines' time
-	// source, pinned to recorded timestamps while recovery replays the
-	// WAL tail; recovering suppresses journaling and fan-out of the
-	// re-derived events.
-	jrnl       atomic.Pointer[journal.Journal]
+	// The flight recorder (see WithJournal / WithJournalDir): one
+	// journal per partition; clk is the engines' time source, pinned to
+	// recorded timestamps while recovery replays the WAL tail;
+	// recovering suppresses journaling and fan-out of the re-derived
+	// events.
+	jset       atomic.Pointer[journalSet]
 	clk        journal.ReplayClock
 	recovering atomic.Bool
 	snapDone   chan struct{}
 	snapWG     sync.WaitGroup
+
+	// repl tracks live replication sessions (peers that subscribed with
+	// a SegmentAck), for the lag gauge and /status.
+	replMu sync.Mutex
+	repl   map[*replSession]struct{}
 
 	ln     net.Listener
 	wg     sync.WaitGroup
@@ -169,29 +187,44 @@ func (c *Controller) fusionConfig() fusion.Config {
 	}
 }
 
-// eng returns the fusion engine, building it on first ingest from the
+// nParts resolves the partition count (Partitions <= 0 means 1).
+func (c *Controller) nParts() int {
+	if c.Partitions <= 0 {
+		return 1
+	}
+	return c.Partitions
+}
+
+// partsBuild returns the partitioned engine set, building every
+// partition's fusion and defense engine on first traffic from the
 // controller's tuning fields (so callers may set them any time between
 // NewController and the first report; read-only accessors never
 // trigger the build). Contradictory settings panic, the core.NewAP
-// Config contract — Serve pre-validates so the common
-// misconfiguration fails at startup, not at the first packet. After
-// Close, either no engine exists (nil, and ingest is a no-op) or the
-// existing engine refuses further bearings itself.
-func (c *Controller) eng() *fusion.Engine {
-	if e := c.engine.Load(); e != nil {
-		return e
+// Config contract — Serve pre-validates so the common misconfiguration
+// fails at startup, not at the first packet. After Close, either no
+// set exists (nil, and ingest is a no-op) or the existing engines
+// refuse further input themselves.
+func (c *Controller) partsBuild() *partition.Set {
+	if s := c.parts.Load(); s != nil {
+		return s
 	}
-	c.engineOnce.Do(func() {
+	c.partsOnce.Do(func() {
 		c.mu.Lock()
 		closed := c.closed
 		c.mu.Unlock()
 		if closed {
 			return
 		}
-		c.engine.Store(fusion.MustNew(c.fusionConfig()))
+		c.parts.Store(partition.MustNew(c.nParts(),
+			func(int) fusion.Config { return c.fusionConfig() },
+			func(int) defense.Config { return c.defenseConfig() }))
 	})
-	return c.engine.Load()
+	return c.parts.Load()
 }
+
+// partsLoaded returns the engine set only if traffic (or recovery) has
+// already built it — the read-only accessors' view.
+func (c *Controller) partsLoaded() *partition.Set { return c.parts.Load() }
 
 func (c *Controller) apCount() int {
 	c.mu.Lock()
@@ -210,30 +243,6 @@ func (c *Controller) defenseConfig() defense.Config {
 	}
 }
 
-// defense returns the defense engine, building it on first verdict
-// from DefensePolicy (the fusion-engine lazy-build contract:
-// contradictory settings panic; Serve pre-validates; read-only
-// accessors never trigger the build; after Close no engine is built).
-func (c *Controller) defense() *defense.Engine {
-	if e := c.defenseEng.Load(); e != nil {
-		return e
-	}
-	c.defenseOnce.Do(func() {
-		c.mu.Lock()
-		closed := c.closed
-		c.mu.Unlock()
-		if closed {
-			return
-		}
-		c.defenseEng.Store(defense.MustNew(c.defenseConfig()))
-	})
-	return c.defenseEng.Load()
-}
-
-// defenseLoaded returns the defense engine only if a verdict has
-// already built it — the read-only accessors' view.
-func (c *Controller) defenseLoaded() *defense.Engine { return c.defenseEng.Load() }
-
 // Release is the operator path out of quarantine: drop the MAC's
 // threat state back to allow and broadcast the release directive to
 // every v2 AP. Reports whether the MAC had any threat state. (The wire
@@ -247,13 +256,13 @@ func (c *Controller) Release(mac wifi.Addr) bool {
 // in-process API, or the AP that relayed a wire request) and is what
 // the journal records.
 func (c *Controller) releaseFrom(mac wifi.Addr, source string) bool {
-	e := c.defenseLoaded()
-	if e == nil {
+	s := c.partsLoaded()
+	if s == nil {
 		return false
 	}
-	ok := e.Release(mac)
+	ok := s.Release(mac)
 	if ok {
-		c.journalAppend(journal.RecRelease, journal.EncodeRelease(journal.ReleaseEvent{MAC: mac, Source: source}))
+		c.journalAppend(mac, journal.RecRelease, journal.EncodeRelease(journal.ReleaseEvent{MAC: mac, Source: source}))
 	}
 	return ok
 }
@@ -262,16 +271,16 @@ func (c *Controller) releaseFrom(mac wifi.Addr, source string) bool {
 // tracked client — the in-process face of the Query(KindThreats)
 // exchange.
 func (c *Controller) Threats() []defense.ClientThreat {
-	if e := c.defenseLoaded(); e != nil {
-		return e.Snapshot()
+	if s := c.partsLoaded(); s != nil {
+		return s.Threats()
 	}
 	return nil
 }
 
 // Threat returns one client's live threat state.
 func (c *Controller) Threat(mac wifi.Addr) (defense.ClientThreat, bool) {
-	if e := c.defenseLoaded(); e != nil {
-		return e.State(mac)
+	if s := c.partsLoaded(); s != nil {
+		return s.State(mac)
 	}
 	return defense.ClientThreat{}, false
 }
@@ -285,7 +294,7 @@ func (c *Controller) emitDecision(d fusion.Decision) {
 	// are rebuilt), but consumers must not see it again and the journal
 	// already holds it.
 	if !c.recovering.Load() {
-		c.journalAppend(journal.RecDecision, journal.EncodeDecision(d))
+		c.journalAppend(d.MAC, journal.RecDecision, journal.EncodeDecision(d))
 		out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
 		c.mu.Lock()
 		if c.closed {
@@ -310,13 +319,13 @@ func (c *Controller) emitDecision(d fusion.Decision) {
 	// Close the loop: every fused fence decision is defense evidence,
 	// and the refreshed mobility track both updates the threat's last
 	// known position and surfaces velocity anomalies.
-	if e := c.defense(); e != nil {
-		e.ReportFence(defense.FenceVerdict{
+	if s := c.partsBuild(); s != nil {
+		s.ReportFence(defense.FenceVerdict{
 			MAC: d.MAC, Seq: d.Seq, Pos: d.Pos,
 			Allowed: d.Decision == locate.Allow, Forced: d.Forced,
 		})
-		if ts, ok := c.Track(d.MAC); ok {
-			e.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
+		if ts, ok := s.Track(d.MAC); ok {
+			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
 		}
 	}
 }
@@ -343,11 +352,9 @@ func (c *Controller) Stats() ControllerStats {
 		UnknownAPDrops: c.unknownAP.Load(),
 		DirectiveAcks:  c.directiveAcks.Load(),
 	}
-	if e := c.engine.Load(); e != nil {
-		s.Stats = e.Stats()
-	}
-	if e := c.defenseLoaded(); e != nil {
-		s.Defense = e.Stats()
+	if set := c.partsLoaded(); set != nil {
+		s.Stats = set.Stats()
+		s.Defense = set.DefenseStats()
 	}
 	return s
 }
@@ -355,16 +362,16 @@ func (c *Controller) Stats() ControllerStats {
 // Track returns the live mobility-trace state for one client MAC — the
 // in-process face of the wire Query/Tracks exchange.
 func (c *Controller) Track(mac wifi.Addr) (fusion.TrackState, bool) {
-	if e := c.engine.Load(); e != nil {
-		return e.Track(mac)
+	if s := c.partsLoaded(); s != nil {
+		return s.Track(mac)
 	}
 	return fusion.TrackState{}, false
 }
 
 // Snapshot returns the mobility-trace state of every tracked client.
 func (c *Controller) Snapshot() []fusion.TrackState {
-	if e := c.engine.Load(); e != nil {
-		return e.Snapshot()
+	if s := c.partsLoaded(); s != nil {
+		return s.Snapshot()
 	}
 	return nil
 }
@@ -424,14 +431,15 @@ func (c *Controller) Unsubscribe(s *Subscription) {
 // here, before any peer traffic can trigger the engines' lazy builds
 // inside a handler.
 func (c *Controller) Serve(ln net.Listener) {
-	if c.engine.Load() == nil {
+	if c.parts.Load() == nil {
 		if err := c.fusionConfig().WithDefaults().Validate(); err != nil {
 			panic(err)
 		}
-	}
-	if c.defenseEng.Load() == nil {
 		if err := c.defenseConfig().WithDefaults().Validate(); err != nil {
 			panic(err)
+		}
+		if n := c.nParts(); n > partition.MaxPartitions {
+			panic(fmt.Sprintf("netproto: Partitions %d exceeds %d", n, partition.MaxPartitions))
 		}
 	}
 	c.ln = ln
@@ -465,37 +473,38 @@ func (c *Controller) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
-	// Flight recorder last rites: stop the snapshot ticker, take the
-	// shutdown snapshot while the engines are still alive (so a clean
-	// restart restores instantly instead of replaying the WAL), and seal
-	// the journal.
+	// Flight recorder last rites: stop the snapshot ticker, then for
+	// each partition in deterministic order 0..N-1 take the shutdown
+	// snapshot while the engines are still alive (so a clean restart
+	// restores instantly instead of replaying the WAL) and only then
+	// seal that partition's journal. Snapshot-before-seal per partition
+	// matters: sealing first would leave the snapshot unwritable and a
+	// restart replaying the whole WAL tail.
 	if c.snapDone != nil {
 		close(c.snapDone)
 		c.snapWG.Wait()
 	}
-	if j := c.jrnl.Load(); j != nil {
-		if c.snapshotsEnabled() {
-			if err := c.saveSnapshot(j); err != nil {
-				c.logf("controller: shutdown snapshot: %v", err)
+	if js := c.jset.Load(); js != nil {
+		for i, j := range js.js {
+			if c.snapshotsEnabled() {
+				if err := c.saveSnapshot(i, j); err != nil {
+					c.logf("controller: shutdown snapshot p%d: %v", i, err)
+				}
+			}
+			if err := j.Close(); err != nil {
+				c.logf("controller: journal close p%d: %v", i, err)
 			}
 		}
-		if err := j.Close(); err != nil {
-			c.logf("controller: journal close: %v", err)
-		}
 	}
-	// Burn the lazy-init slots so a racing ingest cannot build a fresh
-	// engine after we shut down; then close whichever engines exist.
-	c.engineOnce.Do(func() {})
-	c.defenseOnce.Do(func() {})
-	if e := c.engine.Load(); e != nil {
-		e.Close()
-		s := c.Stats()
+	// Burn the lazy-init slot so a racing ingest cannot build a fresh
+	// engine set after we shut down; then close whichever engines exist.
+	c.partsOnce.Do(func() {})
+	if set := c.partsLoaded(); set != nil {
+		set.Close()
+		s := set.Stats()
 		c.logf("controller: close: ingested=%d decisions=%d dups=%d expired=%d evictedPending=%d evictedClients=%d forced=%d fuseErrors=%d unknownAP=%d",
-			s.Ingested, s.Decisions, s.DupDropped, s.PendingExpired, s.PendingEvicted, s.ClientsEvicted, s.ForcedTimeouts, s.FuseErrors, s.UnknownAPDrops)
-	}
-	if e := c.defenseLoaded(); e != nil {
-		e.Close()
-		d := e.Stats()
+			s.Ingested, s.Decisions, s.DupDropped, s.PendingExpired, s.PendingEvicted, s.ClientsEvicted, s.ForcedTimeouts, s.FuseErrors, c.unknownAP.Load())
+		d := set.DefenseStats()
 		c.logf("controller: defense close: spoofs=%d fences=%d tracks=%d quarantines=%d nullSteers=%d releases=%d (decay=%d ttl=%d operator=%d evicted=%d) acks=%d",
 			d.SpoofVerdicts, d.FenceVerdicts, d.TrackVerdicts, d.Quarantines, d.NullSteers, d.Releases, d.DecayReleases, d.TTLReleases, d.OperatorReleases, d.EvictedReleases, c.directiveAcks.Load())
 	}
@@ -548,10 +557,12 @@ func (c *Controller) handle(conn net.Conn) {
 	}()
 
 	helloed := false
+	tokenOK := false
 	var ver uint16 = ProtoV1
 	var apName string
 	var bcast chan []byte
 	var health *apHealth
+	var repl *replSession
 	for {
 		if t := c.readTimeout(); t > 0 {
 			conn.SetReadDeadline(time.Now().Add(t))
@@ -594,6 +605,10 @@ func (c *Controller) handle(conn net.Conn) {
 				c.logf("controller: session %q rejected: %s", m.Name, reason)
 				return
 			}
+			// A token that reached this point validated (authorize
+			// rejects bad ones even when auth is optional): the session
+			// is entitled to the token-gated exchanges — replication.
+			tokenOK = m.Token != ""
 			apName = m.Name
 			if m.Name == "" {
 				// Observer session: receives broadcasts and may query,
@@ -655,6 +670,16 @@ func (c *Controller) handle(conn net.Conn) {
 				continue
 			}
 			c.handleDirective(m, apName)
+		case SegmentAck:
+			// v4-gated and token-gated: journal streaming ships the
+			// fleet's full event history, so only a peer that proved an
+			// enrollment token may subscribe. The first ack is the
+			// subscribe position vector; later ones report applied LSNs.
+			if !helloed || ver < ProtoV4 || !tokenOK {
+				c.logf("controller: segment ack ignored on unauthenticated v%d session", ver)
+				continue
+			}
+			repl = c.handleSegmentAck(repl, m, apName, done)
 		}
 	}
 }
@@ -740,10 +765,10 @@ func (c *Controller) ingest(r Report) {
 	// sees its effect (and the event's LSN predates the capture) or the
 	// event lands in the replayed tail — double-applied at worst, never
 	// lost. The fusion seq window absorbs a re-applied report.
-	if e := c.eng(); e != nil {
-		e.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
+	if s := c.partsBuild(); s != nil {
+		s.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
 	}
-	c.journalAppend(journal.RecReport, journal.EncodeReport(journal.ReportEvent{
+	c.journalAppend(r.MAC, journal.RecReport, journal.EncodeReport(journal.ReportEvent{
 		AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, BearingDeg: r.BearingDeg,
 	}))
 }

@@ -126,7 +126,7 @@ func (c *Controller) emitDirective(d defense.Directive) {
 	if c.recovering.Load() {
 		return
 	}
-	c.journalAppend(journal.RecDirective, journal.EncodeDirective(d))
+	c.journalAppend(d.MAC, journal.RecDirective, journal.EncodeDirective(d))
 	c.noteDirectiveSent(d.MAC)
 	frame := MarshalDirective(Directive{Directive: d})
 	entering := d.To == defense.StateQuarantine && d.From != defense.StateQuarantine
@@ -167,7 +167,7 @@ func (c *Controller) handleDirective(d Directive, apName string) {
 	if d.Ack {
 		c.directiveAcks.Add(1)
 		c.noteDirectiveAck(d.MAC, apName)
-		c.journalAppend(journal.RecAck, journal.EncodeAck(journal.AckEvent{AP: apName, Directive: d.Directive}))
+		c.journalAppend(d.MAC, journal.RecAck, journal.EncodeAck(journal.AckEvent{AP: apName, Directive: d.Directive}))
 		c.logf("controller: %s applied %s for %s (bearing %.1f)", apName, d.Action, d.MAC, d.BearingDeg)
 		return
 	}

@@ -8,6 +8,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"secureangle/internal/journal"
 )
 
 // Token-based AP enrollment (protocol v4). The controller mints one
@@ -43,12 +45,17 @@ func (c *Controller) EnrollAP(name string) (string, error) {
 		return "", fmt.Errorf("netproto: enroll: %w", err)
 	}
 	token := hex.EncodeToString(raw[:])
+	digest := sha256.Sum256([]byte(token))
 	c.mu.Lock()
 	if c.tokens == nil {
 		c.tokens = make(map[string][sha256.Size]byte)
 	}
-	c.tokens[name] = sha256.Sum256([]byte(token))
+	c.tokens[name] = digest
 	c.mu.Unlock()
+	// Enrollment mutations are MAC-less, so they live in partition 0's
+	// journal: a restart (or a streaming standby) rebuilds the token
+	// table and the fleet's credentials survive failover.
+	c.journalAppendTo(0, journal.RecEnroll, journal.EncodeEnroll(journal.EnrollEvent{Name: name, Digest: digest[:]}))
 	return token, nil
 }
 
@@ -58,12 +65,16 @@ func (c *Controller) EnrollAP(name string) (string, error) {
 // gone now can additionally drop its connection.
 func (c *Controller) RevokeAP(name string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.tokens[name]; !ok {
-		return false
+	_, ok := c.tokens[name]
+	if ok {
+		delete(c.tokens, name)
 	}
-	delete(c.tokens, name)
-	return true
+	c.mu.Unlock()
+	if ok {
+		// An empty digest is the journal's revocation form.
+		c.journalAppendTo(0, journal.RecEnroll, journal.EncodeEnroll(journal.EnrollEvent{Name: name}))
+	}
+	return ok
 }
 
 // EnrolledAPs lists enrolled AP names, sorted.

@@ -1,28 +1,40 @@
 package netproto
 
-// The controller's flight recorder (see package journal): WithJournal
-// attaches a durable event journal, recovers state from it, and from
-// then on every decision-relevant event — reports at ingest, spoof
-// alerts, fused decisions, directives, acks, operator releases — is
-// appended as it happens, with the fusion and defense engines
-// snapshotted on a timer and at shutdown. A controller restarted over
-// the same directory resumes its live quarantines instead of handing
-// every quarantined attacker a free re-entry window as AP leases
-// expire.
+// The controller's flight recorder (see package journal): WithJournal /
+// WithJournalDir attach durable event journals, recover state from
+// them, and from then on every decision-relevant event — reports at
+// ingest, spoof alerts, fused decisions, directives, acks, operator
+// releases, enrollment mutations — is appended as it happens, with the
+// engines snapshotted on a timer and at shutdown. A controller
+// restarted over the same directory resumes its live quarantines
+// instead of handing every quarantined attacker a free re-entry window
+// as AP leases expire.
+//
+// A partitioned controller (Partitions > 1) keeps one journal per
+// MAC-range partition under dir/p0..p{N-1}: each partition's stream is
+// strictly ordered for its MACs, recoverable independently, and
+// streamable to a standby without cross-partition coordination. The
+// single-partition layout stays flat (the PR 5–7 on-disk format),
+// so existing deployments recover unchanged.
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"secureangle/internal/defense"
 	"secureangle/internal/fusion"
 	"secureangle/internal/journal"
+	"secureangle/internal/partition"
+	"secureangle/internal/wifi"
 )
 
 // DefaultSnapshotInterval is the journal snapshot cadence when
@@ -36,31 +48,145 @@ const (
 	ctrlSnapVersion = 1
 )
 
-// WithJournal attaches an open journal to the controller and recovers
-// from it: the latest snapshot (if any) is restored into the fusion and
-// defense engines, and the WAL tail after it is re-applied with the
-// engines' clock pinned to the recorded timestamps, so decay, pending
-// TTLs, and forced-decision deadlines replay exactly as they elapsed.
-// Call it after setting the tuning fields and before Serve — it builds
-// both engines (freezing the tuning, the lazy-build contract) and
-// returns an error on contradictory tuning or unreadable journal state.
-//
-// After WithJournal returns, every decision-relevant event is appended
-// to the journal as it happens, snapshots are taken every
-// SnapshotInterval and at Close, and APs that (re)connect receive the
-// surviving quarantines as resume directives.
+// journalSet is the per-partition journal vector, one *journal.Journal
+// per MAC-range partition (length always equals the partition count).
+type journalSet struct {
+	js []*journal.Journal
+}
+
+// journals returns the attached journal vector (nil when none).
+func (c *Controller) journals() []*journal.Journal {
+	if js := c.jset.Load(); js != nil {
+		return js.js
+	}
+	return nil
+}
+
+// WithJournal attaches one open journal to a single-partition
+// controller and recovers from it — the PR 5 entry point, kept for the
+// flat on-disk layout. Partitioned controllers use WithJournalDir.
 func (c *Controller) WithJournal(j *journal.Journal) error {
 	if j == nil {
 		return errors.New("netproto: WithJournal(nil)")
 	}
-	if c.jrnl.Load() != nil {
+	if c.nParts() > 1 {
+		return errors.New("netproto: WithJournal on a partitioned controller (use WithJournalDir)")
+	}
+	return c.attachJournals([]*journal.Journal{j})
+}
+
+// WithJournalDir opens (creating as needed) the controller's journal
+// layout under dir and attaches it: a flat journal for a
+// single-partition controller, dir/p0..p{N-1} for Partitions == N. The
+// on-disk layout must match the configured partition count — a
+// mismatch is refused rather than silently splitting or merging
+// history (re-partitioning an existing journal is an offline
+// migration, not a config change). opts applies to every partition's
+// journal; zero fields take the package journal defaults.
+func (c *Controller) WithJournalDir(dir string, opts journal.Options) error {
+	n := c.nParts()
+	flat, err := hasFlatSegments(dir)
+	if err != nil {
+		return err
+	}
+	onDisk, err := countPartDirs(dir)
+	if err != nil {
+		return err
+	}
+	if n == 1 {
+		if onDisk > 0 {
+			return fmt.Errorf("netproto: journal dir %s holds %d partition(s) but Partitions=1", dir, onDisk)
+		}
+		j, err := journal.Open(dir, opts)
+		if err != nil {
+			return err
+		}
+		if err := c.attachJournals([]*journal.Journal{j}); err != nil {
+			j.Close()
+			return err
+		}
+		return nil
+	}
+	if flat {
+		return fmt.Errorf("netproto: journal dir %s holds a flat single-partition journal but Partitions=%d", dir, n)
+	}
+	if onDisk > n {
+		return fmt.Errorf("netproto: journal dir %s holds %d partition(s) but Partitions=%d", dir, onDisk, n)
+	}
+	js := make([]*journal.Journal, n)
+	for i := range js {
+		j, err := journal.Open(filepath.Join(dir, fmt.Sprintf("p%d", i)), opts)
+		if err != nil {
+			for k := 0; k < i; k++ {
+				js[k].Close()
+			}
+			return err
+		}
+		js[i] = j
+	}
+	if err := c.attachJournals(js); err != nil {
+		for _, j := range js {
+			j.Close()
+		}
+		return err
+	}
+	return nil
+}
+
+// hasFlatSegments reports whether dir directly contains WAL segments
+// (the single-partition layout).
+func hasFlatSegments(dir string) (bool, error) {
+	m, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil {
+		return false, err
+	}
+	return len(m) > 0, nil
+}
+
+// countPartDirs counts contiguous p0, p1, … subdirectories of dir (the
+// partitioned layout's width).
+func countPartDirs(dir string) (int, error) {
+	n := 0
+	for {
+		fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("p%d", n)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				return n, nil
+			}
+			return n, err
+		}
+		if !fi.IsDir() {
+			return n, nil
+		}
+		n++
+	}
+}
+
+// attachJournals recovers every partition from its journal and arms
+// live journaling: per partition, the latest readable snapshot
+// generation is restored into that partition's engines (falling back
+// one generation on pre-apply validation failure), then the WAL tail
+// after it is re-applied with the engines' clock pinned to the
+// recorded timestamps, so decay, pending TTLs, and forced-decision
+// deadlines replay exactly as they elapsed. Call it after setting the
+// tuning fields and before Serve — it builds the engine set (freezing
+// the tuning, the lazy-build contract) and returns an error on
+// contradictory tuning or unreadable journal state; a failed recovery
+// attaches nothing, so the caller may retry with a repaired journal.
+//
+// After it returns, every decision-relevant event is appended to its
+// MAC's partition journal as it happens, snapshots are taken every
+// SnapshotInterval and at Close, and APs that (re)connect receive the
+// surviving quarantines as resume directives.
+func (c *Controller) attachJournals(js []*journal.Journal) error {
+	if c.jset.Load() != nil {
 		return errors.New("netproto: journal already attached")
 	}
 	c.mu.Lock()
 	closed := c.closed
 	c.mu.Unlock()
 	if closed {
-		return errors.New("netproto: WithJournal on closed controller")
+		return errors.New("netproto: journal attach on closed controller")
 	}
 	if err := c.fusionConfig().WithDefaults().Validate(); err != nil {
 		return err
@@ -71,52 +197,83 @@ func (c *Controller) WithJournal(j *journal.Journal) error {
 
 	// Recovery runs with journaling suppressed (the events being
 	// re-applied are already in the log) and the engine clock pinned to
-	// recorded time. The journal is only attached once recovery
-	// succeeds: a failed recovery must not leave live events appending
-	// to (and shutdown snapshots overwriting) a directory whose history
-	// the engines do not reflect, and the caller may retry with a
-	// repaired journal.
+	// recorded time.
 	c.recovering.Store(true)
 	defer func() {
 		c.clk.Live()
 		c.recovering.Store(false)
 	}()
 
-	fe := c.eng()
-	de := c.defense()
-	if fe == nil || de == nil {
+	set := c.partsBuild()
+	if set == nil {
 		return errors.New("netproto: engines unavailable for recovery")
 	}
+	if set.N() != len(js) {
+		return fmt.Errorf("netproto: %d journal(s) for %d partition(s)", len(js), set.N())
+	}
 
-	// Restore the newest readable snapshot generation, falling back to
-	// its predecessor on pre-apply validation failure (that is why two
-	// generations are retained) — a corrupt latest snapshot costs a
-	// longer tail replay, not the recovery. Errors raised after
-	// validation are fatal: the engines may hold partial state.
+	for i, j := range js {
+		if err := c.recoverPartition(i, j, set); err != nil {
+			return err
+		}
+	}
+	c.logf("controller: journal recovery: %d partition(s), %d client(s) still quarantined",
+		len(js), len(set.Quarantined()))
+
+	c.jset.Store(&journalSet{js: js})
+	if c.snapshotsEnabled() {
+		c.snapDone = make(chan struct{})
+		c.snapWG.Add(1)
+		go c.snapshotLoop()
+	}
+	return nil
+}
+
+// recoverPartition restores one partition's engines from its journal:
+// newest readable snapshot generation first (that is why two
+// generations are retained — a corrupt latest snapshot costs a longer
+// tail replay, not the recovery), then the WAL tail after it. Errors
+// raised after snapshot validation are fatal: the engines may hold
+// partial state.
+func (c *Controller) recoverPartition(i int, j *journal.Journal, set *partition.Set) error {
+	fe, de := set.At(i).Fusion, set.At(i).Defense
 	var snapLSN uint64
 	snaps, err := journal.Snapshots(j.Dir())
 	if err != nil {
-		return fmt.Errorf("netproto: journal snapshots: %w", err)
+		return fmt.Errorf("netproto: journal snapshots p%d: %w", i, err)
 	}
-	for i := len(snaps) - 1; i >= 0; i-- {
-		r, err := journal.OpenSnapshot(j.Dir(), snaps[i])
+	for k := len(snaps) - 1; k >= 0; k-- {
+		r, err := journal.OpenSnapshot(j.Dir(), snaps[k])
 		if err != nil {
-			c.logf("controller: snapshot LSN %d unreadable (%v), trying older", snaps[i], err)
+			c.logf("controller: p%d snapshot LSN %d unreadable (%v), trying older", i, snaps[k], err)
 			continue
 		}
 		err = readControllerSnapshot(r, fe, de)
 		r.Close()
 		if err == nil {
-			snapLSN = snaps[i]
+			snapLSN = snaps[k]
 			break
 		}
 		if !errors.Is(err, errSnapshotCorrupt) {
-			return fmt.Errorf("netproto: journal snapshot LSN %d: %w", snaps[i], err)
+			return fmt.Errorf("netproto: journal snapshot p%d LSN %d: %w", i, snaps[k], err)
 		}
-		c.logf("controller: snapshot LSN %d corrupt (%v), trying older", snaps[i], err)
+		c.logf("controller: p%d snapshot LSN %d corrupt (%v), trying older", i, snaps[k], err)
 	}
 
-	last, n, err := journal.ApplyRecords(j.Dir(), snapLSN, journal.Hooks{
+	last, n, err := journal.ApplyRecords(j.Dir(), snapLSN, c.partitionHooks(fe, de))
+	if err != nil {
+		return fmt.Errorf("netproto: journal recovery p%d: %w", i, err)
+	}
+	c.logf("controller: p%d recovery: snapshot through LSN %d, %d tail records re-applied (through LSN %d)",
+		i, snapLSN, n, last)
+	return nil
+}
+
+// partitionHooks routes replayed records into one partition's engines
+// (and the controller-global token table). Shared by recovery and the
+// standby's live apply path.
+func (c *Controller) partitionHooks(fe *fusion.Engine, de *defense.Engine) journal.Hooks {
+	return journal.Hooks{
 		Clock: &c.clk,
 		Sweep: func(now time.Time) {
 			fe.Sweep(now)
@@ -131,21 +288,32 @@ func (c *Controller) WithJournal(j *journal.Journal) error {
 		Release: func(ev journal.ReleaseEvent) {
 			de.Release(ev.MAC)
 		},
-	})
-	if err != nil {
-		return fmt.Errorf("netproto: journal recovery: %w", err)
+		Enroll: func(ev journal.EnrollEvent) {
+			c.applyEnroll(ev)
+		},
 	}
-	quarantined := len(de.Quarantined())
-	c.logf("controller: journal recovery: snapshot through LSN %d, %d tail records re-applied (through LSN %d), %d client(s) still quarantined",
-		snapLSN, n, last, quarantined)
+}
 
-	c.jrnl.Store(j)
-	if c.snapshotsEnabled() {
-		c.snapDone = make(chan struct{})
-		c.snapWG.Add(1)
-		go c.snapshotLoop(j)
+// applyEnroll replays one enrollment mutation into the token table: a
+// digest mints (or rotates) an AP's credential, an empty digest
+// revokes it. Malformed digests are dropped — a journal from a newer
+// hash would otherwise corrupt the table.
+func (c *Controller) applyEnroll(ev journal.EnrollEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(ev.Digest) == 0 {
+		delete(c.tokens, ev.Name)
+		return
 	}
-	return nil
+	if len(ev.Digest) != sha256.Size || ev.Name == "" {
+		return
+	}
+	if c.tokens == nil {
+		c.tokens = make(map[string][sha256.Size]byte)
+	}
+	var d [sha256.Size]byte
+	copy(d[:], ev.Digest)
+	c.tokens[ev.Name] = d
 }
 
 // snapshotsEnabled resolves the snapshot cadence knob (negative
@@ -160,7 +328,7 @@ func (c *Controller) snapshotInterval() time.Duration {
 	return DefaultSnapshotInterval
 }
 
-func (c *Controller) snapshotLoop(j *journal.Journal) {
+func (c *Controller) snapshotLoop() {
 	defer c.snapWG.Done()
 	t := time.NewTicker(c.snapshotInterval())
 	defer t.Stop()
@@ -171,29 +339,40 @@ func (c *Controller) snapshotLoop(j *journal.Journal) {
 		case <-c.ctx.Done():
 			return
 		case <-t.C:
-			if err := c.saveSnapshot(j); err != nil && !errors.Is(err, journal.ErrClosed) {
-				c.logf("controller: snapshot: %v", err)
+			for i, j := range c.journals() {
+				if err := c.saveSnapshot(i, j); err != nil && !errors.Is(err, journal.ErrClosed) {
+					c.logf("controller: snapshot p%d: %v", i, err)
+				}
 			}
 		}
 	}
 }
 
-// SnapshotJournal forces a snapshot now (the timer path made callable —
-// operational tooling and tests). No-op error when no journal is
-// attached.
+// SnapshotJournal forces a snapshot of every partition now (the timer
+// path made callable — operational tooling and tests). No-op error
+// when no journal is attached.
 func (c *Controller) SnapshotJournal() error {
-	j := c.jrnl.Load()
-	if j == nil {
+	js := c.journals()
+	if js == nil {
 		return errors.New("netproto: no journal attached")
 	}
-	return c.saveSnapshot(j)
+	for i, j := range js {
+		if err := c.saveSnapshot(i, j); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-// saveSnapshot persists both engines' state through the journal's
-// atomic snapshot path.
-func (c *Controller) saveSnapshot(j *journal.Journal) error {
-	fe := c.engine.Load()
-	de := c.defenseLoaded()
+// saveSnapshot persists one partition's engine state through its
+// journal's atomic snapshot path.
+func (c *Controller) saveSnapshot(i int, j *journal.Journal) error {
+	var fe *fusion.Engine
+	var de *defense.Engine
+	if set := c.partsLoaded(); set != nil && i < set.N() {
+		p := set.At(i)
+		fe, de = p.Fusion, p.Defense
+	}
 	_, err := j.SaveSnapshot(func(w io.Writer) error {
 		return writeControllerSnapshot(w, fe, de)
 	})
@@ -310,17 +489,31 @@ func readControllerSnapshot(r io.Reader, fe *fusion.Engine, de *defense.Engine) 
 	return nil
 }
 
-// journalAppend records one event when a journal is attached and the
-// controller is not replaying history. Append failures are logged, not
-// fatal: the controller keeps serving (degraded to in-memory) rather
-// than dropping the fleet because a disk filled.
-func (c *Controller) journalAppend(t journal.RecordType, data []byte) {
-	j := c.jrnl.Load()
-	if j == nil || c.recovering.Load() {
+// journalAppend records one event in its MAC's partition journal, when
+// journals are attached and the controller is not replaying history.
+// Append failures are logged, not fatal: the controller keeps serving
+// (degraded to in-memory) rather than dropping the fleet because a
+// disk filled.
+func (c *Controller) journalAppend(mac wifi.Addr, t journal.RecordType, data []byte) {
+	js := c.journals()
+	if js == nil {
 		return
 	}
-	if _, err := j.Append(journal.Record{Type: t, Data: data}); err != nil && !errors.Is(err, journal.ErrClosed) {
-		c.logf("controller: journal append (%s): %v", t, err)
+	c.journalAppendTo(partition.IndexFor(mac, len(js)), t, data)
+}
+
+// journalAppendTo records one event in an explicit partition's journal
+// — the MAC-less events' path (enrollment mutations go to partition 0).
+func (c *Controller) journalAppendTo(p int, t journal.RecordType, data []byte) {
+	js := c.journals()
+	if js == nil || c.recovering.Load() {
+		return
+	}
+	if p < 0 || p >= len(js) {
+		p = 0
+	}
+	if _, err := js[p].Append(journal.Record{Type: t, Data: data}); err != nil && !errors.Is(err, journal.ErrClosed) {
+		c.logf("controller: journal append p%d (%s): %v", p, t, err)
 	}
 }
 
@@ -329,11 +522,11 @@ func (c *Controller) journalAppend(t journal.RecordType, data []byte) {
 // directives carrying a fresh lease TTL, older sessions the legacy
 // Alert form. Ordered by MAC for determinism.
 func (c *Controller) resumeFrames(version uint16) [][]byte {
-	e := c.defenseLoaded()
-	if e == nil {
+	set := c.partsLoaded()
+	if set == nil {
 		return nil
 	}
-	qs := e.Quarantined()
+	qs := set.Quarantined()
 	if len(qs) == 0 {
 		return nil
 	}

@@ -37,6 +37,8 @@ const (
 	TypeTrack       = 8
 	TypeDirective   = 9
 	TypeThreat      = 10
+	TypeSegment     = 11
+	TypeSegmentAck  = 12
 )
 
 // Wire protocol versions. v1 is the seed protocol: a Hello with no
@@ -384,6 +386,10 @@ func Unmarshal(b []byte) (any, error) {
 		return unmarshalDirective(b[1:])
 	case TypeThreat:
 		return unmarshalThreats(b[1:])
+	case TypeSegment:
+		return unmarshalSegment(b[1:])
+	case TypeSegmentAck:
+		return unmarshalSegmentAck(b[1:])
 	default:
 		return nil, fmt.Errorf("netproto: unknown message type %d", b[0])
 	}

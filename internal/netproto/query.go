@@ -471,10 +471,10 @@ func (c *Controller) answerQuery(q Query, name string, bcast chan []byte, ver ui
 			return
 		}
 		var states []defense.ClientThreat
-		if e := c.defenseLoaded(); e != nil {
+		if s := c.partsLoaded(); s != nil {
 			if q.All {
-				states = e.Snapshot()
-			} else if st, ok := e.State(q.MAC); ok {
+				states = s.Threats()
+			} else if st, ok := s.State(q.MAC); ok {
 				states = []defense.ClientThreat{st}
 			}
 		}

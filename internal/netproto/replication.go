@@ -1,0 +1,395 @@
+package netproto
+
+// Journal segment streaming (protocol v4): a warm standby subscribes
+// with a SegmentAck carrying its per-partition resume positions, and
+// the leader streams every partition's journal records to it in
+// Segment frames, tailing the live WAL with a journal.Cursor. Empty
+// Segment frames double as heartbeats (~2/s per partition), carrying
+// the leader's durable tip so the standby can observe lag 0 — the
+// failover-readiness signal — and detect leader loss by silence.
+//
+// The exchange is token-gated: journal streams carry the fleet's full
+// event history, so only a session whose Hello presented a valid
+// enrollment token (see enroll.go) may subscribe, reusing the AP
+// enrollment trust root rather than growing a second one.
+
+import (
+	"sync/atomic"
+	"time"
+
+	"secureangle/internal/journal"
+)
+
+// Replication pacing: how often an idle partition sender emits a
+// heartbeat frame, how often it polls the cursor at the live tail, and
+// the per-frame payload budget (well under MaxMessageSize with frame
+// overhead included).
+const (
+	replHeartbeat    = 500 * time.Millisecond
+	replPoll         = 100 * time.Millisecond
+	replFrameBudget  = 256 << 10
+	replMaxPositions = 4096
+)
+
+// Segment is one replication frame: a run of consecutive journal
+// records from one partition, plus the leader's current durable tip
+// for that partition. Records is empty on heartbeat frames.
+type Segment struct {
+	// Partition is the MAC-range partition this frame belongs to;
+	// PartCount the leader's total, so a fresh standby can size itself
+	// from the first frame it sees.
+	Partition int
+	PartCount int
+	// LeaderLSN is the leader journal's last assigned LSN at send time
+	// — the number the standby measures its lag against.
+	LeaderLSN uint64
+	Records   []journal.Record
+}
+
+// SegmentAck is the standby-to-leader frame. The first ack on a
+// session subscribes: Positions carries the standby's per-partition
+// resume points (the last LSN it already holds; empty means "from the
+// start of retained history for every partition"). Later acks report
+// applied positions, which feed the leader's lag gauge.
+type SegmentAck struct {
+	Positions []SegmentPos
+}
+
+// SegmentPos is one partition's position in a SegmentAck.
+type SegmentPos struct {
+	Partition int
+	LSN       uint64
+}
+
+// MarshalSegment encodes a Segment frame.
+func MarshalSegment(s Segment) []byte {
+	size := 1 + 2 + 2 + 8 + 4
+	for _, r := range s.Records {
+		size += 1 + 8 + 8 + 4 + len(r.Data)
+	}
+	b := make([]byte, 0, size)
+	b = append(b, TypeSegment)
+	b = be16(b, uint16(s.Partition))
+	b = be16(b, uint16(s.PartCount))
+	b = be64(b, s.LeaderLSN)
+	b = be32(b, uint32(len(s.Records)))
+	for _, r := range s.Records {
+		b = append(b, byte(r.Type))
+		b = be64(b, r.LSN)
+		b = be64(b, uint64(r.TS.UnixNano()))
+		b = be32(b, uint32(len(r.Data)))
+		b = append(b, r.Data...)
+	}
+	return b
+}
+
+func unmarshalSegment(rest []byte) (Segment, error) {
+	if len(rest) < 2+2+8+4 {
+		return Segment{}, ErrBadMessage
+	}
+	s := Segment{
+		Partition: int(beU16(rest[0:2])),
+		PartCount: int(beU16(rest[2:4])),
+		LeaderLSN: beU64(rest[4:12]),
+	}
+	n := beU32(rest[12:16])
+	rest = rest[16:]
+	const recFixed = 1 + 8 + 8 + 4
+	if uint64(n)*recFixed > uint64(len(rest)) {
+		return Segment{}, ErrBadMessage
+	}
+	if n > 0 {
+		s.Records = make([]journal.Record, 0, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		if len(rest) < recFixed {
+			return Segment{}, ErrBadMessage
+		}
+		rec := journal.Record{
+			Type: journal.RecordType(rest[0]),
+			LSN:  beU64(rest[1:9]),
+			TS:   time.Unix(0, int64(beU64(rest[9:17]))),
+		}
+		dl := beU32(rest[17:21])
+		rest = rest[recFixed:]
+		if dl > journal.MaxRecordSize || uint64(dl) > uint64(len(rest)) {
+			return Segment{}, ErrBadMessage
+		}
+		rec.Data = rest[:dl:dl]
+		rest = rest[dl:]
+		s.Records = append(s.Records, rec)
+	}
+	if len(rest) != 0 {
+		return Segment{}, ErrBadMessage
+	}
+	return s, nil
+}
+
+// MarshalSegmentAck encodes a SegmentAck frame.
+func MarshalSegmentAck(a SegmentAck) []byte {
+	b := make([]byte, 0, 1+2+10*len(a.Positions))
+	b = append(b, TypeSegmentAck)
+	b = be16(b, uint16(len(a.Positions)))
+	for _, p := range a.Positions {
+		b = be16(b, uint16(p.Partition))
+		b = be64(b, p.LSN)
+	}
+	return b
+}
+
+func unmarshalSegmentAck(rest []byte) (SegmentAck, error) {
+	if len(rest) < 2 {
+		return SegmentAck{}, ErrBadMessage
+	}
+	n := beU16(rest[0:2])
+	rest = rest[2:]
+	if n > replMaxPositions || len(rest) != int(n)*10 {
+		return SegmentAck{}, ErrBadMessage
+	}
+	a := SegmentAck{}
+	if n > 0 {
+		a.Positions = make([]SegmentPos, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		a.Positions = append(a.Positions, SegmentPos{
+			Partition: int(beU16(rest[0:2])),
+			LSN:       beU64(rest[2:10]),
+		})
+		rest = rest[10:]
+	}
+	return a, nil
+}
+
+// --- leader side ---
+
+// replSession is one subscribed standby: per-partition cursors stream
+// records to it, and its acks record how far it has applied.
+type replSession struct {
+	name  string
+	parts int
+	// acked is the last LSN the peer reported applied; sent the last
+	// LSN streamed to it — both per partition, written concurrently by
+	// the handler (acks) and the senders.
+	acked []atomic.Uint64
+	sent  []atomic.Uint64
+}
+
+// handleSegmentAck processes one SegmentAck on an authenticated v4
+// session: the first subscribes (spawning the per-partition senders),
+// later ones update the session's applied positions. Returns the live
+// session so the handler threads it through subsequent acks.
+func (c *Controller) handleSegmentAck(sess *replSession, m SegmentAck, apName string, done chan struct{}) *replSession {
+	if sess != nil {
+		for _, p := range m.Positions {
+			if p.Partition >= 0 && p.Partition < sess.parts {
+				sess.acked[p.Partition].Store(p.LSN)
+			}
+		}
+		return sess
+	}
+	js := c.journals()
+	if js == nil {
+		c.logf("controller: %s subscribed but no journal is attached", apName)
+		return nil
+	}
+	n := len(js)
+	sess = &replSession{
+		name:  apName,
+		parts: n,
+		acked: make([]atomic.Uint64, n),
+		sent:  make([]atomic.Uint64, n),
+	}
+	after := make([]uint64, n)
+	for _, p := range m.Positions {
+		if p.Partition >= 0 && p.Partition < n {
+			after[p.Partition] = p.LSN
+			sess.acked[p.Partition].Store(p.LSN)
+		}
+	}
+	c.replMu.Lock()
+	if c.repl == nil {
+		c.repl = make(map[*replSession]struct{})
+	}
+	c.repl[sess] = struct{}{}
+	c.replMu.Unlock()
+	c.logf("controller: %s subscribed to journal stream (%d partition(s))", apName, n)
+	for i := range js {
+		c.wg.Add(1)
+		go c.streamPartition(sess, i, js[i], after[i], done)
+	}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-done:
+		case <-c.ctx.Done():
+		}
+		c.replMu.Lock()
+		delete(c.repl, sess)
+		c.replMu.Unlock()
+	}()
+	return sess
+}
+
+// streamPartition tails one partition's journal from after and ships
+// Segment frames to the session until its connection drops. The
+// broadcaster pump owns the connection's write side, so frames are
+// funneled through its queue with BLOCKING sends: a slow standby
+// backpressures its own stream rather than losing frames (a dropped
+// segment would gap the follower's LSN sequence).
+func (c *Controller) streamPartition(sess *replSession, part int, j *journal.Journal, after uint64, done chan struct{}) {
+	defer c.wg.Done()
+	cur := journal.NewCursor(j.Dir(), after)
+	defer cur.Close()
+	sess.sent[part].Store(after)
+	var lastSend time.Time
+	send := func(recs []journal.Record) bool {
+		frame := MarshalSegment(Segment{
+			Partition: part,
+			PartCount: sess.parts,
+			LeaderLSN: j.LSN(),
+			Records:   recs,
+		})
+		ch := c.broadcastChan(sess.name)
+		if ch == nil {
+			return false
+		}
+		select {
+		case ch <- frame:
+		case <-done:
+			return false
+		case <-c.ctx.Done():
+			return false
+		}
+		lastSend = time.Now()
+		return true
+	}
+	for {
+		select {
+		case <-done:
+			return
+		case <-c.ctx.Done():
+			return
+		default:
+		}
+		recs, err := cur.Next(replFrameBudget)
+		if err != nil {
+			c.logf("controller: journal stream p%d to %s: %v", part, sess.name, err)
+			return
+		}
+		if len(recs) > 0 {
+			if !send(recs) {
+				return
+			}
+			sess.sent[part].Store(cur.NextLSN() - 1)
+			continue
+		}
+		// Caught up with the durable tail: heartbeat so the standby can
+		// observe lag 0, then poll again shortly.
+		if time.Since(lastSend) >= replHeartbeat {
+			if !send(nil) {
+				return
+			}
+		}
+		select {
+		case <-done:
+			return
+		case <-c.ctx.Done():
+			return
+		case <-time.After(replPoll):
+		}
+	}
+}
+
+// broadcastChan looks up the broadcaster queue registered for a
+// session name (nil once the connection is replaced or gone).
+func (c *Controller) broadcastChan(name string) chan []byte {
+	c.quar.mu.Lock()
+	defer c.quar.mu.Unlock()
+	if pc, ok := c.quar.conns[name]; ok {
+		return pc.ch
+	}
+	return nil
+}
+
+// ReplicaStatus is one subscribed standby's replication state, as the
+// leader sees it.
+type ReplicaStatus struct {
+	Name string `json:"name"`
+	// Partitions lists per-partition stream positions; Lag is the
+	// leader's durable tip minus the replica's applied LSN.
+	Partitions []ReplicaPartition `json:"partitions"`
+	MaxLag     uint64             `json:"max_lag"`
+}
+
+// ReplicaPartition is one partition's position within a ReplicaStatus.
+type ReplicaPartition struct {
+	Partition int    `json:"partition"`
+	SentLSN   uint64 `json:"sent_lsn"`
+	AckedLSN  uint64 `json:"acked_lsn"`
+	Lag       uint64 `json:"lag"`
+}
+
+// ReplicationStatus reports every live journal-stream subscriber and
+// its per-partition lag — the /status face of replication.
+func (c *Controller) ReplicationStatus() []ReplicaStatus {
+	js := c.journals()
+	c.replMu.Lock()
+	sessions := make([]*replSession, 0, len(c.repl))
+	for s := range c.repl {
+		sessions = append(sessions, s)
+	}
+	c.replMu.Unlock()
+	out := make([]ReplicaStatus, 0, len(sessions))
+	for _, s := range sessions {
+		rs := ReplicaStatus{Name: s.name, Partitions: make([]ReplicaPartition, s.parts)}
+		for i := 0; i < s.parts; i++ {
+			var tip uint64
+			if js != nil && i < len(js) {
+				tip = js[i].LSN()
+			}
+			acked := s.acked[i].Load()
+			lag := uint64(0)
+			if tip > acked {
+				lag = tip - acked
+			}
+			rs.Partitions[i] = ReplicaPartition{
+				Partition: i,
+				SentLSN:   s.sent[i].Load(),
+				AckedLSN:  acked,
+				Lag:       lag,
+			}
+			if lag > rs.MaxLag {
+				rs.MaxLag = lag
+			}
+		}
+		out = append(out, rs)
+	}
+	sortReplicaStatus(out)
+	return out
+}
+
+func sortReplicaStatus(rs []ReplicaStatus) {
+	for i := 1; i < len(rs); i++ {
+		for k := i; k > 0 && rs[k].Name < rs[k-1].Name; k-- {
+			rs[k], rs[k-1] = rs[k-1], rs[k]
+		}
+	}
+}
+
+// Big-endian append/read helpers for the replication codec.
+func be16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+func be32(b []byte, v uint32) []byte {
+	return append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func be64(b []byte, v uint64) []byte {
+	return append(b, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32), byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+func beU16(b []byte) uint16 { return uint16(b[0])<<8 | uint16(b[1]) }
+func beU32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+func beU64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}

@@ -192,6 +192,8 @@ type Status struct {
 	// Proto is the highest protocol version this controller speaks.
 	Proto        uint16 `json:"proto_version"`
 	AuthRequired bool   `json:"auth_required"`
+	// Partitions is the MAC-range partition count of the engine core.
+	Partitions int `json:"partitions"`
 	// Enrolled lists AP names with minted tokens.
 	Enrolled []string      `json:"enrolled,omitempty"`
 	Fusion   FusionStatus  `json:"fusion"`
@@ -200,10 +202,18 @@ type Status struct {
 	// counters (see ControllerStats).
 	UnknownAPDrops uint64 `json:"unknown_ap_drops"`
 	DirectiveAcks  uint64 `json:"directive_acks"`
-	// Journal is nil when no flight recorder is attached.
-	Journal *journal.Stats `json:"journal,omitempty"`
-	APs     []APHealth     `json:"aps"`
-	Threats []ThreatStatus `json:"threats"`
+	// Journal is nil when no flight recorder is attached; on a
+	// partitioned controller it aggregates the per-partition journals
+	// (counters summed, LSN the max, SnapshotLSN the min — the
+	// conservative recovery bound) and JournalPartitions carries the
+	// per-partition breakdown.
+	Journal           *journal.Stats  `json:"journal,omitempty"`
+	JournalPartitions []journal.Stats `json:"journal_partitions,omitempty"`
+	// Replication lists journal-stream subscribers (warm standbys) and
+	// their per-partition lag, as this leader sees them.
+	Replication []ReplicaStatus `json:"replication,omitempty"`
+	APs         []APHealth      `json:"aps"`
+	Threats     []ThreatStatus  `json:"threats"`
 }
 
 // StatusReport assembles the live status document. Like Stats it never
@@ -214,24 +224,30 @@ func (c *Controller) StatusReport() Status {
 		Time:           time.Now(),
 		Proto:          ProtoVersion,
 		AuthRequired:   c.RequireAuth,
+		Partitions:     c.nParts(),
 		Enrolled:       c.EnrolledAPs(),
 		UnknownAPDrops: c.unknownAP.Load(),
 		DirectiveAcks:  c.directiveAcks.Load(),
 		APs:            c.APHealth(),
 		Threats:        []ThreatStatus{},
 	}
-	if e := c.engine.Load(); e != nil {
+	if set := c.partsLoaded(); set != nil {
 		st.Fusion = FusionStatus{
-			Stats:   e.Stats(),
-			Clients: e.ClientCount(),
-			Pending: e.PendingCount(),
-			Shards:  e.ShardStats(),
+			Stats:   set.Stats(),
+			Clients: set.ClientCount(),
+			Pending: set.PendingCount(),
 		}
-	}
-	if e := c.defenseLoaded(); e != nil {
-		st.Defense.Stats = e.Stats()
-		st.Defense.Allow, st.Defense.Monitor, st.Defense.Quarantine = e.StateCounts()
-		for _, th := range e.Snapshot() {
+		if set.N() == 1 {
+			// Single partition: the per-shard breakdown is the engine's
+			// own lock stripes, byte-compatible with the PR 7 document.
+			st.Fusion.Shards = set.At(0).Fusion.ShardStats()
+		} else {
+			// Partitioned: the breakdown is per MAC-range partition.
+			st.Fusion.Shards = set.PartitionStats()
+		}
+		st.Defense.Stats = set.DefenseStats()
+		st.Defense.Allow, st.Defense.Monitor, st.Defense.Quarantine = set.StateCounts()
+		for _, th := range set.Threats() {
 			if th.State == defense.StateAllow {
 				continue // the threat table shows live suspicion, not history
 			}
@@ -247,11 +263,50 @@ func (c *Controller) StatusReport() Status {
 		}
 		sort.Slice(st.Threats, func(i, j int) bool { return st.Threats[i].Score > st.Threats[j].Score })
 	}
-	if j := c.jrnl.Load(); j != nil {
-		js := j.Stats()
-		st.Journal = &js
+	if js := c.journals(); js != nil {
+		agg, per := aggregateJournalStats(js)
+		st.Journal = &agg
+		if len(per) > 1 {
+			st.JournalPartitions = per
+		}
+	}
+	if rs := c.ReplicationStatus(); len(rs) > 0 {
+		st.Replication = rs
 	}
 	return st
+}
+
+// aggregateJournalStats folds the per-partition journal stats into one
+// document-level view (sums for counters; max LSN; min SnapshotLSN —
+// the partition furthest behind bounds recovery; latest SnapshotAt)
+// plus the per-partition slice. A single journal passes through
+// unchanged.
+func aggregateJournalStats(js []*journal.Journal) (journal.Stats, []journal.Stats) {
+	per := make([]journal.Stats, len(js))
+	for i, j := range js {
+		per[i] = j.Stats()
+	}
+	if len(per) == 1 {
+		return per[0], per
+	}
+	var agg journal.Stats
+	for i, s := range per {
+		agg.Appends += s.Appends
+		agg.AppendedBytes += s.AppendedBytes
+		agg.Fsyncs += s.Fsyncs
+		agg.Rotations += s.Rotations
+		agg.Segments += s.Segments
+		if s.LSN > agg.LSN {
+			agg.LSN = s.LSN
+		}
+		if i == 0 || s.SnapshotLSN < agg.SnapshotLSN {
+			agg.SnapshotLSN = s.SnapshotLSN
+		}
+		if s.SnapshotAt.After(agg.SnapshotAt) {
+			agg.SnapshotAt = s.SnapshotAt
+		}
+	}
+	return agg, per
 }
 
 // RegisterOps installs the controller's scrape-time collector families
@@ -276,28 +331,41 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 	reg.RegisterCollector("secureangle_fusion_shard_events_total",
 		"Per-shard fusion counters, for spotting MAC-range skew.", ops.KindCounter,
 		func(emit func(string, float64)) {
-			e := c.engine.Load()
-			if e == nil {
-				return
+			set := c.partsLoaded()
+			if set == nil || set.N() != 1 {
+				return // partitioned cores report per-partition instead
 			}
-			for i, s := range e.ShardStats() {
+			for i, s := range set.At(0).Fusion.ShardStats() {
 				emit(fmt.Sprintf(`shard="%d",kind="ingested"`, i), float64(s.Ingested))
 				emit(fmt.Sprintf(`shard="%d",kind="decisions"`, i), float64(s.Decisions))
 				emit(fmt.Sprintf(`shard="%d",kind="evicted"`, i), float64(s.PendingEvicted+s.ClientsEvicted))
 			}
 		})
+	reg.RegisterCollector("secureangle_partition_events_total",
+		"Per-partition fusion counters, for spotting MAC-range skew across the sharded engine set.", ops.KindCounter,
+		func(emit func(string, float64)) {
+			set := c.partsLoaded()
+			if set == nil {
+				return
+			}
+			for i, s := range set.PartitionStats() {
+				emit(fmt.Sprintf(`partition="%d",kind="ingested"`, i), float64(s.Ingested))
+				emit(fmt.Sprintf(`partition="%d",kind="decisions"`, i), float64(s.Decisions))
+				emit(fmt.Sprintf(`partition="%d",kind="evicted"`, i), float64(s.PendingEvicted+s.ClientsEvicted))
+			}
+		})
 	reg.RegisterCollector("secureangle_fusion_clients",
 		"Live tracked clients in the fusion engine.", ops.KindGauge,
 		func(emit func(string, float64)) {
-			if e := c.engine.Load(); e != nil {
-				emit("", float64(e.ClientCount()))
+			if set := c.partsLoaded(); set != nil {
+				emit("", float64(set.ClientCount()))
 			}
 		})
 	reg.RegisterCollector("secureangle_fusion_pending",
 		"In-flight transmissions awaiting corroborating bearings.", ops.KindGauge,
 		func(emit func(string, float64)) {
-			if e := c.engine.Load(); e != nil {
-				emit("", float64(e.PendingCount()))
+			if set := c.partsLoaded(); set != nil {
+				emit("", float64(set.PendingCount()))
 			}
 		})
 	reg.RegisterCollector("secureangle_defense_events_total",
@@ -315,11 +383,11 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 	reg.RegisterCollector("secureangle_defense_clients",
 		"Live clients by threat state.", ops.KindGauge,
 		func(emit func(string, float64)) {
-			e := c.defenseLoaded()
-			if e == nil {
+			set := c.partsLoaded()
+			if set == nil {
 				return
 			}
-			allow, monitor, quarantine := e.StateCounts()
+			allow, monitor, quarantine := set.StateCounts()
 			emit(`state="allow"`, float64(allow))
 			emit(`state="monitor"`, float64(monitor))
 			emit(`state="quarantine"`, float64(quarantine))
@@ -338,47 +406,60 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 			c.quar.mu.Unlock()
 			emit("", float64(n))
 		})
+	// Journal families: a single-partition controller keeps the PR 5–7
+	// unlabeled series; a partitioned one labels each row with its
+	// partition index.
+	journalEmit := func(emit func(string, float64), v func(journal.Stats) float64) {
+		js := c.journals()
+		if js == nil {
+			return
+		}
+		if len(js) == 1 {
+			emit("", v(js[0].Stats()))
+			return
+		}
+		for i, j := range js {
+			emit(fmt.Sprintf(`partition="%d"`, i), v(j.Stats()))
+		}
+	}
 	reg.RegisterCollector("secureangle_journal_appends_total",
 		"Records appended to the flight recorder.", ops.KindCounter,
 		func(emit func(string, float64)) {
-			if j := c.jrnl.Load(); j != nil {
-				emit("", float64(j.Stats().Appends))
-			}
+			journalEmit(emit, func(s journal.Stats) float64 { return float64(s.Appends) })
 		})
 	reg.RegisterCollector("secureangle_journal_fsyncs_total",
 		"fdatasync calls issued by the flight recorder.", ops.KindCounter,
 		func(emit func(string, float64)) {
-			if j := c.jrnl.Load(); j != nil {
-				emit("", float64(j.Stats().Fsyncs))
-			}
+			journalEmit(emit, func(s journal.Stats) float64 { return float64(s.Fsyncs) })
 		})
 	reg.RegisterCollector("secureangle_journal_lsn",
 		"Last assigned journal record number.", ops.KindGauge,
 		func(emit func(string, float64)) {
-			if j := c.jrnl.Load(); j != nil {
-				emit("", float64(j.Stats().LSN))
-			}
+			journalEmit(emit, func(s journal.Stats) float64 { return float64(s.LSN) })
 		})
 	reg.RegisterCollector("secureangle_journal_segments",
 		"WAL segment files on disk.", ops.KindGauge,
 		func(emit func(string, float64)) {
-			if j := c.jrnl.Load(); j != nil {
-				emit("", float64(j.Stats().Segments))
-			}
+			journalEmit(emit, func(s journal.Stats) float64 { return float64(s.Segments) })
 		})
 	reg.RegisterCollector("secureangle_journal_snapshot_age_seconds",
 		"Seconds since the newest snapshot completed (-1: none this run).", ops.KindGauge,
 		func(emit func(string, float64)) {
-			j := c.jrnl.Load()
-			if j == nil {
-				return
+			journalEmit(emit, func(s journal.Stats) float64 {
+				if s.SnapshotAt.IsZero() {
+					return -1
+				}
+				return time.Since(s.SnapshotAt).Seconds()
+			})
+		})
+	reg.RegisterCollector("secureangle_journal_replication_lag",
+		"Journal records the leader has durably assigned but each replica has not yet acknowledged, per partition.", ops.KindGauge,
+		func(emit func(string, float64)) {
+			for _, rs := range c.ReplicationStatus() {
+				for _, p := range rs.Partitions {
+					emit(fmt.Sprintf(`replica=%q,partition="%d"`, rs.Name, p.Partition), float64(p.Lag))
+				}
 			}
-			at := j.Stats().SnapshotAt
-			if at.IsZero() {
-				emit("", -1)
-				return
-			}
-			emit("", time.Since(at).Seconds())
 		})
 	reg.RegisterCollector("secureangle_ap_last_seen_seconds",
 		"Seconds since each session's last inbound frame.", ops.KindGauge,

@@ -1,0 +1,45 @@
+package signature
+
+// Native fuzzing of the signature codec: certified signatures travel
+// through snapshots and over operator tooling, so Unmarshal can see
+// arbitrary bytes. It must never panic, and whatever it accepts must
+// re-encode to a canonical form that is a fixed point — the same
+// contract the journal and netproto wire fuzzers pin.
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzSignatureCodec(f *testing.F) {
+	good := &Signature{
+		AnglesDeg: []float64{-90, -45, 0, 45, 90},
+		P:         []float64{0.05, 0.2, 0.5, 0.2, 0.05},
+	}
+	f.Add(good.Marshal())
+	f.Add((&Signature{}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x53, 0x41, 0x4e, 0x47}) // magic, no count
+	f.Add(good.Marshal()[:20])            // truncated mid-pair
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Unmarshal(b)
+		if err != nil {
+			return
+		}
+		if len(s.AnglesDeg) != len(s.P) {
+			t.Fatalf("accepted ragged signature: %d angles, %d weights", len(s.AnglesDeg), len(s.P))
+		}
+		enc := s.Marshal()
+		if !bytes.Equal(enc, b) {
+			t.Fatalf("decode->encode not a fixed point:\n in: %x\nout: %x", b, enc)
+		}
+		s2, err := Unmarshal(enc)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !bytes.Equal(s2.Marshal(), enc) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}

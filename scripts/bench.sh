@@ -10,15 +10,16 @@
 # Benchtime can be tuned via BENCHTIME (default 1s).
 set -eu
 
-pr="${PR:-7}"
+pr="${PR:-8}"
 out="${1:-BENCH_PR${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # The headline set: per-packet pipeline, fusion ingest, defense
-# directive, journal append (each package's hot path), and the ops
-# metrics update the first four now carry.
+# directive, journal append (each package's hot path), the ops metrics
+# update the first four carry, partitioned ingest at 1/4/16 partitions,
+# and the replication cursor's streaming throughput.
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkPipelinePerPacket$' . | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
@@ -29,6 +30,10 @@ go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkPartitionIngest$' ./internal/partition | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkReplicationCursor$' ./internal/journal | tee -a "$tmp"
 
 # Find the newest previous trajectory file (highest PR number below
 # ours) before the new file lands.

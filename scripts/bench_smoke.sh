@@ -42,6 +42,10 @@ go test -run '^$' -benchtime 50000x \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
 go test -run '^$' -benchtime 500000x \
     -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
+go test -run '^$' -benchtime 20000x \
+    -bench 'BenchmarkPartitionIngest$' ./internal/partition | tee -a "$tmp"
+go test -run '^$' -benchtime 20x \
+    -bench 'BenchmarkReplicationCursor$' ./internal/journal | tee -a "$tmp"
 
 awk -v baseline="$baseline" '
 function parse(file,   line, name, ns) {

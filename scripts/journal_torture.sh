@@ -1,0 +1,109 @@
+#!/bin/sh
+# Crash-torture the flight recorder: run a partitioned controller with
+# tiny segments and an aggressive snapshot cadence, hammer it with the
+# load generator, kill -9 it mid-flight, and assert every partition
+# journal replays cleanly afterwards. The next iteration restarts the
+# controller on the SAME directory, so crash recovery itself is under
+# test too, not just the on-disk format.
+#
+# The kill is timed randomly inside the load window; with 4 KiB
+# segments at ~2000 reports/s a rotation happens many times per second,
+# and with -snapshot-every 300ms so do snapshots, so a handful of
+# iterations lands kills inside both windows. The loop runs until the
+# surviving directories show both >1 segment (a rotation completed or
+# was torn) and >=1 snapshot, with a minimum of $MIN_ITERS and a cap of
+# $MAX_ITERS iterations.
+#
+# Usage: scripts/journal_torture.sh  (MIN_ITERS/MAX_ITERS/PORT env-tunable)
+set -eu
+
+MIN_ITERS="${MIN_ITERS:-4}"
+MAX_ITERS="${MAX_ITERS:-8}"
+PORT="${PORT:-7141}"
+PARTS=2
+
+workdir="$(mktemp -d)"
+bin="$workdir/secureangle"
+dir="$workdir/journal"
+srv_pid=""
+cleanup() {
+    [ -n "$srv_pid" ] && kill -9 "$srv_pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "torture: building secureangle"
+go build -o "$bin" ./cmd/secureangle
+
+seen_rotation=0
+seen_snapshot=0
+iter=0
+while :; do
+    iter=$((iter + 1))
+    echo "torture: iteration $iter (journal $dir, $PARTS partitions)"
+
+    "$bin" serve -listen "127.0.0.1:$PORT" -journal "$dir" \
+        -partitions "$PARTS" -segment-bytes 4096 -snapshot-every 300ms \
+        >"$workdir/serve.$iter.log" 2>&1 &
+    srv_pid=$!
+
+    # Wait for the listener (loadgen would otherwise fail its dial).
+    ok=""
+    for _ in $(seq 1 50); do
+        if "$bin" loadgen -listen "127.0.0.1:$PORT" -duration 1ms -rate 1 \
+            >/dev/null 2>&1; then
+            ok=1
+            break
+        fi
+        if ! kill -0 "$srv_pid" 2>/dev/null; then
+            echo "torture: server died before listening:" >&2
+            cat "$workdir/serve.$iter.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    [ -n "$ok" ] || { echo "torture: server never came up" >&2; exit 1; }
+
+    # Load in the background, then SIGKILL the server somewhere inside
+    # the window — no seal, no final snapshot, torn tail likely.
+    "$bin" loadgen -listen "127.0.0.1:$PORT" -duration 10s -rate 2000 \
+        >"$workdir/loadgen.$iter.log" 2>&1 &
+    lg_pid=$!
+    sleep "1.$((iter % 3))$((iter % 7))"
+    kill -9 "$srv_pid" 2>/dev/null || true
+    wait "$srv_pid" 2>/dev/null || true
+    srv_pid=""
+    wait "$lg_pid" 2>/dev/null || true
+
+    # Every partition journal must replay cleanly from whatever
+    # survived on disk.
+    p=0
+    while [ "$p" -lt "$PARTS" ]; do
+        pdir="$dir/p$p"
+        if [ ! -d "$pdir" ]; then
+            echo "torture: missing partition dir $pdir" >&2
+            exit 1
+        fi
+        if ! "$bin" replay -journal "$pdir" >"$workdir/replay.$iter.p$p.log" 2>&1; then
+            echo "torture: replay of $pdir FAILED after kill -9:" >&2
+            cat "$workdir/replay.$iter.p$p.log" >&2
+            exit 1
+        fi
+        segs=$(ls "$pdir"/wal-*.log 2>/dev/null | wc -l)
+        snaps=$(ls "$pdir"/snap-*.snap 2>/dev/null | wc -l)
+        [ "$segs" -gt 1 ] && seen_rotation=1
+        [ "$snaps" -ge 1 ] && seen_snapshot=1
+        echo "torture:   p$p clean ($segs segments, $snaps snapshots)"
+        p=$((p + 1))
+    done
+
+    if [ "$iter" -ge "$MIN_ITERS" ] && [ "$seen_rotation" -eq 1 ] && [ "$seen_snapshot" -eq 1 ]; then
+        break
+    fi
+    if [ "$iter" -ge "$MAX_ITERS" ]; then
+        echo "torture: $MAX_ITERS iterations without covering both kill windows (rotation=$seen_rotation snapshot=$seen_snapshot)" >&2
+        exit 1
+    fi
+done
+
+echo "torture: PASS — $iter kill -9 iterations, every partition replayed clean (rotations and snapshots both exercised)"

@@ -28,8 +28,9 @@
 //	internal/locate      bearing triangulation and the virtual fence
 //	internal/fusion      bounded MAC-sharded bearing-fusion engine + mobility tracks
 //	internal/track       alpha-beta mobility filter over fused positions
-//	internal/netproto    AP -> controller fusion protocol over TCP
-//	internal/journal     flight recorder: event WAL, snapshots, crash recovery, replay
+//	internal/netproto    AP -> controller fusion protocol over TCP + warm-standby replication
+//	internal/partition   MAC-range partitioned engine set behind the controller
+//	internal/journal     flight recorder: event WAL, snapshots, crash recovery, replay, compaction
 //	internal/baseline    RSS signalprint baseline and directional attacker
 //	internal/testbed     the paper's Figure 4 office and its 20 clients
 //	internal/experiments drivers for Figures 5-7 and all in-text claims
@@ -181,6 +182,31 @@ type (
 	ReplayResult = journal.ReplayResult
 	// ReplayedDirective is one directive a replayed policy emitted.
 	ReplayedDirective = journal.ReplayedDirective
+	// JournalCursor streams a journal directory in LSN order, following
+	// rotations and parking at a torn tail — the replication read path
+	// (see journal.NewCursor).
+	JournalCursor = journal.Cursor
+	// CompactPolicy tunes compaction-aware retention: Journal.Compact
+	// rewrites sealed snapshot-covered segments keeping only
+	// incident-relevant events within ±Window of each incident span.
+	CompactPolicy = journal.CompactPolicy
+	// CompactStats reports what one Compact pass examined, rewrote,
+	// dropped, and reclaimed.
+	CompactStats = journal.CompactStats
+	// Standby is a warm replica of a leader controller: it streams the
+	// leader's journal partitions over the AP port (enrollment tokens
+	// as the trust root), applies continuously, and can be promoted to
+	// a serving controller (see NewStandby).
+	Standby = netproto.Standby
+	// StandbyConfig configures a Standby (leader address, journal
+	// directory, token, auto-promote timeout).
+	StandbyConfig = netproto.StandbyConfig
+	// StandbyStatus is a standby's replication position: per-partition
+	// lag and the failover-readiness flag.
+	StandbyStatus = netproto.StandbyStatus
+	// ReplicaStatus is the leader-side view of one connected standby:
+	// per-partition sent/acked LSNs and lag (Controller.ReplicationStatus).
+	ReplicaStatus = netproto.ReplicaStatus
 	// BearingMode selects how Config.Bearing resolves the report bearing
 	// (grid scan vs grid-free root-MUSIC/ESPRIT; the pseudospectrum and
 	// every decision built on it stay grid-scanned in all modes).
@@ -237,6 +263,13 @@ func OpenJournal(dir string, opts JournalOptions) (*Journal, error) {
 func ReplayJournal(dir string, opts ReplayOptions) (*ReplayResult, error) {
 	return journal.Replay(dir, opts)
 }
+
+// NewStandby builds a warm standby that follows cfg.LeaderAddr's
+// journal stream. Run it with Standby.Run; promote it with
+// Standby.Promote (or cfg.PromoteAfter of leader silence), after which
+// Standby.Controller serves APs — reconnecting sessions present their
+// original enrollment tokens and are resumed.
+func NewStandby(cfg StandbyConfig) (*Standby, error) { return netproto.NewStandby(cfg) }
 
 // DefaultConfig returns the pipeline settings used throughout the paper
 // reproduction.
