@@ -286,6 +286,8 @@ type serveOptions struct {
 	// package defaults; negative snapshotEvery disables snapshots).
 	segmentBytes  int64
 	snapshotEvery time.Duration
+	// pprof mounts /debug/pprof on the ops endpoint.
+	pprof bool
 }
 
 // runServe runs the fence controller; a non-empty journalDir turns on
@@ -299,6 +301,7 @@ func runServe(o serveOptions) error {
 	fence := &locate.Fence{Boundary: shell}
 	c := netproto.NewController(fence)
 	c.RequireAuth = o.requireAuth
+	c.PprofOps = o.pprof
 	if o.partitions > 0 {
 		c.Partitions = o.partitions
 	}

@@ -52,6 +52,7 @@ func main() {
 	releaseFlag := fs.Bool("release", false, "defense: request an operator release of -mac")
 	journalFlag := fs.String("journal", "", "journal directory (record/replay; serve: optional)")
 	opsAddr := fs.String("ops", "", "ops HTTP address: serve/record listen for /metrics, /status, /enroll (empty = off); status/enroll target (empty = "+defaultOpsAddr+")")
+	pprofFlag := fs.Bool("pprof", false, "serve/record/standby: mount /debug/pprof (CPU, heap, mutex profiles) on the ops endpoint")
 	requireAuth := fs.Bool("require-auth", false, "serve/record: require enrollment tokens from agents")
 	tokenFlag := fs.String("token", "", "enrollment token presented by tracks/defense observer sessions")
 	revokeFlag := fs.Bool("revoke", false, "enroll: revoke the named AP's token instead of minting one")
@@ -108,7 +109,7 @@ func main() {
 		err = runServe(serveOptions{
 			addr: *listen, journalDir: *journalFlag, opsAddr: *opsAddr,
 			requireAuth: *requireAuth, partitions: *partitions,
-			segmentBytes: *segBytes, snapshotEvery: *snapEvery,
+			segmentBytes: *segBytes, snapshotEvery: *snapEvery, pprof: *pprofFlag,
 		})
 	case "record":
 		dir := *journalFlag
@@ -118,7 +119,7 @@ func main() {
 		err = runServe(serveOptions{
 			addr: *listen, journalDir: dir, opsAddr: *opsAddr,
 			requireAuth: *requireAuth, partitions: *partitions,
-			segmentBytes: *segBytes, snapshotEvery: *snapEvery,
+			segmentBytes: *segBytes, snapshotEvery: *snapEvery, pprof: *pprofFlag,
 		})
 	case "standby":
 		if *promoteFlag {
@@ -128,7 +129,7 @@ func main() {
 				leader: *leaderFlag, dir: *journalFlag, token: *tokenFlag,
 				listen: *listen, opsAddr: *opsAddr, requireAuth: *requireAuth,
 				promoteAfter: *promoteAfter, segmentBytes: *segBytes,
-				snapshotEvery: *snapEvery,
+				snapshotEvery: *snapEvery, pprof: *pprofFlag,
 			})
 		}
 	case "loadgen":
@@ -199,6 +200,6 @@ services and demos:
   defense     query a controller's defense threat states (-mac filters, -release frees a MAC, -token authenticates)
   demo        APs + controller + closed defense loop over loopback TCP
 
-flags: -seed N   -packets N   -listen addr   -ops addr   -require-auth   -token T   -revoke   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release   -journal dir   -quarantine-score X   -half-life D   -tail D
+flags: -seed N   -packets N   -listen addr   -ops addr   -pprof   -require-auth   -token T   -revoke   -spectra   -client N   -file path   -mac aa:bb:cc:dd:ee:ff   -release   -journal dir   -quarantine-score X   -half-life D   -tail D
 `)
 }

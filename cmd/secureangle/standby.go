@@ -32,6 +32,7 @@ type standbyOptions struct {
 	promoteAfter       time.Duration
 	segmentBytes       int64
 	snapshotEvery      time.Duration
+	pprof              bool
 }
 
 // runStandby follows o.leader as a warm replica. The replicated
@@ -56,6 +57,7 @@ func runStandby(o standbyOptions) error {
 		Fence:      &locate.Fence{Boundary: shell},
 		Configure: func(c *netproto.Controller) {
 			c.RequireAuth = o.requireAuth
+			c.PprofOps = o.pprof
 			if o.snapshotEvery != 0 {
 				c.SnapshotInterval = o.snapshotEvery
 			}

@@ -279,6 +279,9 @@ type Engine struct {
 	// across transmissions.
 	pendingPool sync.Pool
 
+	// batchPool recycles IngestBatch grouping scratch across batches.
+	batchPool sync.Pool
+
 	wheel  *timingwheel.Wheel
 	tmr    timingwheel.Timer
 	closed atomic.Bool
@@ -372,6 +375,169 @@ func (e *Engine) Ingest(b Bearing) {
 	if emit && e.cfg.Emit != nil {
 		e.cfg.Emit(d)
 	}
+}
+
+// batchScratch is the pooled grouping state one IngestBatch borrows:
+// the shard assignment and shard-grouped order of the batch's
+// bearings, and the decisions collected under the shard locks.
+type batchScratch struct {
+	shardOf []int32
+	counts  []int32
+	order   []int32
+	decs    []indexedDecision
+}
+
+type indexedDecision struct {
+	idx     int32
+	tracked bool
+	d       Decision
+	ts      TrackState
+}
+
+// BatchEmit receives one batch decision: the input index of the
+// bearing that completed it, the decision itself, and the client's
+// track state as it stood when the decision fused (tracked is false
+// when the client has no fix yet). The track state is captured under
+// the shard lock at decision time, so a consumer that reacts to each
+// decision sees the same state a serial Ingest+Track sequence would —
+// not one already advanced by later same-MAC bearings in the batch.
+type BatchEmit func(i int, d Decision, t TrackState, tracked bool)
+
+// IngestBatch records a slice of bearings, grouping them by shard so
+// each touched shard's lock is taken once per batch instead of once
+// per bearing. Within a shard, bearings are applied in input order, so
+// the decisions produced are exactly those of len(bs) serial Ingest
+// calls sharing one clock reading; they are delivered outside all
+// shard locks, in input order. emit, when non-nil, receives each
+// decision with the input index of the bearing that completed it and
+// overrides cfg.Emit for the batch; with a nil emit, decisions go to
+// cfg.Emit as usual.
+func (e *Engine) IngestBatch(bs []Bearing, emit BatchEmit) {
+	if e.closed.Load() || len(bs) == 0 {
+		return
+	}
+	now := e.cfg.Clock()
+	nsh := int32(len(e.shards))
+	if len(bs) < 2*int(nsh) {
+		// Small batch (the common shape when a partition set splits one
+		// wire batch several ways): the O(shards) grouping passes cost
+		// more than they save until the batch is a couple of bearings
+		// deep per shard. Walk in input order, coalescing the lock
+		// across consecutive same-shard bearings. Shards partition the
+		// MAC space, so within-shard input order — all that decision
+		// identity needs — is preserved without the sort.
+		var buf [8]indexedDecision
+		decs := buf[:0]
+		var cur *shard
+		for i := range bs {
+			s := e.shardFor(bs[i].MAC)
+			if s != cur {
+				if cur != nil {
+					cur.mu.Unlock()
+				}
+				s.mu.Lock()
+				cur = s
+			}
+			if d, ok := e.ingestLocked(s, bs[i], now); ok {
+				id := indexedDecision{idx: int32(i), d: d}
+				if cl := s.clients[d.MAC]; cl != nil && cl.fixes > 0 {
+					id.ts, id.tracked = cl.state(), true
+				}
+				decs = append(decs, id)
+			}
+		}
+		if cur != nil {
+			cur.mu.Unlock()
+		}
+		for i := range decs {
+			if emit != nil {
+				emit(int(decs[i].idx), decs[i].d, decs[i].ts, decs[i].tracked)
+			} else if e.cfg.Emit != nil {
+				e.cfg.Emit(decs[i].d)
+			}
+		}
+		return
+	}
+	sc, _ := e.batchPool.Get().(*batchScratch)
+	if sc == nil {
+		sc = &batchScratch{}
+	}
+	if cap(sc.shardOf) < len(bs) {
+		sc.shardOf = make([]int32, len(bs))
+		sc.order = make([]int32, len(bs))
+	}
+	if cap(sc.counts) < int(nsh)+1 {
+		sc.counts = make([]int32, nsh+1)
+	}
+	shardOf, order := sc.shardOf[:len(bs)], sc.order[:len(bs)]
+	counts := sc.counts[:nsh+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range bs {
+		sh := int32(bs[i].MAC.Hash() % uint32(nsh))
+		shardOf[i] = sh
+		counts[sh+1]++
+	}
+	for sh := int32(0); sh < nsh; sh++ {
+		counts[sh+1] += counts[sh]
+	}
+	// Stable counting-sort scatter: order holds the batch's bearing
+	// indices grouped by shard, input order preserved within a shard.
+	next := counts[:nsh]
+	for i := range bs {
+		sh := shardOf[i]
+		order[next[sh]] = int32(i)
+		next[sh]++
+	}
+	// shardOf is dead once the scatter is done; reuse it as an input
+	// index -> decision slot map, which recovers input-order emission by
+	// a linear walk instead of sorting the collected decisions (each
+	// bearing completes at most one decision).
+	slot := shardOf
+	for i := range slot {
+		slot[i] = -1
+	}
+	decs := sc.decs[:0]
+	start := int32(0)
+	for sh := int32(0); sh < nsh; sh++ {
+		end := counts[sh] // next[sh] advanced to the run's end above
+		if end == start {
+			continue
+		}
+		s := e.shards[sh]
+		s.mu.Lock()
+		for _, idx := range order[start:end] {
+			if d, ok := e.ingestLocked(s, bs[idx], now); ok {
+				id := indexedDecision{idx: idx, d: d}
+				// Capture the track state now, while later bearings in
+				// this batch (possibly for the same MAC) have not yet
+				// advanced the filter — serial-ingest equivalence.
+				if cl := s.clients[d.MAC]; cl != nil && cl.fixes > 0 {
+					id.ts, id.tracked = cl.state(), true
+				}
+				slot[idx] = int32(len(decs))
+				decs = append(decs, id)
+			}
+		}
+		s.mu.Unlock()
+		start = end
+	}
+	if len(decs) > 0 {
+		for i := range slot {
+			k := slot[i]
+			if k < 0 {
+				continue
+			}
+			if emit != nil {
+				emit(int(decs[k].idx), decs[k].d, decs[k].ts, decs[k].tracked)
+			} else if e.cfg.Emit != nil {
+				e.cfg.Emit(decs[k].d)
+			}
+		}
+	}
+	sc.decs = decs[:0]
+	e.batchPool.Put(sc)
 }
 
 func (e *Engine) ingestLocked(s *shard, b Bearing, now time.Time) (Decision, bool) {

@@ -44,6 +44,48 @@ func BenchmarkJournalAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkJournalAppendBatch measures the group-commit path: one
+// 64-record AppendBatch per op (one lock, one buffer reservation, one
+// flush/fsync decision), so ns/op divided by 64 compares against
+// BenchmarkJournalAppend's per-record cost. Under `always`, the batch
+// amortises its single barrier fsync over all 64 records.
+func BenchmarkJournalAppendBatch(b *testing.B) {
+	ev := ReportEvent{
+		AP: "ap1", APPos: geom.Point{X: 1, Y: 2},
+		MAC: wifi.Addr{0x66, 0, 0, 0, 0, 5}, Seq: 7, BearingDeg: 42.5,
+	}
+	const batch = 64
+	for _, bc := range []struct {
+		name string
+		opts Options
+	}{
+		{"interval", Options{}},
+		{"always", Options{Fsync: FsyncAlways}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			j, err := Open(b.TempDir(), bc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer j.Close()
+			recs := make([]Record, batch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for k := range recs {
+					ev.Seq = uint64(i*batch + k)
+					recs[k] = Record{Type: RecReport, Data: EncodeReport(ev)}
+				}
+				b.StartTimer()
+				if _, err := j.AppendBatch(recs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkJournalAppendParallel hammers Append from GOMAXPROCS
 // goroutines (the controller's per-connection handlers) under the
 // default policy.

@@ -12,6 +12,16 @@ package journal
 // reproduces compaction gaps, and follows segment rotation by moving
 // to the successor segment once the current one is exhausted and a
 // segment starting at the next LSN exists.
+//
+// The read path is allocation-free in steady state: each cursor reads
+// the segment in large pooled windows (one ReadAt per batch instead of
+// two per record) and parses record frames in place, so the records a
+// Next call returns alias the cursor's window buffer. A batch is valid
+// only until the next Next or Close call — consume or copy it before
+// pulling the next one (the replication sender marshals each batch
+// into its wire frame immediately, so the aliasing never escapes).
+// Window and record-slice scratch come from a package pool, arena
+// style, and return to it on Close.
 
 import (
 	"encoding/binary"
@@ -20,8 +30,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 )
+
+// cursorBuffers is the pooled scratch one cursor borrows for its
+// lifetime: the read window and the reused output slice.
+type cursorBuffers struct {
+	buf  []byte
+	recs []Record
+}
+
+var cursorPool = sync.Pool{New: func() any { return &cursorBuffers{} }}
 
 // Cursor reads a journal directory's records in LSN order, resumably.
 // Not safe for concurrent use; one goroutine per cursor.
@@ -30,7 +50,12 @@ type Cursor struct {
 	next uint64 // next LSN to deliver
 
 	f   *os.File // open segment (nil between segments)
-	off int64    // read offset into f
+	off int64    // absolute offset of the next unparsed frame
+
+	bufs  *cursorBuffers // pooled scratch (nil until first Next, returned on Close)
+	win   int            // valid bytes in bufs.buf (read from off-pos)
+	pos   int            // parse position within the window
+	atEOF bool           // the last fill drained the segment's readable bytes
 }
 
 // NewCursor positions a cursor so its first delivered record has
@@ -45,8 +70,14 @@ func NewCursor(dir string, after uint64) *Cursor {
 // exceed, when retention starts history later).
 func (c *Cursor) NextLSN() uint64 { return c.next }
 
-// Close releases the cursor's open segment.
+// Close releases the cursor's open segment and returns its scratch
+// buffers to the pool.
 func (c *Cursor) Close() error {
+	if c.bufs != nil {
+		c.bufs.recs = c.bufs.recs[:0]
+		cursorPool.Put(c.bufs)
+		c.bufs = nil
+	}
 	if c.f != nil {
 		err := c.f.Close()
 		c.f = nil
@@ -60,8 +91,21 @@ func (c *Cursor) Close() error {
 // empty batch with nil error means the cursor is caught up with the
 // durable tail — poll again later. Frames the writer has not finished
 // flushing are invisible until complete.
+//
+// The returned records alias the cursor's internal window: they are
+// valid only until the next call to Next or Close.
 func (c *Cursor) Next(maxBytes int) ([]Record, error) {
-	var out []Record
+	if c.bufs == nil {
+		c.bufs = cursorPool.Get().(*cursorBuffers)
+	}
+	// Size the window for a full batch: payload budget plus framing
+	// overhead headroom, so one ReadAt usually covers one batch.
+	want := maxBytes + maxBytes/2 + (64 << 10)
+	if cap(c.bufs.buf) < want {
+		c.bufs.buf = make([]byte, want)
+	}
+	out := c.bufs.recs[:0]
+	defer func() { c.bufs.recs = out }()
 	total := 0
 	for {
 		if c.f == nil {
@@ -73,27 +117,131 @@ func (c *Cursor) Next(maxBytes int) ([]Record, error) {
 				return out, nil // no segment holds c.next yet
 			}
 		}
-		rec, ok, err := c.readRecord()
-		if err != nil {
-			return out, err
-		}
-		if !ok {
-			// Exhausted the readable frames here. If a successor segment
-			// already starts at c.next, this one is sealed — move on.
-			// Otherwise we are at the live tail: hand back what we have.
-			if c.successorExists() {
-				c.f.Close()
-				c.f = nil
+		c.fill()
+		consumed := false
+		for {
+			rec, st, err := c.parseRecord()
+			if err != nil {
+				return out, err
+			}
+			if st == parseSkipped {
+				consumed = true
 				continue
 			}
+			if st != parseOK {
+				break
+			}
+			consumed = true
+			out = append(out, rec)
+			total += len(rec.Data)
+			if total >= maxBytes {
+				return out, nil
+			}
+		}
+		// The window stalled short of the budget. Anything already
+		// parsed goes back now — the next call resumes at c.off (and
+		// crosses into the successor segment there if need be).
+		if len(out) > 0 {
 			return out, nil
 		}
-		out = append(out, rec)
-		total += len(rec.Data)
-		if total >= maxBytes {
-			return out, nil
+		if consumed {
+			continue // skipped pre-subscribe records; refill at the new offset
 		}
+		if !c.atEOF {
+			// A single frame larger than the window: grow and re-read.
+			// Any other full-window stall (garbage where a frame header
+			// should be) parks like a torn tail below.
+			if need := c.stalledFrameSize(); need > cap(c.bufs.buf) {
+				c.bufs.buf = make([]byte, need)
+				continue
+			}
+		}
+		// Exhausted the readable frames here. If a successor segment
+		// already starts at c.next, this one is sealed — move on.
+		// Otherwise we are at the live tail: hand back what we have.
+		if c.successorExists() {
+			c.f.Close()
+			c.f = nil
+			continue
+		}
+		return out, nil
 	}
+}
+
+// fill reads a fresh window from the current offset. One syscall per
+// window instead of two per record; a short read (or read error) marks
+// the window as covering the segment's current readable tail.
+func (c *Cursor) fill() {
+	buf := c.bufs.buf[:cap(c.bufs.buf)]
+	n, err := c.f.ReadAt(buf, c.off)
+	c.win, c.pos = n, 0
+	c.atEOF = err != nil || n < len(buf)
+}
+
+// stalledFrameSize returns the full byte size of the frame at the
+// current parse position, when enough of its header is visible to know
+// it (used to grow the window past an oversized record).
+func (c *Cursor) stalledFrameSize() int {
+	if c.win-c.pos < recHdrSize {
+		return 0
+	}
+	frameLen := binary.BigEndian.Uint32(c.bufs.buf[c.pos : c.pos+4])
+	if frameLen < frameFixed || frameLen > MaxRecordSize {
+		return 0
+	}
+	return recHdrSize + int(frameLen)
+}
+
+type parseStatus uint8
+
+const (
+	parseOK      parseStatus = iota // a record was delivered
+	parseStall                      // incomplete, invalid, or mid-write frame: stop here
+	parseSkipped                    // a whole frame before the subscribe position was consumed
+)
+
+// parseRecord decodes one complete frame at the parse position. On
+// parseStall the position is left unchanged so the same offset is
+// retried later (mid-write frames become visible on a later fill).
+func (c *Cursor) parseRecord() (Record, parseStatus, error) {
+	b := c.bufs.buf[:c.win]
+	if c.win-c.pos < recHdrSize {
+		return Record{}, parseStall, nil // tail reached (or header mid-write)
+	}
+	frameLen := binary.BigEndian.Uint32(b[c.pos : c.pos+4])
+	if frameLen < frameFixed || frameLen > MaxRecordSize {
+		return Record{}, parseStall, nil // not a frame (zero-fill or mid-write)
+	}
+	if c.win-c.pos < recHdrSize+int(frameLen) {
+		return Record{}, parseStall, nil // frame body not flushed (or past the window)
+	}
+	frame := b[c.pos+recHdrSize : c.pos+recHdrSize+int(frameLen)]
+	if crc32.Checksum(frame, crcTable) != binary.BigEndian.Uint32(b[c.pos+4:c.pos+8]) {
+		return Record{}, parseStall, nil // mid-write (or a tear recovery will judge)
+	}
+	rec := Record{
+		Type: RecordType(frame[0]),
+		LSN:  binary.BigEndian.Uint64(frame[1:9]),
+		TS:   time.Unix(0, int64(binary.BigEndian.Uint64(frame[9:17]))),
+		Data: frame[frameFixed:frameLen:frameLen],
+	}
+	c.pos += recHdrSize + int(frameLen)
+	c.off += int64(recHdrSize) + int64(frameLen)
+	if rec.LSN < c.next {
+		return Record{}, parseSkipped, nil // before the subscribe position
+	}
+	if rec.LSN != c.next {
+		return Record{}, parseStall, fmt.Errorf("journal: cursor sequence broke at LSN %d (want %d)", rec.LSN, c.next)
+	}
+	c.next = rec.LSN + 1
+	if rec.Type == RecSkip {
+		skip, err := DecodeSkip(rec.Data)
+		if err != nil || skip.End < rec.LSN {
+			return Record{}, parseStall, fmt.Errorf("journal: cursor hit malformed skip at LSN %d", rec.LSN)
+		}
+		c.next = skip.End + 1
+	}
+	return rec, parseOK, nil
 }
 
 // openNext opens the segment containing c.next, or the earliest later
@@ -126,8 +274,8 @@ func (c *Cursor) openNext() (bool, error) {
 		}
 		return false, err
 	}
-	hdr := make([]byte, segHdrSize)
-	if _, err := io.ReadFull(f, hdr); err != nil {
+	var hdr [segHdrSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
 		f.Close()
 		return false, nil // header not flushed yet; retry later
 	}
@@ -141,52 +289,8 @@ func (c *Cursor) openNext() (bool, error) {
 	}
 	c.f = f
 	c.off = segHdrSize
+	c.win, c.pos, c.atEOF = 0, 0, false
 	return true, nil
-}
-
-// readRecord reads one complete frame at c.off. ok is false when the
-// remaining bytes do not (yet) form a complete valid frame — the
-// offset is left unchanged so the same position is retried later.
-func (c *Cursor) readRecord() (Record, bool, error) {
-	for {
-		var rh [recHdrSize]byte
-		if _, err := c.f.ReadAt(rh[:], c.off); err != nil {
-			return Record{}, false, nil // tail reached (or header mid-write)
-		}
-		frameLen := binary.BigEndian.Uint32(rh[0:4])
-		if frameLen < frameFixed || frameLen > MaxRecordSize {
-			return Record{}, false, nil // not a frame (zero-fill or mid-write)
-		}
-		frame := make([]byte, frameLen)
-		if _, err := c.f.ReadAt(frame, c.off+recHdrSize); err != nil {
-			return Record{}, false, nil // frame body not flushed yet
-		}
-		if crc32.Checksum(frame, crcTable) != binary.BigEndian.Uint32(rh[4:8]) {
-			return Record{}, false, nil // mid-write (or a tear recovery will judge)
-		}
-		rec := Record{
-			Type: RecordType(frame[0]),
-			LSN:  binary.BigEndian.Uint64(frame[1:9]),
-			TS:   time.Unix(0, int64(binary.BigEndian.Uint64(frame[9:17]))),
-			Data: frame[frameFixed:],
-		}
-		c.off += int64(recHdrSize) + int64(frameLen)
-		if rec.LSN < c.next {
-			continue // before the subscribe position: skip within the segment
-		}
-		if rec.LSN != c.next {
-			return Record{}, false, fmt.Errorf("journal: cursor sequence broke at LSN %d (want %d)", rec.LSN, c.next)
-		}
-		c.next = rec.LSN + 1
-		if rec.Type == RecSkip {
-			skip, err := DecodeSkip(rec.Data)
-			if err != nil || skip.End < rec.LSN {
-				return Record{}, false, fmt.Errorf("journal: cursor hit malformed skip at LSN %d", rec.LSN)
-			}
-			c.next = skip.End + 1
-		}
-		return rec, true, nil
-	}
 }
 
 // successorExists reports whether a segment starting exactly at c.next

@@ -212,7 +212,13 @@ func newReader(b []byte) (*reader, error) {
 
 // EncodeReport encodes a ReportEvent payload.
 func EncodeReport(ev ReportEvent) []byte {
-	b := make([]byte, 0, 1+2+len(ev.AP)+16+6+8+8)
+	return AppendReport(make([]byte, 0, 1+2+len(ev.AP)+16+6+8+8), ev)
+}
+
+// AppendReport appends a ReportEvent payload to b — the arena form
+// batched ingest uses to encode a whole flush of report records into
+// one reused buffer instead of one allocation per report.
+func AppendReport(b []byte, ev ReportEvent) []byte {
 	b = append(b, eventVersion)
 	b = putStr(b, ev.AP)
 	b = putPoint(b, ev.APPos)

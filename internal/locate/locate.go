@@ -12,7 +12,6 @@ import (
 	"errors"
 	"math"
 
-	"secureangle/internal/cmat"
 	"secureangle/internal/geom"
 )
 
@@ -35,29 +34,42 @@ var ErrDegenerate = errors.New("locate: bearing lines nearly parallel")
 // Triangulate returns the weighted least-squares intersection of the
 // bearing lines: the point x minimising sum_i w_i * (n_i . x - n_i . p_i)^2
 // with n_i the unit normal of AP i's bearing line.
+//
+// The unknown is always two-dimensional, so the normal equations
+// (A^T A) x = A^T b form a symmetric 2x2 system solved in closed form —
+// no matrix scratch, no allocations. This sits on the controller's
+// per-decision hot path (fusion finalize), where the general
+// cmat.SolveLeastSquaresReal path used to cost ~11 allocs per call.
 func Triangulate(obs []BearingObs) (geom.Point, error) {
 	if len(obs) < 2 {
 		return geom.Point{}, ErrUnderdetermined
 	}
-	a := make([][]float64, 0, len(obs))
-	b := make([]float64, 0, len(obs))
+	// Accumulate A^T A = [[s00 s01][s01 s11]] and A^T b = (t0, t1)
+	// directly from the observations.
+	var s00, s01, s11, t0, t1 float64
 	for _, o := range obs {
 		w := o.Weight
 		if w <= 0 {
 			w = 1
 		}
-		sw := math.Sqrt(w)
 		rad := o.BearingDeg * math.Pi / 180
 		// Line direction (cos, sin); normal (-sin, cos).
 		nx, ny := -math.Sin(rad), math.Cos(rad)
-		a = append(a, []float64{sw * nx, sw * ny})
-		b = append(b, sw*(nx*o.AP.X+ny*o.AP.Y))
+		b := nx*o.AP.X + ny*o.AP.Y
+		s00 += w * nx * nx
+		s01 += w * nx * ny
+		s11 += w * ny * ny
+		t0 += w * nx * b
+		t1 += w * ny * b
 	}
-	x, err := cmat.SolveLeastSquaresReal(a, b)
-	if err != nil {
+	det := s00*s11 - s01*s01
+	if det == 0 || math.IsNaN(det) {
 		return geom.Point{}, ErrDegenerate
 	}
-	return geom.Point{X: x[0], Y: x[1]}, nil
+	return geom.Point{
+		X: (s11*t0 - s01*t1) / det,
+		Y: (s00*t1 - s01*t0) / det,
+	}, nil
 }
 
 // Residual returns the RMS perpendicular distance (metres) from p to the

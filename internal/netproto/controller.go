@@ -101,6 +101,13 @@ type Controller struct {
 	// each partition, so the effective totals scale with N. Set it
 	// before traffic arrives, like the other tuning fields.
 	Partitions int
+	// PprofOps mounts the Go runtime profiling endpoints
+	// (/debug/pprof/..., including CPU, heap, and mutex-contention
+	// profiles) on the operations handler. Off by default: profiles
+	// expose internals and cost a little steady-state bookkeeping, so
+	// they are opt-in like the rest of the ops surface. Set it before
+	// OpsHandler/ServeOps.
+	PprofOps bool
 
 	mu       sync.Mutex
 	apPos    map[string]geom.Point
@@ -287,47 +294,79 @@ func (c *Controller) Threat(mac wifi.Addr) (defense.ClientThreat, bool) {
 
 // emitDecision fans one fused decision out to the legacy channel and
 // every subscriber, then feeds the defense engine (the fusion engine
-// calls it outside shard locks).
+// calls it outside shard locks). The serial path: the mobility track
+// is queried right after the fence report, which — with one ingest per
+// emit — is the state the completing bearing left behind.
 func (c *Controller) emitDecision(d fusion.Decision) {
-	// During journal recovery the decision is a re-derivation of history:
-	// it still feeds the defense engine below (that is how threat scores
-	// are rebuilt), but consumers must not see it again and the journal
-	// already holds it.
-	if !c.recovering.Load() {
-		c.journalAppend(d.MAC, journal.RecDecision, journal.EncodeDecision(d))
-		out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
-		c.mu.Lock()
-		if c.closed {
-			c.mu.Unlock()
-			return // the decision channels may be mid-close
-		}
-		select {
-		case c.decision <- out:
-		default:
-			c.logf("controller: decision channel full, dropping %v", out.MAC)
-		}
-		for id, ch := range c.subs {
-			select {
-			case ch <- out:
-			default:
-				c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
-			}
-		}
-		c.mu.Unlock()
+	if !c.fanOutDecision(d) {
+		return // mid-close: the engines may be tearing down too
 	}
-
-	// Close the loop: every fused fence decision is defense evidence,
-	// and the refreshed mobility track both updates the threat's last
-	// known position and surfaces velocity anomalies.
 	if s := c.partsBuild(); s != nil {
-		s.ReportFence(defense.FenceVerdict{
-			MAC: d.MAC, Seq: d.Seq, Pos: d.Pos,
-			Allowed: d.Decision == locate.Allow, Forced: d.Forced,
-		})
+		c.reportFence(s, d)
 		if ts, ok := s.Track(d.MAC); ok {
 			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
 		}
 	}
+}
+
+// emitDecisionTracked is emitDecision for the batched ingest path: the
+// track state was captured under the shard lock at decision time, so
+// the defense engine sees the same mobility evidence a serial
+// Ingest/emit interleaving would — not a track already advanced by
+// later same-MAC bearings in the batch.
+func (c *Controller) emitDecisionTracked(d fusion.Decision, ts fusion.TrackState, tracked bool) {
+	if !c.fanOutDecision(d) {
+		return // mid-close: the engines may be tearing down too
+	}
+	if s := c.partsBuild(); s != nil {
+		c.reportFence(s, d)
+		if tracked {
+			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
+		}
+	}
+}
+
+// fanOutDecision journals a decision and delivers it to the legacy
+// channel and every subscriber. It returns false when the controller
+// is mid-close (channels torn down) and the caller should stop.
+func (c *Controller) fanOutDecision(d fusion.Decision) bool {
+	// During journal recovery the decision is a re-derivation of history:
+	// it still feeds the defense engine (that is how threat scores are
+	// rebuilt), but consumers must not see it again and the journal
+	// already holds it.
+	if c.recovering.Load() {
+		return true
+	}
+	c.journalAppend(d.MAC, journal.RecDecision, journal.EncodeDecision(d))
+	out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return false // the decision channels may be mid-close
+	}
+	select {
+	case c.decision <- out:
+	default:
+		c.logf("controller: decision channel full, dropping %v", out.MAC)
+	}
+	for id, ch := range c.subs {
+		select {
+		case ch <- out:
+		default:
+			c.logf("controller: subscriber %d behind, dropping %v", id, out.MAC)
+		}
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// reportFence closes the loop: every fused fence decision is defense
+// evidence.
+func (c *Controller) reportFence(s *partition.Set, d fusion.Decision) {
+	s.ReportFence(defense.FenceVerdict{
+		MAC: d.MAC, Seq: d.Seq, Pos: d.Pos,
+		Allowed: d.Decision == locate.Allow, Forced: d.Forced,
+	})
 }
 
 // ControllerStats aggregates the fusion engine's counters with the
@@ -647,9 +686,7 @@ func (c *Controller) handle(conn net.Conn) {
 			if health != nil {
 				health.reports.Add(uint64(len(m)))
 			}
-			for _, r := range m {
-				c.ingest(r)
-			}
+			c.ingestBatch(m)
 		case Alert:
 			c.handleAlert(m)
 		case Query:
@@ -771,6 +808,176 @@ func (c *Controller) ingest(r Report) {
 	c.journalAppend(r.MAC, journal.RecReport, journal.EncodeReport(journal.ReportEvent{
 		AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, BearingDeg: r.BearingDeg,
 	}))
+}
+
+// batchIngestScratch is the pooled per-batch state of ingestBatch: the
+// resolved bearings, their partition-grouped reordering, and the
+// encode arena + record headers each journal flush reuses.
+type batchIngestScratch struct {
+	bearings []fusion.Bearing
+	grouped  []fusion.Bearing
+	partOf   []int32
+	counts   []int32
+	recs     []journal.Record
+	enc      []byte
+	offs     []int32
+}
+
+var batchIngestPool = sync.Pool{New: func() any { return &batchIngestScratch{} }}
+
+// ingestBatch is the TypeReportBatch fast path: one AP-position lookup
+// pass under one lock, one partition grouping pass, one engine batch
+// per touched partition (fusion takes each shard lock once, not once
+// per report), and group-committed report records. Per-partition
+// journal streams are byte-identical to len(rs) serial ingest calls:
+// within a partition, the records of report i's fused decision (and
+// any directives it provokes) land before report i's own record, and
+// reports between decisions group-commit as one journal batch.
+func (c *Controller) ingestBatch(rs []Report) {
+	if len(rs) == 0 {
+		return
+	}
+	if len(rs) == 1 {
+		c.ingest(rs[0])
+		return
+	}
+	sc := batchIngestPool.Get().(*batchIngestScratch)
+	// Resolve every report's AP position under one registry lock.
+	bearings := sc.bearings[:0]
+	unknown := 0
+	c.mu.Lock()
+	for i := range rs {
+		r := &rs[i]
+		pos, ok := c.apPos[r.APName]
+		if !ok {
+			unknown++
+			continue
+		}
+		bearings = append(bearings, fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
+	}
+	c.mu.Unlock()
+	sc.bearings = bearings
+	if unknown > 0 {
+		c.unknownAP.Add(uint64(unknown))
+		c.logf("controller: %d report(s) from unknown AP(s) dropped", unknown)
+	}
+	if len(bearings) == 0 {
+		c.releaseBatchScratch(sc)
+		return
+	}
+
+	set := c.partsBuild()
+	n := 1
+	if set != nil {
+		n = set.N()
+	} else if js := c.journals(); js != nil {
+		n = len(js) // journal-only mode: group for the right journals
+	}
+	if n == 1 {
+		c.ingestRun(set, 0, bearings, sc)
+		c.releaseBatchScratch(sc)
+		return
+	}
+
+	// Group bearings by partition (stable counting sort): each
+	// partition's engine and journal then see one contiguous run.
+	if cap(sc.partOf) < len(bearings) {
+		sc.partOf = make([]int32, len(bearings))
+		sc.grouped = make([]fusion.Bearing, len(bearings))
+	}
+	if cap(sc.counts) < n+1 {
+		sc.counts = make([]int32, n+1)
+	}
+	partOf, grouped := sc.partOf[:len(bearings)], sc.grouped[:len(bearings)]
+	counts := sc.counts[:n+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range bearings {
+		p := int32(partition.IndexFor(bearings[i].MAC, n))
+		partOf[i] = p
+		counts[p+1]++
+	}
+	for p := 0; p < n; p++ {
+		counts[p+1] += counts[p]
+	}
+	next := counts[:n]
+	for i := range bearings {
+		p := partOf[i]
+		grouped[next[p]] = bearings[i]
+		next[p]++
+	}
+	start := int32(0)
+	for p := 0; p < n; p++ {
+		end := counts[p] // advanced to the run's end by the scatter
+		if end == start {
+			continue
+		}
+		c.ingestRun(set, p, grouped[start:end], sc)
+		start = end
+	}
+	c.releaseBatchScratch(sc)
+}
+
+// ingestRun feeds one partition's contiguous run of bearings to its
+// fusion engine as a batch and journals the run's report records in
+// group commits, interleaved so the per-partition record stream
+// matches serial ingest: reports before a decision flush as one batch
+// before that decision's records.
+func (c *Controller) ingestRun(set *partition.Set, p int, run []fusion.Bearing, sc *batchIngestScratch) {
+	cursor := 0
+	if set != nil {
+		set.At(p).Fusion.IngestBatch(run, func(i int, d fusion.Decision, ts fusion.TrackState, tracked bool) {
+			if i > cursor {
+				c.flushReportRun(p, run[cursor:i], sc)
+				cursor = i
+			}
+			c.emitDecisionTracked(d, ts, tracked)
+		})
+	}
+	c.flushReportRun(p, run[cursor:], sc)
+}
+
+// flushReportRun group-commits one slice of a partition run's report
+// records: every payload is encoded into one reused arena and the
+// whole slice lands with a single journal AppendBatch.
+func (c *Controller) flushReportRun(p int, run []fusion.Bearing, sc *batchIngestScratch) {
+	if len(run) == 0 {
+		return
+	}
+	js := c.journals()
+	if js == nil || c.recovering.Load() {
+		return
+	}
+	enc, offs := sc.enc[:0], sc.offs[:0]
+	for i := range run {
+		b := &run[i]
+		enc = journal.AppendReport(enc, journal.ReportEvent{
+			AP: b.AP, APPos: b.APPos, MAC: b.MAC, Seq: b.Seq, BearingDeg: b.Deg,
+		})
+		offs = append(offs, int32(len(enc)))
+	}
+	recs := sc.recs[:0]
+	prev := int32(0)
+	for _, off := range offs {
+		recs = append(recs, journal.Record{Type: journal.RecReport, Data: enc[prev:off:off]})
+		prev = off
+	}
+	sc.enc, sc.offs, sc.recs = enc, offs, recs
+	if p < 0 || p >= len(js) {
+		p = 0
+	}
+	if _, err := js[p].AppendBatch(recs); err != nil && !errors.Is(err, journal.ErrClosed) {
+		c.logf("controller: journal batch append p%d: %v", p, err)
+	}
+}
+
+// releaseBatchScratch clears reference-holding scratch and pools it.
+func (c *Controller) releaseBatchScratch(sc *batchIngestScratch) {
+	clear(sc.bearings)
+	clear(sc.grouped)
+	clear(sc.recs) // Data fields alias the arena; drop them
+	batchIngestPool.Put(sc)
 }
 
 // --- AP agent side ---

@@ -411,6 +411,15 @@ func WriteMessage(w io.Writer, body []byte) error {
 
 // ReadMessage reads one length-prefixed message body.
 func ReadMessage(r io.Reader) ([]byte, error) {
+	return ReadMessageBuf(r, nil)
+}
+
+// ReadMessageBuf reads one length-prefixed message body into buf when
+// it fits, allocating only when it does not — the streaming consumers'
+// (standby apply loop) zero-alloc steady state. The returned slice
+// aliases buf; it is valid until the next ReadMessageBuf call with the
+// same buffer.
+func ReadMessageBuf(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -419,7 +428,11 @@ func ReadMessage(r io.Reader) ([]byte, error) {
 	if n > MaxMessageSize {
 		return nil, ErrTooLarge
 	}
-	body := make([]byte, n)
+	body := buf
+	if uint32(cap(body)) < n {
+		body = make([]byte, n)
+	}
+	body = body[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}

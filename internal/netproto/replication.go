@@ -84,6 +84,13 @@ func MarshalSegment(s Segment) []byte {
 }
 
 func unmarshalSegment(rest []byte) (Segment, error) {
+	return unmarshalSegmentInto(rest, nil)
+}
+
+// unmarshalSegmentInto decodes a Segment reusing recs (length reset,
+// capacity kept) as the Records backing store — the standby apply
+// loop's per-frame record-slice reuse. Record Data fields alias rest.
+func unmarshalSegmentInto(rest []byte, recs []journal.Record) (Segment, error) {
 	if len(rest) < 2+2+8+4 {
 		return Segment{}, ErrBadMessage
 	}
@@ -99,7 +106,9 @@ func unmarshalSegment(rest []byte) (Segment, error) {
 		return Segment{}, ErrBadMessage
 	}
 	if n > 0 {
-		s.Records = make([]journal.Record, 0, n)
+		if s.Records = recs[:0]; cap(recs) < int(n) {
+			s.Records = make([]journal.Record, 0, n)
+		}
 	}
 	for i := uint32(0); i < n; i++ {
 		if len(rest) < recFixed {

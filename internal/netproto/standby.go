@@ -227,23 +227,43 @@ func (s *Standby) followOnce(ctx context.Context) error {
 	// The watchdog read deadline doubles as the leader-loss detector:
 	// heartbeats arrive ~2/s, so a PromoteAfter silence surfaces as a
 	// read timeout here.
+	//
+	// The loop reuses its decode scratch frame to frame: the read
+	// buffer and the Segment record slice live for the connection, so
+	// the steady-state apply path does not allocate per frame. Both
+	// are consumed before the next read (AppendRecord and Apply copy
+	// or decode what they keep), so the aliasing never escapes.
+	var (
+		readBuf []byte
+		recs    []journal.Record
+	)
 	for {
 		deadline := 30 * time.Second
 		if s.cfg.PromoteAfter > 0 && s.cfg.PromoteAfter < deadline {
 			deadline = s.cfg.PromoteAfter
 		}
 		conn.SetReadDeadline(time.Now().Add(deadline))
-		body, err := ReadMessage(conn)
+		body, err := ReadMessageBuf(conn, readBuf)
 		if err != nil {
 			return err
 		}
-		msg, err := Unmarshal(body)
+		if cap(body) > cap(readBuf) {
+			readBuf = body
+		}
+		if len(body) == 0 || body[0] != TypeSegment {
+			// Directives/alerts broadcast to every session; not ours to
+			// act on. Validate the frame, then move on.
+			if _, err := Unmarshal(body); err != nil {
+				return err
+			}
+			continue
+		}
+		seg, err := unmarshalSegmentInto(body[1:], recs)
 		if err != nil {
 			return err
 		}
-		seg, ok := msg.(Segment)
-		if !ok {
-			continue // directives/alerts broadcast to every session; not ours to act on
+		if cap(seg.Records) > cap(recs) {
+			recs = seg.Records
 		}
 		if err := s.applySegment(seg); err != nil {
 			return err
@@ -505,9 +525,14 @@ func (s *Standby) registerOps() {
 //	GET  /metrics   Prometheus text exposition (standby registry)
 //	GET  /status    controller Status document plus a "standby" section
 //	POST /promote   promote now; returns the post-promotion status
+//	GET  /debug/pprof/...  runtime profiles (when the wrapped
+//	                controller's PprofOps is set, e.g. via Configure)
 func (s *Standby) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", s.reg.Handler())
+	if s.ctrl.PprofOps {
+		mountPprof(mux)
+	}
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		doc := struct {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -498,6 +500,7 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 //	GET  /enroll           enrolled AP names as JSON
 //	POST /enroll?name=X    mint (or rotate) X's token; returns it once
 //	POST /enroll?name=X&revoke=1   revoke X's enrollment
+//	GET  /debug/pprof/...  runtime profiles (only when PprofOps is set)
 //
 // The handler is also what ServeOps mounts. Callers embedding it in
 // their own server should keep it off untrusted networks: /enroll
@@ -505,6 +508,9 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 func (c *Controller) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", ops.Default().Handler())
+	if c.PprofOps {
+		mountPprof(mux)
+	}
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -541,6 +547,20 @@ func (c *Controller) OpsHandler() http.Handler {
 		}
 	})
 	return mux
+}
+
+// mountPprof registers the Go runtime profiling endpoints on mux (the
+// explicit-handler form: nothing here touches http.DefaultServeMux)
+// and turns on mutex-contention sampling so /debug/pprof/mutex has
+// data — the profile loadgen investigations ask for first, since the
+// controller's hot paths are lock-bounded, not CPU-bounded.
+func mountPprof(mux *http.ServeMux) {
+	runtime.SetMutexProfileFraction(5)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // ServeOps starts the operations HTTP server on ln and registers the

@@ -17,6 +17,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"secureangle/internal/defense"
@@ -114,6 +115,88 @@ func (s *Set) For(mac wifi.Addr) Part { return s.parts[s.IndexFor(mac)] }
 
 // Ingest routes a bearing to its MAC's partition.
 func (s *Set) Ingest(b fusion.Bearing) { s.For(b.MAC).Fusion.Ingest(b) }
+
+// setBatchScratch is the pooled grouping state one IngestBatch call
+// borrows: the partition-grouped reordering of the batch.
+type setBatchScratch struct {
+	partOf  []int32
+	counts  []int32
+	order   []int32
+	grouped []fusion.Bearing
+}
+
+var setBatchPool = sync.Pool{New: func() any { return &setBatchScratch{} }}
+
+// IngestBatch routes a slice of bearings, grouping them by partition
+// index once so each touched partition's engine takes its shard locks
+// once per batch (fusion.Engine.IngestBatch) instead of once per
+// bearing. Per-MAC input order is preserved, so the decisions are
+// exactly those of len(bs) serial Ingest calls; they are delivered
+// outside all engine locks, grouped by partition and input-ordered
+// within each partition. emit, when non-nil, receives each decision
+// with the input index of the bearing that completed it and overrides
+// the engines' configured Emit for this batch.
+func (s *Set) IngestBatch(bs []fusion.Bearing, emit fusion.BatchEmit) {
+	if len(bs) == 0 {
+		return
+	}
+	if len(s.parts) == 1 {
+		if emit == nil {
+			s.parts[0].Fusion.IngestBatch(bs, nil)
+			return
+		}
+		s.parts[0].Fusion.IngestBatch(bs, emit)
+		return
+	}
+	n := int32(len(s.parts))
+	sc := setBatchPool.Get().(*setBatchScratch)
+	if cap(sc.partOf) < len(bs) {
+		sc.partOf = make([]int32, len(bs))
+		sc.order = make([]int32, len(bs))
+		sc.grouped = make([]fusion.Bearing, len(bs))
+	}
+	if cap(sc.counts) < int(n)+1 {
+		sc.counts = make([]int32, n+1)
+	}
+	partOf, order := sc.partOf[:len(bs)], sc.order[:len(bs)]
+	grouped, counts := sc.grouped[:len(bs)], sc.counts[:n+1]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range bs {
+		p := int32(IndexFor(bs[i].MAC, int(n)))
+		partOf[i] = p
+		counts[p+1]++
+	}
+	for p := int32(0); p < n; p++ {
+		counts[p+1] += counts[p]
+	}
+	next := counts[:n]
+	for i := range bs {
+		p := partOf[i]
+		order[next[p]] = int32(i)
+		grouped[next[p]] = bs[i]
+		next[p]++
+	}
+	start := int32(0)
+	for p := int32(0); p < n; p++ {
+		end := counts[p] // advanced to the run's end by the scatter
+		if end == start {
+			continue
+		}
+		run, runOrder := grouped[start:end], order[start:end]
+		if emit == nil {
+			s.parts[p].Fusion.IngestBatch(run, nil)
+		} else {
+			s.parts[p].Fusion.IngestBatch(run, func(i int, d fusion.Decision, t fusion.TrackState, tracked bool) {
+				emit(int(runOrder[i]), d, t, tracked)
+			})
+		}
+		start = end
+	}
+	clear(grouped) // drop Bearing string refs before pooling
+	setBatchPool.Put(sc)
+}
 
 // ReportSpoof routes a spoof verdict to its MAC's partition.
 func (s *Set) ReportSpoof(v defense.SpoofVerdict) { s.For(v.MAC).Defense.ReportSpoof(v) }

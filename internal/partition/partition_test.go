@@ -2,6 +2,7 @@ package partition
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -207,6 +208,37 @@ func TestPartitionNewValidation(t *testing.T) {
 	}
 }
 
+// benchSet builds a Set whose TOTAL client capacity is the single-
+// engine default regardless of the partition count, by splitting
+// MaxClients across partitions. Without this, parts=1 runs at its cap
+// (bounded live heap, evicting) while parts=4/16 hold every minted
+// client live — and the parts= comparison measures GC mark cost of
+// different client populations instead of routing cost.
+func benchSet(b *testing.B, parts int) *Set {
+	b.Helper()
+	s, err := New(parts,
+		func(p int) fusion.Config {
+			return fusion.Config{
+				Fence:        testFence(),
+				APCount:      func() int { return 2 },
+				TickInterval: time.Hour,
+				MaxClients:   fusion.DefaultMaxClients / parts,
+				Emit:         func(fusion.Decision) {},
+			}
+		},
+		func(p int) defense.Config {
+			return defense.Config{
+				TickInterval: time.Hour,
+				Emit:         func(defense.Directive) {},
+			}
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
 // BenchmarkPartitionIngest measures the partitioned hot path — MAC
 // route + sharded fusion ingest, two bearings fusing per transmission —
 // at 1, 4, and 16 partitions. Sweep -cpu to see route fan-out relieve
@@ -217,7 +249,13 @@ func BenchmarkPartitionIngest(b *testing.B) {
 	deg1, deg2 := geom.BearingDeg(ap1, target), geom.BearingDeg(ap2, target)
 	for _, parts := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("parts=%d", parts), func(b *testing.B) {
-			s := testSet(b, parts, nil)
+			s := benchSet(b, parts)
+			// Collect the previous sub-benchmark's dead client population
+			// before timing: each op below mints a fresh MAC, so a run
+			// leaves a large heap behind, and without this the later
+			// sub-benches inherit the earlier ones' GC debt — parts=4
+			// measured slower than parts=1 purely by running second.
+			runtime.GC()
 			b.ReportAllocs()
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {

@@ -17,9 +17,10 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # The headline set: per-packet pipeline, fusion ingest, defense
-# directive, journal append (each package's hot path), the ops metrics
-# update the first four carry, partitioned ingest at 1/4/16 partitions,
-# and the replication cursor's streaming throughput.
+# directive, journal append + group commit (each package's hot path),
+# the ops metrics update the first four carry, partitioned ingest at
+# 1/4/16 partitions (per-report and batched), and the replication
+# cursor's streaming throughput.
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkPipelinePerPacket$' . | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
@@ -29,9 +30,19 @@ go test -run '^$' -benchmem -benchtime "$benchtime" \
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkJournalAppend$' ./internal/journal | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
-    -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
+    -bench 'BenchmarkJournalAppendBatch$' ./internal/journal | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkMetricsCounter$' ./internal/ops | tee -a "$tmp"
+# The partition benches run at a fixed iteration count, not adaptive
+# time: every op mints a fresh client, so a sub-bench's live heap (and
+# GC share) scales with its iteration count, and adaptive -benchtime
+# hands each parts= variant a different count — making the in-file
+# parts=1/4/16 comparison measure iteration luck instead of routing
+# cost. A fixed count gives every variant the same client population.
+go test -run '^$' -benchmem -benchtime "${PARTITION_BENCHTIME:-200000x}" \
     -bench 'BenchmarkPartitionIngest$' ./internal/partition | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "${PARTITION_BENCHTIME:-200000x}" \
+    -bench 'BenchmarkPartitionIngestBatch$' ./internal/partition | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkReplicationCursor$' ./internal/journal | tee -a "$tmp"
 
