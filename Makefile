@@ -23,11 +23,12 @@ stress:
 	$(GO) test -race -count=3 -run 'Journal|Replay|Recovery' ./...
 	$(GO) test -race -count=3 -run 'Ops|Enroll|Status' ./...
 	$(GO) test -race -count=3 -run 'Partition|Replicat|Standby|Compact' ./...
+	$(GO) test -race -count=3 -run 'Trace|Incident' ./...
 
 # Headline benchmarks -> BENCH_PR$(PR).json (see scripts/bench.sh; CI
 # uploads the file as an artifact and the script prints a side-by-side
 # delta against the previous PR's file). Override with `make bench PR=7`.
-PR ?= 9
+PR ?= 10
 bench:
 	PR=$(PR) sh scripts/bench.sh
 

@@ -19,9 +19,11 @@ import (
 	"secureangle/internal/journal"
 	"secureangle/internal/locate"
 	"secureangle/internal/netproto"
+	"secureangle/internal/ops"
 	"secureangle/internal/radio"
 	"secureangle/internal/rng"
 	"secureangle/internal/testbed"
+	"secureangle/internal/trace"
 	"secureangle/internal/wifi"
 )
 
@@ -288,6 +290,9 @@ type serveOptions struct {
 	snapshotEvery time.Duration
 	// pprof mounts /debug/pprof on the ops endpoint.
 	pprof bool
+	// logLevel is the controller logger's minimum level ("debug",
+	// "info", "warn", "error"; empty = info).
+	logLevel string
 }
 
 // runServe runs the fence controller; a non-empty journalDir turns on
@@ -308,7 +313,12 @@ func runServe(o serveOptions) error {
 	if o.snapshotEvery != 0 {
 		c.SnapshotInterval = o.snapshotEvery
 	}
-	c.Logf = func(format string, args ...any) { fmt.Printf("[controller] "+format+"\n", args...) }
+	// Controller log lines go through the leveled key=value logger:
+	// timestamped, level-tagged, and carrying the mac=/ap=/trace=
+	// fields `secureangle incident` timelines join against.
+	logger := ops.NewLogger(os.Stdout)
+	logger.SetLevel(ops.ParseLevel(o.logLevel))
+	c.Logf = logger.Printf
 	if o.journalDir != "" {
 		opts := journal.Options{SegmentBytes: o.segmentBytes, Logf: c.Logf}
 		if err := c.WithJournalDir(o.journalDir, opts); err != nil {
@@ -391,11 +401,15 @@ func runLoadgen(addr, token string, duration time.Duration, rate int) error {
 			X: center.X + float64(int(sent%17)-8),
 			Y: center.Y + float64(int(sent%11)-5),
 		}
-		if err := ag1.Send(netproto.Report{APName: "loadgen-ap1", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap1Pos, target)}); err != nil {
+		// One trace per synthetic transmission: both AP identities
+		// report the same packet, so they share the ID (what a real
+		// fleet converges to once every AP mints from the same packet).
+		tr := trace.NextID()
+		if err := ag1.Send(netproto.Report{APName: "loadgen-ap1", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap1Pos, target), Trace: tr}); err != nil {
 			fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
 			return nil
 		}
-		if err := ag2.Send(netproto.Report{APName: "loadgen-ap2", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap2Pos, target)}); err != nil {
+		if err := ag2.Send(netproto.Report{APName: "loadgen-ap2", MAC: mac, SeqNo: sent, BearingDeg: geom.BearingDeg(ap2Pos, target), Trace: tr}); err != nil {
 			fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
 			return nil
 		}
@@ -403,6 +417,7 @@ func runLoadgen(addr, token string, duration time.Duration, rate int) error {
 			if err := ag1.SendAlertDetail(netproto.Alert{
 				APName: "loadgen-ap1", MAC: mac, Distance: 0.9, Threshold: 0.12,
 				BearingDeg: geom.BearingDeg(ap1Pos, target), HasBearing: true, Stage: "spoofcheck",
+				Trace: tr,
 			}); err != nil {
 				fmt.Printf("loadgen: connection lost after %d reports: %v\n", sent, err)
 				return nil
@@ -456,12 +471,13 @@ func runDemo(seed int64) error {
 	}
 
 	send := func(seq uint64, clientID int, target geom.Point, label string) error {
-		fmt.Printf("transmission %d: %s at %v\n", seq, label, target)
+		tr := trace.NextID()
+		fmt.Printf("transmission %d: %s at %v (trace %016x)\n", seq, label, target, tr)
 		bs := bearingsFor(target)
 		for i, a := range agents {
 			if err := a.Send(netproto.Report{
 				APName: fmt.Sprintf("ap%d", i+1), MAC: testbed.ClientMAC(clientID),
-				SeqNo: seq, BearingDeg: bs[i],
+				SeqNo: seq, BearingDeg: bs[i], Trace: tr,
 			}); err != nil {
 				return err
 			}
@@ -500,10 +516,12 @@ func runDemo(seed int64) error {
 	dirCh := agents[1].Directives()
 	ap2 := core.NewAP("ap2", testbed.NewAPFrontEnd(testbed.CircularArray(), apPos[1], rng.New(seed+1)), environment, core.DefaultConfig())
 	intruderMAC := testbed.ClientMAC(99)
-	fmt.Printf("\nap1 flags %s as spoofed (signature distance 0.9 vs threshold 0.12)\n", intruderMAC)
+	alertTrace := trace.NextID()
+	fmt.Printf("\nap1 flags %s as spoofed (signature distance 0.9 vs threshold 0.12, trace %016x)\n", intruderMAC, alertTrace)
 	if err := agents[0].SendAlertDetail(netproto.Alert{
 		APName: "ap1", MAC: intruderMAC, Distance: 0.9, Threshold: 0.12,
 		BearingDeg: bearingsFor(testbed.OutsidePositions()[0])[0], HasBearing: true, Stage: "spoofcheck",
+		Trace: alertTrace,
 	}); err != nil {
 		return err
 	}

@@ -1,0 +1,46 @@
+package main
+
+// `secureangle incident` — offline incident forensics: reconstruct one
+// client's (or one trace's) report → verdict → score-crossing →
+// directive → ack → release timeline, with inter-stage latencies, from
+// a journal directory alone. Works against a live controller's journal
+// tree, a compacted one, or a standby's replicated copy — no running
+// controller required.
+
+import (
+	"fmt"
+	"strconv"
+
+	"secureangle/internal/journal"
+	"secureangle/internal/wifi"
+)
+
+func runIncident(dir, macStr, traceStr string) error {
+	if dir == "" {
+		return fmt.Errorf("incident needs -journal DIR (the controller's journal directory)")
+	}
+	if macStr == "" && traceStr == "" {
+		return fmt.Errorf("incident needs -mac aa:bb:cc:dd:ee:ff or -trace <16-hex-digit id>")
+	}
+	var q journal.IncidentQuery
+	if macStr != "" {
+		mac, err := wifi.ParseAddr(macStr)
+		if err != nil {
+			return err
+		}
+		q.MAC, q.HasMAC = mac, true
+	}
+	if traceStr != "" {
+		id, err := strconv.ParseUint(traceStr, 16, 64)
+		if err != nil {
+			return fmt.Errorf("bad -trace %q: want a 16-hex-digit trace ID", traceStr)
+		}
+		q.Trace = id
+	}
+	inc, err := journal.ReconstructIncident(dir, q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(inc.Render())
+	return nil
+}

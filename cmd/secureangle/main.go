@@ -16,7 +16,8 @@
 //	secureangle record     — serve with the flight recorder on (journal defaults to ./secureangle-journal)
 //	secureangle standby    — follow a leader's journal stream as a warm replica (-promote flips a running standby live)
 //	secureangle loadgen    — hammer a running controller with synthetic report/alert traffic
-//	secureangle status     — render a running controller's /status document (fusion, defense, journal, per-AP health)
+//	secureangle status     — render a running controller's /status document (-watch N re-renders every N seconds)
+//	secureangle incident   — reconstruct a client's decision timeline from a journal directory (-mac or -trace)
 //	secureangle enroll     — mint, list, rotate, or -revoke per-AP enrollment tokens on a running controller
 //	secureangle tracks     — query a running controller's live mobility traces
 //	secureangle defense    — query a controller's threat states (or -release a MAC)
@@ -48,7 +49,10 @@ func main() {
 	spectra := fs.Bool("spectra", false, "dump full pseudospectra as TSV")
 	client := fs.Int("client", 5, "testbed client ID for capture")
 	file := fs.String("file", "capture.saiq", "I/Q capture path")
-	macFlag := fs.String("mac", "", "client MAC to query (tracks/defense; empty = all)")
+	macFlag := fs.String("mac", "", "client MAC to query (tracks/defense/incident; empty = all)")
+	traceFlag := fs.String("trace", "", "incident: filter by 16-hex-digit trace ID")
+	watchFlag := fs.Int("watch", 0, "status: re-render every N seconds until interrupted")
+	logLevel := fs.String("log-level", "info", "serve/record: minimum controller log level (debug, info, warn, error)")
 	releaseFlag := fs.Bool("release", false, "defense: request an operator release of -mac")
 	journalFlag := fs.String("journal", "", "journal directory (record/replay; serve: optional)")
 	opsAddr := fs.String("ops", "", "ops HTTP address: serve/record listen for /metrics, /status, /enroll (empty = off); status/enroll target (empty = "+defaultOpsAddr+")")
@@ -110,6 +114,7 @@ func main() {
 			addr: *listen, journalDir: *journalFlag, opsAddr: *opsAddr,
 			requireAuth: *requireAuth, partitions: *partitions,
 			segmentBytes: *segBytes, snapshotEvery: *snapEvery, pprof: *pprofFlag,
+			logLevel: *logLevel,
 		})
 	case "record":
 		dir := *journalFlag
@@ -120,6 +125,7 @@ func main() {
 			addr: *listen, journalDir: dir, opsAddr: *opsAddr,
 			requireAuth: *requireAuth, partitions: *partitions,
 			segmentBytes: *segBytes, snapshotEvery: *snapEvery, pprof: *pprofFlag,
+			logLevel: *logLevel,
 		})
 	case "standby":
 		if *promoteFlag {
@@ -135,7 +141,9 @@ func main() {
 	case "loadgen":
 		err = runLoadgen(*listen, *tokenFlag, *durationFlag, *rateFlag)
 	case "status":
-		err = runStatus(opsTarget(*opsAddr))
+		err = runStatus(opsTarget(*opsAddr), *watchFlag)
+	case "incident":
+		err = runIncident(*journalFlag, *macFlag, *traceFlag)
 	case "enroll":
 		err = runEnroll(opsTarget(*opsAddr), fs.Arg(0), *revokeFlag)
 	case "tracks":
@@ -193,7 +201,12 @@ services and demos:
               (or "standby -promote -ops addr" to promote now), then serve -listen
   loadgen     hammer a running controller at -listen with synthetic reports and
               alerts (-rate per second, for -duration)
-  status      render a running controller's /status (-ops targets its endpoint)
+  status      render a running controller's /status (-ops targets its endpoint;
+              -watch N re-renders every N seconds until interrupted)
+  incident    reconstruct one client's decision timeline — report, verdict,
+              directive, ack, release with inter-stage latencies — from a
+              journal directory: "incident -journal dir -mac aa:bb:..." or
+              -trace <16-hex id>; works on live, compacted, and standby journals
   enroll      "enroll ap1" mints (or rotates) ap1's token on a running controller;
               "enroll" alone lists enrollments; "enroll -revoke ap1" revokes
   tracks      query a running controller's live mobility traces (-mac filters, -token authenticates)

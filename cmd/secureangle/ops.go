@@ -42,8 +42,26 @@ func opsGet(addr, path string, out any) error {
 
 // runStatus fetches /status from a controller's ops endpoint and
 // renders the operator's view: fusion and defense counters, journal
-// position, per-AP health, and the live threat table.
-func runStatus(addr string) error {
+// position, per-AP health, and the live threat table. watch > 0
+// re-fetches and re-renders every watch seconds until interrupted
+// (`secureangle status -watch 2`, the poor operator's dashboard).
+func runStatus(addr string, watch int) error {
+	if watch <= 0 {
+		return renderStatus(addr)
+	}
+	for {
+		// Clear the screen and home the cursor between renders, like
+		// watch(1); a fetch error is printed and retried, not fatal —
+		// the controller may be mid-restart.
+		fmt.Print("\x1b[2J\x1b[H")
+		if err := renderStatus(addr); err != nil {
+			fmt.Println(err)
+		}
+		time.Sleep(time.Duration(watch) * time.Second)
+	}
+}
+
+func renderStatus(addr string) error {
 	var st netproto.Status
 	if err := opsGet(addr, "/status", &st); err != nil {
 		return fmt.Errorf("is the controller running with -ops %s? %w", addr, err)

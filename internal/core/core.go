@@ -31,6 +31,7 @@ import (
 	"secureangle/internal/radio"
 	"secureangle/internal/signature"
 	"secureangle/internal/testbed"
+	"secureangle/internal/trace"
 	"secureangle/internal/wifi"
 )
 
@@ -244,6 +245,11 @@ type Report struct {
 	Sources int
 	// SNRdB is the in-band SNR estimated from the covariance eigenvalues.
 	SNRdB float64
+	// Trace is the 64-bit decision-trace ID minted for this packet —
+	// the handle every downstream hop (spoof check, wire report,
+	// fusion, defense, directive, ack) records its span under, and the
+	// key `secureangle incident` reconstructs the timeline by.
+	Trace uint64
 }
 
 // Observe receives a transmission from tx through the environment and
@@ -311,6 +317,9 @@ func (ap *AP) process(streams [][]complex128) (*Report, error) {
 func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, error) {
 	mPackets.Inc()
 	t0 := time.Now()
+	// Mint the packet's trace ID up front so the stage histograms can
+	// exemplar-link it even when a later stage fails the packet.
+	tr := trace.NextID()
 	if ap.offsets == nil {
 		return nil, ap.stageErr(StageCalibrate, ErrNotCalibrated)
 	}
@@ -338,7 +347,7 @@ func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, 
 	if !ok {
 		return nil, ap.stageErr(StageAlign, errors.New("detection window out of range"))
 	}
-	mDetectSeconds.ObserveSince(t0)
+	mDetectSeconds.ObserveSinceExemplar(t0, tr)
 	tEst := time.Now()
 
 	r, err := music.CovarianceInto(&sc.cov, win)
@@ -394,10 +403,18 @@ func (ap *AP) processScratch(streams [][]complex128, sc *pipeScratch) (*Report, 
 		Detection:  det,
 		Sources:    sources,
 		SNRdB:      snr,
+		Trace:      tr,
 	}
-	mEstimateSeconds.ObserveSince(tEst)
-	mPacketSeconds.ObserveSince(t0)
+	mEstimateSeconds.ObserveSinceExemplar(tEst, tr)
+	mPacketSeconds.ObserveSinceExemplar(t0, tr)
 	mReports.Inc()
+	trace.Default().Record(trace.Span{
+		Trace: tr,
+		Stage: trace.StageObserve,
+		Start: t0.UnixNano(),
+		Dur:   int64(time.Since(t0)),
+		AP:    ap.Name,
+	})
 	return rep, nil
 }
 
@@ -559,10 +576,19 @@ func (ap *AP) ProcessFrameContext(ctx context.Context, tx geom.Point, frame *wif
 		return nil, withMAC(err, frame.Addr2)
 	}
 	fr := &FrameReport{Report: *rep, MAC: frame.Addr2}
+	tSpoof := time.Now()
 	v, enrolled, err := ap.registry.observe(frame.Addr2, rep.Sig, ap.cfg.Policy)
 	if err != nil {
 		return nil, &PipelineError{Stage: StageSpoofCheck, AP: ap.Name, MAC: frame.Addr2, Err: err}
 	}
+	trace.Default().Record(trace.Span{
+		Trace: rep.Trace,
+		Stage: trace.StageSpoofCheck,
+		Start: tSpoof.UnixNano(),
+		Dur:   int64(time.Since(tSpoof)),
+		MAC:   frame.Addr2,
+		AP:    ap.Name,
+	})
 	fr.Decision = v.Decision
 	fr.Distance = v.Distance
 	fr.Threshold = v.Threshold

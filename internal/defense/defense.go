@@ -131,6 +131,8 @@ type SpoofVerdict struct {
 	// failure ("spoofcheck" for a mismatch; "detect"/"estimate" for
 	// anomalies reported as alerts).
 	Stage string
+	// Trace is the flagged packet's trace ID (0 = untraced).
+	Trace uint64
 }
 
 // Severity is the normalised threshold exceedance of a flagged verdict
@@ -155,6 +157,8 @@ type FenceVerdict struct {
 	// Forced marks a decision fused at a deadline without angular
 	// diversity — weaker evidence.
 	Forced bool
+	// Trace is the fused decision's trace ID (0 = untraced).
+	Trace uint64
 }
 
 // TrackVerdict is one mobility-track update: the fused, filtered
@@ -166,6 +170,8 @@ type TrackVerdict struct {
 	MAC wifi.Addr
 	Pos geom.Point
 	Vel geom.Point
+	// Trace is the underlying fused decision's trace ID (0 = untraced).
+	Trace uint64
 }
 
 // Directive is one typed countermeasure order, emitted on threat-state
@@ -206,6 +212,10 @@ type Directive struct {
 	Distance  float64
 	Threshold float64
 	Stage     string
+	// Trace is the trace ID of the last traced evidence that touched the
+	// threat before this directive — the causal link an incident
+	// timeline joins report, verdict, and countermeasure on.
+	Trace uint64
 }
 
 // ClientThreat is one client's queryable threat state.
@@ -237,6 +247,10 @@ type ClientThreat struct {
 	// evidence or sweep touch.
 	Since   time.Time
 	Updated time.Time
+	// Trace is the trace ID of the most recent traced evidence — the
+	// handle an incident timeline (or an operator release) joins this
+	// threat's history on. Zero when no traced evidence arrived.
+	Trace uint64
 }
 
 // Policy tunes the threat state machine. Zero fields take the defaults;
@@ -572,6 +586,9 @@ func (e *Engine) ReportSpoof(v SpoofVerdict) {
 	th.decayTo(now, e.cfg.Policy.HalfLife)
 	th.lastAP, th.stage = v.AP, v.Stage
 	th.lastDistance, th.lastThreshold = v.Distance, v.Threshold
+	if v.Trace != 0 {
+		th.lastTrace = v.Trace
+	}
 	if v.HasBearing {
 		th.bearingDeg, th.hasBearing = v.BearingDeg, true
 	}
@@ -603,6 +620,9 @@ func (e *Engine) ReportFence(v FenceVerdict) {
 	th, ds := s.touch(e, v.MAC, now)
 	th.decayTo(now, e.cfg.Policy.HalfLife)
 	th.pos, th.hasPos = v.Pos, true
+	if v.Trace != 0 {
+		th.lastTrace = v.Trace
+	}
 	if !v.Allowed {
 		th.fenceDrops++
 		w := e.cfg.Policy.FenceWeight
@@ -638,6 +658,9 @@ func (e *Engine) ReportTrack(v TrackVerdict) {
 	th, ds := s.touch(e, v.MAC, now)
 	th.decayTo(now, e.cfg.Policy.HalfLife)
 	th.pos, th.hasPos = v.Pos, true
+	if v.Trace != 0 {
+		th.lastTrace = v.Trace
+	}
 	if anomalous {
 		th.speedFlags++
 		s.ctr.speedFlags++
@@ -941,10 +964,13 @@ type threat struct {
 	flags, fenceDrops, speedFlags uint64
 	lastAP, stage                 string
 	lastDistance, lastThreshold   float64
-	bearingDeg                    float64
-	hasBearing                    bool
-	pos                           geom.Point
-	hasPos                        bool
+	// lastTrace is the most recent traced evidence's trace ID, stamped
+	// into every directive this threat emits.
+	lastTrace  uint64
+	bearingDeg float64
+	hasBearing bool
+	pos        geom.Point
+	hasPos     bool
 
 	since   time.Time // entered current state
 	updated time.Time // last decay anchor
@@ -998,6 +1024,7 @@ func (th *threat) snapshot(now time.Time, halfLife time.Duration) ClientThreat {
 		HasPos:        th.hasPos,
 		Since:         th.since,
 		Updated:       th.updated,
+		Trace:         th.lastTrace,
 	}
 }
 
@@ -1016,6 +1043,7 @@ func (th *threat) directive(from State, reporter string) Directive {
 		Distance:   th.lastDistance,
 		Threshold:  th.lastThreshold,
 		Stage:      th.stage,
+		Trace:      th.lastTrace,
 	}
 }
 

@@ -20,10 +20,13 @@ import (
 	"secureangle/internal/wifi"
 )
 
-// Snapshot codec framing.
+// Snapshot codec framing. v2 appends the threat's last trace ID after
+// the strings, so incident-timeline causality survives a restart; v1
+// snapshots restore with a zero trace.
 const (
-	snapMagic   = "SADS" // SecureAngle Defense State
-	snapVersion = 1
+	snapMagic     = "SADS" // SecureAngle Defense State
+	snapVersion   = 2
+	snapVersionV1 = 1
 )
 
 // threatFixedSize is one encoded threat record minus its two strings:
@@ -82,7 +85,8 @@ func encodeThreat(b []byte, th *threat) []byte {
 	b = binary.BigEndian.AppendUint64(b, uint64(th.since.UnixNano()))
 	b = binary.BigEndian.AppendUint64(b, uint64(th.updated.UnixNano()))
 	b = appendString(b, th.lastAP)
-	return appendString(b, th.stage)
+	b = appendString(b, th.stage)
+	return binary.BigEndian.AppendUint64(b, th.lastTrace)
 }
 
 func appendBool(b []byte, v bool) []byte {
@@ -123,8 +127,9 @@ func (e *Engine) Restore(r io.Reader) error {
 	if string(hdr[:4]) != snapMagic {
 		return fmt.Errorf("defense: bad snapshot magic %q", hdr[:4])
 	}
-	if v := binary.BigEndian.Uint16(hdr[4:6]); v != snapVersion {
-		return fmt.Errorf("defense: unsupported snapshot version %d", v)
+	ver := binary.BigEndian.Uint16(hdr[4:6])
+	if ver != snapVersion && ver != snapVersionV1 {
+		return fmt.Errorf("defense: unsupported snapshot version %d", ver)
 	}
 	count := binary.BigEndian.Uint32(hdr[6:10])
 	br := bufio.NewReader(r)
@@ -141,14 +146,22 @@ func (e *Engine) Restore(r io.Reader) error {
 		if err != nil {
 			return fmt.Errorf("defense: snapshot threat %d: %w", i, err)
 		}
-		e.restoreThreat(fixed, lastAP, stage)
+		var lastTrace uint64
+		if ver >= snapVersion {
+			var tb [8]byte
+			if _, err := io.ReadFull(br, tb[:]); err != nil {
+				return fmt.Errorf("defense: snapshot threat %d: %w", i, err)
+			}
+			lastTrace = binary.BigEndian.Uint64(tb[:])
+		}
+		e.restoreThreat(fixed, lastAP, stage, lastTrace)
 	}
 	return nil
 }
 
 // restoreThreat decodes one fixed block + strings and installs the
 // threat entry in its shard.
-func (e *Engine) restoreThreat(b []byte, lastAP, stage string) {
+func (e *Engine) restoreThreat(b []byte, lastAP, stage string, lastTrace uint64) {
 	var mac wifi.Addr
 	copy(mac[:], b[:6])
 	now := e.cfg.Clock()
@@ -173,5 +186,6 @@ func (e *Engine) restoreThreat(b []byte, lastAP, stage string) {
 	th.since = time.Unix(0, int64(binary.BigEndian.Uint64(b[82:90])))
 	th.updated = time.Unix(0, int64(binary.BigEndian.Uint64(b[90:98])))
 	th.lastAP, th.stage = lastAP, stage
+	th.lastTrace = lastTrace
 	s.unlockAndEmit(e, ds)
 }

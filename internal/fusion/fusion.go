@@ -197,6 +197,9 @@ type Bearing struct {
 	MAC   wifi.Addr
 	Seq   uint64
 	Deg   float64
+	// Trace is the packet's 64-bit trace ID, minted at the observing AP
+	// and carried through the decision pipeline (0 = untraced).
+	Trace uint64
 }
 
 // Decision is one fused fence outcome.
@@ -210,6 +213,9 @@ type Decision struct {
 	// Forced marks a decision fused at the DecisionTimeout (or TTL)
 	// deadline without reaching angular diversity.
 	Forced bool
+	// Trace is the trace ID of the first traced bearing that joined the
+	// fused transmission (0 when no contributing report carried one).
+	Trace uint64
 }
 
 // TrackState is one client's live mobility-trace state: the alpha-beta
@@ -554,8 +560,12 @@ func (e *Engine) ingestLocked(s *shard, b Bearing, now time.Time) (Decision, boo
 		}
 		p = e.pendingPool.Get().(*pendingTx)
 		p.cl, p.seq, p.created = cl, b.Seq, now
+		p.trace = 0
 		cl.pending[b.Seq] = p
 		s.ttlList.pushTail(p, ttlLinks)
+	}
+	if p.trace == 0 {
+		p.trace = b.Trace
 	}
 	p.bearings[b.AP] = apBearing{pos: b.APPos, deg: b.Deg}
 	if len(p.bearings) < e.cfg.MinAPs {
@@ -625,7 +635,9 @@ func (e *Engine) diverse(p *pendingTx) bool {
 // window, and advances the client's mobility track. Shard lock held;
 // the returned decision is emitted by the caller after unlock.
 func (e *Engine) finalizeLocked(s *shard, p *pendingTx, now time.Time, forced bool) (Decision, bool) {
-	cl, seq := p.cl, p.seq
+	// Capture everything needed after dropPending now: the pool may hand
+	// p to another shard the moment it is dropped.
+	cl, seq, trace := p.cl, p.seq, p.trace
 	obs := s.obsScratch[:0]
 	// Fuse in AP-name order: map iteration order would otherwise leak
 	// into the least-squares accumulation (and the APs list), making the
@@ -670,7 +682,7 @@ func (e *Engine) finalizeLocked(s *shard, p *pendingTx, now time.Time, forced bo
 	cl.fixes++
 	cl.lastSeq = seq
 	cl.lastDecision = dec
-	return Decision{MAC: cl.mac, Seq: seq, Pos: pos, Decision: dec, APs: aps, Forced: forced}, true
+	return Decision{MAC: cl.mac, Seq: seq, Pos: pos, Decision: dec, APs: aps, Forced: forced, Trace: trace}, true
 }
 
 // Sweep processes every deadline due at or before now: sub-MinAPs
@@ -837,6 +849,9 @@ type pendingTx struct {
 
 	cl  *client
 	seq uint64
+	// trace is the first traced bearing's ID; deterministic because
+	// ingest order is (replay order is the recorded order).
+	trace uint64
 
 	ttlPrev, ttlNext       *pendingTx
 	decidePrev, decideNext *pendingTx

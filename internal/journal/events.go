@@ -72,8 +72,14 @@ func (t RecordType) String() string {
 	}
 }
 
-// eventVersion is the current payload codec version.
-const eventVersion = 1
+// eventVersion is the current payload codec version. Version 2 appends
+// a 64-bit trace ID to the report/alert/decision/directive/release
+// payloads (the distributed-tracing context an incident timeline joins
+// on); version-1 journals decode with a zero trace.
+const eventVersion = 2
+
+// eventVersionV1 is the pre-trace codec; still readable.
+const eventVersionV1 = 1
 
 // ReportEvent is one bearing report as ingested: the wire Report with
 // the AP's position resolved against the registry at ingest time, so
@@ -84,6 +90,9 @@ type ReportEvent struct {
 	MAC        wifi.Addr
 	Seq        uint64
 	BearingDeg float64
+	// Trace is the packet's trace ID (0 on records written by pre-v2
+	// codecs or untraced wire sessions).
+	Trace uint64
 }
 
 // AckEvent is one applied-countermeasure acknowledgement.
@@ -98,6 +107,9 @@ type ReleaseEvent struct {
 	// Source names the release path ("operator" for the in-process API,
 	// the AP name for wire requests).
 	Source string
+	// Trace is the trace ID of the evidence chain being released (0
+	// when the release has no traced antecedent).
+	Trace uint64
 }
 
 // --- primitive append/read helpers (big endian, the netproto idiom) ---
@@ -136,6 +148,7 @@ var errTruncated = fmt.Errorf("journal: truncated event payload")
 
 type reader struct {
 	b   []byte
+	ver byte
 	err error
 }
 
@@ -202,17 +215,26 @@ func newReader(b []byte) (*reader, error) {
 	if len(b) < 1 {
 		return nil, errTruncated
 	}
-	if b[0] != eventVersion {
+	if b[0] != eventVersion && b[0] != eventVersionV1 {
 		return nil, fmt.Errorf("journal: unsupported event codec version %d", b[0])
 	}
-	return &reader{b: b[1:]}, nil
+	return &reader{b: b[1:], ver: b[0]}, nil
+}
+
+// trace reads the trailing trace ID a version-2 payload carries;
+// version-1 payloads decode with a zero trace.
+func (r *reader) trace() uint64 {
+	if r.ver < 2 {
+		return 0
+	}
+	return r.u64()
 }
 
 // --- event codecs ---
 
 // EncodeReport encodes a ReportEvent payload.
 func EncodeReport(ev ReportEvent) []byte {
-	return AppendReport(make([]byte, 0, 1+2+len(ev.AP)+16+6+8+8), ev)
+	return AppendReport(make([]byte, 0, 1+2+len(ev.AP)+16+6+8+8+8), ev)
 }
 
 // AppendReport appends a ReportEvent payload to b — the arena form
@@ -224,7 +246,8 @@ func AppendReport(b []byte, ev ReportEvent) []byte {
 	b = putPoint(b, ev.APPos)
 	b = append(b, ev.MAC[:]...)
 	b = binary.BigEndian.AppendUint64(b, ev.Seq)
-	return putF64(b, ev.BearingDeg)
+	b = putF64(b, ev.BearingDeg)
+	return binary.BigEndian.AppendUint64(b, ev.Trace)
 }
 
 // DecodeReport decodes an EncodeReport payload.
@@ -234,6 +257,7 @@ func DecodeReport(b []byte) (ReportEvent, error) {
 		return ReportEvent{}, err
 	}
 	ev := ReportEvent{AP: r.str(), APPos: r.point(), MAC: r.mac(), Seq: r.u64(), BearingDeg: r.f64()}
+	ev.Trace = r.trace()
 	return ev, r.err
 }
 
@@ -254,7 +278,8 @@ func EncodeAlert(v defense.SpoofVerdict) []byte {
 	b = putF64(b, v.Distance)
 	b = putF64(b, v.Threshold)
 	b = putF64(b, v.BearingDeg)
-	return putStr(b, v.Stage)
+	b = putStr(b, v.Stage)
+	return binary.BigEndian.AppendUint64(b, v.Trace)
 }
 
 // DecodeAlert decodes an EncodeAlert payload.
@@ -273,6 +298,7 @@ func DecodeAlert(b []byte) (defense.SpoofVerdict, error) {
 	v.Threshold = r.f64()
 	v.BearingDeg = r.f64()
 	v.Stage = r.str()
+	v.Trace = r.trace()
 	return v, r.err
 }
 
@@ -289,7 +315,7 @@ func EncodeDecision(d fusion.Decision) []byte {
 	for _, ap := range d.APs {
 		b = putStr(b, ap)
 	}
-	return b
+	return binary.BigEndian.AppendUint64(b, d.Trace)
 }
 
 // DecodeDecision decodes an EncodeDecision payload.
@@ -308,6 +334,7 @@ func DecodeDecision(b []byte) (fusion.Decision, error) {
 	for i := 0; i < n && r.err == nil; i++ {
 		d.APs = append(d.APs, r.str())
 	}
+	d.Trace = r.trace()
 	return d, r.err
 }
 
@@ -333,7 +360,8 @@ func EncodeDirective(d defense.Directive) []byte {
 	b = putF64(b, d.Threshold)
 	b = binary.BigEndian.AppendUint64(b, uint64(d.TTL))
 	b = putStr(b, d.Reporter)
-	return putStr(b, d.Stage)
+	b = putStr(b, d.Stage)
+	return binary.BigEndian.AppendUint64(b, d.Trace)
 }
 
 // DecodeDirective decodes an EncodeDirective payload.
@@ -358,6 +386,7 @@ func DecodeDirective(b []byte) (defense.Directive, error) {
 	d.TTL = time.Duration(r.u64())
 	d.Reporter = r.str()
 	d.Stage = r.str()
+	d.Trace = r.trace()
 	return d, r.err
 }
 
@@ -387,10 +416,11 @@ func DecodeAck(b []byte) (AckEvent, error) {
 
 // EncodeRelease encodes an operator-release payload.
 func EncodeRelease(ev ReleaseEvent) []byte {
-	b := make([]byte, 0, 1+6+2+len(ev.Source))
+	b := make([]byte, 0, 1+6+2+len(ev.Source)+8)
 	b = append(b, eventVersion)
 	b = append(b, ev.MAC[:]...)
-	return putStr(b, ev.Source)
+	b = putStr(b, ev.Source)
+	return binary.BigEndian.AppendUint64(b, ev.Trace)
 }
 
 // DecodeRelease decodes an EncodeRelease payload.
@@ -400,6 +430,7 @@ func DecodeRelease(b []byte) (ReleaseEvent, error) {
 		return ReleaseEvent{}, err
 	}
 	ev := ReleaseEvent{MAC: r.mac(), Source: r.str()}
+	ev.Trace = r.trace()
 	return ev, r.err
 }
 

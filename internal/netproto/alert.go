@@ -8,6 +8,7 @@ import (
 
 	"secureangle/internal/defense"
 	"secureangle/internal/journal"
+	"secureangle/internal/trace"
 	"secureangle/internal/wifi"
 )
 
@@ -47,6 +48,9 @@ type Alert struct {
 	// nobody measured. Protocol v3 only.
 	BearingDeg float64
 	HasBearing bool
+	// Trace is the trace ID of the flagged observation, linking the
+	// alert to the packet's end-to-end decision trace. Protocol v5 only.
+	Trace uint64
 }
 
 // MarshalAlert encodes an Alert message body in the highest wire form
@@ -58,7 +62,8 @@ func MarshalAlert(a Alert) []byte {
 // marshalAlertV encodes an Alert for a session at the given negotiated
 // version: the v1 form has no trailing fields, v2 appends the stage
 // string when non-empty (byte-identical to what v2 builds shipped),
-// and v3 always appends stage + threshold + bearing.
+// v3 always appends stage + threshold + bearing, and v5 appends the
+// trailing trace ID.
 func marshalAlertV(a Alert, version uint16) []byte {
 	b := []byte{TypeAlert}
 	b = writeString(b, a.APName)
@@ -74,6 +79,9 @@ func marshalAlertV(a Alert, version uint16) []byte {
 		} else {
 			b = append(b, 0)
 		}
+		if version >= ProtoV5 {
+			b = binary.BigEndian.AppendUint64(b, a.Trace)
+		}
 	case version >= ProtoV2 && a.Stage != "":
 		b = writeString(b, a.Stage)
 	}
@@ -82,7 +90,8 @@ func marshalAlertV(a Alert, version uint16) []byte {
 
 // unmarshalAlert decodes an Alert body (after the type byte), accepting
 // the v1 form (no trailing fields), the v2 form (stage string only),
-// and the v3 form (stage + threshold + bearing).
+// the v3 form (stage + threshold + bearing), and the v5 form (v3 plus
+// the trailing trace ID).
 func unmarshalAlert(rest []byte) (Alert, error) {
 	var a Alert
 	name, rest, err := readString(rest)
@@ -106,12 +115,15 @@ func unmarshalAlert(rest []byte) (Alert, error) {
 	if len(rest) == 0 {
 		return a, nil // v2 form (stage only)
 	}
-	if len(rest) != 17 {
+	if len(rest) != 17 && len(rest) != 17+8 {
 		return a, ErrBadMessage
 	}
 	a.Threshold = math.Float64frombits(binary.BigEndian.Uint64(rest[0:8]))
 	a.BearingDeg = math.Float64frombits(binary.BigEndian.Uint64(rest[8:16]))
 	a.HasBearing = rest[16] != 0
+	if len(rest) == 17+8 { // v5: trailing trace ID
+		a.Trace = binary.BigEndian.Uint64(rest[17:])
+	}
 	return a, nil
 }
 
@@ -163,6 +175,7 @@ func (c *Controller) Quarantined() []Alert {
 			Stage:      st.Stage,
 			BearingDeg: st.BearingDeg,
 			HasBearing: st.HasBearing,
+			Trace:      st.Trace,
 		})
 	}
 	return out
@@ -181,7 +194,12 @@ func (c *Controller) handleAlert(a Alert) {
 		BearingDeg: a.BearingDeg,
 		HasBearing: a.HasBearing,
 		Stage:      a.Stage,
+		Trace:      a.Trace,
 	}
+	// An alert is incident evidence: its trace is retained
+	// unconditionally, never left to the benign sampler.
+	c.traceSpan(trace.StageAlert, a.Trace, a.MAC, a.APName, 0)
+	c.tracer().Retain(a.Trace)
 	// Apply before journaling (the ingest ordering): a snapshot racing
 	// this alert re-applies it from the tail at worst — one bounded
 	// double-count of its score — rather than losing the evidence.

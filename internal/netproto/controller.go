@@ -18,6 +18,7 @@ import (
 	"secureangle/internal/journal"
 	"secureangle/internal/locate"
 	"secureangle/internal/partition"
+	"secureangle/internal/trace"
 	"secureangle/internal/wifi"
 )
 
@@ -101,6 +102,11 @@ type Controller struct {
 	// each partition, so the effective totals scale with N. Set it
 	// before traffic arrives, like the other tuning fields.
 	Partitions int
+	// Tracer receives the controller's decision-trace spans (ingest,
+	// fusion, alert, directive, ack, release) and applies the tail-based
+	// retention policy. Nil uses the process-wide trace.Default()
+	// recorder, which /traces exposes.
+	Tracer *trace.Recorder
 	// PprofOps mounts the Go runtime profiling endpoints
 	// (/debug/pprof/..., including CPU, heap, and mutex-contention
 	// profiles) on the operations handler. Off by default: profiles
@@ -267,9 +273,17 @@ func (c *Controller) releaseFrom(mac wifi.Addr, source string) bool {
 	if s == nil {
 		return false
 	}
+	// Capture the threat's trace link before Release wipes the entry —
+	// the timeline's closing event joins on it.
+	var tr uint64
+	if th, ok := s.State(mac); ok {
+		tr = th.Trace
+	}
 	ok := s.Release(mac)
 	if ok {
-		c.journalAppend(mac, journal.RecRelease, journal.EncodeRelease(journal.ReleaseEvent{MAC: mac, Source: source}))
+		c.traceSpan(trace.StageRelease, tr, mac, source, 0)
+		c.tracer().Retain(tr)
+		c.journalAppend(mac, journal.RecRelease, journal.EncodeRelease(journal.ReleaseEvent{MAC: mac, Source: source, Trace: tr}))
 	}
 	return ok
 }
@@ -304,7 +318,7 @@ func (c *Controller) emitDecision(d fusion.Decision) {
 	if s := c.partsBuild(); s != nil {
 		c.reportFence(s, d)
 		if ts, ok := s.Track(d.MAC); ok {
-			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
+			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel, Trace: d.Trace})
 		}
 	}
 }
@@ -321,7 +335,7 @@ func (c *Controller) emitDecisionTracked(d fusion.Decision, ts fusion.TrackState
 	if s := c.partsBuild(); s != nil {
 		c.reportFence(s, d)
 		if tracked {
-			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel})
+			s.ReportTrack(defense.TrackVerdict{MAC: d.MAC, Pos: ts.Pos, Vel: ts.Vel, Trace: d.Trace})
 		}
 	}
 }
@@ -338,6 +352,15 @@ func (c *Controller) fanOutDecision(d fusion.Decision) bool {
 		return true
 	}
 	c.journalAppend(d.MAC, journal.RecDecision, journal.EncodeDecision(d))
+	// Tail-based retention decided at the fusion boundary: an allowed
+	// decision is benign (kept at the probabilistic sample rate); a
+	// denied one is fence evidence and retained unconditionally.
+	c.traceSpan(trace.StageFuse, d.Trace, d.MAC, "controller", 0)
+	if d.Decision == locate.Allow {
+		c.tracer().Sample(d.Trace)
+	} else {
+		c.tracer().Retain(d.Trace)
+	}
 	out := FenceDecision{MAC: d.MAC, SeqNo: d.Seq, Pos: d.Pos, Decision: d.Decision, APs: d.APs}
 	c.mu.Lock()
 	if c.closed {
@@ -366,6 +389,7 @@ func (c *Controller) reportFence(s *partition.Set, d fusion.Decision) {
 	s.ReportFence(defense.FenceVerdict{
 		MAC: d.MAC, Seq: d.Seq, Pos: d.Pos,
 		Allowed: d.Decision == locate.Allow, Forced: d.Forced,
+		Trace: d.Trace,
 	})
 }
 
@@ -571,6 +595,37 @@ func (c *Controller) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
+}
+
+// tracer resolves the span recorder (Tracer field, else the process
+// default).
+func (c *Controller) tracer() *trace.Recorder {
+	if c.Tracer != nil {
+		return c.Tracer
+	}
+	return trace.Default()
+}
+
+// traceSpan records one controller-side span on a packet's decision
+// trace. No-op for untraced events (id zero) and during journal
+// recovery — replayed history must not mint fresh wall-clock timings.
+// start == 0 records a point event at now; a nonzero start records the
+// elapsed interval since it.
+func (c *Controller) traceSpan(stage trace.Stage, id uint64, mac wifi.Addr, ap string, start int64) {
+	if id == 0 || c.recovering.Load() {
+		return
+	}
+	now := trace.Now()
+	var dur int64
+	if start != 0 {
+		dur = now - start
+	} else {
+		start = now
+	}
+	c.tracer().Record(trace.Span{
+		Trace: id, Stage: stage, Start: start, Dur: dur,
+		MAC: mac, AP: ap, Partition: uint16(partition.IndexFor(mac, c.nParts())),
+	})
 }
 
 // readTimeout resolves the keepalive deadline (<0 disables).
@@ -802,11 +857,13 @@ func (c *Controller) ingest(r Report) {
 	// sees its effect (and the event's LSN predates the capture) or the
 	// event lands in the replayed tail — double-applied at worst, never
 	// lost. The fusion seq window absorbs a re-applied report.
+	t0 := trace.Now()
 	if s := c.partsBuild(); s != nil {
-		s.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
+		s.Ingest(fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg, Trace: r.Trace})
 	}
+	c.traceSpan(trace.StageIngest, r.Trace, r.MAC, r.APName, t0)
 	c.journalAppend(r.MAC, journal.RecReport, journal.EncodeReport(journal.ReportEvent{
-		AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, BearingDeg: r.BearingDeg,
+		AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, BearingDeg: r.BearingDeg, Trace: r.Trace,
 	}))
 }
 
@@ -853,10 +910,14 @@ func (c *Controller) ingestBatch(rs []Report) {
 			unknown++
 			continue
 		}
-		bearings = append(bearings, fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg})
+		bearings = append(bearings, fusion.Bearing{AP: r.APName, APPos: pos, MAC: r.MAC, Seq: r.SeqNo, Deg: r.BearingDeg, Trace: r.Trace})
 	}
 	c.mu.Unlock()
 	sc.bearings = bearings
+	for i := range bearings {
+		b := &bearings[i]
+		c.traceSpan(trace.StageIngest, b.Trace, b.MAC, b.AP, 0)
+	}
 	if unknown > 0 {
 		c.unknownAP.Add(uint64(unknown))
 		c.logf("controller: %d report(s) from unknown AP(s) dropped", unknown)
@@ -953,7 +1014,7 @@ func (c *Controller) flushReportRun(p int, run []fusion.Bearing, sc *batchIngest
 	for i := range run {
 		b := &run[i]
 		enc = journal.AppendReport(enc, journal.ReportEvent{
-			AP: b.AP, APPos: b.APPos, MAC: b.MAC, Seq: b.Seq, BearingDeg: b.Deg,
+			AP: b.AP, APPos: b.APPos, MAC: b.MAC, Seq: b.Seq, BearingDeg: b.Deg, Trace: b.Trace,
 		})
 		offs = append(offs, int32(len(enc)))
 	}
@@ -1139,12 +1200,13 @@ func (a *Agent) writeBody(body []byte) error {
 	return WriteMessage(a.conn, body)
 }
 
-// Send ships one report; safe for concurrent use. A configured Timeout
-// bounds the write.
+// Send ships one report, encoded at the session's negotiated version
+// (the trace ID needs v5 — older sessions get it stripped); safe for
+// concurrent use. A configured Timeout bounds the write.
 func (a *Agent) Send(r Report) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.writeBody(MarshalReport(r))
+	return a.writeBody(marshalReportV(r, a.Version()))
 }
 
 // SendContext is Send with the context's deadline bounding the write
@@ -1152,7 +1214,7 @@ func (a *Agent) Send(r Report) error {
 // immediately, before taking the send lock.
 func (a *Agent) SendContext(ctx context.Context, r Report) error {
 	return a.sendWithCtx(ctx, func(write func([]byte) error) error {
-		return write(MarshalReport(r))
+		return write(marshalReportV(r, a.Version()))
 	})
 }
 
@@ -1196,10 +1258,16 @@ func (a *Agent) sendWithCtx(ctx context.Context, send func(write func([]byte) er
 }
 
 // sendBatchLocked chunks reports into ReportBatch frames under
-// MaxMessageSize and hands each to write. Caller holds a.mu.
+// MaxMessageSize and hands each to write, encoding at the session's
+// negotiated version (v5 sessions append the trailing trace-ID block,
+// budgeted into the chunk size). Caller holds a.mu.
 func (a *Agent) sendBatchLocked(rs []Report, write func([]byte) error) error {
 	if len(rs) == 0 {
 		return nil
+	}
+	tracePer := 0
+	if a.Version() >= ProtoV5 {
+		tracePer = 8
 	}
 	for start := 0; start < len(rs); {
 		// Grow the chunk until the next report would overflow the frame.
@@ -1207,14 +1275,19 @@ func (a *Agent) sendBatchLocked(rs []Report, write func([]byte) error) error {
 		end := start
 		for ; end < len(rs); end++ {
 			next := appendReportBody(body, rs[end])
-			if len(next) > MaxMessageSize && end > start {
+			if len(next)+tracePer*(end-start+1) > MaxMessageSize && end > start {
 				break
 			}
 			body = next
-			if len(body) > MaxMessageSize {
+			if len(body)+tracePer*(end-start+1) > MaxMessageSize {
 				// A single oversized report: let WriteMessage reject it.
 				end++
 				break
+			}
+		}
+		if tracePer > 0 {
+			for i := start; i < end; i++ {
+				body = binary.BigEndian.AppendUint64(body, rs[i].Trace)
 			}
 		}
 		binary.BigEndian.PutUint32(body[1:5], uint32(end-start))

@@ -8,6 +8,7 @@ import (
 	"secureangle/internal/defense"
 	"secureangle/internal/geom"
 	"secureangle/internal/journal"
+	"secureangle/internal/trace"
 	"secureangle/internal/wifi"
 )
 
@@ -43,8 +44,16 @@ const (
 	directiveFlagHasBearing = 1 << 2
 )
 
-// MarshalDirective encodes a Directive message body.
+// MarshalDirective encodes a Directive message body in the highest
+// wire form this build speaks.
 func MarshalDirective(d Directive) []byte {
+	return marshalDirectiveV(d, ProtoVersion)
+}
+
+// marshalDirectiveV encodes a Directive for a session at the given
+// negotiated version: v5 appends the trailing trace ID, v3/v4 keep
+// their exact bytes.
+func marshalDirectiveV(d Directive, version uint16) []byte {
 	b := []byte{TypeDirective, 0}
 	if d.HasPos {
 		b[1] |= directiveFlagHasPos
@@ -66,6 +75,9 @@ func MarshalDirective(d Directive) []byte {
 	b = binary.BigEndian.AppendUint64(b, uint64(d.TTL))
 	b = writeString(b, d.Reporter)
 	b = writeString(b, d.Stage)
+	if version >= ProtoV5 {
+		b = binary.BigEndian.AppendUint64(b, d.Trace)
+	}
 	return b
 }
 
@@ -104,7 +116,11 @@ func unmarshalDirective(rest []byte) (Directive, error) {
 	if d.Stage, rest, err = readString(rest); err != nil {
 		return Directive{}, err
 	}
-	if len(rest) != 0 {
+	switch len(rest) {
+	case 0: // v3/v4 form
+	case 8: // v5: trailing trace ID
+		d.Trace = binary.BigEndian.Uint64(rest)
+	default:
 		return Directive{}, ErrBadMessage
 	}
 	return d, nil
@@ -128,16 +144,23 @@ func (c *Controller) emitDirective(d defense.Directive) {
 	}
 	c.journalAppend(d.MAC, journal.RecDirective, journal.EncodeDirective(d))
 	c.noteDirectiveSent(d.MAC)
-	frame := MarshalDirective(Directive{Directive: d})
+	// A directive is the incident the trace layer exists for: retain its
+	// trace unconditionally and mark the fan-out point in the timeline.
+	c.traceSpan(trace.StageDirective, d.Trace, d.MAC, "controller", 0)
+	c.tracer().Retain(d.Trace)
+	// Two directive encodings: v3/v4 sessions must not see the trailing
+	// trace ID their decoders reject.
+	frameV5 := marshalDirectiveV(Directive{Directive: d}, ProtoV5)
+	frameV3 := marshalDirectiveV(Directive{Directive: d}, ProtoV3)
 	entering := d.To == defense.StateQuarantine && d.From != defense.StateQuarantine
 	var legacy Alert
 	if entering {
 		legacy = Alert{
 			APName: "controller", MAC: d.MAC, Distance: d.Distance,
 			Threshold: d.Threshold, Stage: d.Stage,
-			BearingDeg: d.BearingDeg, HasBearing: d.HasBearing,
+			BearingDeg: d.BearingDeg, HasBearing: d.HasBearing, Trace: d.Trace,
 		}
-		c.logf("controller: quarantining %s (%s, score %.2f, action %s)", d.MAC, d.Reporter, d.Score, d.Action)
+		c.logf("controller: quarantining mac=%s reporter=%s score=%.2f action=%s trace=%016x", d.MAC, d.Reporter, d.Score, d.Action, d.Trace)
 	}
 	c.quar.mu.Lock()
 	defer c.quar.mu.Unlock()
@@ -150,6 +173,10 @@ func (c *Controller) emitDirective(d defense.Directive) {
 			}
 		}
 		if ac.version >= ProtoV3 {
+			frame := frameV3
+			if ac.version >= ProtoV5 {
+				frame = frameV5
+			}
 			select {
 			case ac.ch <- frame:
 			default:
@@ -167,8 +194,10 @@ func (c *Controller) handleDirective(d Directive, apName string) {
 	if d.Ack {
 		c.directiveAcks.Add(1)
 		c.noteDirectiveAck(d.MAC, apName)
+		c.traceSpan(trace.StageAck, d.Trace, d.MAC, apName, 0)
+		c.tracer().Retain(d.Trace)
 		c.journalAppend(d.MAC, journal.RecAck, journal.EncodeAck(journal.AckEvent{AP: apName, Directive: d.Directive}))
-		c.logf("controller: %s applied %s for %s (bearing %.1f)", apName, d.Action, d.MAC, d.BearingDeg)
+		c.logf("controller: ap=%s applied %s mac=%s bearing=%.1f trace=%016x", apName, d.Action, d.MAC, d.BearingDeg, d.Trace)
 		return
 	}
 	if d.Action == defense.ActionAllow {
@@ -226,7 +255,7 @@ func (a *Agent) SendDirectiveAck(d defense.Directive) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.writeBody(MarshalDirective(Directive{Directive: d, Ack: true}))
+	return a.writeBody(marshalDirectiveV(Directive{Directive: d, Ack: true}, a.Version()))
 }
 
 // SendRelease asks the controller for an operator release of mac — the
@@ -237,7 +266,7 @@ func (a *Agent) SendRelease(mac wifi.Addr) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.writeBody(MarshalDirective(Directive{
+	return a.writeBody(marshalDirectiveV(Directive{
 		Directive: defense.Directive{MAC: mac, Action: defense.ActionAllow, Reporter: "operator"},
-	}))
+	}, a.Version()))
 }

@@ -46,8 +46,8 @@ func TestEnrollTokenAccepted(t *testing.T) {
 		t.Fatalf("enrolled agent rejected: %v", err)
 	}
 	defer a.Close()
-	if a.Version() != ProtoV4 {
-		t.Fatalf("negotiated v%d, want v4", a.Version())
+	if a.Version() != ProtoVersion {
+		t.Fatalf("negotiated v%d, want v%d", a.Version(), ProtoVersion)
 	}
 }
 

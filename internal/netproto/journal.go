@@ -280,7 +280,7 @@ func (c *Controller) partitionHooks(fe *fusion.Engine, de *defense.Engine) journ
 			de.Sweep(now)
 		},
 		Report: func(ev journal.ReportEvent) {
-			fe.Ingest(fusion.Bearing{AP: ev.AP, APPos: ev.APPos, MAC: ev.MAC, Seq: ev.Seq, Deg: ev.BearingDeg})
+			fe.Ingest(fusion.Bearing{AP: ev.AP, APPos: ev.APPos, MAC: ev.MAC, Seq: ev.Seq, Deg: ev.BearingDeg, Trace: ev.Trace})
 		},
 		Alert: func(v defense.SpoofVerdict) {
 			de.ReportSpoof(v)
@@ -551,16 +551,18 @@ func (c *Controller) resumeFrames(version uint16) [][]byte {
 				Distance:   st.LastDistance,
 				Threshold:  st.LastThreshold,
 				Stage:      st.Stage,
+				Trace:      st.Trace,
 			}
 			if policy.QuarantineTTL > 0 {
 				d.TTL = policy.QuarantineTTL
 			}
-			frames = append(frames, MarshalDirective(Directive{Directive: d}))
+			frames = append(frames, marshalDirectiveV(Directive{Directive: d}, version))
 		} else {
 			frames = append(frames, marshalAlertV(Alert{
 				APName: "controller", MAC: st.MAC, Distance: st.LastDistance,
 				Threshold: st.LastThreshold, Stage: st.Stage,
 				BearingDeg: st.BearingDeg, HasBearing: st.HasBearing,
+				Trace: st.Trace,
 			}, version))
 		}
 	}

@@ -64,13 +64,22 @@ const (
 // keep the exact v1–v3 wire forms — no token, 3-byte Welcome — and
 // whether the controller accepts them is its RequireAuth knob, not a
 // wire-format question.
+// v5 is the trace-context extension: Report, ReportBatch, Alert, and
+// Directive frames carry the 64-bit trace ID minted at the observing
+// AP, so a decision's causal chain (observation → ingest → fusion →
+// directive → ack) is joinable end to end. Every trace field is a
+// trailing extension — appended after the v4 form, discriminated by
+// leftover length at decode (a batch appends one 8-byte ID per report
+// after the bodies) — so sessions negotiated at v1–v4 keep their exact
+// byte forms and old decoders never see the new bytes.
 const (
 	ProtoV1 = 1
 	ProtoV2 = 2
 	ProtoV3 = 3
 	ProtoV4 = 4
+	ProtoV5 = 5
 	// ProtoVersion is the highest version this build speaks.
-	ProtoVersion = ProtoV4
+	ProtoVersion = ProtoV5
 )
 
 // NegotiateVersion returns the version a ProtoVersion-speaking peer
@@ -150,6 +159,9 @@ type Report struct {
 	SeqNo uint64
 	// Sig may be nil when only the bearing is reported.
 	Sig *signature.Signature
+	// Trace is the trace ID minted at the observing AP (protocol v5;
+	// zero when untraced or on older sessions).
+	Trace uint64
 }
 
 var (
@@ -204,9 +216,21 @@ func MarshalWelcome(w Welcome) []byte {
 	return b
 }
 
-// MarshalReport encodes a Report message body.
+// MarshalReport encodes a Report message body in the highest wire form
+// this build speaks.
 func MarshalReport(r Report) []byte {
-	return appendReportBody([]byte{TypeReport}, r)
+	return marshalReportV(r, ProtoVersion)
+}
+
+// marshalReportV encodes a Report for a session at the given negotiated
+// version: v5 appends the trailing trace ID, earlier versions keep the
+// exact v1–v4 bytes.
+func marshalReportV(r Report, version uint16) []byte {
+	b := appendReportBody([]byte{TypeReport}, r)
+	if version >= ProtoV5 {
+		b = binary.BigEndian.AppendUint64(b, r.Trace)
+	}
+	return b
 }
 
 // appendReportBody appends one report's self-delimiting wire form.
@@ -230,14 +254,29 @@ func appendReportBody(b []byte, r Report) []byte {
 // instead of one syscall per packet.
 type ReportBatch []Report
 
-// MarshalReportBatch encodes a ReportBatch message body. The caller must
-// keep the result under MaxMessageSize (Agent.SendBatch chunks
-// automatically).
+// MarshalReportBatch encodes a ReportBatch message body in the highest
+// wire form this build speaks. The caller must keep the result under
+// MaxMessageSize (Agent.SendBatch chunks automatically).
 func MarshalReportBatch(rs []Report) []byte {
+	return marshalReportBatchV(rs, ProtoVersion)
+}
+
+// marshalReportBatchV encodes a ReportBatch for a session at the given
+// negotiated version. The v5 trace IDs trail the report bodies as one
+// contiguous block (one 8-byte ID per report, in report order) rather
+// than interleaving, so the batch stays length-discriminable: after
+// count self-delimiting bodies, 0 leftover bytes is the v1–v4 form and
+// 8*count is v5.
+func marshalReportBatchV(rs []Report, version uint16) []byte {
 	b := []byte{TypeReportBatch}
 	b = binary.BigEndian.AppendUint32(b, uint32(len(rs)))
 	for _, r := range rs {
 		b = appendReportBody(b, r)
+	}
+	if version >= ProtoV5 {
+		for _, r := range rs {
+			b = binary.BigEndian.AppendUint64(b, r.Trace)
+		}
 	}
 	return b
 }
@@ -342,7 +381,11 @@ func Unmarshal(b []byte) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		if len(rest) != 0 {
+		switch len(rest) {
+		case 0: // v1–v4 form
+		case 8: // v5: trailing trace ID
+			r.Trace = binary.BigEndian.Uint64(rest)
+		default:
 			return nil, ErrBadMessage
 		}
 		return r, nil
@@ -372,7 +415,14 @@ func Unmarshal(b []byte) (any, error) {
 			}
 			batch = append(batch, r)
 		}
-		if len(rest) != 0 {
+		switch {
+		case len(rest) == 0: // v1–v4 form
+		case count > 0 && len(rest) == 8*count:
+			// v5: one trailing trace ID per report, in report order.
+			for i := range batch {
+				batch[i].Trace = binary.BigEndian.Uint64(rest[8*i:])
+			}
+		default:
 			return nil, ErrBadMessage
 		}
 		return batch, nil

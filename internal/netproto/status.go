@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -493,10 +494,109 @@ func (c *Controller) RegisterOps(reg *ops.Registry) {
 		})
 }
 
+// TraceSpanView is one span of a retained trace in the /traces
+// document.
+type TraceSpanView struct {
+	Stage string `json:"stage"`
+	AP    string `json:"ap,omitempty"`
+	MAC   string `json:"mac,omitempty"`
+	// Partition is the controller partition the span was recorded
+	// under (AP-side spans carry 0).
+	Partition uint16 `json:"partition"`
+	StartNs   int64  `json:"start_ns"`
+	DurNs     int64  `json:"dur_ns"`
+}
+
+// TraceView is one retained trace in the /traces document.
+type TraceView struct {
+	// Trace is the 16-hex-digit trace ID — the join key against
+	// journal timelines and trace= log fields.
+	Trace string `json:"trace"`
+	// Why is the retention reason ("incident" or "sampled").
+	Why        string          `json:"why"`
+	StartNs    int64           `json:"start_ns"`
+	DurationNs int64           `json:"duration_ns"`
+	Spans      []TraceSpanView `json:"spans"`
+}
+
+// TraceExemplar links one latency-histogram series to a concrete
+// recent trace — the pivot from "p99 moved" to one retained timeline.
+type TraceExemplar struct {
+	Metric string `json:"metric"`
+	Labels string `json:"labels,omitempty"`
+	Trace  string `json:"trace"`
+}
+
+// TracesDocument is the /traces response body.
+type TracesDocument struct {
+	Retained  int             `json:"retained"`
+	Traces    []TraceView     `json:"traces"`
+	Exemplars []TraceExemplar `json:"exemplars,omitempty"`
+}
+
+// tracesDocument assembles the /traces body: the tail-sampled retained
+// store (newest first, capped at max, optionally filtered to one trace
+// ID) plus the current histogram exemplars.
+func (c *Controller) tracesDocument(max int, filter uint64) TracesDocument {
+	rec := c.tracer()
+	doc := TracesDocument{Retained: rec.RetainedCount(), Traces: []TraceView{}}
+	for _, v := range rec.Snapshot(max) {
+		if filter != 0 && v.Trace != filter {
+			continue
+		}
+		tv := TraceView{
+			Trace:      fmt.Sprintf("%016x", v.Trace),
+			Why:        v.Why.String(),
+			StartNs:    v.StartNs,
+			DurationNs: v.EndNs - v.StartNs,
+			Spans:      make([]TraceSpanView, 0, len(v.Spans)),
+		}
+		for _, sp := range v.Spans {
+			sv := TraceSpanView{
+				Stage:     sp.Stage.String(),
+				AP:        sp.AP,
+				Partition: sp.Partition,
+				StartNs:   sp.Start,
+				DurNs:     sp.Dur,
+			}
+			if sp.MAC != (wifi.Addr{}) {
+				sv.MAC = sp.MAC.String()
+			}
+			tv.Spans = append(tv.Spans, sv)
+		}
+		doc.Traces = append(doc.Traces, tv)
+	}
+	ops.Default().Walk(func(s ops.Sample) {
+		if s.Kind == ops.KindHistogram && s.Exemplar != 0 {
+			doc.Exemplars = append(doc.Exemplars, TraceExemplar{
+				Metric: s.Name, Labels: s.Labels,
+				Trace: fmt.Sprintf("%016x", s.Exemplar),
+			})
+		}
+	})
+	return doc
+}
+
+// readOnlyJSON gates a handler to GET/HEAD and stamps the JSON
+// content type; anything else is a 405 with the Allow header set.
+func readOnlyJSON(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, `{"error":"method not allowed"}`, http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		h(w, r)
+	}
+}
+
 // OpsHandler returns the controller's operations HTTP handler:
 //
 //	GET  /metrics          Prometheus text exposition (default registry)
 //	GET  /status           the Status document as JSON
+//	GET  /traces           retained decision traces + histogram exemplars
+//	                       (?n=50 caps the list, ?trace=<hex id> filters)
 //	GET  /enroll           enrolled AP names as JSON
 //	POST /enroll?name=X    mint (or rotate) X's token; returns it once
 //	POST /enroll?name=X&revoke=1   revoke X's enrollment
@@ -511,12 +611,31 @@ func (c *Controller) OpsHandler() http.Handler {
 	if c.PprofOps {
 		mountPprof(mux)
 	}
-	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+	mux.HandleFunc("/status", readOnlyJSON(func(w http.ResponseWriter, r *http.Request) {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(c.StatusReport())
-	})
+	}))
+	mux.HandleFunc("/traces", readOnlyJSON(func(w http.ResponseWriter, r *http.Request) {
+		max := 50
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				max = n
+			}
+		}
+		var filter uint64
+		if s := r.URL.Query().Get("trace"); s != "" {
+			id, err := strconv.ParseUint(s, 16, 64)
+			if err != nil {
+				http.Error(w, `{"error":"bad trace id"}`, http.StatusBadRequest)
+				return
+			}
+			filter = id
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(c.tracesDocument(max, filter))
+	}))
 	mux.HandleFunc("/enroll", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		switch r.Method {

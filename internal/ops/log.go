@@ -1,0 +1,113 @@
+package ops
+
+// A leveled key=value logger for the controller plane. The controller
+// and CLI log lines are grep-and-awk material during an incident
+// (mac=, ap=, partition=, trace= keys joined against `secureangle
+// incident` output), so the logger's job is a stable machine-parsable
+// prefix — RFC 3339 timestamp and level tag — in front of the existing
+// printf-style messages, not a structured-logging framework.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	// LevelDebug is per-event chatter (suppressed by default).
+	LevelDebug Level = iota
+	// LevelInfo is normal operational narrative.
+	LevelInfo
+	// LevelWarn is degraded-but-running conditions.
+	LevelWarn
+	// LevelError is failed operations.
+	LevelError
+)
+
+// String names the level as it appears in the level= field.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a level name ("debug", "info", "warn", "error") to
+// its Level, defaulting to LevelInfo on anything unrecognised.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn", "warning":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// Logger writes leveled, timestamped lines to one writer. Safe for
+// concurrent use; lines below the threshold are dropped before
+// formatting, so a debug-heavy caller costs one atomic load per
+// suppressed line.
+type Logger struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min atomic.Int32
+	// clock is swappable for tests; nil means time.Now.
+	clock func() time.Time
+}
+
+// NewLogger returns a Logger writing to w at LevelInfo.
+func NewLogger(w io.Writer) *Logger {
+	l := &Logger{w: w}
+	l.min.Store(int32(LevelInfo))
+	return l
+}
+
+// SetLevel sets the minimum level that reaches the writer.
+func (l *Logger) SetLevel(min Level) { l.min.Store(int32(min)) }
+
+// Enabled reports whether lines at lv currently reach the writer.
+func (l *Logger) Enabled(lv Level) bool { return int32(lv) >= l.min.Load() }
+
+// Logf writes one line at lv: `<ts> level=<lv> <message>`.
+func (l *Logger) Logf(lv Level, format string, args ...any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	now := time.Now
+	if l.clock != nil {
+		now = l.clock
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s level=%s %s\n", now().UTC().Format("2006-01-02T15:04:05.000Z07:00"), lv, msg)
+}
+
+// Debugf, Infof, Warnf, and Errorf are Logf at a fixed level.
+func (l *Logger) Debugf(format string, args ...any) { l.Logf(LevelDebug, format, args...) }
+func (l *Logger) Infof(format string, args ...any)  { l.Logf(LevelInfo, format, args...) }
+func (l *Logger) Warnf(format string, args ...any)  { l.Logf(LevelWarn, format, args...) }
+func (l *Logger) Errorf(format string, args ...any) { l.Logf(LevelError, format, args...) }
+
+// Printf is Infof under the name the controller's Logf hook and the
+// journal Options.Logf hook expect, so a Logger plugs in directly:
+//
+//	c.Logf = logger.Printf
+func (l *Logger) Printf(format string, args ...any) { l.Infof(format, args...) }

@@ -1,0 +1,66 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 123e6, time.UTC)
+}
+
+// TestLoggerFormat pins the line shape the incident tooling greps:
+// RFC 3339 timestamp, level= tag, then the message with its key=value
+// fields untouched.
+func TestLoggerFormat(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb)
+	l.clock = fixedClock
+	l.Infof("controller: quarantining mac=%s trace=%016x", "aa:bb:cc:dd:ee:ff", uint64(0xdeadbeef))
+	got := sb.String()
+	want := "2026-08-08T12:00:00.123Z level=info controller: quarantining mac=aa:bb:cc:dd:ee:ff trace=00000000deadbeef\n"
+	if got != want {
+		t.Fatalf("line = %q, want %q", got, want)
+	}
+}
+
+// TestLoggerLevels: lines below the threshold are dropped, the rest
+// carry their own level tag.
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb)
+	l.clock = fixedClock
+	l.Debugf("hidden")
+	l.Warnf("seen")
+	l.Errorf("also seen")
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatal("debug line passed an info-level logger")
+	}
+	if !strings.Contains(out, "level=warn seen") || !strings.Contains(out, "level=error also seen") {
+		t.Fatalf("output = %q", out)
+	}
+	l.SetLevel(LevelDebug)
+	l.Debugf("now visible")
+	if !strings.Contains(sb.String(), "level=debug now visible") {
+		t.Fatalf("debug line missing after SetLevel: %q", sb.String())
+	}
+	l.SetLevel(LevelError)
+	if l.Enabled(LevelWarn) {
+		t.Fatal("warn enabled at error threshold")
+	}
+}
+
+// TestParseLevel: names map to levels, junk falls back to info.
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "warn": LevelWarn,
+		"warning": LevelWarn, "error": LevelError, "bogus": LevelInfo, "": LevelInfo,
+	}
+	for in, want := range cases {
+		if got := ParseLevel(in); got != want {
+			t.Errorf("ParseLevel(%q) = %v, want %v", in, got, want)
+		}
+	}
+}

@@ -106,6 +106,10 @@ type Histogram struct {
 	counts []atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplar is the trace ID of the most recent observation that
+	// carried one — the jump from an aggregate latency series to one
+	// concrete retained trace (/traces?trace=...).
+	exemplar atomic.Uint64
 }
 
 // Observe records one value.
@@ -129,6 +133,25 @@ func (h *Histogram) Observe(v float64) {
 func (h *Histogram) ObserveSince(t0 time.Time) {
 	h.Observe(time.Since(t0).Seconds())
 }
+
+// ObserveExemplar records one value and stamps the observation's trace
+// ID as the histogram's exemplar (a zero trace leaves the previous
+// exemplar in place). Lock-free and allocation-free, like Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace uint64) {
+	h.Observe(v)
+	if trace != 0 {
+		h.exemplar.Store(trace)
+	}
+}
+
+// ObserveSinceExemplar is ObserveSince with an exemplar trace ID.
+func (h *Histogram) ObserveSinceExemplar(t0 time.Time, trace uint64) {
+	h.ObserveExemplar(time.Since(t0).Seconds(), trace)
+}
+
+// Exemplar returns the trace ID of the latest exemplar-carrying
+// observation, or zero if none was ever recorded.
+func (h *Histogram) Exemplar() uint64 { return h.exemplar.Load() }
 
 // Count returns the total number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
@@ -314,6 +337,9 @@ type Sample struct {
 	Buckets []uint64 // per-bound counts (not cumulative), +Inf last
 	Count   uint64
 	Sum     float64
+	// Exemplar is the trace ID of the latest exemplar-carrying
+	// observation (zero if none) — the /traces link for this series.
+	Exemplar uint64
 }
 
 // famsSorted snapshots every family in name order.
@@ -359,6 +385,7 @@ func (f *family) samples(visit func(s Sample)) {
 			}
 			s.Count = inst.Count()
 			s.Sum = inst.Sum()
+			s.Exemplar = inst.Exemplar()
 		}
 		visit(s)
 	}

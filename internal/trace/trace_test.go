@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"testing"
+
+	"secureangle/internal/ops"
+	"secureangle/internal/wifi"
+)
+
+func testRecorder() *Recorder { return NewRecorder(ops.NewRegistry()) }
+
+func span(id uint64, stage Stage, start int64) Span {
+	return Span{
+		Trace: id, Stage: stage, Start: start, Dur: 100,
+		MAC: wifi.Addr{0, 1, 2, 3, 4, 5}, AP: "ap1", Partition: 1,
+	}
+}
+
+func TestTraceNextIDUniqueNonzero(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		id := NextID()
+		if id == 0 {
+			t.Fatal("NextID returned zero")
+		}
+		if seen[id] {
+			t.Fatalf("NextID repeated %#x after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceRetainPromotesAllSpans(t *testing.T) {
+	r := testRecorder()
+	id := NextID()
+	r.Record(span(id, StageObserve, 100))
+	r.Record(span(id, StageIngest, 200))
+	r.Record(span(id, StageFuse, 300))
+	r.Retain(id)
+	// New spans after the first promotion are picked up by the next.
+	r.Record(span(id, StageDirective, 400))
+	r.Retain(id)
+
+	views := r.Snapshot(0)
+	if len(views) != 1 {
+		t.Fatalf("Snapshot: %d traces, want 1", len(views))
+	}
+	v := views[0]
+	if v.Trace != id || v.Why != RetainedIncident {
+		t.Fatalf("view = %+v, want trace %#x retained as incident", v, id)
+	}
+	if len(v.Spans) != 4 {
+		t.Fatalf("retained %d spans, want 4: %+v", len(v.Spans), v.Spans)
+	}
+	for i := 1; i < len(v.Spans); i++ {
+		if v.Spans[i].Start < v.Spans[i-1].Start {
+			t.Fatalf("spans not time-ordered: %+v", v.Spans)
+		}
+	}
+	if v.StartNs != 100 || v.EndNs != 500 {
+		t.Fatalf("view window [%d, %d], want [100, 500]", v.StartNs, v.EndNs)
+	}
+}
+
+func TestTraceRetainIsIdempotent(t *testing.T) {
+	r := testRecorder()
+	id := NextID()
+	r.Record(span(id, StageIngest, 100))
+	r.Retain(id)
+	r.Retain(id)
+	views := r.Snapshot(0)
+	if len(views) != 1 || len(views[0].Spans) != 1 {
+		t.Fatalf("double Retain duplicated spans: %+v", views)
+	}
+}
+
+func TestTraceSampleKeepsDeterministicFraction(t *testing.T) {
+	r := testRecorder()
+	r.SetBenignSampleRate(0.5)
+	kept := 0
+	// Stay well under the retained-store cap so eviction does not skew
+	// the measured keep fraction.
+	const n = 400
+	for i := 0; i < n; i++ {
+		id := NextID()
+		r.Record(span(id, StageFuse, int64(i)))
+		r.Sample(id)
+		r.Sample(id) // the decision is stable: re-sampling never flips it
+	}
+	kept = r.RetainedCount()
+	if kept < n/4 || kept > 3*n/4 {
+		t.Fatalf("0.5 sampler kept %d of %d", kept, n)
+	}
+
+	r2 := testRecorder()
+	r2.SetBenignSampleRate(0)
+	id := NextID()
+	r2.Record(span(id, StageFuse, 1))
+	r2.Sample(id)
+	if got := r2.RetainedCount(); got != 0 {
+		t.Fatalf("0.0 sampler kept %d traces", got)
+	}
+
+	r3 := testRecorder()
+	r3.SetBenignSampleRate(1)
+	id = NextID()
+	r3.Record(span(id, StageFuse, 1))
+	r3.Sample(id)
+	if got := r3.RetainedCount(); got != 1 {
+		t.Fatalf("1.0 sampler kept %d traces, want 1", got)
+	}
+}
+
+func TestTraceSampleAfterRetainKeepsIncident(t *testing.T) {
+	r := testRecorder()
+	r.SetBenignSampleRate(0)
+	id := NextID()
+	r.Record(span(id, StageAlert, 1))
+	r.Retain(id)
+	r.Sample(id) // benign tail must not demote or duplicate
+	views := r.Snapshot(0)
+	if len(views) != 1 || views[0].Why != RetainedIncident {
+		t.Fatalf("incident trace lost after Sample: %+v", views)
+	}
+}
+
+func TestTraceZeroIDDropped(t *testing.T) {
+	r := testRecorder()
+	r.Record(Span{Trace: 0, Stage: StageIngest, Start: 1})
+	r.Retain(0)
+	r.Sample(0)
+	if got := r.RetainedCount(); got != 0 {
+		t.Fatalf("zero trace ID retained: %d", got)
+	}
+}
+
+func TestTraceRetainedStoreEvictsRoundRobin(t *testing.T) {
+	r := testRecorder()
+	var first uint64
+	for i := 0; i < retainedTraces+8; i++ {
+		id := NextID()
+		if i == 0 {
+			first = id
+		}
+		r.Record(span(id, StageAlert, int64(i)))
+		r.Retain(id)
+	}
+	if got := r.RetainedCount(); got != retainedTraces {
+		t.Fatalf("retained %d traces, want cap %d", got, retainedTraces)
+	}
+	for _, v := range r.Snapshot(0) {
+		if v.Trace == first {
+			t.Fatal("oldest trace survived past the eviction horizon")
+		}
+	}
+}
+
+func TestTraceSnapshotMaxCapsOutput(t *testing.T) {
+	r := testRecorder()
+	for i := 0; i < 10; i++ {
+		id := NextID()
+		r.Record(span(id, StageAlert, int64(i)))
+		r.Retain(id)
+	}
+	if got := len(r.Snapshot(3)); got != 3 {
+		t.Fatalf("Snapshot(3) returned %d traces", got)
+	}
+}
+
+func TestTraceRingOverwriteBounded(t *testing.T) {
+	r := testRecorder()
+	id := NextID()
+	// Overflow the trace's stripe many times over; promotion must see
+	// only what is still live, never grow without bound.
+	for i := 0; i < stripeCap*4; i++ {
+		r.Record(span(id, StageIngest, int64(i)))
+	}
+	r.Retain(id)
+	v := r.Snapshot(0)[0]
+	if len(v.Spans) > stripeCap {
+		t.Fatalf("promotion yielded %d spans from a %d-slot stripe", len(v.Spans), stripeCap)
+	}
+}
+
+func TestTraceStageAndRetentionStrings(t *testing.T) {
+	stages := map[Stage]string{
+		StageObserve: "observe", StageSpoofCheck: "spoofcheck",
+		StageIngest: "ingest", StageFuse: "fuse", StageAlert: "alert",
+		StageDirective: "directive", StageAck: "ack", StageRelease: "release",
+		Stage(0): "unknown",
+	}
+	for st, want := range stages {
+		if st.String() != want {
+			t.Fatalf("Stage(%d).String() = %q, want %q", st, st.String(), want)
+		}
+	}
+	if RetainedIncident.String() != "incident" || RetainedSampled.String() != "sampled" {
+		t.Fatal("Retention strings wrong")
+	}
+	if Retention(0).String() != "unknown" {
+		t.Fatal("zero Retention should stringify as unknown")
+	}
+}
+
+// TestTraceSpanRecordAllocs pins the tentpole budget: recording a span
+// on the steady path performs zero heap allocations.
+func TestTraceSpanRecordAllocs(t *testing.T) {
+	r := testRecorder()
+	s := span(NextID(), StageIngest, Now())
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(s)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per span, want 0", allocs)
+	}
+}
+
+func TestTraceConcurrentRecordAndSnapshot(t *testing.T) {
+	r := testRecorder()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			id := NextID()
+			r.Record(span(id, StageIngest, int64(i)))
+			if i%16 == 0 {
+				r.Retain(id)
+			} else {
+				r.Sample(id)
+			}
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		r.Snapshot(16)
+	}
+	<-done
+}
+
+func BenchmarkTraceSpan(b *testing.B) {
+	r := testRecorder()
+	s := span(NextID(), StageIngest, Now())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(s)
+	}
+}

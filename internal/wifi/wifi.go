@@ -60,6 +60,21 @@ func (a Addr) String() string {
 	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
 }
 
+const hexDigits = "0123456789abcdef"
+
+// AppendText appends the colon-separated hex form to dst and returns
+// the extended slice — the allocation-free formatter for hot-path
+// logging and span rendering (String allocates via fmt).
+func (a Addr) AppendText(dst []byte) []byte {
+	for i, b := range a {
+		if i > 0 {
+			dst = append(dst, ':')
+		}
+		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
+	}
+	return dst
+}
+
 // Broadcast is the all-ones address.
 var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
 

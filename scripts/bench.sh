@@ -10,7 +10,7 @@
 # Benchtime can be tuned via BENCHTIME (default 1s).
 set -eu
 
-pr="${PR:-8}"
+pr="${PR:-10}"
 out="${1:-BENCH_PR${pr}.json}"
 benchtime="${BENCHTIME:-1s}"
 tmp="$(mktemp)"
@@ -19,8 +19,8 @@ trap 'rm -f "$tmp"' EXIT
 # The headline set: per-packet pipeline, fusion ingest, defense
 # directive, journal append + group commit (each package's hot path),
 # the ops metrics update the first four carry, partitioned ingest at
-# 1/4/16 partitions (per-report and batched), and the replication
-# cursor's streaming throughput.
+# 1/4/16 partitions (per-report and batched), the replication cursor's
+# streaming throughput, and the per-packet trace span record.
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkPipelinePerPacket$' . | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
@@ -45,6 +45,8 @@ go test -run '^$' -benchmem -benchtime "${PARTITION_BENCHTIME:-200000x}" \
     -bench 'BenchmarkPartitionIngestBatch$' ./internal/partition | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime "$benchtime" \
     -bench 'BenchmarkReplicationCursor$' ./internal/journal | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime "$benchtime" \
+    -bench 'BenchmarkTraceSpan$' ./internal/trace | tee -a "$tmp"
 
 # Find the newest previous trajectory file (highest PR number below
 # ours) before the new file lands.

@@ -51,6 +51,8 @@ go test -run '^$' -benchmem -benchtime 20000x \
     -bench 'BenchmarkPartitionIngestBatch$' ./internal/partition | tee -a "$tmp"
 go test -run '^$' -benchmem -benchtime 20x \
     -bench 'BenchmarkReplicationCursor$' ./internal/journal | tee -a "$tmp"
+go test -run '^$' -benchmem -benchtime 500000x \
+    -bench 'BenchmarkTraceSpan$' ./internal/trace | tee -a "$tmp"
 
 awk -v baseline="$baseline" '
 function parse(file,   line, name, ns) {
@@ -76,6 +78,7 @@ BEGIN {
     budget["BenchmarkPartitionIngestBatch/parts=1"] = 16   # ~5 measured
     budget["BenchmarkPartitionIngestBatch/parts=4"] = 16
     budget["BenchmarkPartitionIngestBatch/parts=16"] = 16
+    budget["BenchmarkTraceSpan"] = 0  # hard zero: the span record sits on every packet
 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
